@@ -1,0 +1,211 @@
+//! The paper's baseline methods for OIPA (§VI-A "Compared Methods").
+//!
+//! Neither baseline reasons about multiple pieces jointly — that is the
+//! point of the comparison:
+//!
+//! * **IM** — run classical IM on the *topic-oblivious* graph `G` (edge
+//!   probabilities collapsed across topics) to get one seed set `S` of
+//!   size `k`; then spread each piece `t_i` from `S` in turn and keep the
+//!   single piece with the highest adoption utility.
+//! * **TIM** — build the per-piece influence graph `G_{t_i}` for every
+//!   piece, run IM on each to get `S_i`, and keep the single best
+//!   `(S_i, t_i)` pair by adoption utility.
+//!
+//! Both therefore spend the entire budget on one piece — users receive at
+//! most one piece, which the logistic model punishes (§VI-D explains the
+//! observed quality collapse). Utility evaluation reuses the same MRR pool
+//! and estimator as the proposed methods, exactly like the paper (same
+//! θ; seed-selection inputs differ).
+
+use oipa_core::{AssignmentPlan, AuEstimator};
+use oipa_graph::{DiGraph, NodeId};
+use oipa_sampler::{MrrPool, RrPool};
+use oipa_topics::EdgeTopicProbs;
+use std::time::{Duration, Instant};
+
+/// A baseline outcome.
+#[derive(Debug, Clone)]
+pub struct BaselineResult {
+    /// The produced plan (all budget on one piece).
+    pub plan: AssignmentPlan,
+    /// MRR-estimated adoption utility (user units).
+    pub utility: f64,
+    /// Which piece received the budget.
+    pub chosen_piece: usize,
+    /// Seed-selection plus evaluation time (sampling time excluded, per
+    /// the paper's methodology).
+    pub elapsed: Duration,
+}
+
+/// The `IM` baseline. `flat_pool` must be an [`RrPool`] sampled on the
+/// collapsed (topic-oblivious) graph — see
+/// [`EdgeTopicProbs::collapse_mean`]; `mrr` is the shared evaluation pool.
+pub fn im_baseline(
+    flat_pool: &RrPool,
+    mrr: &MrrPool,
+    estimator: &mut AuEstimator<'_>,
+    promoters: &[NodeId],
+    k: usize,
+) -> BaselineResult {
+    let start = Instant::now();
+    let (seeds, _) = crate::maxcover::greedy_max_coverage(flat_pool.store(), promoters, k);
+    let (plan, utility, chosen_piece) = best_single_piece(mrr, estimator, &seeds);
+    BaselineResult {
+        plan,
+        utility,
+        chosen_piece,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// The `TIM` baseline: per-piece greedy over the MRR pool's own per-piece
+/// RR stores (each store *is* the influence graph `G_{t_i}` sample).
+pub fn tim_baseline(
+    mrr: &MrrPool,
+    estimator: &mut AuEstimator<'_>,
+    promoters: &[NodeId],
+    k: usize,
+) -> BaselineResult {
+    let start = Instant::now();
+    let ell = mrr.ell();
+    let mut best: Option<(AssignmentPlan, f64, usize)> = None;
+    for j in 0..ell {
+        let (seeds, _) = crate::maxcover::greedy_max_coverage(mrr.piece_store(j), promoters, k);
+        let mut plan = AssignmentPlan::empty(ell);
+        for v in seeds {
+            plan.insert(j, v);
+        }
+        let utility = estimator.evaluate(&plan);
+        if best.as_ref().is_none_or(|&(_, u, _)| utility > u) {
+            best = Some((plan, utility, j));
+        }
+    }
+    let (plan, utility, chosen_piece) = best.expect("campaign has at least one piece");
+    BaselineResult {
+        plan,
+        utility,
+        chosen_piece,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Helper shared by `IM`: assigns `seeds` to each piece in turn and keeps
+/// the best by estimated utility.
+fn best_single_piece(
+    mrr: &MrrPool,
+    estimator: &mut AuEstimator<'_>,
+    seeds: &[NodeId],
+) -> (AssignmentPlan, f64, usize) {
+    let ell = mrr.ell();
+    let mut best: Option<(AssignmentPlan, f64, usize)> = None;
+    for j in 0..ell {
+        let mut plan = AssignmentPlan::empty(ell);
+        for &v in seeds {
+            plan.insert(j, v);
+        }
+        let utility = estimator.evaluate(&plan);
+        if best.as_ref().is_none_or(|&(_, u, _)| utility > u) {
+            best = Some((plan, utility, j));
+        }
+    }
+    best.expect("campaign has at least one piece")
+}
+
+/// Convenience: builds the collapsed-probability RR pool the `IM` baseline
+/// needs (classical IC on mean edge probabilities).
+pub fn collapsed_pool(
+    graph: &DiGraph,
+    table: &EdgeTopicProbs,
+    theta: usize,
+    seed: u64,
+) -> RrPool {
+    let flat = oipa_sampler::MaterializedProbs(table.collapse_mean());
+    RrPool::generate(graph, &flat, theta, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oipa_core::{BabConfig, BranchAndBound, OipaInstance};
+    use oipa_sampler::testkit::fig1;
+    use oipa_topics::LogisticAdoption;
+
+    fn setup(theta: usize) -> (DiGraph, EdgeTopicProbs, oipa_topics::Campaign, MrrPool) {
+        let (g, table, campaign) = fig1();
+        let pool = MrrPool::generate(&g, &table, &campaign, theta, 107);
+        (g, table, campaign, pool)
+    }
+
+    #[test]
+    fn baselines_assign_single_piece() {
+        let (g, table, _campaign, mrr) = setup(20_000);
+        let model = LogisticAdoption::example();
+        let mut est = AuEstimator::new(&mrr, model);
+        let promoters = vec![0, 1, 2, 3, 4];
+
+        let flat = collapsed_pool(&g, &table, 20_000, 3);
+        let im = im_baseline(&flat, &mrr, &mut est, &promoters, 2);
+        let nonempty = (0..2).filter(|&j| !im.plan.set(j).is_empty()).count();
+        assert_eq!(nonempty, 1, "IM must give all budget to one piece");
+        assert_eq!(im.plan.size(), 2);
+
+        let tim = tim_baseline(&mrr, &mut est, &promoters, 2);
+        let nonempty = (0..2).filter(|&j| !tim.plan.set(j).is_empty()).count();
+        assert_eq!(nonempty, 1, "TIM must give all budget to one piece");
+    }
+
+    #[test]
+    fn tim_at_least_as_good_as_im_on_fig1() {
+        // TIM optimizes per-piece spread; IM ignores topics entirely. On
+        // the topic-separable Fig. 1 instance TIM must not lose.
+        let (g, table, _campaign, mrr) = setup(40_000);
+        let model = LogisticAdoption::example();
+        let mut est = AuEstimator::new(&mrr, model);
+        let promoters = vec![0, 1, 2, 3, 4];
+        let flat = collapsed_pool(&g, &table, 40_000, 3);
+        let im = im_baseline(&flat, &mrr, &mut est, &promoters, 2);
+        let tim = tim_baseline(&mrr, &mut est, &promoters, 2);
+        assert!(
+            tim.utility + 1e-9 >= im.utility,
+            "TIM {} < IM {}",
+            tim.utility,
+            im.utility
+        );
+    }
+
+    #[test]
+    fn bab_beats_both_baselines_on_fig1() {
+        // The headline comparison in miniature: multifaceted optimization
+        // must beat single-piece baselines when adoption needs ≥ 2 pieces.
+        let (g, table, _campaign, mrr) = setup(60_000);
+        let model = LogisticAdoption::example();
+        let promoters = vec![0u32, 1, 2, 3, 4];
+        let mut est = AuEstimator::new(&mrr, model);
+        let flat = collapsed_pool(&g, &table, 60_000, 3);
+        let im = im_baseline(&flat, &mrr, &mut est, &promoters, 2);
+        let tim = tim_baseline(&mrr, &mut est, &promoters, 2);
+        let instance = OipaInstance::new(&mrr, model, promoters, 2);
+        let bab = BranchAndBound::new(&instance, BabConfig::bab()).solve();
+        assert!(
+            bab.utility > im.utility && bab.utility > tim.utility,
+            "BAB {} vs IM {} / TIM {}",
+            bab.utility,
+            im.utility,
+            tim.utility
+        );
+    }
+
+    #[test]
+    fn baseline_budget_respected() {
+        let (g, table, _campaign, mrr) = setup(10_000);
+        let mut est = AuEstimator::new(&mrr, LogisticAdoption::example());
+        let promoters = vec![0, 1, 2, 3, 4];
+        let flat = collapsed_pool(&g, &table, 10_000, 3);
+        for k in 1..=4 {
+            let im = im_baseline(&flat, &mrr, &mut est, &promoters, k);
+            assert!(im.plan.size() <= k);
+            let tim = tim_baseline(&mrr, &mut est, &promoters, k);
+            assert!(tim.plan.size() <= k);
+        }
+    }
+}

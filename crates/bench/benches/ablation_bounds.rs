@@ -1,0 +1,61 @@
+//! Ablation: tangent-anchor refinement (Fig. 2) on vs off.
+//!
+//! With refinement disabled every sample keeps its coverage-0 majorant, so
+//! upper bounds are looser, pruning is weaker, and branch-and-bound does
+//! more work for the same answer. This bench quantifies that design
+//! choice (DESIGN.md `ablation_bounds`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oipa_core::{BabConfig, BranchAndBound, OipaInstance};
+use oipa_datasets::{lastfm_like, Scale};
+use oipa_sampler::MrrPool;
+use oipa_topics::{Campaign, LogisticAdoption};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_ablation(c: &mut Criterion) {
+    let dataset = lastfm_like(Scale::Full, 31);
+    let mut rng = StdRng::seed_from_u64(31);
+    let campaign = Campaign::sample_one_hot(&mut rng, dataset.topics, 3);
+    let model = LogisticAdoption::from_ratio(0.5);
+    let pool = MrrPool::generate_parallel(&dataset.graph, &dataset.table, &campaign, 30_000, 31, 4);
+    let promoters = OipaInstance::sample_promoters(&mut rng, dataset.graph.node_count(), 0.10);
+    let instance = OipaInstance::new(&pool, model, promoters, 10);
+
+    let mut group = c.benchmark_group("bab_refinement_ablation");
+    group.sample_size(10);
+    for (label, refine) in [("refined", true), ("unrefined", false)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let config = BabConfig {
+                    max_nodes: Some(16),
+                    refine_anchors: refine,
+                    ..BabConfig::bab()
+                };
+                BranchAndBound::new(&instance, config).solve().utility
+            })
+        });
+    }
+    group.finish();
+
+    // One-shot comparison of search effort for EXPERIMENTS.md.
+    for (label, refine) in [("refined", true), ("unrefined", false)] {
+        let config = BabConfig {
+            max_nodes: Some(16),
+            refine_anchors: refine,
+            ..BabConfig::bab()
+        };
+        let sol = BranchAndBound::new(&instance, config).solve();
+        println!(
+            "# {label}: utility {:.2}, upper {:.2}, nodes {}, bounds {}, pruned {}",
+            sol.utility,
+            sol.upper_bound,
+            sol.stats.nodes_expanded,
+            sol.stats.bounds_computed,
+            sol.stats.nodes_pruned,
+        );
+    }
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

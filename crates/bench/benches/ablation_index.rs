@@ -1,0 +1,41 @@
+//! Ablation: inverted-index marginal gains vs direct RR-set scans.
+//!
+//! Every solver iteration asks "how much does candidate v add to piece
+//! j?". With the inverted index this costs O(|samples containing v|);
+//! without it, a scan over all θ RR sets. The index is the difference
+//! between milliseconds and minutes at θ = 10⁶ (DESIGN.md
+//! `ablation_index`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oipa_datasets::{lastfm_like, Scale};
+use oipa_sampler::MrrPool;
+use oipa_topics::Campaign;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_index(c: &mut Criterion) {
+    let dataset = lastfm_like(Scale::Full, 41);
+    let mut rng = StdRng::seed_from_u64(41);
+    let campaign = Campaign::sample_one_hot(&mut rng, dataset.topics, 2);
+    let pool = MrrPool::generate_parallel(&dataset.graph, &dataset.table, &campaign, 50_000, 41, 4);
+    // A mid-degree node: realistic candidate.
+    let v = (dataset.graph.node_count() / 2) as u32;
+
+    c.bench_function("gain_lookup/inverted_index", |b| {
+        b.iter(|| pool.samples_containing(0, v).len())
+    });
+    c.bench_function("gain_lookup/direct_scan", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            for i in 0..pool.theta() {
+                if pool.rr_set(0, i).contains(&v) {
+                    count += 1;
+                }
+            }
+            count
+        })
+    });
+}
+
+criterion_group!(benches, bench_index);
+criterion_main!(benches);

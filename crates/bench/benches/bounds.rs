@@ -1,0 +1,80 @@
+//! `ComputeBound` implementations head-to-head: the paper's plain greedy
+//! rescan (Algorithm 2 as printed), the CELF-accelerated greedy, and the
+//! progressive estimation (Algorithm 3) at several ε.
+//!
+//! This is the lazy-evaluation ablation (`ablation_lazy` in DESIGN.md) and
+//! the §V-C claim — progressive cuts τ evaluations — in microbenchmark
+//! form.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oipa_core::greedy::{compute_bound_celf, compute_bound_plain};
+use oipa_core::progressive::compute_bound_progressive;
+use oipa_core::tau::TauState;
+use oipa_core::{AssignmentPlan, OipaInstance, TangentTable};
+use oipa_datasets::{lastfm_like, Scale};
+use oipa_sampler::MrrPool;
+use oipa_topics::{Campaign, LogisticAdoption};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_bounds(c: &mut Criterion) {
+    let dataset = lastfm_like(Scale::Full, 13);
+    let mut rng = StdRng::seed_from_u64(13);
+    let campaign = Campaign::sample_one_hot(&mut rng, dataset.topics, 3);
+    let model = LogisticAdoption::from_ratio(0.5);
+    let pool = MrrPool::generate_parallel(&dataset.graph, &dataset.table, &campaign, 50_000, 13, 4);
+    let table = TangentTable::new(model, campaign.len());
+    let promoters = OipaInstance::sample_promoters(&mut rng, dataset.graph.node_count(), 0.10);
+    let empty = AssignmentPlan::empty(campaign.len());
+    let k = 20;
+
+    let mut group = c.benchmark_group("compute_bound_k20");
+    group.sample_size(10);
+    group.bench_function("plain_greedy", |b| {
+        b.iter(|| {
+            let mut state = TauState::new(&pool, &table, model);
+            state.reset_to(&empty);
+            compute_bound_plain(&mut state, &empty, &promoters, &Default::default(), k).tau
+        })
+    });
+    group.bench_function("celf_greedy", |b| {
+        b.iter(|| {
+            let mut state = TauState::new(&pool, &table, model);
+            state.reset_to(&empty);
+            compute_bound_celf(&mut state, &empty, &promoters, &Default::default(), k).tau
+        })
+    });
+    for eps in [0.1, 0.5, 0.9] {
+        group.bench_function(format!("progressive_eps{eps}"), |b| {
+            b.iter(|| {
+                let mut state = TauState::new(&pool, &table, model);
+                state.reset_to(&empty);
+                compute_bound_progressive(&mut state, &empty, &promoters, &Default::default(), k, eps)
+                    .tau
+            })
+        });
+    }
+    group.finish();
+
+    // Evaluation-count comparison printed once for EXPERIMENTS.md.
+    let counts: Vec<(&str, u64)> = {
+        let mut out = Vec::new();
+        let mut s = TauState::new(&pool, &table, model);
+        s.reset_to(&empty);
+        compute_bound_plain(&mut s, &empty, &promoters, &Default::default(), k);
+        out.push(("plain", s.evaluations));
+        let mut s = TauState::new(&pool, &table, model);
+        s.reset_to(&empty);
+        compute_bound_celf(&mut s, &empty, &promoters, &Default::default(), k);
+        out.push(("celf", s.evaluations));
+        let mut s = TauState::new(&pool, &table, model);
+        s.reset_to(&empty);
+        compute_bound_progressive(&mut s, &empty, &promoters, &Default::default(), k, 0.5);
+        out.push(("progressive", s.evaluations));
+        out
+    };
+    println!("# tau evaluations at k={k}: {counts:?}");
+}
+
+criterion_group!(benches, bench_bounds);
+criterion_main!(benches);

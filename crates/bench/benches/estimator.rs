@@ -1,0 +1,39 @@
+//! AU-estimator evaluation cost (Eqn. 6) as plan size grows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oipa_core::{AssignmentPlan, AuEstimator};
+use oipa_datasets::{lastfm_like, Scale};
+use oipa_sampler::MrrPool;
+use oipa_topics::{Campaign, LogisticAdoption};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_estimator(c: &mut Criterion) {
+    let dataset = lastfm_like(Scale::Full, 21);
+    let mut rng = StdRng::seed_from_u64(21);
+    let campaign = Campaign::sample_one_hot(&mut rng, dataset.topics, 3);
+    let model = LogisticAdoption::from_ratio(0.5);
+    let pool =
+        MrrPool::generate_parallel(&dataset.graph, &dataset.table, &campaign, 100_000, 21, 4);
+    let n = dataset.graph.node_count() as u32;
+
+    let mut group = c.benchmark_group("au_estimator");
+    for &size in &[1usize, 10, 50] {
+        let plan = {
+            let mut p = AssignmentPlan::empty(3);
+            let mut rng = StdRng::seed_from_u64(size as u64);
+            while p.size() < size {
+                p.insert(rng.gen_range(0..3), rng.gen_range(0..n));
+            }
+            p
+        };
+        group.bench_function(format!("evaluate_plan_size_{size}"), |b| {
+            let mut est = AuEstimator::new(&pool, model);
+            b.iter(|| est.evaluate(&plan))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimator);
+criterion_main!(benches);

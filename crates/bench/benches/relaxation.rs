@@ -1,0 +1,61 @@
+//! The §VII tractable-relaxation heuristic vs branch-and-bound: how much
+//! quality does one give up for a guaranteed-greedy one-shot solve?
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oipa_core::relaxed::envelope_heuristic;
+use oipa_core::{BabConfig, BranchAndBound, OipaInstance};
+use oipa_datasets::{lastfm_like, Scale};
+use oipa_sampler::MrrPool;
+use oipa_topics::{Campaign, LogisticAdoption};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_relaxation(c: &mut Criterion) {
+    let dataset = lastfm_like(Scale::Full, 61);
+    let mut rng = StdRng::seed_from_u64(61);
+    let campaign = Campaign::sample_one_hot(&mut rng, dataset.topics, 3);
+    let model = LogisticAdoption::from_ratio(0.5);
+    let pool = MrrPool::generate_parallel(&dataset.graph, &dataset.table, &campaign, 50_000, 61, 4);
+    let promoters = OipaInstance::sample_promoters(&mut rng, dataset.graph.node_count(), 0.10);
+    let k = 20;
+
+    let mut group = c.benchmark_group("relaxation_vs_bab_k20");
+    group.sample_size(10);
+    group.bench_function("envelope_heuristic", |b| {
+        b.iter(|| envelope_heuristic(&pool, model, &promoters, k).1)
+    });
+    let instance = OipaInstance::new(&pool, model, promoters.clone(), k);
+    group.bench_function("bab_p", |b| {
+        b.iter(|| {
+            BranchAndBound::new(
+                &instance,
+                BabConfig {
+                    max_nodes: Some(16),
+                    ..BabConfig::bab_p(0.5)
+                },
+            )
+            .solve()
+            .utility
+        })
+    });
+    group.finish();
+
+    // Quality comparison printed once for EXPERIMENTS.md.
+    let (_, heuristic) = envelope_heuristic(&pool, model, &promoters, k);
+    let bab = BranchAndBound::new(
+        &instance,
+        BabConfig {
+            max_nodes: Some(16),
+            ..BabConfig::bab()
+        },
+    )
+    .solve();
+    println!(
+        "# relaxation quality at k={k}: envelope {heuristic:.2} vs BAB {:.2} ({:.1}%)",
+        bab.utility,
+        100.0 * heuristic / bab.utility
+    );
+}
+
+criterion_group!(benches, bench_relaxation);
+criterion_main!(benches);

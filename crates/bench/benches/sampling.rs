@@ -1,0 +1,62 @@
+//! RR / MRR sampling throughput.
+//!
+//! Supports Table III's "sample time" row: measures single RR-set
+//! generation, sequential pool generation, and the parallel speedup.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use oipa_datasets::{lastfm_like, Scale};
+use oipa_graph::traverse::BfsScratch;
+use oipa_sampler::{sample_rr_set, MrrPool, PieceProbs, RrPool};
+use oipa_topics::Campaign;
+use rand::rngs::{SmallRng, StdRng};
+use rand::{Rng, SeedableRng};
+
+fn bench_sampling(c: &mut Criterion) {
+    let dataset = lastfm_like(Scale::Full, 7);
+    let mut rng = StdRng::seed_from_u64(7);
+    let campaign = Campaign::sample_one_hot(&mut rng, dataset.topics, 3);
+    let piece = &campaign.piece(0).topics;
+    let n = dataset.graph.node_count();
+
+    c.bench_function("rr_set/single_lastfm", |b| {
+        let probs = PieceProbs::new(&dataset.table, piece);
+        let mut scratch = BfsScratch::new(n);
+        let mut out = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| {
+            let root = rng.gen_range(0..n as u32);
+            sample_rr_set(&mut rng, &dataset.graph, &probs, root, &mut scratch, &mut out);
+            out.len()
+        })
+    });
+
+    let mut group = c.benchmark_group("pool_generation");
+    group.sample_size(10);
+    group.bench_function("rr_pool_10k_lastfm", |b| {
+        let flat = oipa_sampler::MaterializedProbs(dataset.table.collapse_mean());
+        b.iter(|| RrPool::generate(&dataset.graph, &flat, 10_000, 3).theta())
+    });
+    group.bench_function("mrr_pool_10k_l3_seq", |b| {
+        b.iter(|| MrrPool::generate(&dataset.graph, &dataset.table, &campaign, 10_000, 3).theta())
+    });
+    group.bench_function("mrr_pool_10k_l3_par4", |b| {
+        b.iter(|| {
+            MrrPool::generate_parallel(&dataset.graph, &dataset.table, &campaign, 10_000, 3, 4)
+                .theta()
+        })
+    });
+    group.finish();
+
+    c.bench_function("rr_set/materialized_vs_onthefly", |b| {
+        // On-the-fly piece probabilities (sparse dot) vs nothing to
+        // compare directly here; this measures the materialization cost.
+        b.iter_batched(
+            || (),
+            |_| dataset.table.materialize(piece).len(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

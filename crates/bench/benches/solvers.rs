@@ -1,0 +1,62 @@
+//! End-to-end solver comparison on the `lastfm` stand-in: the four
+//! compared methods of §VI at a fixed operating point (k = 20, ℓ = 3,
+//! β/α = 0.5, ε = 0.5). Criterion-grade companion to the `fig4_vary_k`
+//! harness binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oipa_baselines::{im_baseline, paper::collapsed_pool, tim_baseline};
+use oipa_core::{AuEstimator, BabConfig, BranchAndBound, OipaInstance};
+use oipa_datasets::{lastfm_like, Scale};
+use oipa_sampler::MrrPool;
+use oipa_topics::{Campaign, LogisticAdoption};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_solvers(c: &mut Criterion) {
+    let dataset = lastfm_like(Scale::Full, 51);
+    let mut rng = StdRng::seed_from_u64(51);
+    let campaign = Campaign::sample_one_hot(&mut rng, dataset.topics, 3);
+    let model = LogisticAdoption::from_ratio(0.5);
+    let pool = MrrPool::generate_parallel(&dataset.graph, &dataset.table, &campaign, 50_000, 51, 4);
+    let flat = collapsed_pool(&dataset.graph, &dataset.table, 50_000, 51);
+    let promoters = OipaInstance::sample_promoters(&mut rng, dataset.graph.node_count(), 0.10);
+    let k = 20;
+
+    let mut group = c.benchmark_group("solvers_lastfm_k20");
+    group.sample_size(10);
+    group.bench_function("im", |b| {
+        b.iter(|| {
+            let mut est = AuEstimator::new(&pool, model);
+            im_baseline(&flat, &pool, &mut est, &promoters, k).utility
+        })
+    });
+    group.bench_function("tim", |b| {
+        b.iter(|| {
+            let mut est = AuEstimator::new(&pool, model);
+            tim_baseline(&pool, &mut est, &promoters, k).utility
+        })
+    });
+    let instance = OipaInstance::new(&pool, model, promoters.clone(), k);
+    group.bench_function("bab", |b| {
+        b.iter(|| {
+            let config = BabConfig {
+                max_nodes: Some(16),
+                ..BabConfig::bab()
+            };
+            BranchAndBound::new(&instance, config).solve().utility
+        })
+    });
+    group.bench_function("bab_p", |b| {
+        b.iter(|| {
+            let config = BabConfig {
+                max_nodes: Some(16),
+                ..BabConfig::bab_p(0.5)
+            };
+            BranchAndBound::new(&instance, config).solve().utility
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

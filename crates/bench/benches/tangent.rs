@@ -1,0 +1,29 @@
+//! The `Refine` binary search and tangent-table construction.
+//!
+//! The paper's Appendix worries about the cost of obtaining tangent lines;
+//! these benches show `Refine` is nanosecond-scale and the whole table
+//! (one line per coverage anchor) is built once per solve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oipa_core::tangent::{refine, TangentTable};
+use oipa_topics::LogisticAdoption;
+
+fn bench_tangent(c: &mut Criterion) {
+    c.bench_function("refine/anchor_-3", |b| {
+        b.iter(|| refine(std::hint::black_box(-3.0), 1e-12).w)
+    });
+    c.bench_function("refine/anchor_-0.5", |b| {
+        b.iter(|| refine(std::hint::black_box(-0.5), 1e-12).w)
+    });
+    c.bench_function("tangent_table/l5", |b| {
+        let model = LogisticAdoption::new(3.0, 1.0);
+        b.iter(|| TangentTable::new(model, 5).marginal(0, 0))
+    });
+    c.bench_function("tangent_table/l50", |b| {
+        let model = LogisticAdoption::new(10.0, 0.3);
+        b.iter(|| TangentTable::new(model, 50).marginal(0, 0))
+    });
+}
+
+criterion_group!(benches, bench_tangent);
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! Minimal argument parsing shared by the harness binaries.
+
+use oipa_datasets::Scale;
+
+/// Common harness arguments.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Dataset scale (default: the per-dataset harness default — full for
+    /// `lastfm`, small for `dblp`/`tweet`).
+    pub scale: Option<Scale>,
+    /// MRR samples per piece (default 100_000; the paper uses 10⁶).
+    pub theta: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Emit CSV instead of an aligned table.
+    pub csv: bool,
+    /// Restrict to a single dataset (`lastfm`/`dblp`/`tweet`).
+    pub only: Option<String>,
+    /// Node-expansion cap for the branch-and-bound drivers.
+    pub max_nodes: usize,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs {
+            scale: None,
+            theta: 100_000,
+            seed: 42,
+            csv: false,
+            only: None,
+            max_nodes: 64,
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args()`-style arguments. Unknown flags abort with
+    /// a usage message.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> HarnessArgs {
+        let mut out = HarnessArgs::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = it.next().unwrap_or_else(|| usage("--scale needs a value"));
+                    out.scale =
+                        Some(Scale::parse(&v).unwrap_or_else(|| usage("bad --scale value")));
+                }
+                "--theta" => {
+                    let v = it.next().unwrap_or_else(|| usage("--theta needs a value"));
+                    out.theta = v.parse().unwrap_or_else(|_| usage("bad --theta value"));
+                }
+                "--seed" => {
+                    let v = it.next().unwrap_or_else(|| usage("--seed needs a value"));
+                    out.seed = v.parse().unwrap_or_else(|_| usage("bad --seed value"));
+                }
+                "--max-nodes" => {
+                    let v = it.next().unwrap_or_else(|| usage("--max-nodes needs a value"));
+                    out.max_nodes = v.parse().unwrap_or_else(|_| usage("bad --max-nodes"));
+                }
+                "--only" => {
+                    out.only = Some(it.next().unwrap_or_else(|| usage("--only needs a value")));
+                }
+                "--csv" => out.csv = true,
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown argument {other:?}")),
+            }
+        }
+        out
+    }
+
+    /// Parses the process arguments (skipping `argv(0)`).
+    pub fn from_env() -> HarnessArgs {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// The scale to use for a dataset given its harness default.
+    pub fn scale_for(&self, default: Scale) -> Scale {
+        self.scale.unwrap_or(default)
+    }
+
+    /// Whether a dataset is selected under `--only`.
+    pub fn wants(&self, name: &str) -> bool {
+        self.only.as_deref().is_none_or(|o| o == name)
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: <bin> [--scale tiny|small|medium|full] [--theta N] [--seed N] \
+         [--max-nodes N] [--only lastfm|dblp|tweet] [--csv]"
+    );
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> HarnessArgs {
+        HarnessArgs::parse(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.theta, 100_000);
+        assert!(!a.csv);
+        assert!(a.wants("lastfm"));
+    }
+
+    #[test]
+    fn full_parse() {
+        let a = parse(&[
+            "--scale", "tiny", "--theta", "5000", "--seed", "7", "--csv", "--only", "dblp",
+            "--max-nodes", "10",
+        ]);
+        assert_eq!(a.scale, Some(Scale::Tiny));
+        assert_eq!(a.theta, 5000);
+        assert_eq!(a.seed, 7);
+        assert!(a.csv);
+        assert_eq!(a.max_nodes, 10);
+        assert!(a.wants("dblp"));
+        assert!(!a.wants("tweet"));
+    }
+
+    #[test]
+    fn scale_for_default() {
+        let a = parse(&[]);
+        assert_eq!(a.scale_for(Scale::Small), Scale::Small);
+        let b = parse(&["--scale", "full"]);
+        assert_eq!(b.scale_for(Scale::Small), Scale::Full);
+    }
+}

@@ -1,0 +1,84 @@
+//! Figure 4 — utility and runtime of all four methods as the number of
+//! promoters k varies (10..100 in the paper; scaled to the pool size
+//! here), at ℓ = 3, β/α = 0.5, ε = 0.5.
+//!
+//! Expected shapes (paper §VI-C): utilities increase with k for all
+//! methods; IM worst, TIM better, BAB/BAB-P best and near-identical;
+//! IM/TIM fastest, BAB slowest, BAB-P between (up to 24× faster than
+//! BAB).
+//!
+//! ```text
+//! cargo run --release -p oipa-bench --bin fig4_vary_k -- [--scale ...] [--csv]
+//! ```
+
+use oipa_bench::runner::{harness_datasets, prepare, run_all_methods, ExperimentSetup};
+use oipa_bench::table::{secs, utility, TablePrinter};
+use oipa_bench::HarnessArgs;
+use oipa_topics::{Campaign, LogisticAdoption};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let mut table = TablePrinter::new(
+        &["dataset", "k", "method", "utility", "time_s"],
+        args.csv,
+    );
+    let mut speedups: Vec<(String, usize, f64)> = Vec::new();
+    for dataset in harness_datasets(&args) {
+        let mut rng = StdRng::seed_from_u64(args.seed);
+        let campaign = Campaign::sample_one_hot(&mut rng, dataset.topics, 3);
+        // The paper sweeps k = 10..100; clamp to the promoter pool (10% of
+        // nodes) so scaled-down datasets stay feasible.
+        let pool_size = (dataset.graph.node_count() / 10).max(10);
+        let ks: Vec<usize> = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+            .into_iter()
+            .filter(|&k| k <= pool_size)
+            .collect();
+        let mut setup = ExperimentSetup {
+            dataset: &dataset,
+            campaign,
+            model: LogisticAdoption::from_ratio(0.5),
+            k: 10,
+            theta: args.theta,
+            eps: 0.5,
+            seed: args.seed,
+            max_nodes: args.max_nodes,
+        };
+        let prepared = prepare(&setup);
+        for k in ks {
+            setup.k = k;
+            let rows = run_all_methods(&setup, &prepared);
+            let bab_time = rows
+                .iter()
+                .find(|r| r.method == "BAB")
+                .map(|r| r.time.as_secs_f64())
+                .unwrap_or(0.0);
+            let bab_p_time = rows
+                .iter()
+                .find(|r| r.method == "BAB-P")
+                .map(|r| r.time.as_secs_f64())
+                .unwrap_or(0.0);
+            if bab_p_time > 0.0 {
+                speedups.push((dataset.name.to_string(), k, bab_time / bab_p_time));
+            }
+            for r in rows {
+                table.row(&[
+                    dataset.name.to_string(),
+                    k.to_string(),
+                    r.method.to_string(),
+                    utility(r.utility),
+                    secs(r.time),
+                ]);
+            }
+        }
+    }
+    println!("# Figure 4 — utility & time vs k (paper: BAB≈BAB-P > TIM > IM; BAB-P up to 24× faster than BAB)");
+    table.print();
+    if let Some((name, k, s)) = speedups
+        .iter()
+        .max_by(|a, b| a.2.partial_cmp(&b.2).expect("finite"))
+    {
+        println!("# max BAB/BAB-P speedup: {s:.1}x ({name}, k={k})");
+    }
+}

@@ -1,0 +1,62 @@
+//! Table III — dataset statistics and MRR sample time.
+//!
+//! Prints one row per dataset: vertices, edges, average degree, topic
+//! count, average per-edge topic support, and the time to generate θ MRR
+//! sets for an ℓ = 3 campaign (the paper's "Sample Time" row measures RR
+//! generation for the viral pieces).
+//!
+//! ```text
+//! cargo run --release -p oipa-bench --bin table3_stats -- [--scale ...] [--theta N] [--csv]
+//! ```
+
+use oipa_bench::runner::{harness_datasets, prepare, ExperimentSetup};
+use oipa_bench::table::{secs, TablePrinter};
+use oipa_bench::HarnessArgs;
+use oipa_topics::{Campaign, LogisticAdoption};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let mut table = TablePrinter::new(
+        &[
+            "dataset",
+            "scale",
+            "vertices",
+            "edges",
+            "avg_degree",
+            "topics",
+            "avg_topic_support",
+            "sample_time_s",
+        ],
+        args.csv,
+    );
+    for dataset in harness_datasets(&args) {
+        let stats = dataset.stats();
+        let mut rng = StdRng::seed_from_u64(args.seed);
+        let campaign = Campaign::sample_one_hot(&mut rng, dataset.topics, 3);
+        let setup = ExperimentSetup {
+            dataset: &dataset,
+            campaign,
+            model: LogisticAdoption::from_ratio(0.5),
+            k: 1,
+            theta: args.theta,
+            eps: 0.5,
+            seed: args.seed,
+            max_nodes: args.max_nodes,
+        };
+        let prepared = prepare(&setup);
+        table.row(&[
+            dataset.name.to_string(),
+            format!("{:?}", dataset.scale),
+            stats.nodes.to_string(),
+            stats.edges.to_string(),
+            format!("{:.1}", stats.avg_degree),
+            dataset.topics.to_string(),
+            format!("{:.2}", dataset.avg_topic_support()),
+            secs(prepared.sample_time),
+        ]);
+    }
+    println!("# Table III — dataset statistics (paper: lastfm 1.3K/15K/8.7/20, dblp 0.5M/6M/11.9/9, tweet 10M/12M/1.2/50)");
+    table.print();
+}

@@ -1,0 +1,116 @@
+//! Aligned-table / CSV output for the harness binaries.
+
+/// Collects rows and prints either an aligned ASCII table or CSV.
+#[derive(Debug, Clone)]
+pub struct TablePrinter {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    csv: bool,
+}
+
+impl TablePrinter {
+    /// Creates a printer with column headers.
+    pub fn new(headers: &[&str], csv: bool) -> Self {
+        TablePrinter {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            csv,
+        }
+    }
+
+    /// Appends one row (must match the header arity).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders to a string.
+    pub fn render(&self) -> String {
+        if self.csv {
+            let mut out = String::new();
+            out.push_str(&self.headers.join(","));
+            out.push('\n');
+            for row in &self.rows {
+                out.push_str(&row.join(","));
+                out.push('\n');
+            }
+            return out;
+        }
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a duration in seconds with 3 decimals.
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.4}", d.as_secs_f64())
+}
+
+/// Formats a utility with 2 decimals.
+pub fn utility(u: f64) -> String {
+    format!("{u:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_output() {
+        let mut t = TablePrinter::new(&["k", "method", "utility"], false);
+        t.row(&["10".into(), "BAB".into(), "15.56".into()]);
+        t.row(&["100".into(), "BAB-P".into(), "7.1".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("method"));
+        assert!(lines[2].ends_with("15.56"));
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut t = TablePrinter::new(&["a", "b"], true);
+        t.row(&["1".into(), "2".into()]);
+        assert_eq!(t.render(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = TablePrinter::new(&["a"], false);
+        t.row(&["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(secs(std::time::Duration::from_millis(1500)), "1.5000");
+        assert_eq!(utility(2.71828), "2.72");
+    }
+}

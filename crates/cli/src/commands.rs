@@ -1,0 +1,466 @@
+//! Command implementations.
+
+use crate::opts::{CliError, ParsedArgs};
+use oipa_baselines::{im_baseline, paper::collapsed_pool, tim_baseline};
+use oipa_core::{AuEstimator, BabConfig, BranchAndBound, OipaInstance};
+use oipa_datasets::Scale;
+use oipa_graph::{binio as graph_io, DiGraph};
+use oipa_sampler::{binio as pool_io, simulate, MrrPool};
+use oipa_topics::{binio as probs_io, Campaign, EdgeTopicProbs, LogisticAdoption};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// Runs one parsed command, returning its human-readable report.
+pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
+    match args.command.as_str() {
+        "generate" => cmd_generate(args),
+        "import" => cmd_import(args),
+        "stats" => cmd_stats(args),
+        "sample" => cmd_sample(args),
+        "solve" => cmd_solve(args),
+        "simulate" => cmd_simulate(args),
+        other => Err(CliError(format!("unknown command {other:?}"))),
+    }
+}
+
+fn load_graph(path: &str) -> Result<DiGraph, CliError> {
+    graph_io::read_graph_file(path).map_err(|e| CliError(format!("reading graph {path}: {e}")))
+}
+
+fn load_probs(path: &str, graph: &DiGraph) -> Result<EdgeTopicProbs, CliError> {
+    let table = probs_io::read_table_file(path)
+        .map_err(|e| CliError(format!("reading probabilities {path}: {e}")))?;
+    table
+        .check_against(graph)
+        .map_err(|e| CliError(format!("probability table mismatch: {e}")))?;
+    Ok(table)
+}
+
+fn load_json<T: serde::de::DeserializeOwned>(path: &str, what: &str) -> Result<T, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("reading {what} {path}: {e}")))?;
+    serde_json::from_str(&text).map_err(|e| CliError(format!("parsing {what} {path}: {e}")))
+}
+
+fn save_json<T: Serialize>(value: &T, path: &str, what: &str) -> Result<(), CliError> {
+    let text = serde_json::to_string_pretty(value)
+        .map_err(|e| CliError(format!("serializing {what}: {e}")))?;
+    std::fs::write(path, text).map_err(|e| CliError(format!("writing {what} {path}: {e}")))
+}
+
+fn cmd_generate(args: &ParsedArgs) -> Result<String, CliError> {
+    let name = args.required("dataset")?;
+    let scale_str = args.optional("scale").unwrap_or("tiny");
+    let scale =
+        Scale::parse(scale_str).ok_or_else(|| CliError(format!("bad --scale {scale_str:?}")))?;
+    let seed: u64 = args.parsed_or("seed", 42)?;
+    let dataset = match name {
+        "lastfm" => oipa_datasets::lastfm_like(scale, seed),
+        "dblp" => oipa_datasets::dblp_like(scale, seed),
+        "tweet" => oipa_datasets::tweet_like(scale, seed),
+        other => return Err(CliError(format!("unknown dataset {other:?}"))),
+    };
+    let out_graph = args.required("out-graph")?;
+    let out_probs = args.required("out-probs")?;
+    graph_io::write_graph_file(&dataset.graph, out_graph)
+        .map_err(|e| CliError(format!("writing graph: {e}")))?;
+    probs_io::write_table_file(&dataset.table, out_probs)
+        .map_err(|e| CliError(format!("writing probabilities: {e}")))?;
+    let s = dataset.stats();
+    Ok(format!(
+        "generated {name} ({scale_str}): {} nodes, {} edges, {} topics -> {out_graph}, {out_probs}",
+        s.nodes, s.edges, dataset.topics
+    ))
+}
+
+fn cmd_import(args: &ParsedArgs) -> Result<String, CliError> {
+    let edges_path = args.required("edges")?;
+    let graph = oipa_graph::io::read_edge_list_file(edges_path, oipa_graph::DedupPolicy::Simple)
+        .map_err(|e| CliError(format!("reading edge list {edges_path}: {e}")))?;
+    let out_graph = args.required("out-graph")?;
+    graph_io::write_graph_file(&graph, out_graph)
+        .map_err(|e| CliError(format!("writing graph: {e}")))?;
+    let mut report = format!(
+        "imported {} nodes, {} edges -> {out_graph}",
+        graph.node_count(),
+        graph.edge_count()
+    );
+    // Optional: synthesize a probability table for graphs without one.
+    if let Some(out_probs) = args.optional("out-probs") {
+        let topics: usize = args.parsed_or("topics", 10)?;
+        let avg_support: f64 = args.parsed_or("avg-support", 1.5)?;
+        let max_prob: f32 = args.parsed_or("max-prob", 1.0)?;
+        let seed: u64 = args.parsed_or("seed", 42)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let table = oipa_topics::synthesize_random(
+            &mut rng,
+            &graph,
+            oipa_topics::SynthesisParams {
+                topic_count: topics,
+                avg_support,
+                max_prob,
+                weighted_cascade: true,
+            },
+        );
+        probs_io::write_table_file(&table, out_probs)
+            .map_err(|e| CliError(format!("writing probabilities: {e}")))?;
+        write!(report, "; synthesized {topics}-topic table -> {out_probs}").expect("string write");
+    }
+    Ok(report)
+}
+
+fn cmd_stats(args: &ParsedArgs) -> Result<String, CliError> {
+    let graph = load_graph(args.required("graph")?)?;
+    let s = oipa_graph::stats::graph_stats(&graph);
+    let mut out = format!(
+        "nodes {}\nedges {}\navg_degree {:.2}\nmax_out_degree {}\nmax_in_degree {}\nisolated {}",
+        s.nodes, s.edges, s.avg_degree, s.max_out_degree, s.max_in_degree, s.isolated
+    );
+    if let Some(alpha) =
+        oipa_graph::stats::power_law_exponent_mle(graph.nodes().map(|v| graph.out_degree(v)), 3)
+    {
+        write!(out, "\nout_degree_power_law_alpha {alpha:.2}").expect("string write");
+    }
+    if let Some(probs_path) = args.optional("probs") {
+        let table = load_probs(probs_path, &graph)?;
+        write!(
+            out,
+            "\ntopics {}\navg_topic_support {:.2}\nmean_nonzero_prob {:.4}",
+            table.topic_count(),
+            table.avg_support(),
+            table.mean_nonzero_prob()
+        )
+        .expect("string write");
+    }
+    Ok(out)
+}
+
+fn cmd_sample(args: &ParsedArgs) -> Result<String, CliError> {
+    let graph = load_graph(args.required("graph")?)?;
+    let table = load_probs(args.required("probs")?, &graph)?;
+    let ell: usize = args.parsed_or("ell", 3)?;
+    let theta: usize = args.parsed_or("theta", 100_000)?;
+    let seed: u64 = args.parsed_or("seed", 42)?;
+    let threads: usize = args.parsed_or(
+        "threads",
+        std::thread::available_parallelism().map_or(4, |n| n.get()),
+    )?;
+    if ell == 0 {
+        return Err(CliError("--ell must be at least 1".into()));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let campaign = Campaign::sample_one_hot(&mut rng, table.topic_count(), ell);
+    let start = std::time::Instant::now();
+    let pool = MrrPool::generate_parallel(&graph, &table, &campaign, theta, seed, threads);
+    let sample_time = start.elapsed();
+    let out_pool = args.required("out-pool")?;
+    pool_io::write_pool_file(&pool, out_pool)
+        .map_err(|e| CliError(format!("writing pool: {e}")))?;
+    let out_campaign = args.required("out-campaign")?;
+    save_json(&campaign, out_campaign, "campaign")?;
+    Ok(format!(
+        "sampled θ={theta} MRR sets for ℓ={ell} pieces in {:.2}s ({} total RR entries) -> {out_pool}, {out_campaign}",
+        sample_time.as_secs_f64(),
+        pool.total_nodes()
+    ))
+}
+
+/// JSON report emitted by `solve`.
+#[derive(Debug, Serialize)]
+struct SolveReport {
+    method: String,
+    k: usize,
+    utility: f64,
+    upper_bound: Option<f64>,
+    plan: oipa_core::AssignmentPlan,
+    seconds: f64,
+}
+
+fn cmd_solve(args: &ParsedArgs) -> Result<String, CliError> {
+    let pool = pool_io::read_pool_file(args.required("pool")?)
+        .map_err(|e| CliError(format!("reading pool: {e}")))?;
+    let method = args.optional("method").unwrap_or("bab-p");
+    let k: usize = args.parsed_or("k", 10)?;
+    let ratio: f64 = args.parsed_or("ratio", 0.5)?;
+    let eps: f64 = args.parsed_or("eps", 0.5)?;
+    let fraction: f64 = args.parsed_or("promoter-fraction", 0.1)?;
+    let max_nodes: usize = args.parsed_or("max-nodes", 64)?;
+    let seed: u64 = args.parsed_or("seed", 42)?;
+    if !(0.0..=1.0).contains(&fraction) || fraction <= 0.0 {
+        return Err(CliError("--promoter-fraction must be in (0, 1]".into()));
+    }
+    let model = LogisticAdoption::from_ratio(ratio);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let promoters = OipaInstance::sample_promoters(&mut rng, pool.node_count(), fraction);
+    let start = std::time::Instant::now();
+    let (plan, utility, upper) = match method {
+        "bab" | "plain" | "bab-p" => {
+            let instance = OipaInstance::new(&pool, model, promoters, k);
+            let config = match method {
+                "bab" => BabConfig {
+                    max_nodes: Some(max_nodes),
+                    ..BabConfig::bab()
+                },
+                "plain" => BabConfig {
+                    max_nodes: Some(max_nodes),
+                    method: oipa_core::BoundMethod::PlainGreedy,
+                    ..BabConfig::bab()
+                },
+                _ => BabConfig {
+                    max_nodes: Some(max_nodes),
+                    ..BabConfig::bab_p(eps)
+                },
+            };
+            let sol = BranchAndBound::new(&instance, config).solve();
+            (sol.plan, sol.utility, Some(sol.upper_bound))
+        }
+        "greedy" => {
+            // The tractable-relaxation heuristic (§VII).
+            let (plan, utility) =
+                oipa_core::relaxed::envelope_heuristic(&pool, model, &promoters, k);
+            (plan, utility, None)
+        }
+        "tim" => {
+            let mut est = AuEstimator::new(&pool, model);
+            let r = tim_baseline(&pool, &mut est, &promoters, k);
+            (r.plan, r.utility, None)
+        }
+        "im" => {
+            // The topic-oblivious baseline needs the graph to build its
+            // collapsed-probability RR pool.
+            let graph = load_graph(args.required("graph")?)?;
+            let table = load_probs(args.required("probs")?, &graph)?;
+            let theta: usize = args.parsed_or("theta", pool.theta())?;
+            let (plan, utility) =
+                im_end_to_end(&graph, &table, &pool, model, &promoters, k, theta, seed);
+            (plan, utility, None)
+        }
+        other => return Err(CliError(format!("unknown method {other:?}"))),
+    };
+    let seconds = start.elapsed().as_secs_f64();
+    let report = SolveReport {
+        method: method.to_string(),
+        k,
+        utility,
+        upper_bound: upper,
+        plan,
+        seconds,
+    };
+    if let Some(out) = args.optional("out-plan") {
+        save_json(&report, out, "plan")?;
+    }
+    serde_json::to_string_pretty(&report).map_err(|e| CliError(format!("report: {e}")))
+}
+
+fn cmd_simulate(args: &ParsedArgs) -> Result<String, CliError> {
+    let graph = load_graph(args.required("graph")?)?;
+    let table = load_probs(args.required("probs")?, &graph)?;
+    let campaign: Campaign = load_json(args.required("campaign")?, "campaign")?;
+    // Accept either a bare plan or a solve report containing one.
+    let plan: oipa_core::AssignmentPlan = {
+        let path = args.required("plan")?;
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError(format!("reading plan {path}: {e}")))?;
+        if let Ok(report) = serde_json::from_str::<serde_json::Value>(&text) {
+            if let Some(inner) = report.get("plan") {
+                serde_json::from_value(inner.clone())
+                    .map_err(|e| CliError(format!("parsing plan: {e}")))?
+            } else {
+                serde_json::from_str(&text).map_err(|e| CliError(format!("parsing plan: {e}")))?
+            }
+        } else {
+            return Err(CliError("plan file is not JSON".into()));
+        }
+    };
+    if plan.ell() != campaign.len() {
+        return Err(CliError(format!(
+            "plan has {} pieces but campaign has {}",
+            plan.ell(),
+            campaign.len()
+        )));
+    }
+    let ratio: f64 = args.parsed_or("ratio", 0.5)?;
+    let runs: usize = args.parsed_or("runs", 500)?;
+    let seed: u64 = args.parsed_or("seed", 42)?;
+    let model = LogisticAdoption::from_ratio(ratio);
+    let utility = simulate::simulate_adoption(
+        &mut StdRng::seed_from_u64(seed),
+        &graph,
+        &table,
+        &campaign,
+        &plan.to_vecs(),
+        model,
+        runs,
+    );
+    Ok(format!(
+        "simulated adoption utility over {runs} runs: {utility:.3} users"
+    ))
+}
+
+/// Runs the IM baseline end to end (needs graph + pool).
+#[allow(clippy::too_many_arguments)]
+fn im_end_to_end(
+    graph: &DiGraph,
+    table: &EdgeTopicProbs,
+    pool: &MrrPool,
+    model: LogisticAdoption,
+    promoters: &[u32],
+    k: usize,
+    theta: usize,
+    seed: u64,
+) -> (oipa_core::AssignmentPlan, f64) {
+    let flat = collapsed_pool(graph, table, theta, seed);
+    let mut est = AuEstimator::new(pool, model);
+    let r = im_baseline(&flat, pool, &mut est, promoters, k);
+    (r.plan, r.utility)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_words(words: &[&str]) -> Result<String, CliError> {
+        let parsed = ParsedArgs::parse(words.iter().map(|s| s.to_string()).collect())
+            .expect("parseable");
+        run(&parsed)
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("oipa-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn full_pipeline_via_files() {
+        let g = tmp("pipe.graph");
+        let p = tmp("pipe.probs");
+        let pool = tmp("pipe.pool");
+        let campaign = tmp("pipe.campaign.json");
+        let plan = tmp("pipe.plan.json");
+
+        let report = run_words(&[
+            "generate", "--dataset", "lastfm", "--scale", "tiny", "--seed", "7", "--out-graph",
+            &g, "--out-probs", &p,
+        ])
+        .unwrap();
+        assert!(report.contains("generated lastfm"));
+
+        let report = run_words(&["stats", "--graph", &g, "--probs", &p]).unwrap();
+        assert!(report.contains("topics 20"));
+
+        let report = run_words(&[
+            "sample", "--graph", &g, "--probs", &p, "--ell", "2", "--theta", "8000", "--seed",
+            "7", "--threads", "2", "--out-pool", &pool, "--out-campaign", &campaign,
+        ])
+        .unwrap();
+        assert!(report.contains("θ=8000"));
+
+        let report = run_words(&[
+            "solve", "--pool", &pool, "--method", "bab-p", "--k", "4", "--ratio", "0.5",
+            "--max-nodes", "4", "--seed", "7", "--out-plan", &plan,
+        ])
+        .unwrap();
+        assert!(report.contains("\"utility\""));
+
+        let report = run_words(&[
+            "simulate", "--graph", &g, "--probs", &p, "--campaign", &campaign, "--plan", &plan,
+            "--ratio", "0.5", "--runs", "100", "--seed", "7",
+        ])
+        .unwrap();
+        assert!(report.contains("simulated adoption utility"));
+    }
+
+    #[test]
+    fn import_with_synthesized_probs() {
+        let edges = tmp("imp.edges");
+        std::fs::write(&edges, "0 1\n1 2\n2 0\n").unwrap();
+        let g = tmp("imp.graph");
+        let p = tmp("imp.probs");
+        let report = run_words(&[
+            "import", "--edges", &edges, "--out-graph", &g, "--out-probs", &p, "--topics", "4",
+            "--seed", "3",
+        ])
+        .unwrap();
+        assert!(report.contains("imported 3 nodes, 3 edges"));
+        let stats = run_words(&["stats", "--graph", &g, "--probs", &p]).unwrap();
+        assert!(stats.contains("topics 4"));
+    }
+
+    #[test]
+    fn solve_greedy_and_tim_methods() {
+        let g = tmp("m.graph");
+        let p = tmp("m.probs");
+        let pool = tmp("m.pool");
+        let campaign = tmp("m.campaign.json");
+        run_words(&[
+            "generate", "--dataset", "lastfm", "--scale", "tiny", "--seed", "8", "--out-graph",
+            &g, "--out-probs", &p,
+        ])
+        .unwrap();
+        run_words(&[
+            "sample", "--graph", &g, "--probs", &p, "--ell", "2", "--theta", "4000", "--seed",
+            "8", "--out-pool", &pool, "--out-campaign", &campaign,
+        ])
+        .unwrap();
+        for method in ["greedy", "tim", "bab", "plain"] {
+            let report = run_words(&[
+                "solve", "--pool", &pool, "--method", method, "--k", "3", "--max-nodes", "2",
+            ])
+            .unwrap();
+            assert!(report.contains("\"utility\""), "{method}: {report}");
+        }
+        // IM additionally needs the graph and table for its collapsed pool.
+        let report = run_words(&[
+            "solve", "--pool", &pool, "--method", "im", "--k", "3", "--graph", &g, "--probs",
+            &p, "--theta", "4000",
+        ])
+        .unwrap();
+        assert!(report.contains("\"utility\""), "im: {report}");
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(run_words(&["stats"]).unwrap_err().0.contains("--graph"));
+        assert!(run_words(&["solve", "--pool", "/nonexistent.pool"])
+            .unwrap_err()
+            .0
+            .contains("reading pool"));
+        let p = ParsedArgs::parse(vec!["solve".into(), "--method".into(), "magic".into()]);
+        assert!(p.is_ok()); // parse ok, run fails
+    }
+
+    #[test]
+    fn plan_campaign_mismatch_detected() {
+        let g = tmp("mm.graph");
+        let p = tmp("mm.probs");
+        run_words(&[
+            "generate", "--dataset", "lastfm", "--scale", "tiny", "--seed", "9", "--out-graph",
+            &g, "--out-probs", &p,
+        ])
+        .unwrap();
+        let campaign = tmp("mm.campaign.json");
+        let plan = tmp("mm.plan.json");
+        // 3-piece campaign, 2-piece plan.
+        let mut rng = StdRng::seed_from_u64(1);
+        save_json(
+            &Campaign::sample_one_hot(&mut rng, 20, 3),
+            &campaign,
+            "campaign",
+        )
+        .unwrap();
+        save_json(
+            &oipa_core::AssignmentPlan::empty(2),
+            &plan,
+            "plan",
+        )
+        .unwrap();
+        let err = run_words(&[
+            "simulate", "--graph", &g, "--probs", &p, "--campaign", &campaign, "--plan", &plan,
+        ])
+        .unwrap_err();
+        assert!(err.0.contains("pieces"));
+    }
+}

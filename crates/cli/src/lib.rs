@@ -1,0 +1,50 @@
+//! # oipa-cli
+//!
+//! A command-line driver for the full OIPA pipeline, file-based so each
+//! stage can be cached and re-run independently:
+//!
+//! ```text
+//! oipa-cli generate --dataset lastfm --out-graph g.bin --out-probs p.bin
+//! oipa-cli import   --edges graph.txt --out-graph g.bin               # SNAP-style text
+//! oipa-cli stats    --graph g.bin [--probs p.bin]
+//! oipa-cli sample   --graph g.bin --probs p.bin --ell 3 --theta 100000 \
+//!                   --out-pool pool.bin --out-campaign campaign.json
+//! oipa-cli solve    --pool pool.bin --method bab-p --k 20 --ratio 0.5 \
+//!                   --out-plan plan.json
+//! oipa-cli simulate --graph g.bin --probs p.bin --campaign campaign.json \
+//!                   --plan plan.json --ratio 0.5 --runs 500
+//! ```
+//!
+//! All commands are pure functions over files plus a seed, so a pipeline
+//! is reproducible end to end. The library half (`run`) is unit-testable;
+//! `main.rs` is a thin shim.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod commands;
+mod opts;
+
+pub use commands::run;
+pub use opts::{CliError, ParsedArgs};
+
+/// Entry point used by the binary: parses, runs, prints, exits non-zero on
+/// error.
+pub fn main_with_args(args: Vec<String>) -> i32 {
+    match opts::ParsedArgs::parse(args) {
+        Ok(parsed) => match commands::run(&parsed) {
+            Ok(report) => {
+                println!("{report}");
+                0
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                1
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n{}", opts::USAGE);
+            2
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Thin binary shim; all logic lives in the library for testability.
+
+fn main() {
+    let code = oipa_cli::main_with_args(std::env::args().skip(1).collect());
+    std::process::exit(code);
+}

@@ -1,0 +1,150 @@
+//! Flag parsing for the CLI (no external argument-parsing crate).
+
+use std::collections::BTreeMap;
+
+/// Usage text shown on parse errors.
+pub const USAGE: &str = "\
+usage: oipa-cli <command> [flags]
+
+commands:
+  generate  --dataset lastfm|dblp|tweet [--scale tiny|small|medium|full]
+            [--seed N] --out-graph FILE --out-probs FILE
+  import    --edges FILE --out-graph FILE [--topics N] [--avg-support F]
+            [--max-prob F] [--seed N] [--out-probs FILE]
+  stats     --graph FILE [--probs FILE]
+  sample    --graph FILE --probs FILE --ell N [--theta N] [--seed N]
+            [--threads N] --out-pool FILE --out-campaign FILE
+  solve     --pool FILE [--method bab|bab-p|plain|greedy|im|tim]
+            [--k N] [--ratio F] [--eps F] [--promoter-fraction F]
+            [--max-nodes N] [--seed N] [--out-plan FILE]
+  simulate  --graph FILE --probs FILE --campaign FILE --plan FILE
+            [--ratio F] [--runs N] [--seed N]";
+
+/// A parse/validation error.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<String> for CliError {
+    fn from(s: String) -> Self {
+        CliError(s)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(s: &str) -> Self {
+        CliError(s.to_string())
+    }
+}
+
+/// Parsed command plus `--flag value` map.
+#[derive(Debug, Clone)]
+pub struct ParsedArgs {
+    /// The subcommand.
+    pub command: String,
+    flags: BTreeMap<String, String>,
+}
+
+impl ParsedArgs {
+    /// Parses raw arguments (without `argv(0)`).
+    pub fn parse(args: Vec<String>) -> Result<ParsedArgs, CliError> {
+        let mut it = args.into_iter();
+        let command = it
+            .next()
+            .ok_or_else(|| CliError("missing command".to_string()))?;
+        if !matches!(
+            command.as_str(),
+            "generate" | "import" | "stats" | "sample" | "solve" | "simulate"
+        ) {
+            return Err(CliError(format!("unknown command {command:?}")));
+        }
+        let mut flags = BTreeMap::new();
+        while let Some(flag) = it.next() {
+            let Some(name) = flag.strip_prefix("--") else {
+                return Err(CliError(format!("expected --flag, got {flag:?}")));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| CliError(format!("--{name} needs a value")))?;
+            flags.insert(name.to_string(), value);
+        }
+        Ok(ParsedArgs { command, flags })
+    }
+
+    /// A required string flag.
+    pub fn required(&self, name: &str) -> Result<&str, CliError> {
+        self.flags
+            .get(name)
+            .map(|s| s.as_str())
+            .ok_or_else(|| CliError(format!("missing required --{name}")))
+    }
+
+    /// An optional string flag.
+    pub fn optional(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(|s| s.as_str())
+    }
+
+    /// An optional parsed flag with a default.
+    pub fn parsed_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| CliError(format!("bad value for --{name}: {raw:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let p = ParsedArgs::parse(args(&["solve", "--pool", "x.bin", "--k", "7"])).unwrap();
+        assert_eq!(p.command, "solve");
+        assert_eq!(p.required("pool").unwrap(), "x.bin");
+        assert_eq!(p.parsed_or("k", 1usize).unwrap(), 7);
+        assert_eq!(p.parsed_or("ratio", 0.5f64).unwrap(), 0.5);
+        assert!(p.optional("eps").is_none());
+    }
+
+    #[test]
+    fn rejects_unknown_command() {
+        assert!(ParsedArgs::parse(args(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        assert!(ParsedArgs::parse(args(&["stats", "--graph"])).is_err());
+    }
+
+    #[test]
+    fn rejects_positional_garbage() {
+        assert!(ParsedArgs::parse(args(&["stats", "graph.bin"])).is_err());
+    }
+
+    #[test]
+    fn required_reports_flag_name() {
+        let p = ParsedArgs::parse(args(&["stats"])).unwrap();
+        let e = p.required("graph").unwrap_err();
+        assert!(e.0.contains("--graph"));
+    }
+
+    #[test]
+    fn bad_number_reported() {
+        let p = ParsedArgs::parse(args(&["solve", "--k", "banana"])).unwrap();
+        assert!(p.parsed_or("k", 1usize).is_err());
+    }
+}

@@ -1,0 +1,440 @@
+//! Branch-and-bound driver — Algorithm 1.
+//!
+//! A max-heap orders open search nodes by the τ upper bound of their
+//! subtree. Each node is a pair (partial plan `S̄ᵃ`, exclusion set):
+//! popping the top node fixes the global upper bound `U`; branching picks
+//! the highest-gain available candidate `v*` (the first greedy selection
+//! of the node's own bound computation — the "most influential first"
+//! order §V motivates from the power law) and opens two children, one
+//! including `v*` and one excluding it. Every bound computation also emits
+//! a complete candidate plan whose exact MRR estimate raises the incumbent
+//! `L`. Nodes with `U ≤ L` are pruned; the search stops when
+//! `U − L ≤ gap · L` (the paper's experiments use 1%), when the heap
+//! drains, or when the node cap is hit.
+
+use crate::greedy::{compute_bound_celf, compute_bound_plain, pack, BoundResult};
+use crate::plan::AssignmentPlan;
+use crate::progressive::compute_bound_progressive;
+use crate::tangent::TangentTable;
+use crate::tau::TauState;
+use crate::{OipaInstance, Solution};
+use oipa_graph::hashing::FxHashSet;
+use oipa_graph::NodeId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Which `ComputeBound` implementation the driver calls.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BoundMethod {
+    /// Algorithm 2 with CELF lazy greedy (default; same output as plain).
+    Greedy,
+    /// Algorithm 2 verbatim (full rescan each iteration) — ablation only.
+    PlainGreedy,
+    /// Algorithm 3, the progressive estimation with parameter ε (BAB-P).
+    Progressive {
+        /// Threshold decay ε (the paper fixes 0.5 after tuning).
+        eps: f64,
+    },
+}
+
+/// Driver configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BabConfig {
+    /// Bound routine.
+    pub method: BoundMethod,
+    /// Relative termination gap: stop when `U − L ≤ gap · L`. The paper's
+    /// experiments use 0.01; `0.0` demands the exact `L ≥ U` fixpoint.
+    pub gap: f64,
+    /// Hard cap on expanded nodes (safety on large instances).
+    pub max_nodes: Option<usize>,
+    /// Whether to refine tangent anchors as partial plans grow (Fig. 2).
+    /// `false` is the ablation mode: anchor-0 majorants throughout.
+    pub refine_anchors: bool,
+}
+
+impl Default for BabConfig {
+    fn default() -> Self {
+        BabConfig {
+            method: BoundMethod::Greedy,
+            gap: 0.01,
+            max_nodes: None,
+            refine_anchors: true,
+        }
+    }
+}
+
+impl BabConfig {
+    /// The paper's `BAB` configuration (greedy bound, 1% gap).
+    pub fn bab() -> Self {
+        Self::default()
+    }
+
+    /// The paper's `BAB-P` configuration (progressive bound, 1% gap).
+    pub fn bab_p(eps: f64) -> Self {
+        BabConfig {
+            method: BoundMethod::Progressive { eps },
+            ..Self::default()
+        }
+    }
+}
+
+/// Search statistics.
+#[derive(Debug, Clone, Default)]
+pub struct BabStats {
+    /// Heap nodes expanded (branchings performed).
+    pub nodes_expanded: usize,
+    /// Bound computations (2 per branching + 1 root).
+    pub bounds_computed: usize,
+    /// Nodes discarded because their bound fell under the incumbent.
+    pub nodes_pruned: usize,
+    /// τ marginal-gain evaluations (the paper's §V-C cost metric).
+    pub tau_evaluations: u64,
+    /// Wall-clock time of `solve`.
+    pub elapsed: std::time::Duration,
+}
+
+/// Persistent exclusion list: children share their parent's tail, so heap
+/// entries cost O(1) to branch instead of O(depth) copies.
+#[derive(Debug, Clone, Default)]
+struct ExclusionList(Option<Arc<ExclusionNode>>);
+
+#[derive(Debug)]
+struct ExclusionNode {
+    packed: u64,
+    rest: Option<Arc<ExclusionNode>>,
+}
+
+impl ExclusionList {
+    fn push(&self, j: usize, v: NodeId) -> ExclusionList {
+        ExclusionList(Some(Arc::new(ExclusionNode {
+            packed: pack(j, v),
+            rest: self.0.clone(),
+        })))
+    }
+
+    fn materialize(&self) -> FxHashSet<u64> {
+        let mut set: FxHashSet<u64> = Default::default();
+        let mut cur = &self.0;
+        while let Some(node) = cur {
+            set.insert(node.packed);
+            cur = &node.rest;
+        }
+        set
+    }
+}
+
+/// One open search node.
+struct OpenNode {
+    upper: f64,
+    plan: AssignmentPlan,
+    excluded: ExclusionList,
+    branch: Option<(usize, NodeId)>,
+}
+
+impl PartialEq for OpenNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.upper == other.upper
+    }
+}
+impl Eq for OpenNode {}
+impl PartialOrd for OpenNode {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OpenNode {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.upper
+            .partial_cmp(&other.upper)
+            .expect("bounds are finite")
+            // Tie-break: deeper plans first (cheaper to close).
+            .then_with(|| self.plan.size().cmp(&other.plan.size()))
+    }
+}
+
+/// The branch-and-bound solver. Holds the reusable τ workspace; one
+/// instance can solve repeatedly (e.g. across a parameter sweep) without
+/// reallocating θ-sized buffers.
+///
+/// ```
+/// use oipa_core::{BabConfig, BranchAndBound, OipaInstance};
+/// use oipa_sampler::MrrPool;
+/// use oipa_topics::LogisticAdoption;
+///
+/// let (graph, table, campaign) = oipa_sampler::testkit::fig1();
+/// let pool = MrrPool::generate(&graph, &table, &campaign, 20_000, 42);
+/// let instance = OipaInstance::new(&pool, LogisticAdoption::example(), (0..5).collect(), 2);
+/// let solution = BranchAndBound::new(&instance, BabConfig::bab()).solve();
+/// assert_eq!(solution.plan.set(0), &[0]); // tax piece -> user a
+/// assert_eq!(solution.plan.set(1), &[4]); // healthcare piece -> user e
+/// ```
+pub struct BranchAndBound<'a> {
+    instance: &'a OipaInstance<'a>,
+    config: BabConfig,
+    table: TangentTable,
+}
+
+impl<'a> BranchAndBound<'a> {
+    /// Creates a solver for an instance.
+    pub fn new(instance: &'a OipaInstance<'a>, config: BabConfig) -> Self {
+        if let BoundMethod::Progressive { eps } = config.method {
+            assert!(eps > 0.0, "ε must be positive");
+        }
+        assert!(config.gap >= 0.0, "gap must be nonnegative");
+        let table = if config.refine_anchors {
+            TangentTable::new(instance.model, instance.ell())
+        } else {
+            TangentTable::unrefined(instance.model, instance.ell())
+        };
+        BranchAndBound {
+            instance,
+            config,
+            table,
+        }
+    }
+
+    fn bound(
+        &self,
+        state: &mut TauState<'a>,
+        partial: &AssignmentPlan,
+        excluded: &FxHashSet<u64>,
+    ) -> BoundResult {
+        let promoters = &self.instance.promoters;
+        let k = self.instance.budget;
+        state.reset_to(partial);
+        match self.config.method {
+            BoundMethod::Greedy => compute_bound_celf(state, partial, promoters, excluded, k),
+            BoundMethod::PlainGreedy => {
+                compute_bound_plain(state, partial, promoters, excluded, k)
+            }
+            BoundMethod::Progressive { eps } => {
+                compute_bound_progressive(state, partial, promoters, excluded, k, eps)
+            }
+        }
+    }
+
+    /// Runs Algorithm 1 to completion and returns the best plan found,
+    /// with utilities in user units.
+    pub fn solve(&mut self) -> Solution {
+        let start = Instant::now();
+        let inst = self.instance;
+        let scale = inst.pool.scale();
+        let mut state = TauState::new(inst.pool, &self.table, inst.model);
+        let mut stats = BabStats::default();
+
+        // Root bound (Lines 2–5).
+        let empty = AssignmentPlan::empty(inst.ell());
+        let root = self.bound(&mut state, &empty, &Default::default());
+        stats.bounds_computed += 1;
+        let mut best_plan = root.plan.clone();
+        let mut lower = root.sigma;
+        let mut global_upper = root.tau;
+        let mut heap = BinaryHeap::new();
+        heap.push(OpenNode {
+            upper: root.tau,
+            plan: empty,
+            excluded: ExclusionList::default(),
+            branch: root.first_pick,
+        });
+
+        // Search loop (Lines 6–18).
+        while let Some(node) = heap.pop() {
+            global_upper = node.upper;
+            // Termination: exact fixpoint or within the configured gap.
+            if global_upper <= lower + self.config.gap * lower.max(f64::MIN_POSITIVE) {
+                global_upper = global_upper.max(lower);
+                break;
+            }
+            if node.upper <= lower {
+                stats.nodes_pruned += 1;
+                continue;
+            }
+            let Some((j_star, v_star)) = node.branch else {
+                // Leaf: pool exhausted under this node.
+                continue;
+            };
+            if node.plan.size() >= inst.budget {
+                continue;
+            }
+            if let Some(cap) = self.config.max_nodes {
+                if stats.nodes_expanded >= cap {
+                    break;
+                }
+            }
+            stats.nodes_expanded += 1;
+
+            // Include branch: S̄ᵃ = S̄ ∪_{j*} {v*} (Line 11).
+            let mut include_plan = node.plan.clone();
+            include_plan.insert(j_star, v_star);
+            let include_excl = node.excluded.materialize();
+            let inc = self.bound(&mut state, &include_plan, &include_excl);
+            stats.bounds_computed += 1;
+            if inc.sigma > lower {
+                lower = inc.sigma;
+                best_plan = inc.plan.clone();
+            }
+            if inc.tau > lower {
+                heap.push(OpenNode {
+                    upper: inc.tau,
+                    plan: include_plan,
+                    excluded: node.excluded.clone(),
+                    branch: inc.first_pick,
+                });
+            } else {
+                stats.nodes_pruned += 1;
+            }
+
+            // Exclude branch: S̄ᵇ = S̄ with (j*, v*) removed from the pool
+            // (Lines 10, 12, 18).
+            let exclude_list = node.excluded.push(j_star, v_star);
+            let mut exclude_excl = include_excl;
+            exclude_excl.insert(pack(j_star, v_star));
+            let exc = self.bound(&mut state, &node.plan, &exclude_excl);
+            stats.bounds_computed += 1;
+            if exc.sigma > lower {
+                lower = exc.sigma;
+                best_plan = exc.plan.clone();
+            }
+            if exc.tau > lower {
+                heap.push(OpenNode {
+                    upper: exc.tau,
+                    plan: node.plan,
+                    excluded: exclude_list,
+                    branch: exc.first_pick,
+                });
+            } else {
+                stats.nodes_pruned += 1;
+            }
+        }
+        if heap.is_empty() {
+            // Search exhausted: the incumbent is optimal w.r.t. the pruning
+            // bound, so the certified upper bound collapses onto it.
+            global_upper = lower;
+        }
+
+        stats.tau_evaluations = state.evaluations;
+        stats.elapsed = start.elapsed();
+        Solution {
+            plan: best_plan,
+            utility: lower * scale,
+            upper_bound: global_upper.max(lower) * scale,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oipa_sampler::testkit::fig1;
+    use oipa_sampler::MrrPool;
+    use oipa_topics::LogisticAdoption;
+
+    fn fig1_instance(theta: usize) -> (MrrPool, LogisticAdoption) {
+        let (g, table, campaign) = fig1();
+        let pool = MrrPool::generate(&g, &table, &campaign, theta, 61);
+        (pool, LogisticAdoption::example())
+    }
+
+    #[test]
+    fn solves_fig1_exactly() {
+        let (pool, model) = fig1_instance(80_000);
+        let instance = OipaInstance::new(&pool, model, vec![0, 1, 2, 3, 4], 2);
+        let mut solver = BranchAndBound::new(&instance, BabConfig { gap: 0.0, ..BabConfig::bab() });
+        let sol = solver.solve();
+        assert_eq!(sol.plan.set(0), &[0], "t1 -> a");
+        assert_eq!(sol.plan.set(1), &[4], "t2 -> e");
+        assert!((sol.utility - 1.045).abs() < 0.05, "σ = {}", sol.utility);
+        assert!(sol.upper_bound + 1e-9 >= sol.utility);
+    }
+
+    #[test]
+    fn bab_p_matches_bab_on_fig1() {
+        let (pool, model) = fig1_instance(60_000);
+        let instance = OipaInstance::new(&pool, model, vec![0, 1, 2, 3, 4], 2);
+        let bab = BranchAndBound::new(&instance, BabConfig::bab()).solve();
+        let bab_p = BranchAndBound::new(&instance, BabConfig::bab_p(0.5)).solve();
+        assert_eq!(bab.plan, bab_p.plan, "BAB-P diverged on a trivial instance");
+        assert!((bab.utility - bab_p.utility).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_budget() {
+        let (pool, model) = fig1_instance(20_000);
+        let instance = OipaInstance::new(&pool, model, vec![0, 1, 2, 3, 4], 3);
+        let sol = BranchAndBound::new(&instance, BabConfig::bab()).solve();
+        assert!(sol.plan.size() <= 3);
+    }
+
+    #[test]
+    fn budget_larger_than_pool_terminates() {
+        let (pool, model) = fig1_instance(10_000);
+        // 2 pieces × 5 promoters = 10 possible assignments; ask for 10.
+        let instance = OipaInstance::new(&pool, model, vec![0, 1, 2, 3, 4], 10);
+        let sol = BranchAndBound::new(&instance, BabConfig::bab()).solve();
+        assert!(sol.plan.size() <= 10);
+        assert!(sol.utility > 0.0);
+    }
+
+    #[test]
+    fn node_cap_respected() {
+        let (pool, model) = fig1_instance(10_000);
+        let instance = OipaInstance::new(&pool, model, vec![0, 1, 2, 3, 4], 4);
+        let mut solver = BranchAndBound::new(
+            &instance,
+            BabConfig {
+                max_nodes: Some(3),
+                gap: 0.0,
+                ..BabConfig::bab()
+            },
+        );
+        let sol = solver.solve();
+        assert!(sol.stats.nodes_expanded <= 3);
+        assert!(sol.utility > 0.0, "incumbent must still exist");
+    }
+
+    #[test]
+    fn monotone_in_budget() {
+        let (pool, model) = fig1_instance(40_000);
+        let mut prev = 0.0;
+        for k in 1..=4usize {
+            let instance = OipaInstance::new(&pool, model, vec![0, 1, 2, 3, 4], k);
+            let sol = BranchAndBound::new(&instance, BabConfig::bab()).solve();
+            assert!(
+                sol.utility + 1e-6 >= prev,
+                "utility dropped from {prev} to {} at k={k}",
+                sol.utility
+            );
+            prev = sol.utility;
+        }
+    }
+
+    #[test]
+    fn stats_populated() {
+        let (pool, model) = fig1_instance(10_000);
+        let instance = OipaInstance::new(&pool, model, vec![0, 1, 2, 3, 4], 2);
+        let sol = BranchAndBound::new(&instance, BabConfig::bab()).solve();
+        assert!(sol.stats.bounds_computed >= 1);
+        assert!(sol.stats.tau_evaluations > 0);
+    }
+
+    #[test]
+    fn single_piece_campaign_reduces_to_im() {
+        // ℓ = 1: OIPA degenerates to (a logistic-weighted) IM; the solver
+        // must pick the highest-spread promoter.
+        let (g, table, _) = fig1();
+        let campaign = oipa_topics::Campaign::new(vec![oipa_topics::Piece::new(
+            "only",
+            oipa_topics::TopicVector::one_hot(2, 0).unwrap(),
+        )])
+        .unwrap();
+        let pool = MrrPool::generate(&g, &table, &campaign, 40_000, 71);
+        let instance =
+            OipaInstance::new(&pool, LogisticAdoption::example(), vec![0, 1, 2, 3, 4], 1);
+        let sol = BranchAndBound::new(&instance, BabConfig::bab()).solve();
+        // Under t1 the best single promoter is a (covers a, b, c, d).
+        assert_eq!(sol.plan.set(0), &[0]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Exact enumeration for tiny instances — the validation oracle.
+//!
+//! OIPA is NP-hard (§IV), so no polynomial exact solver exists; but on
+//! instances with a handful of candidates, enumerating all plans of size
+//! ≤ k against the MRR estimator gives the true optimum of the *estimated*
+//! objective. Tests use it to certify the branch-and-bound's (1 − 1/e)
+//! guarantee (Theorem 2) empirically.
+
+use crate::estimator::AuEstimator;
+use crate::plan::AssignmentPlan;
+use oipa_graph::NodeId;
+
+/// Exhaustively maximizes the MRR-estimated AU over all assignment plans
+/// choosing at most `k` of the `ell × promoters` candidate assignments.
+///
+/// Complexity `C(ℓ·|V^p|, k)` — intended for ℓ·|V^p| ≲ 20.
+pub fn brute_force_best(
+    estimator: &mut AuEstimator<'_>,
+    promoters: &[NodeId],
+    ell: usize,
+    k: usize,
+) -> (AssignmentPlan, f64) {
+    let candidates: Vec<(usize, NodeId)> = (0..ell)
+        .flat_map(|j| promoters.iter().map(move |&v| (j, v)))
+        .collect();
+    assert!(
+        candidates.len() <= 26,
+        "brute force limited to 26 candidates, got {}",
+        candidates.len()
+    );
+    let mut best_plan = AssignmentPlan::empty(ell);
+    let mut best_sigma = 0.0f64;
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    // Depth-first enumeration of all subsets of size ≤ k.
+    #[allow(clippy::too_many_arguments)]
+    fn recurse(
+        estimator: &mut AuEstimator<'_>,
+        candidates: &[(usize, NodeId)],
+        ell: usize,
+        k: usize,
+        start: usize,
+        chosen: &mut Vec<usize>,
+        best_plan: &mut AssignmentPlan,
+        best_sigma: &mut f64,
+    ) {
+        if !chosen.is_empty() {
+            let mut plan = AssignmentPlan::empty(ell);
+            for &idx in chosen.iter() {
+                let (j, v) = candidates[idx];
+                plan.insert(j, v);
+            }
+            let sigma = estimator.evaluate(&plan);
+            if sigma > *best_sigma {
+                *best_sigma = sigma;
+                *best_plan = plan;
+            }
+        }
+        if chosen.len() == k {
+            return;
+        }
+        for idx in start..candidates.len() {
+            chosen.push(idx);
+            recurse(
+                estimator, candidates, ell, k, idx + 1, chosen, best_plan, best_sigma,
+            );
+            chosen.pop();
+        }
+    }
+    recurse(
+        estimator,
+        &candidates,
+        ell,
+        k,
+        0,
+        &mut chosen,
+        &mut best_plan,
+        &mut best_sigma,
+    );
+    (best_plan, best_sigma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bab::{BabConfig, BranchAndBound};
+    use crate::OipaInstance;
+    use oipa_sampler::testkit::fig1;
+    use oipa_sampler::MrrPool;
+    use oipa_topics::LogisticAdoption;
+
+    #[test]
+    fn brute_force_confirms_fig1_optimum() {
+        let (g, table, campaign) = fig1();
+        let pool = MrrPool::generate(&g, &table, &campaign, 60_000, 83);
+        let model = LogisticAdoption::example();
+        let mut est = AuEstimator::new(&pool, model);
+        let (plan, sigma) = brute_force_best(&mut est, &[0, 1, 2, 3, 4], 2, 2);
+        assert_eq!(plan.set(0), &[0]);
+        assert_eq!(plan.set(1), &[4]);
+        assert!((sigma - 1.045).abs() < 0.05);
+    }
+
+    /// Theorem 2's (1 − 1/e) guarantee, certified against enumeration on
+    /// the running example and a small random instance.
+    #[test]
+    fn bab_within_guarantee_of_enumeration() {
+        let (g, table, campaign) = fig1();
+        let pool = MrrPool::generate(&g, &table, &campaign, 40_000, 89);
+        let model = LogisticAdoption::example();
+        for k in 1..=3 {
+            let mut est = AuEstimator::new(&pool, model);
+            let (_, opt) = brute_force_best(&mut est, &[0, 1, 2, 3, 4], 2, k);
+            let instance = OipaInstance::new(&pool, model, vec![0, 1, 2, 3, 4], k);
+            let sol = BranchAndBound::new(&instance, BabConfig { gap: 0.0, ..BabConfig::bab() })
+                .solve();
+            let ratio = 1.0 - std::f64::consts::E.recip();
+            assert!(
+                sol.utility + 1e-6 >= ratio * opt,
+                "k={k}: BAB {} below (1−1/e)·OPT {}",
+                sol.utility,
+                ratio * opt
+            );
+        }
+    }
+
+    #[test]
+    fn bab_within_guarantee_on_random_instance() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(7);
+        let (g, table, campaign) =
+            oipa_sampler::testkit::small_random_instance(&mut rng, 24, 110, 3, 2);
+        let model = LogisticAdoption::new(2.0, 1.0);
+        let pool = MrrPool::generate(&g, &table, &campaign, 30_000, 7);
+        let promoters: Vec<u32> = (0..8).collect();
+        let mut est = AuEstimator::new(&pool, model);
+        let (_, opt) = brute_force_best(&mut est, &promoters, 2, 3);
+        let instance = OipaInstance::new(&pool, model, promoters.clone(), 3);
+        for config in [BabConfig::bab(), BabConfig::bab_p(0.5)] {
+            let sol = BranchAndBound::new(&instance, BabConfig { gap: 0.0, ..config }).solve();
+            let ratio = match config.method {
+                crate::BoundMethod::Progressive { eps } => {
+                    1.0 - std::f64::consts::E.recip() - eps
+                }
+                _ => 1.0 - std::f64::consts::E.recip(),
+            };
+            assert!(
+                sol.utility + 1e-6 >= ratio * opt,
+                "{:?}: {} below {}",
+                config.method,
+                sol.utility,
+                ratio * opt
+            );
+        }
+    }
+
+    #[test]
+    fn empty_budget_corner() {
+        let (g, table, campaign) = fig1();
+        let pool = MrrPool::generate(&g, &table, &campaign, 5_000, 97);
+        let mut est = AuEstimator::new(&pool, LogisticAdoption::example());
+        let (plan, sigma) = brute_force_best(&mut est, &[0], 2, 1);
+        assert_eq!(plan.size(), 1);
+        assert!(sigma > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "brute force limited")]
+    fn rejects_oversized_instances() {
+        let (g, table, campaign) = fig1();
+        let pool = MrrPool::generate(&g, &table, &campaign, 100, 1);
+        let mut est = AuEstimator::new(&pool, LogisticAdoption::example());
+        let promoters: Vec<u32> = (0..50).map(|v| v % 5).collect();
+        let _ = brute_force_best(&mut est, &promoters, 2, 2);
+    }
+}

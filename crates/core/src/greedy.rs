@@ -1,0 +1,343 @@
+//! `ComputeBound` — Algorithm 2: greedy maximization of the submodular
+//! upper bound τ to estimate the potential of a partial plan.
+//!
+//! Two implementations share one interface:
+//!
+//! * [`compute_bound_plain`] — the paper's pseudocode verbatim: every
+//!   iteration rescans all available promoters (O(k·n) τ evaluations, the
+//!   cost §V-C complains about);
+//! * [`compute_bound_celf`] — the same greedy with CELF lazy evaluation
+//!   (valid because τ is submodular): stale gains sit in a max-heap and
+//!   are only recomputed when popped. Identical output, far fewer
+//!   evaluations. This is the default inside branch-and-bound; the
+//!   `ablation_lazy` bench quantifies the difference.
+
+use crate::plan::AssignmentPlan;
+use crate::tau::TauState;
+use oipa_graph::hashing::FxHashSet;
+use oipa_graph::NodeId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Output of a bound computation (Algorithm 2 line 7 / Algorithm 3 line 16).
+#[derive(Debug, Clone)]
+pub struct BoundResult {
+    /// The completed candidate plan `S̄ ∪ S̄ᵃ`.
+    pub plan: AssignmentPlan,
+    /// Exact MRR estimate σ̂ of the candidate plan (sample units).
+    pub sigma: f64,
+    /// The upper bound τ(S̄|S̄ᵃ) (sample units).
+    pub tau: f64,
+    /// The first greedy selection — used by the branch-and-bound driver as
+    /// its branching variable `v*` (the highest-gain available candidate,
+    /// matching the power-law prioritization of §V).
+    pub first_pick: Option<(usize, NodeId)>,
+}
+
+/// A candidate assignment `(piece, node)` packed for exclusion sets.
+#[inline]
+pub(crate) fn pack(j: usize, v: NodeId) -> u64 {
+    ((j as u64) << 32) | v as u64
+}
+
+/// Candidate availability: not excluded, not already in the plan.
+#[inline]
+fn available(
+    plan: &AssignmentPlan,
+    excluded: &FxHashSet<u64>,
+    j: usize,
+    v: NodeId,
+) -> bool {
+    !excluded.contains(&pack(j, v)) && !plan.contains(j, v)
+}
+
+/// Heap entry ordered by gain, with deterministic tie-breaking on
+/// (piece, node) ascending.
+struct Entry {
+    gain: f64,
+    j: u32,
+    v: NodeId,
+    round: u32,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.gain
+            .partial_cmp(&other.gain)
+            .expect("gains are finite")
+            .then_with(|| other.j.cmp(&self.j))
+            .then_with(|| other.v.cmp(&self.v))
+    }
+}
+
+/// Algorithm 2 with CELF lazy evaluation.
+///
+/// `state` must already be anchored on `partial` (via
+/// [`TauState::reset_to`]). Selects up to `k − |partial|` assignments from
+/// `promoters × pieces` excluding `excluded`, maximizing τ.
+pub fn compute_bound_celf(
+    state: &mut TauState<'_>,
+    partial: &AssignmentPlan,
+    promoters: &[NodeId],
+    excluded: &FxHashSet<u64>,
+    k: usize,
+) -> BoundResult {
+    let ell = state.ell();
+    let remaining = k.saturating_sub(partial.size());
+    let mut plan = partial.clone();
+    let mut first_pick = None;
+    if remaining == 0 {
+        return BoundResult {
+            plan,
+            sigma: state.sigma_total(),
+            tau: state.tau_total(),
+            first_pick,
+        };
+    }
+    // Seed the heap with singleton gains.
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(ell * promoters.len());
+    for j in 0..ell {
+        for &v in promoters {
+            if available(&plan, excluded, j, v) {
+                let gain = state.gain(j, v);
+                if gain > 0.0 {
+                    heap.push(Entry {
+                        gain,
+                        j: j as u32,
+                        v,
+                        round: 0,
+                    });
+                }
+            }
+        }
+    }
+    let mut round = 0u32;
+    let mut selected = 0usize;
+    while selected < remaining {
+        let Some(top) = heap.pop() else { break };
+        if top.round == round {
+            // Fresh gain: commit.
+            let (j, v) = (top.j as usize, top.v);
+            state.add(j, v);
+            plan.insert(j, v);
+            if first_pick.is_none() {
+                first_pick = Some((j, v));
+            }
+            selected += 1;
+            round += 1;
+        } else {
+            // Stale: recompute and reinsert (submodularity ⇒ gain only
+            // shrinks, so a fresh top-of-heap value is the true argmax).
+            let gain = state.gain(top.j as usize, top.v);
+            if gain > 0.0 {
+                heap.push(Entry {
+                    gain,
+                    j: top.j,
+                    v: top.v,
+                    round,
+                });
+            }
+        }
+    }
+    BoundResult {
+        plan,
+        sigma: state.sigma_total(),
+        tau: state.tau_total(),
+        first_pick,
+    }
+}
+
+/// Algorithm 2 exactly as printed: full rescan of all available promoters
+/// in every iteration. Kept for the ablation bench and as a correctness
+/// oracle for the CELF variant.
+pub fn compute_bound_plain(
+    state: &mut TauState<'_>,
+    partial: &AssignmentPlan,
+    promoters: &[NodeId],
+    excluded: &FxHashSet<u64>,
+    k: usize,
+) -> BoundResult {
+    let ell = state.ell();
+    let remaining = k.saturating_sub(partial.size());
+    let mut plan = partial.clone();
+    let mut first_pick = None;
+    for _ in 0..remaining {
+        let mut best: Option<(f64, usize, NodeId)> = None;
+        for j in 0..ell {
+            for &v in promoters {
+                if !available(&plan, excluded, j, v) {
+                    continue;
+                }
+                let gain = state.gain(j, v);
+                let better = match best {
+                    None => gain > 0.0,
+                    // Strict improvement, ties to smaller (j, v) — matches
+                    // the CELF heap's deterministic ordering.
+                    Some((bg, bj, bv)) => {
+                        gain > bg || (gain == bg && (j, v) < (bj, bv))
+                    }
+                };
+                if better {
+                    best = Some((gain, j, v));
+                }
+            }
+        }
+        let Some((_, j, v)) = best else { break };
+        state.add(j, v);
+        plan.insert(j, v);
+        if first_pick.is_none() {
+            first_pick = Some((j, v));
+        }
+    }
+    BoundResult {
+        plan,
+        sigma: state.sigma_total(),
+        tau: state.tau_total(),
+        first_pick,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tangent::TangentTable;
+    use oipa_sampler::testkit::fig1;
+    use oipa_sampler::MrrPool;
+    use oipa_topics::LogisticAdoption;
+
+    fn setup(theta: usize) -> (MrrPool, TangentTable, LogisticAdoption) {
+        let (g, table, campaign) = fig1();
+        let pool = MrrPool::generate(&g, &table, &campaign, theta, 47);
+        let model = LogisticAdoption::example();
+        let tt = TangentTable::new(model, campaign.len());
+        (pool, tt, model)
+    }
+
+    #[test]
+    fn greedy_finds_the_optimal_fig1_plan() {
+        // At k = 2 the optimal plan of Example 1 is {{a}, {e}}; the greedy
+        // on τ should land exactly there.
+        let (pool, tt, model) = setup(100_000);
+        let mut state = TauState::new(&pool, &tt, model);
+        let empty = AssignmentPlan::empty(2);
+        state.reset_to(&empty);
+        let result = compute_bound_celf(&mut state, &empty, &[0, 1, 2, 3, 4], &Default::default(), 2);
+        assert_eq!(result.plan.set(0), &[0], "piece t1 should go to a");
+        assert_eq!(result.plan.set(1), &[4], "piece t2 should go to e");
+        // σ̂ scaled ≈ 1.045; τ ≥ σ.
+        let sigma = result.sigma * state.scale();
+        assert!((sigma - 1.045).abs() < 0.05, "σ̂ = {sigma}");
+        assert!(result.tau + 1e-9 >= result.sigma);
+    }
+
+    #[test]
+    fn celf_matches_plain() {
+        let (pool, tt, model) = setup(30_000);
+        let promoters = vec![0, 1, 2, 3, 4];
+        let empty = AssignmentPlan::empty(2);
+
+        let mut s1 = TauState::new(&pool, &tt, model);
+        s1.reset_to(&empty);
+        let a = compute_bound_celf(&mut s1, &empty, &promoters, &Default::default(), 3);
+
+        let mut s2 = TauState::new(&pool, &tt, model);
+        s2.reset_to(&empty);
+        let b = compute_bound_plain(&mut s2, &empty, &promoters, &Default::default(), 3);
+
+        assert_eq!(a.plan, b.plan, "CELF must replicate plain greedy exactly");
+        assert!((a.tau - b.tau).abs() < 1e-9);
+        assert!((a.sigma - b.sigma).abs() < 1e-9);
+        assert_eq!(a.first_pick, b.first_pick);
+        // And strictly fewer τ evaluations.
+        assert!(
+            s1.evaluations < s2.evaluations,
+            "CELF {} vs plain {}",
+            s1.evaluations,
+            s2.evaluations
+        );
+    }
+
+    #[test]
+    fn respects_exclusions() {
+        let (pool, tt, model) = setup(20_000);
+        let empty = AssignmentPlan::empty(2);
+        let mut excluded: FxHashSet<u64> = Default::default();
+        excluded.insert(pack(0, 0)); // forbid assigning a to t1
+        let mut state = TauState::new(&pool, &tt, model);
+        state.reset_to(&empty);
+        let result = compute_bound_celf(&mut state, &empty, &[0, 1, 2, 3, 4], &excluded, 2);
+        assert!(!result.plan.contains(0, 0), "excluded candidate selected");
+    }
+
+    #[test]
+    fn respects_partial_plan() {
+        let (pool, tt, model) = setup(20_000);
+        let partial = AssignmentPlan::from_sets(vec![vec![1], vec![]]); // b on t1
+        let mut state = TauState::new(&pool, &tt, model);
+        state.reset_to(&partial);
+        let result =
+            compute_bound_celf(&mut state, &partial, &[0, 1, 2, 3, 4], &Default::default(), 2);
+        assert!(partial.contained_in(&result.plan));
+        assert_eq!(result.plan.size(), 2);
+    }
+
+    #[test]
+    fn budget_zero_remaining() {
+        let (pool, tt, model) = setup(5_000);
+        let partial = AssignmentPlan::from_sets(vec![vec![0], vec![4]]);
+        let mut state = TauState::new(&pool, &tt, model);
+        state.reset_to(&partial);
+        let result =
+            compute_bound_celf(&mut state, &partial, &[0, 1, 2, 3, 4], &Default::default(), 2);
+        assert_eq!(result.plan, partial);
+        assert_eq!(result.first_pick, None);
+    }
+
+    #[test]
+    fn greedy_value_guarantee_against_brute_force_on_tau() {
+        // (1 − 1/e) guarantee of greedy on the submodular τ, checked by
+        // enumerating all size-2 plans on the Fig. 1 instance.
+        let (pool, tt, model) = setup(40_000);
+        let promoters = [0u32, 1, 2, 3, 4];
+        let empty = AssignmentPlan::empty(2);
+        let mut state = TauState::new(&pool, &tt, model);
+        state.reset_to(&empty);
+        let greedy = compute_bound_celf(&mut state, &empty, &promoters, &Default::default(), 2);
+
+        let mut best_tau = 0.0f64;
+        for j1 in 0..2usize {
+            for &v1 in &promoters {
+                for j2 in 0..2usize {
+                    for &v2 in &promoters {
+                        let mut plan = AssignmentPlan::empty(2);
+                        plan.insert(j1, v1);
+                        plan.insert(j2, v2);
+                        let mut s = TauState::new(&pool, &tt, model);
+                        s.reset_to(&empty);
+                        for (j, v) in plan.assignments() {
+                            s.add(j, v);
+                        }
+                        best_tau = best_tau.max(s.tau_total());
+                    }
+                }
+            }
+        }
+        assert!(
+            greedy.tau + 1e-9 >= (1.0 - 1.0 / std::f64::consts::E) * best_tau,
+            "greedy τ {} below (1−1/e)·OPT_τ {}",
+            greedy.tau,
+            best_tau * (1.0 - 1.0 / std::f64::consts::E)
+        );
+    }
+}

@@ -1,0 +1,245 @@
+//! Assignment plans `S̄ = {S_1, …, S_ℓ}` and the lattice operations of
+//! §III-B (containment, union, i-union).
+
+use oipa_graph::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// An assignment plan: one seed set per viral piece.
+///
+/// Seed sets are kept sorted and duplicate-free, so containment and union
+/// are linear merges and equality is structural.
+///
+/// ```
+/// use oipa_core::AssignmentPlan;
+///
+/// let mut plan = AssignmentPlan::empty(2);
+/// plan.insert(0, 7);
+/// plan.insert(1, 3);
+/// assert_eq!(plan.size(), 2);
+/// let bigger = plan.i_union(0, &[9]);
+/// assert!(plan.contained_in(&bigger));   // Definition 2
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AssignmentPlan {
+    sets: Vec<Vec<NodeId>>,
+}
+
+impl AssignmentPlan {
+    /// The empty plan `{∅, …, ∅}` for ℓ pieces.
+    pub fn empty(ell: usize) -> Self {
+        assert!(ell >= 1, "plans need at least one piece");
+        AssignmentPlan {
+            sets: vec![Vec::new(); ell],
+        }
+    }
+
+    /// Builds a plan from per-piece seed lists (sorted/deduplicated here).
+    pub fn from_sets(mut sets: Vec<Vec<NodeId>>) -> Self {
+        assert!(!sets.is_empty(), "plans need at least one piece");
+        for s in &mut sets {
+            s.sort_unstable();
+            s.dedup();
+        }
+        AssignmentPlan { sets }
+    }
+
+    /// Number of pieces ℓ.
+    #[inline]
+    pub fn ell(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Total assignments `|S̄| = Σ_j |S_j|`.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether the plan assigns nothing.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.sets.iter().all(|s| s.is_empty())
+    }
+
+    /// The seed set `S_j`.
+    #[inline]
+    pub fn set(&self, j: usize) -> &[NodeId] {
+        &self.sets[j]
+    }
+
+    /// Iterates `(piece, node)` assignments.
+    pub fn assignments(&self) -> impl Iterator<Item = (usize, NodeId)> + '_ {
+        self.sets
+            .iter()
+            .enumerate()
+            .flat_map(|(j, s)| s.iter().map(move |&v| (j, v)))
+    }
+
+    /// Whether `v ∈ S_j`.
+    pub fn contains(&self, j: usize, v: NodeId) -> bool {
+        self.sets[j].binary_search(&v).is_ok()
+    }
+
+    /// Adds `v` to `S_j` (the i-union with a singleton, Definition 4).
+    /// Returns `false` if already present.
+    pub fn insert(&mut self, j: usize, v: NodeId) -> bool {
+        match self.sets[j].binary_search(&v) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.sets[j].insert(pos, v);
+                true
+            }
+        }
+    }
+
+    /// Definition 2: containment `self ⊆ other` iff `S_j ⊆ S'_j` ∀j.
+    pub fn contained_in(&self, other: &AssignmentPlan) -> bool {
+        if self.ell() != other.ell() {
+            return false;
+        }
+        self.sets
+            .iter()
+            .zip(&other.sets)
+            .all(|(a, b)| a.iter().all(|v| b.binary_search(v).is_ok()))
+    }
+
+    /// Definition 3: plan union (piece-wise set union).
+    pub fn union(&self, other: &AssignmentPlan) -> AssignmentPlan {
+        assert_eq!(self.ell(), other.ell(), "union requires equal piece counts");
+        let sets = self
+            .sets
+            .iter()
+            .zip(&other.sets)
+            .map(|(a, b)| {
+                // Linear merge of two sorted deduplicated lists.
+                let mut out = Vec::with_capacity(a.len() + b.len());
+                let (mut i, mut j) = (0, 0);
+                while i < a.len() && j < b.len() {
+                    match a[i].cmp(&b[j]) {
+                        std::cmp::Ordering::Less => {
+                            out.push(a[i]);
+                            i += 1;
+                        }
+                        std::cmp::Ordering::Greater => {
+                            out.push(b[j]);
+                            j += 1;
+                        }
+                        std::cmp::Ordering::Equal => {
+                            out.push(a[i]);
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                out.extend_from_slice(&a[i..]);
+                out.extend_from_slice(&b[j..]);
+                out
+            })
+            .collect();
+        AssignmentPlan { sets }
+    }
+
+    /// Definition 4: the i-union `S̄ ∪_i S` adding a whole seed set to one
+    /// piece.
+    pub fn i_union(&self, i: usize, seeds: &[NodeId]) -> AssignmentPlan {
+        let mut out = self.clone();
+        for &v in seeds {
+            out.insert(i, v);
+        }
+        out
+    }
+
+    /// The per-piece seed vectors (for the simulator API).
+    pub fn to_vecs(&self) -> Vec<Vec<NodeId>> {
+        self.sets.clone()
+    }
+}
+
+impl std::fmt::Display for AssignmentPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (j, s) in self.sets.iter().enumerate() {
+            if j > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "S{j}={s:?}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan() {
+        let p = AssignmentPlan::empty(3);
+        assert_eq!(p.ell(), 3);
+        assert_eq!(p.size(), 0);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut p = AssignmentPlan::empty(2);
+        assert!(p.insert(0, 5));
+        assert!(!p.insert(0, 5));
+        assert!(p.insert(0, 2));
+        assert_eq!(p.set(0), &[2, 5]);
+        assert!(p.contains(0, 5));
+        assert!(!p.contains(1, 5));
+        assert_eq!(p.size(), 2);
+    }
+
+    #[test]
+    fn from_sets_normalizes() {
+        let p = AssignmentPlan::from_sets(vec![vec![3, 1, 3], vec![]]);
+        assert_eq!(p.set(0), &[1, 3]);
+        assert_eq!(p.size(), 2);
+    }
+
+    #[test]
+    fn containment_definition2() {
+        let small = AssignmentPlan::from_sets(vec![vec![1], vec![]]);
+        let big = AssignmentPlan::from_sets(vec![vec![1, 2], vec![7]]);
+        assert!(small.contained_in(&big));
+        assert!(!big.contained_in(&small));
+        assert!(small.contained_in(&small));
+        // Same elements on a different piece do not count.
+        let moved = AssignmentPlan::from_sets(vec![vec![], vec![1]]);
+        assert!(!moved.contained_in(&big.clone()) || big.set(1).contains(&1));
+        assert!(!small.contained_in(&moved));
+    }
+
+    #[test]
+    fn union_definition3() {
+        let a = AssignmentPlan::from_sets(vec![vec![1, 3], vec![5]]);
+        let b = AssignmentPlan::from_sets(vec![vec![2, 3], vec![]]);
+        let u = a.union(&b);
+        assert_eq!(u.set(0), &[1, 2, 3]);
+        assert_eq!(u.set(1), &[5]);
+        assert!(a.contained_in(&u) && b.contained_in(&u));
+    }
+
+    #[test]
+    fn i_union_definition4() {
+        let a = AssignmentPlan::from_sets(vec![vec![1], vec![9]]);
+        let u = a.i_union(0, &[4, 1]);
+        assert_eq!(u.set(0), &[1, 4]);
+        assert_eq!(u.set(1), &[9]);
+    }
+
+    #[test]
+    fn assignments_iterator() {
+        let p = AssignmentPlan::from_sets(vec![vec![2], vec![7, 8]]);
+        let all: Vec<_> = p.assignments().collect();
+        assert_eq!(all, vec![(0, 2), (1, 7), (1, 8)]);
+    }
+
+    #[test]
+    fn display_compact() {
+        let p = AssignmentPlan::from_sets(vec![vec![0], vec![4]]);
+        assert_eq!(format!("{p}"), "{S0=[0], S1=[4]}");
+    }
+}

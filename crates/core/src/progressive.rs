@@ -1,0 +1,308 @@
+//! `ComputeBoundPro` — Algorithm 3: progressive upper-bound estimation.
+//!
+//! Instead of scanning all promoters per greedy iteration, candidates are
+//! sorted once by their singleton gain `δ∅(v)` and a threshold `h` sweeps
+//! down geometrically (`h ← h/(1+ε)`). A candidate is committed the first
+//! time its *current* marginal reaches `h`; sweeps early-break as soon as
+//! singleton gains (upper bounds on current gains, by submodularity) fall
+//! below `h` (Lines 11–12); and the procedure may return fewer than
+//! `k − |S̄ᵃ|` assignments once `h` drops below
+//! `τ(S̄|S̄ᵃ)/(k−|S̄ᵃ|) · e⁻¹/(1−e⁻¹)` (Line 14) — the early exit that
+//! Theorem 3 shows still yields a `(1 − 1/e − ε)` guarantee and Theorem 4
+//! bounds to `O(n/τ · k·log_{1+ε}(2k))` evaluations under power-law
+//! influence.
+
+use crate::greedy::{pack, BoundResult};
+use crate::plan::AssignmentPlan;
+use crate::tau::TauState;
+use oipa_graph::hashing::FxHashSet;
+use oipa_graph::NodeId;
+
+/// Algorithm 3. `state` must already be anchored on `partial`.
+///
+/// `eps` is the threshold decay parameter ε (Table IV sweeps 0.1–0.9; the
+/// experiments then fix 0.5).
+pub fn compute_bound_progressive(
+    state: &mut TauState<'_>,
+    partial: &AssignmentPlan,
+    promoters: &[NodeId],
+    excluded: &FxHashSet<u64>,
+    k: usize,
+    eps: f64,
+) -> BoundResult {
+    assert!(eps > 0.0, "ε must be positive");
+    let ell = state.ell();
+    let remaining = k.saturating_sub(partial.size());
+    let mut plan = partial.clone();
+    let mut first_pick = None;
+    if remaining == 0 {
+        return BoundResult {
+            plan,
+            sigma: state.sigma_total(),
+            tau: state.tau_total(),
+            first_pick,
+        };
+    }
+
+    // Line 2: order candidates by singleton gain δ∅(v).
+    let mut singles: Vec<(f64, u32, NodeId)> = Vec::with_capacity(ell * promoters.len());
+    for j in 0..ell {
+        for &v in promoters {
+            if excluded.contains(&pack(j, v)) || plan.contains(j, v) {
+                continue;
+            }
+            let g = state.gain(j, v);
+            if g > 0.0 {
+                singles.push((g, j as u32, v));
+            }
+        }
+    }
+    // Descending by gain; deterministic tie-break on (piece, node).
+    singles.sort_unstable_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .expect("gains are finite")
+            .then_with(|| (a.1, a.2).cmp(&(b.1, b.2)))
+    });
+    let Some(&(maxinf, _, _)) = singles.first() else {
+        return BoundResult {
+            plan,
+            sigma: state.sigma_total(),
+            tau: state.tau_total(),
+            first_pick,
+        };
+    };
+
+    // Lines 3–4: h ← maxinf.
+    let mut h = maxinf;
+    let mut selected = 0usize;
+    let mut included = vec![false; singles.len()];
+    let stop_factor = {
+        let e_inv = std::f64::consts::E.recip();
+        e_inv / (1.0 - e_inv)
+    };
+
+    // Line 6: keep going while budget remains.
+    'outer: while selected < remaining {
+        // Lines 7–12: one sweep over candidates in δ∅ order.
+        for (idx, &(g0, j, v)) in singles.iter().enumerate() {
+            if included[idx] {
+                continue;
+            }
+            // Lines 11–12: singletons below h (hence, by submodularity,
+            // current gains below h) end the sweep.
+            if g0 < h {
+                break;
+            }
+            let j = j as usize;
+            let gain = state.gain(j, v);
+            if gain >= h {
+                // Lines 9–10: include.
+                state.add(j, v);
+                plan.insert(j, v);
+                included[idx] = true;
+                if first_pick.is_none() {
+                    first_pick = Some((j, v));
+                }
+                selected += 1;
+                if selected == remaining {
+                    break 'outer;
+                }
+            }
+        }
+        // Line 13: lower the threshold.
+        h /= 1.0 + eps;
+        // Lines 14–15: early exit once the threshold is provably too small
+        // to matter (Theorem 3's d < k' case).
+        if h <= state.tau_total() / remaining as f64 * stop_factor {
+            break;
+        }
+    }
+
+    BoundResult {
+        plan,
+        sigma: state.sigma_total(),
+        tau: state.tau_total(),
+        first_pick,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::compute_bound_celf;
+    use crate::tangent::TangentTable;
+    use oipa_sampler::testkit::fig1;
+    use oipa_sampler::MrrPool;
+    use oipa_topics::LogisticAdoption;
+
+    fn setup(theta: usize) -> (MrrPool, TangentTable, LogisticAdoption) {
+        let (g, table, campaign) = fig1();
+        let pool = MrrPool::generate(&g, &table, &campaign, theta, 53);
+        let model = LogisticAdoption::example();
+        let tt = TangentTable::new(model, campaign.len());
+        (pool, tt, model)
+    }
+
+    #[test]
+    fn finds_the_fig1_optimum() {
+        let (pool, tt, model) = setup(60_000);
+        let empty = AssignmentPlan::empty(2);
+        let mut state = TauState::new(&pool, &tt, model);
+        state.reset_to(&empty);
+        let r = compute_bound_progressive(
+            &mut state,
+            &empty,
+            &[0, 1, 2, 3, 4],
+            &Default::default(),
+            2,
+            0.5,
+        );
+        assert_eq!(r.plan.set(0), &[0]);
+        assert_eq!(r.plan.set(1), &[4]);
+    }
+
+    #[test]
+    fn guarantee_against_greedy() {
+        // Theorem 3: progressive τ ≥ (1 − 1/e − ε) · τ*, and greedy τ ≤ τ*,
+        // so progressive τ ≥ (1 − 1/e − ε)/(1) · greedy-vs-opt… we check
+        // the implementable form: progressive ≥ (1−1/e−ε)/(1−1/e) × greedy
+        // would be too strong; instead verify against the enumerated τ*.
+        let (pool, tt, model) = setup(40_000);
+        let promoters = [0u32, 1, 2, 3, 4];
+        let empty = AssignmentPlan::empty(2);
+        for &eps in &[0.1, 0.5, 0.9] {
+            let mut state = TauState::new(&pool, &tt, model);
+            state.reset_to(&empty);
+            let prog = compute_bound_progressive(
+                &mut state,
+                &empty,
+                &promoters,
+                &Default::default(),
+                2,
+                eps,
+            );
+            // Enumerate τ* over all ≤2-size plans.
+            let mut best_tau = 0.0f64;
+            for j1 in 0..2usize {
+                for &v1 in &promoters {
+                    for j2 in 0..2usize {
+                        for &v2 in &promoters {
+                            let mut s = TauState::new(&pool, &tt, model);
+                            s.reset_to(&empty);
+                            s.add(j1, v1);
+                            s.add(j2, v2);
+                            best_tau = best_tau.max(s.tau_total());
+                        }
+                    }
+                }
+            }
+            let ratio = 1.0 - std::f64::consts::E.recip() - eps;
+            assert!(
+                prog.tau + 1e-9 >= ratio * best_tau,
+                "ε={eps}: progressive τ {} below ({ratio})·τ* {}",
+                prog.tau,
+                best_tau
+            );
+        }
+    }
+
+    #[test]
+    fn fewer_evaluations_than_plain_greedy() {
+        let (pool, tt, model) = setup(30_000);
+        let empty = AssignmentPlan::empty(2);
+        let promoters: Vec<u32> = (0..5).collect();
+
+        let mut s_prog = TauState::new(&pool, &tt, model);
+        s_prog.reset_to(&empty);
+        let _ = compute_bound_progressive(
+            &mut s_prog,
+            &empty,
+            &promoters,
+            &Default::default(),
+            4,
+            0.5,
+        );
+
+        let mut s_plain = TauState::new(&pool, &tt, model);
+        s_plain.reset_to(&empty);
+        let _ = crate::greedy::compute_bound_plain(
+            &mut s_plain,
+            &empty,
+            &promoters,
+            &Default::default(),
+            4,
+        );
+        assert!(
+            s_prog.evaluations <= s_plain.evaluations,
+            "progressive {} > plain {}",
+            s_prog.evaluations,
+            s_plain.evaluations
+        );
+    }
+
+    #[test]
+    fn quality_close_to_celf_at_small_eps() {
+        let (pool, tt, model) = setup(40_000);
+        let empty = AssignmentPlan::empty(2);
+        let promoters: Vec<u32> = (0..5).collect();
+
+        let mut s1 = TauState::new(&pool, &tt, model);
+        s1.reset_to(&empty);
+        let greedy = compute_bound_celf(&mut s1, &empty, &promoters, &Default::default(), 3);
+
+        let mut s2 = TauState::new(&pool, &tt, model);
+        s2.reset_to(&empty);
+        let prog = compute_bound_progressive(
+            &mut s2,
+            &empty,
+            &promoters,
+            &Default::default(),
+            3,
+            0.1,
+        );
+        // The Line-14 early exit may stop short of the budget, so σ can
+        // trail greedy's; Theorem 3 only promises (1−1/e−ε) on τ. Empirically
+        // the paper reports near-equal utilities — we assert a loose band
+        // here and the exact theorem bound in `guarantee_against_greedy`.
+        assert!(
+            prog.sigma >= 0.8 * greedy.sigma,
+            "progressive σ {} much worse than greedy {}",
+            prog.sigma,
+            greedy.sigma
+        );
+        assert!(prog.tau >= (1.0 - std::f64::consts::E.recip() - 0.1) * greedy.tau);
+    }
+
+    #[test]
+    fn may_return_fewer_than_budget() {
+        // On the tiny Fig. 1 instance with a huge budget, the early exit
+        // (Line 14) or candidate exhaustion must terminate the loop.
+        let (pool, tt, model) = setup(10_000);
+        let empty = AssignmentPlan::empty(2);
+        let mut state = TauState::new(&pool, &tt, model);
+        state.reset_to(&empty);
+        let r = compute_bound_progressive(
+            &mut state,
+            &empty,
+            &[0, 1, 2, 3, 4],
+            &Default::default(),
+            10,
+            0.5,
+        );
+        assert!(r.plan.size() <= 10);
+        assert!(r.tau + 1e-9 >= r.sigma);
+    }
+
+    #[test]
+    fn respects_exclusions_and_partial() {
+        let (pool, tt, model) = setup(20_000);
+        let partial = AssignmentPlan::from_sets(vec![vec![], vec![4]]);
+        let mut excluded: FxHashSet<u64> = Default::default();
+        excluded.insert(pack(0, 0));
+        let mut state = TauState::new(&pool, &tt, model);
+        state.reset_to(&partial);
+        let r = compute_bound_progressive(&mut state, &partial, &[0, 1, 2, 3, 4], &excluded, 3, 0.3);
+        assert!(partial.contained_in(&r.plan));
+        assert!(!r.plan.contains(0, 0));
+    }
+}

@@ -1,0 +1,357 @@
+//! The submodular upper bound τ over MRR sets (Definition 6).
+//!
+//! `TauState` maintains, for every MRR sample `i`:
+//!
+//! * which pieces are covered (`covered` bitset over `(i, j)`),
+//! * the current coverage count `c_i`,
+//! * the anchor `c⁰_i` — the coverage under the partial plan `S̄ᵃ`, which
+//!   selects the tangent majorant from the [`TangentTable`] (the paper's
+//!   per-sample "refinement" of Fig. 2),
+//!
+//! and the running totals `Σ_i τ_i(c_i)` and `Σ_i σ_i(c_i)` in *sample
+//! units* (multiply by `n/θ` for user units). Marginal gains and commits
+//! are O(index row) via the pool's inverted index.
+//!
+//! The struct is a reusable workspace: `reset_to` re-anchors it on a new
+//! partial plan touching only the samples changed since the last reset,
+//! which keeps branch-and-bound node costs proportional to actual work.
+
+use crate::plan::AssignmentPlan;
+use crate::tangent::TangentTable;
+use oipa_graph::NodeId;
+use oipa_sampler::MrrPool;
+use oipa_topics::LogisticAdoption;
+
+/// Incremental τ / σ accounting over an MRR pool.
+pub struct TauState<'a> {
+    pool: &'a MrrPool,
+    table: &'a TangentTable,
+    ell: usize,
+    /// Bitset over `i·ℓ + j`.
+    covered: Vec<u64>,
+    /// Current coverage count per sample.
+    count: Vec<u8>,
+    /// Anchor coverage per sample (coverage under the partial plan).
+    anchor: Vec<u8>,
+    /// Samples with any state to clear on reset.
+    touched: Vec<u32>,
+    /// σ lookup per coverage.
+    sigma_by_coverage: Vec<f64>,
+    /// Σ τ_i at current coverage (sample units).
+    tau_sum: f64,
+    /// Σ σ_i at current coverage (sample units).
+    sigma_sum: f64,
+    /// τ value of a fully untouched sample (anchor 0, coverage 0).
+    tau_floor: f64,
+    /// Number of marginal-gain evaluations since construction (the paper's
+    /// complexity metric in §V-C).
+    pub evaluations: u64,
+}
+
+impl<'a> TauState<'a> {
+    /// Creates a state anchored on the empty plan.
+    pub fn new(pool: &'a MrrPool, table: &'a TangentTable, model: LogisticAdoption) -> Self {
+        assert_eq!(pool.ell(), table.ell(), "table must match pool piece count");
+        let ell = pool.ell();
+        let theta = pool.theta();
+        let tau_floor = table.value(0, 0);
+        let sigma_by_coverage = (0..=ell).map(|c| model.adoption_prob(c)).collect();
+        TauState {
+            pool,
+            table,
+            ell,
+            covered: vec![0u64; (theta * ell).div_ceil(64)],
+            count: vec![0; theta],
+            anchor: vec![0; theta],
+            touched: Vec::new(),
+            sigma_by_coverage,
+            tau_sum: theta as f64 * tau_floor,
+            sigma_sum: 0.0,
+            tau_floor,
+        evaluations: 0,
+        }
+    }
+
+    #[inline]
+    fn bit(&self, i: usize, j: usize) -> bool {
+        let idx = i * self.ell + j;
+        self.covered[idx / 64] >> (idx % 64) & 1 == 1
+    }
+
+    #[inline]
+    fn set_bit(&mut self, i: usize, j: usize) {
+        let idx = i * self.ell + j;
+        self.covered[idx / 64] |= 1 << (idx % 64);
+    }
+
+    #[inline]
+    fn clear_sample(&mut self, i: usize) {
+        for j in 0..self.ell {
+            let idx = i * self.ell + j;
+            self.covered[idx / 64] &= !(1 << (idx % 64));
+        }
+        self.count[i] = 0;
+        self.anchor[i] = 0;
+    }
+
+    /// Re-anchors the state on a partial plan: applies its assignments,
+    /// then freezes each touched sample's anchor at its coverage — the
+    /// refinement step at the top of Algorithms 2 and 3 ("Refine τ(·|S̄ᵃ)").
+    pub fn reset_to(&mut self, partial: &AssignmentPlan) {
+        assert_eq!(partial.ell(), self.ell, "plan piece count must match");
+        for ti in std::mem::take(&mut self.touched) {
+            self.clear_sample(ti as usize);
+        }
+        self.tau_sum = self.pool.theta() as f64 * self.tau_floor;
+        self.sigma_sum = 0.0;
+        for (j, v) in partial.assignments() {
+            self.add_assuming_reset(j, v);
+        }
+        // Freeze anchors and recompute τ under the refined lines.
+        let mut tau_sum = (self.pool.theta() - self.touched.len()) as f64 * self.tau_floor;
+        for idx in 0..self.touched.len() {
+            let i = self.touched[idx] as usize;
+            let c = self.count[i];
+            self.anchor[i] = c;
+            tau_sum += self.table.value(c as usize, c as usize);
+        }
+        self.tau_sum = tau_sum;
+    }
+
+    /// Adds one assignment during reset (anchors not yet frozen).
+    fn add_assuming_reset(&mut self, j: usize, v: NodeId) {
+        // `pool` is a shared reference with lifetime 'a, so the row borrow
+        // is independent of `&mut self`.
+        let pool = self.pool;
+        for &i in pool.samples_containing(j, v) {
+            let i = i as usize;
+            if self.bit(i, j) {
+                continue;
+            }
+            self.set_bit(i, j);
+            if self.count[i] == 0 {
+                self.touched.push(i as u32);
+            }
+            let c = self.count[i] as usize;
+            self.count[i] = (c + 1) as u8;
+            self.sigma_sum += self.sigma_by_coverage[c + 1] - self.sigma_by_coverage[c];
+        }
+    }
+
+    /// The τ marginal gain of adding `v` to piece `j` (sample units).
+    pub fn gain(&mut self, j: usize, v: NodeId) -> f64 {
+        self.evaluations += 1;
+        let mut acc = 0.0f64;
+        for &i in self.pool.samples_containing(j, v) {
+            let i = i as usize;
+            if self.bit(i, j) {
+                continue;
+            }
+            acc += self
+                .table
+                .marginal(self.anchor[i] as usize, self.count[i] as usize);
+        }
+        acc
+    }
+
+    /// Commits `v` to piece `j`, updating τ and σ totals.
+    pub fn add(&mut self, j: usize, v: NodeId) {
+        let pool = self.pool;
+        for &i in pool.samples_containing(j, v) {
+            let i = i as usize;
+            if self.bit(i, j) {
+                continue;
+            }
+            self.set_bit(i, j);
+            // A sample is already tracked iff it has any coverage (anchors
+            // are always ≤ counts, and reset pushes every covered sample).
+            if self.count[i] == 0 {
+                self.touched.push(i as u32);
+            }
+            let a = self.anchor[i] as usize;
+            let c = self.count[i] as usize;
+            self.count[i] = (c + 1) as u8;
+            self.tau_sum += self.table.marginal(a, c);
+            self.sigma_sum += self.sigma_by_coverage[c + 1] - self.sigma_by_coverage[c];
+        }
+    }
+
+    /// Whether piece `j` of sample `i` is covered.
+    #[inline]
+    pub fn is_covered(&self, i: usize, j: usize) -> bool {
+        self.bit(i, j)
+    }
+
+    /// Current Σ τ_i (sample units).
+    #[inline]
+    pub fn tau_total(&self) -> f64 {
+        self.tau_sum
+    }
+
+    /// Current Σ σ_i (sample units).
+    #[inline]
+    pub fn sigma_total(&self) -> f64 {
+        self.sigma_sum
+    }
+
+    /// Scale factor to user units.
+    #[inline]
+    pub fn scale(&self) -> f64 {
+        self.pool.scale()
+    }
+
+    /// The pool under evaluation.
+    #[inline]
+    pub fn pool(&self) -> &'a MrrPool {
+        self.pool
+    }
+
+    /// The tangent table in use.
+    #[inline]
+    pub fn table(&self) -> &'a TangentTable {
+        self.table
+    }
+
+    /// Number of pieces.
+    #[inline]
+    pub fn ell(&self) -> usize {
+        self.ell
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tangent::TangentTable;
+    use oipa_sampler::testkit::fig1;
+    use oipa_sampler::MrrPool;
+    use oipa_topics::LogisticAdoption;
+
+    fn setup(theta: usize) -> (MrrPool, TangentTable, LogisticAdoption) {
+        let (g, table, campaign) = fig1();
+        let pool = MrrPool::generate(&g, &table, &campaign, theta, 31);
+        let model = LogisticAdoption::example();
+        let tt = TangentTable::new(model, campaign.len());
+        (pool, tt, model)
+    }
+
+    #[test]
+    fn tau_dominates_sigma_along_greedy_path() {
+        let (pool, tt, model) = setup(20_000);
+        let mut state = TauState::new(&pool, &tt, model);
+        state.reset_to(&AssignmentPlan::empty(2));
+        assert!(state.tau_total() >= state.sigma_total());
+        for &(j, v) in &[(0usize, 0u32), (1, 4), (0, 1), (1, 3)] {
+            state.add(j, v);
+            assert!(
+                state.tau_total() + 1e-9 >= state.sigma_total(),
+                "τ {} < σ {} after ({j},{v})",
+                state.tau_total(),
+                state.sigma_total()
+            );
+        }
+    }
+
+    #[test]
+    fn gain_matches_commit_delta() {
+        let (pool, tt, model) = setup(10_000);
+        let mut state = TauState::new(&pool, &tt, model);
+        state.reset_to(&AssignmentPlan::empty(2));
+        for &(j, v) in &[(0usize, 0u32), (1, 4), (0, 2)] {
+            let before = state.tau_total();
+            let gain = state.gain(j, v);
+            state.add(j, v);
+            let delta = state.tau_total() - before;
+            assert!(
+                (gain - delta).abs() < 1e-9,
+                "gain {gain} != delta {delta} for ({j},{v})"
+            );
+        }
+    }
+
+    #[test]
+    fn double_add_is_idempotent() {
+        let (pool, tt, model) = setup(5_000);
+        let mut state = TauState::new(&pool, &tt, model);
+        state.reset_to(&AssignmentPlan::empty(2));
+        state.add(0, 0);
+        let tau1 = state.tau_total();
+        let sigma1 = state.sigma_total();
+        state.add(0, 0);
+        assert_eq!(state.tau_total(), tau1);
+        assert_eq!(state.sigma_total(), sigma1);
+        assert!((state.gain(0, 0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sigma_matches_estimator() {
+        let (pool, tt, model) = setup(30_000);
+        let mut state = TauState::new(&pool, &tt, model);
+        let plan = AssignmentPlan::from_sets(vec![vec![0], vec![4]]);
+        state.reset_to(&AssignmentPlan::empty(2));
+        state.add(0, 0);
+        state.add(1, 4);
+        let mut est = crate::estimator::AuEstimator::new(&pool, model);
+        let expect = est.evaluate(&plan);
+        let got = state.sigma_total() * state.scale();
+        assert!(
+            (got - expect).abs() < 1e-9,
+            "incremental σ {got} vs estimator {expect}"
+        );
+    }
+
+    #[test]
+    fn reset_refines_anchors_and_tightens_tau() {
+        let (pool, tt, model) = setup(20_000);
+        // τ of the same final coverage is tighter when anchored at the
+        // partial plan than when anchored at ∅ (refinement property).
+        let mut fresh = TauState::new(&pool, &tt, model);
+        fresh.reset_to(&AssignmentPlan::empty(2));
+        fresh.add(0, 0);
+        fresh.add(1, 4);
+        let tau_unrefined = fresh.tau_total();
+
+        let partial = AssignmentPlan::from_sets(vec![vec![0], vec![4]]);
+        let mut refined = TauState::new(&pool, &tt, model);
+        refined.reset_to(&partial);
+        let tau_refined = refined.tau_total();
+        assert!(
+            tau_refined <= tau_unrefined + 1e-9,
+            "refined τ {tau_refined} must not exceed unrefined {tau_unrefined}"
+        );
+        // And still dominates σ.
+        assert!(tau_refined + 1e-9 >= refined.sigma_total());
+    }
+
+    #[test]
+    fn reset_clears_previous_state() {
+        let (pool, tt, model) = setup(5_000);
+        let mut state = TauState::new(&pool, &tt, model);
+        state.reset_to(&AssignmentPlan::empty(2));
+        let tau_empty = state.tau_total();
+        state.add(0, 0);
+        state.add(1, 4);
+        state.reset_to(&AssignmentPlan::empty(2));
+        assert!((state.tau_total() - tau_empty).abs() < 1e-9);
+        assert_eq!(state.sigma_total(), 0.0);
+        // Re-adding works identically after reset.
+        let g1 = state.gain(0, 0);
+        assert!(g1 > 0.0);
+    }
+
+    #[test]
+    fn submodularity_of_gains() {
+        // τ gains are nonincreasing as the plan grows (the whole point of
+        // the majorant construction).
+        let (pool, tt, model) = setup(20_000);
+        let mut state = TauState::new(&pool, &tt, model);
+        state.reset_to(&AssignmentPlan::empty(2));
+        let g_before = state.gain(1, 4);
+        state.add(0, 0);
+        let g_after = state.gain(1, 4);
+        assert!(
+            g_after <= g_before + 1e-9,
+            "gain grew: {g_before} -> {g_after}"
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based invariants of the solver core, parameterized over the
+//! adoption model itself (the unit suites fix (α, β); here they vary).
+
+use oipa_core::tangent::{refine, TangentTable};
+use oipa_core::tau::TauState;
+use oipa_core::{AssignmentPlan, AuEstimator};
+use oipa_sampler::MrrPool;
+use oipa_topics::{sigmoid, LogisticAdoption};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Arbitrary adoption models over the experimentally relevant range.
+fn model_strategy() -> impl Strategy<Value = LogisticAdoption> {
+    (0.5f64..6.0, 0.2f64..2.0).prop_map(|(alpha, beta)| LogisticAdoption::new(alpha, beta))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tangent table dominates the true objective, is monotone and
+    /// concave per anchor, and refinement tightens — for any (α, β, ℓ).
+    #[test]
+    fn tangent_table_axioms(model in model_strategy(), ell in 1usize..8) {
+        let table = TangentTable::new(model, ell);
+        for c0 in 0..=ell {
+            let mut prev_value = f64::NEG_INFINITY;
+            let mut prev_marginal = f64::INFINITY;
+            for c in c0..=ell {
+                let v = table.value(c0, c);
+                // Dominance over the true objective.
+                prop_assert!(v + 1e-9 >= model.adoption_prob(c));
+                prop_assert!(v <= 1.0 + 1e-9);
+                // Monotone in coverage.
+                prop_assert!(v + 1e-12 >= prev_value);
+                prev_value = v;
+                if c < ell {
+                    let m = table.marginal(c0, c);
+                    prop_assert!(m >= -1e-12);
+                    // Concave: marginals nonincreasing.
+                    prop_assert!(m <= prev_marginal + 1e-12);
+                    prev_marginal = m;
+                }
+            }
+            // Refinement tightens.
+            if c0 > 0 {
+                for c in c0..=ell {
+                    prop_assert!(table.value(c0, c) <= table.value(c0 - 1, c) + 1e-9);
+                }
+            }
+        }
+        // Anchor-0 starts at the true zero.
+        prop_assert_eq!(table.value(0, 0), 0.0);
+    }
+
+    /// Algorithm 4's binary search returns a line that passes through the
+    /// anchor and dominates the curve to the right, for any convex-region
+    /// anchor.
+    #[test]
+    fn refine_axioms(x0 in -8.0f64..-0.01) {
+        let line = refine(x0, 1e-12);
+        prop_assert!(line.w > 0.0 && line.w <= 0.25 + 1e-12);
+        // Through the anchor.
+        prop_assert!((line.w * x0 + line.b - sigmoid(x0)).abs() < 1e-6);
+        // Dominates the curve on a grid.
+        let mut x = x0;
+        while x < 8.0 {
+            prop_assert!(line.value(x) + 1e-7 >= sigmoid(x), "x = {x}");
+            x += 0.25;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// τ bookkeeping invariants under random instances and models:
+    /// gain == commit delta, τ ≥ σ throughout, reset is idempotent.
+    #[test]
+    fn tau_state_invariants(seed in 0u64..1000, model in model_strategy()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g, table, campaign) =
+            oipa_sampler::testkit::small_random_instance(&mut rng, 25, 100, 3, 2);
+        let pool = MrrPool::generate(&g, &table, &campaign, 3_000, seed);
+        let tangent = TangentTable::new(model, 2);
+        let mut state = TauState::new(&pool, &tangent, model);
+        state.reset_to(&AssignmentPlan::empty(2));
+        let tau_empty = state.tau_total();
+        prop_assert!((tau_empty).abs() < 1e-9, "τ(∅) must be 0, got {tau_empty}");
+        for step in 0..4u32 {
+            let (j, v) = ((step % 2) as usize, (seed as u32 + step * 7) % 25);
+            let before = state.tau_total();
+            let gain = state.gain(j, v);
+            state.add(j, v);
+            prop_assert!((state.tau_total() - before - gain).abs() < 1e-9);
+            prop_assert!(state.tau_total() + 1e-9 >= state.sigma_total());
+        }
+        // Reset returns to the clean state.
+        state.reset_to(&AssignmentPlan::empty(2));
+        prop_assert!((state.tau_total() - tau_empty).abs() < 1e-9);
+        prop_assert_eq!(state.sigma_total(), 0.0);
+    }
+
+    /// The estimator's σ agrees with TauState's incremental σ for any plan
+    /// and model (two independent implementations of Eqn. 6).
+    #[test]
+    fn estimator_cross_implementation(seed in 0u64..1000, model in model_strategy()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g, table, campaign) =
+            oipa_sampler::testkit::small_random_instance(&mut rng, 20, 80, 3, 2);
+        let pool = MrrPool::generate(&g, &table, &campaign, 2_000, seed ^ 3);
+        let plan = AssignmentPlan::from_sets(vec![
+            vec![seed as u32 % 20, (seed as u32 + 5) % 20],
+            vec![(seed as u32 + 11) % 20],
+        ]);
+        let mut est = AuEstimator::new(&pool, model);
+        let via_estimator = est.evaluate(&plan);
+        let tangent = TangentTable::new(model, 2);
+        let mut state = TauState::new(&pool, &tangent, model);
+        state.reset_to(&plan);
+        let via_state = state.sigma_total() * pool.scale();
+        prop_assert!(
+            (via_estimator - via_state).abs() < 1e-9,
+            "estimator {via_estimator} vs state {via_state}"
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! # oipa-datasets
+//!
+//! Synthetic stand-ins for the paper's evaluation datasets and the
+//! hardness-reduction gadget.
+//!
+//! The paper evaluates on three real networks (Table III) that we cannot
+//! redistribute:
+//!
+//! | dataset | nodes | edges | avg deg | topics | preparation |
+//! |---|---|---|---|---|---|
+//! | `lastfm` | 1.3K | 15K | 8.7 | 20 | TIC learning from action logs |
+//! | `dblp`   | 0.5M | 6M  | 11.9 | 9 | research fields as topics |
+//! | `tweet`  | 10M  | 12M | 1.2 | 50 | LDA over hashtag documents |
+//!
+//! [`lastfm_like`], [`dblp_like`] and [`tweet_like`] generate graphs with
+//! the same shapes (power-law degree structure, matched average degree,
+//! topic count, and — for `tweet` — the ≈1.5 average non-zero topic
+//! entries per edge the paper highlights). A [`Scale`] knob shrinks the
+//! two big datasets for CI while preserving average degree; the bench
+//! harness can run larger fractions or `Scale::Full`.
+//!
+//! [`actionlog`] simulates TIC cascades to produce the propagation logs
+//! the `lastfm` pipeline learns from, and [`hardness`] builds the
+//! Max-Clique reduction instance of §IV-B (Lemma 1 / Theorem 1).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod actionlog;
+pub mod hardness;
+mod registry;
+
+pub use registry::{dblp_like, lastfm_like, tweet_like, Dataset, Scale};

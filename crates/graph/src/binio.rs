@@ -1,0 +1,190 @@
+//! Compact binary serialization for graphs.
+//!
+//! Edge-list text files are convenient but slow and large; pipelines that
+//! repeatedly load multi-million-edge graphs (the `dblp`/`tweet` scales)
+//! want a mmap-friendly binary form. The format is little-endian,
+//! magic-tagged and versioned:
+//!
+//! ```text
+//! [8]  magic  "OIPAGRPH"
+//! [4]  version (u32)
+//! [4]  n (u32)
+//! [8]  m (u64)
+//! [m·8] edges as (u32 source, u32 target) pairs in edge-id order
+//! ```
+//!
+//! The same primitive helpers ([`write_u32_slice`] et al.) are reused by
+//! the probability-table and RR-pool serializers in the other crates.
+
+use crate::csr::DiGraph;
+use crate::{GraphError, Result};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"OIPAGRPH";
+const VERSION: u32 = 1;
+
+/// Writes a `u32` little-endian.
+pub fn write_u32<W: Write>(w: &mut W, v: u32) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+/// Writes a `u64` little-endian.
+pub fn write_u64<W: Write>(w: &mut W, v: u64) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+/// Writes an `f32` little-endian.
+pub fn write_f32<W: Write>(w: &mut W, v: f32) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+/// Reads a `u32` little-endian.
+pub fn read_u32<R: Read>(r: &mut R) -> std::io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Reads a `u64` little-endian.
+pub fn read_u64<R: Read>(r: &mut R) -> std::io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// Reads an `f32` little-endian.
+pub fn read_f32<R: Read>(r: &mut R) -> std::io::Result<f32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(f32::from_le_bytes(buf))
+}
+
+/// Bulk-writes a `u32` slice (length-prefixed).
+pub fn write_u32_slice<W: Write>(w: &mut W, vs: &[u32]) -> std::io::Result<()> {
+    write_u64(w, vs.len() as u64)?;
+    for &v in vs {
+        write_u32(w, v)?;
+    }
+    Ok(())
+}
+
+/// Bulk-reads a `u32` slice written by [`write_u32_slice`].
+pub fn read_u32_slice<R: Read>(r: &mut R) -> std::io::Result<Vec<u32>> {
+    let len = read_u64(r)? as usize;
+    let mut out = Vec::with_capacity(len.min(1 << 28));
+    for _ in 0..len {
+        out.push(read_u32(r)?);
+    }
+    Ok(out)
+}
+
+/// Serializes a graph to a writer.
+pub fn write_graph<W: Write>(graph: &DiGraph, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(MAGIC)?;
+    write_u32(&mut w, VERSION)?;
+    write_u32(&mut w, graph.node_count() as u32)?;
+    write_u64(&mut w, graph.edge_count() as u64)?;
+    for e in graph.edges() {
+        write_u32(&mut w, e.source)?;
+        write_u32(&mut w, e.target)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Deserializes a graph from a reader.
+pub fn read_graph<R: Read>(reader: R) -> Result<DiGraph> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(GraphError::Parse {
+            line: 0,
+            message: "bad magic: not an OIPA graph file".to_string(),
+        });
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(GraphError::Parse {
+            line: 0,
+            message: format!("unsupported graph file version {version}"),
+        });
+    }
+    let n = read_u32(&mut r)?;
+    let m = read_u64(&mut r)? as usize;
+    let mut edges = Vec::with_capacity(m.min(1 << 28));
+    for _ in 0..m {
+        let u = read_u32(&mut r)?;
+        let v = read_u32(&mut r)?;
+        edges.push((u, v));
+    }
+    DiGraph::from_edges(n, &edges)
+}
+
+/// Serializes a graph to a file.
+pub fn write_graph_file<P: AsRef<Path>>(graph: &DiGraph, path: P) -> Result<()> {
+    write_graph(graph, std::fs::File::create(path)?)
+}
+
+/// Deserializes a graph from a file.
+pub fn read_graph_file<P: AsRef<Path>>(path: P) -> Result<DiGraph> {
+    read_graph(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_small() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let g2 = read_graph(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn roundtrip_random() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = crate::generators::erdos_renyi_gnm(&mut rng, 200, 1500);
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        assert_eq!(read_graph(&buf[..]).unwrap(), g);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_graph(&b"NOTAGRPH\0\0\0\0"[..]).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { .. }));
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_graph(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn empty_graph_roundtrip() {
+        let g = DiGraph::from_edges(0, &[]).unwrap();
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        assert_eq!(read_graph(&buf[..]).unwrap(), g);
+    }
+
+    #[test]
+    fn slice_helpers_roundtrip() {
+        let vs = vec![0u32, 1, u32::MAX, 42];
+        let mut buf = Vec::new();
+        write_u32_slice(&mut buf, &vs).unwrap();
+        assert_eq!(read_u32_slice(&mut &buf[..]).unwrap(), vs);
+    }
+}

@@ -1,0 +1,200 @@
+//! Binary serialization for MRR pools.
+//!
+//! Generating θ = 10⁶ MRR sets dominates wall-clock on large graphs (the
+//! paper's Table III "sample time" row). Since the pool depends only on
+//! (graph, p(e|z), campaign topics, θ, seed) — not on the adoption model,
+//! the budget, or the promoter pool — a cached pool serves entire
+//! parameter sweeps (Figures 3, 4 and 6 all reuse one pool per dataset).
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! [8]  magic "OIPAMRRP"
+//! [4]  version (u32)
+//! [4]  n (u32)
+//! [8]  θ (u64)
+//! [4]  ℓ (u32)
+//! [θ·4]  roots (u32)
+//! ℓ × ( [ (θ+1)·8 ] offsets (u64), [Σ|R|·4] nodes (u32) )
+//! ```
+//!
+//! The inverted index is rebuilt on load (linear, faster than reading it).
+
+use crate::mrr::MrrPool;
+use crate::rr::RrStore;
+use oipa_graph::binio::{read_u32, read_u64, write_u32, write_u64};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"OIPAMRRP";
+const VERSION: u32 = 1;
+
+/// Serialization errors.
+#[derive(Debug)]
+pub enum PoolIoError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// Not a pool file / wrong version / inconsistent lengths.
+    Format(String),
+}
+
+impl std::fmt::Display for PoolIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolIoError::Io(e) => write!(f, "io error: {e}"),
+            PoolIoError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PoolIoError {}
+
+impl From<std::io::Error> for PoolIoError {
+    fn from(e: std::io::Error) -> Self {
+        PoolIoError::Io(e)
+    }
+}
+
+/// Writes a pool to a writer.
+pub fn write_pool<W: Write>(pool: &MrrPool, writer: W) -> Result<(), PoolIoError> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(MAGIC)?;
+    write_u32(&mut w, VERSION)?;
+    write_u32(&mut w, pool.node_count() as u32)?;
+    write_u64(&mut w, pool.theta() as u64)?;
+    write_u32(&mut w, pool.ell() as u32)?;
+    for &r in pool.roots() {
+        write_u32(&mut w, r)?;
+    }
+    for j in 0..pool.ell() {
+        let store = pool.piece_store(j);
+        for &off in store.raw_offsets() {
+            write_u64(&mut w, off)?;
+        }
+        for &v in store.raw_nodes() {
+            write_u32(&mut w, v)?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a pool from a reader, rebuilding inverted indexes.
+pub fn read_pool<R: Read>(reader: R) -> Result<MrrPool, PoolIoError> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(PoolIoError::Format("bad magic: not an OIPA MRR pool".into()));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(PoolIoError::Format(format!(
+            "unsupported pool version {version}"
+        )));
+    }
+    let n = read_u32(&mut r)? as usize;
+    let theta = read_u64(&mut r)? as usize;
+    let ell = read_u32(&mut r)? as usize;
+    if ell == 0 {
+        return Err(PoolIoError::Format("pool must have at least one piece".into()));
+    }
+    let mut roots = Vec::with_capacity(theta.min(1 << 28));
+    for _ in 0..theta {
+        let root = read_u32(&mut r)?;
+        if root as usize >= n {
+            return Err(PoolIoError::Format(format!("root {root} out of range")));
+        }
+        roots.push(root);
+    }
+    let mut stores = Vec::with_capacity(ell);
+    for _ in 0..ell {
+        let mut offsets = Vec::with_capacity(theta + 1);
+        for _ in 0..=theta {
+            offsets.push(read_u64(&mut r)?);
+        }
+        let total = *offsets.last().expect("non-empty offsets") as usize;
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(PoolIoError::Format("offsets not monotone".into()));
+        }
+        let mut nodes = Vec::with_capacity(total.min(1 << 28));
+        for _ in 0..total {
+            let v = read_u32(&mut r)?;
+            if v as usize >= n {
+                return Err(PoolIoError::Format(format!("node {v} out of range")));
+            }
+            nodes.push(v);
+        }
+        let mut store = RrStore::from_raw(offsets, nodes);
+        store.build_index(n);
+        stores.push(store);
+    }
+    Ok(MrrPool::from_parts(n as u32, roots, stores))
+}
+
+/// Writes a pool to a file.
+pub fn write_pool_file<P: AsRef<Path>>(pool: &MrrPool, path: P) -> Result<(), PoolIoError> {
+    write_pool(pool, std::fs::File::create(path)?)
+}
+
+/// Reads a pool from a file.
+pub fn read_pool_file<P: AsRef<Path>>(path: P) -> Result<MrrPool, PoolIoError> {
+    read_pool(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::fig1;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let (g, table, campaign) = fig1();
+        let pool = MrrPool::generate(&g, &table, &campaign, 5_000, 9);
+        let mut buf = Vec::new();
+        write_pool(&pool, &mut buf).unwrap();
+        let back = read_pool(&buf[..]).unwrap();
+        assert_eq!(back.theta(), pool.theta());
+        assert_eq!(back.ell(), pool.ell());
+        assert_eq!(back.node_count(), pool.node_count());
+        assert_eq!(back.roots(), pool.roots());
+        for j in 0..pool.ell() {
+            for i in (0..pool.theta()).step_by(617) {
+                assert_eq!(back.rr_set(j, i), pool.rr_set(j, i));
+            }
+            for v in 0..5u32 {
+                assert_eq!(back.samples_containing(j, v), pool.samples_containing(j, v));
+            }
+        }
+    }
+
+    #[test]
+    fn bad_magic() {
+        assert!(matches!(
+            read_pool(&b"NOTAPOOL"[..]),
+            Err(PoolIoError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let (g, table, campaign) = fig1();
+        let pool = MrrPool::generate(&g, &table, &campaign, 500, 9);
+        let mut buf = Vec::new();
+        write_pool(&pool, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(read_pool(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn corrupt_node_id_detected() {
+        let (g, table, campaign) = fig1();
+        let pool = MrrPool::generate(&g, &table, &campaign, 100, 9);
+        let mut buf = Vec::new();
+        write_pool(&pool, &mut buf).unwrap();
+        // Overwrite a node near the end with an out-of-range id.
+        let len = buf.len();
+        buf[len - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(read_pool(&buf[..]), Err(PoolIoError::Format(_))));
+    }
+}

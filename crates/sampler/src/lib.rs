@@ -1,0 +1,46 @@
+//! # oipa-sampler
+//!
+//! Reverse-reachable-set sampling engine for the OIPA reproduction.
+//!
+//! The paper estimates the adoption utility (AU) of an assignment plan via
+//! **Multi-Reverse-Reachable (MRR) sets** (§V-A): sample θ root users
+//! uniformly; for each root, build one reverse-reachable set per viral
+//! piece `t_j` under the piece's homogeneous influence graph
+//! (`p(t_j, e) = t_j · p(e)`). The AU estimator is then
+//!
+//! ```text
+//! σ(S̄) ≈ n/θ · Σ_i  1 / (1 + exp(α − β · Σ_j I[R_i^j ∩ S_j ≠ ∅]))
+//! ```
+//!
+//! This crate provides:
+//!
+//! * [`RrPool`] — θ single-piece RR sets with an inverted node→samples
+//!   index (what classical IM greedy consumes);
+//! * [`MrrPool`] — the multi-piece extension sharing one root sequence
+//!   across pieces, as required by Lemma 2's unbiasedness argument;
+//! * [`EdgeProb`] — the edge-probability abstraction (materialized vector
+//!   or on-the-fly `t · p(e)` dot products);
+//! * [`simulate`] — forward Monte-Carlo cascade simulation, the ground
+//!   truth against which the estimator is validated;
+//! * [`theta`] — Chernoff/martingale sample-size calculators.
+//!
+//! Generation is deterministic given a seed, *independent of thread count*:
+//! the parallel generator partitions the sample range into fixed chunks,
+//! each derived from the base seed.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod binio;
+pub mod interdependent;
+pub mod lt;
+mod edge_prob;
+mod mrr;
+mod rr;
+pub mod simulate;
+pub mod testkit;
+pub mod theta;
+
+pub use edge_prob::{EdgeProb, MaterializedProbs, PieceProbs};
+pub use mrr::MrrPool;
+pub use rr::{sample_rr_set, RrPool, RrStore};

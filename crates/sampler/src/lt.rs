@@ -1,0 +1,276 @@
+//! Linear Threshold (LT) diffusion — the second classical influence model.
+//!
+//! The paper notes IM is NP-hard "under the popular independent cascade
+//! (IC) and linear threshold (LT) influence models" and builds on IC; a
+//! credible IM substrate ships both. Under LT every node `v` has incoming
+//! edge weights summing to ≤ 1 and a uniform random threshold `θ_v`; `v`
+//! activates once the weight of its active in-neighbors reaches `θ_v`.
+//! The live-edge equivalent (Kempe et al.): each node keeps **at most one**
+//! incoming edge, edge `e` with probability `w(e)`, none with probability
+//! `1 − Σw`. RR sets therefore degenerate to reverse random *walks*,
+//! which is what [`sample_rr_set_lt`] draws.
+
+use oipa_graph::traverse::BfsScratch;
+use oipa_graph::{DiGraph, EdgeId, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-edge LT weights, validated so each node's in-weights sum to ≤ 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LtWeights {
+    weights: Vec<f32>,
+}
+
+impl LtWeights {
+    /// Builds from per-edge weights (indexed by [`EdgeId`]), validating
+    /// the per-node sum constraint.
+    pub fn new(graph: &DiGraph, weights: Vec<f32>) -> Result<Self, String> {
+        if weights.len() != graph.edge_count() {
+            return Err(format!(
+                "expected {} weights, got {}",
+                graph.edge_count(),
+                weights.len()
+            ));
+        }
+        for &w in &weights {
+            if !(0.0..=1.0).contains(&w) || w.is_nan() {
+                return Err(format!("weight {w} outside [0, 1]"));
+            }
+        }
+        for v in graph.nodes() {
+            let sum: f32 = graph.in_edges(v).map(|e| weights[e.id as usize]).sum();
+            if sum > 1.0 + 1e-5 {
+                return Err(format!("in-weights of node {v} sum to {sum} > 1"));
+            }
+        }
+        Ok(LtWeights { weights })
+    }
+
+    /// The standard uniform convention: `w(u, v) = 1 / in_degree(v)`.
+    pub fn uniform(graph: &DiGraph) -> Self {
+        let mut weights = vec![0.0f32; graph.edge_count()];
+        for v in graph.nodes() {
+            let d = graph.in_degree(v);
+            if d == 0 {
+                continue;
+            }
+            let w = 1.0 / d as f32;
+            for e in graph.in_edges(v) {
+                weights[e.id as usize] = w;
+            }
+        }
+        LtWeights { weights }
+    }
+
+    /// Weight of one edge.
+    #[inline]
+    pub fn get(&self, e: EdgeId) -> f32 {
+        self.weights[e as usize]
+    }
+}
+
+/// Samples one LT RR set: a reverse random walk from `root` where each
+/// step picks at most one in-edge (probability = its weight) and stops
+/// otherwise. Cycles are cut by the visit marks (revisiting ends the walk,
+/// matching the live-edge semantics where the walk re-enters its own
+/// history).
+pub fn sample_rr_set_lt<R: Rng + ?Sized>(
+    rng: &mut R,
+    graph: &DiGraph,
+    weights: &LtWeights,
+    root: NodeId,
+    scratch: &mut BfsScratch,
+    out: &mut Vec<NodeId>,
+) {
+    out.clear();
+    scratch.begin();
+    scratch.mark(root);
+    out.push(root);
+    let mut current = root;
+    loop {
+        // Pick at most one in-edge of `current`.
+        let mut draw: f32 = rng.gen_range(0.0..1.0);
+        let mut chosen: Option<NodeId> = None;
+        for e in graph.in_edges(current) {
+            let w = weights.get(e.id);
+            if draw < w {
+                chosen = Some(e.source);
+                break;
+            }
+            draw -= w;
+        }
+        match chosen {
+            Some(u) if !scratch.is_marked(u) => {
+                scratch.mark(u);
+                out.push(u);
+                current = u;
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Generates θ LT RR sets with shared infrastructure (roots + inverted
+/// index), returning a standard [`crate::RrPool`].
+pub fn generate_lt_pool(
+    graph: &DiGraph,
+    weights: &LtWeights,
+    theta: usize,
+    seed: u64,
+) -> crate::RrPool {
+    assert!(graph.node_count() > 0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = graph.node_count();
+    let roots: Vec<NodeId> = (0..theta)
+        .map(|_| rng.gen_range(0..n as NodeId))
+        .collect();
+    let mut scratch = BfsScratch::new(n);
+    let mut buf = Vec::new();
+    let mut sets: Vec<Vec<NodeId>> = Vec::with_capacity(theta);
+    for &root in &roots {
+        sample_rr_set_lt(&mut rng, graph, weights, root, &mut scratch, &mut buf);
+        sets.push(buf.clone());
+    }
+    let store = crate::RrStore::from_sets(&sets, n);
+    crate::RrPool::from_parts(n as u32, roots, store)
+}
+
+/// Forward Monte-Carlo LT simulation of the expected spread of `seeds`.
+pub fn simulate_spread_lt<R: Rng + ?Sized>(
+    rng: &mut R,
+    graph: &DiGraph,
+    weights: &LtWeights,
+    seeds: &[NodeId],
+    runs: usize,
+) -> f64 {
+    assert!(runs > 0);
+    let n = graph.node_count();
+    let mut total = 0usize;
+    let mut threshold = vec![0.0f32; n];
+    let mut incoming = vec![0.0f32; n];
+    let mut active = vec![false; n];
+    for _ in 0..runs {
+        for v in 0..n {
+            threshold[v] = rng.gen_range(f32::EPSILON..=1.0);
+            incoming[v] = 0.0;
+            active[v] = false;
+        }
+        let mut frontier: Vec<NodeId> = Vec::new();
+        for &s in seeds {
+            if !active[s as usize] {
+                active[s as usize] = true;
+                frontier.push(s);
+                total += 1;
+            }
+        }
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for e in graph.out_edges(u) {
+                    let v = e.target as usize;
+                    if active[v] {
+                        continue;
+                    }
+                    incoming[v] += weights.get(e.id);
+                    if incoming[v] >= threshold[v] {
+                        active[v] = true;
+                        next.push(e.target);
+                        total += 1;
+                    }
+                }
+            }
+            frontier = next;
+        }
+    }
+    total as f64 / runs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn uniform_weights_valid() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = oipa_graph::generators::erdos_renyi_gnm(&mut rng, 50, 300);
+        let w = LtWeights::uniform(&g);
+        // Re-validate through the checking constructor.
+        let again = LtWeights::new(&g, (0..g.edge_count()).map(|e| w.get(e as u32)).collect());
+        assert!(again.is_ok());
+    }
+
+    #[test]
+    fn rejects_oversubscribed_node() {
+        let g = oipa_graph::DiGraph::from_edges(3, &[(0, 2), (1, 2)]).unwrap();
+        assert!(LtWeights::new(&g, vec![0.8, 0.8]).is_err());
+        assert!(LtWeights::new(&g, vec![0.5, 0.5]).is_ok());
+        assert!(LtWeights::new(&g, vec![0.5]).is_err()); // wrong arity
+        assert!(LtWeights::new(&g, vec![1.5, 0.0]).is_err());
+    }
+
+    #[test]
+    fn walk_on_deterministic_line() {
+        // 0 -> 1 -> 2 with in-degree-1 nodes: weights 1, so the reverse
+        // walk from 2 always collects {2, 1, 0}.
+        let g = oipa_graph::DiGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let w = LtWeights::uniform(&g);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut scratch = BfsScratch::new(3);
+        let mut out = Vec::new();
+        for _ in 0..20 {
+            sample_rr_set_lt(&mut rng, &g, &w, 2, &mut scratch, &mut out);
+            assert_eq!(out, vec![2, 1, 0]);
+        }
+    }
+
+    #[test]
+    fn rr_sets_are_walks() {
+        // Every LT RR set must be a simple path in the reverse graph:
+        // its length is ≤ n and consecutive nodes are connected.
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = oipa_graph::generators::erdos_renyi_gnm(&mut rng, 40, 240);
+        let w = LtWeights::uniform(&g);
+        let pool = generate_lt_pool(&g, &w, 500, 9);
+        for i in 0..pool.theta() {
+            let set = pool.store().set(i);
+            for pair in set.windows(2) {
+                assert!(
+                    g.find_edge(pair[1], pair[0]).is_some(),
+                    "walk step {} -> {} has no edge",
+                    pair[1],
+                    pair[0]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn estimator_matches_forward_lt_simulation() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let g = oipa_graph::generators::barabasi_albert(&mut rng, 80, 3);
+        let w = LtWeights::uniform(&g);
+        let pool = generate_lt_pool(&g, &w, 60_000, 4);
+        let seeds = vec![0u32, 1, 2];
+        let est = pool.estimate_spread(&seeds);
+        let truth = simulate_spread_lt(&mut StdRng::seed_from_u64(5), &g, &w, &seeds, 4000);
+        let rel = (est - truth).abs() / truth.max(1.0);
+        assert!(rel < 0.08, "LT estimate {est} vs simulation {truth} ({rel})");
+    }
+
+    #[test]
+    fn lt_hub_covers_most_sets() {
+        let edges: Vec<(u32, u32)> = (1..20).map(|v| (0, v)).collect();
+        let g = oipa_graph::DiGraph::from_edges(20, &edges).unwrap();
+        let w = LtWeights::uniform(&g);
+        let pool = generate_lt_pool(&g, &w, 5_000, 6);
+        // Every leaf's only in-edge comes from the hub with weight 1, so
+        // every RR set contains node 0 — it covers all samples.
+        let best = (0..20u32)
+            .max_by_key(|&v| pool.store().samples_containing(v).len())
+            .unwrap();
+        assert_eq!(best, 0);
+        assert_eq!(pool.store().samples_containing(0).len(), pool.theta());
+        assert!((pool.estimate_spread(&[0]) - 20.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,301 @@
+//! Multi-reverse-reachable (MRR) set pools.
+//!
+//! One MRR sample is a multiset `R_i = {R_i^1, …, R_i^ℓ}`: for a single
+//! uniformly drawn root `v_i`, one RR set per viral piece under that
+//! piece's influence graph. Sharing the root across pieces is what makes
+//! Eqn. (6) an unbiased estimator of the adoption utility (Lemma 2).
+
+use crate::edge_prob::{EdgeProb, PieceProbs};
+use crate::rr::{sample_rr_set, RrStore};
+use oipa_graph::traverse::BfsScratch;
+use oipa_graph::{DiGraph, NodeId};
+use oipa_topics::{Campaign, EdgeTopicProbs};
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// θ MRR samples for an ℓ-piece campaign.
+///
+/// ```
+/// use oipa_sampler::MrrPool;
+///
+/// let (graph, table, campaign) = oipa_sampler::testkit::fig1();
+/// let pool = MrrPool::generate(&graph, &table, &campaign, 1_000, 42);
+/// assert_eq!(pool.theta(), 1_000);
+/// assert_eq!(pool.ell(), 2);
+/// // Every sample's RR set for a piece contains its root.
+/// assert!(pool.rr_set(0, 0).contains(&pool.roots()[0]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MrrPool {
+    n: u32,
+    roots: Vec<NodeId>,
+    stores: Vec<RrStore>,
+}
+
+/// Fixed chunk size; must match across sequential/parallel generation so
+/// results are reproducible regardless of thread count.
+const CHUNK: usize = 2048;
+
+impl MrrPool {
+    /// Generates θ MRR samples sequentially.
+    pub fn generate(
+        graph: &DiGraph,
+        table: &EdgeTopicProbs,
+        campaign: &Campaign,
+        theta: usize,
+        seed: u64,
+    ) -> MrrPool {
+        Self::generate_parallel(graph, table, campaign, theta, seed, 1)
+    }
+
+    /// Generates θ MRR samples with `threads` workers. Output is identical
+    /// to the sequential version for the same seed.
+    pub fn generate_parallel(
+        graph: &DiGraph,
+        table: &EdgeTopicProbs,
+        campaign: &Campaign,
+        theta: usize,
+        seed: u64,
+        threads: usize,
+    ) -> MrrPool {
+        assert!(graph.node_count() > 0, "cannot sample an empty graph");
+        table.check_against(graph).expect("probability table matches graph");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pick = Uniform::new(0, graph.node_count() as NodeId);
+        let roots: Vec<NodeId> = (0..theta).map(|_| pick.sample(&mut rng)).collect();
+
+        // Job = (piece j, chunk ci). Work-stealing over an atomic counter.
+        let ell = campaign.len();
+        let chunk_count = roots.len().div_ceil(CHUNK).max(1);
+        let jobs: Vec<(usize, usize)> = (0..ell)
+            .flat_map(|j| (0..chunk_count).map(move |ci| (j, ci)))
+            .collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let results: Vec<parking_lot::Mutex<Option<RrStore>>> =
+            (0..jobs.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+        let threads = threads.max(1);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let job = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if job >= jobs.len() {
+                        break;
+                    }
+                    let (j, ci) = jobs[job];
+                    let piece = &campaign.piece(j).topics;
+                    let probs = PieceProbs::new(table, piece);
+                    let lo = ci * CHUNK;
+                    let hi = (lo + CHUNK).min(roots.len());
+                    let store = generate_chunk(graph, &probs, &roots[lo..hi], seed, j, ci);
+                    *results[job].lock() = Some(store);
+                });
+            }
+        })
+        .expect("MRR worker panicked");
+
+        let mut all: Vec<Option<RrStore>> = results
+            .into_iter()
+            .map(|m| Some(m.into_inner().expect("all chunks generated")))
+            .collect();
+        let stores: Vec<RrStore> = (0..ell)
+            .map(|j| {
+                let chunks: Vec<RrStore> = (0..chunk_count)
+                    .map(|ci| all[j * chunk_count + ci].take().expect("chunk present"))
+                    .collect();
+                RrStore::concat(chunks, graph.node_count())
+            })
+            .collect();
+        MrrPool {
+            n: graph.node_count() as u32,
+            roots,
+            stores,
+        }
+    }
+
+    /// Number of graph nodes `n` (the estimator scale factor numerator).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Number of MRR samples θ.
+    #[inline]
+    pub fn theta(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Number of pieces ℓ.
+    #[inline]
+    pub fn ell(&self) -> usize {
+        self.stores.len()
+    }
+
+    /// The shared root sequence.
+    #[inline]
+    pub fn roots(&self) -> &[NodeId] {
+        &self.roots
+    }
+
+    /// The estimator scale factor `n/θ`.
+    #[inline]
+    pub fn scale(&self) -> f64 {
+        if self.theta() == 0 {
+            0.0
+        } else {
+            self.n as f64 / self.theta() as f64
+        }
+    }
+
+    /// RR set `R_i^j`.
+    #[inline]
+    pub fn rr_set(&self, piece: usize, sample: usize) -> &[NodeId] {
+        self.stores[piece].set(sample)
+    }
+
+    /// Sample ids `i` with `v ∈ R_i^j` — the inverted index used by every
+    /// marginal-gain evaluation in the solvers.
+    #[inline]
+    pub fn samples_containing(&self, piece: usize, v: NodeId) -> &[u32] {
+        self.stores[piece].samples_containing(v)
+    }
+
+    /// Per-piece storage (for baselines that treat one piece's sets as a
+    /// plain RR pool).
+    #[inline]
+    pub fn piece_store(&self, piece: usize) -> &RrStore {
+        &self.stores[piece]
+    }
+
+    /// Reassembles a pool from deserialized parts (crate-internal; used by
+    /// `binio`).
+    pub(crate) fn from_parts(n: u32, roots: Vec<NodeId>, stores: Vec<RrStore>) -> MrrPool {
+        assert!(!stores.is_empty());
+        assert!(stores.iter().all(|s| s.len() == roots.len()));
+        MrrPool { n, roots, stores }
+    }
+
+    /// Total memory-resident node entries across all pieces.
+    pub fn total_nodes(&self) -> usize {
+        self.stores.iter().map(|s| s.total_nodes()).sum()
+    }
+}
+
+fn generate_chunk<P: EdgeProb + ?Sized>(
+    graph: &DiGraph,
+    probs: &P,
+    roots: &[NodeId],
+    seed: u64,
+    piece: usize,
+    chunk_index: usize,
+) -> RrStore {
+    // Stream id mixes piece and chunk so every (piece, chunk) pair draws an
+    // independent, reproducible sequence.
+    let stream = (piece as u64) << 32 | chunk_index as u64;
+    let mut rng = SmallRng::seed_from_u64(
+        seed ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(0x517c_c1b7),
+    );
+    let mut scratch = BfsScratch::new(graph.node_count());
+    let mut set_buf: Vec<NodeId> = Vec::new();
+    let mut offsets = Vec::with_capacity(roots.len() + 1);
+    let mut nodes: Vec<NodeId> = Vec::new();
+    offsets.push(0u64);
+    for &root in roots {
+        sample_rr_set(&mut rng, graph, probs, root, &mut scratch, &mut set_buf);
+        nodes.extend_from_slice(&set_buf);
+        offsets.push(nodes.len() as u64);
+    }
+    RrStore::from_raw(offsets, nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::fig1;
+
+    #[test]
+    fn fig1_reachability_matches_example1() {
+        let (g, table, campaign) = fig1();
+        // Forward closure sanity: under t1 (topic 0), a reaches {a,b,c,d}.
+        let probs1 = table.materialize(&campaign.piece(0).topics);
+        let live1: Vec<(u32, u32)> = g
+            .edges()
+            .filter(|e| probs1[e.id as usize] > 0.5)
+            .map(|e| (e.source, e.target))
+            .collect();
+        let g1 = DiGraph::from_edges(5, &live1).unwrap();
+        let mut reach = oipa_graph::traverse::forward_reachable(&g1, 0);
+        reach.sort_unstable();
+        assert_eq!(reach, vec![0, 1, 2, 3]);
+        // Under t2, e reaches {b,c,d,e}.
+        let probs2 = table.materialize(&campaign.piece(1).topics);
+        let live2: Vec<(u32, u32)> = g
+            .edges()
+            .filter(|e| probs2[e.id as usize] > 0.5)
+            .map(|e| (e.source, e.target))
+            .collect();
+        let g2 = DiGraph::from_edges(5, &live2).unwrap();
+        let mut reach = oipa_graph::traverse::forward_reachable(&g2, 4);
+        reach.sort_unstable();
+        assert_eq!(reach, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn mrr_pool_structure() {
+        let (g, table, campaign) = fig1();
+        let pool = MrrPool::generate(&g, &table, &campaign, 1000, 3);
+        assert_eq!(pool.theta(), 1000);
+        assert_eq!(pool.ell(), 2);
+        assert_eq!(pool.node_count(), 5);
+        assert!((pool.scale() - 5.0 / 1000.0).abs() < 1e-12);
+        // Deterministic graph: every RR set for piece 0 rooted at c must be
+        // exactly the backward closure {c, b, a}.
+        for i in 0..pool.theta() {
+            if pool.roots()[i] == 2 {
+                let mut s = pool.rr_set(0, i).to_vec();
+                s.sort_unstable();
+                assert_eq!(s, vec![0, 1, 2]);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let (g, table, campaign) = fig1();
+        let a = MrrPool::generate(&g, &table, &campaign, 5000, 11);
+        let b = MrrPool::generate_parallel(&g, &table, &campaign, 5000, 11, 3);
+        assert_eq!(a.roots(), b.roots());
+        for j in 0..2 {
+            for i in (0..5000).step_by(501) {
+                assert_eq!(a.rr_set(j, i), b.rr_set(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn inverted_index_matches_membership() {
+        let (g, table, campaign) = fig1();
+        let pool = MrrPool::generate(&g, &table, &campaign, 300, 17);
+        for j in 0..pool.ell() {
+            for v in 0..5u32 {
+                let via: std::collections::HashSet<u32> =
+                    pool.samples_containing(j, v).iter().copied().collect();
+                for i in 0..pool.theta() {
+                    assert_eq!(pool.rr_set(j, i).contains(&v), via.contains(&(i as u32)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn roots_shared_across_pieces() {
+        let (g, table, campaign) = fig1();
+        let pool = MrrPool::generate(&g, &table, &campaign, 200, 29);
+        for i in 0..pool.theta() {
+            let root = pool.roots()[i];
+            // The root always belongs to both of its RR sets.
+            assert!(pool.rr_set(0, i).contains(&root));
+            assert!(pool.rr_set(1, i).contains(&root));
+        }
+    }
+}

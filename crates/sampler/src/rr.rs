@@ -1,0 +1,467 @@
+//! Single-piece reverse-reachable set pools.
+
+use crate::edge_prob::EdgeProb;
+use oipa_graph::traverse::BfsScratch;
+use oipa_graph::{DiGraph, NodeId};
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Flat storage for θ RR sets plus the inverted node→samples index.
+///
+/// * `offsets[i]..offsets[i+1]` delimits the nodes of set `i` in `nodes`.
+/// * `idx_offsets[v]..idx_offsets[v+1]` delimits, in `idx_samples`, the
+///   sample ids whose RR set contains `v` — the structure every greedy
+///   coverage step walks.
+#[derive(Debug, Clone, Default)]
+pub struct RrStore {
+    offsets: Vec<u64>,
+    nodes: Vec<NodeId>,
+    idx_offsets: Vec<u64>,
+    idx_samples: Vec<u32>,
+}
+
+impl RrStore {
+    /// Number of RR sets θ.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Whether the store holds no sets.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The nodes of RR set `i`.
+    #[inline]
+    pub fn set(&self, i: usize) -> &[NodeId] {
+        &self.nodes[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Sample ids whose RR set contains `v`.
+    #[inline]
+    pub fn samples_containing(&self, v: NodeId) -> &[u32] {
+        &self.idx_samples
+            [self.idx_offsets[v as usize] as usize..self.idx_offsets[v as usize + 1] as usize]
+    }
+
+    /// Total nodes across all sets (Σ|R_i|).
+    #[inline]
+    pub fn total_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Average RR-set size.
+    pub fn avg_set_size(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.total_nodes() as f64 / self.len() as f64
+        }
+    }
+
+    pub(crate) fn build_index(&mut self, n: usize) {
+        let mut counts = vec![0u64; n + 1];
+        for &v in &self.nodes {
+            counts[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let mut idx_samples = vec![0u32; self.nodes.len()];
+        let mut cursor = counts.clone();
+        for i in 0..self.len() {
+            let (lo, hi) = (self.offsets[i] as usize, self.offsets[i + 1] as usize);
+            for &v in &self.nodes[lo..hi] {
+                let slot = cursor[v as usize];
+                idx_samples[slot as usize] = i as u32;
+                cursor[v as usize] += 1;
+            }
+        }
+        self.idx_offsets = counts;
+        self.idx_samples = idx_samples;
+    }
+
+    /// Raw CSR offsets (for serialization).
+    pub(crate) fn raw_offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// Raw node array (for serialization).
+    pub(crate) fn raw_nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Builds an indexed store from a slice of RR sets (used by callers
+    /// that accumulate sets incrementally, e.g. the IMM baseline).
+    pub fn from_sets(sets: &[Vec<NodeId>], n: usize) -> RrStore {
+        let mut offsets = Vec::with_capacity(sets.len() + 1);
+        offsets.push(0u64);
+        let total: usize = sets.iter().map(|s| s.len()).sum();
+        let mut nodes = Vec::with_capacity(total);
+        for s in sets {
+            nodes.extend_from_slice(s);
+            offsets.push(nodes.len() as u64);
+        }
+        let mut store = RrStore::from_raw(offsets, nodes);
+        store.build_index(n);
+        store
+    }
+
+    /// Builds a store from raw CSR arrays without an inverted index (used
+    /// for chunks that will be concatenated; the final index is built by
+    /// [`RrStore::concat`]).
+    pub(crate) fn from_raw(offsets: Vec<u64>, nodes: Vec<NodeId>) -> RrStore {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().expect("non-empty") as usize, nodes.len());
+        RrStore {
+            offsets,
+            nodes,
+            idx_offsets: Vec::new(),
+            idx_samples: Vec::new(),
+        }
+    }
+
+    /// Concatenates chunked stores (in order) and rebuilds the index.
+    pub(crate) fn concat(chunks: Vec<RrStore>, n: usize) -> RrStore {
+        let total_sets: usize = chunks.iter().map(|c| c.len()).sum();
+        let total_nodes: usize = chunks.iter().map(|c| c.total_nodes()).sum();
+        let mut out = RrStore {
+            offsets: Vec::with_capacity(total_sets + 1),
+            nodes: Vec::with_capacity(total_nodes),
+            idx_offsets: Vec::new(),
+            idx_samples: Vec::new(),
+        };
+        out.offsets.push(0);
+        for chunk in chunks {
+            for i in 0..chunk.len() {
+                out.nodes.extend_from_slice(chunk.set(i));
+                out.offsets.push(out.nodes.len() as u64);
+            }
+        }
+        out.build_index(n);
+        out
+    }
+}
+
+/// Samples one RR set rooted at `root`: the set of nodes that reach `root`
+/// in a live-edge sample of the influence graph, where each in-edge is live
+/// independently with its piece probability.
+///
+/// `scratch` provides O(1)-reset visit marking; `out` receives the set
+/// (cleared first).
+pub fn sample_rr_set<R: Rng + ?Sized, P: EdgeProb + ?Sized>(
+    rng: &mut R,
+    graph: &DiGraph,
+    probs: &P,
+    root: NodeId,
+    scratch: &mut BfsScratch,
+    out: &mut Vec<NodeId>,
+) {
+    out.clear();
+    scratch.begin();
+    scratch.mark(root);
+    out.push(root);
+    let mut head = 0usize;
+    while head < out.len() {
+        let v = out[head];
+        head += 1;
+        for e in graph.in_edges(v) {
+            if scratch.is_marked(e.source) {
+                continue;
+            }
+            let p = probs.prob(e.id);
+            if p > 0.0 && rng.gen_range(0.0f32..1.0) < p {
+                scratch.mark(e.source);
+                out.push(e.source);
+            }
+        }
+    }
+}
+
+/// A pool of θ RR sets for one homogeneous influence graph, with roots.
+#[derive(Debug, Clone)]
+pub struct RrPool {
+    n: u32,
+    roots: Vec<NodeId>,
+    store: RrStore,
+}
+
+impl RrPool {
+    /// Generates θ RR sets sequentially with the given seed.
+    pub fn generate<P: EdgeProb + ?Sized>(
+        graph: &DiGraph,
+        probs: &P,
+        theta: usize,
+        seed: u64,
+    ) -> RrPool {
+        assert!(graph.node_count() > 0, "cannot sample an empty graph");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pick = Uniform::new(0, graph.node_count() as NodeId);
+        let roots: Vec<NodeId> = (0..theta).map(|_| pick.sample(&mut rng)).collect();
+        let store = generate_store(graph, probs, &roots, seed ^ 0x9e37_79b9_7f4a_7c15);
+        RrPool {
+            n: graph.node_count() as u32,
+            roots,
+            store,
+        }
+    }
+
+    /// Generates θ RR sets using `threads` worker threads; output is
+    /// bit-identical to the sequential version with the same seed.
+    pub fn generate_parallel<P: EdgeProb + ?Sized>(
+        graph: &DiGraph,
+        probs: &P,
+        theta: usize,
+        seed: u64,
+        threads: usize,
+    ) -> RrPool {
+        assert!(graph.node_count() > 0, "cannot sample an empty graph");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pick = Uniform::new(0, graph.node_count() as NodeId);
+        let roots: Vec<NodeId> = (0..theta).map(|_| pick.sample(&mut rng)).collect();
+        let store = generate_store_parallel(graph, probs, &roots, seed ^ 0x9e37_79b9_7f4a_7c15, threads);
+        RrPool {
+            n: graph.node_count() as u32,
+            roots,
+            store,
+        }
+    }
+
+    /// Reassembles a pool from parts (crate-internal; LT generation and
+    /// deserialization).
+    pub(crate) fn from_parts(n: u32, roots: Vec<NodeId>, store: RrStore) -> RrPool {
+        assert_eq!(roots.len(), store.len());
+        RrPool { n, roots, store }
+    }
+
+    /// Number of nodes of the underlying graph (the estimator's `n`).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n as usize
+    }
+
+    /// θ.
+    #[inline]
+    pub fn theta(&self) -> usize {
+        self.store.len()
+    }
+
+    /// The sampled roots, aligned with set indices.
+    #[inline]
+    pub fn roots(&self) -> &[NodeId] {
+        &self.roots
+    }
+
+    /// Storage access.
+    #[inline]
+    pub fn store(&self) -> &RrStore {
+        &self.store
+    }
+
+    /// The classical IM estimate `σ̂(S) = n/θ · #{i : R_i ∩ S ≠ ∅}`.
+    pub fn estimate_spread(&self, seeds: &[NodeId]) -> f64 {
+        if self.theta() == 0 {
+            return 0.0;
+        }
+        let mut covered = vec![false; self.theta()];
+        for &s in seeds {
+            for &i in self.store.samples_containing(s) {
+                covered[i as usize] = true;
+            }
+        }
+        let hit = covered.iter().filter(|&&c| c).count();
+        self.n as f64 * hit as f64 / self.theta() as f64
+    }
+}
+
+/// Fixed-size chunks for deterministic parallel generation. Each chunk gets
+/// an independent RNG stream derived from (seed, chunk index).
+const CHUNK: usize = 4096;
+
+fn generate_store<P: EdgeProb + ?Sized>(
+    graph: &DiGraph,
+    probs: &P,
+    roots: &[NodeId],
+    seed: u64,
+) -> RrStore {
+    let chunks: Vec<RrStore> = roots
+        .chunks(CHUNK)
+        .enumerate()
+        .map(|(ci, chunk_roots)| generate_chunk(graph, probs, chunk_roots, seed, ci))
+        .collect();
+    RrStore::concat(chunks, graph.node_count())
+}
+
+fn generate_store_parallel<P: EdgeProb + ?Sized>(
+    graph: &DiGraph,
+    probs: &P,
+    roots: &[NodeId],
+    seed: u64,
+    threads: usize,
+) -> RrStore {
+    let threads = threads.max(1);
+    let chunk_jobs: Vec<(usize, &[NodeId])> = roots.chunks(CHUNK).enumerate().collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<parking_lot::Mutex<Option<RrStore>>> =
+        (0..chunk_jobs.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let job = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if job >= chunk_jobs.len() {
+                    break;
+                }
+                let (ci, chunk_roots) = chunk_jobs[job];
+                let store = generate_chunk(graph, probs, chunk_roots, seed, ci);
+                *results[job].lock() = Some(store);
+            });
+        }
+    })
+    .expect("sampler worker panicked");
+    let chunks: Vec<RrStore> = results
+        .into_iter()
+        .map(|m| m.into_inner().expect("all chunks generated"))
+        .collect();
+    RrStore::concat(chunks, graph.node_count())
+}
+
+fn generate_chunk<P: EdgeProb + ?Sized>(
+    graph: &DiGraph,
+    probs: &P,
+    roots: &[NodeId],
+    seed: u64,
+    chunk_index: usize,
+) -> RrStore {
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(0x100_0000).wrapping_mul(chunk_index as u64 + 1));
+    let mut scratch = BfsScratch::new(graph.node_count());
+    let mut set_buf: Vec<NodeId> = Vec::new();
+    let mut store = RrStore {
+        offsets: Vec::with_capacity(roots.len() + 1),
+        nodes: Vec::new(),
+        idx_offsets: Vec::new(),
+        idx_samples: Vec::new(),
+    };
+    store.offsets.push(0);
+    for &root in roots {
+        sample_rr_set(&mut rng, graph, probs, root, &mut scratch, &mut set_buf);
+        store.nodes.extend_from_slice(&set_buf);
+        store.offsets.push(store.nodes.len() as u64);
+    }
+    store
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge_prob::MaterializedProbs;
+    use rand::rngs::StdRng;
+
+    fn line_graph() -> (DiGraph, MaterializedProbs) {
+        // 0 -> 1 -> 2 with probability 1 everywhere.
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let p = MaterializedProbs(vec![1.0; g.edge_count()]);
+        (g, p)
+    }
+
+    #[test]
+    fn rr_set_deterministic_edges() {
+        let (g, p) = line_graph();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut scratch = BfsScratch::new(3);
+        let mut out = Vec::new();
+        sample_rr_set(&mut rng, &g, &p, 2, &mut scratch, &mut out);
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+        sample_rr_set(&mut rng, &g, &p, 0, &mut scratch, &mut out);
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn zero_prob_edges_never_cross() {
+        let g = DiGraph::from_edges(2, &[(0, 1)]).unwrap();
+        let p = MaterializedProbs(vec![0.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut scratch = BfsScratch::new(2);
+        let mut out = Vec::new();
+        for _ in 0..50 {
+            sample_rr_set(&mut rng, &g, &p, 1, &mut scratch, &mut out);
+            assert_eq!(out, vec![1]);
+        }
+    }
+
+    #[test]
+    fn pool_estimates_deterministic_graph_exactly() {
+        let (g, p) = line_graph();
+        let pool = RrPool::generate(&g, &p, 3000, 7);
+        // Seed {0} reaches everyone: spread 3. Estimator must be exact
+        // because all probabilities are 0/1.
+        assert!((pool.estimate_spread(&[0]) - 3.0).abs() < 1e-9);
+        // Seed {2} reaches only itself: RR sets rooted at 2 are the only
+        // ones containing 2 ⇒ estimate ≈ n · P(root = 2) ≈ 1.
+        let est = pool.estimate_spread(&[2]);
+        assert!((est - 1.0).abs() < 0.2, "estimate {est}");
+        assert_eq!(pool.estimate_spread(&[]), 0.0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = oipa_graph::generators::erdos_renyi_gnm(&mut rng, 120, 600);
+        let p = MaterializedProbs(vec![0.2; g.edge_count()]);
+        let a = RrPool::generate(&g, &p, 10_000, 42);
+        let b = RrPool::generate_parallel(&g, &p, 10_000, 42, 4);
+        assert_eq!(a.roots(), b.roots());
+        assert_eq!(a.store().total_nodes(), b.store().total_nodes());
+        for i in (0..a.theta()).step_by(997) {
+            assert_eq!(a.store().set(i), b.store().set(i));
+        }
+    }
+
+    #[test]
+    fn inverted_index_consistent() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = oipa_graph::generators::erdos_renyi_gnm(&mut rng, 50, 300);
+        let p = MaterializedProbs(vec![0.3; g.edge_count()]);
+        let pool = RrPool::generate(&g, &p, 2000, 3);
+        // Index must agree with direct membership.
+        for v in 0..50u32 {
+            let via_index: std::collections::HashSet<u32> =
+                pool.store().samples_containing(v).iter().copied().collect();
+            for i in 0..pool.theta() {
+                let member = pool.store().set(i).contains(&v);
+                assert_eq!(member, via_index.contains(&(i as u32)), "node {v} set {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn estimator_close_to_truth_on_random_graph() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = oipa_graph::generators::erdos_renyi_gnm(&mut rng, 80, 400);
+        let probs = MaterializedProbs(vec![0.15; g.edge_count()]);
+        let pool = RrPool::generate(&g, &probs, 60_000, 21);
+        let seeds = vec![0u32, 1, 2];
+        let est = pool.estimate_spread(&seeds);
+        let truth = crate::simulate::simulate_spread(
+            &mut StdRng::seed_from_u64(77),
+            &g,
+            &probs,
+            &seeds,
+            4000,
+        );
+        let rel = (est - truth).abs() / truth.max(1.0);
+        assert!(rel < 0.08, "estimate {est} vs truth {truth} (rel {rel})");
+    }
+
+    #[test]
+    fn roots_cover_all_nodes_eventually() {
+        let (g, p) = line_graph();
+        let pool = RrPool::generate(&g, &p, 500, 13);
+        let distinct: std::collections::HashSet<_> = pool.roots().iter().collect();
+        assert_eq!(distinct.len(), 3);
+    }
+}

@@ -1,0 +1,105 @@
+//! Sample-size (θ) calculators.
+//!
+//! The paper fixes θ = 10⁶ across experiments and notes (§V-A) that the
+//! Chernoff bounds used for RR sets (ref 26) carry over to MRR sets because the
+//! estimator is a mean of θ i.i.d. bounded variables. These helpers expose
+//! that arithmetic so callers can pick θ for a target accuracy instead of a
+//! magic constant.
+
+/// Two-sided multiplicative Chernoff bound: number of i.i.d. samples of a
+/// `[0, 1]`-bounded variable with mean `μ ≥ mu_lower` needed so that the
+/// empirical mean is within relative error `eps` with probability
+/// `1 − delta`:
+///
+/// `θ ≥ (2 + eps) · ln(2/δ) / (eps² · μ_lower)`.
+pub fn chernoff_theta(mu_lower: f64, eps: f64, delta: f64) -> usize {
+    assert!(mu_lower > 0.0 && mu_lower <= 1.0, "mean bound in (0, 1]");
+    assert!(eps > 0.0 && delta > 0.0 && delta < 1.0);
+    let theta = (2.0 + eps) * (2.0 / delta).ln() / (eps * eps * mu_lower);
+    theta.ceil() as usize
+}
+
+/// θ for estimating an adoption utility of at least `sigma_lower` (in
+/// users) on an `n`-node graph within relative error `eps`, failure
+/// probability `delta`.
+///
+/// The per-sample variable `X_i ∈ [0, 1]` has mean `σ(S̄)/n`, so the bound
+/// is [`chernoff_theta`] at `μ_lower = sigma_lower / n`.
+pub fn theta_for_utility(n: usize, sigma_lower: f64, eps: f64, delta: f64) -> usize {
+    assert!(n > 0);
+    assert!(sigma_lower > 0.0);
+    chernoff_theta((sigma_lower / n as f64).min(1.0), eps, delta)
+}
+
+/// `ln C(n, k)` via the log-gamma series — used by IMM-style bounds where
+/// the union bound runs over all size-k seed sets.
+pub fn ln_choose(n: usize, k: usize) -> f64 {
+    assert!(k <= n, "k must not exceed n");
+    let k = k.min(n - k);
+    // ln C(n,k) = Σ_{i=1..k} ln((n - k + i) / i).
+    (1..=k)
+        .map(|i| (((n - k + i) as f64) / i as f64).ln())
+        .sum()
+}
+
+/// The IMM-flavoured θ (Tang, Shi, Xiao — SIGMOD 2015, Eqn. 9 shape):
+///
+/// `θ = (8 + 2ε) n (ln(1/δ) + ln C(n,k)) / (ε² · OPT_lower)`.
+///
+/// Used by the standalone IMM baseline; the paper's own experiments bypass
+/// this and fix θ directly.
+pub fn imm_theta(n: usize, k: usize, opt_lower: f64, eps: f64, delta: f64) -> usize {
+    assert!(n > 0 && opt_lower > 0.0 && eps > 0.0 && delta > 0.0 && delta < 1.0);
+    let numer = (8.0 + 2.0 * eps) * n as f64 * ((1.0 / delta).ln() + ln_choose(n, k));
+    (numer / (eps * eps * opt_lower)).ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chernoff_monotone_in_accuracy() {
+        let loose = chernoff_theta(0.1, 0.2, 0.05);
+        let tight = chernoff_theta(0.1, 0.1, 0.05);
+        assert!(tight > loose);
+        let confident = chernoff_theta(0.1, 0.2, 0.001);
+        assert!(confident > loose);
+    }
+
+    #[test]
+    fn chernoff_scale() {
+        // μ=0.01, ε=0.1, δ=0.01: θ = 2.1·ln(200)/(0.1²·0.01) ≈ 1.11e5.
+        let theta = chernoff_theta(0.01, 0.1, 0.01);
+        assert!((100_000..130_000).contains(&theta), "theta {theta}");
+    }
+
+    #[test]
+    fn utility_wrapper() {
+        let a = theta_for_utility(1000, 10.0, 0.1, 0.01);
+        let b = chernoff_theta(0.01, 0.1, 0.01);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ln_choose_known_values() {
+        assert!((ln_choose(5, 2) - (10f64).ln()).abs() < 1e-9);
+        assert!((ln_choose(10, 0)).abs() < 1e-12);
+        assert!((ln_choose(10, 10)).abs() < 1e-12);
+        // Symmetry.
+        assert!((ln_choose(50, 3) - ln_choose(50, 47)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn imm_theta_grows_with_k() {
+        let t1 = imm_theta(10_000, 10, 100.0, 0.3, 0.01);
+        let t2 = imm_theta(10_000, 50, 100.0, 0.3, 0.01);
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must not exceed n")]
+    fn ln_choose_rejects_bad_k() {
+        let _ = ln_choose(3, 4);
+    }
+}

@@ -1,0 +1,162 @@
+//! The logistic adoption model of Eqn. (1).
+//!
+//! A user who receives `c ≥ 1` distinct pieces of the campaign adopts with
+//! probability `1 / (1 + exp(α − β·c))`; a user reached by no piece never
+//! adopts (the "otherwise" branch — **not** `sigmoid(−α)`). The parameters
+//! trade off the adoption turning point (`α`) against the per-piece payoff
+//! (`β`); the experiments sweep the ratio `β/α` (§VI-E).
+
+use serde::{Deserialize, Serialize};
+
+/// Logistic adoption parameters `(α, β)`.
+///
+/// ```
+/// use oipa_topics::LogisticAdoption;
+///
+/// // Example 1 of the paper: α = 3, β = 1.
+/// let m = LogisticAdoption::example();
+/// assert_eq!(m.adoption_prob(0), 0.0);            // Eqn. 1's zero branch
+/// assert!((m.adoption_prob(2) - 0.2689).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogisticAdoption {
+    /// Adoption difficulty: larger α makes adoption harder.
+    pub alpha: f64,
+    /// Per-piece weight: each received piece shifts the logit by β.
+    pub beta: f64,
+}
+
+impl LogisticAdoption {
+    /// Creates the model; both parameters must be positive (paper: `α, β > 0`).
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(alpha > 0.0, "alpha must be positive");
+        assert!(beta > 0.0, "beta must be positive");
+        LogisticAdoption { alpha, beta }
+    }
+
+    /// The experiments' parameterization: fixed `β = 1`, given ratio `β/α`
+    /// (Table IV sweeps 0.3 / 0.5 / 0.7).
+    pub fn from_ratio(beta_over_alpha: f64) -> Self {
+        assert!(beta_over_alpha > 0.0);
+        LogisticAdoption::new(1.0 / beta_over_alpha, 1.0)
+    }
+
+    /// The running example's parameters (`α = 3, β = 1`).
+    pub fn example() -> Self {
+        LogisticAdoption::new(3.0, 1.0)
+    }
+
+    /// The logit `x = β·c − α` for coverage count `c`.
+    #[inline]
+    pub fn logit(&self, coverage: usize) -> f64 {
+        self.beta * coverage as f64 - self.alpha
+    }
+
+    /// Adoption probability `p[X_v = 1]` for a user reached by `coverage`
+    /// distinct pieces. Zero coverage ⇒ zero probability (Eqn. 1).
+    #[inline]
+    pub fn adoption_prob(&self, coverage: usize) -> f64 {
+        if coverage == 0 {
+            0.0
+        } else {
+            sigmoid(self.logit(coverage))
+        }
+    }
+
+    /// Marginal adoption gain from one extra covered piece.
+    #[inline]
+    pub fn marginal(&self, coverage_before: usize) -> f64 {
+        self.adoption_prob(coverage_before + 1) - self.adoption_prob(coverage_before)
+    }
+}
+
+/// Numerically stable logistic function `1 / (1 + e^{-x})`.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Derivative of the logistic function, `σ'(x) = σ(x)(1 − σ(x))`.
+#[inline]
+pub fn sigmoid_derivative(x: f64) -> f64 {
+    let s = sigmoid(x);
+    s * (1.0 - s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_paper_values() {
+        // Example 1: α = 3, β = 1. p(c=2) = 1/(1+e^{3-2}) ≈ 0.2689,
+        // p(c=1) = 1/(1+e^{3-1}) ≈ 0.1192.
+        let m = LogisticAdoption::example();
+        assert!((m.adoption_prob(2) - 0.268_941).abs() < 1e-5);
+        assert!((m.adoption_prob(1) - 0.119_203).abs() < 1e-5);
+    }
+
+    #[test]
+    fn zero_coverage_is_zero_not_sigmoid() {
+        let m = LogisticAdoption::example();
+        assert_eq!(m.adoption_prob(0), 0.0);
+        assert!(sigmoid(m.logit(0)) > 0.0, "sigmoid(-α) is positive");
+    }
+
+    #[test]
+    fn monotone_in_coverage() {
+        let m = LogisticAdoption::new(4.0, 0.7);
+        let mut prev = 0.0;
+        for c in 0..20 {
+            let p = m.adoption_prob(c);
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn s_shape_marginals() {
+        // Marginal gains grow while the logit is negative (convex region)
+        // and shrink after it turns positive (concave region).
+        let m = LogisticAdoption::new(5.0, 1.0);
+        assert!(m.marginal(2) < m.marginal(3)); // still climbing toward α
+        assert!(m.marginal(7) > m.marginal(8)); // past the turning point
+    }
+
+    #[test]
+    fn from_ratio() {
+        let m = LogisticAdoption::from_ratio(0.5);
+        assert!((m.alpha - 2.0).abs() < 1e-12);
+        assert!((m.beta - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sigmoid_stability() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(-800.0) >= 0.0);
+        assert!(sigmoid(800.0) <= 1.0);
+        assert!((sigmoid(800.0) - 1.0).abs() < 1e-12);
+        // Symmetry σ(x) + σ(−x) = 1.
+        for &x in &[0.1, 1.0, 3.5, 10.0] {
+            assert!((sigmoid(x) + sigmoid(-x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn derivative_peaks_at_zero() {
+        assert!((sigmoid_derivative(0.0) - 0.25).abs() < 1e-12);
+        assert!(sigmoid_derivative(2.0) < 0.25);
+        assert!((sigmoid_derivative(2.0) - sigmoid_derivative(-2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn rejects_nonpositive_alpha() {
+        let _ = LogisticAdoption::new(0.0, 1.0);
+    }
+}

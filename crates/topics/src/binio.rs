@@ -1,0 +1,172 @@
+//! Binary serialization for `p(e|z)` tables.
+//!
+//! Probability learning (TIC EM, LDA derivation) is the slowest part of
+//! dataset preparation; pipelines persist the learned table next to the
+//! graph. Format (little-endian, magic-tagged):
+//!
+//! ```text
+//! [8]   magic "OIPAPROB"
+//! [4]   version (u32)
+//! [4]   topic_count (u32)
+//! [8]   edge_count (u64)
+//! [8]   nnz (u64)
+//! [(m+1)·4] row offsets (u32)       — CSR offsets over edges
+//! [nnz·2]   topic ids (u16)
+//! [nnz·4]   probabilities (f32)
+//! ```
+
+use crate::edge_probs::{EdgeProbsBuilder, EdgeTopicProbs};
+use crate::vector::SparseTopicVector;
+use crate::{Result, TopicError};
+use oipa_graph::binio::{read_f32, read_u32, read_u64, write_f32, write_u32, write_u64};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"OIPAPROB";
+const VERSION: u32 = 1;
+
+/// Serializes a table to a writer.
+pub fn write_table<W: Write>(table: &EdgeTopicProbs, writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(MAGIC)?;
+    write_u32(&mut w, VERSION)?;
+    write_u32(&mut w, table.topic_count() as u32)?;
+    write_u64(&mut w, table.edge_count() as u64)?;
+    write_u64(&mut w, table.nnz() as u64)?;
+    let mut offset = 0u32;
+    write_u32(&mut w, 0)?;
+    for e in 0..table.edge_count() {
+        offset += table.row(e as u32).0.len() as u32;
+        write_u32(&mut w, offset)?;
+    }
+    for e in 0..table.edge_count() {
+        for &z in table.row(e as u32).0 {
+            w.write_all(&z.to_le_bytes())?;
+        }
+    }
+    for e in 0..table.edge_count() {
+        for &p in table.row(e as u32).1 {
+            write_f32(&mut w, p)?;
+        }
+    }
+    w.flush()
+}
+
+/// Deserializes a table from a reader.
+pub fn read_table<R: Read>(reader: R) -> Result<EdgeTopicProbs> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic).map_err(io_err)?;
+    if &magic != MAGIC {
+        return Err(TopicError::Serialization(
+            "bad magic: not an OIPA probability table".to_string(),
+        ));
+    }
+    let version = read_u32(&mut r).map_err(io_err)?;
+    if version != VERSION {
+        return Err(TopicError::Serialization(format!(
+            "unsupported table version {version}"
+        )));
+    }
+    let topic_count = read_u32(&mut r).map_err(io_err)? as usize;
+    let edge_count = read_u64(&mut r).map_err(io_err)? as usize;
+    let nnz = read_u64(&mut r).map_err(io_err)? as usize;
+    let mut offsets = Vec::with_capacity(edge_count + 1);
+    for _ in 0..=edge_count {
+        offsets.push(read_u32(&mut r).map_err(io_err)?);
+    }
+    let mut topics = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        let mut buf = [0u8; 2];
+        r.read_exact(&mut buf).map_err(io_err)?;
+        topics.push(u16::from_le_bytes(buf));
+    }
+    let mut probs = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        probs.push(read_f32(&mut r).map_err(io_err)?);
+    }
+    let mut builder = EdgeProbsBuilder::new(edge_count, topic_count.max(1));
+    for e in 0..edge_count {
+        let (lo, hi) = (offsets[e] as usize, offsets[e + 1] as usize);
+        let entries: Vec<(u16, f32)> = topics[lo..hi]
+            .iter()
+            .copied()
+            .zip(probs[lo..hi].iter().copied())
+            .collect();
+        builder.set(e as u32, SparseTopicVector::new(entries, topic_count.max(1))?)?;
+    }
+    Ok(builder.build())
+}
+
+fn io_err(e: std::io::Error) -> TopicError {
+    TopicError::Serialization(e.to_string())
+}
+
+/// Serializes to a file path.
+pub fn write_table_file<P: AsRef<Path>>(table: &EdgeTopicProbs, path: P) -> std::io::Result<()> {
+    write_table(table, std::fs::File::create(path)?)
+}
+
+/// Deserializes from a file path.
+pub fn read_table_file<P: AsRef<Path>>(path: P) -> Result<EdgeTopicProbs> {
+    read_table(std::fs::File::open(path).map_err(io_err)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_random_table() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = oipa_graph::generators::erdos_renyi_gnm(&mut rng, 80, 500);
+        let table = crate::synthesize_random(
+            &mut rng,
+            &g,
+            crate::SynthesisParams {
+                topic_count: 12,
+                avg_support: 2.0,
+                max_prob: 0.9,
+                weighted_cascade: true,
+            },
+        );
+        let mut buf = Vec::new();
+        write_table(&table, &mut buf).unwrap();
+        let back = read_table(&buf[..]).unwrap();
+        assert_eq!(table, back);
+    }
+
+    #[test]
+    fn roundtrip_with_empty_rows() {
+        let mut builder = EdgeProbsBuilder::new(3, 4);
+        builder
+            .set(1, SparseTopicVector::new(vec![(2, 0.5)], 4).unwrap())
+            .unwrap();
+        let table = builder.build();
+        let mut buf = Vec::new();
+        write_table(&table, &mut buf).unwrap();
+        let back = read_table(&buf[..]).unwrap();
+        assert_eq!(table, back);
+        assert_eq!(back.row(0).0.len(), 0);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(read_table(&b"WRONG!!!"[..]).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let mut builder = EdgeProbsBuilder::new(2, 2);
+        builder
+            .set(0, SparseTopicVector::new(vec![(0, 0.5)], 2).unwrap())
+            .unwrap();
+        let table = builder.build();
+        let mut buf = Vec::new();
+        write_table(&table, &mut buf).unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(read_table(&buf[..]).is_err());
+    }
+}

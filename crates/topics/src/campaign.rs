@@ -1,0 +1,168 @@
+//! Campaigns and viral pieces.
+
+use crate::vector::TopicVector;
+use crate::Result;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One viral piece `t_j ∈ T`: a topic distribution plus a display name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Piece {
+    /// Human-readable label ("tax", "healthcare", …).
+    pub name: String,
+    /// Topic distribution `t`.
+    pub topics: TopicVector,
+}
+
+impl Piece {
+    /// Creates a named piece.
+    pub fn new(name: impl Into<String>, topics: TopicVector) -> Self {
+        Piece {
+            name: name.into(),
+            topics,
+        }
+    }
+
+    /// A one-hot piece on `topic` named after it.
+    pub fn single_topic(topic_count: usize, topic: usize) -> Result<Self> {
+        Ok(Piece {
+            name: format!("topic-{topic}"),
+            topics: TopicVector::one_hot(topic_count, topic)?,
+        })
+    }
+}
+
+/// A multifaceted campaign `T = {t_1, …, t_ℓ}`.
+///
+/// ```
+/// use oipa_topics::{Campaign, Piece, TopicVector};
+///
+/// let campaign = Campaign::new(vec![
+///     Piece::new("tax", TopicVector::one_hot(2, 0).unwrap()),
+///     Piece::new("healthcare", TopicVector::one_hot(2, 1).unwrap()),
+/// ]).unwrap();
+/// assert_eq!(campaign.len(), 2);
+/// assert_eq!(campaign.piece(0).name, "tax");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Campaign {
+    pieces: Vec<Piece>,
+    topic_count: usize,
+}
+
+impl Campaign {
+    /// Builds a campaign, checking all pieces share one topic dimension.
+    pub fn new(pieces: Vec<Piece>) -> Result<Self> {
+        assert!(!pieces.is_empty(), "campaign needs at least one piece");
+        let topic_count = pieces[0].topics.dim();
+        for p in &pieces {
+            if p.topics.dim() != topic_count {
+                return Err(crate::TopicError::DimensionMismatch {
+                    expected: topic_count,
+                    actual: p.topics.dim(),
+                });
+            }
+        }
+        Ok(Campaign {
+            pieces,
+            topic_count,
+        })
+    }
+
+    /// The paper's experimental campaign generator (§VI-A, Table IV): `ℓ`
+    /// pieces, each a one-hot vector on a uniformly sampled topic.
+    pub fn sample_one_hot<R: Rng + ?Sized>(rng: &mut R, topic_count: usize, ell: usize) -> Self {
+        assert!(topic_count > 0 && ell > 0);
+        let pieces = (0..ell)
+            .map(|j| {
+                let z = rng.gen_range(0..topic_count);
+                Piece {
+                    name: format!("piece-{j}(topic-{z})"),
+                    topics: TopicVector::one_hot(topic_count, z).expect("topic in range"),
+                }
+            })
+            .collect();
+        Campaign {
+            pieces,
+            topic_count,
+        }
+    }
+
+    /// Number of pieces `ℓ`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pieces.len()
+    }
+
+    /// True when the campaign has no pieces (unreachable via constructors;
+    /// kept for API completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pieces.is_empty()
+    }
+
+    /// Topic dimension shared by all pieces.
+    #[inline]
+    pub fn topic_count(&self) -> usize {
+        self.topic_count
+    }
+
+    /// The pieces in assignment order.
+    #[inline]
+    pub fn pieces(&self) -> &[Piece] {
+        &self.pieces
+    }
+
+    /// One piece by index.
+    #[inline]
+    pub fn piece(&self, j: usize) -> &Piece {
+        &self.pieces[j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn builds_campaign() {
+        let c = Campaign::new(vec![
+            Piece::single_topic(2, 0).unwrap(),
+            Piece::single_topic(2, 1).unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.topic_count(), 2);
+        assert_eq!(c.piece(0).topics.get(0), 1.0);
+    }
+
+    #[test]
+    fn rejects_mixed_dimensions() {
+        let err = Campaign::new(vec![
+            Piece::single_topic(2, 0).unwrap(),
+            Piece::single_topic(3, 1).unwrap(),
+        ]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn sampled_pieces_are_one_hot() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let c = Campaign::sample_one_hot(&mut rng, 20, 5);
+        assert_eq!(c.len(), 5);
+        for p in c.pieces() {
+            assert_eq!(p.topics.support(), 1);
+            let sum: f32 = p.topics.as_slice().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sampling_deterministic() {
+        let a = Campaign::sample_one_hot(&mut StdRng::seed_from_u64(1), 10, 3);
+        let b = Campaign::sample_one_hot(&mut StdRng::seed_from_u64(1), 10, 3);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,149 @@
+//! Per-user (heterogeneous) adoption parameters.
+//!
+//! The paper's notation table (Table I) lists a per-user preference vector
+//! `β_v` and adoption-control parameter `r_v`, but the algorithmic
+//! sections specialize to global `(α, β)`. This module implements the
+//! general per-user form as an extension: every user has their own
+//! logistic parameters, grouped into a small number of **parameter
+//! classes** so downstream solvers can precompute one table per class
+//! instead of one per user.
+
+use crate::adoption::LogisticAdoption;
+use serde::{Deserialize, Serialize};
+
+/// Per-user adoption parameters, class-quantized.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeterogeneousAdoption {
+    /// Class id per user (`len = n`).
+    class_of: Vec<u8>,
+    /// The distinct parameter classes (≤ 256).
+    classes: Vec<LogisticAdoption>,
+}
+
+impl HeterogeneousAdoption {
+    /// Builds from explicit class assignments.
+    pub fn from_classes(class_of: Vec<u8>, classes: Vec<LogisticAdoption>) -> Self {
+        assert!(!classes.is_empty(), "need at least one class");
+        assert!(
+            class_of.iter().all(|&c| (c as usize) < classes.len()),
+            "class id out of range"
+        );
+        HeterogeneousAdoption { class_of, classes }
+    }
+
+    /// Every user shares one model — the paper's homogeneous special case.
+    pub fn uniform(model: LogisticAdoption, n: usize) -> Self {
+        HeterogeneousAdoption {
+            class_of: vec![0; n],
+            classes: vec![model],
+        }
+    }
+
+    /// A two-segment population: a `fraction` of "enthusiast" users with
+    /// `easy` parameters, the rest with `hard` parameters, assigned
+    /// deterministically by node id hash for reproducibility.
+    pub fn two_segment(
+        easy: LogisticAdoption,
+        hard: LogisticAdoption,
+        fraction_easy: f64,
+        n: usize,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&fraction_easy));
+        let threshold = (fraction_easy * u32::MAX as f64) as u32;
+        let class_of = (0..n)
+            .map(|v| {
+                // Cheap splittable hash of the node id.
+                let h = (v as u64)
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .rotate_left(31) as u32;
+                u8::from(h >= threshold) // 0 = easy, 1 = hard
+            })
+            .collect();
+        HeterogeneousAdoption {
+            class_of,
+            classes: vec![easy, hard],
+        }
+    }
+
+    /// Number of users covered.
+    #[inline]
+    pub fn user_count(&self) -> usize {
+        self.class_of.len()
+    }
+
+    /// Number of distinct classes.
+    #[inline]
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Class id of a user.
+    #[inline]
+    pub fn class_of(&self, user: u32) -> u8 {
+        self.class_of[user as usize]
+    }
+
+    /// Parameters of a class.
+    #[inline]
+    pub fn class(&self, class: u8) -> LogisticAdoption {
+        self.classes[class as usize]
+    }
+
+    /// The model governing one user.
+    #[inline]
+    pub fn model_of(&self, user: u32) -> LogisticAdoption {
+        self.classes[self.class_of[user as usize] as usize]
+    }
+
+    /// Adoption probability of `user` at piece-coverage `coverage`.
+    #[inline]
+    pub fn adoption_prob(&self, user: u32, coverage: usize) -> f64 {
+        self.model_of(user).adoption_prob(coverage)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_matches_base_model() {
+        let model = LogisticAdoption::example();
+        let h = HeterogeneousAdoption::uniform(model, 10);
+        assert_eq!(h.class_count(), 1);
+        for v in 0..10u32 {
+            for c in 0..4 {
+                assert_eq!(h.adoption_prob(v, c), model.adoption_prob(c));
+            }
+        }
+    }
+
+    #[test]
+    fn two_segment_fraction_roughly_respected() {
+        let easy = LogisticAdoption::new(1.0, 1.0);
+        let hard = LogisticAdoption::new(5.0, 1.0);
+        let h = HeterogeneousAdoption::two_segment(easy, hard, 0.3, 10_000);
+        let easy_count = (0..10_000u32).filter(|&v| h.class_of(v) == 0).count();
+        let frac = easy_count as f64 / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.05, "easy fraction {frac}");
+        // Easy users adopt more readily at the same coverage.
+        let e = h.class(0).adoption_prob(2);
+        let d = h.class(1).adoption_prob(2);
+        assert!(e > d);
+    }
+
+    #[test]
+    fn deterministic_segmentation() {
+        let easy = LogisticAdoption::new(1.0, 1.0);
+        let hard = LogisticAdoption::new(4.0, 1.0);
+        let a = HeterogeneousAdoption::two_segment(easy, hard, 0.5, 100);
+        let b = HeterogeneousAdoption::two_segment(easy, hard, 0.5, 100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "class id out of range")]
+    fn rejects_bad_class_ids() {
+        let _ = HeterogeneousAdoption::from_classes(vec![2], vec![LogisticAdoption::example()]);
+    }
+}

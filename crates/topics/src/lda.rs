@@ -1,0 +1,254 @@
+//! Collapsed-Gibbs Latent Dirichlet Allocation.
+//!
+//! The paper prepares its `tweet` dataset by treating each user's hashtags
+//! as a document and running LDA (ref 5) to obtain per-user topic
+//! distributions, from which edge probabilities are derived. This module
+//! provides that substrate: a compact collapsed Gibbs sampler producing
+//! document-topic distributions ([`LdaModel::doc_topics`]) and topic-word
+//! distributions ([`LdaModel::topic_words`]).
+
+use crate::vector::TopicVector;
+use rand::Rng;
+
+/// LDA hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LdaParams {
+    /// Number of latent topics `K`.
+    pub topics: usize,
+    /// Symmetric document–topic Dirichlet prior.
+    pub alpha: f64,
+    /// Symmetric topic–word Dirichlet prior.
+    pub beta: f64,
+    /// Gibbs sweeps over the whole corpus.
+    pub iterations: usize,
+}
+
+impl Default for LdaParams {
+    fn default() -> Self {
+        LdaParams {
+            topics: 10,
+            alpha: 0.1,
+            beta: 0.01,
+            iterations: 100,
+        }
+    }
+}
+
+/// A fitted LDA model.
+#[derive(Debug, Clone)]
+pub struct LdaModel {
+    params: LdaParams,
+    vocab_size: usize,
+    /// `doc_topic_counts[d][k]`.
+    doc_topic_counts: Vec<Vec<u32>>,
+    /// `topic_word_counts[k][w]`.
+    topic_word_counts: Vec<Vec<u32>>,
+    /// `topic_totals[k]` = Σ_w topic_word_counts[k][w].
+    topic_totals: Vec<u64>,
+}
+
+impl LdaModel {
+    /// Fits LDA on `docs` (token-id lists over a vocabulary of
+    /// `vocab_size`) by collapsed Gibbs sampling.
+    pub fn fit<R: Rng + ?Sized>(
+        rng: &mut R,
+        docs: &[Vec<u32>],
+        vocab_size: usize,
+        params: LdaParams,
+    ) -> Self {
+        assert!(params.topics >= 1);
+        assert!(vocab_size >= 1);
+        let k = params.topics;
+        let mut doc_topic_counts = vec![vec![0u32; k]; docs.len()];
+        let mut topic_word_counts = vec![vec![0u32; vocab_size]; k];
+        let mut topic_totals = vec![0u64; k];
+        // Topic assignment per token, flattened.
+        let mut assignments: Vec<Vec<u8>> = docs
+            .iter()
+            .map(|d| d.iter().map(|_| 0u8).collect())
+            .collect();
+        assert!(k <= u8::MAX as usize, "topic count must fit in u8");
+
+        // Random initialization.
+        for (d, doc) in docs.iter().enumerate() {
+            for (i, &w) in doc.iter().enumerate() {
+                assert!((w as usize) < vocab_size, "token id out of vocab");
+                let z = rng.gen_range(0..k);
+                assignments[d][i] = z as u8;
+                doc_topic_counts[d][z] += 1;
+                topic_word_counts[z][w as usize] += 1;
+                topic_totals[z] += 1;
+            }
+        }
+
+        let v_beta = vocab_size as f64 * params.beta;
+        let mut weights = vec![0.0f64; k];
+        for _sweep in 0..params.iterations {
+            for (d, doc) in docs.iter().enumerate() {
+                for (i, &w) in doc.iter().enumerate() {
+                    let old = assignments[d][i] as usize;
+                    // Remove token from counts.
+                    doc_topic_counts[d][old] -= 1;
+                    topic_word_counts[old][w as usize] -= 1;
+                    topic_totals[old] -= 1;
+                    // Full conditional.
+                    let mut total = 0.0;
+                    for z in 0..k {
+                        let a = doc_topic_counts[d][z] as f64 + params.alpha;
+                        let b = (topic_word_counts[z][w as usize] as f64 + params.beta)
+                            / (topic_totals[z] as f64 + v_beta);
+                        let wgt = a * b;
+                        weights[z] = wgt;
+                        total += wgt;
+                    }
+                    let mut target = rng.gen_range(0.0..total);
+                    let mut new = k - 1;
+                    for (z, &wgt) in weights.iter().enumerate() {
+                        if target < wgt {
+                            new = z;
+                            break;
+                        }
+                        target -= wgt;
+                    }
+                    assignments[d][i] = new as u8;
+                    doc_topic_counts[d][new] += 1;
+                    topic_word_counts[new][w as usize] += 1;
+                    topic_totals[new] += 1;
+                }
+            }
+        }
+
+        LdaModel {
+            params,
+            vocab_size,
+            doc_topic_counts,
+            topic_word_counts,
+            topic_totals,
+        }
+    }
+
+    /// Number of topics.
+    pub fn topic_count(&self) -> usize {
+        self.params.topics
+    }
+
+    /// Smoothed document–topic distribution for document `d`.
+    pub fn doc_topic(&self, d: usize) -> TopicVector {
+        let counts = &self.doc_topic_counts[d];
+        let total: f64 =
+            counts.iter().map(|&c| c as f64).sum::<f64>() + self.params.topics as f64 * self.params.alpha;
+        let values: Vec<f32> = counts
+            .iter()
+            .map(|&c| ((c as f64 + self.params.alpha) / total) as f32)
+            .collect();
+        TopicVector::new(values).expect("smoothed proportions are valid probabilities")
+    }
+
+    /// All document–topic distributions.
+    pub fn doc_topics(&self) -> Vec<TopicVector> {
+        (0..self.doc_topic_counts.len())
+            .map(|d| self.doc_topic(d))
+            .collect()
+    }
+
+    /// Smoothed topic–word distribution for topic `k` (length `vocab_size`).
+    pub fn topic_words(&self, k: usize) -> Vec<f64> {
+        let denom = self.topic_totals[k] as f64 + self.vocab_size as f64 * self.params.beta;
+        self.topic_word_counts[k]
+            .iter()
+            .map(|&c| (c as f64 + self.params.beta) / denom)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Synthetic corpus: two topics with disjoint vocabularies.
+    fn corpus(rng: &mut StdRng, docs_per_topic: usize, doc_len: usize) -> Vec<Vec<u32>> {
+        let mut docs = Vec::new();
+        for topic in 0..2u32 {
+            for _ in 0..docs_per_topic {
+                let doc: Vec<u32> = (0..doc_len)
+                    .map(|_| topic * 10 + rng.gen_range(0..10))
+                    .collect();
+                docs.push(doc);
+            }
+        }
+        docs
+    }
+
+    #[test]
+    fn separates_disjoint_topics() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let docs = corpus(&mut rng, 30, 40);
+        let model = LdaModel::fit(
+            &mut rng,
+            &docs,
+            20,
+            LdaParams {
+                topics: 2,
+                iterations: 150,
+                ..LdaParams::default()
+            },
+        );
+        // Each document should be dominated by one topic…
+        let mut dominant: Vec<usize> = Vec::new();
+        for d in 0..docs.len() {
+            let tv = model.doc_topic(d);
+            let (argmax, max) = tv
+                .as_slice()
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, &v)| (i, v))
+                .unwrap();
+            assert!(max > 0.8, "doc {d} not concentrated: {max}");
+            dominant.push(argmax);
+        }
+        // …and the two halves of the corpus should land on different topics.
+        let first_half = dominant[..30].iter().filter(|&&z| z == dominant[0]).count();
+        let second_half = dominant[30..].iter().filter(|&&z| z == dominant[0]).count();
+        assert!(first_half >= 28, "first half split: {first_half}/30");
+        assert!(second_half <= 2, "second half leaked: {second_half}/30");
+    }
+
+    #[test]
+    fn doc_topic_is_distribution() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let docs = corpus(&mut rng, 5, 10);
+        let model = LdaModel::fit(&mut rng, &docs, 20, LdaParams::default());
+        for d in 0..docs.len() {
+            let tv = model.doc_topic(d);
+            let sum: f32 = tv.as_slice().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-4, "doc {d} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn topic_words_are_distributions() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let docs = corpus(&mut rng, 5, 10);
+        let model = LdaModel::fit(&mut rng, &docs, 20, LdaParams::default());
+        for k in 0..model.topic_count() {
+            let tw = model.topic_words(k);
+            let sum: f64 = tw.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_documents_ok() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let docs = vec![vec![], vec![0, 1]];
+        let model = LdaModel::fit(&mut rng, &docs, 2, LdaParams::default());
+        let tv = model.doc_topic(0);
+        // Empty doc falls back to the uniform prior.
+        for &v in tv.as_slice() {
+            assert!((v - 1.0 / 10.0).abs() < 1e-6);
+        }
+    }
+}

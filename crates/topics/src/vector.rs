@@ -1,0 +1,283 @@
+//! Dense and sparse topic vectors.
+
+use crate::{Result, TopicError};
+use serde::{Deserialize, Serialize};
+
+/// A dense vector over the topic set `Z`, used for piece topic
+/// distributions `t` and user interest profiles.
+///
+/// Probabilities are stored as `f32`: the tables are large (one row per
+/// edge on multi-million-edge graphs) and the algorithms tolerate single
+/// precision — estimation error from sampling dominates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopicVector {
+    values: Vec<f32>,
+}
+
+impl TopicVector {
+    /// Creates a vector from raw values, validating each lies in `[0, 1]`.
+    pub fn new(values: Vec<f32>) -> Result<Self> {
+        for &v in &values {
+            if !(0.0..=1.0).contains(&v) || v.is_nan() {
+                return Err(TopicError::BadProbability { value: v as f64 });
+            }
+        }
+        Ok(TopicVector { values })
+    }
+
+    /// All-zero vector of dimension `z`.
+    pub fn zeros(z: usize) -> Self {
+        TopicVector {
+            values: vec![0.0; z],
+        }
+    }
+
+    /// One-hot vector: probability 1 on `topic`, 0 elsewhere.
+    ///
+    /// This is how the paper generates experimental pieces (§VI-A: "we
+    /// generate the topic vector by uniformly sampling a non-zero topic
+    /// dimension") and how the Max-Clique reduction builds its pieces.
+    pub fn one_hot(z: usize, topic: usize) -> Result<Self> {
+        if topic >= z {
+            return Err(TopicError::TopicOutOfRange {
+                topic,
+                topic_count: z,
+            });
+        }
+        let mut values = vec![0.0; z];
+        values[topic] = 1.0;
+        Ok(TopicVector { values })
+    }
+
+    /// Uniform distribution over all topics.
+    pub fn uniform(z: usize) -> Self {
+        assert!(z > 0, "uniform vector needs at least one topic");
+        TopicVector {
+            values: vec![1.0 / z as f32; z],
+        }
+    }
+
+    /// Normalizes the vector to sum 1 (no-op on the zero vector).
+    pub fn normalized(mut self) -> Self {
+        let sum: f32 = self.values.iter().sum();
+        if sum > 0.0 {
+            for v in &mut self.values {
+                *v /= sum;
+            }
+        }
+        self
+    }
+
+    /// Dimension `|Z|`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Raw slice access.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Value for one topic.
+    #[inline]
+    pub fn get(&self, topic: usize) -> f32 {
+        self.values[topic]
+    }
+
+    /// Dense dot product.
+    pub fn dot(&self, other: &TopicVector) -> Result<f32> {
+        if self.dim() != other.dim() {
+            return Err(TopicError::DimensionMismatch {
+                expected: self.dim(),
+                actual: other.dim(),
+            });
+        }
+        Ok(self
+            .values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| a * b)
+            .sum())
+    }
+
+    /// Dot product against a sparse vector: `Σ_z t_z · p(e|z)`.
+    ///
+    /// This is the paper's `p(t, e) = t · p(e)`, the innermost operation of
+    /// RR-set sampling.
+    #[inline]
+    pub fn dot_sparse(&self, sparse: &SparseTopicVector) -> f32 {
+        let mut acc = 0.0f32;
+        for (&z, &p) in sparse.topics.iter().zip(&sparse.probs) {
+            acc += self.values[z as usize] * p;
+        }
+        acc
+    }
+
+    /// Number of non-zero entries.
+    pub fn support(&self) -> usize {
+        self.values.iter().filter(|&&v| v > 0.0).count()
+    }
+}
+
+/// A sparse per-edge topic-probability row `p(e)`: only the topics under
+/// which the edge transmits with non-zero probability.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseTopicVector {
+    /// Topic indices (ascending).
+    pub topics: Vec<u16>,
+    /// Probabilities aligned with `topics`.
+    pub probs: Vec<f32>,
+}
+
+impl SparseTopicVector {
+    /// Builds a sparse vector, validating probabilities, sorting by topic,
+    /// and rejecting duplicate topic ids (which would make sparse and
+    /// dense dot products disagree).
+    pub fn new(mut entries: Vec<(u16, f32)>, topic_count: usize) -> Result<Self> {
+        entries.sort_unstable_by_key(|&(z, _)| z);
+        for w in entries.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(TopicError::DuplicateTopic {
+                    topic: w[0].0 as usize,
+                });
+            }
+        }
+        let mut topics = Vec::with_capacity(entries.len());
+        let mut probs = Vec::with_capacity(entries.len());
+        for (z, p) in entries {
+            if z as usize >= topic_count {
+                return Err(TopicError::TopicOutOfRange {
+                    topic: z as usize,
+                    topic_count,
+                });
+            }
+            if !(0.0..=1.0).contains(&p) || p.is_nan() {
+                return Err(TopicError::BadProbability { value: p as f64 });
+            }
+            if p > 0.0 {
+                topics.push(z);
+                probs.push(p);
+            }
+        }
+        Ok(SparseTopicVector { topics, probs })
+    }
+
+    /// The empty (never transmits) row.
+    pub fn empty() -> Self {
+        SparseTopicVector {
+            topics: Vec::new(),
+            probs: Vec::new(),
+        }
+    }
+
+    /// Number of non-zero entries.
+    #[inline]
+    pub fn support(&self) -> usize {
+        self.topics.len()
+    }
+
+    /// Probability under a single topic (0 if absent).
+    pub fn get(&self, topic: u16) -> f32 {
+        match self.topics.binary_search(&topic) {
+            Ok(i) => self.probs[i],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Densifies into a full `|Z|`-length vector.
+    pub fn to_dense(&self, topic_count: usize) -> Vec<f32> {
+        let mut out = vec![0.0; topic_count];
+        for (&z, &p) in self.topics.iter().zip(&self.probs) {
+            out[z as usize] = p;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_hot_and_get() {
+        let t = TopicVector::one_hot(3, 1).unwrap();
+        assert_eq!(t.as_slice(), &[0.0, 1.0, 0.0]);
+        assert_eq!(t.get(1), 1.0);
+        assert_eq!(t.support(), 1);
+        assert!(TopicVector::one_hot(3, 3).is_err());
+    }
+
+    #[test]
+    fn uniform_sums_to_one() {
+        let t = TopicVector::uniform(4);
+        let s: f32 = t.as_slice().iter().sum();
+        assert!((s - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalize() {
+        let t = TopicVector::new(vec![0.2, 0.2]).unwrap().normalized();
+        assert!((t.get(0) - 0.5).abs() < 1e-6);
+        // Zero vector stays zero.
+        let z = TopicVector::zeros(2).normalized();
+        assert_eq!(z.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn rejects_bad_probability() {
+        assert!(TopicVector::new(vec![1.5]).is_err());
+        assert!(TopicVector::new(vec![-0.1]).is_err());
+        assert!(TopicVector::new(vec![f32::NAN]).is_err());
+    }
+
+    #[test]
+    fn dense_dot() {
+        let a = TopicVector::new(vec![0.5, 0.5]).unwrap();
+        let b = TopicVector::new(vec![1.0, 0.0]).unwrap();
+        assert!((a.dot(&b).unwrap() - 0.5).abs() < 1e-6);
+        let c = TopicVector::uniform(3);
+        assert!(a.dot(&c).is_err());
+    }
+
+    #[test]
+    fn sparse_dot_matches_dense() {
+        let piece = TopicVector::new(vec![0.3, 0.0, 0.7]).unwrap();
+        let edge = SparseTopicVector::new(vec![(2, 0.5), (0, 1.0)], 3).unwrap();
+        let sparse = piece.dot_sparse(&edge);
+        let dense_edge = TopicVector::new(edge.to_dense(3)).unwrap();
+        let dense = piece.dot(&dense_edge).unwrap();
+        assert!((sparse - dense).abs() < 1e-6);
+        assert!((sparse - (0.3 * 1.0 + 0.7 * 0.5)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sparse_sorted_and_pruned() {
+        let v = SparseTopicVector::new(vec![(5, 0.1), (1, 0.0), (3, 0.2)], 8).unwrap();
+        assert_eq!(v.topics, vec![3, 5]);
+        assert_eq!(v.support(), 2);
+        assert_eq!(v.get(1), 0.0);
+        assert!((v.get(3) - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sparse_validates() {
+        assert!(SparseTopicVector::new(vec![(9, 0.5)], 8).is_err());
+        assert!(SparseTopicVector::new(vec![(0, 2.0)], 8).is_err());
+        assert!(
+            SparseTopicVector::new(vec![(3, 0.2), (3, 0.4)], 8).is_err(),
+            "duplicate topics must be rejected"
+        );
+    }
+
+    #[test]
+    fn fig1_example_vectors() {
+        // The running example's pieces: t1 = (1, 0), t2 = (0, 1).
+        let t1 = TopicVector::one_hot(2, 0).unwrap();
+        let t2 = TopicVector::one_hot(2, 1).unwrap();
+        let edge_topic1 = SparseTopicVector::new(vec![(0, 1.0)], 2).unwrap();
+        assert_eq!(t1.dot_sparse(&edge_topic1), 1.0);
+        assert_eq!(t2.dot_sparse(&edge_topic1), 0.0);
+    }
+}

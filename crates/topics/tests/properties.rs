@@ -1,0 +1,112 @@
+//! Property-based invariants of the topic substrate.
+
+use oipa_topics::{
+    sigmoid, Campaign, EdgeProbsBuilder, LogisticAdoption, SparseTopicVector, TopicVector,
+};
+use proptest::prelude::*;
+
+/// Valid probability entries for a sparse row over `z` topics.
+fn sparse_entries(z: u16) -> impl Strategy<Value = Vec<(u16, f32)>> {
+    proptest::collection::vec((0..z, 0.0f32..=1.0), 0..(z as usize).min(8))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sparse/dense dot products agree for arbitrary vectors.
+    #[test]
+    fn sparse_dense_dot_agree(
+        entries in sparse_entries(12),
+        dense in proptest::collection::vec(0.0f32..=1.0, 12),
+    ) {
+        let dedup: std::collections::BTreeMap<u16, f32> = entries.into_iter().collect();
+        let sparse = SparseTopicVector::new(dedup.into_iter().collect(), 12).unwrap();
+        let piece = TopicVector::new(dense).unwrap();
+        let via_sparse = piece.dot_sparse(&sparse);
+        let dense_row = TopicVector::new(sparse.to_dense(12)).unwrap();
+        let via_dense = piece.dot(&dense_row).unwrap();
+        prop_assert!((via_sparse - via_dense).abs() < 1e-4);
+    }
+
+    /// Normalization produces a distribution (or keeps zero at zero).
+    #[test]
+    fn normalization(values in proptest::collection::vec(0.0f32..=1.0, 1..16)) {
+        let v = TopicVector::new(values.clone()).unwrap().normalized();
+        let sum: f32 = v.as_slice().iter().sum();
+        if values.iter().any(|&x| x > 0.0) {
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+        } else {
+            prop_assert_eq!(sum, 0.0);
+        }
+    }
+
+    /// The logistic model is monotone in coverage, bounded by 1, and its
+    /// zero branch holds for any parameters.
+    #[test]
+    fn adoption_model_axioms(alpha in 0.1f64..10.0, beta in 0.1f64..5.0) {
+        let m = LogisticAdoption::new(alpha, beta);
+        prop_assert_eq!(m.adoption_prob(0), 0.0);
+        let mut prev = 0.0;
+        for c in 1..20 {
+            let p = m.adoption_prob(c);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!(p >= prev);
+            prev = p;
+            // Consistency with the raw sigmoid.
+            prop_assert!((p - sigmoid(beta * c as f64 - alpha)).abs() < 1e-12);
+        }
+    }
+
+    /// Campaign JSON serialization round-trips.
+    #[test]
+    fn campaign_serde_roundtrip(seed in 0u64..10_000, ell in 1usize..6) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let campaign = Campaign::sample_one_hot(&mut rng, 10, ell);
+        let json = serde_json::to_string(&campaign).unwrap();
+        let back: Campaign = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(campaign, back);
+    }
+
+    /// Probability tables round-trip through binary IO for arbitrary rows.
+    #[test]
+    fn table_binio_roundtrip(rows in proptest::collection::vec(sparse_entries(9), 1..12)) {
+        let mut builder = EdgeProbsBuilder::new(rows.len(), 9);
+        for (e, entries) in rows.iter().enumerate() {
+            // Duplicate topics within a row are collapsed by retaining the
+            // last occurrence, matching set_entry semantics.
+            let mut dedup: std::collections::BTreeMap<u16, f32> = Default::default();
+            for &(z, p) in entries {
+                dedup.insert(z, p);
+            }
+            let entries: Vec<(u16, f32)> = dedup.into_iter().collect();
+            builder
+                .set(e as u32, SparseTopicVector::new(entries, 9).unwrap())
+                .unwrap();
+        }
+        let table = builder.build();
+        let mut buf = Vec::new();
+        oipa_topics::binio::write_table(&table, &mut buf).unwrap();
+        let back = oipa_topics::binio::read_table(&buf[..]).unwrap();
+        prop_assert_eq!(table, back);
+    }
+
+    /// `piece_prob` is clamped to [0, 1] for any inputs.
+    #[test]
+    fn piece_prob_bounded(
+        entries in sparse_entries(6),
+        piece in proptest::collection::vec(0.0f32..=1.0, 6),
+    ) {
+        let mut builder = EdgeProbsBuilder::new(1, 6);
+        let mut dedup: std::collections::BTreeMap<u16, f32> = Default::default();
+        for &(z, p) in &entries {
+            dedup.insert(z, p);
+        }
+        builder
+            .set(0, SparseTopicVector::new(dedup.into_iter().collect(), 6).unwrap())
+            .unwrap();
+        let table = builder.build();
+        let piece = TopicVector::new(piece).unwrap();
+        let p = table.piece_prob(&piece, 0);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+}

@@ -1,0 +1,40 @@
+//! # oipa — Maximizing Multifaceted Network Influence
+//!
+//! Umbrella crate re-exporting the full public API of the OIPA workspace, a
+//! from-scratch Rust reproduction of *Maximizing Multifaceted Network
+//! Influence* (Li, Fan, Ovchinnikov, Karras — ICDE 2019).
+//!
+//! The typical pipeline is:
+//!
+//! 1. build or generate a social graph ([`graph`]),
+//! 2. attach topic-aware edge probabilities, either synthetic or learned
+//!    from action logs ([`topics`]),
+//! 3. sample multi-reverse-reachable (MRR) sets ([`sampler`]),
+//! 4. solve the Optimal Influential Pieces Assignment problem with
+//!    branch-and-bound ([`core`]), and
+//! 5. compare against the paper's `IM`/`TIM` baselines ([`baselines`]).
+//!
+//! See `examples/quickstart.rs` for the 60-second version. In miniature:
+//!
+//! ```
+//! use oipa::core::{BabConfig, BranchAndBound, OipaInstance};
+//! use oipa::sampler::MrrPool;
+//! use oipa::topics::LogisticAdoption;
+//!
+//! // 1–2. graph + probabilities (here: the paper's Fig. 1 fixture).
+//! let (graph, probs, campaign) = oipa::sampler::testkit::fig1();
+//! // 3. sample MRR sets.
+//! let pool = MrrPool::generate(&graph, &probs, &campaign, 20_000, 42);
+//! // 4. solve OIPA at budget k = 2.
+//! let instance = OipaInstance::new(&pool, LogisticAdoption::example(), (0..5).collect(), 2);
+//! let solution = BranchAndBound::new(&instance, BabConfig::bab()).solve();
+//! assert_eq!(solution.plan.set(0), &[0]); // Example 1's optimum
+//! assert_eq!(solution.plan.set(1), &[4]);
+//! ```
+
+pub use oipa_baselines as baselines;
+pub use oipa_core as core;
+pub use oipa_datasets as datasets;
+pub use oipa_graph as graph;
+pub use oipa_sampler as sampler;
+pub use oipa_topics as topics;

@@ -1,0 +1,143 @@
+//! Property-based guarantees over random instances (proptest).
+//!
+//! Each property targets a theorem or invariant of the paper:
+//! monotonicity of σ (§IV-A), dominance + submodularity of τ
+//! (Definition 6), the branch-and-bound guarantee vs enumeration
+//! (Theorem 2), and determinism/consistency invariants of the sampling
+//! substrate.
+
+use oipa::core::brute::brute_force_best;
+use oipa::core::greedy::{compute_bound_celf, compute_bound_plain};
+use oipa::core::tau::TauState;
+use oipa::core::{
+    AssignmentPlan, AuEstimator, BabConfig, BranchAndBound, OipaInstance, TangentTable,
+};
+use oipa::sampler::testkit::small_random_instance;
+use oipa::sampler::MrrPool;
+use oipa::topics::LogisticAdoption;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A small random instance keyed by a proptest-drawn seed.
+fn instance(seed: u64, ell: usize) -> (MrrPool, LogisticAdoption) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (g, table, campaign) = small_random_instance(&mut rng, 30, 140, 4, ell);
+    let model = LogisticAdoption::new(2.0, 1.0);
+    let pool = MrrPool::generate(&g, &table, &campaign, 8_000, seed ^ 0xbeef);
+    (pool, model)
+}
+
+/// Random plan over `n` nodes with ≤ `max_size` assignments.
+fn plan_strategy(ell: usize, n: u32, max_size: usize) -> impl Strategy<Value = AssignmentPlan> {
+    proptest::collection::vec((0..ell, 0..n), 0..=max_size)
+        .prop_map(move |pairs| {
+            let mut plan = AssignmentPlan::empty(ell);
+            for (j, v) in pairs {
+                plan.insert(j, v);
+            }
+            plan
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// σ is monotone under plan containment (§IV-A).
+    #[test]
+    fn sigma_monotone_under_union(seed in 0u64..500, extra in plan_strategy(2, 30, 3)) {
+        let (pool, model) = instance(seed, 2);
+        let mut est = AuEstimator::new(&pool, model);
+        let base = AssignmentPlan::from_sets(vec![vec![seed as u32 % 30], vec![]]);
+        let bigger = base.union(&extra);
+        prop_assert!(base.contained_in(&bigger));
+        prop_assert!(est.evaluate(&base) <= est.evaluate(&bigger) + 1e-9);
+    }
+
+    /// τ dominates σ on every reachable plan and its gains shrink as the
+    /// plan grows (Definition 6: monotone submodular majorant).
+    #[test]
+    fn tau_dominates_and_is_submodular(seed in 0u64..500, plan in plan_strategy(2, 30, 4)) {
+        let (pool, model) = instance(seed, 2);
+        let table = TangentTable::new(model, 2);
+        let mut state = TauState::new(&pool, &table, model);
+        state.reset_to(&AssignmentPlan::empty(2));
+        let probe = (1usize, (seed % 30) as u32);
+        let mut last_gain = f64::INFINITY;
+        for (j, v) in plan.assignments() {
+            let g = state.gain(probe.0, probe.1);
+            prop_assert!(g <= last_gain + 1e-9, "probe gain grew: {last_gain} -> {g}");
+            last_gain = g;
+            state.add(j, v);
+            prop_assert!(state.tau_total() + 1e-9 >= state.sigma_total());
+        }
+    }
+
+    /// CELF and plain greedy are one algorithm (lazy evaluation is exact
+    /// for submodular gains).
+    #[test]
+    fn celf_equals_plain_greedy(seed in 0u64..500) {
+        let (pool, model) = instance(seed, 2);
+        let table = TangentTable::new(model, 2);
+        let promoters: Vec<u32> = (0..12).collect();
+        let empty = AssignmentPlan::empty(2);
+        let mut s1 = TauState::new(&pool, &table, model);
+        s1.reset_to(&empty);
+        let a = compute_bound_celf(&mut s1, &empty, &promoters, &Default::default(), 4);
+        let mut s2 = TauState::new(&pool, &table, model);
+        s2.reset_to(&empty);
+        let b = compute_bound_plain(&mut s2, &empty, &promoters, &Default::default(), 4);
+        prop_assert_eq!(a.plan, b.plan);
+        prop_assert!((a.tau - b.tau).abs() < 1e-9);
+    }
+
+    /// Theorem 2 empirically: BAB ≥ (1 − 1/e) · OPT(enumeration) on
+    /// instances small enough to enumerate.
+    #[test]
+    fn bab_guarantee_vs_enumeration(seed in 0u64..200) {
+        let (pool, model) = instance(seed, 2);
+        let promoters: Vec<u32> = vec![0, 3, 7, 11, 19, 23];
+        let mut est = AuEstimator::new(&pool, model);
+        let (_, opt) = brute_force_best(&mut est, &promoters, 2, 2);
+        let inst = OipaInstance::new(&pool, model, promoters, 2);
+        let sol = BranchAndBound::new(&inst, BabConfig { gap: 0.0, ..BabConfig::bab() }).solve();
+        let ratio = 1.0 - std::f64::consts::E.recip();
+        prop_assert!(
+            sol.utility + 1e-6 >= ratio * opt,
+            "BAB {} < (1-1/e)·{}", sol.utility, opt
+        );
+        // In practice BAB with exact gap should match the enumerated
+        // optimum on these tiny instances almost always; allow tiny slack.
+        prop_assert!(sol.utility <= opt + 1e-6);
+    }
+
+    /// Theorem 3 empirically for BAB-P at ε = 0.5.
+    #[test]
+    fn bab_p_guarantee_vs_enumeration(seed in 0u64..200) {
+        let (pool, model) = instance(seed, 2);
+        let promoters: Vec<u32> = vec![1, 4, 9, 14, 21, 27];
+        let mut est = AuEstimator::new(&pool, model);
+        let (_, opt) = brute_force_best(&mut est, &promoters, 2, 2);
+        let inst = OipaInstance::new(&pool, model, promoters, 2);
+        let sol =
+            BranchAndBound::new(&inst, BabConfig { gap: 0.0, ..BabConfig::bab_p(0.5) }).solve();
+        let ratio = 1.0 - std::f64::consts::E.recip() - 0.5;
+        prop_assert!(
+            sol.utility + 1e-6 >= ratio * opt,
+            "BAB-P {} < (1-1/e-ε)·{}", sol.utility, opt
+        );
+    }
+
+    /// Estimator evaluations are pure: same plan, same answer, regardless
+    /// of interleaved queries.
+    #[test]
+    fn estimator_is_pure(seed in 0u64..500,
+                         a in plan_strategy(2, 30, 3),
+                         b in plan_strategy(2, 30, 3)) {
+        let (pool, model) = instance(seed, 2);
+        let mut est = AuEstimator::new(&pool, model);
+        let first = est.evaluate(&a);
+        let _ = est.evaluate(&b);
+        prop_assert_eq!(first, est.evaluate(&a));
+    }
+}

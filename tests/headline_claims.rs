@@ -1,0 +1,159 @@
+//! Qualitative reproduction of the paper's headline claims (§I, §VI) at
+//! CI scale:
+//!
+//! * BAB and BAB-P beat the IM and TIM baselines on adoption utility,
+//!   with large margins in the regimes the paper highlights (sparse topic
+//!   support, hard adoption);
+//! * BAB-P needs far fewer τ evaluations than BAB (the source of the
+//!   paper's up-to-24× speedup);
+//! * utility grows with k, with ℓ, and with β/α (the monotone trends of
+//!   Figures 4–6).
+
+use oipa::baselines::{im_baseline, paper::collapsed_pool, tim_baseline};
+use oipa::core::{AuEstimator, BabConfig, BranchAndBound, OipaInstance};
+use oipa::datasets::{tweet_like, Scale};
+use oipa::sampler::MrrPool;
+use oipa::topics::{Campaign, LogisticAdoption};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Bench {
+    pool: MrrPool,
+    flat: oipa::sampler::RrPool,
+    promoters: Vec<u32>,
+    model: LogisticAdoption,
+}
+
+fn tweet_bench(ell: usize, ratio: f64, theta: usize) -> Bench {
+    let dataset = tweet_like(Scale::Tiny, 404);
+    let mut rng = StdRng::seed_from_u64(404);
+    let campaign = Campaign::sample_one_hot(&mut rng, dataset.topics, ell);
+    let pool =
+        MrrPool::generate_parallel(&dataset.graph, &dataset.table, &campaign, theta, 404, 2);
+    let flat = collapsed_pool(&dataset.graph, &dataset.table, theta, 404);
+    let promoters = OipaInstance::sample_promoters(&mut rng, dataset.graph.node_count(), 0.1);
+    Bench {
+        pool,
+        flat,
+        promoters,
+        model: LogisticAdoption::from_ratio(ratio),
+    }
+}
+
+fn run_methods(b: &Bench, k: usize) -> (f64, f64, f64, f64, u64, u64) {
+    let mut est = AuEstimator::new(&b.pool, b.model);
+    let im = im_baseline(&b.flat, &b.pool, &mut est, &b.promoters, k);
+    let tim = tim_baseline(&b.pool, &mut est, &b.promoters, k);
+    let instance = OipaInstance::new(&b.pool, b.model, b.promoters.clone(), k);
+    let bab = BranchAndBound::new(
+        &instance,
+        BabConfig {
+            max_nodes: Some(8),
+            ..BabConfig::bab()
+        },
+    )
+    .solve();
+    let bab_p = BranchAndBound::new(
+        &instance,
+        BabConfig {
+            max_nodes: Some(8),
+            ..BabConfig::bab_p(0.5)
+        },
+    )
+    .solve();
+    (
+        im.utility,
+        tim.utility,
+        bab.utility,
+        bab_p.utility,
+        bab.stats.tau_evaluations,
+        bab_p.stats.tau_evaluations,
+    )
+}
+
+/// The §VI-D regime: many pieces, sparse topics, hard adoption. The paper
+/// reports ≥ 215% improvement over baselines; we require a clear win.
+#[test]
+fn proposed_methods_beat_baselines_decisively() {
+    let bench = tweet_bench(5, 0.3, 25_000);
+    let (im, tim, bab, bab_p, _, _) = run_methods(&bench, 10);
+    assert!(
+        bab >= 1.5 * im.max(0.01),
+        "BAB {bab} should beat IM {im} by a wide margin"
+    );
+    assert!(
+        bab + 1e-9 >= tim,
+        "BAB {bab} should not lose to TIM {tim}"
+    );
+    assert!(
+        bab_p >= 0.85 * bab,
+        "BAB-P {bab_p} should be competitive with BAB {bab}"
+    );
+}
+
+/// The efficiency claim behind the 24× speedup: the progressive bound
+/// slashes τ evaluations relative to the paper's plain greedy rescan
+/// (Algorithm 2 as printed — our default BAB already folds in CELF, which
+/// removes most of the same waste, so the honest comparison is against
+/// the plain variant the paper describes).
+#[test]
+fn progressive_cuts_tau_evaluations() {
+    let bench = tweet_bench(3, 0.5, 25_000);
+    let k = 10;
+    let instance = OipaInstance::new(&bench.pool, bench.model, bench.promoters.clone(), k);
+    let plain = BranchAndBound::new(
+        &instance,
+        BabConfig {
+            max_nodes: Some(8),
+            method: oipa::core::BoundMethod::PlainGreedy,
+            ..BabConfig::bab()
+        },
+    )
+    .solve();
+    let prog = BranchAndBound::new(
+        &instance,
+        BabConfig {
+            max_nodes: Some(8),
+            ..BabConfig::bab_p(0.5)
+        },
+    )
+    .solve();
+    assert!(
+        prog.stats.tau_evaluations * 2 <= plain.stats.tau_evaluations,
+        "expected ≥2× fewer evaluations: plain {} vs progressive {}",
+        plain.stats.tau_evaluations,
+        prog.stats.tau_evaluations
+    );
+    // And the quality stays competitive while doing far less work.
+    assert!(prog.utility >= 0.8 * plain.utility);
+}
+
+/// Figure-4 trend: utility grows with k.
+#[test]
+fn utility_monotone_in_k() {
+    let bench = tweet_bench(3, 0.5, 20_000);
+    let mut prev = 0.0;
+    for k in [4usize, 8, 16] {
+        let (_, _, bab, _, _, _) = run_methods(&bench, k);
+        assert!(
+            bab + 0.05 >= prev,
+            "utility dropped from {prev} to {bab} at k={k}"
+        );
+        prev = bab;
+    }
+}
+
+/// Figure-6 trend: utility grows with β/α (easier adoption).
+#[test]
+fn utility_monotone_in_beta_over_alpha() {
+    let mut prev = 0.0;
+    for ratio in [0.3, 0.5, 0.7] {
+        let bench = tweet_bench(3, ratio, 20_000);
+        let (_, _, bab, _, _, _) = run_methods(&bench, 8);
+        assert!(
+            bab + 0.05 >= prev,
+            "utility dropped from {prev} to {bab} at β/α={ratio}"
+        );
+        prev = bab;
+    }
+}

@@ -1,0 +1,137 @@
+//! End-to-end pipeline test: dataset generation → (optional) probability
+//! learning → MRR sampling → optimization → forward-simulation validation.
+//!
+//! This is the "would a downstream user get sane answers" test: every
+//! crate participates, and the final check is against the generative
+//! model itself, not against another estimator.
+
+use oipa::core::{BabConfig, BranchAndBound, OipaInstance};
+use oipa::datasets::actionlog::{simulate_logs, LogParams};
+use oipa::datasets::{lastfm_like, tweet_like, Scale};
+use oipa::sampler::{simulate, MrrPool};
+use oipa::topics::tic::{learn_edge_probs, TicParams};
+use oipa::topics::{Campaign, LogisticAdoption};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn solve_then_validate_by_forward_simulation() {
+    let dataset = lastfm_like(Scale::Tiny, 31);
+    let mut rng = StdRng::seed_from_u64(31);
+    let campaign = Campaign::sample_one_hot(&mut rng, dataset.topics, 3);
+    let model = LogisticAdoption::from_ratio(0.5);
+    let pool = MrrPool::generate_parallel(&dataset.graph, &dataset.table, &campaign, 60_000, 31, 2);
+    let promoters = OipaInstance::sample_promoters(&mut rng, dataset.graph.node_count(), 0.2);
+    let instance = OipaInstance::new(&pool, model, promoters, 6);
+    let sol = BranchAndBound::new(
+        &instance,
+        BabConfig {
+            max_nodes: Some(8),
+            ..BabConfig::bab_p(0.5)
+        },
+    )
+    .solve();
+    assert!(sol.plan.size() <= 6);
+    assert!(sol.utility > 0.0);
+
+    let simulated = simulate::simulate_adoption(
+        &mut StdRng::seed_from_u64(32),
+        &dataset.graph,
+        &dataset.table,
+        &campaign,
+        &sol.plan.to_vecs(),
+        model,
+        2500,
+    );
+    let rel = (sol.utility - simulated).abs() / simulated.max(0.5);
+    assert!(
+        rel < 0.15,
+        "estimated {} vs simulated {} (rel {rel})",
+        sol.utility,
+        simulated
+    );
+}
+
+#[test]
+fn learned_probabilities_are_solvable() {
+    // lastfm preparation path: plant → log → learn → optimize on the
+    // *learned* table. The solver must return a valid plan whose utility
+    // under the learned model is positive and budget-feasible.
+    let dataset = lastfm_like(Scale::Tiny, 77);
+    let mut rng = StdRng::seed_from_u64(77);
+    let logs = simulate_logs(
+        &mut rng,
+        &dataset.graph,
+        &dataset.table,
+        LogParams {
+            cascades: 400,
+            seeds_per_cascade: 3,
+            one_hot_fraction: 0.8,
+        },
+    );
+    let learned =
+        learn_edge_probs(&dataset.graph, dataset.topics, &logs, TicParams::default()).unwrap();
+    let campaign = Campaign::sample_one_hot(&mut rng, dataset.topics, 2);
+    let pool = MrrPool::generate(&dataset.graph, &learned, &campaign, 30_000, 78);
+    let promoters = OipaInstance::sample_promoters(&mut rng, dataset.graph.node_count(), 0.3);
+    let instance = OipaInstance::new(&pool, LogisticAdoption::from_ratio(0.5), promoters, 4);
+    let sol = BranchAndBound::new(
+        &instance,
+        BabConfig {
+            max_nodes: Some(6),
+            ..BabConfig::bab()
+        },
+    )
+    .solve();
+    assert!(sol.plan.size() <= 4);
+    assert!(sol.utility >= 0.0);
+    assert!(sol.upper_bound + 1e-9 >= sol.utility);
+}
+
+#[test]
+fn sparse_tweet_instance_runs_whole_stack() {
+    let dataset = tweet_like(Scale::Tiny, 13);
+    let mut rng = StdRng::seed_from_u64(13);
+    let campaign = Campaign::sample_one_hot(&mut rng, dataset.topics, 5);
+    let model = LogisticAdoption::from_ratio(0.3);
+    let pool = MrrPool::generate_parallel(&dataset.graph, &dataset.table, &campaign, 30_000, 13, 2);
+    let promoters = OipaInstance::sample_promoters(&mut rng, dataset.graph.node_count(), 0.1);
+    let instance = OipaInstance::new(&pool, model, promoters, 8);
+    for config in [BabConfig::bab(), BabConfig::bab_p(0.5)] {
+        let sol = BranchAndBound::new(
+            &instance,
+            BabConfig {
+                max_nodes: Some(6),
+                ..config
+            },
+        )
+        .solve();
+        assert!(sol.plan.size() <= 8);
+        assert!(sol.utility.is_finite() && sol.utility >= 0.0);
+    }
+}
+
+#[test]
+fn estimator_unbiasedness_band_on_dataset() {
+    // Lemma 2 in practice: the MRR estimate of a fixed plan sits inside a
+    // loose Monte-Carlo band of the true utility.
+    let dataset = lastfm_like(Scale::Tiny, 55);
+    let mut rng = StdRng::seed_from_u64(55);
+    let campaign = Campaign::sample_one_hot(&mut rng, dataset.topics, 3);
+    let model = LogisticAdoption::from_ratio(0.7);
+    let pool = MrrPool::generate(&dataset.graph, &dataset.table, &campaign, 80_000, 56);
+    let mut est = oipa::core::AuEstimator::new(&pool, model);
+    let plan = oipa::core::AssignmentPlan::from_sets(vec![vec![0, 5], vec![9], vec![17, 23]]);
+    let est_sigma = est.evaluate(&plan);
+    let truth = simulate::simulate_adoption(
+        &mut StdRng::seed_from_u64(57),
+        &dataset.graph,
+        &dataset.table,
+        &campaign,
+        &plan.to_vecs(),
+        model,
+        3000,
+    );
+    let rel = (est_sigma - truth).abs() / truth.max(0.5);
+    assert!(rel < 0.15, "est {est_sigma} vs truth {truth} (rel {rel})");
+}
