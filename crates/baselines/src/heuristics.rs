@@ -156,8 +156,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let candidates = vec![1u32, 2];
         for h in [Heuristic::OutDegree, Heuristic::PageRank, Heuristic::Random] {
-            let (plan, _) =
-                heuristic_baseline(&mut rng, &g, &pool, &mut est, &candidates, 2, h);
+            let (plan, _) = heuristic_baseline(&mut rng, &g, &pool, &mut est, &candidates, 2, h);
             for (_, v) in plan.assignments() {
                 assert!(candidates.contains(&v), "{h:?} escaped the pool");
             }

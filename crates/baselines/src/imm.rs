@@ -126,7 +126,8 @@ pub fn imm<P: EdgeProb + ?Sized>(
 
     // λ' for the phase-1 estimator (IMM Lemma 6 shape).
     let eps_prime = std::f64::consts::SQRT_2 * eps;
-    let lambda_prime = (2.0 + 2.0 / 3.0 * eps_prime) * (lnck + delta_ln + (ln_n.max(1.0)).ln().max(1.0))
+    let lambda_prime = (2.0 + 2.0 / 3.0 * eps_prime)
+        * (lnck + delta_ln + (ln_n.max(1.0)).ln().max(1.0))
         * n as f64
         / (eps_prime * eps_prime);
 
@@ -168,7 +169,13 @@ pub fn imm<P: EdgeProb + ?Sized>(
     if let Some(cap) = params.max_rr_sets {
         theta = theta.min(cap);
     }
-    collection.extend_to(graph, probs, theta.max(collection.sets.len()), &mut rng, &mut scratch);
+    collection.extend_to(
+        graph,
+        probs,
+        theta.max(collection.sets.len()),
+        &mut rng,
+        &mut scratch,
+    );
     let (seeds, covered) = collection.greedy(candidates, k);
     let spread = n as f64 * covered as f64 / collection.sets.len() as f64;
     ImmResult {
@@ -192,7 +199,16 @@ mod tests {
         let g = DiGraph::from_edges(30, &edges).unwrap();
         let p = MaterializedProbs(vec![0.9; g.edge_count()]);
         let all: Vec<u32> = (0..30).collect();
-        let r = imm(&g, &p, &all, 1, ImmParams { max_rr_sets: Some(50_000), ..Default::default() });
+        let r = imm(
+            &g,
+            &p,
+            &all,
+            1,
+            ImmParams {
+                max_rr_sets: Some(50_000),
+                ..Default::default()
+            },
+        );
         assert_eq!(r.seeds, vec![0]);
         assert!(r.spread > 20.0, "hub spread {}", r.spread);
     }
@@ -203,15 +219,20 @@ mod tests {
         let g = oipa_graph::generators::barabasi_albert(&mut rng, 150, 3);
         let p = MaterializedProbs(vec![0.2; g.edge_count()]);
         let all: Vec<u32> = (0..150).collect();
-        let r = imm(&g, &p, &all, 5, ImmParams { eps: 0.2, max_rr_sets: Some(200_000), ..Default::default() });
-        assert_eq!(r.seeds.len(), 5);
-        let truth = simulate::simulate_spread(
-            &mut StdRng::seed_from_u64(7),
+        let r = imm(
             &g,
             &p,
-            &r.seeds,
-            4000,
+            &all,
+            5,
+            ImmParams {
+                eps: 0.2,
+                max_rr_sets: Some(200_000),
+                ..Default::default()
+            },
         );
+        assert_eq!(r.seeds.len(), 5);
+        let truth =
+            simulate::simulate_spread(&mut StdRng::seed_from_u64(7), &g, &p, &r.seeds, 4000);
         let rel = (r.spread - truth).abs() / truth.max(1.0);
         assert!(rel < 0.1, "IMM {} vs MC {} (rel {rel})", r.spread, truth);
     }
@@ -222,7 +243,16 @@ mod tests {
         let g = DiGraph::from_edges(20, &edges).unwrap();
         let p = MaterializedProbs(vec![1.0; g.edge_count()]);
         let candidates: Vec<u32> = (1..20).collect();
-        let r = imm(&g, &p, &candidates, 2, ImmParams { max_rr_sets: Some(20_000), ..Default::default() });
+        let r = imm(
+            &g,
+            &p,
+            &candidates,
+            2,
+            ImmParams {
+                max_rr_sets: Some(20_000),
+                ..Default::default()
+            },
+        );
         assert!(!r.seeds.contains(&0));
     }
 
@@ -232,7 +262,16 @@ mod tests {
         let g = oipa_graph::generators::erdos_renyi_gnm(&mut rng, 50, 250);
         let p = MaterializedProbs(vec![0.1; g.edge_count()]);
         let all: Vec<u32> = (0..50).collect();
-        let r = imm(&g, &p, &all, 3, ImmParams { max_rr_sets: Some(5_000), ..Default::default() });
+        let r = imm(
+            &g,
+            &p,
+            &all,
+            3,
+            ImmParams {
+                max_rr_sets: Some(5_000),
+                ..Default::default()
+            },
+        );
         assert!(r.rr_sets <= 5_000);
         assert_eq!(r.seeds.len(), 3);
     }

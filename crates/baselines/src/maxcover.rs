@@ -38,7 +38,11 @@ impl Ord for Entry {
 /// Greedy max coverage restricted to `candidates`; returns the chosen
 /// seeds (≤ k, fewer when coverage saturates) and the number of RR sets
 /// covered.
-pub fn greedy_max_coverage(store: &RrStore, candidates: &[NodeId], k: usize) -> (Vec<NodeId>, usize) {
+pub fn greedy_max_coverage(
+    store: &RrStore,
+    candidates: &[NodeId],
+    k: usize,
+) -> (Vec<NodeId>, usize) {
     let mut covered = vec![false; store.len()];
     let mut covered_count = 0usize;
     let mut heap: BinaryHeap<Entry> = candidates

@@ -113,12 +113,7 @@ fn best_single_piece(
 
 /// Convenience: builds the collapsed-probability RR pool the `IM` baseline
 /// needs (classical IC on mean edge probabilities).
-pub fn collapsed_pool(
-    graph: &DiGraph,
-    table: &EdgeTopicProbs,
-    theta: usize,
-    seed: u64,
-) -> RrPool {
+pub fn collapsed_pool(graph: &DiGraph, table: &EdgeTopicProbs, theta: usize, seed: u64) -> RrPool {
     let flat = oipa_sampler::MaterializedProbs(table.collapse_mean());
     RrPool::generate(graph, &flat, theta, seed)
 }

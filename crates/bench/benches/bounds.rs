@@ -49,8 +49,15 @@ fn bench_bounds(c: &mut Criterion) {
             b.iter(|| {
                 let mut state = TauState::new(&pool, &table, model);
                 state.reset_to(&empty);
-                compute_bound_progressive(&mut state, &empty, &promoters, &Default::default(), k, eps)
-                    .tau
+                compute_bound_progressive(
+                    &mut state,
+                    &empty,
+                    &promoters,
+                    &Default::default(),
+                    k,
+                    eps,
+                )
+                .tau
             })
         });
     }

@@ -55,7 +55,9 @@ impl HarnessArgs {
                     out.seed = v.parse().unwrap_or_else(|_| usage("bad --seed value"));
                 }
                 "--max-nodes" => {
-                    let v = it.next().unwrap_or_else(|| usage("--max-nodes needs a value"));
+                    let v = it
+                        .next()
+                        .unwrap_or_else(|| usage("--max-nodes needs a value"));
                     out.max_nodes = v.parse().unwrap_or_else(|_| usage("bad --max-nodes"));
                 }
                 "--only" => {
@@ -115,8 +117,17 @@ mod tests {
     #[test]
     fn full_parse() {
         let a = parse(&[
-            "--scale", "tiny", "--theta", "5000", "--seed", "7", "--csv", "--only", "dblp",
-            "--max-nodes", "10",
+            "--scale",
+            "tiny",
+            "--theta",
+            "5000",
+            "--seed",
+            "7",
+            "--csv",
+            "--only",
+            "dblp",
+            "--max-nodes",
+            "10",
         ]);
         assert_eq!(a.scale, Some(Scale::Tiny));
         assert_eq!(a.theta, 5000);

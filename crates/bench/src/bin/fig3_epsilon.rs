@@ -19,10 +19,7 @@ use rand::SeedableRng;
 
 fn main() {
     let args = HarnessArgs::from_env();
-    let mut table = TablePrinter::new(
-        &["dataset", "epsilon", "utility", "time_s"],
-        args.csv,
-    );
+    let mut table = TablePrinter::new(&["dataset", "epsilon", "utility", "time_s"], args.csv);
     for dataset in harness_datasets(&args) {
         let mut rng = StdRng::seed_from_u64(args.seed);
         let campaign = Campaign::sample_one_hot(&mut rng, dataset.topics, 3);
@@ -58,6 +55,8 @@ fn main() {
             ]);
         }
     }
-    println!("# Figure 3 — BAB-P utility vs ε (paper: descending, −0.08%/−6.6%/−1.4% from ε=0.1 to 0.9)");
+    println!(
+        "# Figure 3 — BAB-P utility vs ε (paper: descending, −0.08%/−6.6%/−1.4% from ε=0.1 to 0.9)"
+    );
     table.print();
 }

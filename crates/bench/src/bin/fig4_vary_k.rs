@@ -20,10 +20,7 @@ use rand::SeedableRng;
 
 fn main() {
     let args = HarnessArgs::from_env();
-    let mut table = TablePrinter::new(
-        &["dataset", "k", "method", "utility", "time_s"],
-        args.csv,
-    );
+    let mut table = TablePrinter::new(&["dataset", "k", "method", "utility", "time_s"], args.csv);
     let mut speedups: Vec<(String, usize, f64)> = Vec::new();
     for dataset in harness_datasets(&args) {
         let mut rng = StdRng::seed_from_u64(args.seed);

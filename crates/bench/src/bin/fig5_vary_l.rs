@@ -19,10 +19,7 @@ use rand::SeedableRng;
 
 fn main() {
     let args = HarnessArgs::from_env();
-    let mut table = TablePrinter::new(
-        &["dataset", "l", "method", "utility", "time_s"],
-        args.csv,
-    );
+    let mut table = TablePrinter::new(&["dataset", "l", "method", "utility", "time_s"], args.csv);
     for dataset in harness_datasets(&args) {
         let k = 50.min((dataset.graph.node_count() / 10).max(10));
         for ell in 1..=5usize {

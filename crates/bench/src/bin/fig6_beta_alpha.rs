@@ -57,6 +57,8 @@ fn main() {
             }
         }
     }
-    println!("# Figure 6 — utility vs β/α (paper: rising in β/α; BAB-over-TIM gain largest at 0.3)");
+    println!(
+        "# Figure 6 — utility vs β/α (paper: rising in β/α; BAB-over-TIM gain largest at 0.3)"
+    );
     table.print();
 }

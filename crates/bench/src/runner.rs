@@ -64,11 +64,8 @@ pub fn prepare(setup: &ExperimentSetup<'_>) -> Prepared {
     );
     let sample_time = start.elapsed();
     let mut rng = StdRng::seed_from_u64(setup.seed ^ 0x9090);
-    let promoters = OipaInstance::sample_promoters(
-        &mut rng,
-        setup.dataset.graph.node_count(),
-        0.10,
-    );
+    let promoters =
+        OipaInstance::sample_promoters(&mut rng, setup.dataset.graph.node_count(), 0.10);
     Prepared {
         pool,
         sample_time,
@@ -90,7 +87,13 @@ pub fn run_all_methods(setup: &ExperimentSetup<'_>, prepared: &Prepared) -> Vec<
         setup.theta,
         setup.seed ^ 0x1111,
     );
-    let im = im_baseline(&flat, &prepared.pool, &mut estimator, &prepared.promoters, setup.k);
+    let im = im_baseline(
+        &flat,
+        &prepared.pool,
+        &mut estimator,
+        &prepared.promoters,
+        setup.k,
+    );
     rows.push(MethodOutcome {
         method: "IM",
         utility: im.utility,

@@ -111,6 +111,6 @@ mod tests {
     #[test]
     fn formatters() {
         assert_eq!(secs(std::time::Duration::from_millis(1500)), "1.5000");
-        assert_eq!(utility(2.71828), "2.72");
+        assert_eq!(utility(2.71511), "2.72");
     }
 }

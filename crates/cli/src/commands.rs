@@ -322,8 +322,8 @@ mod tests {
     use super::*;
 
     fn run_words(words: &[&str]) -> Result<String, CliError> {
-        let parsed = ParsedArgs::parse(words.iter().map(|s| s.to_string()).collect())
-            .expect("parseable");
+        let parsed =
+            ParsedArgs::parse(words.iter().map(|s| s.to_string()).collect()).expect("parseable");
         run(&parsed)
     }
 
@@ -342,8 +342,17 @@ mod tests {
         let plan = tmp("pipe.plan.json");
 
         let report = run_words(&[
-            "generate", "--dataset", "lastfm", "--scale", "tiny", "--seed", "7", "--out-graph",
-            &g, "--out-probs", &p,
+            "generate",
+            "--dataset",
+            "lastfm",
+            "--scale",
+            "tiny",
+            "--seed",
+            "7",
+            "--out-graph",
+            &g,
+            "--out-probs",
+            &p,
         ])
         .unwrap();
         assert!(report.contains("generated lastfm"));
@@ -352,22 +361,63 @@ mod tests {
         assert!(report.contains("topics 20"));
 
         let report = run_words(&[
-            "sample", "--graph", &g, "--probs", &p, "--ell", "2", "--theta", "8000", "--seed",
-            "7", "--threads", "2", "--out-pool", &pool, "--out-campaign", &campaign,
+            "sample",
+            "--graph",
+            &g,
+            "--probs",
+            &p,
+            "--ell",
+            "2",
+            "--theta",
+            "8000",
+            "--seed",
+            "7",
+            "--threads",
+            "2",
+            "--out-pool",
+            &pool,
+            "--out-campaign",
+            &campaign,
         ])
         .unwrap();
         assert!(report.contains("θ=8000"));
 
         let report = run_words(&[
-            "solve", "--pool", &pool, "--method", "bab-p", "--k", "4", "--ratio", "0.5",
-            "--max-nodes", "4", "--seed", "7", "--out-plan", &plan,
+            "solve",
+            "--pool",
+            &pool,
+            "--method",
+            "bab-p",
+            "--k",
+            "4",
+            "--ratio",
+            "0.5",
+            "--max-nodes",
+            "4",
+            "--seed",
+            "7",
+            "--out-plan",
+            &plan,
         ])
         .unwrap();
         assert!(report.contains("\"utility\""));
 
         let report = run_words(&[
-            "simulate", "--graph", &g, "--probs", &p, "--campaign", &campaign, "--plan", &plan,
-            "--ratio", "0.5", "--runs", "100", "--seed", "7",
+            "simulate",
+            "--graph",
+            &g,
+            "--probs",
+            &p,
+            "--campaign",
+            &campaign,
+            "--plan",
+            &plan,
+            "--ratio",
+            "0.5",
+            "--runs",
+            "100",
+            "--seed",
+            "7",
         ])
         .unwrap();
         assert!(report.contains("simulated adoption utility"));
@@ -380,8 +430,17 @@ mod tests {
         let g = tmp("imp.graph");
         let p = tmp("imp.probs");
         let report = run_words(&[
-            "import", "--edges", &edges, "--out-graph", &g, "--out-probs", &p, "--topics", "4",
-            "--seed", "3",
+            "import",
+            "--edges",
+            &edges,
+            "--out-graph",
+            &g,
+            "--out-probs",
+            &p,
+            "--topics",
+            "4",
+            "--seed",
+            "3",
         ])
         .unwrap();
         assert!(report.contains("imported 3 nodes, 3 edges"));
@@ -396,26 +455,56 @@ mod tests {
         let pool = tmp("m.pool");
         let campaign = tmp("m.campaign.json");
         run_words(&[
-            "generate", "--dataset", "lastfm", "--scale", "tiny", "--seed", "8", "--out-graph",
-            &g, "--out-probs", &p,
+            "generate",
+            "--dataset",
+            "lastfm",
+            "--scale",
+            "tiny",
+            "--seed",
+            "8",
+            "--out-graph",
+            &g,
+            "--out-probs",
+            &p,
         ])
         .unwrap();
         run_words(&[
-            "sample", "--graph", &g, "--probs", &p, "--ell", "2", "--theta", "4000", "--seed",
-            "8", "--out-pool", &pool, "--out-campaign", &campaign,
+            "sample",
+            "--graph",
+            &g,
+            "--probs",
+            &p,
+            "--ell",
+            "2",
+            "--theta",
+            "4000",
+            "--seed",
+            "8",
+            "--out-pool",
+            &pool,
+            "--out-campaign",
+            &campaign,
         ])
         .unwrap();
         for method in ["greedy", "tim", "bab", "plain"] {
             let report = run_words(&[
-                "solve", "--pool", &pool, "--method", method, "--k", "3", "--max-nodes", "2",
+                "solve",
+                "--pool",
+                &pool,
+                "--method",
+                method,
+                "--k",
+                "3",
+                "--max-nodes",
+                "2",
             ])
             .unwrap();
             assert!(report.contains("\"utility\""), "{method}: {report}");
         }
         // IM additionally needs the graph and table for its collapsed pool.
         let report = run_words(&[
-            "solve", "--pool", &pool, "--method", "im", "--k", "3", "--graph", &g, "--probs",
-            &p, "--theta", "4000",
+            "solve", "--pool", &pool, "--method", "im", "--k", "3", "--graph", &g, "--probs", &p,
+            "--theta", "4000",
         ])
         .unwrap();
         assert!(report.contains("\"utility\""), "im: {report}");
@@ -437,8 +526,17 @@ mod tests {
         let g = tmp("mm.graph");
         let p = tmp("mm.probs");
         run_words(&[
-            "generate", "--dataset", "lastfm", "--scale", "tiny", "--seed", "9", "--out-graph",
-            &g, "--out-probs", &p,
+            "generate",
+            "--dataset",
+            "lastfm",
+            "--scale",
+            "tiny",
+            "--seed",
+            "9",
+            "--out-graph",
+            &g,
+            "--out-probs",
+            &p,
         ])
         .unwrap();
         let campaign = tmp("mm.campaign.json");
@@ -451,14 +549,17 @@ mod tests {
             "campaign",
         )
         .unwrap();
-        save_json(
-            &oipa_core::AssignmentPlan::empty(2),
-            &plan,
-            "plan",
-        )
-        .unwrap();
+        save_json(&oipa_core::AssignmentPlan::empty(2), &plan, "plan").unwrap();
         let err = run_words(&[
-            "simulate", "--graph", &g, "--probs", &p, "--campaign", &campaign, "--plan", &plan,
+            "simulate",
+            "--graph",
+            &g,
+            "--probs",
+            &p,
+            "--campaign",
+            &campaign,
+            "--plan",
+            &plan,
         ])
         .unwrap_err();
         assert!(err.0.contains("pieces"));

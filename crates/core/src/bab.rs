@@ -206,9 +206,7 @@ impl<'a> BranchAndBound<'a> {
         state.reset_to(partial);
         match self.config.method {
             BoundMethod::Greedy => compute_bound_celf(state, partial, promoters, excluded, k),
-            BoundMethod::PlainGreedy => {
-                compute_bound_plain(state, partial, promoters, excluded, k)
-            }
+            BoundMethod::PlainGreedy => compute_bound_plain(state, partial, promoters, excluded, k),
             BoundMethod::Progressive { eps } => {
                 compute_bound_progressive(state, partial, promoters, excluded, k, eps)
             }
@@ -342,7 +340,13 @@ mod tests {
     fn solves_fig1_exactly() {
         let (pool, model) = fig1_instance(80_000);
         let instance = OipaInstance::new(&pool, model, vec![0, 1, 2, 3, 4], 2);
-        let mut solver = BranchAndBound::new(&instance, BabConfig { gap: 0.0, ..BabConfig::bab() });
+        let mut solver = BranchAndBound::new(
+            &instance,
+            BabConfig {
+                gap: 0.0,
+                ..BabConfig::bab()
+            },
+        );
         let sol = solver.solve();
         assert_eq!(sol.plan.set(0), &[0], "t1 -> a");
         assert_eq!(sol.plan.set(1), &[4], "t2 -> e");

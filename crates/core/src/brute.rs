@@ -61,7 +61,14 @@ pub fn brute_force_best(
         for idx in start..candidates.len() {
             chosen.push(idx);
             recurse(
-                estimator, candidates, ell, k, idx + 1, chosen, best_plan, best_sigma,
+                estimator,
+                candidates,
+                ell,
+                k,
+                idx + 1,
+                chosen,
+                best_plan,
+                best_sigma,
             );
             chosen.pop();
         }
@@ -111,8 +118,14 @@ mod tests {
             let mut est = AuEstimator::new(&pool, model);
             let (_, opt) = brute_force_best(&mut est, &[0, 1, 2, 3, 4], 2, k);
             let instance = OipaInstance::new(&pool, model, vec![0, 1, 2, 3, 4], k);
-            let sol = BranchAndBound::new(&instance, BabConfig { gap: 0.0, ..BabConfig::bab() })
-                .solve();
+            let sol = BranchAndBound::new(
+                &instance,
+                BabConfig {
+                    gap: 0.0,
+                    ..BabConfig::bab()
+                },
+            )
+            .solve();
             let ratio = 1.0 - std::f64::consts::E.recip();
             assert!(
                 sol.utility + 1e-6 >= ratio * opt,
@@ -139,9 +152,7 @@ mod tests {
         for config in [BabConfig::bab(), BabConfig::bab_p(0.5)] {
             let sol = BranchAndBound::new(&instance, BabConfig { gap: 0.0, ..config }).solve();
             let ratio = match config.method {
-                crate::BoundMethod::Progressive { eps } => {
-                    1.0 - std::f64::consts::E.recip() - eps
-                }
+                crate::BoundMethod::Progressive { eps } => 1.0 - std::f64::consts::E.recip() - eps,
                 _ => 1.0 - std::f64::consts::E.recip(),
             };
             assert!(

@@ -52,7 +52,11 @@ impl<'a> AuEstimator<'a> {
     /// of its seeds counts once. Seeds of a piece are folded through a
     /// per-piece `seen` pass, so each sample's coverage count is exact.
     pub fn evaluate(&mut self, plan: &AssignmentPlan) -> f64 {
-        assert_eq!(plan.ell(), self.pool.ell(), "plan piece count must match pool");
+        assert_eq!(
+            plan.ell(),
+            self.pool.ell(),
+            "plan piece count must match pool"
+        );
         let theta = self.pool.theta();
         if theta == 0 {
             return 0.0;
@@ -266,7 +270,8 @@ mod tests {
         let (g, table, campaign) = fig1();
         let pool = MrrPool::generate(&g, &table, &campaign, 1, 1);
         let mut est = AuEstimator::new(&pool, LogisticAdoption::example());
-        let (_, half) = est.evaluate_with_ci(&AssignmentPlan::from_sets(vec![vec![0], vec![]]), 2.0);
+        let (_, half) =
+            est.evaluate_with_ci(&AssignmentPlan::from_sets(vec![vec![0], vec![]]), 2.0);
         assert!(half.is_infinite());
     }
 

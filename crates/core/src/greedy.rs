@@ -42,12 +42,7 @@ pub(crate) fn pack(j: usize, v: NodeId) -> u64 {
 
 /// Candidate availability: not excluded, not already in the plan.
 #[inline]
-fn available(
-    plan: &AssignmentPlan,
-    excluded: &FxHashSet<u64>,
-    j: usize,
-    v: NodeId,
-) -> bool {
+fn available(plan: &AssignmentPlan, excluded: &FxHashSet<u64>, j: usize, v: NodeId) -> bool {
     !excluded.contains(&pack(j, v)) && !plan.contains(j, v)
 }
 
@@ -184,9 +179,7 @@ pub fn compute_bound_plain(
                     None => gain > 0.0,
                     // Strict improvement, ties to smaller (j, v) — matches
                     // the CELF heap's deterministic ordering.
-                    Some((bg, bj, bv)) => {
-                        gain > bg || (gain == bg && (j, v) < (bj, bv))
-                    }
+                    Some((bg, bj, bv)) => gain > bg || (gain == bg && (j, v) < (bj, bv)),
                 };
                 if better {
                     best = Some((gain, j, v));
@@ -232,7 +225,8 @@ mod tests {
         let mut state = TauState::new(&pool, &tt, model);
         let empty = AssignmentPlan::empty(2);
         state.reset_to(&empty);
-        let result = compute_bound_celf(&mut state, &empty, &[0, 1, 2, 3, 4], &Default::default(), 2);
+        let result =
+            compute_bound_celf(&mut state, &empty, &[0, 1, 2, 3, 4], &Default::default(), 2);
         assert_eq!(result.plan.set(0), &[0], "piece t1 should go to a");
         assert_eq!(result.plan.set(1), &[4], "piece t2 should go to e");
         // σ̂ scaled ≈ 1.045; τ ≥ σ.
@@ -286,8 +280,13 @@ mod tests {
         let partial = AssignmentPlan::from_sets(vec![vec![1], vec![]]); // b on t1
         let mut state = TauState::new(&pool, &tt, model);
         state.reset_to(&partial);
-        let result =
-            compute_bound_celf(&mut state, &partial, &[0, 1, 2, 3, 4], &Default::default(), 2);
+        let result = compute_bound_celf(
+            &mut state,
+            &partial,
+            &[0, 1, 2, 3, 4],
+            &Default::default(),
+            2,
+        );
         assert!(partial.contained_in(&result.plan));
         assert_eq!(result.plan.size(), 2);
     }
@@ -298,8 +297,13 @@ mod tests {
         let partial = AssignmentPlan::from_sets(vec![vec![0], vec![4]]);
         let mut state = TauState::new(&pool, &tt, model);
         state.reset_to(&partial);
-        let result =
-            compute_bound_celf(&mut state, &partial, &[0, 1, 2, 3, 4], &Default::default(), 2);
+        let result = compute_bound_celf(
+            &mut state,
+            &partial,
+            &[0, 1, 2, 3, 4],
+            &Default::default(),
+            2,
+        );
         assert_eq!(result.plan, partial);
         assert_eq!(result.first_pick, None);
     }

@@ -26,7 +26,7 @@
 //! (pre-sampled), a [`LogisticAdoption`] model, a promoter pool, and a
 //! budget. All returned utilities are in *user* units (scaled by `n/θ`).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod auto;

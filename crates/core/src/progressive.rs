@@ -214,14 +214,8 @@ mod tests {
 
         let mut s_prog = TauState::new(&pool, &tt, model);
         s_prog.reset_to(&empty);
-        let _ = compute_bound_progressive(
-            &mut s_prog,
-            &empty,
-            &promoters,
-            &Default::default(),
-            4,
-            0.5,
-        );
+        let _ =
+            compute_bound_progressive(&mut s_prog, &empty, &promoters, &Default::default(), 4, 0.5);
 
         let mut s_plain = TauState::new(&pool, &tt, model);
         s_plain.reset_to(&empty);
@@ -252,14 +246,8 @@ mod tests {
 
         let mut s2 = TauState::new(&pool, &tt, model);
         s2.reset_to(&empty);
-        let prog = compute_bound_progressive(
-            &mut s2,
-            &empty,
-            &promoters,
-            &Default::default(),
-            3,
-            0.1,
-        );
+        let prog =
+            compute_bound_progressive(&mut s2, &empty, &promoters, &Default::default(), 3, 0.1);
         // The Line-14 early exit may stop short of the budget, so σ can
         // trail greedy's; Theorem 3 only promises (1−1/e−ε) on τ. Empirically
         // the paper reports near-equal utilities — we assert a loose band
@@ -301,7 +289,8 @@ mod tests {
         excluded.insert(pack(0, 0));
         let mut state = TauState::new(&pool, &tt, model);
         state.reset_to(&partial);
-        let r = compute_bound_progressive(&mut state, &partial, &[0, 1, 2, 3, 4], &excluded, 3, 0.3);
+        let r =
+            compute_bound_progressive(&mut state, &partial, &[0, 1, 2, 3, 4], &excluded, 3, 0.3);
         assert!(partial.contained_in(&r.plan));
         assert!(!r.plan.contains(0, 0));
     }

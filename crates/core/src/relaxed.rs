@@ -145,7 +145,9 @@ pub fn greedy_relaxed<C: AdoptionCurve>(
         "greedy_relaxed requires a concave curve; use BranchAndBound for the logistic"
     );
     // Marginal lookup per coverage level.
-    let marginals: Vec<f64> = (0..ell).map(|c| curve.prob(c + 1) - curve.prob(c)).collect();
+    let marginals: Vec<f64> = (0..ell)
+        .map(|c| curve.prob(c + 1) - curve.prob(c))
+        .collect();
     let mut covered = vec![0u64; (theta * ell).div_ceil(64)];
     let mut count = vec![0u8; theta];
     let mut utility = 0.0f64;
@@ -283,7 +285,11 @@ mod tests {
     #[test]
     fn concavity_classification() {
         assert!(ProbabilisticCoverage { p: 0.4 }.is_concave(10));
-        assert!(CappedLinear { slope: 0.2, cap: 0.9 }.is_concave(10));
+        assert!(CappedLinear {
+            slope: 0.2,
+            cap: 0.9
+        }
+        .is_concave(10));
         assert!(LogisticEnvelope::new(LogisticAdoption::example(), 5).is_concave(5));
         // The logistic itself is NOT concave when the inflection sits
         // inside the coverage range.

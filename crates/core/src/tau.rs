@@ -68,7 +68,7 @@ impl<'a> TauState<'a> {
             tau_sum: theta as f64 * tau_floor,
             sigma_sum: 0.0,
             tau_floor,
-        evaluations: 0,
+            evaluations: 0,
         }
     }
 

@@ -13,7 +13,10 @@
 //! an adversarially structured (non-power-law) input.
 
 use oipa_graph::{DiGraph, GraphBuilder, NodeId};
-use oipa_topics::{Campaign, EdgeProbsBuilder, EdgeTopicProbs, LogisticAdoption, Piece, SparseTopicVector, TopicVector};
+use oipa_topics::{
+    Campaign, EdgeProbsBuilder, EdgeTopicProbs, LogisticAdoption, Piece, SparseTopicVector,
+    TopicVector,
+};
 
 /// The constructed OIPA instance `Π_b`.
 #[derive(Debug, Clone)]
@@ -92,12 +95,20 @@ pub fn build_gadget(n: usize, edges: &[(usize, usize)]) -> CliqueGadget {
     for (u, v, z) in edge_topics {
         let e = graph.find_edge(u, v).expect("edge was added");
         probs
-            .set(e.id, SparseTopicVector::new(vec![(z, 1.0)], n).expect("valid"))
+            .set(
+                e.id,
+                SparseTopicVector::new(vec![(z, 1.0)], n).expect("valid"),
+            )
             .expect("edge in range");
     }
     let table = probs.build();
     let pieces = (0..n)
-        .map(|i| Piece::new(format!("t{i}"), TopicVector::one_hot(n, i).expect("in range")))
+        .map(|i| {
+            Piece::new(
+                format!("t{i}"),
+                TopicVector::one_hot(n, i).expect("in range"),
+            )
+        })
         .collect();
     let campaign = Campaign::new(pieces).expect("uniform dimensions");
     // Step 5: α = 2n·ln(2n), β = 2·ln(2n).
@@ -155,11 +166,7 @@ pub fn plan_utility_for_subset(gadget: &CliqueGadget, subset: &[usize]) -> f64 {
 }
 
 fn edge_in_gadget(gadget: &CliqueGadget, i: usize, j: usize) -> bool {
-    gadget
-        .graph
-        .find_edge(gadget.x(i), gadget.r(j))
-        .is_some()
-        && i != j
+    gadget.graph.find_edge(gadget.x(i), gadget.r(j)).is_some() && i != j
 }
 
 #[cfg(test)]
@@ -245,8 +252,7 @@ mod tests {
             // Enumerate all plans of the canonical form (x or y per piece).
             let mut opt_b = 0.0f64;
             for mask in 0..(1u32 << case.n) {
-                let subset: Vec<usize> =
-                    (0..case.n).filter(|&i| mask >> i & 1 == 1).collect();
+                let subset: Vec<usize> = (0..case.n).filter(|&i| mask >> i & 1 == 1).collect();
                 let mut u = plan_utility_for_subset(&g, &subset);
                 // Promoter self-adoption contributes equally to every plan;
                 // subtract it so OPT reflects the receivers (as in the

@@ -256,7 +256,9 @@ impl DiGraph {
     /// Total heap bytes used by the CSR arrays (approximate).
     pub fn heap_bytes(&self) -> usize {
         (self.out_offsets.capacity() + self.in_offsets.capacity()) * 4
-            + (self.out_targets.capacity() + self.in_sources.capacity() + self.in_edge_ids.capacity())
+            + (self.out_targets.capacity()
+                + self.in_sources.capacity()
+                + self.in_edge_ids.capacity())
                 * 4
     }
 }

@@ -48,7 +48,9 @@ pub fn power_law_configuration<R: Rng + ?Sized>(
     max_degree: Option<f64>,
 ) -> DiGraph {
     assert!(n >= 2, "need at least two nodes");
-    let max_deg = max_degree.unwrap_or(((n - 1) as f64).sqrt() * 4.0).min((n - 1) as f64);
+    let max_deg = max_degree
+        .unwrap_or(((n - 1) as f64).sqrt() * 4.0)
+        .min((n - 1) as f64);
     let mut degrees: Vec<usize> = (0..n)
         .map(|_| power_law_degree(rng, alpha, min_degree, max_deg.max(min_degree)))
         .collect();
@@ -192,7 +194,8 @@ pub fn complete<Rr>(n: u32) -> DiGraph
 where
     Rr: Sized,
 {
-    let mut builder = GraphBuilder::with_capacity(DedupPolicy::Simple, n as usize * (n as usize - 1));
+    let mut builder =
+        GraphBuilder::with_capacity(DedupPolicy::Simple, n as usize * (n as usize - 1));
     builder.ensure_nodes(n);
     for u in 0..n {
         for v in 0..n {
@@ -251,9 +254,7 @@ mod tests {
         let g = barabasi_albert(&mut rng, 300, 3);
         assert_eq!(g.node_count(), 300);
         // Every non-seed node has out-degree close to m_attach.
-        let deficient = (4..300)
-            .filter(|&u| g.out_degree(u as NodeId) < 2)
-            .count();
+        let deficient = (4..300).filter(|&u| g.out_degree(u as NodeId) < 2).count();
         assert!(deficient < 10, "too many deficient nodes: {deficient}");
         // Hubs exist: max in-degree well above the mean.
         let max_in = (0..300).map(|u| g.in_degree(u)).max().unwrap();
@@ -298,8 +299,22 @@ mod tests {
 
     #[test]
     fn generators_deterministic_under_seed() {
-        let a = power_law_configuration(&mut StdRng::seed_from_u64(42), 100, 2.5, 1.0, Some(500), None);
-        let b = power_law_configuration(&mut StdRng::seed_from_u64(42), 100, 2.5, 1.0, Some(500), None);
+        let a = power_law_configuration(
+            &mut StdRng::seed_from_u64(42),
+            100,
+            2.5,
+            1.0,
+            Some(500),
+            None,
+        );
+        let b = power_law_configuration(
+            &mut StdRng::seed_from_u64(42),
+            100,
+            2.5,
+            1.0,
+            Some(500),
+            None,
+        );
         assert_eq!(a, b);
     }
 }

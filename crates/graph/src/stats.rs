@@ -85,7 +85,10 @@ pub fn in_degree_histogram(graph: &DiGraph) -> Vec<usize> {
 /// `d_i ≥ d_min`.
 ///
 /// Returns `None` if fewer than 10 observations reach `d_min`.
-pub fn power_law_exponent_mle(degrees: impl IntoIterator<Item = usize>, d_min: usize) -> Option<f64> {
+pub fn power_law_exponent_mle(
+    degrees: impl IntoIterator<Item = usize>,
+    d_min: usize,
+) -> Option<f64> {
     assert!(d_min >= 1);
     let shift = d_min as f64 - 0.5;
     let mut count = 0usize;

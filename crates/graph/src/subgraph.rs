@@ -46,10 +46,7 @@ pub fn induced_subgraph(graph: &DiGraph, keep: impl IntoIterator<Item = NodeId>)
     // DiGraph::from_edges sorts by (source, target), and since relabelling
     // is monotone the new edge order equals the filtered old order.
     for e in graph.edges() {
-        if let (Some(s), Some(t)) = (
-            new_of_old[e.source as usize],
-            new_of_old[e.target as usize],
-        ) {
+        if let (Some(s), Some(t)) = (new_of_old[e.source as usize], new_of_old[e.target as usize]) {
             edges.push((s, t));
             old_edge_of_new.push(e.id);
         }
@@ -127,11 +124,7 @@ pub fn core_numbers(graph: &DiGraph) -> Vec<u32> {
         core[v as usize] = k as u32;
         removed[v as usize] = true;
         processed += 1;
-        for &u in graph
-            .out_neighbors(v)
-            .iter()
-            .chain(graph.in_neighbors(v))
-        {
+        for &u in graph.out_neighbors(v).iter().chain(graph.in_neighbors(v)) {
             if !removed[u as usize] && degree[u as usize] > 0 {
                 degree[u as usize] -= 1;
                 let d = degree[u as usize];
@@ -193,11 +186,8 @@ mod tests {
     fn core_numbers_on_clique_plus_tail() {
         // Directed triangle (total degree 2 each… use bidirectional edges
         // for a clean 2-core) plus a pendant.
-        let g = DiGraph::from_edges(
-            4,
-            &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 0), (0, 2), (2, 3)],
-        )
-        .unwrap();
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 0), (0, 2), (2, 3)])
+            .unwrap();
         let core = core_numbers(&g);
         // Pendant node 3 has total degree 1 -> core 1.
         assert_eq!(core[3], 1);
@@ -208,11 +198,8 @@ mod tests {
 
     #[test]
     fn k_core_extraction_removes_fringe() {
-        let g = DiGraph::from_edges(
-            4,
-            &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 0), (0, 2), (2, 3)],
-        )
-        .unwrap();
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 0), (0, 2), (2, 3)])
+            .unwrap();
         let ex = k_core(&g, 2);
         assert_eq!(ex.graph.node_count(), 3, "pendant must be peeled");
         assert!(ex.new_of_old[3].is_none());

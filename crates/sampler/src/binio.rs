@@ -85,7 +85,9 @@ pub fn read_pool<R: Read>(reader: R) -> Result<MrrPool, PoolIoError> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(PoolIoError::Format("bad magic: not an OIPA MRR pool".into()));
+        return Err(PoolIoError::Format(
+            "bad magic: not an OIPA MRR pool".into(),
+        ));
     }
     let version = read_u32(&mut r)?;
     if version != VERSION {
@@ -97,7 +99,9 @@ pub fn read_pool<R: Read>(reader: R) -> Result<MrrPool, PoolIoError> {
     let theta = read_u64(&mut r)? as usize;
     let ell = read_u32(&mut r)? as usize;
     if ell == 0 {
-        return Err(PoolIoError::Format("pool must have at least one piece".into()));
+        return Err(PoolIoError::Format(
+            "pool must have at least one piece".into(),
+        ));
     }
     let mut roots = Vec::with_capacity(theta.min(1 << 28));
     for _ in 0..theta {

@@ -32,9 +32,9 @@
 #![warn(rust_2018_idioms)]
 
 pub mod binio;
+mod edge_prob;
 pub mod interdependent;
 pub mod lt;
-mod edge_prob;
 mod mrr;
 mod rr;
 pub mod simulate;

@@ -14,6 +14,7 @@ use oipa_graph::traverse::BfsScratch;
 use oipa_graph::{DiGraph, EdgeId, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 /// Per-edge LT weights, validated so each node's in-weights sum to ≤ 1.
 #[derive(Debug, Clone, PartialEq)]
@@ -112,6 +113,10 @@ pub fn sample_rr_set_lt<R: Rng + ?Sized>(
 
 /// Generates θ LT RR sets with shared infrastructure (roots + inverted
 /// index), returning a standard [`crate::RrPool`].
+///
+/// Like the IC samplers, generation is parallel and bitwise deterministic
+/// per seed regardless of thread count: walks are chunked, each chunk
+/// drawing from its own seed-derived stream.
 pub fn generate_lt_pool(
     graph: &DiGraph,
     weights: &LtWeights,
@@ -121,16 +126,28 @@ pub fn generate_lt_pool(
     assert!(graph.node_count() > 0);
     let mut rng = SmallRng::seed_from_u64(seed);
     let n = graph.node_count();
-    let roots: Vec<NodeId> = (0..theta)
-        .map(|_| rng.gen_range(0..n as NodeId))
+    let roots: Vec<NodeId> = (0..theta).map(|_| rng.gen_range(0..n as NodeId)).collect();
+    const CHUNK: usize = 4096;
+    let chunk_jobs: Vec<(usize, &[NodeId])> = roots.chunks(CHUNK).enumerate().collect();
+    let chunk_sets: Vec<Vec<Vec<NodeId>>> = chunk_jobs
+        .par_iter()
+        .map(|&(ci, chunk_roots)| {
+            let stream = (ci as u64)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(0x517c_c1b7);
+            let mut rng = SmallRng::seed_from_u64(seed ^ stream);
+            let mut scratch = BfsScratch::new(n);
+            let mut buf = Vec::new();
+            chunk_roots
+                .iter()
+                .map(|&root| {
+                    sample_rr_set_lt(&mut rng, graph, weights, root, &mut scratch, &mut buf);
+                    buf.clone()
+                })
+                .collect()
+        })
         .collect();
-    let mut scratch = BfsScratch::new(n);
-    let mut buf = Vec::new();
-    let mut sets: Vec<Vec<NodeId>> = Vec::with_capacity(theta);
-    for &root in &roots {
-        sample_rr_set_lt(&mut rng, graph, weights, root, &mut scratch, &mut buf);
-        sets.push(buf.clone());
-    }
+    let sets: Vec<Vec<NodeId>> = chunk_sets.into_iter().flatten().collect();
     let store = crate::RrStore::from_sets(&sets, n);
     crate::RrPool::from_parts(n as u32, roots, store)
 }
@@ -255,7 +272,10 @@ mod tests {
         let est = pool.estimate_spread(&seeds);
         let truth = simulate_spread_lt(&mut StdRng::seed_from_u64(5), &g, &w, &seeds, 4000);
         let rel = (est - truth).abs() / truth.max(1.0);
-        assert!(rel < 0.08, "LT estimate {est} vs simulation {truth} ({rel})");
+        assert!(
+            rel < 0.08,
+            "LT estimate {est} vs simulation {truth} ({rel})"
+        );
     }
 
     #[test]

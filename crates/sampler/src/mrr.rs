@@ -13,6 +13,7 @@ use oipa_topics::{Campaign, EdgeTopicProbs};
 use rand::distributions::{Distribution, Uniform};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 
 /// θ MRR samples for an ℓ-piece campaign.
 ///
@@ -38,7 +39,12 @@ pub struct MrrPool {
 const CHUNK: usize = 2048;
 
 impl MrrPool {
-    /// Generates θ MRR samples sequentially.
+    /// Generates θ MRR samples, parallelized across all available threads
+    /// (or the ambient rayon thread count, if one is installed).
+    ///
+    /// Output is **bitwise deterministic per seed regardless of thread
+    /// count**: each (piece, chunk) job derives an independent RNG stream
+    /// from the base seed, and results are reassembled in job order.
     pub fn generate(
         graph: &DiGraph,
         table: &EdgeTopicProbs,
@@ -46,11 +52,49 @@ impl MrrPool {
         theta: usize,
         seed: u64,
     ) -> MrrPool {
-        Self::generate_parallel(graph, table, campaign, theta, seed, 1)
+        assert!(graph.node_count() > 0, "cannot sample an empty graph");
+        table
+            .check_against(graph)
+            .expect("probability table matches graph");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pick = Uniform::new(0, graph.node_count() as NodeId);
+        let roots: Vec<NodeId> = (0..theta).map(|_| pick.sample(&mut rng)).collect();
+
+        // Job = (piece j, chunk ci), j-major so each piece's chunks land
+        // contiguously in the collected output.
+        let ell = campaign.len();
+        let chunk_count = roots.len().div_ceil(CHUNK).max(1);
+        let jobs: Vec<(usize, usize)> = (0..ell)
+            .flat_map(|j| (0..chunk_count).map(move |ci| (j, ci)))
+            .collect();
+        let chunk_stores: Vec<RrStore> = jobs
+            .par_iter()
+            .map(|&(j, ci)| {
+                let piece = &campaign.piece(j).topics;
+                let probs = PieceProbs::new(table, piece);
+                let lo = ci * CHUNK;
+                let hi = (lo + CHUNK).min(roots.len());
+                generate_chunk(graph, &probs, &roots[lo..hi], seed, j, ci)
+            })
+            .collect();
+
+        let mut stores = Vec::with_capacity(ell);
+        let mut remaining = chunk_stores;
+        for _ in 0..ell {
+            let tail = remaining.split_off(chunk_count.min(remaining.len()));
+            stores.push(RrStore::concat(remaining, graph.node_count()));
+            remaining = tail;
+        }
+        MrrPool {
+            n: graph.node_count() as u32,
+            roots,
+            stores,
+        }
     }
 
-    /// Generates θ MRR samples with `threads` workers. Output is identical
-    /// to the sequential version for the same seed.
+    /// Generates θ MRR samples with exactly `threads` workers. Produces
+    /// output identical to [`MrrPool::generate`] for the same seed — the
+    /// thread count only affects wall-clock time.
     pub fn generate_parallel(
         graph: &DiGraph,
         table: &EdgeTopicProbs,
@@ -59,58 +103,11 @@ impl MrrPool {
         seed: u64,
         threads: usize,
     ) -> MrrPool {
-        assert!(graph.node_count() > 0, "cannot sample an empty graph");
-        table.check_against(graph).expect("probability table matches graph");
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let pick = Uniform::new(0, graph.node_count() as NodeId);
-        let roots: Vec<NodeId> = (0..theta).map(|_| pick.sample(&mut rng)).collect();
-
-        // Job = (piece j, chunk ci). Work-stealing over an atomic counter.
-        let ell = campaign.len();
-        let chunk_count = roots.len().div_ceil(CHUNK).max(1);
-        let jobs: Vec<(usize, usize)> = (0..ell)
-            .flat_map(|j| (0..chunk_count).map(move |ci| (j, ci)))
-            .collect();
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let results: Vec<parking_lot::Mutex<Option<RrStore>>> =
-            (0..jobs.len()).map(|_| parking_lot::Mutex::new(None)).collect();
-        let threads = threads.max(1);
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|_| loop {
-                    let job = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if job >= jobs.len() {
-                        break;
-                    }
-                    let (j, ci) = jobs[job];
-                    let piece = &campaign.piece(j).topics;
-                    let probs = PieceProbs::new(table, piece);
-                    let lo = ci * CHUNK;
-                    let hi = (lo + CHUNK).min(roots.len());
-                    let store = generate_chunk(graph, &probs, &roots[lo..hi], seed, j, ci);
-                    *results[job].lock() = Some(store);
-                });
-            }
-        })
-        .expect("MRR worker panicked");
-
-        let mut all: Vec<Option<RrStore>> = results
-            .into_iter()
-            .map(|m| Some(m.into_inner().expect("all chunks generated")))
-            .collect();
-        let stores: Vec<RrStore> = (0..ell)
-            .map(|j| {
-                let chunks: Vec<RrStore> = (0..chunk_count)
-                    .map(|ci| all[j * chunk_count + ci].take().expect("chunk present"))
-                    .collect();
-                RrStore::concat(chunks, graph.node_count())
-            })
-            .collect();
-        MrrPool {
-            n: graph.node_count() as u32,
-            roots,
-            stores,
-        }
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads.max(1))
+            .build()
+            .expect("building sampler thread pool");
+        pool.install(|| Self::generate(graph, table, campaign, theta, seed))
     }
 
     /// Number of graph nodes `n` (the estimator scale factor numerator).
@@ -193,7 +190,9 @@ fn generate_chunk<P: EdgeProb + ?Sized>(
     // independent, reproducible sequence.
     let stream = (piece as u64) << 32 | chunk_index as u64;
     let mut rng = SmallRng::seed_from_u64(
-        seed ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(0x517c_c1b7),
+        seed ^ stream
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(0x517c_c1b7),
     );
     let mut scratch = BfsScratch::new(graph.node_count());
     let mut set_buf: Vec<NodeId> = Vec::new();
@@ -268,6 +267,30 @@ mod tests {
         for j in 0..2 {
             for i in (0..5000).step_by(501) {
                 assert_eq!(a.rr_set(j, i), b.rr_set(j, i));
+            }
+        }
+    }
+
+    /// The acceptance bar for parallel sampling: one seed must produce a
+    /// bitwise-identical pool — every root and every RR set of every
+    /// piece — whether generated with 1, 2, or many threads.
+    #[test]
+    fn thread_count_invariance_exhaustive() {
+        let (g, table, campaign) = fig1();
+        // θ chosen to exercise multiple chunks per piece (CHUNK = 2048).
+        let theta = 3 * CHUNK + 17;
+        let reference = MrrPool::generate_parallel(&g, &table, &campaign, theta, 99, 1);
+        for threads in [2, 3, 8] {
+            let pool = MrrPool::generate_parallel(&g, &table, &campaign, theta, 99, threads);
+            assert_eq!(reference.roots(), pool.roots(), "{threads} threads");
+            for j in 0..reference.ell() {
+                for i in 0..theta {
+                    assert_eq!(
+                        reference.rr_set(j, i),
+                        pool.rr_set(j, i),
+                        "piece {j} sample {i} with {threads} threads"
+                    );
+                }
             }
         }
     }

@@ -6,6 +6,7 @@ use oipa_graph::{DiGraph, NodeId};
 use rand::distributions::{Distribution, Uniform};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 /// Flat storage for θ RR sets plus the inverted node→samples index.
 ///
@@ -190,8 +191,11 @@ pub struct RrPool {
 }
 
 impl RrPool {
-    /// Generates θ RR sets sequentially with the given seed.
-    pub fn generate<P: EdgeProb + ?Sized>(
+    /// Generates θ RR sets, parallelized across all available threads (or
+    /// the ambient rayon thread count, if one is installed). Output is
+    /// bitwise deterministic per seed regardless of thread count: each
+    /// fixed-size chunk of roots draws from its own seed-derived stream.
+    pub fn generate<P: EdgeProb + ?Sized + Sync>(
         graph: &DiGraph,
         probs: &P,
         theta: usize,
@@ -209,25 +213,20 @@ impl RrPool {
         }
     }
 
-    /// Generates θ RR sets using `threads` worker threads; output is
-    /// bit-identical to the sequential version with the same seed.
-    pub fn generate_parallel<P: EdgeProb + ?Sized>(
+    /// Generates θ RR sets with exactly `threads` workers; output is
+    /// bit-identical to [`RrPool::generate`] with the same seed.
+    pub fn generate_parallel<P: EdgeProb + ?Sized + Sync>(
         graph: &DiGraph,
         probs: &P,
         theta: usize,
         seed: u64,
         threads: usize,
     ) -> RrPool {
-        assert!(graph.node_count() > 0, "cannot sample an empty graph");
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let pick = Uniform::new(0, graph.node_count() as NodeId);
-        let roots: Vec<NodeId> = (0..theta).map(|_| pick.sample(&mut rng)).collect();
-        let store = generate_store_parallel(graph, probs, &roots, seed ^ 0x9e37_79b9_7f4a_7c15, threads);
-        RrPool {
-            n: graph.node_count() as u32,
-            roots,
-            store,
-        }
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads.max(1))
+            .build()
+            .expect("building sampler thread pool");
+        pool.install(|| Self::generate(graph, probs, theta, seed))
     }
 
     /// Reassembles a pool from parts (crate-internal; LT generation and
@@ -281,49 +280,18 @@ impl RrPool {
 /// an independent RNG stream derived from (seed, chunk index).
 const CHUNK: usize = 4096;
 
-fn generate_store<P: EdgeProb + ?Sized>(
+fn generate_store<P: EdgeProb + ?Sized + Sync>(
     graph: &DiGraph,
     probs: &P,
     roots: &[NodeId],
     seed: u64,
 ) -> RrStore {
-    let chunks: Vec<RrStore> = roots
-        .chunks(CHUNK)
-        .enumerate()
-        .map(|(ci, chunk_roots)| generate_chunk(graph, probs, chunk_roots, seed, ci))
-        .collect();
-    RrStore::concat(chunks, graph.node_count())
-}
-
-fn generate_store_parallel<P: EdgeProb + ?Sized>(
-    graph: &DiGraph,
-    probs: &P,
-    roots: &[NodeId],
-    seed: u64,
-    threads: usize,
-) -> RrStore {
-    let threads = threads.max(1);
+    // Chunk jobs are independent seed-derived streams; par_iter + collect
+    // preserves chunk order, so concatenation is thread-count-invariant.
     let chunk_jobs: Vec<(usize, &[NodeId])> = roots.chunks(CHUNK).enumerate().collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<parking_lot::Mutex<Option<RrStore>>> =
-        (0..chunk_jobs.len()).map(|_| parking_lot::Mutex::new(None)).collect();
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let job = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if job >= chunk_jobs.len() {
-                    break;
-                }
-                let (ci, chunk_roots) = chunk_jobs[job];
-                let store = generate_chunk(graph, probs, chunk_roots, seed, ci);
-                *results[job].lock() = Some(store);
-            });
-        }
-    })
-    .expect("sampler worker panicked");
-    let chunks: Vec<RrStore> = results
-        .into_iter()
-        .map(|m| m.into_inner().expect("all chunks generated"))
+    let chunks: Vec<RrStore> = chunk_jobs
+        .par_iter()
+        .map(|&(ci, chunk_roots)| generate_chunk(graph, probs, chunk_roots, seed, ci))
         .collect();
     RrStore::concat(chunks, graph.node_count())
 }
@@ -335,7 +303,13 @@ fn generate_chunk<P: EdgeProb + ?Sized>(
     seed: u64,
     chunk_index: usize,
 ) -> RrStore {
-    let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(0x100_0000).wrapping_mul(chunk_index as u64 + 1));
+    // Same bijective stream derivation as the MRR/LT samplers: the mix of
+    // the chunk index can never collapse two chunks (or every chunk, for
+    // an adversarial seed) onto one stream.
+    let stream = (chunk_index as u64)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(0x517c_c1b7);
+    let mut rng = SmallRng::seed_from_u64(seed ^ stream);
     let mut scratch = BfsScratch::new(graph.node_count());
     let mut set_buf: Vec<NodeId> = Vec::new();
     let mut store = RrStore {
@@ -418,6 +392,36 @@ mod tests {
         assert_eq!(a.store().total_nodes(), b.store().total_nodes());
         for i in (0..a.theta()).step_by(997) {
             assert_eq!(a.store().set(i), b.store().set(i));
+        }
+    }
+
+    /// One seed ⇒ one pool, for any thread count, compared exhaustively
+    /// (every set and the full inverted index).
+    #[test]
+    fn thread_count_invariance_exhaustive() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let g = oipa_graph::generators::erdos_renyi_gnm(&mut rng, 200, 1400);
+        let p = MaterializedProbs(vec![0.15; g.edge_count()]);
+        // Multiple chunks (CHUNK = 4096) so work really splits.
+        let theta = 2 * CHUNK + 101;
+        let reference = RrPool::generate_parallel(&g, &p, theta, 7, 1);
+        for threads in [2, 5, 16] {
+            let pool = RrPool::generate_parallel(&g, &p, theta, 7, threads);
+            assert_eq!(reference.roots(), pool.roots(), "{threads} threads");
+            for i in 0..theta {
+                assert_eq!(
+                    reference.store().set(i),
+                    pool.store().set(i),
+                    "{threads} threads"
+                );
+            }
+            for v in 0..200u32 {
+                assert_eq!(
+                    reference.store().samples_containing(v),
+                    pool.store().samples_containing(v),
+                    "inverted index for node {v} with {threads} threads"
+                );
+            }
         }
     }
 

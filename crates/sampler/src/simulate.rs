@@ -217,7 +217,15 @@ mod tests {
         let (g, table, campaign) = crate::testkit::fig1();
         let model = LogisticAdoption::example();
         let mut rng = StdRng::seed_from_u64(5);
-        let one = simulate_adoption(&mut rng, &g, &table, &campaign, &[vec![0], vec![]], model, 20);
+        let one = simulate_adoption(
+            &mut rng,
+            &g,
+            &table,
+            &campaign,
+            &[vec![0], vec![]],
+            model,
+            20,
+        );
         let two = simulate_adoption(
             &mut rng,
             &g,

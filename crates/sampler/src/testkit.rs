@@ -34,8 +34,11 @@ pub fn fig1() -> (DiGraph, EdgeTopicProbs, Campaign) {
     let mut b = EdgeProbsBuilder::new(g.edge_count(), 2);
     for &(u, v, z, p) in &edges {
         let e = g.find_edge(u, v).expect("edge exists");
-        b.set(e.id, SparseTopicVector::new(vec![(z, p)], 2).expect("valid row"))
-            .expect("edge in range");
+        b.set(
+            e.id,
+            SparseTopicVector::new(vec![(z, p)], 2).expect("valid row"),
+        )
+        .expect("edge in range");
     }
     let table = b.build();
     let campaign = Campaign::new(vec![

@@ -93,7 +93,10 @@ pub fn read_table<R: Read>(reader: R) -> Result<EdgeTopicProbs> {
             .copied()
             .zip(probs[lo..hi].iter().copied())
             .collect();
-        builder.set(e as u32, SparseTopicVector::new(entries, topic_count.max(1))?)?;
+        builder.set(
+            e as u32,
+            SparseTopicVector::new(entries, topic_count.max(1))?,
+        )?;
     }
     Ok(builder.build())
 }

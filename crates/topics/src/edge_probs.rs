@@ -260,7 +260,10 @@ pub fn synthesize_random<R: Rng + ?Sized>(
                 entries.push((z, p));
             }
             builder
-                .set(e.id, SparseTopicVector::new(entries, params.topic_count).expect("valid"))
+                .set(
+                    e.id,
+                    SparseTopicVector::new(entries, params.topic_count).expect("valid"),
+                )
                 .expect("edge in range");
         }
     }

@@ -135,8 +135,8 @@ impl LdaModel {
     /// Smoothed document–topic distribution for document `d`.
     pub fn doc_topic(&self, d: usize) -> TopicVector {
         let counts = &self.doc_topic_counts[d];
-        let total: f64 =
-            counts.iter().map(|&c| c as f64).sum::<f64>() + self.params.topics as f64 * self.params.alpha;
+        let total: f64 = counts.iter().map(|&c| c as f64).sum::<f64>()
+            + self.params.topics as f64 * self.params.alpha;
         let values: Vec<f32> = counts
             .iter()
             .map(|&c| ((c as f64 + self.params.alpha) / total) as f32)
@@ -173,7 +173,7 @@ mod tests {
         for topic in 0..2u32 {
             for _ in 0..docs_per_topic {
                 let doc: Vec<u32> = (0..doc_len)
-                    .map(|_| topic * 10 + rng.gen_range(0..10))
+                    .map(|_| topic * 10 + rng.gen_range(0..10u32))
                     .collect();
                 docs.push(doc);
             }

@@ -26,11 +26,11 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-pub mod binio;
 mod adoption;
-pub mod hetero;
+pub mod binio;
 mod campaign;
 mod edge_probs;
+pub mod hetero;
 pub mod lda;
 pub mod tic;
 mod vector;
@@ -87,7 +87,10 @@ impl std::fmt::Display for TopicError {
                 write!(f, "probability {value} outside [0, 1]")
             }
             TopicError::DimensionMismatch { expected, actual } => {
-                write!(f, "topic dimension mismatch: expected {expected}, got {actual}")
+                write!(
+                    f,
+                    "topic dimension mismatch: expected {expected}, got {actual}"
+                )
             }
             TopicError::EdgeCountMismatch {
                 graph_edges,

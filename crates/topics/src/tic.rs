@@ -131,8 +131,7 @@ pub fn learn_edge_probs(
     }
 
     // --- Build per-(edge, topic) trials from events. ---------------------
-    let mut trial_index: oipa_graph::hashing::FxHashMap<(EdgeId, u16), usize> =
-        Default::default();
+    let mut trial_index: oipa_graph::hashing::FxHashMap<(EdgeId, u16), usize> = Default::default();
     let mut trials: Vec<Trial> = Vec::new();
     for ev in &events {
         let t = &cascades[ev.cascade].item_topics;
@@ -220,11 +219,13 @@ pub fn learn_edge_probs(
     }
 
     // --- Emit sparse table. ------------------------------------------------
-    let mut per_edge: oipa_graph::hashing::FxHashMap<EdgeId, Vec<(u16, f32)>> =
-        Default::default();
+    let mut per_edge: oipa_graph::hashing::FxHashMap<EdgeId, Vec<(u16, f32)>> = Default::default();
     for tr in &trials {
         if tr.prob >= params.prune_below {
-            per_edge.entry(tr.edge).or_default().push((tr.topic, tr.prob));
+            per_edge
+                .entry(tr.edge)
+                .or_default()
+                .push((tr.topic, tr.prob));
         }
     }
     let mut builder = EdgeProbsBuilder::new(graph.edge_count(), topic_count);

@@ -44,7 +44,10 @@ fn solve_small(graph: &oipa::graph::DiGraph, table: &EdgeTopicProbs, label: &str
         },
     )
     .solve();
-    println!("  [{label}] OIPA on the produced table: utility {:.2}, plan {}", sol.utility, sol.plan);
+    println!(
+        "  [{label}] OIPA on the produced table: utility {:.2}, plan {}",
+        sol.utility, sol.plan
+    );
 }
 
 fn main() {
@@ -86,7 +89,8 @@ fn main() {
     // Path 2: tweet — LDA over hashtag documents -> user profiles.
     // ---------------------------------------------------------------
     println!("\n== tweet path: hashtag docs -> LDA -> profiles -> p(e|z) ==");
-    let graph = oipa::graph::generators::power_law_configuration(&mut rng, 300, 2.3, 1.0, Some(600), None);
+    let graph =
+        oipa::graph::generators::power_law_configuration(&mut rng, 300, 2.3, 1.0, Some(600), None);
     // Synthetic hashtag documents: two latent communities with distinct
     // vocabularies plus noise.
     let vocab = 40u32;

@@ -43,7 +43,8 @@ fn main() {
     let model = LogisticAdoption::from_ratio(0.5);
 
     let theta = 100_000;
-    let pool = MrrPool::generate_parallel(&dataset.graph, &dataset.table, &campaign, theta, seed, 4);
+    let pool =
+        MrrPool::generate_parallel(&dataset.graph, &dataset.table, &campaign, theta, seed, 4);
     let mut rng = StdRng::seed_from_u64(seed);
     let promoters = OipaInstance::sample_promoters(&mut rng, stats.nodes, 0.10);
     println!(
@@ -96,7 +97,11 @@ fn main() {
             .join(" ")
     };
     println!("BAB      {:>12.1}        {}", bab.utility, split(&bab.plan));
-    println!("BAB-P    {:>12.1}        {}", bab_p.utility, split(&bab_p.plan));
+    println!(
+        "BAB-P    {:>12.1}        {}",
+        bab_p.utility,
+        split(&bab_p.plan)
+    );
 
     // Forward-simulate the BAB plan as a sanity check on the estimator.
     let simulated = simulate::simulate_adoption(

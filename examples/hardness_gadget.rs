@@ -71,8 +71,8 @@ fn main() {
     );
 
     // Verify against the analytic utility and Lemma 1's sandwich.
-    let analytic = plan_utility_for_subset(&gadget, &recovered)
-        - n as f64 * gadget.model.adoption_prob(1);
+    let analytic =
+        plan_utility_for_subset(&gadget, &recovered) - n as f64 * gadget.model.adoption_prob(1);
     println!("analytic receiver utility of that plan: {analytic:.3}");
     let clique_size = recovered.len() as f64;
     println!(

@@ -1,0 +1,39 @@
+//! Test configuration and the deterministic per-test RNG.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies. A concrete type (not a trait object) so
+/// strategies stay object-simple.
+pub type TestRng = SmallRng;
+
+/// Number of cases to run per property (the only knob the workspace uses).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// How many random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configures `cases` runs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic RNG for a named test: the seed is an FNV-1a hash of the
+/// test name, so each property gets an unrelated but reproducible stream.
+pub fn rng_for_test(name: &str) -> TestRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    SmallRng::seed_from_u64(hash)
+}

@@ -1,0 +1,39 @@
+//! The `Distribution` trait and integer `Uniform` distribution.
+
+use crate::{RngCore, SampleRange};
+
+/// Types that can produce samples of `T` from an RNG.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// A uniform distribution over `[low, high)`, pre-constructed so repeated
+/// sampling avoids re-validating bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform<T> {
+    low: T,
+    high: T,
+}
+
+impl<T: Copy + PartialOrd> Uniform<T> {
+    /// Creates a uniform distribution over the half-open range
+    /// `[low, high)`. Panics if the range is empty.
+    pub fn new(low: T, high: T) -> Self {
+        assert!(low < high, "Uniform::new called with empty range");
+        Uniform { low, high }
+    }
+}
+
+macro_rules! impl_uniform {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Uniform<$t> {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                (self.low..self.high).sample_single(rng)
+            }
+        }
+    )*};
+}
+
+impl_uniform!(u8, u16, u32, u64, usize);

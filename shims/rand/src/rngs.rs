@@ -1,0 +1,126 @@
+//! Concrete generators: [`SmallRng`] and [`StdRng`], both xoshiro256++.
+//!
+//! Upstream `rand` uses different algorithms for the two types; here they
+//! share xoshiro256++ (Blackman & Vigna), which passes BigCrush and is
+//! plenty for Monte-Carlo sampling. They are distinct types so call sites
+//! keep their upstream meaning (`SmallRng` = speed, `StdRng` = quality).
+
+use crate::{splitmix64, RngCore, SeedableRng};
+
+#[derive(Debug, Clone)]
+struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // All-zero state would be a fixed point; splitmix64 cannot produce
+        // four zeros from any seed, but keep the guard for clarity.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9e37_79b9_7f4a_7c15;
+        }
+        Xoshiro256PlusPlus { s }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// A small, fast generator (xoshiro256++ here).
+#[derive(Debug, Clone)]
+pub struct SmallRng(Xoshiro256PlusPlus);
+
+impl SeedableRng for SmallRng {
+    #[inline]
+    fn seed_from_u64(state: u64) -> Self {
+        SmallRng(Xoshiro256PlusPlus::seed_from_u64(state))
+    }
+}
+
+impl RngCore for SmallRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// The "statistically strong" generator (also xoshiro256++, domain-separated
+/// from [`SmallRng`] so the two never produce identical streams for the
+/// same seed).
+#[derive(Debug, Clone)]
+pub struct StdRng(Xoshiro256PlusPlus);
+
+impl SeedableRng for StdRng {
+    #[inline]
+    fn seed_from_u64(state: u64) -> Self {
+        StdRng(Xoshiro256PlusPlus::seed_from_u64(
+            state ^ 0x5851_f42d_4c95_7f2d,
+        ))
+    }
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_in_bounds_and_cover() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let x = rng.gen_range(0..10usize);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1000 {
+            let f = rng.gen_range(0.0f32..1.0);
+            assert!((0.0..1.0).contains(&f));
+            let g = rng.gen_range(f32::EPSILON..=1.0);
+            assert!(g > 0.0 && g <= 1.0);
+        }
+    }
+
+    #[test]
+    fn gen_bool_frequency() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "got {hits}");
+    }
+}

@@ -1,0 +1,25 @@
+//! Deserialization helpers mirroring the `serde::de` module paths the
+//! workspace imports.
+
+use crate::{Deserialize, Error, Value};
+
+/// Owned deserialization — with this shim's owned [`Value`] model every
+/// [`Deserialize`] type qualifies, mirroring upstream's blanket rule.
+pub trait DeserializeOwned: Deserialize {}
+
+impl<T: Deserialize> DeserializeOwned for T {}
+
+/// Extracts and deserializes the field `name` from an object value.
+///
+/// Missing fields deserialize from [`Value::Null`], so `Option` fields
+/// tolerate absence while mandatory fields produce a clear error. Used by
+/// the `#[derive(Deserialize)]` expansion.
+pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+    match v {
+        Value::Object(_) => {
+            let slot = v.get(name).unwrap_or(&Value::Null);
+            T::from_value(slot).map_err(|e| Error(format!("field `{name}`: {e}")))
+        }
+        other => Err(Error(format!("expected object, found {}", other.kind()))),
+    }
+}

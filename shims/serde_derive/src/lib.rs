@@ -1,0 +1,232 @@
+//! Derive macros for the first-party `serde` shim.
+//!
+//! The offline build environment has neither `syn` nor `quote`, so these
+//! macros parse the derive input token stream by hand. Supported shapes —
+//! the only ones the OIPA workspace derives:
+//!
+//! * structs with named fields (any field visibility), no generics;
+//! * enums whose variants are all unit variants, no generics.
+//!
+//! Unsupported shapes panic at compile time with a pointed message rather
+//! than generating wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What a derive input parsed into.
+enum Shape {
+    /// Struct name + named-field identifiers in declaration order.
+    Struct(String, Vec<String>),
+    /// Enum name + unit-variant identifiers.
+    Enum(String, Vec<String>),
+}
+
+/// Derives `serde::Serialize` (shim): structs become `Value::Object` with
+/// fields in declaration order, unit enums become `Value::String` of the
+/// variant name.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Struct(name, fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__fields.push((\"{f}\".to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\n\
+                         ::serde::Value::Object(__fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\","))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let __variant = match self {{ {arms} }};\n\
+                         ::serde::Value::String(__variant.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+/// Derives `serde::Deserialize` (shim): the inverse of the `Serialize`
+/// expansion, with per-field error context.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Struct(name, fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de::field(__v, \"{f}\")?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match __v {{\n\
+                             ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                                 {arms}\n\
+                                 __other => ::std::result::Result::Err(::serde::Error(::std::format!(\n\
+                                     \"unknown {name} variant `{{__other}}`\"))),\n\
+                             }},\n\
+                             __other => ::std::result::Result::Err(::serde::Error(::std::format!(\n\
+                                 \"expected string for {name}, found {{}}\", __other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+/// Parses a derive input into a [`Shape`], panicking (= compile error at
+/// the derive site) on anything outside the supported subset.
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut tokens);
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde shim derive: expected type name, found {other:?}"),
+    };
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => panic!(
+                "serde shim derive: generic type `{name}` is unsupported; \
+                 write the impls by hand or extend shims/serde_derive"
+            ),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => panic!(
+                "serde shim derive: tuple/unit struct `{name}` is unsupported; \
+                 use named fields or write the impls by hand"
+            ),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => panic!(
+                "serde shim derive: tuple struct `{name}` is unsupported; \
+                 use named fields or write the impls by hand"
+            ),
+            Some(_) => continue,
+            None => panic!("serde shim derive: no body found for `{name}`"),
+        }
+    };
+    match keyword.as_str() {
+        "struct" => Shape::Struct(name, parse_named_fields(body.stream())),
+        "enum" => Shape::Enum(name, parse_unit_variants(body.stream())),
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Skips leading outer attributes (`#[...]`, including expanded doc
+/// comments) and a visibility modifier (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) / pub(super)
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Extracts field names from the contents of a named-field struct body.
+/// Types are skipped wholesale (tracking `<`/`>` depth so commas inside
+/// generics don't end a field early) — the generated code never needs
+/// them, since trait dispatch resolves via inference.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde shim derive: expected field name, found {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                panic!("serde shim derive: expected `:` after field `{name}`, found {other:?}")
+            }
+        }
+        fields.push(name);
+        // Skip the type up to a top-level comma.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => break,
+                Some(_) => {}
+                None => return fields,
+            }
+        }
+    }
+    fields
+}
+
+/// Extracts variant names from a unit-variant-only enum body.
+fn parse_unit_variants(stream: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde shim derive: expected variant name, found {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => {
+                variants.push(name);
+                break;
+            }
+            other => panic!(
+                "serde shim derive: variant `{name}` is not a unit variant \
+                 (found {other:?}); extend shims/serde_derive to support it"
+            ),
+        }
+        variants.push(name);
+    }
+    variants
+}

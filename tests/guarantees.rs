@@ -30,14 +30,13 @@ fn instance(seed: u64, ell: usize) -> (MrrPool, LogisticAdoption) {
 
 /// Random plan over `n` nodes with ≤ `max_size` assignments.
 fn plan_strategy(ell: usize, n: u32, max_size: usize) -> impl Strategy<Value = AssignmentPlan> {
-    proptest::collection::vec((0..ell, 0..n), 0..=max_size)
-        .prop_map(move |pairs| {
-            let mut plan = AssignmentPlan::empty(ell);
-            for (j, v) in pairs {
-                plan.insert(j, v);
-            }
-            plan
-        })
+    proptest::collection::vec((0..ell, 0..n), 0..=max_size).prop_map(move |pairs| {
+        let mut plan = AssignmentPlan::empty(ell);
+        for (j, v) in pairs {
+            plan.insert(j, v);
+        }
+        plan
+    })
 }
 
 proptest! {

@@ -28,8 +28,7 @@ fn tweet_bench(ell: usize, ratio: f64, theta: usize) -> Bench {
     let dataset = tweet_like(Scale::Tiny, 404);
     let mut rng = StdRng::seed_from_u64(404);
     let campaign = Campaign::sample_one_hot(&mut rng, dataset.topics, ell);
-    let pool =
-        MrrPool::generate_parallel(&dataset.graph, &dataset.table, &campaign, theta, 404, 2);
+    let pool = MrrPool::generate_parallel(&dataset.graph, &dataset.table, &campaign, theta, 404, 2);
     let flat = collapsed_pool(&dataset.graph, &dataset.table, theta, 404);
     let promoters = OipaInstance::sample_promoters(&mut rng, dataset.graph.node_count(), 0.1);
     Bench {
@@ -81,10 +80,7 @@ fn proposed_methods_beat_baselines_decisively() {
         bab >= 1.5 * im.max(0.01),
         "BAB {bab} should beat IM {im} by a wide margin"
     );
-    assert!(
-        bab + 1e-9 >= tim,
-        "BAB {bab} should not lose to TIM {tim}"
-    );
+    assert!(bab + 1e-9 >= tim, "BAB {bab} should not lose to TIM {tim}");
     assert!(
         bab_p >= 0.85 * bab,
         "BAB-P {bab_p} should be competitive with BAB {bab}"

@@ -22,7 +22,14 @@ fn example1_sigma_and_optimal_plan() {
 
     // And branch-and-bound finds exactly that plan at k = 2.
     let instance = OipaInstance::new(&pool, model, (0..5).collect(), 2);
-    let sol = BranchAndBound::new(&instance, BabConfig { gap: 0.0, ..BabConfig::bab() }).solve();
+    let sol = BranchAndBound::new(
+        &instance,
+        BabConfig {
+            gap: 0.0,
+            ..BabConfig::bab()
+        },
+    )
+    .solve();
     assert_eq!(sol.plan, plan);
 }
 
@@ -38,8 +45,14 @@ fn example2_non_submodularity_witness() {
     let s = AssignmentPlan::from_sets(vec![vec![], vec![4]]);
     let delta_y = est.evaluate(&y.union(&s)) - est.evaluate(&y);
     let delta_x = est.evaluate(&x.union(&s)) - est.evaluate(&x);
-    assert!((delta_y - 0.57).abs() < 0.03, "δ_y = {delta_y} (paper: 0.57)");
-    assert!((delta_x - 0.48).abs() < 0.03, "δ_x = {delta_x} (paper: 0.48)");
+    assert!(
+        (delta_y - 0.57).abs() < 0.03,
+        "δ_y = {delta_y} (paper: 0.57)"
+    );
+    assert!(
+        (delta_x - 0.48).abs() < 0.03,
+        "δ_x = {delta_x} (paper: 0.48)"
+    );
     assert!(delta_y > delta_x, "submodularity would demand δ_y ≤ δ_x");
 }
 
@@ -93,7 +106,14 @@ fn hardness_gadget_solved_by_bab() {
     let gadget = oipa::datasets::hardness::build_gadget(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
     let pool = MrrPool::generate(&gadget.graph, &gadget.table, &gadget.campaign, 40_000, 5);
     let instance = OipaInstance::new(&pool, gadget.model, gadget.promoters.clone(), gadget.budget);
-    let sol = BranchAndBound::new(&instance, BabConfig { gap: 0.0, ..BabConfig::bab() }).solve();
+    let sol = BranchAndBound::new(
+        &instance,
+        BabConfig {
+            gap: 0.0,
+            ..BabConfig::bab()
+        },
+    )
+    .solve();
     // Each piece must be assigned (all n pieces needed for any utility).
     for j in 0..4 {
         assert!(
