@@ -1,0 +1,97 @@
+//! The `solver` engine ablation: incremental (trail + seed cache) vs
+//! reference (full replay + fresh scans) branch-and-bound on a seeded
+//! random instance, plus the plain-greedy rescan yardstick. Criterion
+//! companion to the `bench_solver` bin / `BENCH_solver.json` artifact.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oipa_core::{BabConfig, BoundMethod, BranchAndBound, OipaInstance, SolverEngine};
+use oipa_sampler::testkit::small_random_instance;
+use oipa_sampler::MrrPool;
+use oipa_topics::LogisticAdoption;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_solver_engines(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(77);
+    let (g, table, campaign) = small_random_instance(&mut rng, 90, 700, 4, 3);
+    let pool = MrrPool::generate(&g, &table, &campaign, 20_000, 77 ^ 0xbeef);
+    let model = LogisticAdoption::new(3.0, 1.0);
+    let promoters: Vec<u32> = (0..90).step_by(3).collect();
+    let instance = OipaInstance::new(&pool, model, promoters, 5);
+    let base = BabConfig {
+        max_nodes: Some(120),
+        ..BabConfig::bab()
+    };
+
+    let mut group = c.benchmark_group("solver_engines_rand90_k5");
+    group.sample_size(10);
+    group.bench_function("bab_reference", |b| {
+        b.iter(|| {
+            BranchAndBound::new(
+                &instance,
+                BabConfig {
+                    engine: SolverEngine::Reference,
+                    ..base
+                },
+            )
+            .solve()
+            .utility
+        })
+    });
+    group.bench_function("bab_incremental", |b| {
+        b.iter(|| {
+            BranchAndBound::new(
+                &instance,
+                BabConfig {
+                    engine: SolverEngine::Incremental,
+                    ..base
+                },
+            )
+            .solve()
+            .utility
+        })
+    });
+    group.bench_function("bab_plain_rescan", |b| {
+        b.iter(|| {
+            BranchAndBound::new(
+                &instance,
+                BabConfig {
+                    method: BoundMethod::PlainGreedy,
+                    engine: SolverEngine::Reference,
+                    ..base
+                },
+            )
+            .solve()
+            .utility
+        })
+    });
+    group.finish();
+
+    // Headline ratio, printed like the sampling bench's mrr_speedup.
+    let reference = BranchAndBound::new(
+        &instance,
+        BabConfig {
+            engine: SolverEngine::Reference,
+            ..base
+        },
+    )
+    .solve();
+    let incremental = BranchAndBound::new(
+        &instance,
+        BabConfig {
+            engine: SolverEngine::Incremental,
+            ..base
+        },
+    )
+    .solve();
+    assert_eq!(reference.plan, incremental.plan, "engines diverged");
+    println!(
+        "solver_tau_eval_speedup: {:.2}x ({} -> {} evaluations; plans identical)",
+        reference.stats.tau_evaluations as f64 / incremental.stats.tau_evaluations.max(1) as f64,
+        reference.stats.tau_evaluations,
+        incremental.stats.tau_evaluations,
+    );
+}
+
+criterion_group!(benches, bench_solver_engines);
+criterion_main!(benches);

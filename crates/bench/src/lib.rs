@@ -17,6 +17,12 @@
 //! sampling time … since the time is the same for all compared
 //! approaches"); sampling time itself is Table III's last row.
 //!
+//! Beyond the paper's artifacts, the [`solver_suite`] module is the
+//! repo's own perf trajectory for the branch-and-bound engines: the
+//! `bench_solver` bin (also reachable as `oipa-cli bench solver`) emits
+//! `BENCH_solver.json` with wall-clock, τ-evaluation and search-shape
+//! counters for the incremental vs reference engines.
+//!
 //! Criterion micro/ablation benches live in `benches/`.
 
 #![warn(missing_docs)]
@@ -24,8 +30,10 @@
 
 pub mod args;
 pub mod runner;
+pub mod solver_suite;
 pub mod table;
 
 pub use args::HarnessArgs;
 pub use runner::{run_all_methods, ExperimentSetup, MethodOutcome};
+pub use solver_suite::{run_solver_suite, SolverSuiteConfig, SolverSuiteReport};
 pub use table::TablePrinter;

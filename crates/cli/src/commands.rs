@@ -21,7 +21,33 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         "sample" => cmd_sample(args),
         "solve" => cmd_solve(args),
         "simulate" => cmd_simulate(args),
+        "bench" => cmd_bench(args),
         other => Err(CliError(format!("unknown command {other:?}"))),
+    }
+}
+
+/// `oipa-cli bench solver` — reproduces the `BENCH_solver.json` perf
+/// artifact (the incremental-vs-reference solver engine suite).
+fn cmd_bench(args: &ParsedArgs) -> Result<String, CliError> {
+    let suite = args.positional.as_deref().unwrap_or("solver");
+    match suite {
+        "solver" => {
+            let config = oipa_bench::solver_suite::SolverSuiteConfig {
+                smoke: args.parsed_or("smoke", false)?,
+                seed: args.parsed_or("seed", 0u64)?,
+            };
+            let report = oipa_bench::solver_suite::run_solver_suite(config);
+            oipa_bench::solver_suite::validate_report(&report)
+                .map_err(|e| CliError(format!("solver bench invariants violated: {e}")))?;
+            let out = args.optional("out").unwrap_or("BENCH_solver.json");
+            save_json(&report, out, "bench report")?;
+            let mut text = oipa_bench::solver_suite::summary_text(&report);
+            write!(text, "wrote {out} ({} records)", report.records.len()).expect("string write");
+            Ok(text)
+        }
+        other => Err(CliError(format!(
+            "unknown bench suite {other:?} (available: solver)"
+        ))),
     }
 }
 
@@ -508,6 +534,19 @@ mod tests {
         ])
         .unwrap();
         assert!(report.contains("\"utility\""), "im: {report}");
+    }
+
+    #[test]
+    fn bench_solver_smoke() {
+        let out = tmp("bench_solver.json");
+        let report = run_words(&["bench", "solver", "--smoke", "true", "--out", &out]).unwrap();
+        assert!(report.contains("bab-celf"), "{report}");
+        assert!(report.contains("speedup"), "{report}");
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.contains("oipa.bench.solver/v1"));
+        // Unknown suites are rejected with the available list.
+        let err = run_words(&["bench", "nope"]).unwrap_err();
+        assert!(err.0.contains("available: solver"));
     }
 
     #[test]

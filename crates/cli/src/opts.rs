@@ -18,7 +18,8 @@ commands:
             [--k N] [--ratio F] [--eps F] [--promoter-fraction F]
             [--max-nodes N] [--seed N] [--out-plan FILE]
   simulate  --graph FILE --probs FILE --campaign FILE --plan FILE
-            [--ratio F] [--runs N] [--seed N]";
+            [--ratio F] [--runs N] [--seed N]
+  bench     solver [--smoke true] [--seed N] [--out FILE]";
 
 /// A parse/validation error.
 #[derive(Debug)]
@@ -49,22 +50,33 @@ impl From<&str> for CliError {
 pub struct ParsedArgs {
     /// The subcommand.
     pub command: String,
+    /// The positional subject (only the `bench` command takes one: the
+    /// suite name, e.g. `bench solver`).
+    pub positional: Option<String>,
     flags: BTreeMap<String, String>,
 }
 
 impl ParsedArgs {
     /// Parses raw arguments (without `argv(0)`).
     pub fn parse(args: Vec<String>) -> Result<ParsedArgs, CliError> {
-        let mut it = args.into_iter();
+        let mut it = args.into_iter().peekable();
         let command = it
             .next()
             .ok_or_else(|| CliError("missing command".to_string()))?;
         if !matches!(
             command.as_str(),
-            "generate" | "import" | "stats" | "sample" | "solve" | "simulate"
+            "generate" | "import" | "stats" | "sample" | "solve" | "simulate" | "bench"
         ) {
             return Err(CliError(format!("unknown command {command:?}")));
         }
+        let positional = if command == "bench" {
+            match it.peek() {
+                Some(word) if !word.starts_with("--") => it.next(),
+                _ => None,
+            }
+        } else {
+            None
+        };
         let mut flags = BTreeMap::new();
         while let Some(flag) = it.next() {
             let Some(name) = flag.strip_prefix("--") else {
@@ -75,7 +87,11 @@ impl ParsedArgs {
                 .ok_or_else(|| CliError(format!("--{name} needs a value")))?;
             flags.insert(name.to_string(), value);
         }
-        Ok(ParsedArgs { command, flags })
+        Ok(ParsedArgs {
+            command,
+            positional,
+            flags,
+        })
     }
 
     /// A required string flag.

@@ -5,15 +5,26 @@
 //! ≤ k against the MRR estimator gives the true optimum of the *estimated*
 //! objective. Tests use it to certify the branch-and-bound's (1 − 1/e)
 //! guarantee (Theorem 2) empirically.
+//!
+//! The enumeration walks the subset tree with [`TauState`]'s trail-based
+//! push/pop: each tree edge commits one candidate via [`TauState::add`]
+//! and rewinds it with [`TauState::pop_to`] on backtrack — the same
+//! incremental machinery the branch-and-bound engine uses. Per node this
+//! costs one inverted-index row for the state update plus an
+//! O(covered samples) σ fold, instead of re-walking every chosen row as
+//! the previous evaluate-from-scratch version did.
 
 use crate::estimator::AuEstimator;
 use crate::plan::AssignmentPlan;
+use crate::tangent::TangentTable;
+use crate::tau::TauState;
 use oipa_graph::NodeId;
 
 /// Exhaustively maximizes the MRR-estimated AU over all assignment plans
 /// choosing at most `k` of the `ell × promoters` candidate assignments.
 ///
-/// Complexity `C(ℓ·|V^p|, k)` — intended for ℓ·|V^p| ≲ 20.
+/// Complexity `C(ℓ·|V^p|, k)` enumeration nodes — intended for
+/// ℓ·|V^p| ≲ 20 — at O(index row + covered samples) cost per node.
 pub fn brute_force_best(
     estimator: &mut AuEstimator<'_>,
     promoters: &[NodeId],
@@ -28,13 +39,16 @@ pub fn brute_force_best(
         "brute force limited to 26 candidates, got {}",
         candidates.len()
     );
+    let model = estimator.model();
+    let table = TangentTable::new(model, ell);
+    let mut state = TauState::new(estimator.pool(), &table, model);
     let mut best_plan = AssignmentPlan::empty(ell);
     let mut best_sigma = 0.0f64;
     let mut chosen: Vec<usize> = Vec::with_capacity(k);
-    // Depth-first enumeration of all subsets of size ≤ k.
+    // Depth-first enumeration of all subsets of size ≤ k via push/pop.
     #[allow(clippy::too_many_arguments)]
     fn recurse(
-        estimator: &mut AuEstimator<'_>,
+        state: &mut TauState<'_>,
         candidates: &[(usize, NodeId)],
         ell: usize,
         k: usize,
@@ -44,14 +58,14 @@ pub fn brute_force_best(
         best_sigma: &mut f64,
     ) {
         if !chosen.is_empty() {
-            let mut plan = AssignmentPlan::empty(ell);
-            for &idx in chosen.iter() {
-                let (j, v) = candidates[idx];
-                plan.insert(j, v);
-            }
-            let sigma = estimator.evaluate(&plan);
+            let sigma = state.sigma_total() * state.scale();
             if sigma > *best_sigma {
                 *best_sigma = sigma;
+                let mut plan = AssignmentPlan::empty(ell);
+                for &idx in chosen.iter() {
+                    let (j, v) = candidates[idx];
+                    plan.insert(j, v);
+                }
                 *best_plan = plan;
             }
         }
@@ -59,9 +73,12 @@ pub fn brute_force_best(
             return;
         }
         for idx in start..candidates.len() {
+            let (j, v) = candidates[idx];
+            let mark = state.mark();
+            state.add(j, v);
             chosen.push(idx);
             recurse(
-                estimator,
+                state,
                 candidates,
                 ell,
                 k,
@@ -71,10 +88,11 @@ pub fn brute_force_best(
                 best_sigma,
             );
             chosen.pop();
+            state.pop_to(mark);
         }
     }
     recurse(
-        estimator,
+        &mut state,
         &candidates,
         ell,
         k,
@@ -83,7 +101,13 @@ pub fn brute_force_best(
         &mut best_plan,
         &mut best_sigma,
     );
-    (best_plan, best_sigma)
+    if best_plan.is_empty() {
+        return (best_plan, 0.0);
+    }
+    // Report the winner under the estimator itself, as before the
+    // incremental migration (the two σ implementations agree to ~1e-12).
+    let sigma = estimator.evaluate(&best_plan);
+    (best_plan, sigma)
 }
 
 #[cfg(test)]

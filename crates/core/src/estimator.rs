@@ -14,12 +14,21 @@ use oipa_topics::LogisticAdoption;
 /// lookup per sample.
 pub struct AuEstimator<'a> {
     pool: &'a MrrPool,
+    /// The adoption model the σ table was built from.
+    model: LogisticAdoption,
     /// `sigma_by_coverage[c]` = adoption probability at coverage `c`.
     sigma_by_coverage: Vec<f64>,
     /// Scratch coverage counters, one per sample (reused across calls).
     coverage: Vec<u8>,
     /// Samples touched by the last evaluation (for O(touched) reset).
     touched: Vec<u32>,
+    /// Struct-owned per-piece dedup scratch: `seen[i] == seen_epoch` marks
+    /// sample `i` as already counted for the current piece. Epoch-stamped
+    /// so "clearing" between pieces (and calls) is O(1) instead of O(θ),
+    /// and multi-seed evaluations never allocate.
+    seen: Vec<u32>,
+    /// Current epoch for `seen` (0 = no sample stamped yet).
+    seen_epoch: u32,
 }
 
 impl<'a> AuEstimator<'a> {
@@ -28,9 +37,12 @@ impl<'a> AuEstimator<'a> {
         let sigma_by_coverage = (0..=pool.ell()).map(|c| model.adoption_prob(c)).collect();
         AuEstimator {
             pool,
+            model,
             sigma_by_coverage,
             coverage: vec![0; pool.theta()],
             touched: Vec::new(),
+            seen: vec![0; pool.theta()],
+            seen_epoch: 0,
         }
     }
 
@@ -38,6 +50,23 @@ impl<'a> AuEstimator<'a> {
     #[inline]
     pub fn pool(&self) -> &'a MrrPool {
         self.pool
+    }
+
+    /// The adoption model this estimator evaluates under.
+    #[inline]
+    pub fn model(&self) -> LogisticAdoption {
+        self.model
+    }
+
+    /// Advances the `seen` epoch, handling the (theoretical) wrap-around.
+    #[inline]
+    fn next_epoch(&mut self) -> u32 {
+        self.seen_epoch = self.seen_epoch.wrapping_add(1);
+        if self.seen_epoch == 0 {
+            self.seen.iter_mut().for_each(|s| *s = 0);
+            self.seen_epoch = 1;
+        }
+        self.seen_epoch
     }
 
     /// Adoption probability at a given coverage count.
@@ -65,7 +94,6 @@ impl<'a> AuEstimator<'a> {
             self.coverage[i as usize] = 0;
         }
         self.touched.clear();
-        let mut seen = vec![false; 0];
         // Per piece: collect distinct samples covered by S_j, bump counts.
         for j in 0..plan.ell() {
             let seeds = plan.set(j);
@@ -81,15 +109,11 @@ impl<'a> AuEstimator<'a> {
                     self.coverage[i as usize] += 1;
                 }
             } else {
-                if seen.len() != theta {
-                    seen = vec![false; theta];
-                } else {
-                    seen.iter_mut().for_each(|s| *s = false);
-                }
+                let epoch = self.next_epoch();
                 for &v in seeds {
                     for &i in self.pool.samples_containing(j, v) {
-                        if !seen[i as usize] {
-                            seen[i as usize] = true;
+                        if self.seen[i as usize] != epoch {
+                            self.seen[i as usize] = epoch;
                             if self.coverage[i as usize] == 0 {
                                 self.touched.push(i);
                             }

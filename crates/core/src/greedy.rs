@@ -11,12 +11,26 @@
 //!   are only recomputed when popped. Identical output, far fewer
 //!   evaluations. This is the default inside branch-and-bound; the
 //!   `ablation_lazy` bench quantifies the difference.
+//!
+//! [`compute_bound_celf_with`] additionally supports **cross-node gain
+//! caching**: instead of re-evaluating every `(piece, promoter)` singleton
+//! gain to seed the heap, a caller may seed it from a [`SeedEntry`] vector
+//! captured at an ancestor search node ([`CelfSeeding::Cached`]). As long
+//! as the cached values are valid *upper bounds* on the current gains
+//! (singleton τ gains only shrink as coverage grows at fixed anchors, and
+//! anchor refinement is covered by the certified
+//! [`TangentTable::diagonal_inflation`](crate::tangent::TangentTable::diagonal_inflation)
+//! factor), CELF provably commits the exact same selections: an entry is
+//! only committed once its gain is re-evaluated in the current round, at
+//! which point it dominates every other candidate's upper bound, so the
+//! commit is the true argmax under the deterministic `(piece, node)`
+//! tie-break regardless of what the seed values were.
 
+use crate::celf::{CelfEntry, NO_SLOT, STALE_ROUND};
 use crate::plan::AssignmentPlan;
 use crate::tau::TauState;
 use oipa_graph::hashing::FxHashSet;
 use oipa_graph::NodeId;
-use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// Output of a bound computation (Algorithm 2 line 7 / Algorithm 3 line 16).
@@ -34,6 +48,43 @@ pub struct BoundResult {
     pub first_pick: Option<(usize, NodeId)>,
 }
 
+/// A cached singleton gain `(gain, piece, node)` captured during a bound
+/// computation's seeding scan, reusable to seed descendant-node bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct SeedEntry {
+    /// The singleton τ gain at the capturing node's partial-plan state.
+    pub gain: f64,
+    /// Piece index.
+    pub j: u32,
+    /// Candidate promoter.
+    pub v: NodeId,
+}
+
+/// How [`compute_bound_celf_with`] seeds its CELF heap.
+#[derive(Debug, Clone, Copy)]
+pub enum CelfSeeding<'s> {
+    /// Evaluate every available candidate's singleton gain (the reference
+    /// behavior, O(ℓ·|Vᵖ|) τ evaluations).
+    Fresh,
+    /// Seed from a gain vector cached at the current node state (for
+    /// exclude-branch reuse) or one push away from it (include-branch
+    /// reuse), multiplied by `inflate` (≥ 1) to keep the values valid
+    /// upper bounds. With `exact` the values are *exactly* what a fresh
+    /// scan would compute here, so entries enter the heap "fresh";
+    /// otherwise they enter stale, forcing re-evaluation before any
+    /// commit — which preserves the committed selections bit for bit.
+    Cached {
+        /// The cached gains (candidates absent from the slice had zero
+        /// gain at the capturing state, hence zero at the current one).
+        entries: &'s [SeedEntry],
+        /// Certified inflation factor making the values upper bounds at
+        /// the current state (1.0 when the vector is already valid here).
+        inflate: f64,
+        /// Whether the (un-inflated) values are exact at this state.
+        exact: bool,
+    },
+}
+
 /// A candidate assignment `(piece, node)` packed for exclusion sets.
 #[inline]
 pub(crate) fn pack(j: usize, v: NodeId) -> u64 {
@@ -42,45 +93,21 @@ pub(crate) fn pack(j: usize, v: NodeId) -> u64 {
 
 /// Candidate availability: not excluded, not already in the plan.
 #[inline]
-fn available(plan: &AssignmentPlan, excluded: &FxHashSet<u64>, j: usize, v: NodeId) -> bool {
+pub(crate) fn available(
+    plan: &AssignmentPlan,
+    excluded: &FxHashSet<u64>,
+    j: usize,
+    v: NodeId,
+) -> bool {
     !excluded.contains(&pack(j, v)) && !plan.contains(j, v)
 }
 
-/// Heap entry ordered by gain, with deterministic tie-breaking on
-/// (piece, node) ascending.
-struct Entry {
-    gain: f64,
-    j: u32,
-    v: NodeId,
-    round: u32,
-}
-
-impl PartialEq for Entry {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
-    }
-}
-impl Eq for Entry {}
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.gain
-            .partial_cmp(&other.gain)
-            .expect("gains are finite")
-            .then_with(|| other.j.cmp(&self.j))
-            .then_with(|| other.v.cmp(&self.v))
-    }
-}
-
-/// Algorithm 2 with CELF lazy evaluation.
+/// Algorithm 2 with CELF lazy evaluation and a fresh seeding scan.
 ///
 /// `state` must already be anchored on `partial` (via
-/// [`TauState::reset_to`]). Selects up to `k − |partial|` assignments from
-/// `promoters × pieces` excluding `excluded`, maximizing τ.
+/// [`TauState::reset_to`] or an equivalent `assign` path). Selects up to
+/// `k − |partial|` assignments from `promoters × pieces` excluding
+/// `excluded`, maximizing τ.
 pub fn compute_bound_celf(
     state: &mut TauState<'_>,
     partial: &AssignmentPlan,
@@ -88,30 +115,116 @@ pub fn compute_bound_celf(
     excluded: &FxHashSet<u64>,
     k: usize,
 ) -> BoundResult {
+    compute_bound_celf_with(
+        state,
+        partial,
+        promoters,
+        excluded,
+        k,
+        CelfSeeding::Fresh,
+        None,
+    )
+}
+
+/// Algorithm 2 with CELF lazy evaluation, cached-seed support, and
+/// optional capture of a seed vector for descendant reuse.
+///
+/// With [`CelfSeeding::Fresh`], `capture` receives one [`SeedEntry`] per
+/// positive-gain candidate — exactly the entries the heap was seeded
+/// with (exact gains at this state). With [`CelfSeeding::Cached`],
+/// `capture` receives the *effective* seed values (inflated upper
+/// bounds), tightened in place by every pre-commit re-evaluation — i.e.
+/// the sharpest upper-bound vector known for this state when the bound
+/// finishes, which is what descendant nodes re-base their cache on.
+pub fn compute_bound_celf_with(
+    state: &mut TauState<'_>,
+    partial: &AssignmentPlan,
+    promoters: &[NodeId],
+    excluded: &FxHashSet<u64>,
+    k: usize,
+    seeding: CelfSeeding<'_>,
+    mut capture: Option<&mut Vec<SeedEntry>>,
+) -> BoundResult {
     let ell = state.ell();
     let remaining = k.saturating_sub(partial.size());
     let mut plan = partial.clone();
     let mut first_pick = None;
     if remaining == 0 {
+        let (tau, sigma) = state.totals();
         return BoundResult {
             plan,
-            sigma: state.sigma_total(),
-            tau: state.tau_total(),
+            sigma,
+            tau,
             first_pick,
         };
     }
-    // Seed the heap with singleton gains.
-    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(ell * promoters.len());
-    for j in 0..ell {
-        for &v in promoters {
-            if available(&plan, excluded, j, v) {
-                let gain = state.gain(j, v);
-                if gain > 0.0 {
-                    heap.push(Entry {
+    let mut heap: BinaryHeap<CelfEntry> = BinaryHeap::with_capacity(ell * promoters.len());
+    match seeding {
+        CelfSeeding::Fresh => {
+            for j in 0..ell {
+                for &v in promoters {
+                    if available(&plan, excluded, j, v) {
+                        let gain = state.gain(j, v);
+                        if gain > 0.0 {
+                            if let Some(cap) = capture.as_deref_mut() {
+                                cap.push(SeedEntry {
+                                    gain,
+                                    j: j as u32,
+                                    v,
+                                });
+                            }
+                            heap.push(CelfEntry {
+                                gain,
+                                j: j as u32,
+                                v,
+                                round: 0,
+                                slot: NO_SLOT,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        CelfSeeding::Cached {
+            entries,
+            inflate,
+            exact,
+        } => {
+            debug_assert!(inflate >= 1.0, "inflation must not shrink upper bounds");
+            debug_assert!(
+                !exact || inflate == 1.0,
+                "exact seeds cannot carry inflation"
+            );
+            for e in entries {
+                // A zero cached upper bound stays zero at this state (and
+                // every descendant), matching the Fresh path's `gain > 0`
+                // filter — don't seed it, don't re-capture it.
+                if e.gain > 0.0 && available(&plan, excluded, e.j as usize, e.v) {
+                    let gain = if inflate == 1.0 {
+                        e.gain
+                    } else {
+                        e.gain * inflate
+                    };
+                    let slot = match capture.as_deref_mut() {
+                        Some(cap) => {
+                            cap.push(SeedEntry {
+                                gain,
+                                j: e.j,
+                                v: e.v,
+                            });
+                            (cap.len() - 1) as u32
+                        }
+                        None => NO_SLOT,
+                    };
+                    heap.push(CelfEntry {
                         gain,
-                        j: j as u32,
-                        v,
-                        round: 0,
+                        j: e.j,
+                        v: e.v,
+                        // Exact seeds behave as a fresh scan's round-0
+                        // entries; inflated ones must be re-evaluated
+                        // before they can be committed.
+                        round: if exact { 0 } else { STALE_ROUND },
+                        slot,
                     });
                 }
             }
@@ -135,20 +248,29 @@ pub fn compute_bound_celf(
             // Stale: recompute and reinsert (submodularity ⇒ gain only
             // shrinks, so a fresh top-of-heap value is the true argmax).
             let gain = state.gain(top.j as usize, top.v);
+            // A pre-commit (round 0) re-evaluation happens at this very
+            // partial-plan state, so it tightens the captured seed.
+            if round == 0 && top.slot != NO_SLOT {
+                if let Some(cap) = capture.as_deref_mut() {
+                    cap[top.slot as usize].gain = gain.max(0.0);
+                }
+            }
             if gain > 0.0 {
-                heap.push(Entry {
+                heap.push(CelfEntry {
                     gain,
                     j: top.j,
                     v: top.v,
                     round,
+                    slot: top.slot,
                 });
             }
         }
     }
+    let (tau, sigma) = state.totals();
     BoundResult {
         plan,
-        sigma: state.sigma_total(),
-        tau: state.tau_total(),
+        sigma,
+        tau,
         first_pick,
     }
 }
@@ -193,10 +315,11 @@ pub fn compute_bound_plain(
             first_pick = Some((j, v));
         }
     }
+    let (tau, sigma) = state.totals();
     BoundResult {
         plan,
-        sigma: state.sigma_total(),
-        tau: state.tau_total(),
+        sigma,
+        tau,
         first_pick,
     }
 }
@@ -260,6 +383,74 @@ mod tests {
             s1.evaluations,
             s2.evaluations
         );
+    }
+
+    #[test]
+    fn cached_seeds_replay_fresh_scan_exactly() {
+        let (pool, tt, model) = setup(30_000);
+        let promoters = vec![0, 1, 2, 3, 4];
+        let empty = AssignmentPlan::empty(2);
+
+        // Fresh run capturing its seeds.
+        let mut s1 = TauState::new(&pool, &tt, model);
+        s1.reset_to(&empty);
+        let mut seeds = Vec::new();
+        let a = compute_bound_celf_with(
+            &mut s1,
+            &empty,
+            &promoters,
+            &Default::default(),
+            3,
+            CelfSeeding::Fresh,
+            Some(&mut seeds),
+        );
+        assert!(!seeds.is_empty());
+
+        // Exact cached reuse: identical output, far fewer evaluations.
+        let mut s2 = TauState::new(&pool, &tt, model);
+        s2.reset_to(&empty);
+        let b = compute_bound_celf_with(
+            &mut s2,
+            &empty,
+            &promoters,
+            &Default::default(),
+            3,
+            CelfSeeding::Cached {
+                entries: &seeds,
+                inflate: 1.0,
+                exact: true,
+            },
+            None,
+        );
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(a.first_pick, b.first_pick);
+        assert_eq!(a.tau.to_bits(), b.tau.to_bits());
+        assert_eq!(a.sigma.to_bits(), b.sigma.to_bits());
+        assert!(
+            s2.evaluations < s1.evaluations,
+            "cached {} vs fresh {}",
+            s2.evaluations,
+            s1.evaluations
+        );
+
+        // Inflated cached reuse (upper bounds): still identical output.
+        let mut s3 = TauState::new(&pool, &tt, model);
+        s3.reset_to(&empty);
+        let c = compute_bound_celf_with(
+            &mut s3,
+            &empty,
+            &promoters,
+            &Default::default(),
+            3,
+            CelfSeeding::Cached {
+                entries: &seeds,
+                inflate: 1.5,
+                exact: false,
+            },
+            None,
+        );
+        assert_eq!(a.plan, c.plan);
+        assert_eq!(a.tau.to_bits(), c.tau.to_bits());
     }
 
     #[test]

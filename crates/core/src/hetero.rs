@@ -10,6 +10,7 @@
 //! heterogeneous σ at the end. With a single class everything collapses
 //! to the base implementation (tested).
 
+use crate::celf::{CelfEntry, NO_SLOT};
 use crate::greedy::pack;
 use crate::plan::AssignmentPlan;
 use crate::tangent::TangentTable;
@@ -17,7 +18,6 @@ use oipa_graph::hashing::FxHashSet;
 use oipa_graph::NodeId;
 use oipa_sampler::MrrPool;
 use oipa_topics::hetero::HeterogeneousAdoption;
-use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// Class-aware σ/τ accounting over an MRR pool.
@@ -179,34 +179,7 @@ pub fn greedy_hetero(
     let ell = pool.ell();
     let mut state = HeteroState::new(pool, adoption);
 
-    struct Entry {
-        gain: f64,
-        j: u32,
-        v: NodeId,
-        round: u32,
-    }
-    impl PartialEq for Entry {
-        fn eq(&self, other: &Self) -> bool {
-            self.cmp(other) == Ordering::Equal
-        }
-    }
-    impl Eq for Entry {}
-    impl PartialOrd for Entry {
-        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-    impl Ord for Entry {
-        fn cmp(&self, other: &Self) -> Ordering {
-            self.gain
-                .partial_cmp(&other.gain)
-                .expect("finite gains")
-                .then_with(|| other.j.cmp(&self.j))
-                .then_with(|| other.v.cmp(&self.v))
-        }
-    }
-
-    let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
+    let mut heap: BinaryHeap<CelfEntry> = BinaryHeap::new();
     for j in 0..ell {
         for &v in promoters {
             if excluded.contains(&pack(j, v)) {
@@ -214,11 +187,12 @@ pub fn greedy_hetero(
             }
             let gain = state.gain(j, v);
             if gain > 0.0 {
-                heap.push(Entry {
+                heap.push(CelfEntry {
                     gain,
                     j: j as u32,
                     v,
                     round: 0,
+                    slot: NO_SLOT,
                 });
             }
         }
@@ -234,11 +208,12 @@ pub fn greedy_hetero(
         } else {
             let gain = state.gain(top.j as usize, top.v);
             if gain > 0.0 {
-                heap.push(Entry {
+                heap.push(CelfEntry {
                     gain,
                     j: top.j,
                     v: top.v,
                     round,
+                    slot: NO_SLOT,
                 });
             }
         }

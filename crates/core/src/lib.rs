@@ -32,6 +32,7 @@
 pub mod auto;
 pub mod bab;
 pub mod brute;
+mod celf;
 pub mod estimator;
 pub mod greedy;
 pub mod hetero;
@@ -41,10 +42,12 @@ pub mod relaxed;
 pub mod tangent;
 pub mod tau;
 
-pub use bab::{BabConfig, BabStats, BoundMethod, BranchAndBound};
+pub use bab::{BabConfig, BabStats, BoundMethod, BranchAndBound, SolverEngine};
 pub use estimator::AuEstimator;
+pub use greedy::SeedEntry;
 pub use plan::AssignmentPlan;
 pub use tangent::{TangentLine, TangentTable};
+pub use tau::TrailMark;
 
 use oipa_graph::NodeId;
 use oipa_sampler::MrrPool;

@@ -12,7 +12,7 @@
 //! bounds to `O(n/τ · k·log_{1+ε}(2k))` evaluations under power-law
 //! influence.
 
-use crate::greedy::{pack, BoundResult};
+use crate::greedy::{available, BoundResult, SeedEntry};
 use crate::plan::AssignmentPlan;
 use crate::tau::TauState;
 use oipa_graph::hashing::FxHashSet;
@@ -30,30 +30,68 @@ pub fn compute_bound_progressive(
     k: usize,
     eps: f64,
 ) -> BoundResult {
+    compute_bound_progressive_with(state, partial, promoters, excluded, k, eps, None, None)
+}
+
+/// Algorithm 3 with cached-seed support and optional seed capture.
+///
+/// Unlike CELF, the progressive sweep's behavior depends on the seed
+/// *values* (they fix the δ∅ ordering and the sweep cut-offs), so only
+/// **exact** cached gains are accepted: `seeds` must hold the singleton
+/// gains of the current partial-plan state (e.g. captured by a sibling
+/// bound at the same plan). `capture` receives the positive-gain
+/// singleton scan when `seeds` is `None`.
+#[allow(clippy::too_many_arguments)]
+pub fn compute_bound_progressive_with(
+    state: &mut TauState<'_>,
+    partial: &AssignmentPlan,
+    promoters: &[NodeId],
+    excluded: &FxHashSet<u64>,
+    k: usize,
+    eps: f64,
+    seeds: Option<&[SeedEntry]>,
+    mut capture: Option<&mut Vec<SeedEntry>>,
+) -> BoundResult {
     assert!(eps > 0.0, "ε must be positive");
     let ell = state.ell();
     let remaining = k.saturating_sub(partial.size());
     let mut plan = partial.clone();
     let mut first_pick = None;
     if remaining == 0 {
+        let (tau, sigma) = state.totals();
         return BoundResult {
             plan,
-            sigma: state.sigma_total(),
-            tau: state.tau_total(),
+            sigma,
+            tau,
             first_pick,
         };
     }
 
     // Line 2: order candidates by singleton gain δ∅(v).
     let mut singles: Vec<(f64, u32, NodeId)> = Vec::with_capacity(ell * promoters.len());
-    for j in 0..ell {
-        for &v in promoters {
-            if excluded.contains(&pack(j, v)) || plan.contains(j, v) {
-                continue;
+    match seeds {
+        Some(entries) => {
+            debug_assert!(capture.is_none(), "capture requires a fresh scan");
+            for e in entries {
+                if available(&plan, excluded, e.j as usize, e.v) {
+                    singles.push((e.gain, e.j, e.v));
+                }
             }
-            let g = state.gain(j, v);
-            if g > 0.0 {
-                singles.push((g, j as u32, v));
+        }
+        None => {
+            for j in 0..ell {
+                for &v in promoters {
+                    if !available(&plan, excluded, j, v) {
+                        continue;
+                    }
+                    let g = state.gain(j, v);
+                    if g > 0.0 {
+                        singles.push((g, j as u32, v));
+                    }
+                }
+            }
+            if let Some(cap) = capture.take() {
+                cap.extend(singles.iter().map(|&(gain, j, v)| SeedEntry { gain, j, v }));
             }
         }
     }
@@ -64,16 +102,20 @@ pub fn compute_bound_progressive(
             .then_with(|| (a.1, a.2).cmp(&(b.1, b.2)))
     });
     let Some(&(maxinf, _, _)) = singles.first() else {
+        let (tau, sigma) = state.totals();
         return BoundResult {
             plan,
-            sigma: state.sigma_total(),
-            tau: state.tau_total(),
+            sigma,
+            tau,
             first_pick,
         };
     };
 
     // Lines 3–4: h ← maxinf.
     let mut h = maxinf;
+    // τ at the last committing sweep (see the Line-14 check below).
+    let mut tau_now = state.tau_total();
+    let mut tau_stale = false;
     let mut selected = 0usize;
     let mut included = vec![false; singles.len()];
     let stop_factor = {
@@ -100,6 +142,7 @@ pub fn compute_bound_progressive(
                 state.add(j, v);
                 plan.insert(j, v);
                 included[idx] = true;
+                tau_stale = true;
                 if first_pick.is_none() {
                     first_pick = Some((j, v));
                 }
@@ -112,16 +155,23 @@ pub fn compute_bound_progressive(
         // Line 13: lower the threshold.
         h /= 1.0 + eps;
         // Lines 14–15: early exit once the threshold is provably too small
-        // to matter (Theorem 3's d < k' case).
-        if h <= state.tau_total() / remaining as f64 * stop_factor {
+        // to matter (Theorem 3's d < k' case). τ only moves on commits, so
+        // the fold is re-done once per committing sweep, not per
+        // threshold step.
+        if tau_stale {
+            tau_now = state.tau_total();
+            tau_stale = false;
+        }
+        if h <= tau_now / remaining as f64 * stop_factor {
             break;
         }
     }
 
+    let (tau, sigma) = state.totals();
     BoundResult {
         plan,
-        sigma: state.sigma_total(),
-        tau: state.tau_total(),
+        sigma,
+        tau,
         first_pick,
     }
 }
@@ -129,7 +179,7 @@ pub fn compute_bound_progressive(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::greedy::compute_bound_celf;
+    use crate::greedy::{compute_bound_celf, pack};
     use crate::tangent::TangentTable;
     use oipa_sampler::testkit::fig1;
     use oipa_sampler::MrrPool;

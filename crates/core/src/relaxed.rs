@@ -22,13 +22,13 @@
 //!   *evaluate* under the true logistic. The `relaxation` bench compares
 //!   it against BAB/BAB-P.
 
+use crate::celf::{CelfEntry, NO_SLOT};
 use crate::greedy::pack;
 use crate::plan::AssignmentPlan;
 use oipa_graph::hashing::FxHashSet;
 use oipa_graph::NodeId;
 use oipa_sampler::MrrPool;
 use oipa_topics::LogisticAdoption;
-use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// A per-user adoption curve: probability of adoption given the number of
@@ -158,33 +158,6 @@ pub fn greedy_relaxed<C: AdoptionCurve>(
         covered[idx / 64] >> (idx % 64) & 1 == 1
     };
 
-    struct Entry {
-        gain: f64,
-        j: u32,
-        v: NodeId,
-        round: u32,
-    }
-    impl PartialEq for Entry {
-        fn eq(&self, other: &Self) -> bool {
-            self.cmp(other) == Ordering::Equal
-        }
-    }
-    impl Eq for Entry {}
-    impl PartialOrd for Entry {
-        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-    impl Ord for Entry {
-        fn cmp(&self, other: &Self) -> Ordering {
-            self.gain
-                .partial_cmp(&other.gain)
-                .expect("finite gains")
-                .then_with(|| other.j.cmp(&self.j))
-                .then_with(|| other.v.cmp(&self.v))
-        }
-    }
-
     let gain_of = |covered: &[u64], count: &[u8], j: usize, v: NodeId| -> f64 {
         let mut acc = 0.0;
         for &i in pool.samples_containing(j, v) {
@@ -196,7 +169,7 @@ pub fn greedy_relaxed<C: AdoptionCurve>(
         acc
     };
 
-    let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
+    let mut heap: BinaryHeap<CelfEntry> = BinaryHeap::new();
     for j in 0..ell {
         for &v in promoters {
             if excluded.contains(&pack(j, v)) {
@@ -205,11 +178,12 @@ pub fn greedy_relaxed<C: AdoptionCurve>(
             evaluations += 1;
             let gain = gain_of(&covered, &count, j, v);
             if gain > 0.0 {
-                heap.push(Entry {
+                heap.push(CelfEntry {
                     gain,
                     j: j as u32,
                     v,
                     round: 0,
+                    slot: NO_SLOT,
                 });
             }
         }
@@ -236,11 +210,12 @@ pub fn greedy_relaxed<C: AdoptionCurve>(
             evaluations += 1;
             let gain = gain_of(&covered, &count, top.j as usize, top.v);
             if gain > 0.0 {
-                heap.push(Entry {
+                heap.push(CelfEntry {
                     gain,
                     j: top.j,
                     v: top.v,
                     round,
+                    slot: NO_SLOT,
                 });
             }
         }

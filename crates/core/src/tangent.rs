@@ -265,6 +265,44 @@ impl TangentTable {
     pub fn marginal(&self, c0: usize, c: usize) -> f64 {
         self.marginals[c0 * (self.ell + 1) + c]
     }
+
+    /// Certified single-step inflation bound ρ for *diagonal* marginals
+    /// under anchor refinement: for every coverage `c`,
+    /// `marginal(c+1, c+1) ≤ ρ · marginal(c, c)`.
+    ///
+    /// Singleton τ gains evaluated at a partial plan are sums of diagonal
+    /// marginals (`anchor == count` there), and extending the partial plan
+    /// by one assignment moves each affected sample `(c, c) → (c+1, c+1)`
+    /// (or out of the sum entirely), so a gain cached at a parent node,
+    /// multiplied by ρ per extension step, is a valid upper bound on the
+    /// same candidate's gain at any descendant — the invariant the
+    /// branch-and-bound seed cache relies on for exactness. In the convex
+    /// region of the logistic the refined majorant is *steeper*, so ρ is
+    /// genuinely above 1 there; the returned value includes a 1e-9
+    /// relative safety margin for the floating-point multiply.
+    ///
+    /// Returns `None` when no finite ρ exists (a zero diagonal marginal
+    /// followed by a positive one), in which case callers must fall back
+    /// to fresh gain scans.
+    pub fn diagonal_inflation(&self) -> Option<f64> {
+        let mut seen_zero = false;
+        for c in 0..=self.ell {
+            if self.marginal(c, c) <= 0.0 {
+                seen_zero = true;
+            } else if seen_zero {
+                return None;
+            }
+        }
+        let mut rho = 1.0f64;
+        for c in 0..self.ell {
+            let m0 = self.marginal(c, c);
+            let m1 = self.marginal(c + 1, c + 1);
+            if m0 > 0.0 {
+                rho = rho.max(m1 / m0);
+            }
+        }
+        Some(rho * (1.0 + 1e-9))
+    }
 }
 
 #[cfg(test)]

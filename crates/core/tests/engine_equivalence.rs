@@ -1,0 +1,292 @@
+//! Golden-equivalence and trail-invariance suite for the incremental
+//! branch-and-bound engine.
+//!
+//! The incremental engine (trail-based τ push/pop + cross-node seed
+//! caching) promises **bitwise identical** solver output to the reference
+//! engine (full `reset_to` replay + fresh gain scans per bound) — faster,
+//! not different. These tests enforce that promise on seeded random
+//! instances across bound methods and configurations, and property-test
+//! the underlying trail invariant: any interleaving of
+//! `assign`/`add`/`pop_to`/`reset_to` leaves τ/σ totals bit-identical to
+//! a fresh replay of the equivalent plan.
+
+use oipa_core::tangent::TangentTable;
+use oipa_core::tau::TauState;
+use oipa_core::{
+    AssignmentPlan, BabConfig, BoundMethod, BranchAndBound, OipaInstance, Solution, SolverEngine,
+};
+use oipa_sampler::testkit::small_random_instance;
+use oipa_sampler::MrrPool;
+use oipa_topics::LogisticAdoption;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One seeded random instance: pool + promoters + model.
+struct Instance {
+    pool: MrrPool,
+    model: LogisticAdoption,
+    promoters: Vec<u32>,
+    k: usize,
+}
+
+fn random_instance(
+    seed: u64,
+    n: u32,
+    m: usize,
+    ell: usize,
+    theta: usize,
+    k: usize,
+    alpha: f64,
+) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (g, table, campaign) = small_random_instance(&mut rng, n, m, ell + 1, ell);
+    let pool = MrrPool::generate(&g, &table, &campaign, theta, seed ^ 0xbeef);
+    let promoters: Vec<u32> = (0..n).step_by(3).collect();
+    // α deep in the coverage range keeps the logistic genuinely
+    // non-concave over integer coverage, so the branch-and-bound really
+    // branches (α ≤ 2 with β = 1 makes σ integer-concave and the search
+    // collapses to pure greedy at the root).
+    Instance {
+        pool,
+        model: LogisticAdoption::new(alpha, 1.0),
+        promoters,
+        k,
+    }
+}
+
+fn solve_with(inst: &Instance, config: BabConfig) -> Solution {
+    let oipa = OipaInstance::new(&inst.pool, inst.model, inst.promoters.clone(), inst.k);
+    BranchAndBound::new(&oipa, config).solve()
+}
+
+/// Asserts the two engines produced bit-identical search output.
+fn assert_solutions_identical(reference: &Solution, incremental: &Solution, label: &str) {
+    assert_eq!(reference.plan, incremental.plan, "{label}: plans diverged");
+    assert_eq!(
+        reference.utility.to_bits(),
+        incremental.utility.to_bits(),
+        "{label}: utility diverged ({} vs {})",
+        reference.utility,
+        incremental.utility
+    );
+    assert_eq!(
+        reference.upper_bound.to_bits(),
+        incremental.upper_bound.to_bits(),
+        "{label}: upper bound diverged"
+    );
+    assert_eq!(
+        reference.stats.nodes_expanded, incremental.stats.nodes_expanded,
+        "{label}: node counts diverged"
+    );
+    assert_eq!(
+        reference.stats.bounds_computed, incremental.stats.bounds_computed,
+        "{label}: bound counts diverged"
+    );
+    assert_eq!(
+        reference.stats.nodes_pruned, incremental.stats.nodes_pruned,
+        "{label}: prune counts diverged"
+    );
+    assert!(
+        incremental.stats.tau_evaluations <= reference.stats.tau_evaluations,
+        "{label}: incremental engine used MORE τ evaluations ({} vs {})",
+        incremental.stats.tau_evaluations,
+        reference.stats.tau_evaluations
+    );
+}
+
+/// The golden test: BAB (CELF), BAB (plain) and BAB-P return bitwise
+/// identical plans/bounds/search shapes under both engines on three
+/// seeded random instances, at both the paper gap and the exact fixpoint.
+#[test]
+fn golden_engines_identical_on_random_instances() {
+    let instances = [
+        ("rand-40", random_instance(11, 40, 260, 2, 12_000, 3, 3.0)),
+        ("rand-60", random_instance(23, 60, 420, 3, 16_000, 4, 3.5)),
+        ("rand-80", random_instance(37, 80, 640, 3, 20_000, 4, 4.0)),
+    ];
+    let methods = [
+        ("celf", BoundMethod::Greedy),
+        ("plain", BoundMethod::PlainGreedy),
+        ("bab-p", BoundMethod::Progressive { eps: 0.5 }),
+    ];
+    for (iname, inst) in &instances {
+        for (mname, method) in methods {
+            for gap in [0.01, 0.0] {
+                let base = BabConfig {
+                    method,
+                    gap,
+                    max_nodes: Some(200),
+                    ..BabConfig::bab()
+                };
+                let reference = solve_with(
+                    inst,
+                    BabConfig {
+                        engine: SolverEngine::Reference,
+                        ..base
+                    },
+                );
+                let incremental = solve_with(
+                    inst,
+                    BabConfig {
+                        engine: SolverEngine::Incremental,
+                        ..base
+                    },
+                );
+                let label = format!("{iname}/{mname}/gap={gap}");
+                assert_solutions_identical(&reference, &incremental, &label);
+            }
+        }
+    }
+}
+
+/// The cache also has to stay exact with anchor refinement disabled (the
+/// ablation table) and across seed-slack settings, including a slack cap
+/// of 1 (exclude-reuse only) and a huge cap (maximal inflation reuse).
+#[test]
+fn golden_equivalence_across_configurations() {
+    let inst = random_instance(51, 50, 340, 3, 10_000, 4, 3.5);
+    for refine in [true, false] {
+        for slack in [1.0, 2.0, 1e9] {
+            let base = BabConfig {
+                gap: 0.0,
+                max_nodes: Some(150),
+                refine_anchors: refine,
+                max_seed_slack: slack,
+                ..BabConfig::bab()
+            };
+            let reference = solve_with(
+                &inst,
+                BabConfig {
+                    engine: SolverEngine::Reference,
+                    ..base
+                },
+            );
+            let incremental = solve_with(
+                &inst,
+                BabConfig {
+                    engine: SolverEngine::Incremental,
+                    ..base
+                },
+            );
+            let label = format!("refine={refine}/slack={slack}");
+            assert_solutions_identical(&reference, &incremental, &label);
+        }
+    }
+}
+
+/// The headline perf claim: on a mid-size instance the incremental engine
+/// needs at most half the τ evaluations of the reference engine for the
+/// default (CELF) bound.
+#[test]
+fn incremental_engine_halves_tau_evaluations() {
+    let inst = random_instance(29, 120, 900, 4, 20_000, 6, 4.5);
+    let base = BabConfig {
+        max_nodes: Some(120),
+        ..BabConfig::bab()
+    };
+    let reference = solve_with(
+        &inst,
+        BabConfig {
+            engine: SolverEngine::Reference,
+            ..base
+        },
+    );
+    let incremental = solve_with(
+        &inst,
+        BabConfig {
+            engine: SolverEngine::Incremental,
+            ..base
+        },
+    );
+    assert_solutions_identical(&reference, &incremental, "halving");
+    assert!(
+        2 * incremental.stats.tau_evaluations <= reference.stats.tau_evaluations,
+        "expected ≥2× fewer τ evaluations: incremental {} vs reference {}",
+        incremental.stats.tau_evaluations,
+        reference.stats.tau_evaluations
+    );
+    assert!(incremental.stats.seed_cache_hits > 0, "cache never hit");
+    assert!(incremental.stats.trail_pops > 0, "trail never popped");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Trail invariance: a random interleaving of `assign`, `add`,
+    /// `pop_to` and `reset_to` leaves `tau_total`/`sigma_total`
+    /// bit-identical to a fresh `TauState` replay of the plan the
+    /// surviving operations describe — and so are all singleton gains.
+    #[test]
+    fn trail_interleavings_match_fresh_replay(
+        seed in 0u64..500,
+        ops in proptest::collection::vec((0u8..4, 0usize..2, 0u32..30), 1..40),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g, table, campaign) = small_random_instance(&mut rng, 30, 180, 3, 2);
+        let pool = MrrPool::generate(&g, &table, &campaign, 2_000, seed ^ 0xfeed);
+        let model = LogisticAdoption::new(2.0, 1.0);
+        let tangent = TangentTable::new(model, 2);
+
+        let mut state = TauState::new(&pool, &tangent, model);
+        // Shadow model: the stack of (plan, mark) the trail should mirror.
+        // `adds` tracks exploratory adds applied on top of the last level.
+        let mut plan_stack: Vec<(AssignmentPlan, oipa_core::TrailMark)> = Vec::new();
+        let mut plan = AssignmentPlan::empty(2);
+        let mut adds = AssignmentPlan::empty(2);
+
+        for &(op, j, v) in &ops {
+            match op {
+                // assign: push a checkpoint and extend the partial plan.
+                // (Only legal with no outstanding exploratory adds.)
+                0 if adds.is_empty() => {
+                    let mark = state.mark();
+                    state.assign(j, v);
+                    plan_stack.push((plan.clone(), mark));
+                    plan.insert(j, v);
+                }
+                // add: exploratory commit on top.
+                1 => {
+                    state.add(j, v);
+                    adds.insert(j, v);
+                }
+                // pop: rewind to the previous checkpoint.
+                2 if !plan_stack.is_empty() => {
+                    let (prev_plan, mark) = plan_stack.pop().unwrap();
+                    state.pop_to(mark);
+                    plan = prev_plan;
+                    adds = AssignmentPlan::empty(2);
+                }
+                // reset: full re-anchor on a fresh plan.
+                3 => {
+                    plan = AssignmentPlan::from_sets(vec![vec![v % 30], vec![(v + 7) % 30]]);
+                    state.reset_to(&plan);
+                    plan_stack.clear();
+                    adds = AssignmentPlan::empty(2);
+                }
+                _ => continue,
+            }
+
+            // Fresh replay of the equivalent state: reset to the partial
+            // plan, then re-apply the exploratory adds.
+            let mut fresh = TauState::new(&pool, &tangent, model);
+            fresh.reset_to(&plan);
+            for (aj, av) in adds.assignments() {
+                fresh.add(aj, av);
+            }
+            let (tau_a, sigma_a) = state.totals();
+            let (tau_b, sigma_b) = fresh.totals();
+            prop_assert_eq!(tau_a.to_bits(), tau_b.to_bits(), "τ diverged: {} vs {}", tau_a, tau_b);
+            prop_assert_eq!(sigma_a.to_bits(), sigma_b.to_bits(), "σ diverged: {} vs {}", sigma_a, sigma_b);
+            for gj in 0..2usize {
+                for gv in (0..30u32).step_by(5) {
+                    prop_assert_eq!(
+                        state.gain(gj, gv).to_bits(),
+                        fresh.gain(gj, gv).to_bits(),
+                        "gain({}, {}) diverged", gj, gv
+                    );
+                }
+            }
+        }
+    }
+}
