@@ -179,7 +179,7 @@ mod tests {
         let flat = collapsed_pool(&g, &table, 60_000, 3);
         let im = im_baseline(&flat, &mrr, &mut est, &promoters, 2);
         let tim = tim_baseline(&mrr, &mut est, &promoters, 2);
-        let instance = OipaInstance::new(&mrr, model, promoters, 2);
+        let instance = OipaInstance::new(&mrr, model, promoters, 2).unwrap();
         let bab = BranchAndBound::new(&instance, BabConfig::bab()).solve();
         assert!(
             bab.utility > im.utility && bab.utility > tim.utility,

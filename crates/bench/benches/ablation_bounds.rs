@@ -20,7 +20,7 @@ fn bench_ablation(c: &mut Criterion) {
     let model = LogisticAdoption::from_ratio(0.5);
     let pool = MrrPool::generate_parallel(&dataset.graph, &dataset.table, &campaign, 30_000, 31, 4);
     let promoters = OipaInstance::sample_promoters(&mut rng, dataset.graph.node_count(), 0.10);
-    let instance = OipaInstance::new(&pool, model, promoters, 10);
+    let instance = OipaInstance::new(&pool, model, promoters, 10).unwrap();
 
     let mut group = c.benchmark_group("bab_refinement_ablation");
     group.sample_size(10);

@@ -24,7 +24,7 @@ fn bench_relaxation(c: &mut Criterion) {
     group.bench_function("envelope_heuristic", |b| {
         b.iter(|| envelope_heuristic(&pool, model, &promoters, k).1)
     });
-    let instance = OipaInstance::new(&pool, model, promoters.clone(), k);
+    let instance = OipaInstance::new(&pool, model, promoters.clone(), k).unwrap();
     group.bench_function("bab_p", |b| {
         b.iter(|| {
             BranchAndBound::new(

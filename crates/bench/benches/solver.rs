@@ -17,7 +17,7 @@ fn bench_solver_engines(c: &mut Criterion) {
     let pool = MrrPool::generate(&g, &table, &campaign, 20_000, 77 ^ 0xbeef);
     let model = LogisticAdoption::new(3.0, 1.0);
     let promoters: Vec<u32> = (0..90).step_by(3).collect();
-    let instance = OipaInstance::new(&pool, model, promoters, 5);
+    let instance = OipaInstance::new(&pool, model, promoters, 5).unwrap();
     let base = BabConfig {
         max_nodes: Some(120),
         ..BabConfig::bab()

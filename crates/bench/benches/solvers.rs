@@ -36,7 +36,7 @@ fn bench_solvers(c: &mut Criterion) {
             tim_baseline(&pool, &mut est, &promoters, k).utility
         })
     });
-    let instance = OipaInstance::new(&pool, model, promoters.clone(), k);
+    let instance = OipaInstance::new(&pool, model, promoters.clone(), k).unwrap();
     group.bench_function("bab", |b| {
         b.iter(|| {
             let config = BabConfig {

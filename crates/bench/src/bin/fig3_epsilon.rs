@@ -41,7 +41,8 @@ fn main() {
                 setup.model,
                 prepared.promoters.clone(),
                 setup.k,
-            );
+            )
+            .unwrap();
             let config = BabConfig {
                 max_nodes: Some(args.max_nodes),
                 ..BabConfig::bab_p(eps)

@@ -17,11 +17,13 @@
 //! sampling time … since the time is the same for all compared
 //! approaches"); sampling time itself is Table III's last row.
 //!
-//! Beyond the paper's artifacts, the [`solver_suite`] module is the
-//! repo's own perf trajectory for the branch-and-bound engines: the
-//! `bench_solver` bin (also reachable as `oipa-cli bench solver`) emits
-//! `BENCH_solver.json` with wall-clock, τ-evaluation and search-shape
-//! counters for the incremental vs reference engines.
+//! Beyond the paper's artifacts, two suites track the repo's own perf
+//! trajectory: [`solver_suite`] (the `bench_solver` bin, also reachable
+//! as `oipa-cli bench solver`) emits `BENCH_solver.json` with wall-clock,
+//! τ-evaluation and search-shape counters for the incremental vs
+//! reference engines, and [`service_suite`] (the `bench_service` bin /
+//! `oipa-cli bench service`) emits `BENCH_service.json` with cold-pool vs
+//! warm-pool request latency through the `PlannerService` arena.
 //!
 //! Criterion micro/ablation benches live in `benches/`.
 
@@ -30,10 +32,12 @@
 
 pub mod args;
 pub mod runner;
+pub mod service_suite;
 pub mod solver_suite;
 pub mod table;
 
 pub use args::HarnessArgs;
 pub use runner::{run_all_methods, ExperimentSetup, MethodOutcome};
+pub use service_suite::{run_service_suite, ServiceSuiteConfig, ServiceSuiteReport};
 pub use solver_suite::{run_solver_suite, SolverSuiteConfig, SolverSuiteReport};
 pub use table::TablePrinter;

@@ -117,7 +117,8 @@ pub fn run_all_methods(setup: &ExperimentSetup<'_>, prepared: &Prepared) -> Vec<
         setup.model,
         prepared.promoters.clone(),
         setup.k,
-    );
+    )
+    .unwrap();
     let config = BabConfig {
         max_nodes: Some(setup.max_nodes),
         method: oipa_core::BoundMethod::PlainGreedy,

@@ -1,0 +1,383 @@
+//! The `service` benchmark family: cold-pool vs warm-pool request
+//! latency through the `PlannerService`.
+//!
+//! Produces the `BENCH_service.json` artifact quantifying what the
+//! session arena buys: a **cold** request pays full MRR sampling before
+//! it can solve, a **warm** request reuses the arena's pool and pays only
+//! the solve. The suite runs both phases for each measured method on the
+//! seeded medium instance, reports mean/min latency and warm-phase
+//! requests/sec, and cross-checks that cold and warm answers are
+//! bitwise-identical (the arena must never change results, only
+//! latency). Reproduce with `oipa-cli bench service [--smoke]` or
+//! `cargo run --release -p oipa-bench --bin bench_service`.
+
+use oipa_sampler::testkit::small_random_instance;
+use oipa_service::{Method, PlannerService, SolveRequest};
+use oipa_topics::Campaign;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+/// Schema identifier stamped into every report.
+pub const SERVICE_SCHEMA: &str = "oipa.bench.service/v1";
+
+/// Suite configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceSuiteConfig {
+    /// Tiny single-phase mode for CI smoke checks.
+    pub smoke: bool,
+    /// Base seed for instance generation.
+    pub seed: u64,
+}
+
+/// One (method, phase) measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServicePhaseRecord {
+    /// `cold` (fresh arena per request) or `warm` (shared arena).
+    pub phase: String,
+    /// Solve method.
+    pub method: String,
+    /// Requests timed.
+    pub requests: usize,
+    /// Mean end-to-end latency per request, milliseconds.
+    pub mean_ms: f64,
+    /// Fastest request, milliseconds.
+    pub min_ms: f64,
+    /// Total wall-clock, milliseconds.
+    pub total_ms: f64,
+    /// Throughput over the phase.
+    pub requests_per_sec: f64,
+    /// Requests answered from the pool arena.
+    pub pool_cache_hits: usize,
+    /// Utility of the phase's (identical) answers, user units.
+    pub utility: f64,
+    /// Whether every answer in this phase carried the same plan as the
+    /// first cold answer (bitwise answer-equality gate).
+    pub plan_matches_cold: bool,
+}
+
+/// Cold-vs-warm summary per method.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServiceSpeedup {
+    /// Solve method.
+    pub method: String,
+    /// Mean cold latency, milliseconds.
+    pub cold_mean_ms: f64,
+    /// Mean warm latency, milliseconds.
+    pub warm_mean_ms: f64,
+    /// `cold_mean_ms / warm_mean_ms`.
+    pub speedup: f64,
+}
+
+/// The full suite report (the `BENCH_service.json` payload).
+#[derive(Debug, Clone, Serialize)]
+pub struct ServiceSuiteReport {
+    /// Schema identifier (`oipa.bench.service/v1`).
+    pub schema: String,
+    /// Whether this was a smoke run.
+    pub smoke: bool,
+    /// Base seed.
+    pub seed: u64,
+    /// Instance nodes.
+    pub nodes: usize,
+    /// Instance edges.
+    pub edges: usize,
+    /// Campaign pieces ℓ.
+    pub ell: usize,
+    /// MRR samples θ per pool.
+    pub theta: usize,
+    /// Budget k.
+    pub k: usize,
+    /// All measurements.
+    pub records: Vec<ServicePhaseRecord>,
+    /// Cold-vs-warm summaries.
+    pub summary: Vec<ServiceSpeedup>,
+}
+
+struct Spec {
+    nodes: u32,
+    edges: usize,
+    ell: usize,
+    theta: usize,
+    k: usize,
+    cold_requests: usize,
+    warm_requests: usize,
+    max_nodes: usize,
+}
+
+fn spec(smoke: bool) -> Spec {
+    if smoke {
+        Spec {
+            nodes: 120,
+            edges: 900,
+            ell: 3,
+            theta: 4_000,
+            k: 3,
+            cold_requests: 2,
+            warm_requests: 4,
+            max_nodes: 20,
+        }
+    } else {
+        // The seeded medium instance: sampling dominates the solve, which
+        // is exactly the regime a multi-query session amortizes.
+        Spec {
+            nodes: 400,
+            edges: 3_200,
+            ell: 3,
+            theta: 30_000,
+            k: 4,
+            cold_requests: 3,
+            warm_requests: 10,
+            max_nodes: 40,
+        }
+    }
+}
+
+/// The measured methods: the paper's recommended solver and the
+/// tractable-relaxation heuristic (both pool-bound, no extra inputs).
+const METHODS: [Method; 2] = [Method::BabP, Method::Greedy];
+
+fn request(method: Method, spec: &Spec, campaign: &Campaign, seed: u64) -> SolveRequest {
+    let mut req = SolveRequest::new(method, spec.k);
+    req.campaign = Some(campaign.clone());
+    req.theta = Some(spec.theta);
+    req.seed = Some(seed);
+    req.promoter_fraction = Some(0.2);
+    req.max_nodes = Some(spec.max_nodes);
+    req
+}
+
+/// Runs the suite. Every request in both phases must produce the same
+/// plan and utility — the phases differ only in where the pool comes
+/// from.
+pub fn run_service_suite(config: ServiceSuiteConfig) -> ServiceSuiteReport {
+    let spec = spec(config.smoke);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5e55);
+    let (graph, table, campaign) =
+        small_random_instance(&mut rng, spec.nodes, spec.edges, spec.ell + 1, spec.ell);
+    let mut records = Vec::new();
+    let mut summary = Vec::new();
+
+    for method in METHODS {
+        let req = request(method, &spec, &campaign, config.seed ^ 0xc01d);
+
+        // Cold: a fresh service (empty arena) per request — every request
+        // pays sampling.
+        let mut cold_lat = Vec::new();
+        let mut cold_hits = 0usize;
+        let mut cold_utility = 0.0f64;
+        let mut cold_plan = None;
+        let mut cold_plans_match = true;
+        for _ in 0..spec.cold_requests {
+            let mut service =
+                PlannerService::new(graph.clone(), table.clone()).expect("valid instance");
+            let response = service.solve(&req).expect("bench request solves");
+            cold_lat.push(response.seconds * 1e3);
+            cold_hits += response.pool_cache_hit as usize;
+            cold_utility = response.utility;
+            cold_plans_match &=
+                *cold_plan.get_or_insert_with(|| response.plan.clone()) == response.plan;
+        }
+        let cold_plan = cold_plan.expect("at least one cold request");
+        assert!(cold_plans_match, "{method}: cold answers disagree");
+        records.push(phase_record(
+            "cold",
+            method,
+            &cold_lat,
+            cold_hits,
+            cold_utility,
+            cold_plans_match,
+        ));
+
+        // Warm: one service; prime the arena (untimed), then measure.
+        let mut service =
+            PlannerService::new(graph.clone(), table.clone()).expect("valid instance");
+        let primed = service.solve(&req).expect("priming request solves");
+        assert_eq!(
+            primed.utility.to_bits(),
+            cold_utility.to_bits(),
+            "{method}: cold and primed answers diverged"
+        );
+        assert_eq!(primed.plan, cold_plan, "{method}: primed plan diverged");
+        let mut warm_lat = Vec::new();
+        let mut warm_hits = 0usize;
+        let mut warm_utility = 0.0f64;
+        let mut warm_plans_match = true;
+        for _ in 0..spec.warm_requests {
+            let response = service.solve(&req).expect("warm request solves");
+            assert!(response.pool_cache_hit, "warm request missed the arena");
+            warm_lat.push(response.seconds * 1e3);
+            warm_hits += 1;
+            warm_utility = response.utility;
+            warm_plans_match &= response.plan == cold_plan;
+        }
+        assert_eq!(
+            warm_utility.to_bits(),
+            cold_utility.to_bits(),
+            "{method}: warm answers diverged from cold"
+        );
+        assert!(warm_plans_match, "{method}: warm plan diverged from cold");
+        records.push(phase_record(
+            "warm",
+            method,
+            &warm_lat,
+            warm_hits,
+            warm_utility,
+            warm_plans_match,
+        ));
+
+        let cold_mean = mean(&cold_lat);
+        let warm_mean = mean(&warm_lat);
+        summary.push(ServiceSpeedup {
+            method: method.name().to_string(),
+            cold_mean_ms: cold_mean,
+            warm_mean_ms: warm_mean,
+            speedup: cold_mean / warm_mean.max(1e-9),
+        });
+    }
+
+    ServiceSuiteReport {
+        schema: SERVICE_SCHEMA.to_string(),
+        smoke: config.smoke,
+        seed: config.seed,
+        nodes: spec.nodes as usize,
+        edges: spec.edges,
+        ell: spec.ell,
+        theta: spec.theta,
+        k: spec.k,
+        records,
+        summary,
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len().max(1) as f64
+}
+
+fn phase_record(
+    phase: &str,
+    method: Method,
+    latencies: &[f64],
+    hits: usize,
+    utility: f64,
+    plan_matches_cold: bool,
+) -> ServicePhaseRecord {
+    let total: f64 = latencies.iter().sum();
+    ServicePhaseRecord {
+        phase: phase.to_string(),
+        method: method.name().to_string(),
+        requests: latencies.len(),
+        mean_ms: mean(latencies),
+        min_ms: latencies.iter().copied().fold(f64::INFINITY, f64::min),
+        total_ms: total,
+        requests_per_sec: latencies.len() as f64 / (total / 1e3).max(1e-9),
+        pool_cache_hits: hits,
+        utility,
+        plan_matches_cold,
+    }
+}
+
+/// Validates a report's schema and the invariants the CI smoke step
+/// asserts: every method has both phases, warm phases are all-hits and
+/// answer-identical to cold, and (full runs only) warm requests beat
+/// cold requests by ≥ 5× for every method.
+pub fn validate_report(report: &ServiceSuiteReport) -> Result<(), String> {
+    if report.schema != SERVICE_SCHEMA {
+        return Err(format!(
+            "schema mismatch: {} != {SERVICE_SCHEMA}",
+            report.schema
+        ));
+    }
+    for method in METHODS {
+        let find = |phase: &str| {
+            report
+                .records
+                .iter()
+                .find(|r| r.method == method.name() && r.phase == phase)
+                .ok_or_else(|| format!("{method}: missing {phase} record"))
+        };
+        let cold = find("cold")?;
+        let warm = find("warm")?;
+        if warm.pool_cache_hits != warm.requests {
+            return Err(format!(
+                "{method}: warm phase had {} hits over {} requests",
+                warm.pool_cache_hits, warm.requests
+            ));
+        }
+        if warm.utility.to_bits() != cold.utility.to_bits() {
+            return Err(format!(
+                "{method}: warm utility {} diverged from cold {}",
+                warm.utility, cold.utility
+            ));
+        }
+        if !warm.plan_matches_cold || !cold.plan_matches_cold {
+            return Err(format!("{method}: plans diverged across phases"));
+        }
+        if !report.smoke {
+            let speedup = cold.mean_ms / warm.mean_ms.max(1e-9);
+            if speedup < 5.0 {
+                return Err(format!(
+                    "{method}: warm-pool speedup {speedup:.2}× is below the 5× bar \
+                     (cold {:.1} ms vs warm {:.1} ms)",
+                    cold.mean_ms, warm.mean_ms
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Renders the human-readable summary printed by the bin and CLI.
+pub fn summary_text(report: &ServiceSuiteReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "service bench: {} nodes, {} edges, ell={}, theta={}, k={}",
+        report.nodes, report.edges, report.ell, report.theta, report.k
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:>8} {:>9} {:>10} {:>10} {:>10} {:>6}",
+        "method", "phase", "requests", "mean_ms", "min_ms", "req/s", "hits"
+    );
+    for r in &report.records {
+        let _ = writeln!(
+            out,
+            "{:<8} {:>8} {:>9} {:>10.1} {:>10.1} {:>10.2} {:>6}",
+            r.method,
+            r.phase,
+            r.requests,
+            r.mean_ms,
+            r.min_ms,
+            r.requests_per_sec,
+            r.pool_cache_hits
+        );
+    }
+    for s in &report.summary {
+        let _ = writeln!(
+            out,
+            "speedup {:<8}: warm pool {:.1}x faster (cold {:.1} ms -> warm {:.1} ms)",
+            s.method, s.speedup, s.cold_mean_ms, s.warm_mean_ms
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_suite_passes_validation() {
+        let report = run_service_suite(ServiceSuiteConfig {
+            smoke: true,
+            seed: 0,
+        });
+        assert_eq!(report.records.len(), 2 * METHODS.len());
+        assert_eq!(report.summary.len(), METHODS.len());
+        validate_report(&report).expect("smoke report must validate");
+        let text = summary_text(&report);
+        assert!(text.contains("warm"), "{text}");
+    }
+}

@@ -260,7 +260,7 @@ pub fn run_solver_suite(config: SolverSuiteConfig) -> SolverSuiteReport {
         );
         let model = LogisticAdoption::new(spec.alpha, 1.0);
         let promoters: Vec<u32> = (0..spec.nodes).step_by(3).collect();
-        let instance = OipaInstance::new(&pool, model, promoters, spec.k);
+        let instance = OipaInstance::new(&pool, model, promoters, spec.k).unwrap();
 
         // Plain-greedy rescan baseline (Algorithm 2 as printed).
         let (plain, plain_ms) = timed_solve(

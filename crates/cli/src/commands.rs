@@ -1,19 +1,34 @@
 //! Command implementations.
+//!
+//! `solve`, `simulate`, and `batch` all route through one
+//! [`PlannerService`] session, so the CLI exercises exactly the engine a
+//! long-lived server would run: `solve` is a one-request session over an
+//! injected pool file, `batch` streams a JSONL request file through a
+//! single session whose pool arena amortizes sampling across the whole
+//! file. Errors are typed ([`OipaError`]): user errors exit 2 with an
+//! actionable message, environment (I/O) failures exit 1.
 
 use crate::opts::{CliError, ParsedArgs};
-use oipa_baselines::{im_baseline, paper::collapsed_pool, tim_baseline};
-use oipa_core::{AuEstimator, BabConfig, BranchAndBound, OipaInstance};
+use oipa_core::OipaError;
 use oipa_datasets::Scale;
 use oipa_graph::{binio as graph_io, DiGraph};
-use oipa_sampler::{binio as pool_io, simulate, MrrPool};
-use oipa_topics::{binio as probs_io, Campaign, EdgeTopicProbs, LogisticAdoption};
+use oipa_sampler::{binio as pool_io, MrrPool};
+use oipa_service::{Method, PlannerService, SimulateRequest, SolveRequest, SolveResponse};
+use oipa_topics::{binio as probs_io, Campaign, EdgeTopicProbs};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
+use std::collections::HashMap;
 use std::fmt::Write as _;
 
+impl From<CliError> for OipaError {
+    fn from(e: CliError) -> Self {
+        OipaError::InvalidConfig { what: e.0 }
+    }
+}
+
 /// Runs one parsed command, returning its human-readable report.
-pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
+pub fn run(args: &ParsedArgs) -> Result<String, OipaError> {
     match args.command.as_str() {
         "generate" => cmd_generate(args),
         "import" => cmd_import(args),
@@ -21,14 +36,17 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         "sample" => cmd_sample(args),
         "solve" => cmd_solve(args),
         "simulate" => cmd_simulate(args),
+        "batch" => cmd_batch(args),
         "bench" => cmd_bench(args),
-        other => Err(CliError(format!("unknown command {other:?}"))),
+        other => Err(OipaError::InvalidConfig {
+            what: format!("unknown command {other:?}"),
+        }),
     }
 }
 
-/// `oipa-cli bench solver` — reproduces the `BENCH_solver.json` perf
-/// artifact (the incremental-vs-reference solver engine suite).
-fn cmd_bench(args: &ParsedArgs) -> Result<String, CliError> {
+/// `oipa-cli bench <suite>` — reproduces the checked-in perf artifacts
+/// (`BENCH_solver.json`, `BENCH_service.json`).
+fn cmd_bench(args: &ParsedArgs) -> Result<String, OipaError> {
     let suite = args.positional.as_deref().unwrap_or("solver");
     match suite {
         "solver" => {
@@ -37,63 +55,103 @@ fn cmd_bench(args: &ParsedArgs) -> Result<String, CliError> {
                 seed: args.parsed_or("seed", 0u64)?,
             };
             let report = oipa_bench::solver_suite::run_solver_suite(config);
-            oipa_bench::solver_suite::validate_report(&report)
-                .map_err(|e| CliError(format!("solver bench invariants violated: {e}")))?;
+            oipa_bench::solver_suite::validate_report(&report).map_err(|e| {
+                OipaError::Mismatch {
+                    what: format!("solver bench invariants violated: {e}"),
+                }
+            })?;
             let out = args.optional("out").unwrap_or("BENCH_solver.json");
             save_json(&report, out, "bench report")?;
             let mut text = oipa_bench::solver_suite::summary_text(&report);
             write!(text, "wrote {out} ({} records)", report.records.len()).expect("string write");
             Ok(text)
         }
-        other => Err(CliError(format!(
-            "unknown bench suite {other:?} (available: solver)"
-        ))),
+        "service" => {
+            let config = oipa_bench::service_suite::ServiceSuiteConfig {
+                smoke: args.parsed_or("smoke", false)?,
+                seed: args.parsed_or("seed", 0u64)?,
+            };
+            let report = oipa_bench::service_suite::run_service_suite(config);
+            oipa_bench::service_suite::validate_report(&report).map_err(|e| {
+                OipaError::Mismatch {
+                    what: format!("service bench invariants violated: {e}"),
+                }
+            })?;
+            let out = args.optional("out").unwrap_or("BENCH_service.json");
+            save_json(&report, out, "bench report")?;
+            let mut text = oipa_bench::service_suite::summary_text(&report);
+            write!(text, "wrote {out} ({} records)", report.records.len()).expect("string write");
+            Ok(text)
+        }
+        other => Err(OipaError::InvalidConfig {
+            what: format!("unknown bench suite {other:?} (available: solver, service)"),
+        }),
     }
 }
 
-fn load_graph(path: &str) -> Result<DiGraph, CliError> {
-    graph_io::read_graph_file(path).map_err(|e| CliError(format!("reading graph {path}: {e}")))
+fn io_err(what: &str, path: &str, e: impl std::fmt::Display) -> OipaError {
+    OipaError::Io {
+        what: format!("{what} {path}"),
+        detail: e.to_string(),
+    }
 }
 
-fn load_probs(path: &str, graph: &DiGraph) -> Result<EdgeTopicProbs, CliError> {
-    let table = probs_io::read_table_file(path)
-        .map_err(|e| CliError(format!("reading probabilities {path}: {e}")))?;
+fn load_graph(path: &str) -> Result<DiGraph, OipaError> {
+    graph_io::read_graph_file(path).map_err(|e| io_err("reading graph", path, e))
+}
+
+fn load_probs(path: &str, graph: &DiGraph) -> Result<EdgeTopicProbs, OipaError> {
+    let table =
+        probs_io::read_table_file(path).map_err(|e| io_err("reading probabilities", path, e))?;
     table
         .check_against(graph)
-        .map_err(|e| CliError(format!("probability table mismatch: {e}")))?;
+        .map_err(|e| OipaError::Mismatch {
+            what: format!("probability table {path}: {e}"),
+        })?;
     Ok(table)
 }
 
-fn load_json<T: serde::de::DeserializeOwned>(path: &str, what: &str) -> Result<T, CliError> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| CliError(format!("reading {what} {path}: {e}")))?;
-    serde_json::from_str(&text).map_err(|e| CliError(format!("parsing {what} {path}: {e}")))
+fn load_pool(path: &str) -> Result<MrrPool, OipaError> {
+    pool_io::read_pool_file(path).map_err(|e| io_err("reading pool", path, e))
 }
 
-fn save_json<T: Serialize>(value: &T, path: &str, what: &str) -> Result<(), CliError> {
+fn load_json<T: serde::de::DeserializeOwned>(path: &str, what: &str) -> Result<T, OipaError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| io_err(&format!("reading {what}"), path, e))?;
+    serde_json::from_str(&text).map_err(|e| OipaError::InvalidConfig {
+        what: format!("parsing {what} {path}: {e}"),
+    })
+}
+
+fn save_json<T: Serialize>(value: &T, path: &str, what: &str) -> Result<(), OipaError> {
     let text = serde_json::to_string_pretty(value)
-        .map_err(|e| CliError(format!("serializing {what}: {e}")))?;
-    std::fs::write(path, text).map_err(|e| CliError(format!("writing {what} {path}: {e}")))
+        .map_err(|e| io_err(&format!("serializing {what}"), path, e))?;
+    std::fs::write(path, text).map_err(|e| io_err(&format!("writing {what}"), path, e))
 }
 
-fn cmd_generate(args: &ParsedArgs) -> Result<String, CliError> {
+fn cmd_generate(args: &ParsedArgs) -> Result<String, OipaError> {
     let name = args.required("dataset")?;
     let scale_str = args.optional("scale").unwrap_or("tiny");
-    let scale =
-        Scale::parse(scale_str).ok_or_else(|| CliError(format!("bad --scale {scale_str:?}")))?;
+    let scale = Scale::parse(scale_str).ok_or_else(|| OipaError::InvalidConfig {
+        what: format!("bad --scale {scale_str:?} (tiny|small|medium|full)"),
+    })?;
     let seed: u64 = args.parsed_or("seed", 42)?;
     let dataset = match name {
         "lastfm" => oipa_datasets::lastfm_like(scale, seed),
         "dblp" => oipa_datasets::dblp_like(scale, seed),
         "tweet" => oipa_datasets::tweet_like(scale, seed),
-        other => return Err(CliError(format!("unknown dataset {other:?}"))),
+        other => {
+            return Err(OipaError::InvalidConfig {
+                what: format!("unknown dataset {other:?} (lastfm|dblp|tweet)"),
+            })
+        }
     };
     let out_graph = args.required("out-graph")?;
     let out_probs = args.required("out-probs")?;
     graph_io::write_graph_file(&dataset.graph, out_graph)
-        .map_err(|e| CliError(format!("writing graph: {e}")))?;
+        .map_err(|e| io_err("writing graph", out_graph, e))?;
     probs_io::write_table_file(&dataset.table, out_probs)
-        .map_err(|e| CliError(format!("writing probabilities: {e}")))?;
+        .map_err(|e| io_err("writing probabilities", out_probs, e))?;
     let s = dataset.stats();
     Ok(format!(
         "generated {name} ({scale_str}): {} nodes, {} edges, {} topics -> {out_graph}, {out_probs}",
@@ -101,13 +159,13 @@ fn cmd_generate(args: &ParsedArgs) -> Result<String, CliError> {
     ))
 }
 
-fn cmd_import(args: &ParsedArgs) -> Result<String, CliError> {
+fn cmd_import(args: &ParsedArgs) -> Result<String, OipaError> {
     let edges_path = args.required("edges")?;
     let graph = oipa_graph::io::read_edge_list_file(edges_path, oipa_graph::DedupPolicy::Simple)
-        .map_err(|e| CliError(format!("reading edge list {edges_path}: {e}")))?;
+        .map_err(|e| io_err("reading edge list", edges_path, e))?;
     let out_graph = args.required("out-graph")?;
     graph_io::write_graph_file(&graph, out_graph)
-        .map_err(|e| CliError(format!("writing graph: {e}")))?;
+        .map_err(|e| io_err("writing graph", out_graph, e))?;
     let mut report = format!(
         "imported {} nodes, {} edges -> {out_graph}",
         graph.node_count(),
@@ -131,13 +189,13 @@ fn cmd_import(args: &ParsedArgs) -> Result<String, CliError> {
             },
         );
         probs_io::write_table_file(&table, out_probs)
-            .map_err(|e| CliError(format!("writing probabilities: {e}")))?;
+            .map_err(|e| io_err("writing probabilities", out_probs, e))?;
         write!(report, "; synthesized {topics}-topic table -> {out_probs}").expect("string write");
     }
     Ok(report)
 }
 
-fn cmd_stats(args: &ParsedArgs) -> Result<String, CliError> {
+fn cmd_stats(args: &ParsedArgs) -> Result<String, OipaError> {
     let graph = load_graph(args.required("graph")?)?;
     let s = oipa_graph::stats::graph_stats(&graph);
     let mut out = format!(
@@ -163,7 +221,7 @@ fn cmd_stats(args: &ParsedArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn cmd_sample(args: &ParsedArgs) -> Result<String, CliError> {
+fn cmd_sample(args: &ParsedArgs) -> Result<String, OipaError> {
     let graph = load_graph(args.required("graph")?)?;
     let table = load_probs(args.required("probs")?, &graph)?;
     let ell: usize = args.parsed_or("ell", 3)?;
@@ -171,19 +229,21 @@ fn cmd_sample(args: &ParsedArgs) -> Result<String, CliError> {
     let seed: u64 = args.parsed_or("seed", 42)?;
     let threads: usize = args.parsed_or(
         "threads",
-        std::thread::available_parallelism().map_or(4, |n| n.get()),
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
     )?;
     if ell == 0 {
-        return Err(CliError("--ell must be at least 1".into()));
+        return Err(OipaError::config("--ell must be at least 1"));
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let campaign = Campaign::sample_one_hot(&mut rng, table.topic_count(), ell);
     let start = std::time::Instant::now();
-    let pool = MrrPool::generate_parallel(&graph, &table, &campaign, theta, seed, threads);
+    let pool = MrrPool::try_generate_parallel(&graph, &table, &campaign, theta, seed, threads)
+        .map_err(|e| OipaError::Mismatch {
+            what: e.to_string(),
+        })?;
     let sample_time = start.elapsed();
     let out_pool = args.required("out-pool")?;
-    pool_io::write_pool_file(&pool, out_pool)
-        .map_err(|e| CliError(format!("writing pool: {e}")))?;
+    pool_io::write_pool_file(&pool, out_pool).map_err(|e| io_err("writing pool", out_pool, e))?;
     let out_campaign = args.required("out-campaign")?;
     save_json(&campaign, out_campaign, "campaign")?;
     Ok(format!(
@@ -193,161 +253,236 @@ fn cmd_sample(args: &ParsedArgs) -> Result<String, CliError> {
     ))
 }
 
-/// JSON report emitted by `solve`.
-#[derive(Debug, Serialize)]
-struct SolveReport {
-    method: String,
-    k: usize,
-    utility: f64,
-    upper_bound: Option<f64>,
-    plan: oipa_core::AssignmentPlan,
-    seconds: f64,
+/// Builds the request the `solve` flag set describes.
+fn request_from_flags(args: &ParsedArgs, method: Method) -> Result<SolveRequest, OipaError> {
+    let mut request = SolveRequest::new(method, args.parsed_or("k", 10)?);
+    request.ratio = Some(args.parsed_or("ratio", 0.5)?);
+    request.eps = Some(args.parsed_or("eps", 0.5)?);
+    request.gap = args.parsed("gap")?;
+    request.promoter_fraction = Some(args.parsed_or("promoter-fraction", 0.1)?);
+    request.max_nodes = Some(args.parsed_or("max-nodes", 64)?);
+    request.seed = Some(args.parsed_or("seed", 42)?);
+    request.theta = args.parsed("theta")?;
+    Ok(request)
 }
 
-fn cmd_solve(args: &ParsedArgs) -> Result<String, CliError> {
-    let pool = pool_io::read_pool_file(args.required("pool")?)
-        .map_err(|e| CliError(format!("reading pool: {e}")))?;
-    let method = args.optional("method").unwrap_or("bab-p");
-    let k: usize = args.parsed_or("k", 10)?;
-    let ratio: f64 = args.parsed_or("ratio", 0.5)?;
-    let eps: f64 = args.parsed_or("eps", 0.5)?;
-    let fraction: f64 = args.parsed_or("promoter-fraction", 0.1)?;
-    let max_nodes: usize = args.parsed_or("max-nodes", 64)?;
-    let seed: u64 = args.parsed_or("seed", 42)?;
-    if !(0.0..=1.0).contains(&fraction) || fraction <= 0.0 {
-        return Err(CliError("--promoter-fraction must be in (0, 1]".into()));
+fn cmd_solve(args: &ParsedArgs) -> Result<String, OipaError> {
+    let method = Method::parse(args.optional("method").unwrap_or("bab-p"))?;
+    let pool = load_pool(args.required("pool")?)?;
+    let mut service = PlannerService::from_pool(pool);
+    if method == Method::Im {
+        // The topic-oblivious baseline samples a collapsed-probability RR
+        // pool, which needs the graph and table.
+        let graph = load_graph(args.required("graph")?)?;
+        let table = load_probs(args.required("probs")?, &graph)?;
+        service.attach_graph(graph, table)?;
     }
-    let model = LogisticAdoption::from_ratio(ratio);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let promoters = OipaInstance::sample_promoters(&mut rng, pool.node_count(), fraction);
-    let start = std::time::Instant::now();
-    let (plan, utility, upper) = match method {
-        "bab" | "plain" | "bab-p" => {
-            let instance = OipaInstance::new(&pool, model, promoters, k);
-            let config = match method {
-                "bab" => BabConfig {
-                    max_nodes: Some(max_nodes),
-                    ..BabConfig::bab()
-                },
-                "plain" => BabConfig {
-                    max_nodes: Some(max_nodes),
-                    method: oipa_core::BoundMethod::PlainGreedy,
-                    ..BabConfig::bab()
-                },
-                _ => BabConfig {
-                    max_nodes: Some(max_nodes),
-                    ..BabConfig::bab_p(eps)
-                },
-            };
-            let sol = BranchAndBound::new(&instance, config).solve();
-            (sol.plan, sol.utility, Some(sol.upper_bound))
-        }
-        "greedy" => {
-            // The tractable-relaxation heuristic (§VII).
-            let (plan, utility) =
-                oipa_core::relaxed::envelope_heuristic(&pool, model, &promoters, k);
-            (plan, utility, None)
-        }
-        "tim" => {
-            let mut est = AuEstimator::new(&pool, model);
-            let r = tim_baseline(&pool, &mut est, &promoters, k);
-            (r.plan, r.utility, None)
-        }
-        "im" => {
-            // The topic-oblivious baseline needs the graph to build its
-            // collapsed-probability RR pool.
-            let graph = load_graph(args.required("graph")?)?;
-            let table = load_probs(args.required("probs")?, &graph)?;
-            let theta: usize = args.parsed_or("theta", pool.theta())?;
-            let (plan, utility) =
-                im_end_to_end(&graph, &table, &pool, model, &promoters, k, theta, seed);
-            (plan, utility, None)
-        }
-        other => return Err(CliError(format!("unknown method {other:?}"))),
-    };
-    let seconds = start.elapsed().as_secs_f64();
-    let report = SolveReport {
-        method: method.to_string(),
-        k,
-        utility,
-        upper_bound: upper,
-        plan,
-        seconds,
-    };
+    let request = request_from_flags(args, method)?;
+    let response = service.solve(&request)?;
     if let Some(out) = args.optional("out-plan") {
-        save_json(&report, out, "plan")?;
+        save_json(&response, out, "plan")?;
     }
-    serde_json::to_string_pretty(&report).map_err(|e| CliError(format!("report: {e}")))
+    serde_json::to_string_pretty(&response).map_err(|e| OipaError::Io {
+        what: "serializing the solve report".to_string(),
+        detail: e.to_string(),
+    })
 }
 
-fn cmd_simulate(args: &ParsedArgs) -> Result<String, CliError> {
+fn cmd_simulate(args: &ParsedArgs) -> Result<String, OipaError> {
     let graph = load_graph(args.required("graph")?)?;
     let table = load_probs(args.required("probs")?, &graph)?;
+    let service = PlannerService::new(graph, table)?;
     let campaign: Campaign = load_json(args.required("campaign")?, "campaign")?;
     // Accept either a bare plan or a solve report containing one.
     let plan: oipa_core::AssignmentPlan = {
         let path = args.required("plan")?;
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| CliError(format!("reading plan {path}: {e}")))?;
-        if let Ok(report) = serde_json::from_str::<serde_json::Value>(&text) {
-            if let Some(inner) = report.get("plan") {
-                serde_json::from_value(inner.clone())
-                    .map_err(|e| CliError(format!("parsing plan: {e}")))?
-            } else {
-                serde_json::from_str(&text).map_err(|e| CliError(format!("parsing plan: {e}")))?
-            }
-        } else {
-            return Err(CliError("plan file is not JSON".into()));
-        }
+        let text = std::fs::read_to_string(path).map_err(|e| io_err("reading plan", path, e))?;
+        let value: serde_json::Value =
+            serde_json::from_str(&text).map_err(|_| OipaError::InvalidConfig {
+                what: format!("plan file {path} is not JSON"),
+            })?;
+        let inner = value.get("plan").cloned().unwrap_or(value);
+        serde_json::from_value(inner).map_err(|e| OipaError::InvalidConfig {
+            what: format!("parsing plan {path}: {e}"),
+        })?
     };
-    if plan.ell() != campaign.len() {
-        return Err(CliError(format!(
-            "plan has {} pieces but campaign has {}",
-            plan.ell(),
-            campaign.len()
-        )));
-    }
-    let ratio: f64 = args.parsed_or("ratio", 0.5)?;
-    let runs: usize = args.parsed_or("runs", 500)?;
-    let seed: u64 = args.parsed_or("seed", 42)?;
-    let model = LogisticAdoption::from_ratio(ratio);
-    let utility = simulate::simulate_adoption(
-        &mut StdRng::seed_from_u64(seed),
-        &graph,
-        &table,
-        &campaign,
-        &plan.to_vecs(),
-        model,
-        runs,
-    );
+    let request = SimulateRequest {
+        plan,
+        campaign,
+        ratio: Some(args.parsed_or("ratio", 0.5)?),
+        alpha: None,
+        beta: None,
+        runs: Some(args.parsed_or("runs", 500)?),
+        seed: Some(args.parsed_or("seed", 42)?),
+    };
+    let response = service.simulate(&request)?;
     Ok(format!(
-        "simulated adoption utility over {runs} runs: {utility:.3} users"
+        "simulated adoption utility over {} runs: {:.3} users",
+        response.runs, response.utility
     ))
 }
 
-/// Runs the IM baseline end to end (needs graph + pool).
-#[allow(clippy::too_many_arguments)]
-fn im_end_to_end(
-    graph: &DiGraph,
-    table: &EdgeTopicProbs,
-    pool: &MrrPool,
-    model: LogisticAdoption,
-    promoters: &[u32],
-    k: usize,
-    theta: usize,
-    seed: u64,
-) -> (oipa_core::AssignmentPlan, f64) {
-    let flat = collapsed_pool(graph, table, theta, seed);
-    let mut est = AuEstimator::new(pool, model);
-    let r = im_baseline(&flat, pool, &mut est, promoters, k);
-    (r.plan, r.utility)
+/// `oipa-cli batch` — streams JSONL [`SolveRequest`]s through **one**
+/// service session, amortizing the pool arena across the whole file.
+///
+/// Each input line produces one output line: the [`SolveResponse`] JSON,
+/// or `{"line": N, "error": "..."}` for requests that fail (the batch
+/// continues). With `--out FILE` the response lines go to the file and
+/// the report carries only the summary; otherwise the report itself is
+/// the JSONL stream followed by a `#`-prefixed summary line.
+fn cmd_batch(args: &ParsedArgs) -> Result<String, OipaError> {
+    let requests_path = args.required("requests")?;
+    let mut service = match args.optional("pool") {
+        Some(pool_path) => {
+            let mut service = PlannerService::from_pool(load_pool(pool_path)?);
+            match (args.optional("graph"), args.optional("probs")) {
+                (Some(g), Some(p)) => {
+                    let graph = load_graph(g)?;
+                    let table = load_probs(p, &graph)?;
+                    service.attach_graph(graph, table)?;
+                }
+                (None, None) => {}
+                _ => {
+                    return Err(OipaError::config(
+                        "--graph and --probs must be given together",
+                    ))
+                }
+            }
+            service
+        }
+        None => {
+            let graph = load_graph(args.required("graph")?)?;
+            let table = load_probs(args.required("probs")?, &graph)?;
+            PlannerService::new(graph, table)?
+        }
+    };
+    let text = std::fs::read_to_string(requests_path)
+        .map_err(|e| io_err("reading requests", requests_path, e))?;
+    let check = args.parsed_or("check", false)?;
+
+    let start = std::time::Instant::now();
+    let mut lines_out: Vec<String> = Vec::new();
+    let mut responses: Vec<(usize, SolveRequest, SolveResponse)> = Vec::new();
+    let mut ok = 0usize;
+    let mut failed = 0usize;
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let lineno = idx + 1;
+        let outcome: Result<SolveResponse, OipaError> = serde_json::from_str::<SolveRequest>(line)
+            .map_err(|e| OipaError::InvalidConfig {
+                what: format!("parsing request: {e}"),
+            })
+            .and_then(|request| {
+                let response = service.solve(&request)?;
+                if check {
+                    // Retained only for the post-hoc agreement check.
+                    responses.push((lineno, request, response.clone()));
+                }
+                Ok(response)
+            });
+        match outcome {
+            Ok(response) => {
+                ok += 1;
+                lines_out.push(serde_json::to_string(&response).map_err(|e| OipaError::Io {
+                    what: "serializing a response".to_string(),
+                    detail: e.to_string(),
+                })?);
+            }
+            Err(e) => {
+                failed += 1;
+                lines_out.push(format!(
+                    "{{\"line\": {lineno}, \"error\": {}}}",
+                    serde_json::to_string(&e.to_string()).expect("string serializes")
+                ));
+            }
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    if check {
+        batch_check(&responses, failed)?;
+    }
+
+    let stats = service.arena_stats();
+    let total = ok + failed;
+    let summary = format!(
+        "# batch: {total} requests, {ok} ok, {failed} failed in {elapsed:.2}s \
+         ({:.2} req/s); arena: {} pools, {} hits, {} misses{}",
+        total as f64 / elapsed.max(1e-9),
+        stats.entries,
+        stats.hits,
+        stats.misses,
+        if check { "; check passed" } else { "" }
+    );
+    match args.optional("out") {
+        Some(out) => {
+            let mut body = lines_out.join("\n");
+            body.push('\n');
+            std::fs::write(out, body).map_err(|e| io_err("writing responses", out, e))?;
+            Ok(format!("wrote {total} response lines -> {out}\n{summary}"))
+        }
+        None => {
+            lines_out.push(summary);
+            Ok(lines_out.join("\n"))
+        }
+    }
+}
+
+/// `--check` invariants: no failed request, and every `bab`/`greedy`
+/// request pair that differs only in the method must agree on the plan
+/// (the agreement gate the CI batch fixture asserts).
+///
+/// Requests are grouped by their method-erased JSON rendering, so the
+/// comparison is linear in the batch size.
+fn batch_check(
+    responses: &[(usize, SolveRequest, SolveResponse)],
+    failed: usize,
+) -> Result<(), OipaError> {
+    if failed > 0 {
+        return Err(OipaError::Mismatch {
+            what: format!("--check: {failed} request(s) failed"),
+        });
+    }
+    let mut groups: HashMap<String, Vec<(usize, Method, &oipa_core::AssignmentPlan)>> =
+        HashMap::new();
+    for (lineno, request, response) in responses {
+        if !matches!(request.method, Method::Bab | Method::Greedy) {
+            continue;
+        }
+        let mut erased = request.clone();
+        erased.method = Method::Bab;
+        let key = serde_json::to_string(&erased).map_err(|e| OipaError::Io {
+            what: "serializing a request key".to_string(),
+            detail: e.to_string(),
+        })?;
+        groups
+            .entry(key)
+            .or_default()
+            .push((*lineno, request.method, &response.plan));
+    }
+    for group in groups.values() {
+        let bab = group.iter().find(|(_, m, _)| *m == Method::Bab);
+        let greedy = group.iter().find(|(_, m, _)| *m == Method::Greedy);
+        if let (Some((line_a, _, plan_a)), Some((line_b, _, plan_b))) = (bab, greedy) {
+            if plan_a != plan_b {
+                return Err(OipaError::Mismatch {
+                    what: format!(
+                        "--check: lines {line_a} and {line_b} (bab vs greedy) disagree on the plan"
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn run_words(words: &[&str]) -> Result<String, CliError> {
+    fn run_words(words: &[&str]) -> Result<String, OipaError> {
         let parsed =
             ParsedArgs::parse(words.iter().map(|s| s.to_string()).collect()).expect("parseable");
         run(&parsed)
@@ -427,6 +562,7 @@ mod tests {
         ])
         .unwrap();
         assert!(report.contains("\"utility\""));
+        assert!(report.contains("\"pool_cache_hit\": true"), "{report}");
 
         let report = run_words(&[
             "simulate",
@@ -475,7 +611,7 @@ mod tests {
     }
 
     #[test]
-    fn solve_greedy_and_tim_methods() {
+    fn solve_all_registry_methods() {
         let g = tmp("m.graph");
         let p = tmp("m.probs");
         let pool = tmp("m.pool");
@@ -537,6 +673,158 @@ mod tests {
     }
 
     #[test]
+    fn batch_streams_jsonl_through_one_session() {
+        let g = tmp("b.graph");
+        let p = tmp("b.probs");
+        let requests = tmp("b.requests.jsonl");
+        let out = tmp("b.responses.jsonl");
+        run_words(&[
+            "generate",
+            "--dataset",
+            "lastfm",
+            "--scale",
+            "tiny",
+            "--seed",
+            "4",
+            "--out-graph",
+            &g,
+            "--out-probs",
+            &p,
+        ])
+        .unwrap();
+        // Three requests sharing one pool key (amortized), one distinct,
+        // one malformed (the batch must continue past it).
+        let body = r#"# seeded batch fixture
+{"method":"bab","budget":2,"ell":2,"theta":3000,"seed":5,"promoter_fraction":0.4,"max_nodes":8}
+{"method":"greedy","budget":2,"ell":2,"theta":3000,"seed":5,"promoter_fraction":0.4,"max_nodes":8}
+{"method":"tim","budget":2,"ell":2,"theta":3000,"seed":5,"promoter_fraction":0.4,"max_nodes":8}
+{"method":"warp","budget":2}
+{"method":"bab","budget":2,"ell":2,"theta":2000,"seed":5,"promoter_fraction":0.4,"max_nodes":8}
+"#;
+        std::fs::write(&requests, body).unwrap();
+        let report = run_words(&[
+            "batch",
+            "--requests",
+            &requests,
+            "--graph",
+            &g,
+            "--probs",
+            &p,
+            "--out",
+            &out,
+        ])
+        .unwrap();
+        assert!(report.contains("5 requests, 4 ok, 1 failed"), "{report}");
+        assert!(report.contains("2 hits"), "one shared pool key: {report}");
+        let lines: Vec<String> = std::fs::read_to_string(&out)
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect();
+        assert_eq!(lines.len(), 5);
+        let first: SolveResponse = serde_json::from_str(&lines[0]).unwrap();
+        assert!(!first.pool_cache_hit);
+        let second: SolveResponse = serde_json::from_str(&lines[1]).unwrap();
+        assert!(second.pool_cache_hit, "second request reuses the pool");
+        assert!(lines[3].contains("\"error\""), "{}", lines[3]);
+
+        // A partial --graph/--probs pair is rejected, not ignored.
+        let err = run_words(&[
+            "batch",
+            "--requests",
+            &requests,
+            "--pool",
+            &tmp("nonexistent.pool"),
+            "--graph",
+            &g,
+        ])
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("given together") || err.to_string().contains("reading pool"),
+            "{err}"
+        );
+
+        // --check fails when any request failed…
+        let err = run_words(&[
+            "batch",
+            "--requests",
+            &requests,
+            "--graph",
+            &g,
+            "--probs",
+            &p,
+            "--check",
+            "true",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("failed"), "{err}");
+
+        // …and passes on a clean fixture where bab and greedy agree.
+        let clean = tmp("b.clean.jsonl");
+        std::fs::write(
+            &clean,
+            r#"{"method":"bab","budget":2,"ell":2,"theta":3000,"seed":5,"promoter_fraction":0.4,"max_nodes":8}
+{"method":"greedy","budget":2,"ell":2,"theta":3000,"seed":5,"promoter_fraction":0.4,"max_nodes":8}
+"#,
+        )
+        .unwrap();
+        let report = run_words(&[
+            "batch",
+            "--requests",
+            &clean,
+            "--graph",
+            &g,
+            "--probs",
+            &p,
+            "--check",
+            "true",
+        ])
+        .unwrap();
+        assert!(report.contains("check passed"), "{report}");
+    }
+
+    /// The checked-in CI fixture must keep passing `--check` end to end
+    /// (all 10 requests solve, bab/greedy pairs agree, pools amortize).
+    #[test]
+    fn checked_in_batch_fixture_passes_check() {
+        let g = tmp("fix.graph");
+        let p = tmp("fix.probs");
+        run_words(&[
+            "generate",
+            "--dataset",
+            "lastfm",
+            "--scale",
+            "tiny",
+            "--seed",
+            "7",
+            "--out-graph",
+            &g,
+            "--out-probs",
+            &p,
+        ])
+        .unwrap();
+        let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/batch10.jsonl");
+        let report = run_words(&[
+            "batch",
+            "--requests",
+            fixture,
+            "--graph",
+            &g,
+            "--probs",
+            &p,
+            "--check",
+            "true",
+        ])
+        .unwrap();
+        assert!(report.contains("10 requests, 10 ok, 0 failed"), "{report}");
+        assert!(report.contains("check passed"), "{report}");
+        assert!(
+            report.contains("8 hits"),
+            "pool amortization broke: {report}"
+        );
+    }
+
+    #[test]
     fn bench_solver_smoke() {
         let out = tmp("bench_solver.json");
         let report = run_words(&["bench", "solver", "--smoke", "true", "--out", &out]).unwrap();
@@ -546,18 +834,35 @@ mod tests {
         assert!(text.contains("oipa.bench.solver/v1"));
         // Unknown suites are rejected with the available list.
         let err = run_words(&["bench", "nope"]).unwrap_err();
-        assert!(err.0.contains("available: solver"));
+        assert!(err.to_string().contains("available: solver, service"));
     }
 
     #[test]
-    fn helpful_errors() {
-        assert!(run_words(&["stats"]).unwrap_err().0.contains("--graph"));
-        assert!(run_words(&["solve", "--pool", "/nonexistent.pool"])
-            .unwrap_err()
-            .0
-            .contains("reading pool"));
-        let p = ParsedArgs::parse(vec!["solve".into(), "--method".into(), "magic".into()]);
-        assert!(p.is_ok()); // parse ok, run fails
+    fn bench_service_smoke() {
+        let out = tmp("bench_service.json");
+        let report = run_words(&["bench", "service", "--smoke", "true", "--out", &out]).unwrap();
+        assert!(report.contains("warm"), "{report}");
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.contains("oipa.bench.service/v1"));
+    }
+
+    #[test]
+    fn helpful_errors_and_exit_codes() {
+        let missing_flag = run_words(&["stats"]).unwrap_err();
+        assert!(missing_flag.to_string().contains("--graph"));
+        assert_eq!(missing_flag.exit_code(), 2, "user error exits 2");
+
+        let io = run_words(&["solve", "--pool", "/nonexistent.pool"]).unwrap_err();
+        assert!(io.to_string().contains("reading pool"));
+        assert_eq!(io.exit_code(), 1, "environment error exits 1");
+
+        let method =
+            run_words(&["solve", "--pool", "/nonexistent.pool", "--method", "magic"]).unwrap_err();
+        assert!(
+            method.to_string().contains("registered solvers"),
+            "{method}"
+        );
+        assert_eq!(method.exit_code(), 2);
     }
 
     #[test]
@@ -601,6 +906,7 @@ mod tests {
             &plan,
         ])
         .unwrap_err();
-        assert!(err.0.contains("pieces"));
+        assert!(err.to_string().contains("pieces"));
+        assert_eq!(err.exit_code(), 2);
     }
 }

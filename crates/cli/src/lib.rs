@@ -13,11 +13,22 @@
 //!                   --out-plan plan.json
 //! oipa-cli simulate --graph g.bin --probs p.bin --campaign campaign.json \
 //!                   --plan plan.json --ratio 0.5 --runs 500
+//! oipa-cli batch    --requests requests.jsonl --graph g.bin --probs p.bin \
+//!                   --out responses.jsonl
 //! ```
+//!
+//! `solve`, `simulate`, and `batch` run through the `PlannerService`
+//! session engine (`oipa-service`): `batch` in particular streams JSONL
+//! requests through one session, so its pool arena amortizes MRR sampling
+//! across every request sharing a (campaign, θ, seed) key.
 //!
 //! All commands are pure functions over files plus a seed, so a pipeline
 //! is reproducible end to end. The library half (`run`) is unit-testable;
 //! `main.rs` is a thin shim.
+//!
+//! Exit codes: `0` success, `2` user error (bad flags or request fields,
+//! with a "did you mean" hint for typo'd flags), `1` environment (I/O)
+//! failure.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -28,8 +39,9 @@ mod opts;
 pub use commands::run;
 pub use opts::{CliError, ParsedArgs};
 
-/// Entry point used by the binary: parses, runs, prints, exits non-zero on
-/// error.
+/// Entry point used by the binary: parses, runs, prints. Returns the
+/// process exit code: `0` on success, `2` for user errors, `1` for
+/// environment failures (see [`oipa_core::OipaError::exit_code`]).
 pub fn main_with_args(args: Vec<String>) -> i32 {
     match opts::ParsedArgs::parse(args) {
         Ok(parsed) => match commands::run(&parsed) {
@@ -39,7 +51,7 @@ pub fn main_with_args(args: Vec<String>) -> i32 {
             }
             Err(e) => {
                 eprintln!("error: {e}");
-                1
+                e.exit_code()
             }
         },
         Err(e) => {

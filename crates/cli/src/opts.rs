@@ -1,4 +1,8 @@
 //! Flag parsing for the CLI (no external argument-parsing crate).
+//!
+//! Every command declares its flag set in [`COMMANDS`]; unknown flags are
+//! rejected at parse time with a "did you mean" hint, so typos like
+//! `--thread` or `--thета` fail loudly instead of being silently ignored.
 
 use std::collections::BTreeMap;
 
@@ -14,12 +18,101 @@ commands:
   stats     --graph FILE [--probs FILE]
   sample    --graph FILE --probs FILE --ell N [--theta N] [--seed N]
             [--threads N] --out-pool FILE --out-campaign FILE
-  solve     --pool FILE [--method bab|bab-p|plain|greedy|im|tim]
-            [--k N] [--ratio F] [--eps F] [--promoter-fraction F]
+  solve     --pool FILE [--method bab|bab-p|plain|greedy|brute|im|tim]
+            [--k N] [--ratio F] [--eps F] [--gap F] [--promoter-fraction F]
             [--max-nodes N] [--seed N] [--out-plan FILE]
+            [--graph FILE --probs FILE --theta N]   (im baseline inputs)
   simulate  --graph FILE --probs FILE --campaign FILE --plan FILE
             [--ratio F] [--runs N] [--seed N]
-  bench     solver [--smoke true] [--seed N] [--out FILE]";
+  batch     --requests FILE (--graph FILE --probs FILE | --pool FILE)
+            [--out FILE] [--check true]
+  bench     solver|service [--smoke true] [--seed N] [--out FILE]";
+
+/// One command's grammar: its name, whether it takes a positional
+/// subject, and the flags it accepts.
+struct CommandSpec {
+    name: &'static str,
+    takes_positional: bool,
+    flags: &'static [&'static str],
+}
+
+/// The complete CLI grammar. `ParsedArgs::parse` validates against this,
+/// so adding a flag to a command means adding it here.
+const COMMANDS: &[CommandSpec] = &[
+    CommandSpec {
+        name: "generate",
+        takes_positional: false,
+        flags: &["dataset", "scale", "seed", "out-graph", "out-probs"],
+    },
+    CommandSpec {
+        name: "import",
+        takes_positional: false,
+        flags: &[
+            "edges",
+            "out-graph",
+            "topics",
+            "avg-support",
+            "max-prob",
+            "seed",
+            "out-probs",
+        ],
+    },
+    CommandSpec {
+        name: "stats",
+        takes_positional: false,
+        flags: &["graph", "probs"],
+    },
+    CommandSpec {
+        name: "sample",
+        takes_positional: false,
+        flags: &[
+            "graph",
+            "probs",
+            "ell",
+            "theta",
+            "seed",
+            "threads",
+            "out-pool",
+            "out-campaign",
+        ],
+    },
+    CommandSpec {
+        name: "solve",
+        takes_positional: false,
+        flags: &[
+            "pool",
+            "method",
+            "k",
+            "ratio",
+            "eps",
+            "gap",
+            "promoter-fraction",
+            "max-nodes",
+            "seed",
+            "out-plan",
+            "graph",
+            "probs",
+            "theta",
+        ],
+    },
+    CommandSpec {
+        name: "simulate",
+        takes_positional: false,
+        flags: &[
+            "graph", "probs", "campaign", "plan", "ratio", "runs", "seed",
+        ],
+    },
+    CommandSpec {
+        name: "batch",
+        takes_positional: false,
+        flags: &["requests", "graph", "probs", "pool", "out", "check"],
+    },
+    CommandSpec {
+        name: "bench",
+        takes_positional: true,
+        flags: &["smoke", "seed", "out"],
+    },
+];
 
 /// A parse/validation error.
 #[derive(Debug)]
@@ -45,6 +138,38 @@ impl From<&str> for CliError {
     }
 }
 
+/// Levenshtein edit distance, for "did you mean" hints.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The closest candidate within an edit distance of 2, if any.
+fn suggest<'c>(got: &str, candidates: impl Iterator<Item = &'c str>) -> Option<&'c str> {
+    candidates
+        .map(|c| (edit_distance(got, c), c))
+        .filter(|&(d, _)| d <= 2)
+        .min_by_key(|&(d, _)| d)
+        .map(|(_, c)| c)
+}
+
+fn hint(got: &str, candidates: &[&'static str]) -> String {
+    match suggest(got, candidates.iter().copied()) {
+        Some(s) => format!(" (did you mean --{s}?)"),
+        None => String::new(),
+    }
+}
+
 /// Parsed command plus `--flag value` map.
 #[derive(Debug, Clone)]
 pub struct ParsedArgs {
@@ -57,19 +182,22 @@ pub struct ParsedArgs {
 }
 
 impl ParsedArgs {
-    /// Parses raw arguments (without `argv(0)`).
+    /// Parses raw arguments (without `argv(0)`), validating flags against
+    /// the command's declared set.
     pub fn parse(args: Vec<String>) -> Result<ParsedArgs, CliError> {
         let mut it = args.into_iter().peekable();
         let command = it
             .next()
             .ok_or_else(|| CliError("missing command".to_string()))?;
-        if !matches!(
-            command.as_str(),
-            "generate" | "import" | "stats" | "sample" | "solve" | "simulate" | "bench"
-        ) {
-            return Err(CliError(format!("unknown command {command:?}")));
-        }
-        let positional = if command == "bench" {
+        let Some(spec) = COMMANDS.iter().find(|s| s.name == command) else {
+            let names: Vec<&str> = COMMANDS.iter().map(|s| s.name).collect();
+            let hint = match suggest(&command, names.iter().copied()) {
+                Some(s) => format!(" (did you mean {s}?)"),
+                None => String::new(),
+            };
+            return Err(CliError(format!("unknown command {command:?}{hint}")));
+        };
+        let positional = if spec.takes_positional {
             match it.peek() {
                 Some(word) if !word.starts_with("--") => it.next(),
                 _ => None,
@@ -82,6 +210,12 @@ impl ParsedArgs {
             let Some(name) = flag.strip_prefix("--") else {
                 return Err(CliError(format!("expected --flag, got {flag:?}")));
             };
+            if !spec.flags.contains(&name) {
+                return Err(CliError(format!(
+                    "unknown flag --{name} for {command}{}",
+                    hint(name, spec.flags)
+                )));
+            }
             let value = it
                 .next()
                 .ok_or_else(|| CliError(format!("--{name} needs a value")))?;
@@ -107,14 +241,20 @@ impl ParsedArgs {
         self.flags.get(name).map(|s| s.as_str())
     }
 
-    /// An optional parsed flag with a default.
-    pub fn parsed_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+    /// An optional parsed flag (`None` when absent).
+    pub fn parsed<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, CliError> {
         match self.flags.get(name) {
-            None => Ok(default),
+            None => Ok(None),
             Some(raw) => raw
                 .parse()
+                .map(Some)
                 .map_err(|_| CliError(format!("bad value for --{name}: {raw:?}"))),
         }
+    }
+
+    /// An optional parsed flag with a default.
+    pub fn parsed_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        Ok(self.parsed(name)?.unwrap_or(default))
     }
 }
 
@@ -139,6 +279,21 @@ mod tests {
     #[test]
     fn rejects_unknown_command() {
         assert!(ParsedArgs::parse(args(&["frobnicate"])).is_err());
+        let e = ParsedArgs::parse(args(&["solv"])).unwrap_err();
+        assert!(e.0.contains("did you mean solve?"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_flag_with_hint() {
+        let e = ParsedArgs::parse(args(&["solve", "--thета", "4000"])).unwrap_err();
+        assert!(e.0.contains("unknown flag"), "{e}");
+        let e = ParsedArgs::parse(args(&["sample", "--thread", "4"])).unwrap_err();
+        assert!(e.0.contains("did you mean --threads?"), "{e}");
+        let e = ParsedArgs::parse(args(&["solve", "--methd", "bab"])).unwrap_err();
+        assert!(e.0.contains("did you mean --method?"), "{e}");
+        // A flag valid for another command is still unknown here.
+        let e = ParsedArgs::parse(args(&["stats", "--pool", "x.bin"])).unwrap_err();
+        assert!(e.0.contains("unknown flag --pool for stats"), "{e}");
     }
 
     #[test]
@@ -162,5 +317,13 @@ mod tests {
     fn bad_number_reported() {
         let p = ParsedArgs::parse(args(&["solve", "--k", "banana"])).unwrap();
         assert!(p.parsed_or("k", 1usize).is_err());
+    }
+
+    #[test]
+    fn edit_distance_sanity() {
+        assert_eq!(edit_distance("theta", "theta"), 0);
+        assert_eq!(edit_distance("thread", "threads"), 1);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert!(suggest("zzzzzz", ["theta", "seed"].into_iter()).is_none());
     }
 }

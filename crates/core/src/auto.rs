@@ -13,7 +13,7 @@
 
 use crate::bab::{BabConfig, BranchAndBound};
 use crate::estimator::AuEstimator;
-use crate::{OipaInstance, Solution};
+use crate::{OipaError, OipaInstance, Solution};
 use oipa_graph::{DiGraph, NodeId};
 use oipa_sampler::MrrPool;
 use oipa_topics::{Campaign, EdgeTopicProbs, LogisticAdoption};
@@ -42,9 +42,37 @@ impl Default for AutoThetaConfig {
             max_theta: 1_000_000,
             rel_tol: 0.02,
             seed: 42,
-            threads: 4,
+            // Match the machine instead of hard-coding a count: a fixed 4
+            // oversubscribes small containers (this repo's CI runs on one
+            // core) and under-uses large hosts.
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             bab: BabConfig::bab_p(0.5),
         }
+    }
+}
+
+impl AutoThetaConfig {
+    /// Checks the configuration's documented domain.
+    pub fn validate(&self) -> Result<(), OipaError> {
+        if self.initial_theta < 100 {
+            return Err(OipaError::config(format!(
+                "auto-θ needs a non-trivial starting θ (≥ 100), got {}",
+                self.initial_theta
+            )));
+        }
+        if self.max_theta < self.initial_theta {
+            return Err(OipaError::config(format!(
+                "auto-θ ceiling {} is below the starting θ {}",
+                self.max_theta, self.initial_theta
+            )));
+        }
+        if self.rel_tol.is_nan() || self.rel_tol <= 0.0 {
+            return Err(OipaError::config(format!(
+                "auto-θ tolerance must be positive, got {}",
+                self.rel_tol
+            )));
+        }
+        self.bab.validate()
     }
 }
 
@@ -82,10 +110,8 @@ pub fn solve_auto_theta(
     promoters: &[NodeId],
     k: usize,
     config: AutoThetaConfig,
-) -> AutoThetaResult {
-    assert!(config.initial_theta >= 100, "need a non-trivial starting θ");
-    assert!(config.max_theta >= config.initial_theta);
-    assert!(config.rel_tol > 0.0);
+) -> Result<AutoThetaResult, OipaError> {
+    config.validate()?;
     let mut theta = config.initial_theta;
     let mut rounds = Vec::new();
     let mut round_idx = 0u64;
@@ -98,8 +124,8 @@ pub fn solve_auto_theta(
             config.seed ^ (round_idx << 1),
             config.threads,
         );
-        let instance = OipaInstance::new(&solve_pool, model, promoters.to_vec(), k);
-        let solution = BranchAndBound::new(&instance, config.bab).solve();
+        let instance = OipaInstance::new(&solve_pool, model, promoters.to_vec(), k)?;
+        let solution = BranchAndBound::try_new(&instance, config.bab)?.solve();
 
         // Fresh, larger validation pool with a disjoint seed stream.
         let fresh_pool = MrrPool::generate_parallel(
@@ -123,12 +149,12 @@ pub fn solve_auto_theta(
         if agreed || at_ceiling {
             let mut accepted = solution;
             accepted.utility = fresh; // report the unbiased estimate
-            return AutoThetaResult {
+            return Ok(AutoThetaResult {
                 solution: accepted,
                 theta,
                 converged: agreed,
                 rounds,
-            };
+            });
         }
         theta = (theta * 2).min(config.max_theta);
         round_idx += 1;
@@ -156,7 +182,8 @@ mod tests {
                 threads: 2,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert!(result.converged);
         assert_eq!(result.theta, 2_000, "Fig. 1 needs no refinement");
         assert_eq!(result.rounds.len(), 1);
@@ -186,7 +213,8 @@ mod tests {
                 threads: 2,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         // Either it needed more than one round or the ceiling stopped it;
         // both demonstrate the escalation path.
         assert!(result.rounds.len() > 1 || !result.converged);
@@ -214,7 +242,8 @@ mod tests {
                 threads: 1,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert!(result.theta <= 1_000);
         assert!(!result.rounds.is_empty());
     }

@@ -130,6 +130,32 @@ impl BabConfig {
             ..Self::default()
         }
     }
+
+    /// Checks every field against its documented domain, returning a typed
+    /// error instead of panicking (used by fallible entry points such as
+    /// [`BranchAndBound::try_new`] and the `PlannerService`).
+    pub fn validate(&self) -> Result<(), crate::OipaError> {
+        if let BoundMethod::Progressive { eps } = self.method {
+            if eps.is_nan() || eps <= 0.0 {
+                return Err(crate::OipaError::config(format!(
+                    "ε must be positive, got {eps}"
+                )));
+            }
+        }
+        if self.gap.is_nan() || self.gap < 0.0 {
+            return Err(crate::OipaError::config(format!(
+                "gap must be nonnegative, got {}",
+                self.gap
+            )));
+        }
+        if self.max_seed_slack.is_nan() || self.max_seed_slack < 1.0 {
+            return Err(crate::OipaError::config(format!(
+                "max_seed_slack must be ≥ 1, got {}",
+                self.max_seed_slack
+            )));
+        }
+        Ok(())
+    }
 }
 
 /// Search statistics.
@@ -329,7 +355,7 @@ impl<'s> SearchState<'s> {
 ///
 /// let (graph, table, campaign) = oipa_sampler::testkit::fig1();
 /// let pool = MrrPool::generate(&graph, &table, &campaign, 20_000, 42);
-/// let instance = OipaInstance::new(&pool, LogisticAdoption::example(), (0..5).collect(), 2);
+/// let instance = OipaInstance::new(&pool, LogisticAdoption::example(), (0..5).collect(), 2).unwrap();
 /// let solution = BranchAndBound::new(&instance, BabConfig::bab()).solve();
 /// assert_eq!(solution.plan.set(0), &[0]); // tax piece -> user a
 /// assert_eq!(solution.plan.set(1), &[4]); // healthcare piece -> user e
@@ -344,25 +370,31 @@ pub struct BranchAndBound<'a> {
 }
 
 impl<'a> BranchAndBound<'a> {
-    /// Creates a solver for an instance.
+    /// Creates a solver for an instance, panicking on an invalid
+    /// configuration. Use [`BranchAndBound::try_new`] to get a typed error
+    /// instead.
     pub fn new(instance: &'a OipaInstance<'a>, config: BabConfig) -> Self {
-        if let BoundMethod::Progressive { eps } = config.method {
-            assert!(eps > 0.0, "ε must be positive");
-        }
-        assert!(config.gap >= 0.0, "gap must be nonnegative");
-        assert!(config.max_seed_slack >= 1.0, "seed slack must be ≥ 1");
+        Self::try_new(instance, config).expect("invalid BabConfig")
+    }
+
+    /// Creates a solver for an instance, validating the configuration.
+    pub fn try_new(
+        instance: &'a OipaInstance<'a>,
+        config: BabConfig,
+    ) -> Result<Self, crate::OipaError> {
+        config.validate()?;
         let table = if config.refine_anchors {
             TangentTable::new(instance.model, instance.ell())
         } else {
             TangentTable::unrefined(instance.model, instance.ell())
         };
         let rho = table.diagonal_inflation();
-        BranchAndBound {
+        Ok(BranchAndBound {
             instance,
             config,
             table,
             rho,
-        }
+        })
     }
 
     /// Decides how the bound at a child-or-node state seeds its greedy,
@@ -724,7 +756,7 @@ mod tests {
     #[test]
     fn solves_fig1_exactly() {
         let (pool, model) = fig1_instance(80_000);
-        let instance = OipaInstance::new(&pool, model, vec![0, 1, 2, 3, 4], 2);
+        let instance = OipaInstance::new(&pool, model, vec![0, 1, 2, 3, 4], 2).unwrap();
         let mut solver = BranchAndBound::new(
             &instance,
             BabConfig {
@@ -742,7 +774,7 @@ mod tests {
     #[test]
     fn bab_p_matches_bab_on_fig1() {
         let (pool, model) = fig1_instance(60_000);
-        let instance = OipaInstance::new(&pool, model, vec![0, 1, 2, 3, 4], 2);
+        let instance = OipaInstance::new(&pool, model, vec![0, 1, 2, 3, 4], 2).unwrap();
         let bab = BranchAndBound::new(&instance, BabConfig::bab()).solve();
         let bab_p = BranchAndBound::new(&instance, BabConfig::bab_p(0.5)).solve();
         assert_eq!(bab.plan, bab_p.plan, "BAB-P diverged on a trivial instance");
@@ -752,7 +784,7 @@ mod tests {
     #[test]
     fn respects_budget() {
         let (pool, model) = fig1_instance(20_000);
-        let instance = OipaInstance::new(&pool, model, vec![0, 1, 2, 3, 4], 3);
+        let instance = OipaInstance::new(&pool, model, vec![0, 1, 2, 3, 4], 3).unwrap();
         let sol = BranchAndBound::new(&instance, BabConfig::bab()).solve();
         assert!(sol.plan.size() <= 3);
     }
@@ -761,7 +793,7 @@ mod tests {
     fn budget_larger_than_pool_terminates() {
         let (pool, model) = fig1_instance(10_000);
         // 2 pieces × 5 promoters = 10 possible assignments; ask for 10.
-        let instance = OipaInstance::new(&pool, model, vec![0, 1, 2, 3, 4], 10);
+        let instance = OipaInstance::new(&pool, model, vec![0, 1, 2, 3, 4], 10).unwrap();
         let sol = BranchAndBound::new(&instance, BabConfig::bab()).solve();
         assert!(sol.plan.size() <= 10);
         assert!(sol.utility > 0.0);
@@ -770,7 +802,7 @@ mod tests {
     #[test]
     fn node_cap_respected() {
         let (pool, model) = fig1_instance(10_000);
-        let instance = OipaInstance::new(&pool, model, vec![0, 1, 2, 3, 4], 4);
+        let instance = OipaInstance::new(&pool, model, vec![0, 1, 2, 3, 4], 4).unwrap();
         let mut solver = BranchAndBound::new(
             &instance,
             BabConfig {
@@ -789,7 +821,7 @@ mod tests {
         let (pool, model) = fig1_instance(40_000);
         let mut prev = 0.0;
         for k in 1..=4usize {
-            let instance = OipaInstance::new(&pool, model, vec![0, 1, 2, 3, 4], k);
+            let instance = OipaInstance::new(&pool, model, vec![0, 1, 2, 3, 4], k).unwrap();
             let sol = BranchAndBound::new(&instance, BabConfig::bab()).solve();
             assert!(
                 sol.utility + 1e-6 >= prev,
@@ -803,7 +835,7 @@ mod tests {
     #[test]
     fn stats_populated() {
         let (pool, model) = fig1_instance(10_000);
-        let instance = OipaInstance::new(&pool, model, vec![0, 1, 2, 3, 4], 2);
+        let instance = OipaInstance::new(&pool, model, vec![0, 1, 2, 3, 4], 2).unwrap();
         let sol = BranchAndBound::new(&instance, BabConfig::bab()).solve();
         assert!(sol.stats.bounds_computed >= 1);
         assert!(sol.stats.tau_evaluations > 0);
@@ -815,7 +847,7 @@ mod tests {
     #[test]
     fn engines_agree_on_fig1() {
         let (pool, model) = fig1_instance(30_000);
-        let instance = OipaInstance::new(&pool, model, vec![0, 1, 2, 3, 4], 3);
+        let instance = OipaInstance::new(&pool, model, vec![0, 1, 2, 3, 4], 3).unwrap();
         let reference = BranchAndBound::new(
             &instance,
             BabConfig {
@@ -859,7 +891,7 @@ mod tests {
         .unwrap();
         let pool = MrrPool::generate(&g, &table, &campaign, 40_000, 71);
         let instance =
-            OipaInstance::new(&pool, LogisticAdoption::example(), vec![0, 1, 2, 3, 4], 1);
+            OipaInstance::new(&pool, LogisticAdoption::example(), vec![0, 1, 2, 3, 4], 1).unwrap();
         let sol = BranchAndBound::new(&instance, BabConfig::bab()).solve();
         // Under t1 the best single promoter is a (covers a, b, c, d).
         assert_eq!(sol.plan.set(0), &[0]);

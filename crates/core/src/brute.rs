@@ -141,7 +141,7 @@ mod tests {
         for k in 1..=3 {
             let mut est = AuEstimator::new(&pool, model);
             let (_, opt) = brute_force_best(&mut est, &[0, 1, 2, 3, 4], 2, k);
-            let instance = OipaInstance::new(&pool, model, vec![0, 1, 2, 3, 4], k);
+            let instance = OipaInstance::new(&pool, model, vec![0, 1, 2, 3, 4], k).unwrap();
             let sol = BranchAndBound::new(
                 &instance,
                 BabConfig {
@@ -172,7 +172,7 @@ mod tests {
         let promoters: Vec<u32> = (0..8).collect();
         let mut est = AuEstimator::new(&pool, model);
         let (_, opt) = brute_force_best(&mut est, &promoters, 2, 3);
-        let instance = OipaInstance::new(&pool, model, promoters.clone(), 3);
+        let instance = OipaInstance::new(&pool, model, promoters.clone(), 3).unwrap();
         for config in [BabConfig::bab(), BabConfig::bab_p(0.5)] {
             let sol = BranchAndBound::new(&instance, BabConfig { gap: 0.0, ..config }).solve();
             let ratio = match config.method {

@@ -33,6 +33,7 @@ pub mod auto;
 pub mod bab;
 pub mod brute;
 mod celf;
+pub mod error;
 pub mod estimator;
 pub mod greedy;
 pub mod hetero;
@@ -43,6 +44,7 @@ pub mod tangent;
 pub mod tau;
 
 pub use bab::{BabConfig, BabStats, BoundMethod, BranchAndBound, SolverEngine};
+pub use error::OipaError;
 pub use estimator::AuEstimator;
 pub use greedy::SeedEntry;
 pub use plan::AssignmentPlan;
@@ -70,26 +72,39 @@ pub struct OipaInstance<'a> {
 
 impl<'a> OipaInstance<'a> {
     /// Creates an instance, normalizing the promoter pool (sort + dedup).
+    ///
+    /// Input validation is typed rather than panicking: a zero budget, an
+    /// empty promoter pool, or a promoter id outside the graph produce the
+    /// corresponding [`OipaError`] variant with an actionable message.
     pub fn new(
         pool: &'a MrrPool,
         model: LogisticAdoption,
         mut promoters: Vec<NodeId>,
         budget: usize,
-    ) -> Self {
-        assert!(budget >= 1, "budget must be at least 1");
+    ) -> Result<Self, OipaError> {
+        if budget == 0 {
+            return Err(OipaError::InvalidBudget);
+        }
         promoters.sort_unstable();
         promoters.dedup();
-        assert!(
-            promoters.iter().all(|&v| (v as usize) < pool.node_count()),
-            "promoter id out of graph range"
-        );
-        assert!(!promoters.is_empty(), "promoter pool must be non-empty");
-        OipaInstance {
+        if let Some(&bad) = promoters
+            .iter()
+            .find(|&&v| (v as usize) >= pool.node_count())
+        {
+            return Err(OipaError::PromoterOutOfRange {
+                promoter: bad,
+                node_count: pool.node_count(),
+            });
+        }
+        if promoters.is_empty() {
+            return Err(OipaError::EmptyPromoters);
+        }
+        Ok(OipaInstance {
             pool,
             model,
             promoters,
             budget,
-        }
+        })
     }
 
     /// Number of pieces ℓ.

@@ -345,7 +345,7 @@ mod tests {
         let pool = pool(60_000);
         let model = LogisticAdoption::example();
         let (plan, utility) = envelope_heuristic(&pool, model, &[0, 1, 2, 3, 4], 2);
-        let instance = OipaInstance::new(&pool, model, vec![0, 1, 2, 3, 4], 2);
+        let instance = OipaInstance::new(&pool, model, vec![0, 1, 2, 3, 4], 2).unwrap();
         let bab = BranchAndBound::new(&instance, BabConfig::bab()).solve();
         assert!(
             utility >= 0.9 * bab.utility,

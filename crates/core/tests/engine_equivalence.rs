@@ -56,7 +56,7 @@ fn random_instance(
 }
 
 fn solve_with(inst: &Instance, config: BabConfig) -> Solution {
-    let oipa = OipaInstance::new(&inst.pool, inst.model, inst.promoters.clone(), inst.k);
+    let oipa = OipaInstance::new(&inst.pool, inst.model, inst.promoters.clone(), inst.k).unwrap();
     BranchAndBound::new(&oipa, config).solve()
 }
 

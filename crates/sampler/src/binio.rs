@@ -133,7 +133,7 @@ pub fn read_pool<R: Read>(reader: R) -> Result<MrrPool, PoolIoError> {
         store.build_index(n);
         stores.push(store);
     }
-    Ok(MrrPool::from_parts(n as u32, roots, stores))
+    MrrPool::from_parts(n as u32, roots, stores).map_err(PoolIoError::Format)
 }
 
 /// Writes a pool to a file.

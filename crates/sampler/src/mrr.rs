@@ -38,13 +38,37 @@ pub struct MrrPool {
 /// results are reproducible regardless of thread count.
 const CHUNK: usize = 2048;
 
+/// Why a pool could not be generated from the given inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolBuildError {
+    /// The graph has no nodes to sample roots from.
+    EmptyGraph,
+    /// The probability table does not describe the graph's edges.
+    TableMismatch(String),
+    /// The campaign has no pieces.
+    EmptyCampaign,
+}
+
+impl std::fmt::Display for PoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolBuildError::EmptyGraph => write!(f, "cannot sample an empty graph"),
+            PoolBuildError::TableMismatch(m) => {
+                write!(f, "probability table does not match the graph: {m}")
+            }
+            PoolBuildError::EmptyCampaign => write!(f, "campaign has no pieces"),
+        }
+    }
+}
+
+impl std::error::Error for PoolBuildError {}
+
 impl MrrPool {
     /// Generates θ MRR samples, parallelized across all available threads
     /// (or the ambient rayon thread count, if one is installed).
     ///
-    /// Output is **bitwise deterministic per seed regardless of thread
-    /// count**: each (piece, chunk) job derives an independent RNG stream
-    /// from the base seed, and results are reassembled in job order.
+    /// Panics on inconsistent inputs; use [`MrrPool::try_generate`] for a
+    /// typed error instead.
     pub fn generate(
         graph: &DiGraph,
         table: &EdgeTopicProbs,
@@ -52,10 +76,42 @@ impl MrrPool {
         theta: usize,
         seed: u64,
     ) -> MrrPool {
-        assert!(graph.node_count() > 0, "cannot sample an empty graph");
+        Self::try_generate(graph, table, campaign, theta, seed).expect("valid sampling inputs")
+    }
+
+    /// Generates θ MRR samples, validating the inputs.
+    ///
+    /// Output is **bitwise deterministic per seed regardless of thread
+    /// count**: each (piece, chunk) job derives an independent RNG stream
+    /// from the base seed, and results are reassembled in job order.
+    pub fn try_generate(
+        graph: &DiGraph,
+        table: &EdgeTopicProbs,
+        campaign: &Campaign,
+        theta: usize,
+        seed: u64,
+    ) -> Result<MrrPool, PoolBuildError> {
+        if graph.node_count() == 0 {
+            return Err(PoolBuildError::EmptyGraph);
+        }
+        if campaign.is_empty() {
+            return Err(PoolBuildError::EmptyCampaign);
+        }
         table
             .check_against(graph)
-            .expect("probability table matches graph");
+            .map_err(|e| PoolBuildError::TableMismatch(e.to_string()))?;
+        if let Some(piece) = campaign
+            .pieces()
+            .iter()
+            .find(|p| p.topics.dim() != table.topic_count())
+        {
+            return Err(PoolBuildError::TableMismatch(format!(
+                "piece {:?} has {}-dimensional topics but the table has {} topics",
+                piece.name,
+                piece.topics.dim(),
+                table.topic_count()
+            )));
+        }
         let mut rng = SmallRng::seed_from_u64(seed);
         let pick = Uniform::new(0, graph.node_count() as NodeId);
         let roots: Vec<NodeId> = (0..theta).map(|_| pick.sample(&mut rng)).collect();
@@ -85,11 +141,11 @@ impl MrrPool {
             stores.push(RrStore::concat(remaining, graph.node_count()));
             remaining = tail;
         }
-        MrrPool {
+        Ok(MrrPool {
             n: graph.node_count() as u32,
             roots,
             stores,
-        }
+        })
     }
 
     /// Generates θ MRR samples with exactly `threads` workers. Produces
@@ -103,11 +159,24 @@ impl MrrPool {
         seed: u64,
         threads: usize,
     ) -> MrrPool {
+        Self::try_generate_parallel(graph, table, campaign, theta, seed, threads)
+            .expect("valid sampling inputs")
+    }
+
+    /// [`MrrPool::try_generate`] with exactly `threads` workers.
+    pub fn try_generate_parallel(
+        graph: &DiGraph,
+        table: &EdgeTopicProbs,
+        campaign: &Campaign,
+        theta: usize,
+        seed: u64,
+        threads: usize,
+    ) -> Result<MrrPool, PoolBuildError> {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(threads.max(1))
             .build()
             .expect("building sampler thread pool");
-        pool.install(|| Self::generate(graph, table, campaign, theta, seed))
+        pool.install(|| Self::try_generate(graph, table, campaign, theta, seed))
     }
 
     /// Number of graph nodes `n` (the estimator scale factor numerator).
@@ -165,16 +234,37 @@ impl MrrPool {
     }
 
     /// Reassembles a pool from deserialized parts (crate-internal; used by
-    /// `binio`).
-    pub(crate) fn from_parts(n: u32, roots: Vec<NodeId>, stores: Vec<RrStore>) -> MrrPool {
-        assert!(!stores.is_empty());
-        assert!(stores.iter().all(|s| s.len() == roots.len()));
-        MrrPool { n, roots, stores }
+    /// `binio`). Corrupt part shapes are reported as errors, not panics,
+    /// so loaders can surface them as format failures.
+    pub(crate) fn from_parts(
+        n: u32,
+        roots: Vec<NodeId>,
+        stores: Vec<RrStore>,
+    ) -> Result<MrrPool, String> {
+        if stores.is_empty() {
+            return Err("pool has no per-piece stores".to_string());
+        }
+        if let Some(bad) = stores.iter().position(|s| s.len() != roots.len()) {
+            return Err(format!(
+                "piece {bad} has {} RR sets but the pool has {} roots",
+                stores[bad].len(),
+                roots.len()
+            ));
+        }
+        Ok(MrrPool { n, roots, stores })
     }
 
     /// Total memory-resident node entries across all pieces.
     pub fn total_nodes(&self) -> usize {
         self.stores.iter().map(|s| s.total_nodes()).sum()
+    }
+
+    /// Approximate resident heap size in bytes (roots plus every piece's
+    /// store, including inverted indexes). The `PlannerService` pool arena
+    /// bounds its cache by this number.
+    pub fn memory_bytes(&self) -> usize {
+        self.roots.len() * std::mem::size_of::<NodeId>()
+            + self.stores.iter().map(|s| s.memory_bytes()).sum::<usize>()
     }
 }
 

@@ -54,6 +54,16 @@ impl RrStore {
         self.nodes.len()
     }
 
+    /// Approximate resident heap size in bytes: CSR arrays plus the
+    /// inverted index. Pool caches (e.g. the `PlannerService` arena) use
+    /// this to enforce a byte budget.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u64>()
+            + self.nodes.len() * std::mem::size_of::<NodeId>()
+            + self.idx_offsets.len() * std::mem::size_of::<u64>()
+            + self.idx_samples.len() * std::mem::size_of::<u32>()
+    }
+
     /// Average RR-set size.
     pub fn avg_set_size(&self) -> f64 {
         if self.is_empty() {

@@ -1,0 +1,262 @@
+//! The keyed pool arena: an LRU cache of sampled [`MrrPool`]s, bounded
+//! by resident bytes.
+//!
+//! Sampling θ MRR sets dominates end-to-end latency (the paper's Table
+//! III "sample time" row), yet a pool depends only on the campaign's
+//! topic mix, θ, and the sampling seed — not on the adoption model, the
+//! budget, the promoter pool, or the solve method. A multi-query session
+//! therefore caches pools under that key and lets every subsequent
+//! request that shares it skip sampling entirely (the IMM-style
+//! amortization of §V-A, applied across requests instead of across
+//! parameter sweeps).
+
+use oipa_sampler::MrrPool;
+use serde::Serialize;
+use std::sync::Arc;
+
+/// Cache key: everything pool contents depend on.
+///
+/// The campaign component is its canonical JSON rendering, so two
+/// requests with structurally equal campaigns share an entry while any
+/// difference in topic mixes keys a distinct pool. Externally loaded
+/// pools (e.g. a `--pool` file in the CLI) get an `@external:` key that
+/// no sampled request can collide with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolKey {
+    campaign: String,
+    theta: usize,
+    seed: u64,
+}
+
+impl PoolKey {
+    /// Key for a pool the service samples itself.
+    pub fn sampled(campaign_json: String, theta: usize, seed: u64) -> Self {
+        PoolKey {
+            campaign: campaign_json,
+            theta,
+            seed,
+        }
+    }
+
+    /// Key for a pool injected from outside (file, caller-built).
+    pub fn external(label: &str, theta: usize) -> Self {
+        PoolKey {
+            campaign: format!("@external:{label}"),
+            theta,
+            seed: 0,
+        }
+    }
+
+    /// The θ the key was built with.
+    pub fn theta(&self) -> usize {
+        self.theta
+    }
+}
+
+struct ArenaEntry {
+    key: PoolKey,
+    pool: Arc<MrrPool>,
+    bytes: usize,
+    last_used: u64,
+    /// Pinned entries (injected pools) are never evicted by byte
+    /// pressure — only `clear`/`evict_unpinned` removes them.
+    pinned: bool,
+}
+
+/// Cumulative arena counters plus the current occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ArenaStats {
+    /// Pools currently resident.
+    pub entries: usize,
+    /// Bytes currently resident.
+    pub bytes: usize,
+    /// The configured byte budget.
+    pub capacity_bytes: usize,
+    /// Lookups answered from cache.
+    pub hits: u64,
+    /// Lookups that required sampling (or an insert).
+    pub misses: u64,
+    /// Pools evicted to stay under the byte budget.
+    pub evictions: u64,
+}
+
+/// An LRU pool cache bounded by [`MrrPool::memory_bytes`].
+pub struct PoolArena {
+    capacity_bytes: usize,
+    entries: Vec<ArenaEntry>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl PoolArena {
+    /// Creates an arena with the given byte budget. A budget of 0 still
+    /// holds the most recently inserted pool (a usable pool is never
+    /// evicted before it serves its own request).
+    pub fn new(capacity_bytes: usize) -> Self {
+        PoolArena {
+            capacity_bytes,
+            entries: Vec::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks up a pool, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &PoolKey) -> Option<Arc<MrrPool>> {
+        self.clock += 1;
+        let clock = self.clock;
+        match self.entries.iter_mut().find(|e| &e.key == key) {
+            Some(entry) => {
+                entry.last_used = clock;
+                self.hits += 1;
+                Some(Arc::clone(&entry.pool))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) a pool, then evicts least-recently-used
+    /// entries until the arena fits its byte budget. The pool just
+    /// inserted is exempt from eviction even if it alone exceeds the
+    /// budget — a request must be able to use the pool it paid for.
+    pub fn insert(&mut self, key: PoolKey, pool: Arc<MrrPool>) {
+        self.insert_entry(key, pool, false);
+    }
+
+    /// Inserts a pool that byte pressure must never evict (an injected
+    /// pool the session was built around). Only [`Self::clear`] removes
+    /// pinned entries.
+    pub fn insert_pinned(&mut self, key: PoolKey, pool: Arc<MrrPool>) {
+        self.insert_entry(key, pool, true);
+    }
+
+    fn insert_entry(&mut self, key: PoolKey, pool: Arc<MrrPool>, pinned: bool) {
+        self.clock += 1;
+        let bytes = pool.memory_bytes();
+        self.entries.retain(|e| e.key != key);
+        self.entries.push(ArenaEntry {
+            key,
+            pool,
+            bytes,
+            last_used: self.clock,
+            pinned,
+        });
+        self.enforce_budget(Some(self.clock));
+    }
+
+    /// Evicts unpinned LRU entries until the budget fits; `protect` marks
+    /// a `last_used` stamp that must survive (the entry just inserted).
+    fn enforce_budget(&mut self, protect: Option<u64>) {
+        while self.bytes() > self.capacity_bytes {
+            let Some((victim, _)) = self
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| !e.pinned && Some(e.last_used) != protect)
+                .min_by_key(|(_, e)| e.last_used)
+            else {
+                break; // only pinned/protected entries left
+            };
+            self.entries.remove(victim);
+            self.evictions += 1;
+        }
+    }
+
+    /// Bytes currently resident.
+    pub fn bytes(&self) -> usize {
+        self.entries.iter().map(|e| e.bytes).sum()
+    }
+
+    /// Pools currently resident.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the arena holds no pools.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops every cached pool (counters are preserved).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Changes the byte budget, evicting least-recently-used unpinned
+    /// entries until the arena fits (the most recent unpinned entry is
+    /// kept if it is all that remains).
+    pub fn set_capacity(&mut self, capacity_bytes: usize) {
+        self.capacity_bytes = capacity_bytes;
+        let newest = self.entries.iter().map(|e| e.last_used).max();
+        self.enforce_budget(newest);
+    }
+
+    /// Drops every *sampled* (unpinned) pool, keeping injected ones.
+    /// Called when the graph or probability table changes: pools sampled
+    /// from the old inputs must not serve the new ones.
+    pub fn evict_unpinned(&mut self) {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.pinned);
+        self.evictions += (before - self.entries.len()) as u64;
+    }
+
+    /// Occupancy and cumulative counters.
+    pub fn stats(&self) -> ArenaStats {
+        ArenaStats {
+            entries: self.len(),
+            bytes: self.bytes(),
+            capacity_bytes: self.capacity_bytes,
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oipa_sampler::testkit::fig1;
+
+    fn pool(theta: usize, seed: u64) -> Arc<MrrPool> {
+        let (g, table, campaign) = fig1();
+        Arc::new(MrrPool::generate(&g, &table, &campaign, theta, seed))
+    }
+
+    #[test]
+    fn hit_refreshes_recency() {
+        // One seed ⇒ equal byte sizes, so the budget fits exactly two.
+        let a = pool(500, 1);
+        let bytes = a.memory_bytes();
+        let mut arena = PoolArena::new(2 * bytes + 8);
+        arena.insert(PoolKey::external("a", 500), a);
+        arena.insert(PoolKey::external("b", 500), pool(500, 1));
+        // Touch "a" so "b" becomes the LRU victim.
+        assert!(arena.get(&PoolKey::external("a", 500)).is_some());
+        arena.insert(PoolKey::external("c", 500), pool(500, 1));
+        assert!(arena.get(&PoolKey::external("a", 500)).is_some());
+        assert!(arena.get(&PoolKey::external("b", 500)).is_none());
+        let stats = arena.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn oversized_pool_survives_its_own_insert() {
+        let mut arena = PoolArena::new(0);
+        arena.insert(PoolKey::external("big", 1000), pool(1000, 4));
+        assert_eq!(arena.len(), 1);
+        assert!(arena.get(&PoolKey::external("big", 1000)).is_some());
+        // The next insert evicts it.
+        arena.insert(PoolKey::external("next", 500), pool(500, 5));
+        assert_eq!(arena.len(), 1);
+        assert!(arena.get(&PoolKey::external("big", 1000)).is_none());
+    }
+}

@@ -1,0 +1,646 @@
+//! # oipa-service
+//!
+//! `PlannerService`: a session-oriented, multi-query engine over the OIPA
+//! solver stack.
+//!
+//! The paper's pipeline is one-shot — sample θ MRR sets, solve once. A
+//! serving system answers *streams* of queries against the same graph:
+//! different budgets, methods, adoption models, and campaigns. Sampling
+//! dominates per-query latency, yet a pool depends only on (campaign, θ,
+//! seed) — so a session that caches pools under that key amortizes
+//! sampling across every request that shares it, IMM-style (§V-A), while
+//! the per-request work shrinks to the solve itself.
+//!
+//! One service owns:
+//!
+//! * a social graph and its topic-wise edge probabilities (optional when
+//!   a pre-sampled pool is injected instead);
+//! * a **pool arena** — an LRU cache of sampled [`MrrPool`]s keyed by
+//!   (campaign, θ, seed) and bounded by resident bytes ([`PoolArena`]);
+//! * the **solver registry** — every method (`bab`, `bab-p`, `plain`,
+//!   `greedy`, `brute`, `im`, `tim`) behind one [`Solver`] trait, so
+//!   dispatch is data-driven and answers are bitwise-identical to the
+//!   historical direct entry points.
+//!
+//! Requests and responses are plain serde types ([`SolveRequest`] /
+//! [`SolveResponse`]), so the same engine backs the library API, the
+//! `oipa-cli solve`/`batch` commands, and any future network frontend.
+//!
+//! ```
+//! use oipa_service::{Method, PlannerService, SolveRequest};
+//!
+//! let (graph, probs, campaign) = oipa_sampler::testkit::fig1();
+//! let mut service = PlannerService::new(graph, probs).unwrap();
+//!
+//! let mut request = SolveRequest::new(Method::Bab, 2);
+//! request.campaign = Some(campaign);
+//! request.theta = Some(20_000);
+//! request.promoters = Some((0..5).collect());
+//!
+//! let first = service.solve(&request).unwrap();   // samples the pool
+//! let second = service.solve(&request).unwrap();  // arena hit: no sampling
+//! assert!(!first.pool_cache_hit && second.pool_cache_hit);
+//! assert_eq!(first.plan, second.plan);
+//! assert_eq!(first.plan.set(0), &[0]); // Example 1's optimum
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod arena;
+mod request;
+mod solver;
+
+pub use arena::{ArenaStats, PoolArena, PoolKey};
+pub use request::{
+    AutoThetaReport, AutoThetaRequest, Method, SearchStats, SimulateRequest, SimulateResponse,
+    SolveRequest, SolveResponse,
+};
+pub use solver::{registry, solver_for, SolveContext, Solver, SolverOutput};
+
+use oipa_baselines::paper::collapsed_pool;
+use oipa_core::auto::{solve_auto_theta, AutoThetaConfig};
+use oipa_core::{OipaError, OipaInstance};
+use oipa_graph::{DiGraph, NodeId};
+use oipa_sampler::{simulate, MrrPool, RrPool};
+use oipa_topics::{Campaign, EdgeTopicProbs, LogisticAdoption};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default arena byte budget (≈256 MiB).
+pub const DEFAULT_ARENA_BYTES: usize = 256 << 20;
+
+/// Default MRR samples per pool (the `oipa-cli sample` default).
+pub const DEFAULT_THETA: usize = 100_000;
+
+/// Default base seed (the workspace-wide convention).
+pub const DEFAULT_SEED: u64 = 42;
+
+/// Default promoter-pool fraction (§VI-A uses 10% of all users).
+pub const DEFAULT_PROMOTER_FRACTION: f64 = 0.1;
+
+/// Default logistic ratio β/α.
+pub const DEFAULT_RATIO: f64 = 0.5;
+
+/// Default progressive-bound ε (the paper fixes 0.5 after tuning).
+pub const DEFAULT_EPS: f64 = 0.5;
+
+/// A long-lived planning session: graph + probabilities + pool arena +
+/// solver registry. See the crate docs for the full story.
+pub struct PlannerService {
+    graph: Option<DiGraph>,
+    table: Option<EdgeTopicProbs>,
+    arena: PoolArena,
+    /// Arena key of an injected pool, used when a request names no
+    /// campaign of its own.
+    default_pool: Option<PoolKey>,
+    /// Campaign of the injected pool, if the caller provided one.
+    default_campaign: Option<Campaign>,
+    /// Single-entry cache for the `im` baseline's collapsed-probability
+    /// RR pool, keyed by (θ, seed). Invalidated with the graph.
+    flat_cache: Option<FlatPoolCache>,
+}
+
+struct FlatPoolCache {
+    theta: usize,
+    seed: u64,
+    pool: Arc<RrPool>,
+}
+
+impl PlannerService {
+    /// Creates a session that samples its own pools from a graph and its
+    /// edge probabilities (validated against each other).
+    pub fn new(graph: DiGraph, table: EdgeTopicProbs) -> Result<Self, OipaError> {
+        if graph.node_count() == 0 {
+            return Err(OipaError::config("the graph has no nodes"));
+        }
+        table
+            .check_against(&graph)
+            .map_err(|e| OipaError::Mismatch {
+                what: e.to_string(),
+            })?;
+        Ok(PlannerService {
+            graph: Some(graph),
+            table: Some(table),
+            arena: PoolArena::new(DEFAULT_ARENA_BYTES),
+            default_pool: None,
+            default_campaign: None,
+            flat_cache: None,
+        })
+    }
+
+    /// Creates a session around a pre-sampled pool (e.g. loaded from a
+    /// `oipa-cli sample` file). Requests that name no campaign use this
+    /// pool; requests that do need a graph attached ([`Self::attach_graph`]).
+    pub fn from_pool(pool: MrrPool) -> Self {
+        let key = PoolKey::external("injected", pool.theta());
+        let mut arena = PoolArena::new(DEFAULT_ARENA_BYTES);
+        // Pinned: byte pressure from sampled pools must never evict the
+        // pool the session was built around.
+        arena.insert_pinned(key.clone(), Arc::new(pool));
+        PlannerService {
+            graph: None,
+            table: None,
+            arena,
+            default_pool: Some(key),
+            default_campaign: None,
+            flat_cache: None,
+        }
+    }
+
+    /// Records the campaign an injected pool was sampled for. Campaign-less
+    /// requests keep using the injected pool directly; the recorded
+    /// campaign only feeds paths that must resample, i.e. `auto_theta`
+    /// requests (which otherwise need `campaign`/`ell` in the request).
+    pub fn set_default_campaign(&mut self, campaign: Campaign) {
+        self.default_campaign = Some(campaign);
+    }
+
+    /// Attaches (or replaces) the graph and probability table, validated
+    /// against each other. Needed by `im` and by pool-sampling requests
+    /// on a [`Self::from_pool`] session.
+    ///
+    /// Every pool the session sampled from the previous graph is evicted
+    /// — stale pools must not answer requests against the new one.
+    /// Injected (pinned) pools are kept: the caller vouched for those.
+    pub fn attach_graph(&mut self, graph: DiGraph, table: EdgeTopicProbs) -> Result<(), OipaError> {
+        if graph.node_count() == 0 {
+            return Err(OipaError::config("the graph has no nodes"));
+        }
+        table
+            .check_against(&graph)
+            .map_err(|e| OipaError::Mismatch {
+                what: e.to_string(),
+            })?;
+        self.graph = Some(graph);
+        self.table = Some(table);
+        self.arena.evict_unpinned();
+        self.flat_cache = None;
+        Ok(())
+    }
+
+    /// Replaces the arena's byte budget, evicting LRU entries that no
+    /// longer fit.
+    pub fn with_arena_capacity(mut self, capacity_bytes: usize) -> Self {
+        self.arena.set_capacity(capacity_bytes);
+        self
+    }
+
+    /// Occupancy and hit/miss/eviction counters of the pool arena.
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.arena.stats()
+    }
+
+    /// Drops every cached pool (the injected default pool included).
+    pub fn clear_arena(&mut self) {
+        self.arena.clear();
+        self.default_pool = None;
+        self.flat_cache = None;
+    }
+
+    /// Answers one solve request. See [`SolveRequest`] for the knobs and
+    /// their defaults.
+    pub fn solve(&mut self, request: &SolveRequest) -> Result<SolveResponse, OipaError> {
+        let start = Instant::now();
+        if request.budget == 0 {
+            return Err(OipaError::InvalidBudget);
+        }
+        let model = resolve_model(request.ratio, request.alpha, request.beta)?;
+        if request.theta == Some(0) {
+            return Err(OipaError::config("θ must be at least 1"));
+        }
+        let seed = request.seed.unwrap_or(DEFAULT_SEED);
+        if let Some(auto) = &request.auto_theta {
+            return self.solve_auto(request, auto, model, seed, start);
+        }
+        let gap = request.gap;
+        let eps = request.eps.unwrap_or(DEFAULT_EPS);
+        validate_tuning(gap, eps)?;
+        let (pool, cache_hit) = self.resolve_pool(request, seed)?;
+        // Reject bad promoters before paying any im collapsed-pool
+        // sampling below.
+        let promoters = resolve_promoters(
+            request.promoters.clone(),
+            request.promoter_fraction,
+            pool.node_count(),
+            seed,
+        )?;
+        let flat_pool = if request.method == Method::Im {
+            self.resolve_flat_pool(request.theta.unwrap_or_else(|| pool.theta()), seed)
+        } else {
+            None
+        };
+        let context = SolveContext {
+            pool: &pool,
+            model,
+            promoters: &promoters,
+            budget: request.budget,
+            gap,
+            eps,
+            max_nodes: request.max_nodes,
+            seed,
+            graph: self.graph.as_ref(),
+            table: self.table.as_ref(),
+            collapsed_theta: request.theta,
+            flat_pool: flat_pool.as_deref(),
+        };
+        let output = solver_for(request.method).solve(&context)?;
+        Ok(SolveResponse {
+            method: request.method,
+            k: request.budget,
+            theta: pool.theta(),
+            pool_cache_hit: cache_hit,
+            utility: output.utility,
+            upper_bound: output.upper_bound,
+            plan: output.plan,
+            seconds: start.elapsed().as_secs_f64(),
+            stats: output.stats.as_ref().map(SearchStats::from),
+            auto_theta: None,
+        })
+    }
+
+    /// Forward Monte-Carlo evaluation of a plan on the session's graph.
+    pub fn simulate(&self, request: &SimulateRequest) -> Result<SimulateResponse, OipaError> {
+        let start = Instant::now();
+        let (Some(graph), Some(table)) = (self.graph.as_ref(), self.table.as_ref()) else {
+            return Err(OipaError::MissingInput {
+                what: "the social graph and edge probabilities".to_string(),
+                hint: "simulation spreads cascades on the graph; construct the service with \
+                       PlannerService::new(graph, table) or call attach_graph"
+                    .to_string(),
+            });
+        };
+        check_campaign_topics(&request.campaign, table)?;
+        if request.plan.ell() != request.campaign.len() {
+            return Err(OipaError::Mismatch {
+                what: format!(
+                    "plan has {} pieces but the campaign has {}",
+                    request.plan.ell(),
+                    request.campaign.len()
+                ),
+            });
+        }
+        let model = resolve_model(request.ratio, request.alpha, request.beta)?;
+        let runs = request.runs.unwrap_or(500);
+        if runs == 0 {
+            return Err(OipaError::config("runs must be at least 1"));
+        }
+        let seed = request.seed.unwrap_or(DEFAULT_SEED);
+        let utility = simulate::simulate_adoption(
+            &mut StdRng::seed_from_u64(seed),
+            graph,
+            table,
+            &request.campaign,
+            &request.plan.to_vecs(),
+            model,
+            runs,
+        );
+        Ok(SimulateResponse {
+            runs,
+            utility,
+            seconds: start.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Fetches the pool a request addresses, sampling (and caching) it on
+    /// a miss. Returns the pool and whether it was an arena hit.
+    fn resolve_pool(
+        &mut self,
+        request: &SolveRequest,
+        seed: u64,
+    ) -> Result<(Arc<MrrPool>, bool), OipaError> {
+        let campaign = self.resolve_campaign(request, seed)?;
+        let Some(campaign) = campaign else {
+            // No campaign in the request: fall back to the injected pool.
+            let Some(key) = self.default_pool.clone() else {
+                return Err(OipaError::MissingInput {
+                    what: "a campaign".to_string(),
+                    hint: "set `campaign` (explicit topic mixes) or `ell` (seeded one-hot \
+                           pieces) in the request, or inject a pre-sampled pool with \
+                           PlannerService::from_pool"
+                        .to_string(),
+                });
+            };
+            // Invariant: `default_pool` is Some only while its pinned
+            // entry is resident — byte pressure never evicts pinned
+            // entries and `clear_arena` nulls both together.
+            let pool = self
+                .arena
+                .get(&key)
+                .expect("pinned default pool resident while default_pool is Some");
+            return Ok((pool, true));
+        };
+        let campaign_json = serde_json::to_string(&campaign).map_err(|e| OipaError::Io {
+            what: "serializing the campaign cache key".to_string(),
+            detail: e.to_string(),
+        })?;
+        let theta = request.theta.unwrap_or(DEFAULT_THETA);
+        let key = PoolKey::sampled(campaign_json, theta, seed);
+        if let Some(pool) = self.arena.get(&key) {
+            return Ok((pool, true));
+        }
+        let (Some(graph), Some(table)) = (self.graph.as_ref(), self.table.as_ref()) else {
+            return Err(OipaError::MissingInput {
+                what: "the social graph and edge probabilities".to_string(),
+                hint: "sampling a pool for this campaign needs them; construct the service \
+                       with PlannerService::new(graph, table) or call attach_graph"
+                    .to_string(),
+            });
+        };
+        check_campaign_topics(&campaign, table)?;
+        let pool = Arc::new(
+            MrrPool::try_generate(graph, table, &campaign, theta, seed).map_err(|e| {
+                OipaError::Mismatch {
+                    what: e.to_string(),
+                }
+            })?,
+        );
+        self.arena.insert(key, Arc::clone(&pool));
+        Ok((pool, false))
+    }
+
+    /// The campaign a request itself names: explicit or seeded one-hot.
+    /// `None` means the request addresses the session's injected pool
+    /// (the session default campaign is only a fallback for paths that
+    /// cannot run without one, such as auto-θ).
+    fn resolve_campaign(
+        &self,
+        request: &SolveRequest,
+        seed: u64,
+    ) -> Result<Option<Campaign>, OipaError> {
+        if let Some(campaign) = &request.campaign {
+            if campaign.is_empty() {
+                return Err(OipaError::config("the campaign has no pieces"));
+            }
+            return Ok(Some(campaign.clone()));
+        }
+        if let Some(ell) = request.ell {
+            if ell == 0 {
+                return Err(OipaError::config("ell must be at least 1"));
+            }
+            let Some(table) = self.table.as_ref() else {
+                return Err(OipaError::MissingInput {
+                    what: "edge probabilities".to_string(),
+                    hint: "a seeded one-hot campaign draws topics from the probability \
+                           table; attach one or pass an explicit `campaign`"
+                        .to_string(),
+                });
+            };
+            let mut rng = StdRng::seed_from_u64(seed);
+            return Ok(Some(Campaign::sample_one_hot(
+                &mut rng,
+                table.topic_count(),
+                ell,
+            )));
+        }
+        Ok(None)
+    }
+
+    /// The collapsed-probability RR pool the `im` baseline needs,
+    /// cached per (θ, seed) so repeated `im` requests skip its sampling
+    /// cost just like the MRR arena skips theirs. Returns `None` when no
+    /// graph is attached (the solver then reports the missing input).
+    fn resolve_flat_pool(&mut self, theta: usize, seed: u64) -> Option<Arc<RrPool>> {
+        let (graph, table) = (self.graph.as_ref()?, self.table.as_ref()?);
+        if let Some(cache) = &self.flat_cache {
+            if cache.theta == theta && cache.seed == seed {
+                return Some(Arc::clone(&cache.pool));
+            }
+        }
+        let pool = Arc::new(collapsed_pool(graph, table, theta, seed));
+        self.flat_cache = Some(FlatPoolCache {
+            theta,
+            seed,
+            pool: Arc::clone(&pool),
+        });
+        Some(pool)
+    }
+
+    /// The auto-θ path: escalating solve-and-cross-validate rounds on
+    /// fresh pools (these do not enter the arena — each round's θ is
+    /// provisional by design).
+    fn solve_auto(
+        &mut self,
+        request: &SolveRequest,
+        auto: &AutoThetaRequest,
+        model: LogisticAdoption,
+        seed: u64,
+        start: Instant,
+    ) -> Result<SolveResponse, OipaError> {
+        if !matches!(request.method, Method::Bab | Method::BabP | Method::Plain) {
+            return Err(OipaError::config(format!(
+                "auto θ drives the branch-and-bound methods (bab, bab-p, plain); \
+                 method {} takes a fixed θ",
+                request.method
+            )));
+        }
+        let campaign =
+            self.resolve_campaign(request, seed)?
+                .ok_or_else(|| OipaError::MissingInput {
+                    what: "a campaign".to_string(),
+                    hint: "auto θ resamples pools per round, so the request must carry \
+                       `campaign` or `ell`"
+                        .to_string(),
+                })?;
+        let (Some(graph), Some(table)) = (self.graph.as_ref(), self.table.as_ref()) else {
+            return Err(OipaError::MissingInput {
+                what: "the social graph and edge probabilities".to_string(),
+                hint: "auto θ resamples pools per round; construct the service with \
+                       PlannerService::new(graph, table) or call attach_graph"
+                    .to_string(),
+            });
+        };
+        check_campaign_topics(&campaign, table)?;
+        let promoters = resolve_promoters(
+            request.promoters.clone(),
+            request.promoter_fraction,
+            graph.node_count(),
+            seed,
+        )?;
+        let defaults = AutoThetaConfig::default();
+        let mut bab = match request.method {
+            Method::Bab => oipa_core::BabConfig::bab(),
+            Method::BabP => oipa_core::BabConfig::bab_p(request.eps.unwrap_or(DEFAULT_EPS)),
+            Method::Plain => oipa_core::BabConfig {
+                method: oipa_core::BoundMethod::PlainGreedy,
+                ..oipa_core::BabConfig::bab()
+            },
+            _ => unreachable!("filtered above"),
+        };
+        if let Some(gap) = request.gap {
+            bab.gap = gap;
+        }
+        bab.max_nodes = request.max_nodes;
+        let config = AutoThetaConfig {
+            initial_theta: auto.initial_theta.unwrap_or(defaults.initial_theta),
+            max_theta: auto.max_theta.unwrap_or(defaults.max_theta),
+            rel_tol: auto.rel_tol.unwrap_or(defaults.rel_tol),
+            seed,
+            bab,
+            ..defaults
+        };
+        let result = solve_auto_theta(
+            graph,
+            table,
+            &campaign,
+            model,
+            &promoters,
+            request.budget,
+            config,
+        )?;
+        Ok(SolveResponse {
+            method: request.method,
+            k: request.budget,
+            theta: result.theta,
+            pool_cache_hit: false,
+            utility: result.solution.utility,
+            upper_bound: Some(result.solution.upper_bound),
+            plan: result.solution.plan,
+            seconds: start.elapsed().as_secs_f64(),
+            stats: Some(SearchStats::from(&result.solution.stats)),
+            auto_theta: Some(AutoThetaReport {
+                converged: result.converged,
+                rounds: result.rounds.len(),
+            }),
+        })
+    }
+}
+
+/// Builds the logistic model from the request's `ratio` or `alpha`+`beta`
+/// (mutually exclusive; default ratio 0.5).
+fn resolve_model(
+    ratio: Option<f64>,
+    alpha: Option<f64>,
+    beta: Option<f64>,
+) -> Result<LogisticAdoption, OipaError> {
+    match (ratio, alpha, beta) {
+        (Some(_), Some(_), _) | (Some(_), _, Some(_)) => Err(OipaError::config(
+            "give either `ratio` or `alpha`+`beta`, not both",
+        )),
+        (_, Some(a), Some(b)) => {
+            if !(a.is_finite() && b.is_finite() && a > 0.0 && b > 0.0) {
+                return Err(OipaError::config(format!(
+                    "alpha and beta must be positive and finite, got α={a}, β={b}"
+                )));
+            }
+            Ok(LogisticAdoption::new(a, b))
+        }
+        (_, Some(_), None) | (_, None, Some(_)) => {
+            Err(OipaError::config("alpha and beta must be given together"))
+        }
+        (r, None, None) => {
+            let r = r.unwrap_or(DEFAULT_RATIO);
+            if !(r.is_finite() && r > 0.0) {
+                return Err(OipaError::config(format!(
+                    "ratio must be positive and finite, got {r}"
+                )));
+            }
+            Ok(LogisticAdoption::from_ratio(r))
+        }
+    }
+}
+
+/// Materializes the promoter pool: an explicit id list (validated and
+/// normalized) or a seeded uniform sample of `fraction · n` users.
+fn resolve_promoters(
+    explicit: Option<Vec<NodeId>>,
+    fraction: Option<f64>,
+    node_count: usize,
+    seed: u64,
+) -> Result<Vec<NodeId>, OipaError> {
+    if let Some(mut promoters) = explicit {
+        promoters.sort_unstable();
+        promoters.dedup();
+        if let Some(&bad) = promoters.iter().find(|&&v| (v as usize) >= node_count) {
+            return Err(OipaError::PromoterOutOfRange {
+                promoter: bad,
+                node_count,
+            });
+        }
+        if promoters.is_empty() {
+            return Err(OipaError::EmptyPromoters);
+        }
+        return Ok(promoters);
+    }
+    let fraction = fraction.unwrap_or(DEFAULT_PROMOTER_FRACTION);
+    if !(fraction > 0.0 && fraction <= 1.0) {
+        return Err(OipaError::config(format!(
+            "promoter fraction must be in (0, 1], got {fraction}"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    Ok(OipaInstance::sample_promoters(
+        &mut rng, node_count, fraction,
+    ))
+}
+
+/// Tuning-parameter checks shared by every method, so a malformed
+/// request fails identically regardless of dispatch target.
+/// Every piece's topic vector must live in the probability table's topic
+/// space; anything else would panic deep inside the sampler.
+fn check_campaign_topics(campaign: &Campaign, table: &EdgeTopicProbs) -> Result<(), OipaError> {
+    if let Some(piece) = campaign
+        .pieces()
+        .iter()
+        .find(|p| p.topics.dim() != table.topic_count())
+    {
+        return Err(OipaError::Mismatch {
+            what: format!(
+                "campaign piece {:?} has {}-dimensional topics but the probability table \
+                 has {} topics",
+                piece.name,
+                piece.topics.dim(),
+                table.topic_count()
+            ),
+        });
+    }
+    Ok(())
+}
+
+fn validate_tuning(gap: Option<f64>, eps: f64) -> Result<(), OipaError> {
+    if let Some(gap) = gap {
+        if gap.is_nan() || gap < 0.0 {
+            return Err(OipaError::config(format!(
+                "gap must be nonnegative, got {gap}"
+            )));
+        }
+    }
+    if eps.is_nan() || eps <= 0.0 {
+        return Err(OipaError::config(format!("ε must be positive, got {eps}")));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_resolution_rules() {
+        assert!(resolve_model(None, None, None).is_ok());
+        assert!(resolve_model(Some(0.7), None, None).is_ok());
+        assert!(resolve_model(None, Some(2.0), Some(1.0)).is_ok());
+        assert!(resolve_model(Some(0.5), Some(2.0), Some(1.0)).is_err());
+        assert!(resolve_model(None, Some(2.0), None).is_err());
+        assert!(resolve_model(Some(-1.0), None, None).is_err());
+    }
+
+    #[test]
+    fn promoter_resolution_rules() {
+        let explicit = resolve_promoters(Some(vec![3, 1, 1, 2]), None, 5, 0).unwrap();
+        assert_eq!(explicit, vec![1, 2, 3]);
+        assert!(matches!(
+            resolve_promoters(Some(vec![9]), None, 5, 0),
+            Err(OipaError::PromoterOutOfRange { promoter: 9, .. })
+        ));
+        assert!(matches!(
+            resolve_promoters(Some(vec![]), None, 5, 0),
+            Err(OipaError::EmptyPromoters)
+        ));
+        let sampled = resolve_promoters(None, Some(0.5), 100, 7).unwrap();
+        assert_eq!(sampled.len(), 50);
+        assert!(resolve_promoters(None, Some(1.5), 100, 7).is_err());
+    }
+}

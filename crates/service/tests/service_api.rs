@@ -1,0 +1,535 @@
+//! Acceptance suite for the `PlannerService` redesign.
+//!
+//! * **Wire format** — `SolveRequest`/`SolveResponse` round-trip through
+//!   JSON bitwise (floats use shortest-round-trip rendering).
+//! * **Golden parity** — for every registered method, service answers are
+//!   bitwise-identical (plan, utility, bounds) to the pre-redesign direct
+//!   entry points, on the Fig. 1 fixture and on a seeded medium instance.
+//! * **Arena** — repeat requests hit the pool cache; θ/seed/campaign
+//!   changes key distinct pools; a byte budget evicts LRU entries.
+
+use oipa_baselines::paper::collapsed_pool;
+use oipa_baselines::{im_baseline, tim_baseline};
+use oipa_core::auto::{solve_auto_theta, AutoThetaConfig};
+use oipa_core::brute::brute_force_best;
+use oipa_core::relaxed::envelope_heuristic;
+use oipa_core::{AuEstimator, BabConfig, BoundMethod, BranchAndBound, OipaError, OipaInstance};
+use oipa_graph::DiGraph;
+use oipa_sampler::testkit::{fig1, small_random_instance};
+use oipa_sampler::MrrPool;
+use oipa_service::{AutoThetaRequest, Method, PlannerService, SolveRequest, SolveResponse};
+use oipa_topics::{Campaign, EdgeTopicProbs, LogisticAdoption};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The seeded medium instance shared by the parity tests and the service
+/// bench: regenerating from the same seed is bitwise deterministic, so
+/// the service and the direct calls see identical inputs.
+fn medium() -> (DiGraph, EdgeTopicProbs, Campaign) {
+    let mut rng = StdRng::seed_from_u64(9);
+    small_random_instance(&mut rng, 90, 700, 4, 3)
+}
+
+struct Fixture {
+    graph: DiGraph,
+    table: EdgeTopicProbs,
+    campaign: Campaign,
+    promoters: Vec<u32>,
+    k: usize,
+    theta: usize,
+    seed: u64,
+    max_nodes: Option<usize>,
+}
+
+impl Fixture {
+    fn fig1() -> Fixture {
+        let (graph, table, campaign) = fig1();
+        Fixture {
+            graph,
+            table,
+            campaign,
+            promoters: (0..5).collect(),
+            k: 2,
+            theta: 20_000,
+            seed: 7,
+            max_nodes: None,
+        }
+    }
+
+    fn medium() -> Fixture {
+        let (graph, table, campaign) = medium();
+        Fixture {
+            graph,
+            table,
+            campaign,
+            // ℓ · |Vᵖ| = 24 keeps `brute` inside its candidate limit.
+            promoters: (0..24).step_by(3).collect(),
+            k: 4,
+            theta: 12_000,
+            seed: 11,
+            max_nodes: Some(60),
+        }
+    }
+
+    fn pool(&self) -> MrrPool {
+        MrrPool::generate(
+            &self.graph,
+            &self.table,
+            &self.campaign,
+            self.theta,
+            self.seed,
+        )
+    }
+
+    fn request(&self, method: Method) -> SolveRequest {
+        let mut req = SolveRequest::new(method, self.k);
+        req.campaign = Some(self.campaign.clone());
+        req.theta = Some(self.theta);
+        req.seed = Some(self.seed);
+        req.promoters = Some(self.promoters.clone());
+        req.max_nodes = self.max_nodes;
+        req
+    }
+
+    fn service(&self) -> PlannerService {
+        PlannerService::new(self.graph.clone(), self.table.clone()).unwrap()
+    }
+
+    /// The pre-redesign direct call for a method, with the exact
+    /// configuration the service derives from `self.request(method)`.
+    fn direct(&self, method: Method) -> (oipa_core::AssignmentPlan, f64, Option<f64>) {
+        let pool = self.pool();
+        let model = LogisticAdoption::from_ratio(0.5);
+        match method {
+            Method::Bab | Method::BabP | Method::Plain => {
+                let config = match method {
+                    Method::Bab => BabConfig {
+                        max_nodes: self.max_nodes,
+                        ..BabConfig::bab()
+                    },
+                    Method::BabP => BabConfig {
+                        max_nodes: self.max_nodes,
+                        ..BabConfig::bab_p(0.5)
+                    },
+                    _ => BabConfig {
+                        max_nodes: self.max_nodes,
+                        method: BoundMethod::PlainGreedy,
+                        ..BabConfig::bab()
+                    },
+                };
+                let instance =
+                    OipaInstance::new(&pool, model, self.promoters.clone(), self.k).unwrap();
+                let sol = BranchAndBound::new(&instance, config).solve();
+                (sol.plan, sol.utility, Some(sol.upper_bound))
+            }
+            Method::Greedy => {
+                let (plan, utility) = envelope_heuristic(&pool, model, &self.promoters, self.k);
+                (plan, utility, None)
+            }
+            Method::Brute => {
+                let mut est = AuEstimator::new(&pool, model);
+                let (plan, utility) =
+                    brute_force_best(&mut est, &self.promoters, pool.ell(), self.k);
+                (plan, utility, None)
+            }
+            Method::Im => {
+                let flat = collapsed_pool(&self.graph, &self.table, self.theta, self.seed);
+                let mut est = AuEstimator::new(&pool, model);
+                let r = im_baseline(&flat, &pool, &mut est, &self.promoters, self.k);
+                (r.plan, r.utility, None)
+            }
+            Method::Tim => {
+                let mut est = AuEstimator::new(&pool, model);
+                let r = tim_baseline(&pool, &mut est, &self.promoters, self.k);
+                (r.plan, r.utility, None)
+            }
+        }
+    }
+}
+
+fn assert_parity(fixture: &Fixture, label: &str) {
+    let mut service = fixture.service();
+    for method in Method::ALL {
+        let response = service.solve(&fixture.request(method)).unwrap();
+        let (plan, utility, upper) = fixture.direct(method);
+        assert_eq!(response.plan, plan, "{label}/{method}: plans diverged");
+        assert_eq!(
+            response.utility.to_bits(),
+            utility.to_bits(),
+            "{label}/{method}: utility diverged ({} vs {utility})",
+            response.utility
+        );
+        assert_eq!(
+            response.upper_bound.map(f64::to_bits),
+            upper.map(f64::to_bits),
+            "{label}/{method}: upper bound diverged"
+        );
+        assert_eq!(response.k, fixture.k);
+        assert_eq!(response.theta, fixture.theta);
+    }
+    // All seven methods shared one sampled pool: 6 arena hits.
+    let stats = service.arena_stats();
+    assert_eq!(stats.entries, 1, "{label}: one campaign ⇒ one pool");
+    assert_eq!(stats.hits, (Method::ALL.len() - 1) as u64, "{label}");
+}
+
+#[test]
+fn registry_parity_on_fig1() {
+    assert_parity(&Fixture::fig1(), "fig1");
+}
+
+#[test]
+fn registry_parity_on_seeded_medium_instance() {
+    assert_parity(&Fixture::medium(), "medium");
+}
+
+#[test]
+fn solve_request_round_trips_through_json() {
+    let fixture = Fixture::fig1();
+    let mut req = fixture.request(Method::BabP);
+    req.promoter_fraction = Some(0.25);
+    req.ratio = Some(0.7);
+    req.gap = Some(0.0);
+    req.eps = Some(0.4);
+    req.ell = Some(2);
+    req.auto_theta = Some(AutoThetaRequest {
+        initial_theta: Some(1_000),
+        max_theta: Some(8_000),
+        rel_tol: Some(0.05),
+    });
+    let json = serde_json::to_string(&req).unwrap();
+    let back: SolveRequest = serde_json::from_str(&json).unwrap();
+    assert_eq!(req, back);
+
+    // A minimal request needs only method and budget.
+    let minimal: SolveRequest = serde_json::from_str(r#"{"method":"greedy","budget":5}"#).unwrap();
+    assert_eq!(minimal.method, Method::Greedy);
+    assert_eq!(minimal.budget, 5);
+}
+
+#[test]
+fn solve_response_round_trips_through_json() {
+    let fixture = Fixture::fig1();
+    let mut service = fixture.service();
+    let response = service.solve(&fixture.request(Method::Bab)).unwrap();
+    let json = serde_json::to_string_pretty(&response).unwrap();
+    let back: SolveResponse = serde_json::from_str(&json).unwrap();
+    assert_eq!(response, back, "response JSON round-trip is lossy");
+    assert_eq!(back.utility.to_bits(), response.utility.to_bits());
+    assert!(back.stats.is_some(), "bab responses carry search stats");
+}
+
+#[test]
+fn repeat_requests_hit_the_pool_cache() {
+    let fixture = Fixture::fig1();
+    let mut service = fixture.service();
+    let first = service.solve(&fixture.request(Method::Bab)).unwrap();
+    let second = service.solve(&fixture.request(Method::Bab)).unwrap();
+    assert!(!first.pool_cache_hit);
+    assert!(second.pool_cache_hit);
+    assert_eq!(first.plan, second.plan);
+    assert_eq!(first.utility.to_bits(), second.utility.to_bits());
+
+    // A different θ keys a different pool.
+    let mut other = fixture.request(Method::Bab);
+    other.theta = Some(10_000);
+    let third = service.solve(&other).unwrap();
+    assert!(!third.pool_cache_hit);
+    assert_eq!(service.arena_stats().entries, 2);
+
+    // A different sampling seed keys a different pool too.
+    let mut reseeded = fixture.request(Method::Bab);
+    reseeded.seed = Some(fixture.seed + 1);
+    let fourth = service.solve(&reseeded).unwrap();
+    assert!(!fourth.pool_cache_hit);
+    assert_eq!(service.arena_stats().entries, 3);
+}
+
+#[test]
+fn arena_byte_budget_evicts_lru_pools() {
+    let fixture = Fixture::fig1();
+    let pool_bytes = fixture.pool().memory_bytes();
+    // Room for two pools of this size, not three.
+    let mut service = fixture.service().with_arena_capacity(2 * pool_bytes + 64);
+    let mut seeds = Vec::new();
+    for s in 0..3u64 {
+        let mut req = fixture.request(Method::Greedy);
+        req.seed = Some(100 + s);
+        service.solve(&req).unwrap();
+        seeds.push(100 + s);
+    }
+    let stats = service.arena_stats();
+    assert!(stats.evictions >= 1, "no eviction under a 2-pool budget");
+    assert!(stats.entries <= 2);
+    assert!(stats.bytes <= 2 * pool_bytes + 64);
+    // The most recent seed must still be cached.
+    let mut req = fixture.request(Method::Greedy);
+    req.seed = Some(102);
+    assert!(service.solve(&req).unwrap().pool_cache_hit);
+    // The least recent must have been the one evicted.
+    let mut req = fixture.request(Method::Greedy);
+    req.seed = Some(100);
+    assert!(!service.solve(&req).unwrap().pool_cache_hit);
+}
+
+#[test]
+fn auto_theta_matches_direct_call() {
+    let fixture = Fixture::fig1();
+    let mut service = fixture.service();
+    let mut req = fixture.request(Method::BabP);
+    req.theta = None;
+    req.auto_theta = Some(AutoThetaRequest {
+        initial_theta: Some(2_000),
+        max_theta: Some(50_000),
+        rel_tol: None,
+    });
+    let response = service.solve(&req).unwrap();
+
+    let direct = solve_auto_theta(
+        &fixture.graph,
+        &fixture.table,
+        &fixture.campaign,
+        LogisticAdoption::from_ratio(0.5),
+        &fixture.promoters,
+        fixture.k,
+        AutoThetaConfig {
+            initial_theta: 2_000,
+            max_theta: 50_000,
+            seed: fixture.seed,
+            bab: BabConfig::bab_p(0.5),
+            ..AutoThetaConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(response.plan, direct.solution.plan);
+    assert_eq!(
+        response.utility.to_bits(),
+        direct.solution.utility.to_bits()
+    );
+    assert_eq!(response.theta, direct.theta);
+    let report = response.auto_theta.expect("auto-θ report");
+    assert_eq!(report.converged, direct.converged);
+    assert_eq!(report.rounds, direct.rounds.len());
+}
+
+#[test]
+fn typed_errors_for_bad_requests() {
+    let fixture = Fixture::fig1();
+    let mut service = fixture.service();
+
+    let mut zero_budget = fixture.request(Method::Bab);
+    zero_budget.budget = 0;
+    assert!(matches!(
+        service.solve(&zero_budget),
+        Err(OipaError::InvalidBudget)
+    ));
+
+    let mut out_of_range = fixture.request(Method::Bab);
+    out_of_range.promoters = Some(vec![99]);
+    assert!(matches!(
+        service.solve(&out_of_range),
+        Err(OipaError::PromoterOutOfRange { promoter: 99, .. })
+    ));
+
+    let mut no_campaign = SolveRequest::new(Method::Bab, 2);
+    no_campaign.theta = Some(1_000);
+    assert!(matches!(
+        service.solve(&no_campaign),
+        Err(OipaError::MissingInput { .. })
+    ));
+
+    // Exceed the brute-force candidate limit on the medium instance.
+    let medium = Fixture::medium();
+    let mut brute_big = medium.request(Method::Brute);
+    brute_big.promoters = Some((0..30).collect()); // 3 × 30 = 90 > 26
+    let mut medium_service = medium.service();
+    assert!(matches!(
+        medium_service.solve(&brute_big),
+        Err(OipaError::TooLarge { got: 90, .. })
+    ));
+
+    let mut bad_gap = fixture.request(Method::Bab);
+    bad_gap.gap = Some(-0.5);
+    assert!(matches!(
+        service.solve(&bad_gap),
+        Err(OipaError::InvalidConfig { .. })
+    ));
+
+    // im without a graph: a from_pool session cannot run it.
+    let pool = fixture.pool();
+    let mut pool_only = PlannerService::from_pool(pool);
+    let mut im_req = SolveRequest::new(Method::Im, 2);
+    im_req.promoters = Some(vec![0, 1, 2]);
+    assert!(matches!(
+        pool_only.solve(&im_req),
+        Err(OipaError::MissingInput { .. })
+    ));
+}
+
+#[test]
+fn injected_pool_serves_campaignless_requests() {
+    let fixture = Fixture::fig1();
+    let pool = fixture.pool();
+    let theta = pool.theta();
+    let mut service = PlannerService::from_pool(pool);
+    let mut req = SolveRequest::new(Method::Bab, 2);
+    req.promoters = Some(fixture.promoters.clone());
+    req.seed = Some(fixture.seed);
+    let response = service.solve(&req).unwrap();
+    assert_eq!(response.theta, theta);
+    assert!(response.pool_cache_hit, "injected pools are always cached");
+    let (plan, utility, _) = fixture.direct(Method::Bab);
+    assert_eq!(response.plan, plan);
+    assert_eq!(response.utility.to_bits(), utility.to_bits());
+}
+
+#[test]
+fn attach_graph_invalidates_sampled_pools() {
+    let fixture = Fixture::fig1();
+    let mut service = fixture.service();
+    assert!(
+        !service
+            .solve(&fixture.request(Method::Bab))
+            .unwrap()
+            .pool_cache_hit
+    );
+    assert!(
+        service
+            .solve(&fixture.request(Method::Bab))
+            .unwrap()
+            .pool_cache_hit
+    );
+    // Re-attaching a graph (even the same one) must evict sampled pools:
+    // the service cannot know the new inputs produce identical samples.
+    service
+        .attach_graph(fixture.graph.clone(), fixture.table.clone())
+        .unwrap();
+    let response = service.solve(&fixture.request(Method::Bab)).unwrap();
+    assert!(
+        !response.pool_cache_hit,
+        "stale pool served after attach_graph"
+    );
+    assert_eq!(service.arena_stats().entries, 1);
+}
+
+#[test]
+fn injected_pool_survives_arena_pressure() {
+    let fixture = Fixture::fig1();
+    let injected = fixture.pool();
+    let injected_theta = injected.theta();
+    // Budget of one pool: every sampled pool evicts the previous sampled
+    // one, but never the pinned injected pool.
+    let mut service =
+        PlannerService::from_pool(injected).with_arena_capacity(fixture.pool().memory_bytes() + 64);
+    service
+        .attach_graph(fixture.graph.clone(), fixture.table.clone())
+        .unwrap();
+    for s in 0..3u64 {
+        let mut req = fixture.request(Method::Greedy);
+        req.seed = Some(200 + s);
+        service.solve(&req).unwrap();
+    }
+    let mut campaignless = SolveRequest::new(Method::Bab, 2);
+    campaignless.promoters = Some(fixture.promoters.clone());
+    let response = service.solve(&campaignless).unwrap();
+    assert_eq!(response.theta, injected_theta);
+    assert!(
+        response.pool_cache_hit,
+        "pinned pool was evicted by pressure"
+    );
+}
+
+#[test]
+fn im_flat_pool_is_cached_across_requests() {
+    let fixture = Fixture::fig1();
+    let mut service = fixture.service();
+    let first = service.solve(&fixture.request(Method::Im)).unwrap();
+    let start = std::time::Instant::now();
+    let second = service.solve(&fixture.request(Method::Im)).unwrap();
+    let warm = start.elapsed();
+    assert_eq!(first.plan, second.plan);
+    assert_eq!(first.utility.to_bits(), second.utility.to_bits());
+    assert!(second.pool_cache_hit);
+    // Warm im requests skip both the MRR pool and the collapsed pool; on
+    // this fixture that makes them far faster than the cold one. The
+    // parity test already pins the answer; here we only require reuse to
+    // not change it and the request to stay sub-cold.
+    assert!(warm.as_secs_f64() < first.seconds, "flat pool not reused");
+}
+
+#[test]
+fn default_campaign_does_not_reroute_injected_pool_requests() {
+    let fixture = Fixture::fig1();
+    let mut service = PlannerService::from_pool(fixture.pool());
+    service.set_default_campaign(fixture.campaign.clone());
+    // A campaign-less request must keep using the injected pool…
+    let mut req = SolveRequest::new(Method::Bab, 2);
+    req.promoters = Some(fixture.promoters.clone());
+    req.seed = Some(fixture.seed);
+    let response = service.solve(&req).unwrap();
+    assert!(
+        response.pool_cache_hit,
+        "rerouted away from the injected pool"
+    );
+    assert_eq!(response.theta, fixture.theta);
+    // …and θ = 0 is rejected up front on this path too (im would
+    // otherwise build an empty collapsed pool).
+    let mut zero = req.clone();
+    zero.method = Method::Im;
+    zero.theta = Some(0);
+    assert!(matches!(
+        service.solve(&zero),
+        Err(OipaError::InvalidConfig { .. })
+    ));
+}
+
+#[test]
+fn mismatched_campaign_topics_are_typed_errors_everywhere() {
+    use oipa_service::SimulateRequest;
+    // A 5-topic campaign against fig1's 2-topic table must yield a typed
+    // Mismatch on every path — fixed-θ, auto-θ, simulate, and the raw
+    // sampler — never a panic.
+    let fixture = Fixture::fig1();
+    let mut rng = StdRng::seed_from_u64(3);
+    let wide = Campaign::sample_one_hot(&mut rng, 5, 2);
+    let mut service = fixture.service();
+
+    let mut fixed = fixture.request(Method::Bab);
+    fixed.campaign = Some(wide.clone());
+    assert!(matches!(
+        service.solve(&fixed),
+        Err(OipaError::Mismatch { .. })
+    ));
+
+    let mut auto = fixture.request(Method::Bab);
+    auto.campaign = Some(wide.clone());
+    auto.theta = None;
+    auto.auto_theta = Some(AutoThetaRequest {
+        initial_theta: Some(1_000),
+        max_theta: Some(2_000),
+        rel_tol: None,
+    });
+    assert!(matches!(
+        service.solve(&auto),
+        Err(OipaError::Mismatch { .. })
+    ));
+
+    let sim = SimulateRequest {
+        plan: oipa_core::AssignmentPlan::empty(2),
+        campaign: wide.clone(),
+        ratio: None,
+        alpha: None,
+        beta: None,
+        runs: Some(10),
+        seed: None,
+    };
+    assert!(matches!(
+        service.simulate(&sim),
+        Err(OipaError::Mismatch { .. })
+    ));
+
+    assert!(matches!(
+        MrrPool::try_generate(&fixture.graph, &fixture.table, &wide, 100, 1),
+        Err(oipa_sampler::PoolBuildError::TableMismatch(_))
+    ));
+}

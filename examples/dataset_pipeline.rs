@@ -35,7 +35,8 @@ fn solve_small(graph: &oipa::graph::DiGraph, table: &EdgeTopicProbs, label: &str
     let campaign = Campaign::sample_one_hot(&mut rng, topics, 2);
     let pool = MrrPool::generate(graph, table, &campaign, 20_000, seed);
     let promoters = OipaInstance::sample_promoters(&mut rng, graph.node_count(), 0.2);
-    let instance = OipaInstance::new(&pool, LogisticAdoption::from_ratio(0.5), promoters, 4);
+    let instance =
+        OipaInstance::new(&pool, LogisticAdoption::from_ratio(0.5), promoters, 4).unwrap();
     let sol = BranchAndBound::new(
         &instance,
         BabConfig {

@@ -61,7 +61,7 @@ fn main() {
     let tim = tim_baseline(&pool, &mut estimator, &promoters, k);
 
     // Proposed methods.
-    let instance = OipaInstance::new(&pool, model, promoters, k);
+    let instance = OipaInstance::new(&pool, model, promoters, k).unwrap();
     let bab = BranchAndBound::new(
         &instance,
         BabConfig {

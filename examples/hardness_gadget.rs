@@ -41,7 +41,8 @@ fn main() {
 
     // Solve with BAB. The gadget is deterministic, so a modest θ suffices.
     let pool = MrrPool::generate(&gadget.graph, &gadget.table, &gadget.campaign, 60_000, 11);
-    let instance = OipaInstance::new(&pool, gadget.model, gadget.promoters.clone(), gadget.budget);
+    let instance =
+        OipaInstance::new(&pool, gadget.model, gadget.promoters.clone(), gadget.budget).unwrap();
     let solution = BranchAndBound::new(
         &instance,
         BabConfig {

@@ -52,7 +52,7 @@ fn main() {
     // then score it against the real heterogeneous audience.
     let avg_alpha = 0.3 * 1.0 + 0.7 * 3.0;
     let average = LogisticAdoption::new(avg_alpha, 1.0);
-    let instance = OipaInstance::new(&pool, average, promoters.clone(), k);
+    let instance = OipaInstance::new(&pool, average, promoters.clone(), k).unwrap();
     let homogeneous = BranchAndBound::new(
         &instance,
         BabConfig {

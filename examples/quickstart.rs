@@ -37,7 +37,7 @@ fn main() {
 
     // 4. Solve OIPA with branch-and-bound at budget k = 2; every user is
     //    an eligible promoter here.
-    let instance = OipaInstance::new(&pool, model, (0..5).collect(), 2);
+    let instance = OipaInstance::new(&pool, model, (0..5).collect(), 2).unwrap();
     let solution = BranchAndBound::new(&instance, BabConfig::bab()).solve();
 
     // 5. Report.

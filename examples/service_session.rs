@@ -1,0 +1,95 @@
+//! A multi-query planning session through the `PlannerService`.
+//!
+//! The one-shot pipeline (sample θ MRR sets, solve once) pays sampling on
+//! every query. A session amortizes it: the service's pool arena caches
+//! sampled pools under a (campaign, θ, seed) key, so a stream of queries
+//! with different budgets, methods, and adoption models shares one pool —
+//! the serving-engine workload the ROADMAP's north star describes.
+//!
+//! ```text
+//! cargo run --release --example service_session
+//! ```
+
+use oipa::service::{Method, PlannerService, SolveRequest};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    // A seeded mid-size instance: 300 users, 2400 edges, 3 viral pieces.
+    let mut rng = StdRng::seed_from_u64(23);
+    let (graph, table, campaign) =
+        oipa::sampler::testkit::small_random_instance(&mut rng, 300, 2400, 4, 3);
+    let mut service = PlannerService::new(graph, table).expect("consistent inputs");
+
+    let mut base = SolveRequest::new(Method::BabP, 4);
+    base.campaign = Some(campaign);
+    base.theta = Some(20_000);
+    base.seed = Some(23);
+    base.promoter_fraction = Some(0.2);
+    base.max_nodes = Some(40);
+
+    // Query 1: cold — the service samples the pool first.
+    let t = Instant::now();
+    let cold = service.solve(&base).expect("solvable");
+    println!(
+        "cold  bab-p k=4: σ̂ = {:6.2} users in {:5.1} ms (cache hit: {})",
+        cold.utility,
+        t.elapsed().as_secs_f64() * 1e3,
+        cold.pool_cache_hit
+    );
+    assert!(!cold.pool_cache_hit);
+
+    // Queries 2..: warm — same pool key, different questions.
+    for (label, request) in [
+        ("warm  bab-p k=4", base.clone()),
+        (
+            "warm  greedy k=4",
+            SolveRequest {
+                method: Method::Greedy,
+                ..base.clone()
+            },
+        ),
+        (
+            "warm  bab-p k=8",
+            SolveRequest {
+                budget: 8,
+                ..base.clone()
+            },
+        ),
+        (
+            "warm  tim   k=4",
+            SolveRequest {
+                method: Method::Tim,
+                ..base.clone()
+            },
+        ),
+        (
+            "warm  bab-p k=4 ratio=0.8",
+            SolveRequest {
+                ratio: Some(0.8),
+                ..base.clone()
+            },
+        ),
+    ] {
+        let t = Instant::now();
+        let response = service.solve(&request).expect("solvable");
+        println!(
+            "{label}: σ̂ = {:6.2} users in {:5.1} ms (cache hit: {})",
+            response.utility,
+            t.elapsed().as_secs_f64() * 1e3,
+            response.pool_cache_hit
+        );
+        assert!(response.pool_cache_hit, "same pool key must hit the arena");
+    }
+
+    let stats = service.arena_stats();
+    println!(
+        "arena: {} pool(s), {:.1} MiB resident, {} hits / {} misses",
+        stats.entries,
+        stats.bytes as f64 / (1 << 20) as f64,
+        stats.hits,
+        stats.misses
+    );
+    assert_eq!(stats.entries, 1, "all six queries shared one pool");
+}

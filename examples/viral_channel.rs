@@ -53,7 +53,7 @@ fn main() {
         let mut estimator = AuEstimator::new(&pool, model);
         let im = im_baseline(&flat, &pool, &mut estimator, &promoters, k);
         let tim = tim_baseline(&pool, &mut estimator, &promoters, k);
-        let instance = OipaInstance::new(&pool, model, promoters.clone(), k);
+        let instance = OipaInstance::new(&pool, model, promoters.clone(), k).unwrap();
         let bab_p = BranchAndBound::new(
             &instance,
             BabConfig {

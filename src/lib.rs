@@ -9,32 +9,49 @@
 //! 1. build or generate a social graph ([`graph`]),
 //! 2. attach topic-aware edge probabilities, either synthetic or learned
 //!    from action logs ([`topics`]),
-//! 3. sample multi-reverse-reachable (MRR) sets ([`sampler`]),
-//! 4. solve the Optimal Influential Pieces Assignment problem with
-//!    branch-and-bound ([`core`]), and
-//! 5. compare against the paper's `IM`/`TIM` baselines ([`baselines`]).
+//! 3. hand both to a [`service::PlannerService`] session and stream
+//!    [`service::SolveRequest`]s at it — the service samples
+//!    multi-reverse-reachable (MRR) pools ([`sampler`]), caches them in a
+//!    byte-bounded arena, and dispatches to any registered solver:
+//!    branch-and-bound ([`core`]), the relaxation heuristic, exact
+//!    enumeration, or the paper's `IM`/`TIM` baselines ([`baselines`]).
 //!
-//! See `examples/quickstart.rs` for the 60-second version. In miniature:
+//! See `examples/quickstart.rs` and `examples/service_session.rs` for the
+//! 60-second versions. In miniature — one session, many queries, sampling
+//! paid once:
 //!
 //! ```
-//! use oipa::core::{BabConfig, BranchAndBound, OipaInstance};
-//! use oipa::sampler::MrrPool;
-//! use oipa::topics::LogisticAdoption;
+//! use oipa::service::{Method, PlannerService, SolveRequest};
 //!
 //! // 1–2. graph + probabilities (here: the paper's Fig. 1 fixture).
 //! let (graph, probs, campaign) = oipa::sampler::testkit::fig1();
-//! // 3. sample MRR sets.
-//! let pool = MrrPool::generate(&graph, &probs, &campaign, 20_000, 42);
-//! // 4. solve OIPA at budget k = 2.
-//! let instance = OipaInstance::new(&pool, LogisticAdoption::example(), (0..5).collect(), 2);
-//! let solution = BranchAndBound::new(&instance, BabConfig::bab()).solve();
-//! assert_eq!(solution.plan.set(0), &[0]); // Example 1's optimum
-//! assert_eq!(solution.plan.set(1), &[4]);
+//! let mut service = PlannerService::new(graph, probs).unwrap();
+//!
+//! // 3. describe the query: solve OIPA at budget k = 2 over 20k samples.
+//! let mut request = SolveRequest::new(Method::Bab, 2);
+//! request.campaign = Some(campaign);
+//! request.theta = Some(20_000);
+//! request.promoters = Some((0..5).collect());
+//!
+//! let first = service.solve(&request).unwrap();   // samples the pool
+//! assert_eq!(first.plan.set(0), &[0]); // Example 1's optimum: t1 -> a
+//! assert_eq!(first.plan.set(1), &[4]); //                      t2 -> e
+//!
+//! // Same session, different method: the pool is already cached.
+//! request.method = Method::Greedy;
+//! let second = service.solve(&request).unwrap();
+//! assert!(second.pool_cache_hit);
+//! assert_eq!(second.plan, first.plan);
 //! ```
+//!
+//! Lower-level entry points remain available — `core::BranchAndBound`
+//! solves a hand-built `core::OipaInstance` directly, and the service's
+//! answers are bitwise-identical to those direct calls.
 
 pub use oipa_baselines as baselines;
 pub use oipa_core as core;
 pub use oipa_datasets as datasets;
 pub use oipa_graph as graph;
 pub use oipa_sampler as sampler;
+pub use oipa_service as service;
 pub use oipa_topics as topics;

@@ -98,7 +98,7 @@ proptest! {
         let promoters: Vec<u32> = vec![0, 3, 7, 11, 19, 23];
         let mut est = AuEstimator::new(&pool, model);
         let (_, opt) = brute_force_best(&mut est, &promoters, 2, 2);
-        let inst = OipaInstance::new(&pool, model, promoters, 2);
+        let inst = OipaInstance::new(&pool, model, promoters, 2).unwrap();
         let sol = BranchAndBound::new(&inst, BabConfig { gap: 0.0, ..BabConfig::bab() }).solve();
         let ratio = 1.0 - std::f64::consts::E.recip();
         prop_assert!(
@@ -117,7 +117,7 @@ proptest! {
         let promoters: Vec<u32> = vec![1, 4, 9, 14, 21, 27];
         let mut est = AuEstimator::new(&pool, model);
         let (_, opt) = brute_force_best(&mut est, &promoters, 2, 2);
-        let inst = OipaInstance::new(&pool, model, promoters, 2);
+        let inst = OipaInstance::new(&pool, model, promoters, 2).unwrap();
         let sol =
             BranchAndBound::new(&inst, BabConfig { gap: 0.0, ..BabConfig::bab_p(0.5) }).solve();
         let ratio = 1.0 - std::f64::consts::E.recip() - 0.5;

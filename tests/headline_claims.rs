@@ -43,7 +43,7 @@ fn run_methods(b: &Bench, k: usize) -> (f64, f64, f64, f64, u64, u64) {
     let mut est = AuEstimator::new(&b.pool, b.model);
     let im = im_baseline(&b.flat, &b.pool, &mut est, &b.promoters, k);
     let tim = tim_baseline(&b.pool, &mut est, &b.promoters, k);
-    let instance = OipaInstance::new(&b.pool, b.model, b.promoters.clone(), k);
+    let instance = OipaInstance::new(&b.pool, b.model, b.promoters.clone(), k).unwrap();
     let bab = BranchAndBound::new(
         &instance,
         BabConfig {
@@ -96,7 +96,7 @@ fn proposed_methods_beat_baselines_decisively() {
 fn progressive_cuts_tau_evaluations() {
     let bench = tweet_bench(3, 0.5, 25_000);
     let k = 10;
-    let instance = OipaInstance::new(&bench.pool, bench.model, bench.promoters.clone(), k);
+    let instance = OipaInstance::new(&bench.pool, bench.model, bench.promoters.clone(), k).unwrap();
     let plain = BranchAndBound::new(
         &instance,
         BabConfig {

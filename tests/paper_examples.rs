@@ -21,7 +21,7 @@ fn example1_sigma_and_optimal_plan() {
     assert!((sigma - 1.045).abs() < 0.02, "σ̂ = {sigma}");
 
     // And branch-and-bound finds exactly that plan at k = 2.
-    let instance = OipaInstance::new(&pool, model, (0..5).collect(), 2);
+    let instance = OipaInstance::new(&pool, model, (0..5).collect(), 2).unwrap();
     let sol = BranchAndBound::new(
         &instance,
         BabConfig {
@@ -105,7 +105,8 @@ fn hardness_gadget_solved_by_bab() {
     // Triangle {0,1,2} plus pendant 3.
     let gadget = oipa::datasets::hardness::build_gadget(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
     let pool = MrrPool::generate(&gadget.graph, &gadget.table, &gadget.campaign, 40_000, 5);
-    let instance = OipaInstance::new(&pool, gadget.model, gadget.promoters.clone(), gadget.budget);
+    let instance =
+        OipaInstance::new(&pool, gadget.model, gadget.promoters.clone(), gadget.budget).unwrap();
     let sol = BranchAndBound::new(
         &instance,
         BabConfig {

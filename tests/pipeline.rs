@@ -22,7 +22,7 @@ fn solve_then_validate_by_forward_simulation() {
     let model = LogisticAdoption::from_ratio(0.5);
     let pool = MrrPool::generate_parallel(&dataset.graph, &dataset.table, &campaign, 60_000, 31, 2);
     let promoters = OipaInstance::sample_promoters(&mut rng, dataset.graph.node_count(), 0.2);
-    let instance = OipaInstance::new(&pool, model, promoters, 6);
+    let instance = OipaInstance::new(&pool, model, promoters, 6).unwrap();
     let sol = BranchAndBound::new(
         &instance,
         BabConfig {
@@ -74,7 +74,8 @@ fn learned_probabilities_are_solvable() {
     let campaign = Campaign::sample_one_hot(&mut rng, dataset.topics, 2);
     let pool = MrrPool::generate(&dataset.graph, &learned, &campaign, 30_000, 78);
     let promoters = OipaInstance::sample_promoters(&mut rng, dataset.graph.node_count(), 0.3);
-    let instance = OipaInstance::new(&pool, LogisticAdoption::from_ratio(0.5), promoters, 4);
+    let instance =
+        OipaInstance::new(&pool, LogisticAdoption::from_ratio(0.5), promoters, 4).unwrap();
     let sol = BranchAndBound::new(
         &instance,
         BabConfig {
@@ -96,7 +97,7 @@ fn sparse_tweet_instance_runs_whole_stack() {
     let model = LogisticAdoption::from_ratio(0.3);
     let pool = MrrPool::generate_parallel(&dataset.graph, &dataset.table, &campaign, 30_000, 13, 2);
     let promoters = OipaInstance::sample_promoters(&mut rng, dataset.graph.node_count(), 0.1);
-    let instance = OipaInstance::new(&pool, model, promoters, 8);
+    let instance = OipaInstance::new(&pool, model, promoters, 8).unwrap();
     for config in [BabConfig::bab(), BabConfig::bab_p(0.5)] {
         let sol = BranchAndBound::new(
             &instance,
