@@ -1,0 +1,71 @@
+//! `bench_store` — emits the `BENCH_store.json` artifact for the
+//! persistent pool store (cold vs disk-warm vs mem-warm latency).
+//!
+//! ```text
+//! bench_store [--smoke] [--check] [--seed N] [--out FILE] [--store-dir DIR]
+//! ```
+//!
+//! * `--smoke` — one tiny instance (seconds; the CI mode)
+//! * `--check` — validate the report invariants (three phases per
+//!   method, bitwise answer parity, the ≥10× disk-warm bar on full
+//!   runs) and the written JSON, exiting non-zero on violation
+//! * `--out`       — output path (default `BENCH_store.json`)
+//! * `--store-dir` — store directory (default: per-seed temp dir; wiped)
+
+use oipa_bench::store_suite::{
+    run_store_suite, summary_text, validate_report, StoreSuiteConfig, STORE_SCHEMA,
+};
+
+fn main() {
+    let mut config = StoreSuiteConfig::default();
+    let mut check = false;
+    let mut out = String::from("BENCH_store.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => config.smoke = true,
+            "--check" => check = true,
+            "--seed" => {
+                config.seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--out" => {
+                out = args.next().unwrap_or_else(|| die("--out needs a path"));
+            }
+            "--store-dir" => {
+                let dir = args
+                    .next()
+                    .unwrap_or_else(|| die("--store-dir needs a path"));
+                config.store_dir = Some(dir.into());
+            }
+            other => die(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    let report = run_store_suite(config).unwrap_or_else(|e| die(&e));
+    print!("{}", summary_text(&report));
+    let json = serde_json::to_string_pretty(&report).unwrap_or_else(|e| die(&format!("{e}")));
+    std::fs::write(&out, &json).unwrap_or_else(|e| die(&format!("writing {out}: {e}")));
+    println!("wrote {out} ({} records)", report.records.len());
+
+    if check {
+        if let Err(e) = validate_report(&report) {
+            die(&format!("validation failed: {e}"));
+        }
+        let text = std::fs::read_to_string(&out).unwrap_or_else(|e| die(&format!("{e}")));
+        let value: serde_json::Value =
+            serde_json::from_str(&text).unwrap_or_else(|e| die(&format!("invalid JSON: {e}")));
+        match value.get("schema") {
+            Some(serde_json::Value::String(s)) if s == STORE_SCHEMA => {}
+            other => die(&format!("schema field mismatch in {out}: {other:?}")),
+        }
+        println!("check passed: schema + invariants hold");
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("bench_store: {msg}");
+    std::process::exit(1);
+}

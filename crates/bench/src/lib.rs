@@ -21,9 +21,12 @@
 //! trajectory: [`solver_suite`] (the `bench_solver` bin, also reachable
 //! as `oipa-cli bench solver`) emits `BENCH_solver.json` with wall-clock,
 //! τ-evaluation and search-shape counters for the incremental vs
-//! reference engines, and [`service_suite`] (the `bench_service` bin /
+//! reference engines, [`service_suite`] (the `bench_service` bin /
 //! `oipa-cli bench service`) emits `BENCH_service.json` with cold-pool vs
-//! warm-pool request latency through the `PlannerService` arena.
+//! warm-pool request latency through the `PlannerService` arena, and
+//! [`store_suite`] (the `bench_store` bin / `oipa-cli bench store`) emits
+//! `BENCH_store.json` with cold vs disk-warm vs mem-warm latency through
+//! the persistent pool store.
 //!
 //! Criterion micro/ablation benches live in `benches/`.
 
@@ -34,10 +37,12 @@ pub mod args;
 pub mod runner;
 pub mod service_suite;
 pub mod solver_suite;
+pub mod store_suite;
 pub mod table;
 
 pub use args::HarnessArgs;
 pub use runner::{run_all_methods, ExperimentSetup, MethodOutcome};
 pub use service_suite::{run_service_suite, ServiceSuiteConfig, ServiceSuiteReport};
 pub use solver_suite::{run_solver_suite, SolverSuiteConfig, SolverSuiteReport};
+pub use store_suite::{run_store_suite, StoreSuiteConfig, StoreSuiteReport};
 pub use table::TablePrinter;

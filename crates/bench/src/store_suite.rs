@@ -1,0 +1,472 @@
+//! The `store` benchmark family: cold vs disk-warm vs mem-warm request
+//! latency through the `PlannerService` + persistent pool store.
+//!
+//! Produces the `BENCH_store.json` artifact quantifying what the disk
+//! tier buys: a **cold** request pays full MRR sampling; a **disk-warm**
+//! request simulates a process restart (fresh service, empty memory
+//! tier) over a populated store directory and pays only the checksummed
+//! segment read; a **mem-warm** request reuses the promoted in-memory
+//! pool. The suite cross-checks that all three paths produce
+//! bitwise-identical plans and utilities (the store must never change
+//! answers, only latency) and that, on the full seeded medium instance,
+//! disk-warm beats cold by ≥ 10×. Reproduce with `oipa-cli bench store
+//! [--smoke]` or `cargo run --release -p oipa-bench --bin bench_store`.
+
+use oipa_sampler::testkit::small_random_instance;
+use oipa_service::{Method, PlannerService, SolveRequest, StoreConfig};
+use oipa_topics::Campaign;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Schema identifier stamped into every report.
+pub const STORE_SCHEMA: &str = "oipa.bench.store/v1";
+
+/// Suite configuration.
+#[derive(Debug, Clone, Default)]
+pub struct StoreSuiteConfig {
+    /// Tiny single-phase mode for CI smoke checks.
+    pub smoke: bool,
+    /// Base seed for instance generation.
+    pub seed: u64,
+    /// Store directory (default: a per-seed directory under the system
+    /// temp dir). The suite wipes and repopulates it.
+    pub store_dir: Option<PathBuf>,
+}
+
+/// One (method, phase) measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct StorePhaseRecord {
+    /// `cold` (fresh service, no store), `disk_warm` (fresh service per
+    /// request over the populated store — a restart), or `mem_warm`
+    /// (shared service, promoted pool).
+    pub phase: String,
+    /// Solve method.
+    pub method: String,
+    /// Requests timed.
+    pub requests: usize,
+    /// Mean end-to-end latency per request, milliseconds.
+    pub mean_ms: f64,
+    /// Fastest request, milliseconds.
+    pub min_ms: f64,
+    /// Total wall-clock, milliseconds.
+    pub total_ms: f64,
+    /// Throughput over the phase.
+    pub requests_per_sec: f64,
+    /// The pool tier every request in the phase reported (`None` for the
+    /// cold phase, which samples).
+    pub pool_tier: Option<String>,
+    /// Utility of the phase's (identical) answers, user units.
+    pub utility: f64,
+    /// Whether every answer in this phase carried the same plan as the
+    /// first cold answer (bitwise answer-equality gate).
+    pub plan_matches_cold: bool,
+}
+
+/// Cold vs disk-warm vs mem-warm summary per method.
+#[derive(Debug, Clone, Serialize)]
+pub struct StoreSpeedup {
+    /// Solve method.
+    pub method: String,
+    /// Mean cold latency, milliseconds.
+    pub cold_mean_ms: f64,
+    /// Mean disk-warm latency, milliseconds.
+    pub disk_warm_mean_ms: f64,
+    /// Mean mem-warm latency, milliseconds.
+    pub mem_warm_mean_ms: f64,
+    /// `cold_mean_ms / disk_warm_mean_ms` — the restart dividend.
+    pub disk_speedup: f64,
+    /// `cold_mean_ms / mem_warm_mean_ms`.
+    pub mem_speedup: f64,
+}
+
+/// The full suite report (the `BENCH_store.json` payload).
+#[derive(Debug, Clone, Serialize)]
+pub struct StoreSuiteReport {
+    /// Schema identifier (`oipa.bench.store/v1`).
+    pub schema: String,
+    /// Whether this was a smoke run.
+    pub smoke: bool,
+    /// Base seed.
+    pub seed: u64,
+    /// Instance nodes.
+    pub nodes: usize,
+    /// Instance edges.
+    pub edges: usize,
+    /// Campaign pieces ℓ.
+    pub ell: usize,
+    /// MRR samples θ per pool.
+    pub theta: usize,
+    /// Budget k.
+    pub k: usize,
+    /// Segments in the store after the run (both methods share one pool
+    /// key, so this is 1).
+    pub store_segments: usize,
+    /// Bytes of the shared pool segment on disk.
+    pub segment_bytes: u64,
+    /// All measurements.
+    pub records: Vec<StorePhaseRecord>,
+    /// Per-method summaries.
+    pub summary: Vec<StoreSpeedup>,
+}
+
+struct Spec {
+    nodes: u32,
+    edges: usize,
+    ell: usize,
+    theta: usize,
+    k: usize,
+    cold_requests: usize,
+    disk_requests: usize,
+    mem_requests: usize,
+    max_nodes: usize,
+}
+
+fn spec(smoke: bool) -> Spec {
+    if smoke {
+        Spec {
+            nodes: 120,
+            edges: 900,
+            ell: 3,
+            theta: 4_000,
+            k: 3,
+            cold_requests: 1,
+            disk_requests: 2,
+            mem_requests: 2,
+            max_nodes: 20,
+        }
+    } else {
+        // The seeded medium instance the service bench uses: sampling
+        // dominates the solve, which is the regime the store amortizes.
+        Spec {
+            nodes: 400,
+            edges: 3_200,
+            ell: 3,
+            theta: 30_000,
+            k: 4,
+            cold_requests: 3,
+            disk_requests: 5,
+            mem_requests: 5,
+            max_nodes: 40,
+        }
+    }
+}
+
+/// The measured methods (pool-bound, no extra inputs).
+const METHODS: [Method; 2] = [Method::BabP, Method::Greedy];
+
+fn request(method: Method, spec: &Spec, campaign: &Campaign, seed: u64) -> SolveRequest {
+    let mut req = SolveRequest::new(method, spec.k);
+    req.campaign = Some(campaign.clone());
+    req.theta = Some(spec.theta);
+    req.seed = Some(seed);
+    req.promoter_fraction = Some(0.2);
+    req.max_nodes = Some(spec.max_nodes);
+    req
+}
+
+/// Runs the suite. The store directory is wiped first; every phase of
+/// every method must produce the same plan and utility — the phases
+/// differ only in where the pool comes from.
+pub fn run_store_suite(config: StoreSuiteConfig) -> Result<StoreSuiteReport, String> {
+    let spec = spec(config.smoke);
+    let dir = config
+        .store_dir
+        .unwrap_or_else(|| std::env::temp_dir().join(format!("oipa-bench-store-{}", config.seed)));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store_config = || StoreConfig::new(&dir);
+
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5704e);
+    let (graph, table, campaign) =
+        small_random_instance(&mut rng, spec.nodes, spec.edges, spec.ell + 1, spec.ell);
+    let fresh = || PlannerService::new(graph.clone(), table.clone()).expect("valid instance");
+    let err = |e: oipa_core::OipaError| e.to_string();
+
+    // Prime the store once (untimed): the pool key is method-independent,
+    // so one cold stored solve serves every phase below.
+    {
+        let mut primer = fresh();
+        primer.attach_store(store_config()).map_err(err)?;
+        let req = request(Method::BabP, &spec, &campaign, config.seed ^ 0xd15c);
+        let primed = primer.solve(&req).map_err(err)?;
+        assert!(!primed.pool_cache_hit, "priming request found a stale pool");
+    }
+
+    let mut records = Vec::new();
+    let mut summary = Vec::new();
+    for method in METHODS {
+        let req = request(method, &spec, &campaign, config.seed ^ 0xd15c);
+
+        // Cold: fresh storeless service per request — full sampling.
+        let mut cold_lat = Vec::new();
+        let mut cold_utility = 0.0f64;
+        let mut cold_plan = None;
+        for _ in 0..spec.cold_requests {
+            let response = fresh().solve(&req).map_err(err)?;
+            assert!(!response.pool_cache_hit, "cold request hit a cache");
+            cold_lat.push(response.seconds * 1e3);
+            cold_utility = response.utility;
+            let prev = cold_plan.get_or_insert_with(|| response.plan.clone());
+            assert_eq!(*prev, response.plan, "{method}: cold answers disagree");
+        }
+        let cold_plan = cold_plan.expect("at least one cold request");
+        records.push(phase_record(
+            "cold",
+            method,
+            &cold_lat,
+            None,
+            cold_utility,
+            true,
+        ));
+
+        // Disk-warm: every request is a restart — a fresh service (empty
+        // memory tier) over the populated store directory.
+        let mut disk_lat = Vec::new();
+        let mut disk_matches = true;
+        for _ in 0..spec.disk_requests {
+            let mut service = fresh();
+            service.attach_store(store_config()).map_err(err)?;
+            let response = service.solve(&req).map_err(err)?;
+            assert_eq!(
+                response.pool_tier.as_deref(),
+                Some("disk"),
+                "{method}: restart request did not hit the disk tier"
+            );
+            assert_eq!(
+                response.utility.to_bits(),
+                cold_utility.to_bits(),
+                "{method}: disk-warm utility diverged from cold"
+            );
+            disk_matches &= response.plan == cold_plan;
+            disk_lat.push(response.seconds * 1e3);
+        }
+        assert!(disk_matches, "{method}: disk-warm plan diverged from cold");
+        records.push(phase_record(
+            "disk_warm",
+            method,
+            &disk_lat,
+            Some("disk"),
+            cold_utility,
+            disk_matches,
+        ));
+
+        // Mem-warm: one service; its first request promotes the pool off
+        // disk (untimed), then every measured request is a memory hit.
+        let mut service = fresh();
+        service.attach_store(store_config()).map_err(err)?;
+        let promoted = service.solve(&req).map_err(err)?;
+        assert!(promoted.pool_cache_hit, "promotion request missed");
+        let mut mem_lat = Vec::new();
+        let mut mem_matches = true;
+        for _ in 0..spec.mem_requests {
+            let response = service.solve(&req).map_err(err)?;
+            assert_eq!(
+                response.pool_tier.as_deref(),
+                Some("memory"),
+                "{method}: warm request did not hit the memory tier"
+            );
+            assert_eq!(
+                response.utility.to_bits(),
+                cold_utility.to_bits(),
+                "{method}: mem-warm utility diverged from cold"
+            );
+            mem_matches &= response.plan == cold_plan;
+            mem_lat.push(response.seconds * 1e3);
+        }
+        assert!(mem_matches, "{method}: mem-warm plan diverged from cold");
+        records.push(phase_record(
+            "mem_warm",
+            method,
+            &mem_lat,
+            Some("memory"),
+            cold_utility,
+            mem_matches,
+        ));
+
+        let cold_mean = mean(&cold_lat);
+        let disk_mean = mean(&disk_lat);
+        let mem_mean = mean(&mem_lat);
+        summary.push(StoreSpeedup {
+            method: method.name().to_string(),
+            cold_mean_ms: cold_mean,
+            disk_warm_mean_ms: disk_mean,
+            mem_warm_mean_ms: mem_mean,
+            disk_speedup: cold_mean / disk_mean.max(1e-9),
+            mem_speedup: cold_mean / mem_mean.max(1e-9),
+        });
+    }
+
+    // Inspect the store: both methods shared one pool key.
+    let tier = oipa_store::DiskTier::open(&dir, u64::MAX).map_err(|e| e.to_string())?;
+    let store_segments = tier.len();
+    let segment_bytes = tier.entries().first().map_or(0, |e| e.bytes);
+
+    Ok(StoreSuiteReport {
+        schema: STORE_SCHEMA.to_string(),
+        smoke: config.smoke,
+        seed: config.seed,
+        nodes: spec.nodes as usize,
+        edges: spec.edges,
+        ell: spec.ell,
+        theta: spec.theta,
+        k: spec.k,
+        store_segments,
+        segment_bytes,
+        records,
+        summary,
+    })
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len().max(1) as f64
+}
+
+fn phase_record(
+    phase: &str,
+    method: Method,
+    latencies: &[f64],
+    pool_tier: Option<&str>,
+    utility: f64,
+    plan_matches_cold: bool,
+) -> StorePhaseRecord {
+    let total: f64 = latencies.iter().sum();
+    StorePhaseRecord {
+        phase: phase.to_string(),
+        method: method.name().to_string(),
+        requests: latencies.len(),
+        mean_ms: mean(latencies),
+        min_ms: latencies.iter().copied().fold(f64::INFINITY, f64::min),
+        total_ms: total,
+        requests_per_sec: latencies.len() as f64 / (total / 1e3).max(1e-9),
+        pool_tier: pool_tier.map(String::from),
+        utility,
+        plan_matches_cold,
+    }
+}
+
+/// Validates a report's schema and the invariants the CI smoke step
+/// asserts: every method has all three phases, every phase's answers
+/// match cold bitwise, the store holds exactly one shared segment, and
+/// (full runs only) disk-warm beats cold by ≥ 10× for every method.
+pub fn validate_report(report: &StoreSuiteReport) -> Result<(), String> {
+    if report.schema != STORE_SCHEMA {
+        return Err(format!(
+            "schema mismatch: {} != {STORE_SCHEMA}",
+            report.schema
+        ));
+    }
+    if report.store_segments != 1 {
+        return Err(format!(
+            "expected one shared pool segment, found {}",
+            report.store_segments
+        ));
+    }
+    for method in METHODS {
+        let find = |phase: &str| {
+            report
+                .records
+                .iter()
+                .find(|r| r.method == method.name() && r.phase == phase)
+                .ok_or_else(|| format!("{method}: missing {phase} record"))
+        };
+        let cold = find("cold")?;
+        let disk = find("disk_warm")?;
+        let mem = find("mem_warm")?;
+        for r in [cold, disk, mem] {
+            if !r.plan_matches_cold {
+                return Err(format!("{method}/{}: plan diverged from cold", r.phase));
+            }
+            if r.utility.to_bits() != cold.utility.to_bits() {
+                return Err(format!("{method}/{}: utility diverged from cold", r.phase));
+            }
+        }
+        if disk.pool_tier.as_deref() != Some("disk") {
+            return Err(format!("{method}: disk_warm phase not served from disk"));
+        }
+        if mem.pool_tier.as_deref() != Some("memory") {
+            return Err(format!("{method}: mem_warm phase not served from memory"));
+        }
+        if !report.smoke {
+            let speedup = cold.mean_ms / disk.mean_ms.max(1e-9);
+            if speedup < 10.0 {
+                return Err(format!(
+                    "{method}: disk-warm speedup {speedup:.2}× is below the 10× bar \
+                     (cold {:.1} ms vs disk-warm {:.1} ms)",
+                    cold.mean_ms, disk.mean_ms
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Renders the human-readable summary printed by the bin and CLI.
+pub fn summary_text(report: &StoreSuiteReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "store bench: {} nodes, {} edges, ell={}, theta={}, k={}; \
+         {} segment(s), {} bytes on disk",
+        report.nodes,
+        report.edges,
+        report.ell,
+        report.theta,
+        report.k,
+        report.store_segments,
+        report.segment_bytes
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:>10} {:>9} {:>10} {:>10} {:>10} {:>8}",
+        "method", "phase", "requests", "mean_ms", "min_ms", "req/s", "tier"
+    );
+    for r in &report.records {
+        let _ = writeln!(
+            out,
+            "{:<8} {:>10} {:>9} {:>10.2} {:>10.2} {:>10.2} {:>8}",
+            r.method,
+            r.phase,
+            r.requests,
+            r.mean_ms,
+            r.min_ms,
+            r.requests_per_sec,
+            r.pool_tier.as_deref().unwrap_or("-"),
+        );
+    }
+    for s in &report.summary {
+        let _ = writeln!(
+            out,
+            "speedup {:<8}: disk-warm {:.1}x, mem-warm {:.1}x over cold \
+             (cold {:.1} ms -> disk {:.2} ms -> mem {:.2} ms)",
+            s.method,
+            s.disk_speedup,
+            s.mem_speedup,
+            s.cold_mean_ms,
+            s.disk_warm_mean_ms,
+            s.mem_warm_mean_ms
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_suite_passes_validation() {
+        let report = run_store_suite(StoreSuiteConfig {
+            smoke: true,
+            seed: 0,
+            store_dir: None,
+        })
+        .expect("smoke suite runs");
+        assert_eq!(report.records.len(), 3 * METHODS.len());
+        assert_eq!(report.summary.len(), METHODS.len());
+        validate_report(&report).expect("smoke report must validate");
+        let text = summary_text(&report);
+        assert!(text.contains("disk_warm"), "{text}");
+    }
+}

@@ -14,6 +14,7 @@ use oipa_datasets::Scale;
 use oipa_graph::{binio as graph_io, DiGraph};
 use oipa_sampler::{binio as pool_io, MrrPool};
 use oipa_service::{Method, PlannerService, SimulateRequest, SolveRequest, SolveResponse};
+use oipa_store::{DiskTier, OpenReport, StoreConfig};
 use oipa_topics::{binio as probs_io, Campaign, EdgeTopicProbs};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -38,6 +39,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, OipaError> {
         "simulate" => cmd_simulate(args),
         "batch" => cmd_batch(args),
         "bench" => cmd_bench(args),
+        "store" => cmd_store(args),
         other => Err(OipaError::InvalidConfig {
             what: format!("unknown command {other:?}"),
         }),
@@ -83,8 +85,141 @@ fn cmd_bench(args: &ParsedArgs) -> Result<String, OipaError> {
             write!(text, "wrote {out} ({} records)", report.records.len()).expect("string write");
             Ok(text)
         }
+        "store" => {
+            let config = oipa_bench::store_suite::StoreSuiteConfig {
+                smoke: args.parsed_or("smoke", false)?,
+                seed: args.parsed_or("seed", 0u64)?,
+                store_dir: args.optional("store-dir").map(Into::into),
+            };
+            let report =
+                oipa_bench::store_suite::run_store_suite(config).map_err(|e| OipaError::Io {
+                    what: "running the store bench".to_string(),
+                    detail: e.to_string(),
+                })?;
+            oipa_bench::store_suite::validate_report(&report).map_err(|e| OipaError::Mismatch {
+                what: format!("store bench invariants violated: {e}"),
+            })?;
+            let out = args.optional("out").unwrap_or("BENCH_store.json");
+            save_json(&report, out, "bench report")?;
+            let mut text = oipa_bench::store_suite::summary_text(&report);
+            write!(text, "wrote {out} ({} records)", report.records.len()).expect("string write");
+            Ok(text)
+        }
         other => Err(OipaError::InvalidConfig {
-            what: format!("unknown bench suite {other:?} (available: solver, service)"),
+            what: format!("unknown bench suite {other:?} (available: solver, service, store)"),
+        }),
+    }
+}
+
+/// `oipa-cli store ls|verify|gc --dir DIR` — administers a persistent
+/// pool-store directory. Opening a store always *recovers* it first:
+/// stale temp files are swept, orphaned or size-mismatched segments are
+/// quarantined, and the manifest is rewritten clean.
+fn cmd_store(args: &ParsedArgs) -> Result<String, OipaError> {
+    let action = args.positional.as_deref().unwrap_or("ls");
+    let dir = args.required("dir")?;
+    // No byte budget here: administration must never evict entries.
+    let mut tier = DiskTier::open(dir, u64::MAX).map_err(|e| OipaError::Io {
+        what: format!("opening store {dir}"),
+        detail: e.to_string(),
+    })?;
+    let opened = tier.open_report();
+    let mut out = String::new();
+    if opened != OpenReport::default() {
+        writeln!(
+            out,
+            "recovered on open: {} quarantined, {} missing entries dropped, \
+             {} stale temps swept{}",
+            opened.quarantined,
+            opened.dropped_missing,
+            opened.stale_temps,
+            if opened.corrupt_manifest {
+                ", manifest was corrupt (rebuilt empty)"
+            } else {
+                ""
+            }
+        )
+        .expect("string write");
+    }
+    match action {
+        "ls" => {
+            writeln!(
+                out,
+                "{:<24} {:>10} {:>12} {:>20} {:>10} campaign",
+                "file", "theta", "bytes", "seed", "last_used"
+            )
+            .expect("string write");
+            for e in tier.entries() {
+                let campaign = e.key.campaign();
+                // Truncate on a char boundary: campaign JSON may embed
+                // non-ASCII piece names.
+                let shown: String = match campaign.char_indices().nth(40) {
+                    Some((idx, _)) => format!("{}…", &campaign[..idx]),
+                    None => campaign.to_string(),
+                };
+                writeln!(
+                    out,
+                    "{:<24} {:>10} {:>12} {:>20} {:>10} {shown}",
+                    e.file,
+                    e.key.theta(),
+                    e.bytes,
+                    format!("{:#x}", e.key.seed()),
+                    e.last_used
+                )
+                .expect("string write");
+            }
+            write!(
+                out,
+                "{} segments, {} bytes, instance {:#x}",
+                tier.len(),
+                tier.bytes(),
+                tier.instance()
+            )
+            .expect("string write");
+            Ok(out)
+        }
+        "verify" => {
+            let verdict = tier.verify();
+            for (file, bytes) in &verdict.ok {
+                writeln!(out, "ok      {file} ({bytes} bytes)").expect("string write");
+            }
+            for (file, reason) in &verdict.corrupt {
+                writeln!(out, "CORRUPT {file}: {reason}").expect("string write");
+            }
+            if !verdict.corrupt.is_empty() {
+                return Err(OipaError::Mismatch {
+                    what: format!(
+                        "store verify: {} of {} segment(s) corrupt:\n{out}",
+                        verdict.corrupt.len(),
+                        verdict.ok.len() + verdict.corrupt.len()
+                    ),
+                });
+            }
+            write!(out, "{} segment(s) verified clean", verdict.ok.len()).expect("string write");
+            Ok(out)
+        }
+        "gc" => {
+            let report = tier.gc().map_err(|e| OipaError::Io {
+                what: format!("gc on store {dir}"),
+                detail: e.to_string(),
+            })?;
+            write!(
+                out,
+                "gc: kept {}, quarantined {} corrupt ({} bytes reclaimed), \
+                 {} orphan(s) quarantined, {} missing entr(ies) dropped, \
+                 {} stale temp(s) swept",
+                report.kept,
+                report.quarantined.len(),
+                report.reclaimed_bytes,
+                report.orphans_quarantined,
+                report.dropped_missing,
+                report.stale_temps
+            )
+            .expect("string write");
+            Ok(out)
+        }
+        other => Err(OipaError::InvalidConfig {
+            what: format!("unknown store action {other:?} (available: ls, verify, gc)"),
         }),
     }
 }
@@ -263,20 +398,48 @@ fn request_from_flags(args: &ParsedArgs, method: Method) -> Result<SolveRequest,
     request.max_nodes = Some(args.parsed_or("max-nodes", 64)?);
     request.seed = Some(args.parsed_or("seed", 42)?);
     request.theta = args.parsed("theta")?;
+    request.ell = args.parsed("ell")?;
     Ok(request)
+}
+
+/// Attaches a persistent pool store when the command asked for one.
+fn attach_store_flag(service: &mut PlannerService, args: &ParsedArgs) -> Result<(), OipaError> {
+    if let Some(dir) = args.optional("store-dir") {
+        service.attach_store(StoreConfig::new(dir))?;
+    }
+    Ok(())
 }
 
 fn cmd_solve(args: &ParsedArgs) -> Result<String, OipaError> {
     let method = Method::parse(args.optional("method").unwrap_or("bab-p"))?;
-    let pool = load_pool(args.required("pool")?)?;
-    let mut service = PlannerService::from_pool(pool);
-    if method == Method::Im {
-        // The topic-oblivious baseline samples a collapsed-probability RR
-        // pool, which needs the graph and table.
-        let graph = load_graph(args.required("graph")?)?;
-        let table = load_probs(args.required("probs")?, &graph)?;
-        service.attach_graph(graph, table)?;
-    }
+    let mut service = match args.optional("pool") {
+        Some(pool_path) => {
+            let mut service = PlannerService::from_pool(load_pool(pool_path)?);
+            if method == Method::Im {
+                // The topic-oblivious baseline samples a collapsed-probability
+                // RR pool, which needs the graph and table.
+                let graph = load_graph(args.required("graph")?)?;
+                let table = load_probs(args.required("probs")?, &graph)?;
+                service.attach_graph(graph, table)?;
+            }
+            service
+        }
+        None => {
+            // Graph-based session: the service samples (or, with a store
+            // attached, recalls) the pool itself. Requires a campaign
+            // spec — a seeded one-hot `--ell` here.
+            let graph = load_graph(args.required("graph")?)?;
+            let table = load_probs(args.required("probs")?, &graph)?;
+            if args.optional("ell").is_none() {
+                return Err(OipaError::config(
+                    "solving from --graph/--probs needs --ell N (seeded one-hot campaign); \
+                     alternatively pass a pre-sampled --pool",
+                ));
+            }
+            PlannerService::new(graph, table)?
+        }
+    };
+    attach_store_flag(&mut service, args)?;
     let request = request_from_flags(args, method)?;
     let response = service.solve(&request)?;
     if let Some(out) = args.optional("out-plan") {
@@ -356,6 +519,7 @@ fn cmd_batch(args: &ParsedArgs) -> Result<String, OipaError> {
             PlannerService::new(graph, table)?
         }
     };
+    attach_store_flag(&mut service, args)?;
     let text = std::fs::read_to_string(requests_path)
         .map_err(|e| io_err("reading requests", requests_path, e))?;
     let check = args.parsed_or("check", false)?;
@@ -822,6 +986,145 @@ mod tests {
             report.contains("8 hits"),
             "pool amortization broke: {report}"
         );
+    }
+
+    /// The full store lifecycle through the CLI: a graph-based solve
+    /// populates the store, a rerun recalls the pool from disk, `verify`
+    /// flags a corrupted segment, `gc` quarantines it, and `verify` is
+    /// clean again.
+    #[test]
+    fn solve_with_store_dir_persists_and_recovers() {
+        let g = tmp("st.graph");
+        let p = tmp("st.probs");
+        let dir = tmp("st.store");
+        let _ = std::fs::remove_dir_all(&dir);
+        run_words(&[
+            "generate",
+            "--dataset",
+            "lastfm",
+            "--scale",
+            "tiny",
+            "--seed",
+            "7",
+            "--out-graph",
+            &g,
+            "--out-probs",
+            &p,
+        ])
+        .unwrap();
+        let solve = |store: &str| {
+            run_words(&[
+                "solve",
+                "--graph",
+                &g,
+                "--probs",
+                &p,
+                "--ell",
+                "2",
+                "--theta",
+                "3000",
+                "--k",
+                "3",
+                "--max-nodes",
+                "8",
+                "--seed",
+                "5",
+                "--store-dir",
+                store,
+            ])
+            .unwrap()
+        };
+        // Cold: samples, persists. Rerun ("restart"): served from disk.
+        let cold = solve(&dir);
+        assert!(cold.contains("\"pool_cache_hit\": false"), "{cold}");
+        let warm = solve(&dir);
+        assert!(warm.contains("\"pool_tier\": \"disk\""), "{warm}");
+        assert!(warm.contains("\"pool_cache_hit\": true"), "{warm}");
+
+        // Same answers on both paths.
+        let plan_of = |report: &str| {
+            let v: serde_json::Value = serde_json::from_str(report).unwrap();
+            serde_json::to_string(v.get("plan").unwrap()).unwrap()
+        };
+        assert_eq!(plan_of(&cold), plan_of(&warm));
+
+        let ls = run_words(&["store", "ls", "--dir", &dir]).unwrap();
+        assert!(ls.contains("1 segments"), "{ls}");
+        assert!(run_words(&["store", "verify", "--dir", &dir])
+            .unwrap()
+            .contains("1 segment(s) verified clean"));
+
+        // Corrupt one payload byte: verify must flag it (exit-2 error)…
+        let seg = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .find(|e| e.file_name().to_string_lossy().ends_with(".mrr"))
+            .expect("a segment file")
+            .path();
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&seg, &bytes).unwrap();
+        let err = run_words(&["store", "verify", "--dir", &dir]).unwrap_err();
+        assert!(err.to_string().contains("CORRUPT"), "{err}");
+        assert_eq!(err.exit_code(), 2);
+
+        // …gc quarantines it, and verify is clean again.
+        let gc = run_words(&["store", "gc", "--dir", &dir]).unwrap();
+        assert!(gc.contains("quarantined 1 corrupt"), "{gc}");
+        assert!(run_words(&["store", "verify", "--dir", &dir])
+            .unwrap()
+            .contains("0 segment(s) verified clean"));
+        // The next stored solve goes cold again (the segment is gone).
+        let resampled = solve(&dir);
+        assert!(
+            resampled.contains("\"pool_cache_hit\": false"),
+            "{resampled}"
+        );
+    }
+
+    #[test]
+    fn solve_from_graph_needs_ell() {
+        let g = tmp("ne.graph");
+        let p = tmp("ne.probs");
+        run_words(&[
+            "generate",
+            "--dataset",
+            "lastfm",
+            "--scale",
+            "tiny",
+            "--seed",
+            "3",
+            "--out-graph",
+            &g,
+            "--out-probs",
+            &p,
+        ])
+        .unwrap();
+        let err = run_words(&["solve", "--graph", &g, "--probs", &p]).unwrap_err();
+        assert!(err.to_string().contains("--ell"), "{err}");
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn bench_store_smoke() {
+        let out = tmp("bench_store.json");
+        let dir = tmp("bench_store.dir");
+        let report = run_words(&[
+            "bench",
+            "store",
+            "--smoke",
+            "true",
+            "--out",
+            &out,
+            "--store-dir",
+            &dir,
+        ])
+        .unwrap();
+        assert!(report.contains("disk_warm"), "{report}");
+        assert!(report.contains("speedup"), "{report}");
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.contains("oipa.bench.store/v1"));
     }
 
     #[test]

@@ -18,15 +18,18 @@ commands:
   stats     --graph FILE [--probs FILE]
   sample    --graph FILE --probs FILE --ell N [--theta N] [--seed N]
             [--threads N] --out-pool FILE --out-campaign FILE
-  solve     --pool FILE [--method bab|bab-p|plain|greedy|brute|im|tim]
+  solve     (--pool FILE | --graph FILE --probs FILE --ell N)
+            [--method bab|bab-p|plain|greedy|brute|im|tim]
             [--k N] [--ratio F] [--eps F] [--gap F] [--promoter-fraction F]
-            [--max-nodes N] [--seed N] [--out-plan FILE]
-            [--graph FILE --probs FILE --theta N]   (im baseline inputs)
+            [--max-nodes N] [--seed N] [--theta N] [--out-plan FILE]
+            [--store-dir DIR]
   simulate  --graph FILE --probs FILE --campaign FILE --plan FILE
             [--ratio F] [--runs N] [--seed N]
   batch     --requests FILE (--graph FILE --probs FILE | --pool FILE)
-            [--out FILE] [--check true]
-  bench     solver|service [--smoke true] [--seed N] [--out FILE]";
+            [--out FILE] [--check true] [--store-dir DIR]
+  bench     solver|service|store [--smoke true] [--seed N] [--out FILE]
+            [--store-dir DIR]
+  store     ls|verify|gc --dir DIR";
 
 /// One command's grammar: its name, whether it takes a positional
 /// subject, and the flags it accepts.
@@ -93,6 +96,8 @@ const COMMANDS: &[CommandSpec] = &[
             "graph",
             "probs",
             "theta",
+            "ell",
+            "store-dir",
         ],
     },
     CommandSpec {
@@ -105,12 +110,25 @@ const COMMANDS: &[CommandSpec] = &[
     CommandSpec {
         name: "batch",
         takes_positional: false,
-        flags: &["requests", "graph", "probs", "pool", "out", "check"],
+        flags: &[
+            "requests",
+            "graph",
+            "probs",
+            "pool",
+            "out",
+            "check",
+            "store-dir",
+        ],
     },
     CommandSpec {
         name: "bench",
         takes_positional: true,
-        flags: &["smoke", "seed", "out"],
+        flags: &["smoke", "seed", "out", "store-dir"],
+    },
+    CommandSpec {
+        name: "store",
+        takes_positional: true,
+        flags: &["dir"],
     },
 ];
 

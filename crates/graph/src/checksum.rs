@@ -1,0 +1,241 @@
+//! Streaming CRC-32 (IEEE 802.3) for binary file formats.
+//!
+//! The persistent pool store writes multi-megabyte segment files that must
+//! survive partial writes, torn renames and bit rot; every checksummed
+//! format in the workspace (pool binio v2, store segments) shares this one
+//! implementation. The polynomial is the reflected IEEE polynomial
+//! `0xEDB88320` — the same CRC as zlib/gzip — computed with the
+//! slicing-by-8 technique (eight lazily built 256-entry tables, 8 bytes
+//! per step), so checksumming a disk-warm pool read stays a small
+//! fraction of the read itself rather than dominating it.
+
+use std::io::{Read, Write};
+use std::sync::OnceLock;
+
+/// The reflected IEEE 802.3 polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// Slicing-by-8 tables: `t[0]` is the classic byte table; `t[k][i]`
+/// advances a byte through `k` further zero bytes, letting one step fold
+/// eight input bytes into the state at once.
+fn tables() -> &'static [[u32; 256]; 8] {
+    static TABLES: OnceLock<[[u32; 256]; 8]> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = [[0u32; 256]; 8];
+        for (i, slot) in t[0].iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        for k in 1..8 {
+            for i in 0..256 {
+                let prev = t[k - 1][i];
+                t[k][i] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
+            }
+        }
+        t
+    })
+}
+
+/// An incremental CRC-32 accumulator.
+///
+/// ```
+/// use oipa_graph::checksum::Crc32;
+///
+/// let mut crc = Crc32::new();
+/// crc.update(b"123456789");
+/// assert_eq!(crc.finish(), 0xCBF4_3926); // the standard check value
+/// ```
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// A fresh accumulator.
+    pub fn new() -> Self {
+        Crc32 { state: !0 }
+    }
+
+    /// Feeds bytes into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let t = tables();
+        let mut c = self.state;
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let lo = c ^ u32::from_le_bytes(chunk[..4].try_into().expect("4-byte half"));
+            let hi = u32::from_le_bytes(chunk[4..].try_into().expect("4-byte half"));
+            c = t[7][(lo & 0xFF) as usize]
+                ^ t[6][((lo >> 8) & 0xFF) as usize]
+                ^ t[5][((lo >> 16) & 0xFF) as usize]
+                ^ t[4][(lo >> 24) as usize]
+                ^ t[3][(hi & 0xFF) as usize]
+                ^ t[2][((hi >> 8) & 0xFF) as usize]
+                ^ t[1][((hi >> 16) & 0xFF) as usize]
+                ^ t[0][(hi >> 24) as usize];
+        }
+        for &b in chunks.remainder() {
+            c = t[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.state = c;
+    }
+
+    /// The checksum of everything fed so far (the accumulator stays
+    /// usable; further updates continue the stream).
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+/// A [`Read`] adapter that checksums every byte the caller consumes.
+///
+/// Wrap it *around* any buffering (`Crc32Reader::new(BufReader::new(f))`)
+/// so read-ahead does not pull unconsumed bytes into the digest.
+pub struct Crc32Reader<R> {
+    inner: R,
+    crc: Crc32,
+}
+
+impl<R: Read> Crc32Reader<R> {
+    /// Wraps a reader.
+    pub fn new(inner: R) -> Self {
+        Crc32Reader {
+            inner,
+            crc: Crc32::new(),
+        }
+    }
+
+    /// The checksum of everything read so far.
+    pub fn digest(&self) -> u32 {
+        self.crc.finish()
+    }
+
+    /// The wrapped reader, for reading trailing bytes (e.g. a stored
+    /// checksum) without feeding them into the digest.
+    pub fn get_mut(&mut self) -> &mut R {
+        &mut self.inner
+    }
+}
+
+impl<R: Read> Read for Crc32Reader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.crc.update(&buf[..n]);
+        Ok(n)
+    }
+}
+
+/// A [`Write`] adapter that checksums every byte written through it.
+pub struct Crc32Writer<W> {
+    inner: W,
+    crc: Crc32,
+}
+
+impl<W: Write> Crc32Writer<W> {
+    /// Wraps a writer.
+    pub fn new(inner: W) -> Self {
+        Crc32Writer {
+            inner,
+            crc: Crc32::new(),
+        }
+    }
+
+    /// The checksum of everything written so far.
+    pub fn digest(&self) -> u32 {
+        self.crc.finish()
+    }
+
+    /// The wrapped writer, for appending trailing bytes (e.g. the stored
+    /// checksum itself) without feeding them into the digest.
+    pub fn get_mut(&mut self) -> &mut W {
+        &mut self.inner
+    }
+}
+
+impl<W: Write> Write for Crc32Writer<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.crc.update(&buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let mut inc = Crc32::new();
+        for chunk in data.chunks(7) {
+            inc.update(chunk);
+        }
+        assert_eq!(inc.finish(), crc32(&data));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_checksum() {
+        let mut data: Vec<u8> = (0..64u8).collect();
+        let clean = crc32(&data);
+        for i in 0..data.len() {
+            data[i] ^= 1;
+            assert_ne!(crc32(&data), clean, "flip at {i} undetected");
+            data[i] ^= 1;
+        }
+    }
+
+    #[test]
+    fn reader_and_writer_adapters_agree() {
+        let data: Vec<u8> = (0..200u8).collect();
+        let mut sink = Vec::new();
+        let mut w = Crc32Writer::new(&mut sink);
+        w.write_all(&data).unwrap();
+        assert_eq!(w.digest(), crc32(&data));
+
+        let mut r = Crc32Reader::new(&data[..]);
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(r.digest(), crc32(&data));
+    }
+
+    #[test]
+    fn reader_digest_covers_only_consumed_bytes() {
+        let data = b"payloadTRAILER";
+        let mut r = Crc32Reader::new(&data[..]);
+        let mut head = [0u8; 7];
+        r.read_exact(&mut head).unwrap();
+        assert_eq!(r.digest(), crc32(b"payload"));
+        // The trailer stays readable through the inner reader, unhashed.
+        let mut tail = Vec::new();
+        r.get_mut().read_to_end(&mut tail).unwrap();
+        assert_eq!(&tail, b"TRAILER");
+        assert_eq!(r.digest(), crc32(b"payload"));
+    }
+}

@@ -253,6 +253,22 @@ impl DiGraph {
         DiGraph::from_edges(self.n, &edges).expect("reversal preserves validity")
     }
 
+    /// A content fingerprint over the node count and every edge in edge-id
+    /// order. Two graphs fingerprint equal iff they have identical CSR
+    /// topology, so persistent caches (the pool store) can detect that a
+    /// directory of pools was sampled from a different graph.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::Hasher as _;
+        let mut h = crate::hashing::FxHasher::default();
+        h.write_u32(self.n);
+        h.write_u64(self.out_targets.len() as u64);
+        for e in self.edges() {
+            h.write_u32(e.source);
+            h.write_u32(e.target);
+        }
+        h.finish()
+    }
+
     /// Total heap bytes used by the CSR arrays (approximate).
     pub fn heap_bytes(&self) -> usize {
         (self.out_offsets.capacity() + self.in_offsets.capacity()) * 4

@@ -21,6 +21,8 @@
 //! * [`traverse`] — BFS, reachability and weakly-connected components.
 //! * [`hashing`] — a small FxHash-style hasher for integer-keyed maps, so we
 //!   do not pull in an external hashing crate.
+//! * [`checksum`] — streaming CRC-32 shared by every checksummed binary
+//!   format in the workspace (pool binio v2, the persistent pool store).
 //!
 //! Node ids are dense `u32` values in `0..n`; edge ids are dense `u32`
 //! values in `0..m` assigned in CSR order (sorted by source node).
@@ -30,6 +32,7 @@
 
 pub mod binio;
 mod builder;
+pub mod checksum;
 mod csr;
 pub mod generators;
 pub mod hashing;

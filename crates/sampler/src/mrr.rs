@@ -254,6 +254,31 @@ impl MrrPool {
         Ok(MrrPool { n, roots, stores })
     }
 
+    /// A content fingerprint over the node count, roots and every piece's
+    /// raw RR-set arrays. Two pools fingerprint equal iff they are
+    /// bitwise-identical, so caches keyed by fingerprint (the service's
+    /// `@external:` arena keys, the persistent store) never alias two
+    /// different externally loaded pools.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::Hasher as _;
+        let mut h = oipa_graph::hashing::FxHasher::default();
+        h.write_u32(self.n);
+        h.write_u64(self.roots.len() as u64);
+        for &r in &self.roots {
+            h.write_u32(r);
+        }
+        for store in &self.stores {
+            h.write_u64(store.raw_offsets().len() as u64);
+            for &off in store.raw_offsets() {
+                h.write_u64(off);
+            }
+            for &v in store.raw_nodes() {
+                h.write_u32(v);
+            }
+        }
+        h.finish()
+    }
+
     /// Total memory-resident node entries across all pieces.
     pub fn total_nodes(&self) -> usize {
         self.stores.iter().map(|s| s.total_nodes()).sum()

@@ -15,8 +15,11 @@
 //!
 //! * a social graph and its topic-wise edge probabilities (optional when
 //!   a pre-sampled pool is injected instead);
-//! * a **pool arena** — an LRU cache of sampled [`MrrPool`]s keyed by
-//!   (campaign, θ, seed) and bounded by resident bytes ([`PoolArena`]);
+//! * a **tiered pool store** — the in-memory LRU arena of sampled
+//!   [`MrrPool`]s keyed by (campaign, θ, seed) ([`PoolArena`]), backed by
+//!   an optional persistent disk tier
+//!   ([`PlannerService::attach_store`]) so warm pools survive byte
+//!   pressure and process restarts;
 //! * the **solver registry** — every method (`bab`, `bab-p`, `plain`,
 //!   `greedy`, `brute`, `im`, `tim`) behind one [`Solver`] trait, so
 //!   dispatch is data-driven and answers are bitwise-identical to the
@@ -47,11 +50,12 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-mod arena;
 mod request;
 mod solver;
 
-pub use arena::{ArenaStats, PoolArena, PoolKey};
+pub use oipa_store::{
+    ArenaStats, DiskStats, PoolArena, PoolKey, PoolStore, PoolTier, StoreConfig, StoreStats,
+};
 pub use request::{
     AutoThetaReport, AutoThetaRequest, Method, SearchStats, SimulateRequest, SimulateResponse,
     SolveRequest, SolveResponse,
@@ -92,7 +96,7 @@ pub const DEFAULT_EPS: f64 = 0.5;
 pub struct PlannerService {
     graph: Option<DiGraph>,
     table: Option<EdgeTopicProbs>,
-    arena: PoolArena,
+    store: PoolStore,
     /// Arena key of an injected pool, used when a request names no
     /// campaign of its own.
     default_pool: Option<PoolKey>,
@@ -124,7 +128,7 @@ impl PlannerService {
         Ok(PlannerService {
             graph: Some(graph),
             table: Some(table),
-            arena: PoolArena::new(DEFAULT_ARENA_BYTES),
+            store: PoolStore::memory_only(DEFAULT_ARENA_BYTES),
             default_pool: None,
             default_campaign: None,
             flat_cache: None,
@@ -135,19 +139,39 @@ impl PlannerService {
     /// `oipa-cli sample` file). Requests that name no campaign use this
     /// pool; requests that do need a graph attached ([`Self::attach_graph`]).
     pub fn from_pool(pool: MrrPool) -> Self {
-        let key = PoolKey::external("injected", pool.theta());
-        let mut arena = PoolArena::new(DEFAULT_ARENA_BYTES);
+        // The key carries the pool's content fingerprint, so two
+        // different injected pools never alias one entry.
+        let key = PoolKey::external("injected", &pool);
+        let mut store = PoolStore::memory_only(DEFAULT_ARENA_BYTES);
         // Pinned: byte pressure from sampled pools must never evict the
         // pool the session was built around.
-        arena.insert_pinned(key.clone(), Arc::new(pool));
+        store.insert_pinned(key.clone(), Arc::new(pool));
         PlannerService {
             graph: None,
             table: None,
-            arena,
+            store,
             default_pool: Some(key),
             default_campaign: None,
             flat_cache: None,
         }
+    }
+
+    /// Attaches a persistent disk tier behind the pool arena (see
+    /// [`oipa_store::PoolStore`]): pools evicted by memory pressure
+    /// spill to the store directory, arena misses consult it before
+    /// resampling, and a later session over the same directory serves
+    /// yesterday's pools at disk speed. When the session already owns a
+    /// graph and probability table, the store is stamped with their
+    /// fingerprint — a directory of pools sampled from *different*
+    /// inputs is purged, never served.
+    pub fn attach_store(&mut self, config: StoreConfig) -> Result<(), OipaError> {
+        self.store.attach_disk(config).map_err(store_err)?;
+        if let (Some(graph), Some(table)) = (self.graph.as_ref(), self.table.as_ref()) {
+            self.store
+                .set_instance(instance_fingerprint(graph, table))
+                .map_err(store_err)?;
+        }
+        Ok(())
     }
 
     /// Records the campaign an injected pool was sampled for. Campaign-less
@@ -174,28 +198,44 @@ impl PlannerService {
             .map_err(|e| OipaError::Mismatch {
                 what: e.to_string(),
             })?;
+        self.store.evict_unpinned();
+        // The disk tier must not keep serving pools sampled from the old
+        // inputs either: restamp (purging on mismatch) before the new
+        // graph answers anything.
+        if self.store.has_disk() {
+            self.store
+                .set_instance(instance_fingerprint(&graph, &table))
+                .map_err(store_err)?;
+        }
         self.graph = Some(graph);
         self.table = Some(table);
-        self.arena.evict_unpinned();
         self.flat_cache = None;
         Ok(())
     }
 
-    /// Replaces the arena's byte budget, evicting LRU entries that no
-    /// longer fit.
+    /// Replaces the memory tier's byte budget, evicting (and, with a
+    /// disk tier attached, spilling) LRU entries that no longer fit.
     pub fn with_arena_capacity(mut self, capacity_bytes: usize) -> Self {
-        self.arena.set_capacity(capacity_bytes);
+        self.store.set_mem_capacity(capacity_bytes);
         self
     }
 
-    /// Occupancy and hit/miss/eviction counters of the pool arena.
+    /// Occupancy and hit/miss/eviction counters of the memory pool tier.
     pub fn arena_stats(&self) -> ArenaStats {
-        self.arena.stats()
+        self.store.arena_stats()
     }
 
-    /// Drops every cached pool (the injected default pool included).
+    /// Occupancy and counters of both pool tiers (the disk half is
+    /// `None` until [`Self::attach_store`]).
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
+    /// Drops every memory-cached pool (the injected default pool
+    /// included). Disk segments are kept: they remain valid for the
+    /// instance they are stamped with.
     pub fn clear_arena(&mut self) {
-        self.arena.clear();
+        self.store.clear_memory();
         self.default_pool = None;
         self.flat_cache = None;
     }
@@ -218,7 +258,7 @@ impl PlannerService {
         let gap = request.gap;
         let eps = request.eps.unwrap_or(DEFAULT_EPS);
         validate_tuning(gap, eps)?;
-        let (pool, cache_hit) = self.resolve_pool(request, seed)?;
+        let (pool, tier) = self.resolve_pool(request, seed)?;
         // Reject bad promoters before paying any im collapsed-pool
         // sampling below.
         let promoters = resolve_promoters(
@@ -251,7 +291,8 @@ impl PlannerService {
             method: request.method,
             k: request.budget,
             theta: pool.theta(),
-            pool_cache_hit: cache_hit,
+            pool_cache_hit: tier.is_some(),
+            pool_tier: tier.map(|t| t.name().to_string()),
             utility: output.utility,
             upper_bound: output.upper_bound,
             plan: output.plan,
@@ -305,12 +346,13 @@ impl PlannerService {
     }
 
     /// Fetches the pool a request addresses, sampling (and caching) it on
-    /// a miss. Returns the pool and whether it was an arena hit.
+    /// a miss. Returns the pool and the tier that served it (`None` when
+    /// the request paid for sampling).
     fn resolve_pool(
         &mut self,
         request: &SolveRequest,
         seed: u64,
-    ) -> Result<(Arc<MrrPool>, bool), OipaError> {
+    ) -> Result<(Arc<MrrPool>, Option<PoolTier>), OipaError> {
         let campaign = self.resolve_campaign(request, seed)?;
         let Some(campaign) = campaign else {
             // No campaign in the request: fall back to the injected pool.
@@ -326,11 +368,11 @@ impl PlannerService {
             // Invariant: `default_pool` is Some only while its pinned
             // entry is resident — byte pressure never evicts pinned
             // entries and `clear_arena` nulls both together.
-            let pool = self
-                .arena
+            let (pool, tier) = self
+                .store
                 .get(&key)
                 .expect("pinned default pool resident while default_pool is Some");
-            return Ok((pool, true));
+            return Ok((pool, Some(tier)));
         };
         let campaign_json = serde_json::to_string(&campaign).map_err(|e| OipaError::Io {
             what: "serializing the campaign cache key".to_string(),
@@ -338,8 +380,10 @@ impl PlannerService {
         })?;
         let theta = request.theta.unwrap_or(DEFAULT_THETA);
         let key = PoolKey::sampled(campaign_json, theta, seed);
-        if let Some(pool) = self.arena.get(&key) {
-            return Ok((pool, true));
+        // Tiered lookup: memory arena first, then (when attached) the
+        // persistent disk tier — only a miss on both pays for sampling.
+        if let Some((pool, tier)) = self.store.get(&key) {
+            return Ok((pool, Some(tier)));
         }
         let (Some(graph), Some(table)) = (self.graph.as_ref(), self.table.as_ref()) else {
             return Err(OipaError::MissingInput {
@@ -357,8 +401,8 @@ impl PlannerService {
                 }
             })?,
         );
-        self.arena.insert(key, Arc::clone(&pool));
-        Ok((pool, false))
+        self.store.insert(key, Arc::clone(&pool));
+        Ok((pool, None))
     }
 
     /// The campaign a request itself names: explicit or seeded one-hot.
@@ -495,6 +539,7 @@ impl PlannerService {
             k: request.budget,
             theta: result.theta,
             pool_cache_hit: false,
+            pool_tier: None,
             utility: result.solution.utility,
             upper_bound: Some(result.solution.upper_bound),
             plan: result.solution.plan,
@@ -506,6 +551,25 @@ impl PlannerService {
             }),
         })
     }
+}
+
+/// Maps a store-directory failure into the service's typed error space.
+fn store_err(e: oipa_store::StoreError) -> OipaError {
+    OipaError::Io {
+        what: "the persistent pool store".to_string(),
+        detail: e.to_string(),
+    }
+}
+
+/// Fingerprint of the sampling inputs a pool store is valid for: mixes
+/// the graph topology and the probability table. Stamped into the store
+/// manifest so a directory can never serve pools across instances.
+fn instance_fingerprint(graph: &DiGraph, table: &EdgeTopicProbs) -> u64 {
+    use std::hash::Hasher as _;
+    let mut h = oipa_graph::hashing::FxHasher::default();
+    h.write_u64(graph.fingerprint());
+    h.write_u64(table.fingerprint());
+    h.finish()
 }
 
 /// Builds the logistic model from the request's `ratio` or `alpha`+`beta`

@@ -223,9 +223,12 @@ pub struct SolveResponse {
     pub k: usize,
     /// MRR samples θ of the pool the plan was evaluated on.
     pub theta: usize,
-    /// Whether the pool came from the session arena (amortized) rather
-    /// than being sampled for this request.
+    /// Whether the pool came from the session's pool store (amortized)
+    /// rather than being sampled for this request.
     pub pool_cache_hit: bool,
+    /// Which store tier served the pool on a cache hit: `"memory"` or
+    /// `"disk"`. `None` when the request paid for sampling.
+    pub pool_tier: Option<String>,
     /// MRR-estimated adoption utility of the plan, in users.
     pub utility: f64,
     /// Certified upper bound (branch-and-bound methods only).

@@ -1,0 +1,129 @@
+//! Golden parity across the three pool paths a stored session can take:
+//! **cold** (sample now), **mem-warm** (arena hit), and **disk-warm**
+//! (restart: fresh service over a populated store directory). Plans and
+//! utilities must be bitwise-identical on all three — the store may only
+//! ever change latency, never answers.
+
+use oipa_sampler::testkit::small_random_instance;
+use oipa_service::{Method, PlannerService, SolveRequest, StoreConfig};
+use oipa_topics::Campaign;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("oipa-service-store").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn instance() -> (oipa_graph::DiGraph, oipa_topics::EdgeTopicProbs, Campaign) {
+    let mut rng = StdRng::seed_from_u64(17);
+    small_random_instance(&mut rng, 80, 600, 4, 2)
+}
+
+fn request(campaign: &Campaign) -> SolveRequest {
+    let mut req = SolveRequest::new(Method::BabP, 3);
+    req.campaign = Some(campaign.clone());
+    req.theta = Some(6_000);
+    req.seed = Some(5);
+    req.promoter_fraction = Some(0.3);
+    req.max_nodes = Some(30);
+    req
+}
+
+#[test]
+fn cold_disk_warm_and_mem_warm_answers_are_bitwise_identical() {
+    let dir = tmpdir("parity");
+    let (graph, table, campaign) = instance();
+    let req = request(&campaign);
+
+    // Cold, no store: the reference answer.
+    let mut plain = PlannerService::new(graph.clone(), table.clone()).unwrap();
+    let cold = plain.solve(&req).unwrap();
+    assert!(!cold.pool_cache_hit);
+    assert_eq!(cold.pool_tier, None);
+
+    // Cold with a store attached: same answer, and the pool persists.
+    let mut writer = PlannerService::new(graph.clone(), table.clone()).unwrap();
+    writer.attach_store(StoreConfig::new(&dir)).unwrap();
+    let cold_stored = writer.solve(&req).unwrap();
+    assert!(!cold_stored.pool_cache_hit);
+    assert_eq!(cold_stored.plan, cold.plan);
+    assert_eq!(cold_stored.utility.to_bits(), cold.utility.to_bits());
+
+    // Mem-warm: second request on the same session.
+    let mem_warm = writer.solve(&req).unwrap();
+    assert_eq!(mem_warm.pool_tier.as_deref(), Some("memory"));
+    assert_eq!(mem_warm.plan, cold.plan);
+    assert_eq!(mem_warm.utility.to_bits(), cold.utility.to_bits());
+    drop(writer);
+
+    // Disk-warm: a fresh session ("restart") over the same directory.
+    let mut restarted = PlannerService::new(graph, table).unwrap();
+    restarted.attach_store(StoreConfig::new(&dir)).unwrap();
+    let disk_warm = restarted.solve(&req).unwrap();
+    assert!(disk_warm.pool_cache_hit, "restart must hit the disk tier");
+    assert_eq!(disk_warm.pool_tier.as_deref(), Some("disk"));
+    assert_eq!(disk_warm.plan, cold.plan, "disk-warm plan diverged");
+    assert_eq!(
+        disk_warm.utility.to_bits(),
+        cold.utility.to_bits(),
+        "disk-warm utility diverged"
+    );
+    // The disk hit promoted the pool: the next request is memory-tier.
+    let promoted = restarted.solve(&req).unwrap();
+    assert_eq!(promoted.pool_tier.as_deref(), Some("memory"));
+
+    let stats = restarted.store_stats();
+    let disk = stats.disk.expect("disk tier attached");
+    assert_eq!(disk.hits, 1);
+}
+
+/// A store directory is bound to the (graph, table) it was filled from:
+/// a service over *different* inputs must purge it rather than serve
+/// pools that were sampled elsewhere.
+#[test]
+fn store_directory_never_serves_a_different_instance() {
+    let dir = tmpdir("instance-guard");
+    let (graph, table, campaign) = instance();
+    let req = request(&campaign);
+
+    let mut writer = PlannerService::new(graph, table).unwrap();
+    writer.attach_store(StoreConfig::new(&dir)).unwrap();
+    writer.solve(&req).unwrap();
+    drop(writer);
+
+    // A different seeded instance ⇒ different fingerprint ⇒ purge.
+    let mut rng = StdRng::seed_from_u64(99);
+    let (other_graph, other_table, _) = small_random_instance(&mut rng, 80, 600, 4, 2);
+    let mut other = PlannerService::new(other_graph, other_table).unwrap();
+    other.attach_store(StoreConfig::new(&dir)).unwrap();
+    let response = other.solve(&req).unwrap();
+    assert!(
+        !response.pool_cache_hit,
+        "a pool sampled from another graph was served"
+    );
+}
+
+/// `attach_graph` mid-session restamps the disk tier too — stale pools
+/// are purged from both tiers in one move.
+#[test]
+fn attach_graph_restamps_the_disk_tier() {
+    let dir = tmpdir("attach-graph");
+    let (graph, table, campaign) = instance();
+    let req = request(&campaign);
+
+    let mut service = PlannerService::new(graph, table).unwrap();
+    service.attach_store(StoreConfig::new(&dir)).unwrap();
+    service.solve(&req).unwrap();
+
+    let mut rng = StdRng::seed_from_u64(123);
+    let (g2, t2, _) = small_random_instance(&mut rng, 80, 600, 4, 2);
+    service.attach_graph(g2, t2).unwrap();
+    let response = service.solve(&req).unwrap();
+    assert!(
+        !response.pool_cache_hit,
+        "pool from the pre-attach_graph instance served after the swap"
+    );
+}

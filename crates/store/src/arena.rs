@@ -1,5 +1,5 @@
-//! The keyed pool arena: an LRU cache of sampled [`MrrPool`]s, bounded
-//! by resident bytes.
+//! Tier 0 of the pool store: the in-memory keyed pool arena — an LRU
+//! cache of sampled [`MrrPool`]s, bounded by resident bytes.
 //!
 //! Sampling θ MRR sets dominates end-to-end latency (the paper's Table
 //! III "sample time" row), yet a pool depends only on the campaign's
@@ -8,10 +8,11 @@
 //! therefore caches pools under that key and lets every subsequent
 //! request that shares it skip sampling entirely (the IMM-style
 //! amortization of §V-A, applied across requests instead of across
-//! parameter sweeps).
+//! parameter sweeps). In a tiered [`crate::PoolStore`], entries evicted
+//! from this arena spill to the disk tier instead of being resampled.
 
 use oipa_sampler::MrrPool;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Cache key: everything pool contents depend on.
@@ -20,12 +21,14 @@ use std::sync::Arc;
 /// requests with structurally equal campaigns share an entry while any
 /// difference in topic mixes keys a distinct pool. Externally loaded
 /// pools (e.g. a `--pool` file in the CLI) get an `@external:` key that
-/// no sampled request can collide with.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// no sampled request can collide with, carrying the pool's content
+/// fingerprint in the seed slot so two different injected pools never
+/// alias one entry even under the same label and θ.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PoolKey {
-    campaign: String,
-    theta: usize,
-    seed: u64,
+    pub(crate) campaign: String,
+    pub(crate) theta: usize,
+    pub(crate) seed: u64,
 }
 
 impl PoolKey {
@@ -38,18 +41,33 @@ impl PoolKey {
         }
     }
 
-    /// Key for a pool injected from outside (file, caller-built).
-    pub fn external(label: &str, theta: usize) -> Self {
+    /// Key for a pool injected from outside (file, caller-built). The
+    /// seed slot holds [`MrrPool::fingerprint`], so two pools that share
+    /// a label and θ but differ in content still key distinct entries —
+    /// the label is a human-readable tag, not an identity.
+    pub fn external(label: &str, pool: &MrrPool) -> Self {
         PoolKey {
             campaign: format!("@external:{label}"),
-            theta,
-            seed: 0,
+            theta: pool.theta(),
+            seed: pool.fingerprint(),
         }
     }
 
     /// The θ the key was built with.
     pub fn theta(&self) -> usize {
         self.theta
+    }
+
+    /// The seed slot: the sampling seed for [`PoolKey::sampled`] keys,
+    /// the pool content fingerprint for [`PoolKey::external`] keys.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The campaign component (canonical campaign JSON, or the
+    /// `@external:<label>` tag of an injected pool).
+    pub fn campaign(&self) -> &str {
+        &self.campaign
     }
 }
 
@@ -130,6 +148,16 @@ impl PoolArena {
         self.insert_entry(key, pool, false);
     }
 
+    /// [`Self::insert`], returning the entries eviction removed so a
+    /// tiered store can spill them to disk instead of losing them.
+    pub fn insert_evicting(
+        &mut self,
+        key: PoolKey,
+        pool: Arc<MrrPool>,
+    ) -> Vec<(PoolKey, Arc<MrrPool>)> {
+        self.insert_entry(key, pool, false)
+    }
+
     /// Inserts a pool that byte pressure must never evict (an injected
     /// pool the session was built around). Only [`Self::clear`] removes
     /// pinned entries.
@@ -137,7 +165,12 @@ impl PoolArena {
         self.insert_entry(key, pool, true);
     }
 
-    fn insert_entry(&mut self, key: PoolKey, pool: Arc<MrrPool>, pinned: bool) {
+    fn insert_entry(
+        &mut self,
+        key: PoolKey,
+        pool: Arc<MrrPool>,
+        pinned: bool,
+    ) -> Vec<(PoolKey, Arc<MrrPool>)> {
         self.clock += 1;
         let bytes = pool.memory_bytes();
         self.entries.retain(|e| e.key != key);
@@ -148,12 +181,14 @@ impl PoolArena {
             last_used: self.clock,
             pinned,
         });
-        self.enforce_budget(Some(self.clock));
+        self.enforce_budget(Some(self.clock))
     }
 
     /// Evicts unpinned LRU entries until the budget fits; `protect` marks
     /// a `last_used` stamp that must survive (the entry just inserted).
-    fn enforce_budget(&mut self, protect: Option<u64>) {
+    /// Returns the evicted entries, most stale first.
+    fn enforce_budget(&mut self, protect: Option<u64>) -> Vec<(PoolKey, Arc<MrrPool>)> {
+        let mut evicted = Vec::new();
         while self.bytes() > self.capacity_bytes {
             let Some((victim, _)) = self
                 .entries
@@ -164,14 +199,21 @@ impl PoolArena {
             else {
                 break; // only pinned/protected entries left
             };
-            self.entries.remove(victim);
+            let entry = self.entries.remove(victim);
             self.evictions += 1;
+            evicted.push((entry.key, entry.pool));
         }
+        evicted
     }
 
     /// Bytes currently resident.
     pub fn bytes(&self) -> usize {
         self.entries.iter().map(|e| e.bytes).sum()
+    }
+
+    /// The configured byte budget.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
     }
 
     /// Pools currently resident.
@@ -191,16 +233,17 @@ impl PoolArena {
 
     /// Changes the byte budget, evicting least-recently-used unpinned
     /// entries until the arena fits (the most recent unpinned entry is
-    /// kept if it is all that remains).
-    pub fn set_capacity(&mut self, capacity_bytes: usize) {
+    /// kept if it is all that remains). Returns the evicted entries.
+    pub fn set_capacity(&mut self, capacity_bytes: usize) -> Vec<(PoolKey, Arc<MrrPool>)> {
         self.capacity_bytes = capacity_bytes;
         let newest = self.entries.iter().map(|e| e.last_used).max();
-        self.enforce_budget(newest);
+        self.enforce_budget(newest)
     }
 
     /// Drops every *sampled* (unpinned) pool, keeping injected ones.
     /// Called when the graph or probability table changes: pools sampled
-    /// from the old inputs must not serve the new ones.
+    /// from the old inputs must not serve the new ones (and must not be
+    /// spilled anywhere — they are stale, not cold).
     pub fn evict_unpinned(&mut self) {
         let before = self.entries.len();
         self.entries.retain(|e| e.pinned);
@@ -230,19 +273,26 @@ mod tests {
         Arc::new(MrrPool::generate(&g, &table, &campaign, theta, seed))
     }
 
+    fn key(label: &str, pool: &MrrPool) -> PoolKey {
+        PoolKey::external(label, pool)
+    }
+
     #[test]
     fn hit_refreshes_recency() {
         // One seed ⇒ equal byte sizes, so the budget fits exactly two.
         let a = pool(500, 1);
         let bytes = a.memory_bytes();
+        let ka = key("a", &a);
+        let kb = key("b", &a);
+        let kc = key("c", &a);
         let mut arena = PoolArena::new(2 * bytes + 8);
-        arena.insert(PoolKey::external("a", 500), a);
-        arena.insert(PoolKey::external("b", 500), pool(500, 1));
+        arena.insert(ka.clone(), a);
+        arena.insert(kb.clone(), pool(500, 1));
         // Touch "a" so "b" becomes the LRU victim.
-        assert!(arena.get(&PoolKey::external("a", 500)).is_some());
-        arena.insert(PoolKey::external("c", 500), pool(500, 1));
-        assert!(arena.get(&PoolKey::external("a", 500)).is_some());
-        assert!(arena.get(&PoolKey::external("b", 500)).is_none());
+        assert!(arena.get(&ka).is_some());
+        arena.insert(kc.clone(), pool(500, 1));
+        assert!(arena.get(&ka).is_some());
+        assert!(arena.get(&kb).is_none());
         let stats = arena.stats();
         assert_eq!(stats.evictions, 1);
         assert_eq!(stats.entries, 2);
@@ -250,13 +300,98 @@ mod tests {
 
     #[test]
     fn oversized_pool_survives_its_own_insert() {
+        let big = pool(1000, 4);
+        let kbig = key("big", &big);
         let mut arena = PoolArena::new(0);
-        arena.insert(PoolKey::external("big", 1000), pool(1000, 4));
+        arena.insert(kbig.clone(), big);
         assert_eq!(arena.len(), 1);
-        assert!(arena.get(&PoolKey::external("big", 1000)).is_some());
-        // The next insert evicts it.
-        arena.insert(PoolKey::external("next", 500), pool(500, 5));
+        assert!(arena.get(&kbig).is_some());
+        // The next insert evicts it — an oversized pool is served, never
+        // retained.
+        let next = pool(500, 5);
+        let knext = key("next", &next);
+        arena.insert(knext, next);
         assert_eq!(arena.len(), 1);
-        assert!(arena.get(&PoolKey::external("big", 1000)).is_none());
+        assert!(arena.get(&kbig).is_none());
+    }
+
+    /// A zero-byte budget is pass-through, not a panic: every insert
+    /// serves its own request and displaces the previous entry.
+    #[test]
+    fn zero_budget_is_passthrough() {
+        let mut arena = PoolArena::new(0);
+        for s in 0..4u64 {
+            let p = pool(300, s);
+            let k = key("zb", &p);
+            let evicted = arena.insert_evicting(k.clone(), p);
+            assert!(arena.get(&k).is_some(), "seed {s} must serve its insert");
+            assert!(evicted.len() <= 1);
+            assert_eq!(arena.len(), 1);
+        }
+        assert_eq!(arena.stats().evictions, 3);
+    }
+
+    /// Repeated touches must keep reordering the LRU queue: the victim is
+    /// always the least recently *used* entry, not the least recently
+    /// inserted one.
+    #[test]
+    fn eviction_order_tracks_repeated_touches() {
+        let a = pool(400, 1);
+        let bytes = a.memory_bytes();
+        let keys: Vec<PoolKey> = ["a", "b", "c"].iter().map(|l| key(l, &a)).collect();
+        let mut arena = PoolArena::new(3 * bytes + 8);
+        arena.insert(keys[0].clone(), a.clone());
+        arena.insert(keys[1].clone(), pool(400, 1));
+        arena.insert(keys[2].clone(), pool(400, 1));
+        // Touch a, then b, then a again: recency order is now c < b < a.
+        arena.get(&keys[0]);
+        arena.get(&keys[1]);
+        arena.get(&keys[0]);
+        let evicted = arena.insert_evicting(key("d", &a), pool(400, 1));
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].0, keys[2], "c was least recently used");
+        // Next victim is b, then a.
+        let evicted = arena.insert_evicting(key("e", &a), pool(400, 1));
+        assert_eq!(evicted[0].0, keys[1]);
+        let evicted = arena.insert_evicting(key("f", &a), pool(400, 1));
+        assert_eq!(evicted[0].0, keys[0]);
+    }
+
+    /// The PR-4 regression: two different externally loaded pools under
+    /// the same label and θ must not alias one arena entry.
+    #[test]
+    fn external_keys_fingerprint_pool_content() {
+        let p1 = pool(500, 1);
+        let p2 = pool(500, 2); // same θ, different seed ⇒ different content
+        assert_ne!(p1.fingerprint(), p2.fingerprint());
+        let k1 = PoolKey::external("same-label", &p1);
+        let k2 = PoolKey::external("same-label", &p2);
+        assert_ne!(k1, k2, "same label + θ must not alias different pools");
+
+        let mut arena = PoolArena::new(usize::MAX);
+        arena.insert(k1.clone(), Arc::clone(&p1));
+        arena.insert(k2.clone(), Arc::clone(&p2));
+        assert_eq!(arena.len(), 2);
+        let got1 = arena.get(&k1).unwrap();
+        let got2 = arena.get(&k2).unwrap();
+        assert_eq!(got1.fingerprint(), p1.fingerprint());
+        assert_eq!(got2.fingerprint(), p2.fingerprint());
+
+        // Identical content under the same label still dedups.
+        let p1_again = pool(500, 1);
+        assert_eq!(PoolKey::external("same-label", &p1_again), k1);
+    }
+
+    #[test]
+    fn pool_key_serde_round_trip() {
+        let keys = [
+            PoolKey::sampled("{\"pieces\":[]}".into(), 1000, 42),
+            PoolKey::external("file.pool", &pool(200, 3)),
+        ];
+        for k in keys {
+            let json = serde_json::to_string(&k).unwrap();
+            let back: PoolKey = serde_json::from_str(&json).unwrap();
+            assert_eq!(k, back);
+        }
     }
 }

@@ -1,0 +1,581 @@
+//! Tier 1 of the pool store: checksummed pool segments on disk.
+//!
+//! A store directory holds one `index.json` manifest plus one segment
+//! file per cached pool:
+//!
+//! ```text
+//! store/
+//! ├── index.json            manifest: key → file, bytes, crc, recency
+//! ├── pool-4f1d….mrr        pool binio v2 (CRC-32 trailer)
+//! ├── pool-99ab….mrr
+//! └── quarantine/           corrupt / orphaned segments moved aside by
+//!     └── pool-77cc….mrr    recovery and `gc` (never deleted silently)
+//! ```
+//!
+//! Every write is crash-safe: segments and the manifest are written to a
+//! temp file and atomically renamed into place, so a torn write leaves at
+//! worst a stale `.tmp-*` file that the next open sweeps away. Reads
+//! verify the segment's CRC-32 trailer (pool binio v2); anything that
+//! fails to parse is moved to `quarantine/` — never served, never
+//! silently deleted. The tier enforces its own byte budget with LRU
+//! eviction ordered by the manifest's recency stamps, which persist
+//! across restarts.
+
+use crate::arena::PoolKey;
+use crate::{StoreError, StoreResult};
+use oipa_sampler::binio::{read_pool_file, write_pool_file, PoolIoError};
+use oipa_sampler::MrrPool;
+use serde::{Deserialize, Serialize};
+use std::hash::Hasher as _;
+use std::path::{Path, PathBuf};
+
+/// Manifest schema version.
+const MANIFEST_VERSION: u32 = 1;
+/// Manifest file name inside the store directory.
+pub const MANIFEST_FILE: &str = "index.json";
+/// Quarantine subdirectory name.
+pub const QUARANTINE_DIR: &str = "quarantine";
+/// Segment file prefix/suffix.
+const SEGMENT_PREFIX: &str = "pool-";
+const SEGMENT_SUFFIX: &str = ".mrr";
+const TMP_PREFIX: &str = ".tmp-";
+
+/// One manifest row: a cached pool and where it lives.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ManifestEntry {
+    /// The pool's cache key.
+    pub key: PoolKey,
+    /// Segment file name (relative to the store directory).
+    pub file: String,
+    /// Segment size in bytes (whole file, trailer included).
+    pub bytes: u64,
+    /// CRC-32 of the segment payload (the binio v2 trailer value).
+    pub crc: u32,
+    /// LRU recency stamp (larger = more recent); persists across opens.
+    pub last_used: u64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Manifest {
+    version: u32,
+    /// Fingerprint of the (graph, probability table) the pools were
+    /// sampled from; 0 while unset. A mismatch purges the tier.
+    instance: u64,
+    clock: u64,
+    entries: Vec<ManifestEntry>,
+}
+
+impl Manifest {
+    fn fresh() -> Manifest {
+        Manifest {
+            version: MANIFEST_VERSION,
+            instance: 0,
+            clock: 0,
+            entries: Vec::new(),
+        }
+    }
+}
+
+/// What [`DiskTier::open`] had to repair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct OpenReport {
+    /// The manifest was unreadable and was quarantined (the tier started
+    /// empty; its segments became orphans).
+    pub corrupt_manifest: bool,
+    /// Manifest entries dropped because their segment file was missing.
+    pub dropped_missing: usize,
+    /// Segments quarantined: size-mismatched entries plus orphaned files
+    /// the manifest does not know.
+    pub quarantined: usize,
+    /// Stale temp files removed.
+    pub stale_temps: usize,
+}
+
+/// Cumulative disk-tier counters plus the current occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct DiskStats {
+    /// Segments currently indexed.
+    pub entries: usize,
+    /// Bytes currently indexed.
+    pub bytes: u64,
+    /// The configured byte budget.
+    pub capacity_bytes: u64,
+    /// Lookups served from disk.
+    pub hits: u64,
+    /// Lookups that found no (usable) segment.
+    pub misses: u64,
+    /// Pools written to disk (spills + write-through inserts).
+    pub spills: u64,
+    /// Segments deleted to stay under the byte budget.
+    pub evictions: u64,
+    /// Segments quarantined after failing verification on read.
+    pub corrupt_dropped: u64,
+    /// Pools skipped because they alone exceed the byte budget.
+    pub oversized_skipped: u64,
+    /// Best-effort writes that failed (the store keeps serving).
+    pub write_errors: u64,
+}
+
+/// Per-segment verification outcome (`oipa-cli store verify`).
+#[derive(Debug, Clone, Serialize)]
+pub struct VerifyReport {
+    /// Segments that parsed and passed their CRC check: (file, bytes).
+    pub ok: Vec<(String, u64)>,
+    /// Segments that failed: (file, reason).
+    pub corrupt: Vec<(String, String)>,
+}
+
+/// What a [`DiskTier::gc`] pass did.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct GcReport {
+    /// Segments moved to `quarantine/` after failing verification.
+    pub quarantined: Vec<String>,
+    /// Manifest entries dropped because their file vanished.
+    pub dropped_missing: usize,
+    /// Orphaned segment files (present on disk, absent from the
+    /// manifest) moved to `quarantine/`.
+    pub orphans_quarantined: usize,
+    /// Stale temp files removed.
+    pub stale_temps: usize,
+    /// Indexed bytes reclaimed from the tier by this pass.
+    pub reclaimed_bytes: u64,
+    /// Healthy segments kept.
+    pub kept: usize,
+}
+
+/// The on-disk pool tier. See the module docs for layout and guarantees.
+pub struct DiskTier {
+    dir: PathBuf,
+    capacity_bytes: u64,
+    manifest: Manifest,
+    open_report: OpenReport,
+    hits: u64,
+    misses: u64,
+    spills: u64,
+    evictions: u64,
+    corrupt_dropped: u64,
+    oversized_skipped: u64,
+    write_errors: u64,
+}
+
+fn io_err(what: impl Into<String>, e: impl std::fmt::Display) -> StoreError {
+    StoreError::Io {
+        what: what.into(),
+        detail: e.to_string(),
+    }
+}
+
+impl DiskTier {
+    /// Opens (creating if needed) a store directory and recovers its
+    /// manifest: entries with missing or size-mismatched segments are
+    /// dropped/quarantined, segment files the manifest does not know are
+    /// quarantined, stale temp files are removed, and the byte budget is
+    /// enforced. Corruption never fails the open — it is repaired and
+    /// reported in [`DiskTier::open_report`].
+    pub fn open(dir: impl Into<PathBuf>, capacity_bytes: u64) -> StoreResult<DiskTier> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| io_err(format!("creating store dir {}", dir.display()), e))?;
+        let mut report = OpenReport::default();
+
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let mut manifest = match std::fs::read_to_string(&manifest_path) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Manifest::fresh(),
+            Err(e) => return Err(io_err(format!("reading {}", manifest_path.display()), e)),
+            Ok(text) => match serde_json::from_str::<Manifest>(&text) {
+                Ok(m) if m.version == MANIFEST_VERSION => m,
+                parsed => {
+                    // Unreadable or future-versioned: set the manifest
+                    // aside and start empty; its segments become orphans
+                    // below. Never serve entries we cannot trust.
+                    let reason = match parsed {
+                        Ok(m) => format!("unsupported manifest version {}", m.version),
+                        Err(e) => e.to_string(),
+                    };
+                    quarantine_file(&dir, MANIFEST_FILE, &reason)?;
+                    report.corrupt_manifest = true;
+                    Manifest::fresh()
+                }
+            },
+        };
+
+        // Validate each entry's segment: present and the size recorded.
+        let mut kept = Vec::with_capacity(manifest.entries.len());
+        for entry in std::mem::take(&mut manifest.entries) {
+            match std::fs::metadata(dir.join(&entry.file)) {
+                Err(_) => report.dropped_missing += 1,
+                Ok(meta) if meta.len() != entry.bytes => {
+                    quarantine_file(&dir, &entry.file, "size mismatch")?;
+                    report.quarantined += 1;
+                }
+                Ok(_) => kept.push(entry),
+            }
+        }
+        manifest.entries = kept;
+
+        // Sweep the directory: stale temps go away, unknown segments are
+        // quarantined (without a manifest row their key is unknowable —
+        // the campaign JSON lives only in the manifest).
+        let listing = std::fs::read_dir(&dir)
+            .map_err(|e| io_err(format!("listing store dir {}", dir.display()), e))?;
+        for dirent in listing {
+            let Ok(dirent) = dirent else { continue };
+            let name = dirent.file_name().to_string_lossy().into_owned();
+            if name.starts_with(TMP_PREFIX) {
+                let _ = std::fs::remove_file(dirent.path());
+                report.stale_temps += 1;
+            } else if name.starts_with(SEGMENT_PREFIX)
+                && name.ends_with(SEGMENT_SUFFIX)
+                && !manifest.entries.iter().any(|e| e.file == name)
+            {
+                quarantine_file(&dir, &name, "orphaned segment")?;
+                report.quarantined += 1;
+            }
+        }
+
+        let mut tier = DiskTier {
+            dir,
+            capacity_bytes,
+            manifest,
+            open_report: report,
+            hits: 0,
+            misses: 0,
+            spills: 0,
+            evictions: 0,
+            corrupt_dropped: 0,
+            oversized_skipped: 0,
+            write_errors: 0,
+        };
+        tier.enforce_budget(None);
+        tier.persist()?;
+        Ok(tier)
+    }
+
+    /// What the open had to repair.
+    pub fn open_report(&self) -> OpenReport {
+        self.open_report
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The manifest rows, in insertion order.
+    pub fn entries(&self) -> &[ManifestEntry] {
+        &self.manifest.entries
+    }
+
+    /// The recorded sampling-inputs fingerprint (0 while unset).
+    pub fn instance(&self) -> u64 {
+        self.manifest.instance
+    }
+
+    /// Records the fingerprint of the (graph, table) this tier caches
+    /// pools for. On a mismatch with the recorded fingerprint every
+    /// segment is quarantined — pools sampled from different inputs must
+    /// never be served. Returns whether a purge happened.
+    pub fn set_instance(&mut self, fingerprint: u64) -> StoreResult<bool> {
+        if self.manifest.instance == fingerprint {
+            return Ok(false);
+        }
+        let purge = self.manifest.instance != 0 && !self.manifest.entries.is_empty();
+        if purge {
+            for entry in std::mem::take(&mut self.manifest.entries) {
+                quarantine_file(&self.dir, &entry.file, "instance fingerprint mismatch")?;
+                self.evictions += 1;
+            }
+        }
+        self.manifest.instance = fingerprint;
+        self.persist()?;
+        Ok(purge)
+    }
+
+    /// Looks up a pool, reading and CRC-verifying its segment. A segment
+    /// that fails verification is quarantined and its entry dropped —
+    /// the caller sees a plain miss and resamples.
+    pub fn get(&mut self, key: &PoolKey) -> Option<MrrPool> {
+        let Some(idx) = self.manifest.entries.iter().position(|e| &e.key == key) else {
+            self.misses += 1;
+            return None;
+        };
+        let file = self.manifest.entries[idx].file.clone();
+        match read_pool_file(self.dir.join(&file)) {
+            Ok(pool) => {
+                self.manifest.clock += 1;
+                self.manifest.entries[idx].last_used = self.manifest.clock;
+                self.hits += 1;
+                let _ = self.persist(); // recency is best-effort durable
+                Some(pool)
+            }
+            Err(e) => {
+                let _ = quarantine_file(&self.dir, &file, &e.to_string());
+                self.manifest.entries.remove(idx);
+                self.corrupt_dropped += 1;
+                self.misses += 1;
+                let _ = self.persist();
+                None
+            }
+        }
+    }
+
+    /// Writes a pool segment (write-to-temp + atomic rename), indexes it,
+    /// and evicts LRU segments until the byte budget fits. A key already
+    /// present is only touched (keys are content-addressed: the campaign,
+    /// θ and seed/fingerprint determine the pool bytes). A pool whose
+    /// segment alone exceeds the budget is not stored. Best-effort: IO
+    /// failures are counted, not returned — a broken disk tier degrades
+    /// to a cache miss, never a serving failure.
+    pub fn put(&mut self, key: &PoolKey, pool: &MrrPool) {
+        if let Some(idx) = self.manifest.entries.iter().position(|e| &e.key == key) {
+            self.manifest.clock += 1;
+            self.manifest.entries[idx].last_used = self.manifest.clock;
+            let _ = self.persist();
+            return;
+        }
+        let file = self.segment_name(key);
+        let tmp = self.dir.join(format!("{TMP_PREFIX}{file}"));
+        let crc = match write_pool_file(pool, &tmp) {
+            Ok(crc) => crc,
+            Err(_) => {
+                let _ = std::fs::remove_file(&tmp);
+                self.write_errors += 1;
+                return;
+            }
+        };
+        let bytes = match std::fs::metadata(&tmp) {
+            Ok(meta) => meta.len(),
+            Err(_) => {
+                let _ = std::fs::remove_file(&tmp);
+                self.write_errors += 1;
+                return;
+            }
+        };
+        if bytes > self.capacity_bytes {
+            let _ = std::fs::remove_file(&tmp);
+            self.oversized_skipped += 1;
+            return;
+        }
+        if std::fs::rename(&tmp, self.dir.join(&file)).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+            self.write_errors += 1;
+            return;
+        }
+        self.manifest.clock += 1;
+        self.manifest.entries.push(ManifestEntry {
+            key: key.clone(),
+            file,
+            bytes,
+            crc,
+            last_used: self.manifest.clock,
+        });
+        self.spills += 1;
+        self.enforce_budget(Some(self.manifest.clock));
+        let _ = self.persist();
+    }
+
+    /// Reads every indexed segment end to end, checking structure, CRC
+    /// trailer, and the manifest's recorded checksum. Mutates nothing —
+    /// pair with [`DiskTier::gc`] to act on the findings.
+    pub fn verify(&self) -> VerifyReport {
+        let mut report = VerifyReport {
+            ok: Vec::new(),
+            corrupt: Vec::new(),
+        };
+        for entry in &self.manifest.entries {
+            match read_pool_file(self.dir.join(&entry.file)) {
+                Ok(pool) => {
+                    // The file parsed; cross-check the manifest row.
+                    let trailer = segment_trailer_crc(&self.dir.join(&entry.file));
+                    if trailer != Some(entry.crc) {
+                        report.corrupt.push((
+                            entry.file.clone(),
+                            format!(
+                                "manifest crc {:#010x} does not match segment trailer {:?}",
+                                entry.crc, trailer
+                            ),
+                        ));
+                    } else if pool.theta() != entry.key.theta() {
+                        report.corrupt.push((
+                            entry.file.clone(),
+                            format!(
+                                "segment holds θ={} but the key says θ={}",
+                                pool.theta(),
+                                entry.key.theta()
+                            ),
+                        ));
+                    } else {
+                        report.ok.push((entry.file.clone(), entry.bytes));
+                    }
+                }
+                Err(PoolIoError::Io(e)) => report
+                    .corrupt
+                    .push((entry.file.clone(), format!("io error: {e}"))),
+                Err(e) => report.corrupt.push((entry.file.clone(), e.to_string())),
+            }
+        }
+        report
+    }
+
+    /// Repairs the tier: quarantines corrupt segments (full read-back
+    /// verification) and orphaned files, drops entries whose segments
+    /// vanished, and sweeps stale temps.
+    pub fn gc(&mut self) -> StoreResult<GcReport> {
+        let mut report = GcReport::default();
+        let verdicts = self.verify();
+        let mut kept = Vec::with_capacity(self.manifest.entries.len());
+        for entry in std::mem::take(&mut self.manifest.entries) {
+            if verdicts.ok.iter().any(|(f, _)| *f == entry.file) {
+                kept.push(entry);
+                continue;
+            }
+            report.reclaimed_bytes += entry.bytes;
+            if self.dir.join(&entry.file).exists() {
+                quarantine_file(&self.dir, &entry.file, "gc: failed verification")?;
+                self.corrupt_dropped += 1;
+                report.quarantined.push(entry.file);
+            } else {
+                report.dropped_missing += 1;
+            }
+        }
+        report.kept = kept.len();
+        self.manifest.entries = kept;
+
+        let listing = std::fs::read_dir(&self.dir)
+            .map_err(|e| io_err(format!("listing store dir {}", self.dir.display()), e))?;
+        for dirent in listing {
+            let Ok(dirent) = dirent else { continue };
+            let name = dirent.file_name().to_string_lossy().into_owned();
+            if name.starts_with(TMP_PREFIX) {
+                let _ = std::fs::remove_file(dirent.path());
+                report.stale_temps += 1;
+            } else if name.starts_with(SEGMENT_PREFIX)
+                && name.ends_with(SEGMENT_SUFFIX)
+                && !self.manifest.entries.iter().any(|e| e.file == name)
+            {
+                quarantine_file(&self.dir, &name, "gc: orphaned segment")?;
+                report.orphans_quarantined += 1;
+            }
+        }
+        self.persist()?;
+        Ok(report)
+    }
+
+    /// Segments currently indexed.
+    pub fn len(&self) -> usize {
+        self.manifest.entries.len()
+    }
+
+    /// Whether the tier indexes no segments.
+    pub fn is_empty(&self) -> bool {
+        self.manifest.entries.is_empty()
+    }
+
+    /// Indexed bytes.
+    pub fn bytes(&self) -> u64 {
+        self.manifest.entries.iter().map(|e| e.bytes).sum()
+    }
+
+    /// Occupancy and cumulative counters.
+    pub fn stats(&self) -> DiskStats {
+        DiskStats {
+            entries: self.len(),
+            bytes: self.bytes(),
+            capacity_bytes: self.capacity_bytes,
+            hits: self.hits,
+            misses: self.misses,
+            spills: self.spills,
+            evictions: self.evictions,
+            corrupt_dropped: self.corrupt_dropped,
+            oversized_skipped: self.oversized_skipped,
+            write_errors: self.write_errors,
+        }
+    }
+
+    /// Deletes LRU segments until the budget fits; `protect` exempts one
+    /// recency stamp (the entry just inserted).
+    fn enforce_budget(&mut self, protect: Option<u64>) {
+        while self.bytes() > self.capacity_bytes {
+            let Some((victim, _)) = self
+                .manifest
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| Some(e.last_used) != protect)
+                .min_by_key(|(_, e)| e.last_used)
+            else {
+                break;
+            };
+            let entry = self.manifest.entries.remove(victim);
+            let _ = std::fs::remove_file(self.dir.join(&entry.file));
+            self.evictions += 1;
+        }
+    }
+
+    /// Atomically rewrites `index.json`.
+    fn persist(&self) -> StoreResult<()> {
+        let text = serde_json::to_string_pretty(&self.manifest)
+            .map_err(|e| io_err("serializing the store manifest", e))?;
+        let tmp = self.dir.join(format!("{TMP_PREFIX}{MANIFEST_FILE}"));
+        std::fs::write(&tmp, text).map_err(|e| io_err(format!("writing {}", tmp.display()), e))?;
+        std::fs::rename(&tmp, self.dir.join(MANIFEST_FILE))
+            .map_err(|e| io_err("committing the store manifest", e))?;
+        Ok(())
+    }
+
+    /// Deterministic, collision-probed segment file name for a key.
+    fn segment_name(&self, key: &PoolKey) -> String {
+        for bump in 0u64.. {
+            let mut h = oipa_graph::hashing::FxHasher::default();
+            h.write(key.campaign.as_bytes());
+            h.write_u64(key.theta as u64);
+            h.write_u64(key.seed);
+            h.write_u64(bump);
+            let name = format!("{SEGMENT_PREFIX}{:016x}{SEGMENT_SUFFIX}", h.finish());
+            let taken = self
+                .manifest
+                .entries
+                .iter()
+                .any(|e| e.file == name && &e.key != key);
+            if !taken {
+                return name;
+            }
+        }
+        unreachable!("collision probe terminates")
+    }
+}
+
+/// Moves a file into `dir/quarantine/`, suffixing on name collisions.
+/// The reason is recorded next to it as `<name>.reason.txt` so operators
+/// can see *why* a segment was set aside.
+fn quarantine_file(dir: &Path, name: &str, reason: &str) -> StoreResult<()> {
+    let qdir = dir.join(QUARANTINE_DIR);
+    std::fs::create_dir_all(&qdir)
+        .map_err(|e| io_err(format!("creating {}", qdir.display()), e))?;
+    let mut target = qdir.join(name);
+    let mut k = 0u32;
+    while target.exists() {
+        k += 1;
+        target = qdir.join(format!("{name}.{k}"));
+    }
+    std::fs::rename(dir.join(name), &target)
+        .map_err(|e| io_err(format!("quarantining {name}"), e))?;
+    let note = format!("{}.reason.txt", target.display());
+    let _ = std::fs::write(note, format!("{reason}\n"));
+    Ok(())
+}
+
+/// The stored CRC-32 trailer of a segment file (its last 4 bytes), or
+/// `None` if the file is unreadable/too short. Seeks rather than reading
+/// the (multi-megabyte) segment a second time.
+fn segment_trailer_crc(path: &Path) -> Option<u32> {
+    use std::io::{Read as _, Seek as _, SeekFrom};
+    let mut file = std::fs::File::open(path).ok()?;
+    if file.metadata().ok()?.len() < 4 {
+        return None;
+    }
+    file.seek(SeekFrom::End(-4)).ok()?;
+    let mut buf = [0u8; 4];
+    file.read_exact(&mut buf).ok()?;
+    Some(u32::from_le_bytes(buf))
+}

@@ -1,0 +1,318 @@
+//! # oipa-store
+//!
+//! A tiered, persistent pool store: the memory arena the `PlannerService`
+//! always had (tier 0) backed by an optional on-disk tier of checksummed
+//! pool segments (tier 1).
+//!
+//! Sampling θ MRR sets dominates end-to-end latency (the paper's "sample
+//! time" row; the service bench measures ~126–137× warm-over-cold on the
+//! seeded medium instance), yet a memory-only arena loses every warm pool
+//! to process exit and to byte pressure. This crate keeps them:
+//!
+//! * **Tier 0 — [`PoolArena`]**: the in-memory LRU cache of [`MrrPool`]s
+//!   keyed by [`PoolKey`] and bounded by resident bytes.
+//! * **Tier 1 — [`DiskTier`]**: a store directory (an `index.json`
+//!   manifest plus one CRC-checksummed segment file per pool) with its
+//!   own byte budget and LRU eviction. Entries evicted from memory spill
+//!   here; an arena miss consults disk before anyone resamples;
+//!   reopening the directory after a restart serves yesterday's pools at
+//!   disk speed.
+//!
+//! Durability rules: segments and the manifest are written to temp files
+//! and atomically renamed; every segment read verifies the pool binio v2
+//! CRC-32 trailer; anything corrupt or unaccounted for is moved to
+//! `quarantine/` — recovery never fails an open and corruption is never
+//! served. A [`DiskTier::set_instance`] fingerprint ties a directory to
+//! the (graph, probability table) its pools were sampled from, so a
+//! store can never serve pools across different inputs.
+//!
+//! ```
+//! use oipa_store::{PoolKey, PoolStore, PoolTier, StoreConfig};
+//! use std::sync::Arc;
+//!
+//! let dir = std::env::temp_dir().join("oipa-store-doc");
+//! let _ = std::fs::remove_dir_all(&dir);
+//! let (g, table, campaign) = oipa_sampler::testkit::fig1();
+//! let pool = Arc::new(oipa_sampler::MrrPool::generate(&g, &table, &campaign, 500, 7));
+//! let key = PoolKey::sampled("doc".into(), 500, 7);
+//!
+//! // Write-through: the insert lands in memory AND on disk.
+//! let mut store = PoolStore::open(StoreConfig::new(&dir)).unwrap();
+//! store.insert(key.clone(), Arc::clone(&pool));
+//! assert!(matches!(store.get(&key), Some((_, PoolTier::Memory))));
+//!
+//! // A fresh process finds the pool on disk — no resampling.
+//! let mut reopened = PoolStore::open(StoreConfig::new(&dir)).unwrap();
+//! let (back, tier) = reopened.get(&key).unwrap();
+//! assert_eq!(tier, PoolTier::Disk);
+//! assert_eq!(back.fingerprint(), pool.fingerprint());
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod arena;
+mod disk;
+
+pub use arena::{ArenaStats, PoolArena, PoolKey};
+pub use disk::{
+    DiskStats, DiskTier, GcReport, ManifestEntry, OpenReport, VerifyReport, MANIFEST_FILE,
+    QUARANTINE_DIR,
+};
+
+use oipa_sampler::MrrPool;
+use serde::Serialize;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Default memory-tier byte budget (≈256 MiB).
+pub const DEFAULT_MEM_BYTES: usize = 256 << 20;
+
+/// Default disk-tier byte budget (≈4 GiB).
+pub const DEFAULT_DISK_BYTES: u64 = 4 << 30;
+
+/// Errors opening or administering a store directory. Cache *lookups*
+/// never error — a broken tier degrades to a miss.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure on the store directory or manifest.
+    Io {
+        /// What was being done.
+        what: String,
+        /// The underlying error.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { what, detail } => write!(f, "store io error: {what}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Convenience result alias for this crate.
+pub type StoreResult<T> = std::result::Result<T, StoreError>;
+
+/// Configuration of a tiered store.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// The store directory (created if absent).
+    pub dir: PathBuf,
+    /// Memory-tier byte budget override. `None` (the default) leaves the
+    /// arena's existing budget alone when attaching to a live store
+    /// ([`DEFAULT_MEM_BYTES`] when opening a fresh one) — attaching a
+    /// disk tier must not silently rewrite a budget the caller already
+    /// chose.
+    pub mem_bytes: Option<usize>,
+    /// Disk-tier byte budget (default [`DEFAULT_DISK_BYTES`]).
+    pub disk_bytes: u64,
+    /// Write inserts to disk immediately (default `true`). When `false`
+    /// pools reach disk only when memory pressure evicts them — cheaper
+    /// writes, but pools resident at process exit are lost.
+    pub write_through: bool,
+}
+
+impl StoreConfig {
+    /// A config with default budgets and write-through enabled.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        StoreConfig {
+            dir: dir.into(),
+            mem_bytes: None,
+            disk_bytes: DEFAULT_DISK_BYTES,
+            write_through: true,
+        }
+    }
+}
+
+/// Which tier answered a [`PoolStore::get`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolTier {
+    /// Tier 0: the in-memory arena.
+    Memory,
+    /// Tier 1: a disk segment (now promoted to memory).
+    Disk,
+}
+
+impl PoolTier {
+    /// The wire name (`memory` / `disk`).
+    pub fn name(self) -> &'static str {
+        match self {
+            PoolTier::Memory => "memory",
+            PoolTier::Disk => "disk",
+        }
+    }
+}
+
+impl std::fmt::Display for PoolTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Combined occupancy/counter snapshot of both tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct StoreStats {
+    /// Memory-tier stats.
+    pub mem: ArenaStats,
+    /// Disk-tier stats (absent on memory-only stores).
+    pub disk: Option<DiskStats>,
+}
+
+/// The tiered pool store: memory arena in front, optional disk tier
+/// behind. See the crate docs for the full contract.
+pub struct PoolStore {
+    arena: PoolArena,
+    disk: Option<DiskTier>,
+    write_through: bool,
+}
+
+impl PoolStore {
+    /// A memory-only store (the pre-store service behavior).
+    pub fn memory_only(mem_bytes: usize) -> Self {
+        PoolStore {
+            arena: PoolArena::new(mem_bytes),
+            disk: None,
+            write_through: false,
+        }
+    }
+
+    /// Opens a tiered store over a directory, recovering the manifest
+    /// (see [`DiskTier::open`]).
+    pub fn open(config: StoreConfig) -> StoreResult<Self> {
+        let mut store = PoolStore::memory_only(config.mem_bytes.unwrap_or(DEFAULT_MEM_BYTES));
+        store.attach_disk(config)?;
+        Ok(store)
+    }
+
+    /// Attaches (or replaces) the disk tier on an existing store,
+    /// keeping the memory tier's contents. The memory budget changes
+    /// only when the config names one explicitly; entries evicted by a
+    /// smaller budget spill to the new disk tier.
+    pub fn attach_disk(&mut self, config: StoreConfig) -> StoreResult<()> {
+        let disk = DiskTier::open(config.dir, config.disk_bytes)?;
+        self.disk = Some(disk);
+        self.write_through = config.write_through;
+        if let Some(mem_bytes) = config.mem_bytes {
+            let evicted = self.arena.set_capacity(mem_bytes);
+            self.spill(evicted);
+        }
+        Ok(())
+    }
+
+    /// Whether a disk tier is attached.
+    pub fn has_disk(&self) -> bool {
+        self.disk.is_some()
+    }
+
+    /// The disk tier, when attached (admin surface: `entries`, `verify`,
+    /// `gc`, `open_report`).
+    pub fn disk(&self) -> Option<&DiskTier> {
+        self.disk.as_ref()
+    }
+
+    /// Ties the disk tier to the sampling inputs' fingerprint (see
+    /// [`DiskTier::set_instance`]); a mismatch purges the tier. No-op on
+    /// memory-only stores.
+    pub fn set_instance(&mut self, fingerprint: u64) -> StoreResult<bool> {
+        match self.disk.as_mut() {
+            Some(disk) => disk.set_instance(fingerprint),
+            None => Ok(false),
+        }
+    }
+
+    /// Looks up a pool: memory first, then disk. A disk hit is promoted
+    /// into the memory tier (evicted entries spill back out), so repeat
+    /// lookups of a hot key stay at memory speed.
+    pub fn get(&mut self, key: &PoolKey) -> Option<(Arc<MrrPool>, PoolTier)> {
+        if let Some(pool) = self.arena.get(key) {
+            return Some((pool, PoolTier::Memory));
+        }
+        let disk = self.disk.as_mut()?;
+        let pool = Arc::new(disk.get(key)?);
+        // Promote unless the pool alone exceeds the memory budget — an
+        // oversized pool is served, never cached (it could only displace
+        // everything else and then be evicted itself).
+        if pool.memory_bytes() <= self.arena.capacity_bytes() {
+            let evicted = self.arena.insert_evicting(key.clone(), Arc::clone(&pool));
+            self.spill(evicted);
+        }
+        Some((pool, PoolTier::Disk))
+    }
+
+    /// Inserts a sampled pool. With a disk tier and write-through the
+    /// segment is persisted immediately; entries the insert evicts from
+    /// memory spill to disk either way. A pool larger than the memory
+    /// budget is not cached in memory (it is still persisted): the
+    /// caller keeps its `Arc` and serves from that.
+    pub fn insert(&mut self, key: PoolKey, pool: Arc<MrrPool>) {
+        if self.write_through {
+            if let Some(disk) = self.disk.as_mut() {
+                disk.put(&key, &pool);
+            }
+        }
+        if pool.memory_bytes() > self.arena.capacity_bytes() {
+            // Never resident: spill straight to disk if not already there.
+            if !self.write_through {
+                if let Some(disk) = self.disk.as_mut() {
+                    disk.put(&key, &pool);
+                }
+            }
+            return;
+        }
+        let evicted = self.arena.insert_evicting(key, pool);
+        self.spill(evicted);
+    }
+
+    /// Inserts a pool that memory pressure must never evict (an injected
+    /// pool the session was built around). Pinned pools stay memory-only:
+    /// the caller owns their persistence.
+    pub fn insert_pinned(&mut self, key: PoolKey, pool: Arc<MrrPool>) {
+        self.arena.insert_pinned(key, pool);
+    }
+
+    /// Replaces the memory-tier byte budget; entries that no longer fit
+    /// spill to disk.
+    pub fn set_mem_capacity(&mut self, mem_bytes: usize) {
+        let evicted = self.arena.set_capacity(mem_bytes);
+        self.spill(evicted);
+    }
+
+    /// Drops every memory-resident pool (disk segments are kept).
+    pub fn clear_memory(&mut self) {
+        self.arena.clear();
+    }
+
+    /// Drops every *sampled* (unpinned) memory entry without spilling —
+    /// called when the sampling inputs change, so the dropped pools are
+    /// stale, not cold. Pair with [`Self::set_instance`] to purge the
+    /// disk tier of the same staleness.
+    pub fn evict_unpinned(&mut self) {
+        self.arena.evict_unpinned();
+    }
+
+    /// Memory-tier stats (the historical `arena_stats` surface).
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.arena.stats()
+    }
+
+    /// Both tiers' stats.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            mem: self.arena.stats(),
+            disk: self.disk.as_ref().map(|d| d.stats()),
+        }
+    }
+
+    fn spill(&mut self, evicted: Vec<(PoolKey, Arc<MrrPool>)>) {
+        let Some(disk) = self.disk.as_mut() else {
+            return;
+        };
+        for (key, pool) in evicted {
+            disk.put(&key, &pool);
+        }
+    }
+}

@@ -87,6 +87,25 @@ impl EdgeTopicProbs {
         Ok(())
     }
 
+    /// A content fingerprint over the topic count and every sparse row in
+    /// edge-id order (probabilities hashed by bit pattern). Combined with
+    /// [`oipa_graph::DiGraph::fingerprint`] it identifies the sampling
+    /// inputs a persistent pool cache was built from.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::Hasher as _;
+        let mut h = oipa_graph::hashing::FxHasher::default();
+        h.write_u64(self.topic_count as u64);
+        h.write_u64(self.offsets.len() as u64);
+        for &off in &self.offsets {
+            h.write_u32(off);
+        }
+        for (&z, &p) in self.topics.iter().zip(&self.probs) {
+            h.write_u32(z as u32);
+            h.write_u32(p.to_bits());
+        }
+        h.finish()
+    }
+
     /// Mean of `p(e|z)` over all non-zero entries.
     pub fn mean_nonzero_prob(&self) -> f64 {
         if self.probs.is_empty() {

@@ -12,7 +12,8 @@
 //! 3. hand both to a [`service::PlannerService`] session and stream
 //!    [`service::SolveRequest`]s at it — the service samples
 //!    multi-reverse-reachable (MRR) pools ([`sampler`]), caches them in a
-//!    byte-bounded arena, and dispatches to any registered solver:
+//!    tiered pool store ([`store`]: byte-bounded memory arena, optional
+//!    persistent disk tier), and dispatches to any registered solver:
 //!    branch-and-bound ([`core`]), the relaxation heuristic, exact
 //!    enumeration, or the paper's `IM`/`TIM` baselines ([`baselines`]).
 //!
@@ -54,4 +55,5 @@ pub use oipa_datasets as datasets;
 pub use oipa_graph as graph;
 pub use oipa_sampler as sampler;
 pub use oipa_service as service;
+pub use oipa_store as store;
 pub use oipa_topics as topics;
