@@ -23,10 +23,14 @@
 //! τ-evaluation and search-shape counters for the incremental vs
 //! reference engines, [`service_suite`] (the `bench_service` bin /
 //! `oipa-cli bench service`) emits `BENCH_service.json` with cold-pool vs
-//! warm-pool request latency through the `PlannerService` arena, and
+//! warm-pool request latency through the `PlannerService` arena,
 //! [`store_suite`] (the `bench_store` bin / `oipa-cli bench store`) emits
 //! `BENCH_store.json` with cold vs disk-warm vs mem-warm latency through
-//! the persistent pool store.
+//! the persistent pool store, and [`concurrent_suite`] (the
+//! `bench_concurrent` bin / `oipa-cli bench concurrent`) emits
+//! `BENCH_concurrent.json` with per-thread-count latency and
+//! requests/sec through one shared `&self` session, answers cross-checked
+//! bitwise against a sequential run.
 //!
 //! Criterion micro/ablation benches live in `benches/`.
 
@@ -34,6 +38,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod args;
+pub mod concurrent_suite;
 pub mod runner;
 pub mod service_suite;
 pub mod solver_suite;
@@ -41,6 +46,7 @@ pub mod store_suite;
 pub mod table;
 
 pub use args::HarnessArgs;
+pub use concurrent_suite::{run_concurrent_suite, ConcurrentSuiteConfig, ConcurrentSuiteReport};
 pub use runner::{run_all_methods, ExperimentSetup, MethodOutcome};
 pub use service_suite::{run_service_suite, ServiceSuiteConfig, ServiceSuiteReport};
 pub use solver_suite::{run_solver_suite, SolverSuiteConfig, SolverSuiteReport};

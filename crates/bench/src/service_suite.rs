@@ -169,7 +169,7 @@ pub fn run_service_suite(config: ServiceSuiteConfig) -> ServiceSuiteReport {
         let mut cold_plan = None;
         let mut cold_plans_match = true;
         for _ in 0..spec.cold_requests {
-            let mut service =
+            let service =
                 PlannerService::new(graph.clone(), table.clone()).expect("valid instance");
             let response = service.solve(&req).expect("bench request solves");
             cold_lat.push(response.seconds * 1e3);
@@ -190,8 +190,7 @@ pub fn run_service_suite(config: ServiceSuiteConfig) -> ServiceSuiteReport {
         ));
 
         // Warm: one service; prime the arena (untimed), then measure.
-        let mut service =
-            PlannerService::new(graph.clone(), table.clone()).expect("valid instance");
+        let service = PlannerService::new(graph.clone(), table.clone()).expect("valid instance");
         let primed = service.solve(&req).expect("priming request solves");
         assert_eq!(
             primed.utility.to_bits(),

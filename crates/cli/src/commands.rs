@@ -105,8 +105,27 @@ fn cmd_bench(args: &ParsedArgs) -> Result<String, OipaError> {
             write!(text, "wrote {out} ({} records)", report.records.len()).expect("string write");
             Ok(text)
         }
+        "concurrent" => {
+            let config = oipa_bench::concurrent_suite::ConcurrentSuiteConfig {
+                smoke: args.parsed_or("smoke", false)?,
+                seed: args.parsed_or("seed", 0u64)?,
+            };
+            let report = oipa_bench::concurrent_suite::run_concurrent_suite(config);
+            oipa_bench::concurrent_suite::validate_report(&report).map_err(|e| {
+                OipaError::Mismatch {
+                    what: format!("concurrent bench invariants violated: {e}"),
+                }
+            })?;
+            let out = args.optional("out").unwrap_or("BENCH_concurrent.json");
+            save_json(&report, out, "bench report")?;
+            let mut text = oipa_bench::concurrent_suite::summary_text(&report);
+            write!(text, "wrote {out} ({} records)", report.records.len()).expect("string write");
+            Ok(text)
+        }
         other => Err(OipaError::InvalidConfig {
-            what: format!("unknown bench suite {other:?} (available: solver, service, store)"),
+            what: format!(
+                "unknown bench suite {other:?} (available: solver, service, store, concurrent)"
+            ),
         }),
     }
 }
@@ -490,11 +509,21 @@ fn cmd_simulate(args: &ParsedArgs) -> Result<String, OipaError> {
 ///
 /// Each input line produces one output line: the [`SolveResponse`] JSON,
 /// or `{"line": N, "error": "..."}` for requests that fail (the batch
-/// continues). With `--out FILE` the response lines go to the file and
-/// the report carries only the summary; otherwise the report itself is
-/// the JSONL stream followed by a `#`-prefixed summary line.
+/// continues). Output order always matches input order. With
+/// `--threads N` the requests are answered by N workers sharing the
+/// session (`PlannerService::solve` takes `&self`): warm requests hit
+/// the pool store's shared read path concurrently and N simultaneous
+/// misses on one pool key sample exactly once, so plans and utilities
+/// are identical to a sequential run. With `--out FILE` the response
+/// lines go to the file and the report carries only the summary;
+/// otherwise the report itself is the JSONL stream followed by a
+/// `#`-prefixed summary line.
 fn cmd_batch(args: &ParsedArgs) -> Result<String, OipaError> {
     let requests_path = args.required("requests")?;
+    let threads: usize = args.parsed_or("threads", 1)?;
+    if threads == 0 {
+        return Err(OipaError::config("--threads must be at least 1"));
+    }
     let mut service = match args.optional("pool") {
         Some(pool_path) => {
             let mut service = PlannerService::from_pool(load_pool(pool_path)?);
@@ -524,47 +553,77 @@ fn cmd_batch(args: &ParsedArgs) -> Result<String, OipaError> {
         .map_err(|e| io_err("reading requests", requests_path, e))?;
     let check = args.parsed_or("check", false)?;
 
-    let start = std::time::Instant::now();
-    let mut lines_out: Vec<String> = Vec::new();
-    let mut responses: Vec<(usize, SolveRequest, SolveResponse)> = Vec::new();
-    let mut ok = 0usize;
-    let mut failed = 0usize;
-    for (idx, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let lineno = idx + 1;
-        let outcome: Result<SolveResponse, OipaError> = serde_json::from_str::<SolveRequest>(line)
+    let entries: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .filter_map(|(idx, line)| {
+            let line = line.trim();
+            (!line.is_empty() && !line.starts_with('#')).then_some((idx + 1, line))
+        })
+        .collect();
+
+    // One request → one outcome: the output line, whether it succeeded,
+    // and (under --check) the parsed pair for the agreement check.
+    type BatchOutcome = (String, bool, Option<(usize, SolveRequest, SolveResponse)>);
+    let solve_line = |lineno: usize, line: &str| -> BatchOutcome {
+        let outcome = serde_json::from_str::<SolveRequest>(line)
             .map_err(|e| OipaError::InvalidConfig {
                 what: format!("parsing request: {e}"),
             })
             .and_then(|request| {
                 let response = service.solve(&request)?;
-                if check {
-                    // Retained only for the post-hoc agreement check.
-                    responses.push((lineno, request, response.clone()));
-                }
-                Ok(response)
-            });
-        match outcome {
-            Ok(response) => {
-                ok += 1;
-                lines_out.push(serde_json::to_string(&response).map_err(|e| OipaError::Io {
+                let rendered = serde_json::to_string(&response).map_err(|e| OipaError::Io {
                     what: "serializing a response".to_string(),
                     detail: e.to_string(),
-                })?);
+                })?;
+                Ok((rendered, request, response))
+            });
+        match outcome {
+            Ok((rendered, request, response)) => {
+                let retained = check.then_some((lineno, request, response));
+                (rendered, true, retained)
             }
-            Err(e) => {
-                failed += 1;
-                lines_out.push(format!(
+            Err(e) => (
+                format!(
                     "{{\"line\": {lineno}, \"error\": {}}}",
                     serde_json::to_string(&e.to_string()).expect("string serializes")
-                ));
-            }
+                ),
+                false,
+                None,
+            ),
         }
-    }
+    };
+
+    let start = std::time::Instant::now();
+    let outcomes: Vec<BatchOutcome> = if threads <= 1 {
+        entries.iter().map(|(n, l)| solve_line(*n, l)).collect()
+    } else {
+        // The shim's parallel map preserves input order, so the output
+        // JSONL lines land exactly where the sequential path puts them.
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .map_err(|e| OipaError::config(format!("building the worker pool: {e}")))?;
+        pool.install(|| {
+            use rayon::prelude::*;
+            entries.par_iter().map(|(n, l)| solve_line(*n, l)).collect()
+        })
+    };
     let elapsed = start.elapsed().as_secs_f64();
+
+    let mut lines_out: Vec<String> = Vec::with_capacity(outcomes.len());
+    let mut responses: Vec<(usize, SolveRequest, SolveResponse)> = Vec::new();
+    let mut ok = 0usize;
+    let mut failed = 0usize;
+    for (line, succeeded, retained) in outcomes {
+        if succeeded {
+            ok += 1;
+        } else {
+            failed += 1;
+        }
+        lines_out.push(line);
+        responses.extend(retained);
+    }
     if check {
         batch_check(&responses, failed)?;
     }
@@ -573,7 +632,7 @@ fn cmd_batch(args: &ParsedArgs) -> Result<String, OipaError> {
     let total = ok + failed;
     let summary = format!(
         "# batch: {total} requests, {ok} ok, {failed} failed in {elapsed:.2}s \
-         ({:.2} req/s); arena: {} pools, {} hits, {} misses{}",
+         ({:.2} req/s, {threads} thread(s)); arena: {} pools, {} hits, {} misses{}",
         total as f64 / elapsed.max(1e-9),
         stats.entries,
         stats.hits,
@@ -1147,6 +1206,122 @@ mod tests {
         assert!(report.contains("warm"), "{report}");
         let text = std::fs::read_to_string(&out).unwrap();
         assert!(text.contains("oipa.bench.service/v1"));
+    }
+
+    #[test]
+    fn bench_concurrent_smoke() {
+        let out = tmp("bench_concurrent.json");
+        let report = run_words(&["bench", "concurrent", "--smoke", "true", "--out", &out]).unwrap();
+        assert!(report.contains("cold race"), "{report}");
+        assert!(report.contains("sampled exactly once: true"), "{report}");
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.contains("oipa.bench.concurrent/v1"));
+    }
+
+    /// `batch --threads N` must produce the same answers, in the same
+    /// order, as the sequential path — only the summary's timing and
+    /// thread count may differ.
+    #[test]
+    fn threaded_batch_matches_sequential_output() {
+        let g = tmp("tb.graph");
+        let p = tmp("tb.probs");
+        let requests = tmp("tb.requests.jsonl");
+        run_words(&[
+            "generate",
+            "--dataset",
+            "lastfm",
+            "--scale",
+            "tiny",
+            "--seed",
+            "6",
+            "--out-graph",
+            &g,
+            "--out-probs",
+            &p,
+        ])
+        .unwrap();
+        // Six requests over two pool keys, one malformed line (both modes
+        // must place its error object at the same position).
+        let body = r#"{"method":"bab","budget":2,"ell":2,"theta":3000,"seed":5,"promoter_fraction":0.4,"max_nodes":8}
+{"method":"greedy","budget":2,"ell":2,"theta":3000,"seed":5,"promoter_fraction":0.4,"max_nodes":8}
+{"method":"tim","budget":2,"ell":2,"theta":3000,"seed":5,"promoter_fraction":0.4,"max_nodes":8}
+{"method":"warp","budget":2}
+{"method":"bab","budget":3,"ell":2,"theta":2000,"seed":5,"promoter_fraction":0.4,"max_nodes":8}
+{"method":"greedy","budget":3,"ell":2,"theta":2000,"seed":5,"promoter_fraction":0.4,"max_nodes":8}
+"#;
+        std::fs::write(&requests, body).unwrap();
+        let run_with = |threads: &str, out: &str| {
+            run_words(&[
+                "batch",
+                "--requests",
+                &requests,
+                "--graph",
+                &g,
+                "--probs",
+                &p,
+                "--threads",
+                threads,
+                "--out",
+                out,
+            ])
+            .unwrap()
+        };
+        let seq_out = tmp("tb.seq.jsonl");
+        let par_out = tmp("tb.par.jsonl");
+        let seq_report = run_with("1", &seq_out);
+        let par_report = run_with("3", &par_out);
+        assert!(
+            seq_report.contains("6 requests, 5 ok, 1 failed"),
+            "{seq_report}"
+        );
+        assert!(
+            par_report.contains("6 requests, 5 ok, 1 failed"),
+            "{par_report}"
+        );
+        assert!(par_report.contains("3 thread(s)"), "{par_report}");
+
+        let read_lines = |path: &str| -> Vec<String> {
+            std::fs::read_to_string(path)
+                .unwrap()
+                .lines()
+                .map(String::from)
+                .collect()
+        };
+        let seq_lines = read_lines(&seq_out);
+        let par_lines = read_lines(&par_out);
+        assert_eq!(seq_lines.len(), 6);
+        assert_eq!(par_lines.len(), 6);
+        for (i, (s, p)) in seq_lines.iter().zip(&par_lines).enumerate() {
+            if s.contains("\"error\"") {
+                assert_eq!(s, p, "line {i}: error objects must match");
+                continue;
+            }
+            let a: SolveResponse = serde_json::from_str(s).unwrap();
+            let b: SolveResponse = serde_json::from_str(p).unwrap();
+            assert_eq!(a.plan, b.plan, "line {i}: plans diverged across modes");
+            assert_eq!(
+                a.utility.to_bits(),
+                b.utility.to_bits(),
+                "line {i}: utilities diverged across modes"
+            );
+            assert_eq!(a.theta, b.theta, "line {i}");
+            assert_eq!(a.method, b.method, "line {i}: output order broke");
+        }
+
+        // --threads 0 is rejected up front.
+        let err = run_words(&[
+            "batch",
+            "--requests",
+            &requests,
+            "--graph",
+            &g,
+            "--probs",
+            &p,
+            "--threads",
+            "0",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("--threads"), "{err}");
     }
 
     #[test]

@@ -26,9 +26,9 @@ commands:
   simulate  --graph FILE --probs FILE --campaign FILE --plan FILE
             [--ratio F] [--runs N] [--seed N]
   batch     --requests FILE (--graph FILE --probs FILE | --pool FILE)
-            [--out FILE] [--check true] [--store-dir DIR]
-  bench     solver|service|store [--smoke true] [--seed N] [--out FILE]
-            [--store-dir DIR]
+            [--out FILE] [--check true] [--store-dir DIR] [--threads N]
+  bench     solver|service|store|concurrent [--smoke true] [--seed N]
+            [--out FILE] [--store-dir DIR]
   store     ls|verify|gc --dir DIR";
 
 /// One command's grammar: its name, whether it takes a positional
@@ -118,6 +118,7 @@ const COMMANDS: &[CommandSpec] = &[
             "out",
             "check",
             "store-dir",
+            "threads",
         ],
     },
     CommandSpec {

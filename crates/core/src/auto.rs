@@ -66,9 +66,9 @@ impl AutoThetaConfig {
                 self.max_theta, self.initial_theta
             )));
         }
-        if self.rel_tol.is_nan() || self.rel_tol <= 0.0 {
+        if !(self.rel_tol.is_finite() && self.rel_tol > 0.0) {
             return Err(OipaError::config(format!(
-                "auto-θ tolerance must be positive, got {}",
+                "auto-θ tolerance must be finite and positive, got {}",
                 self.rel_tol
             )));
         }

@@ -25,6 +25,18 @@
 //!   dispatch is data-driven and answers are bitwise-identical to the
 //!   historical direct entry points.
 //!
+//! **Concurrency:** [`PlannerService::solve`] and
+//! [`PlannerService::simulate`] take `&self`, and the service is `Send +
+//! Sync` — put it behind an `Arc` and answer requests from as many
+//! threads as the hardware offers. Warm requests hit the pool store's
+//! shared read path; N concurrent cache misses on the same pool key
+//! sample **exactly once** (the first requester samples, the rest wait
+//! for its pool instead of burning CPU on identical sampling), and
+//! answers are bitwise-identical to a sequential run at any thread
+//! count. Session *reconfiguration* (`attach_graph`, `attach_store`,
+//! `clear_arena`) remains `&mut self`: Rust's borrow rules then
+//! guarantee no request is in flight while the session is rewired.
+//!
 //! Requests and responses are plain serde types ([`SolveRequest`] /
 //! [`SolveResponse`]), so the same engine backs the library API, the
 //! `oipa-cli solve`/`batch` commands, and any future network frontend.
@@ -33,7 +45,7 @@
 //! use oipa_service::{Method, PlannerService, SolveRequest};
 //!
 //! let (graph, probs, campaign) = oipa_sampler::testkit::fig1();
-//! let mut service = PlannerService::new(graph, probs).unwrap();
+//! let service = PlannerService::new(graph, probs).unwrap();
 //!
 //! let mut request = SolveRequest::new(Method::Bab, 2);
 //! request.campaign = Some(campaign);
@@ -70,7 +82,8 @@ use oipa_sampler::{simulate, MrrPool, RrPool};
 use oipa_topics::{Campaign, EdgeTopicProbs, LogisticAdoption};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Default arena byte budget (≈256 MiB).
@@ -103,9 +116,21 @@ pub struct PlannerService {
     /// Campaign of the injected pool, if the caller provided one.
     default_campaign: Option<Campaign>,
     /// Single-entry cache for the `im` baseline's collapsed-probability
-    /// RR pool, keyed by (θ, seed). Invalidated with the graph.
-    flat_cache: Option<FlatPoolCache>,
+    /// RR pool, keyed by (θ, seed). Invalidated with the graph. Behind a
+    /// mutex so concurrent `im` requests build it exactly once.
+    flat_cache: Mutex<Option<FlatPoolCache>>,
+    /// Per-key sampling coordination: the first requester to miss a key
+    /// parks a slot here and samples; concurrent missers for the same key
+    /// block on the slot, then take the sampled pool from it (the slot
+    /// carries the pool itself, so the hand-off works even for oversized
+    /// pools the arena refuses to cache). N concurrent misses ⇒ exactly
+    /// one sampling run.
+    sampling: Mutex<HashMap<PoolKey, Arc<SamplingSlot>>>,
 }
+
+/// A per-key sampling slot: locked by the thread doing the sampling,
+/// filled with the finished pool for the waiters queued on it.
+type SamplingSlot = Mutex<Option<Arc<MrrPool>>>;
 
 struct FlatPoolCache {
     theta: usize,
@@ -131,7 +156,8 @@ impl PlannerService {
             store: PoolStore::memory_only(DEFAULT_ARENA_BYTES),
             default_pool: None,
             default_campaign: None,
-            flat_cache: None,
+            flat_cache: Mutex::new(None),
+            sampling: Mutex::new(HashMap::new()),
         })
     }
 
@@ -142,7 +168,7 @@ impl PlannerService {
         // The key carries the pool's content fingerprint, so two
         // different injected pools never alias one entry.
         let key = PoolKey::external("injected", &pool);
-        let mut store = PoolStore::memory_only(DEFAULT_ARENA_BYTES);
+        let store = PoolStore::memory_only(DEFAULT_ARENA_BYTES);
         // Pinned: byte pressure from sampled pools must never evict the
         // pool the session was built around.
         store.insert_pinned(key.clone(), Arc::new(pool));
@@ -152,7 +178,8 @@ impl PlannerService {
             store,
             default_pool: Some(key),
             default_campaign: None,
-            flat_cache: None,
+            flat_cache: Mutex::new(None),
+            sampling: Mutex::new(HashMap::new()),
         }
     }
 
@@ -209,13 +236,13 @@ impl PlannerService {
         }
         self.graph = Some(graph);
         self.table = Some(table);
-        self.flat_cache = None;
+        *lock(&self.flat_cache) = None;
         Ok(())
     }
 
     /// Replaces the memory tier's byte budget, evicting (and, with a
     /// disk tier attached, spilling) LRU entries that no longer fit.
-    pub fn with_arena_capacity(mut self, capacity_bytes: usize) -> Self {
+    pub fn with_arena_capacity(self, capacity_bytes: usize) -> Self {
         self.store.set_mem_capacity(capacity_bytes);
         self
     }
@@ -237,12 +264,13 @@ impl PlannerService {
     pub fn clear_arena(&mut self) {
         self.store.clear_memory();
         self.default_pool = None;
-        self.flat_cache = None;
+        *lock(&self.flat_cache) = None;
     }
 
     /// Answers one solve request. See [`SolveRequest`] for the knobs and
-    /// their defaults.
-    pub fn solve(&mut self, request: &SolveRequest) -> Result<SolveResponse, OipaError> {
+    /// their defaults. Takes `&self`: any number of threads may solve
+    /// against one session concurrently.
+    pub fn solve(&self, request: &SolveRequest) -> Result<SolveResponse, OipaError> {
         let start = Instant::now();
         if request.budget == 0 {
             return Err(OipaError::InvalidBudget);
@@ -349,7 +377,7 @@ impl PlannerService {
     /// a miss. Returns the pool and the tier that served it (`None` when
     /// the request paid for sampling).
     fn resolve_pool(
-        &mut self,
+        &self,
         request: &SolveRequest,
         seed: u64,
     ) -> Result<(Arc<MrrPool>, Option<PoolTier>), OipaError> {
@@ -367,7 +395,8 @@ impl PlannerService {
             };
             // Invariant: `default_pool` is Some only while its pinned
             // entry is resident — byte pressure never evicts pinned
-            // entries and `clear_arena` nulls both together.
+            // entries (pins survive same-key replaces) and `clear_arena`
+            // nulls both together.
             let (pool, tier) = self
                 .store
                 .get(&key)
@@ -385,6 +414,68 @@ impl PlannerService {
         if let Some((pool, tier)) = self.store.get(&key) {
             return Ok((pool, Some(tier)));
         }
+        // Miss: coordinate with concurrent missers of the same key so the
+        // sampling runs exactly once. The first thread claims the key's
+        // slot and samples; the rest block on the slot, then re-check the
+        // store and find the finished pool there.
+        let slot = {
+            let mut sampling = lock(&self.sampling);
+            Arc::clone(sampling.entry(key.clone()).or_default())
+        };
+        let mut claimed = lock(&slot);
+        // A filled slot means the thread we waited on finished sampling:
+        // take its pool directly. This hand-off does not depend on the
+        // store accepting the pool, so even an oversized pool (bigger
+        // than the arena budget, never cached) is sampled exactly once.
+        if let Some(pool) = claimed.as_ref() {
+            let pool = Arc::clone(pool);
+            drop(claimed);
+            self.release_slot(&key, &slot);
+            return Ok((pool, Some(PoolTier::Memory)));
+        }
+        // Re-check the store without re-counting the miss (the lookup
+        // above already did): a hit here means an earlier slot-holder
+        // published and already retired its slot before we parked a
+        // fresh one.
+        if let Some((pool, tier)) = self.store.get_recheck(&key) {
+            drop(claimed);
+            self.release_slot(&key, &slot);
+            return Ok((pool, Some(tier)));
+        }
+        let sampled = self.sample_pool(&campaign, theta, seed);
+        if let Ok(pool) = &sampled {
+            // Publish to the store AND fill the slot before releasing it:
+            // a waiter must find the pool the moment it unblocks, with or
+            // without the arena agreeing to cache it.
+            self.store.insert(key.clone(), Arc::clone(pool));
+            *claimed = Some(Arc::clone(pool));
+        }
+        drop(claimed);
+        self.release_slot(&key, &slot);
+        Ok((sampled?, None))
+    }
+
+    /// Unmaps a sampling slot once its holder is done with the key —
+    /// after publishing, after a waiter found the published pool, and
+    /// after errors (so a later, possibly fixed, request retries instead
+    /// of finding a stale slot). Only the slot the caller actually
+    /// claimed may be removed: after a sampling error another thread can
+    /// have parked a fresh slot under the same key, and deleting *that*
+    /// would let a third thread start a duplicate sampling run.
+    fn release_slot(&self, key: &PoolKey, slot: &Arc<SamplingSlot>) {
+        let mut sampling = lock(&self.sampling);
+        if sampling.get(key).is_some_and(|s| Arc::ptr_eq(s, slot)) {
+            sampling.remove(key);
+        }
+    }
+
+    /// Samples a pool for a campaign (the cache-miss slow path).
+    fn sample_pool(
+        &self,
+        campaign: &Campaign,
+        theta: usize,
+        seed: u64,
+    ) -> Result<Arc<MrrPool>, OipaError> {
         let (Some(graph), Some(table)) = (self.graph.as_ref(), self.table.as_ref()) else {
             return Err(OipaError::MissingInput {
                 what: "the social graph and edge probabilities".to_string(),
@@ -393,16 +484,14 @@ impl PlannerService {
                     .to_string(),
             });
         };
-        check_campaign_topics(&campaign, table)?;
-        let pool = Arc::new(
-            MrrPool::try_generate(graph, table, &campaign, theta, seed).map_err(|e| {
+        check_campaign_topics(campaign, table)?;
+        Ok(Arc::new(
+            MrrPool::try_generate(graph, table, campaign, theta, seed).map_err(|e| {
                 OipaError::Mismatch {
                     what: e.to_string(),
                 }
             })?,
-        );
-        self.store.insert(key, Arc::clone(&pool));
-        Ok((pool, None))
+        ))
     }
 
     /// The campaign a request itself names: explicit or seeded one-hot.
@@ -444,17 +533,20 @@ impl PlannerService {
 
     /// The collapsed-probability RR pool the `im` baseline needs,
     /// cached per (θ, seed) so repeated `im` requests skip its sampling
-    /// cost just like the MRR arena skips theirs. Returns `None` when no
-    /// graph is attached (the solver then reports the missing input).
-    fn resolve_flat_pool(&mut self, theta: usize, seed: u64) -> Option<Arc<RrPool>> {
+    /// cost just like the MRR arena skips theirs. The cache mutex is held
+    /// across the build, so concurrent `im` requests sample it once.
+    /// Returns `None` when no graph is attached (the solver then reports
+    /// the missing input).
+    fn resolve_flat_pool(&self, theta: usize, seed: u64) -> Option<Arc<RrPool>> {
         let (graph, table) = (self.graph.as_ref()?, self.table.as_ref()?);
-        if let Some(cache) = &self.flat_cache {
-            if cache.theta == theta && cache.seed == seed {
-                return Some(Arc::clone(&cache.pool));
+        let mut cache = lock(&self.flat_cache);
+        if let Some(cached) = cache.as_ref() {
+            if cached.theta == theta && cached.seed == seed {
+                return Some(Arc::clone(&cached.pool));
             }
         }
         let pool = Arc::new(collapsed_pool(graph, table, theta, seed));
-        self.flat_cache = Some(FlatPoolCache {
+        *cache = Some(FlatPoolCache {
             theta,
             seed,
             pool: Arc::clone(&pool),
@@ -466,7 +558,7 @@ impl PlannerService {
     /// fresh pools (these do not enter the arena — each round's θ is
     /// provisional by design).
     fn solve_auto(
-        &mut self,
+        &self,
         request: &SolveRequest,
         auto: &AutoThetaRequest,
         model: LogisticAdoption,
@@ -480,29 +572,6 @@ impl PlannerService {
                 request.method
             )));
         }
-        let campaign =
-            self.resolve_campaign(request, seed)?
-                .ok_or_else(|| OipaError::MissingInput {
-                    what: "a campaign".to_string(),
-                    hint: "auto θ resamples pools per round, so the request must carry \
-                       `campaign` or `ell`"
-                        .to_string(),
-                })?;
-        let (Some(graph), Some(table)) = (self.graph.as_ref(), self.table.as_ref()) else {
-            return Err(OipaError::MissingInput {
-                what: "the social graph and edge probabilities".to_string(),
-                hint: "auto θ resamples pools per round; construct the service with \
-                       PlannerService::new(graph, table) or call attach_graph"
-                    .to_string(),
-            });
-        };
-        check_campaign_topics(&campaign, table)?;
-        let promoters = resolve_promoters(
-            request.promoters.clone(),
-            request.promoter_fraction,
-            graph.node_count(),
-            seed,
-        )?;
         let defaults = AutoThetaConfig::default();
         let mut bab = match request.method {
             Method::Bab => oipa_core::BabConfig::bab(),
@@ -525,6 +594,37 @@ impl PlannerService {
             bab,
             ..defaults
         };
+        // Validate the policy up front — before touching the graph or the
+        // sampler — so a malformed request (`initial_theta: 0`, a ceiling
+        // below the start, a non-finite tolerance) is a typed config
+        // error at the service boundary, never a panic deeper down.
+        // `AutoThetaConfig::validate` is the single source of truth for
+        // the accepted domain; `solve_auto_theta` re-checks it for free.
+        config.validate()?;
+        let campaign = self
+            .resolve_campaign(request, seed)?
+            .or_else(|| self.default_campaign.clone())
+            .ok_or_else(|| OipaError::MissingInput {
+                what: "a campaign".to_string(),
+                hint: "auto θ resamples pools per round, so the request must carry \
+                       `campaign` or `ell`"
+                    .to_string(),
+            })?;
+        let (Some(graph), Some(table)) = (self.graph.as_ref(), self.table.as_ref()) else {
+            return Err(OipaError::MissingInput {
+                what: "the social graph and edge probabilities".to_string(),
+                hint: "auto θ resamples pools per round; construct the service with \
+                       PlannerService::new(graph, table) or call attach_graph"
+                    .to_string(),
+            });
+        };
+        check_campaign_topics(&campaign, table)?;
+        let promoters = resolve_promoters(
+            request.promoters.clone(),
+            request.promoter_fraction,
+            graph.node_count(),
+            seed,
+        )?;
         let result = solve_auto_theta(
             graph,
             table,
@@ -551,6 +651,13 @@ impl PlannerService {
             }),
         })
     }
+}
+
+/// Locks a mutex, recovering from poisoning: service state behind these
+/// locks is a cache (rebuildable), so one panicked request must not take
+/// every other request thread down with it.
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// Maps a store-directory failure into the service's typed error space.
@@ -680,6 +787,15 @@ fn validate_tuning(gap: Option<f64>, eps: f64) -> Result<(), OipaError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The tentpole contract: a session must be shareable across request
+    /// threads (compile-time check).
+    #[test]
+    fn planner_service_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PlannerService>();
+        assert_send_sync::<PoolStore>();
+    }
 
     #[test]
     fn model_resolution_rules() {

@@ -148,7 +148,7 @@ impl Fixture {
 }
 
 fn assert_parity(fixture: &Fixture, label: &str) {
-    let mut service = fixture.service();
+    let service = fixture.service();
     for method in Method::ALL {
         let response = service.solve(&fixture.request(method)).unwrap();
         let (plan, utility, upper) = fixture.direct(method);
@@ -210,7 +210,7 @@ fn solve_request_round_trips_through_json() {
 #[test]
 fn solve_response_round_trips_through_json() {
     let fixture = Fixture::fig1();
-    let mut service = fixture.service();
+    let service = fixture.service();
     let response = service.solve(&fixture.request(Method::Bab)).unwrap();
     let json = serde_json::to_string_pretty(&response).unwrap();
     let back: SolveResponse = serde_json::from_str(&json).unwrap();
@@ -222,7 +222,7 @@ fn solve_response_round_trips_through_json() {
 #[test]
 fn repeat_requests_hit_the_pool_cache() {
     let fixture = Fixture::fig1();
-    let mut service = fixture.service();
+    let service = fixture.service();
     let first = service.solve(&fixture.request(Method::Bab)).unwrap();
     let second = service.solve(&fixture.request(Method::Bab)).unwrap();
     assert!(!first.pool_cache_hit);
@@ -250,7 +250,7 @@ fn arena_byte_budget_evicts_lru_pools() {
     let fixture = Fixture::fig1();
     let pool_bytes = fixture.pool().memory_bytes();
     // Room for two pools of this size, not three.
-    let mut service = fixture.service().with_arena_capacity(2 * pool_bytes + 64);
+    let service = fixture.service().with_arena_capacity(2 * pool_bytes + 64);
     let mut seeds = Vec::new();
     for s in 0..3u64 {
         let mut req = fixture.request(Method::Greedy);
@@ -275,7 +275,7 @@ fn arena_byte_budget_evicts_lru_pools() {
 #[test]
 fn auto_theta_matches_direct_call() {
     let fixture = Fixture::fig1();
-    let mut service = fixture.service();
+    let service = fixture.service();
     let mut req = fixture.request(Method::BabP);
     req.theta = None;
     req.auto_theta = Some(AutoThetaRequest {
@@ -315,7 +315,7 @@ fn auto_theta_matches_direct_call() {
 #[test]
 fn typed_errors_for_bad_requests() {
     let fixture = Fixture::fig1();
-    let mut service = fixture.service();
+    let service = fixture.service();
 
     let mut zero_budget = fixture.request(Method::Bab);
     zero_budget.budget = 0;
@@ -342,7 +342,7 @@ fn typed_errors_for_bad_requests() {
     let medium = Fixture::medium();
     let mut brute_big = medium.request(Method::Brute);
     brute_big.promoters = Some((0..30).collect()); // 3 × 30 = 90 > 26
-    let mut medium_service = medium.service();
+    let medium_service = medium.service();
     assert!(matches!(
         medium_service.solve(&brute_big),
         Err(OipaError::TooLarge { got: 90, .. })
@@ -357,7 +357,7 @@ fn typed_errors_for_bad_requests() {
 
     // im without a graph: a from_pool session cannot run it.
     let pool = fixture.pool();
-    let mut pool_only = PlannerService::from_pool(pool);
+    let pool_only = PlannerService::from_pool(pool);
     let mut im_req = SolveRequest::new(Method::Im, 2);
     im_req.promoters = Some(vec![0, 1, 2]);
     assert!(matches!(
@@ -371,7 +371,7 @@ fn injected_pool_serves_campaignless_requests() {
     let fixture = Fixture::fig1();
     let pool = fixture.pool();
     let theta = pool.theta();
-    let mut service = PlannerService::from_pool(pool);
+    let service = PlannerService::from_pool(pool);
     let mut req = SolveRequest::new(Method::Bab, 2);
     req.promoters = Some(fixture.promoters.clone());
     req.seed = Some(fixture.seed);
@@ -442,7 +442,7 @@ fn injected_pool_survives_arena_pressure() {
 #[test]
 fn im_flat_pool_is_cached_across_requests() {
     let fixture = Fixture::fig1();
-    let mut service = fixture.service();
+    let service = fixture.service();
     let first = service.solve(&fixture.request(Method::Im)).unwrap();
     let start = std::time::Instant::now();
     let second = service.solve(&fixture.request(Method::Im)).unwrap();
@@ -492,7 +492,7 @@ fn mismatched_campaign_topics_are_typed_errors_everywhere() {
     let fixture = Fixture::fig1();
     let mut rng = StdRng::seed_from_u64(3);
     let wide = Campaign::sample_one_hot(&mut rng, 5, 2);
-    let mut service = fixture.service();
+    let service = fixture.service();
 
     let mut fixed = fixture.request(Method::Bab);
     fixed.campaign = Some(wide.clone());
@@ -532,4 +532,60 @@ fn mismatched_campaign_topics_are_typed_errors_everywhere() {
         MrrPool::try_generate(&fixture.graph, &fixture.table, &wide, 100, 1),
         Err(oipa_sampler::PoolBuildError::TableMismatch(_))
     ));
+}
+
+/// The PR-5 auto-θ bugfix: a malformed `auto_theta` policy must come
+/// back as a typed `InvalidConfig` at the service boundary — never a
+/// panic (or a silent accept) deep in the sampler. All three knobs are
+/// validated against `AutoThetaConfig::validate`'s documented domain
+/// (a non-trivial `initial_theta`, `max_theta ≥ initial_theta`,
+/// `rel_tol` finite and positive) before any graph or sampler work.
+#[test]
+fn auto_theta_policy_is_validated_up_front() {
+    let fixture = Fixture::fig1();
+    let service = fixture.service();
+    let auto_req = |initial, max, tol| {
+        let mut req = fixture.request(Method::Bab);
+        req.theta = None;
+        req.auto_theta = Some(AutoThetaRequest {
+            initial_theta: initial,
+            max_theta: max,
+            rel_tol: tol,
+        });
+        req
+    };
+
+    // {"auto_theta":{"initial_theta":0}} — the wire shape from the issue.
+    let from_wire: SolveRequest = serde_json::from_str(
+        r#"{"method":"bab","budget":2,"ell":1,"auto_theta":{"initial_theta":0}}"#,
+    )
+    .unwrap();
+    assert!(matches!(
+        service.solve(&from_wire),
+        Err(OipaError::InvalidConfig { .. })
+    ));
+
+    for (initial, max, tol) in [
+        (Some(0), None, None),             // θ start of zero
+        (Some(2_000), Some(1_000), None),  // ceiling below the start
+        (Some(2_000), Some(0), None),      // zero ceiling
+        (None, None, Some(f64::INFINITY)), // non-finite tolerance
+        (None, None, Some(f64::NAN)),      // NaN tolerance
+        (None, None, Some(0.0)),           // zero tolerance
+        (None, None, Some(-0.5)),          // negative tolerance
+    ] {
+        let err = service
+            .solve(&auto_req(initial, max, tol))
+            .expect_err("malformed auto-θ policy accepted");
+        assert!(
+            matches!(err, OipaError::InvalidConfig { .. }),
+            "({initial:?}, {max:?}, {tol:?}) must be a typed config error, got {err}"
+        );
+    }
+
+    // The boundary cases stay solvable: max == initial is a single round.
+    let ok = service
+        .solve(&auto_req(Some(1_000), Some(1_000), Some(0.5)))
+        .expect("a tight-but-valid policy must solve");
+    assert!(ok.auto_theta.is_some());
 }

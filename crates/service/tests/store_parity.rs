@@ -39,7 +39,7 @@ fn cold_disk_warm_and_mem_warm_answers_are_bitwise_identical() {
     let req = request(&campaign);
 
     // Cold, no store: the reference answer.
-    let mut plain = PlannerService::new(graph.clone(), table.clone()).unwrap();
+    let plain = PlannerService::new(graph.clone(), table.clone()).unwrap();
     let cold = plain.solve(&req).unwrap();
     assert!(!cold.pool_cache_hit);
     assert_eq!(cold.pool_tier, None);

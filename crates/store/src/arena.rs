@@ -10,9 +10,17 @@
 //! amortization of §V-A, applied across requests instead of across
 //! parameter sweeps). In a tiered [`crate::PoolStore`], entries evicted
 //! from this arena spill to the disk tier instead of being resampled.
+//!
+//! Concurrency: [`PoolArena::get`] takes `&self` — recency stamps and the
+//! hit/miss counters are atomics, so any number of readers can hit the
+//! cache simultaneously behind a shared (read) lock. Only inserts and
+//! evictions need exclusive access. The resident byte total is maintained
+//! incrementally on insert/evict, so budget checks are O(1) instead of a
+//! fold over every entry.
 
 use oipa_sampler::MrrPool;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Cache key: everything pool contents depend on.
@@ -24,7 +32,7 @@ use std::sync::Arc;
 /// no sampled request can collide with, carrying the pool's content
 /// fingerprint in the seed slot so two different injected pools never
 /// alias one entry even under the same label and θ.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct PoolKey {
     pub(crate) campaign: String,
     pub(crate) theta: usize,
@@ -75,7 +83,9 @@ struct ArenaEntry {
     key: PoolKey,
     pool: Arc<MrrPool>,
     bytes: usize,
-    last_used: u64,
+    /// Atomic so a shared-reference `get` can refresh recency while other
+    /// readers scan concurrently.
+    last_used: AtomicU64,
     /// Pinned entries (injected pools) are never evicted by byte
     /// pressure — only `clear`/`evict_unpinned` removes them.
     pinned: bool,
@@ -90,11 +100,15 @@ pub struct ArenaStats {
     pub bytes: usize,
     /// The configured byte budget.
     pub capacity_bytes: usize,
+    /// Total lookups (always equals `hits + misses`; tracked as its own
+    /// counter so concurrency tests can detect lost updates).
+    pub lookups: u64,
     /// Lookups answered from cache.
     pub hits: u64,
     /// Lookups that required sampling (or an insert).
     pub misses: u64,
-    /// Pools evicted to stay under the byte budget.
+    /// Pools evicted (or displaced by a same-key replace) to stay under
+    /// the byte budget.
     pub evictions: u64,
 }
 
@@ -102,10 +116,14 @@ pub struct ArenaStats {
 pub struct PoolArena {
     capacity_bytes: usize,
     entries: Vec<ArenaEntry>,
-    clock: u64,
-    hits: u64,
-    misses: u64,
-    evictions: u64,
+    /// Maintained running total of `entries[..].bytes` — budget checks
+    /// must not fold over the arena on every insert.
+    resident_bytes: usize,
+    clock: AtomicU64,
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl PoolArena {
@@ -116,28 +134,45 @@ impl PoolArena {
         PoolArena {
             capacity_bytes,
             entries: Vec::new(),
-            clock: 0,
-            hits: 0,
-            misses: 0,
-            evictions: 0,
+            resident_bytes: 0,
+            clock: AtomicU64::new(0),
+            lookups: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
-    /// Looks up a pool, refreshing its recency on a hit.
-    pub fn get(&mut self, key: &PoolKey) -> Option<Arc<MrrPool>> {
-        self.clock += 1;
-        let clock = self.clock;
-        match self.entries.iter_mut().find(|e| &e.key == key) {
+    /// Looks up a pool, refreshing its recency on a hit. Takes `&self`:
+    /// concurrent readers only contend on atomic counter bumps.
+    pub fn get(&self, key: &PoolKey) -> Option<Arc<MrrPool>> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let clock = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        match self.entries.iter().find(|e| &e.key == key) {
             Some(entry) => {
-                entry.last_used = clock;
-                self.hits += 1;
+                entry.last_used.store(clock, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(Arc::clone(&entry.pool))
             }
             None => {
-                self.misses += 1;
+                self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
+    }
+
+    /// [`Self::get`] for double-check paths: the caller's immediately
+    /// preceding `get` on this key already recorded the miss, so a miss
+    /// here counts nothing — only a hit (another thread raced the pool
+    /// in) records a lookup. Keeps one logical request at one counted
+    /// miss, whatever the interleaving.
+    pub fn get_recheck(&self, key: &PoolKey) -> Option<Arc<MrrPool>> {
+        let entry = self.entries.iter().find(|e| &e.key == key)?;
+        let clock = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        entry.last_used.store(clock, Ordering::Relaxed);
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(Arc::clone(&entry.pool))
     }
 
     /// Inserts (or replaces) a pool, then evicts least-recently-used
@@ -148,8 +183,9 @@ impl PoolArena {
         self.insert_entry(key, pool, false);
     }
 
-    /// [`Self::insert`], returning the entries eviction removed so a
-    /// tiered store can spill them to disk instead of losing them.
+    /// [`Self::insert`], returning the entries eviction removed — and the
+    /// pool a same-key replace displaced — so a tiered store can spill
+    /// them to disk instead of losing them.
     pub fn insert_evicting(
         &mut self,
         key: PoolKey,
@@ -160,9 +196,14 @@ impl PoolArena {
 
     /// Inserts a pool that byte pressure must never evict (an injected
     /// pool the session was built around). Only [`Self::clear`] removes
-    /// pinned entries.
-    pub fn insert_pinned(&mut self, key: PoolKey, pool: Arc<MrrPool>) {
-        self.insert_entry(key, pool, true);
+    /// pinned entries. Returns the *sampled* entries the insert evicted
+    /// under byte pressure, so a tiered store can spill them.
+    pub fn insert_pinned(
+        &mut self,
+        key: PoolKey,
+        pool: Arc<MrrPool>,
+    ) -> Vec<(PoolKey, Arc<MrrPool>)> {
+        self.insert_entry(key, pool, true)
     }
 
     fn insert_entry(
@@ -171,17 +212,37 @@ impl PoolArena {
         pool: Arc<MrrPool>,
         pinned: bool,
     ) -> Vec<(PoolKey, Arc<MrrPool>)> {
-        self.clock += 1;
+        let clock = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
         let bytes = pool.memory_bytes();
-        self.entries.retain(|e| e.key != key);
+        let mut evicted = Vec::new();
+        let mut pinned = pinned;
+        // A replace must account for the entry it displaces: keep its pin
+        // (an injected pool stays unevictable when re-inserted over) and,
+        // for sampled entries, hand the old pool back so a tiered store
+        // can spill it and count the displacement so the eviction stats
+        // stay accurate. A displaced *pinned* pool is neither counted nor
+        // returned: its replacement keeps the pin (the entry never left
+        // memory), and pinned pools must not leak to the disk tier — the
+        // caller owns their persistence.
+        if let Some(idx) = self.entries.iter().position(|e| e.key == key) {
+            let old = self.entries.swap_remove(idx);
+            self.resident_bytes -= old.bytes;
+            pinned |= old.pinned;
+            if !old.pinned {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                evicted.push((old.key, old.pool));
+            }
+        }
         self.entries.push(ArenaEntry {
             key,
             pool,
             bytes,
-            last_used: self.clock,
+            last_used: AtomicU64::new(clock),
             pinned,
         });
-        self.enforce_budget(Some(self.clock))
+        self.resident_bytes += bytes;
+        evicted.extend(self.enforce_budget(Some(clock)));
+        evicted
     }
 
     /// Evicts unpinned LRU entries until the budget fits; `protect` marks
@@ -189,26 +250,27 @@ impl PoolArena {
     /// Returns the evicted entries, most stale first.
     fn enforce_budget(&mut self, protect: Option<u64>) -> Vec<(PoolKey, Arc<MrrPool>)> {
         let mut evicted = Vec::new();
-        while self.bytes() > self.capacity_bytes {
+        while self.resident_bytes > self.capacity_bytes {
             let Some((victim, _)) = self
                 .entries
                 .iter()
                 .enumerate()
-                .filter(|(_, e)| !e.pinned && Some(e.last_used) != protect)
-                .min_by_key(|(_, e)| e.last_used)
+                .filter(|(_, e)| !e.pinned && Some(e.last_used.load(Ordering::Relaxed)) != protect)
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
             else {
                 break; // only pinned/protected entries left
             };
             let entry = self.entries.remove(victim);
-            self.evictions += 1;
+            self.resident_bytes -= entry.bytes;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
             evicted.push((entry.key, entry.pool));
         }
         evicted
     }
 
-    /// Bytes currently resident.
+    /// Bytes currently resident (a maintained total, not a fold).
     pub fn bytes(&self) -> usize {
-        self.entries.iter().map(|e| e.bytes).sum()
+        self.resident_bytes
     }
 
     /// The configured byte budget.
@@ -229,6 +291,7 @@ impl PoolArena {
     /// Drops every cached pool (counters are preserved).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.resident_bytes = 0;
     }
 
     /// Changes the byte budget, evicting least-recently-used unpinned
@@ -236,7 +299,11 @@ impl PoolArena {
     /// kept if it is all that remains). Returns the evicted entries.
     pub fn set_capacity(&mut self, capacity_bytes: usize) -> Vec<(PoolKey, Arc<MrrPool>)> {
         self.capacity_bytes = capacity_bytes;
-        let newest = self.entries.iter().map(|e| e.last_used).max();
+        let newest = self
+            .entries
+            .iter()
+            .map(|e| e.last_used.load(Ordering::Relaxed))
+            .max();
         self.enforce_budget(newest)
     }
 
@@ -247,18 +314,21 @@ impl PoolArena {
     pub fn evict_unpinned(&mut self) {
         let before = self.entries.len();
         self.entries.retain(|e| e.pinned);
-        self.evictions += (before - self.entries.len()) as u64;
+        self.resident_bytes = self.entries.iter().map(|e| e.bytes).sum();
+        self.evictions
+            .fetch_add((before - self.entries.len()) as u64, Ordering::Relaxed);
     }
 
     /// Occupancy and cumulative counters.
     pub fn stats(&self) -> ArenaStats {
         ArenaStats {
             entries: self.len(),
-            bytes: self.bytes(),
+            bytes: self.resident_bytes,
             capacity_bytes: self.capacity_bytes,
-            hits: self.hits,
-            misses: self.misses,
-            evictions: self.evictions,
+            lookups: self.lookups.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -296,6 +366,7 @@ mod tests {
         let stats = arena.stats();
         assert_eq!(stats.evictions, 1);
         assert_eq!(stats.entries, 2);
+        assert_eq!(stats.lookups, stats.hits + stats.misses);
     }
 
     #[test]
@@ -355,6 +426,70 @@ mod tests {
         assert_eq!(evicted[0].0, keys[1]);
         let evicted = arena.insert_evicting(key("f", &a), pool(400, 1));
         assert_eq!(evicted[0].0, keys[0]);
+    }
+
+    /// The PR-5 pin bugfix: re-inserting over a pinned key must not strip
+    /// the pin — byte pressure afterwards must still never evict it.
+    #[test]
+    fn replace_preserves_the_pin_under_pressure() {
+        let pinned = pool(500, 1);
+        let bytes = pinned.memory_bytes();
+        let kp = key("pinned", &pinned);
+        let mut arena = PoolArena::new(bytes + 8);
+        arena.insert_pinned(kp.clone(), Arc::clone(&pinned));
+        // The regression: a plain (unpinned) insert over the same key used
+        // to drop the flag, arming eviction of the session's default pool.
+        arena.insert(kp.clone(), pinned);
+        // Byte pressure: each new pool displaces the previous *sampled*
+        // one, never the pinned entry.
+        for s in 10..13u64 {
+            let p = pool(500, s);
+            arena.insert_evicting(key("filler", &p), p);
+        }
+        assert!(
+            arena.get(&kp).is_some(),
+            "pinned pool evicted after a same-key replace"
+        );
+    }
+
+    /// The PR-5 stats bugfix: a same-key replace displaces the old pool —
+    /// it must be counted and handed back for spilling, and the running
+    /// byte total must not double-count the key.
+    #[test]
+    fn replace_counts_and_returns_the_displaced_pool() {
+        let p = pool(400, 2);
+        let bytes = p.memory_bytes();
+        let k = key("dup", &p);
+        let mut arena = PoolArena::new(usize::MAX);
+        assert!(arena.insert_evicting(k.clone(), Arc::clone(&p)).is_empty());
+        let displaced = arena.insert_evicting(k.clone(), Arc::clone(&p));
+        assert_eq!(displaced.len(), 1, "the replaced pool must be handed back");
+        assert_eq!(displaced[0].0, k);
+        let stats = arena.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.bytes, bytes, "replace must not double-count bytes");
+        assert_eq!(stats.evictions, 1, "the displacement must be counted");
+    }
+
+    /// The maintained byte total must track every mutation path.
+    #[test]
+    fn resident_bytes_tracks_all_mutations() {
+        let p = pool(300, 7);
+        let bytes = p.memory_bytes();
+        let mut arena = PoolArena::new(usize::MAX);
+        arena.insert(key("a", &p), Arc::clone(&p));
+        arena.insert_pinned(key("b", &p), Arc::clone(&p));
+        assert_eq!(arena.bytes(), 2 * bytes);
+        arena.evict_unpinned();
+        assert_eq!(arena.bytes(), bytes);
+        arena.clear();
+        assert_eq!(arena.bytes(), 0);
+        arena.insert(key("c", &p), Arc::clone(&p));
+        let evicted = arena.set_capacity(0);
+        assert_eq!(evicted.len(), 0, "newest entry survives a zero budget");
+        assert_eq!(arena.bytes(), bytes);
+        arena.insert(key("d", &p), p);
+        assert_eq!(arena.bytes(), bytes, "old entry evicted, total adjusted");
     }
 
     /// The PR-4 regression: two different externally loaded pools under

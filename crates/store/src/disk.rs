@@ -114,6 +114,9 @@ pub struct DiskStats {
     pub oversized_skipped: u64,
     /// Best-effort writes that failed (the store keeps serving).
     pub write_errors: u64,
+    /// Full `index.json` rewrites since open (reads batch recency, so
+    /// this tracks structural writes + flushes, not gets).
+    pub manifest_writes: u64,
 }
 
 /// Per-segment verification outcome (`oipa-cli store verify`).
@@ -148,6 +151,15 @@ pub struct DiskTier {
     dir: PathBuf,
     capacity_bytes: u64,
     manifest: Manifest,
+    /// Maintained running total of `manifest.entries[..].bytes`, so the
+    /// budget check is O(1) instead of a fold per put.
+    indexed_bytes: u64,
+    /// The in-memory manifest has recency stamps the on-disk `index.json`
+    /// does not. Set by read-path recency updates; cleared by `persist`.
+    /// Structural changes (new segments, evictions, quarantines) persist
+    /// immediately — only recency is batched, flushed on the next write
+    /// or on drop.
+    dirty: bool,
     open_report: OpenReport,
     hits: u64,
     misses: u64,
@@ -156,6 +168,7 @@ pub struct DiskTier {
     corrupt_dropped: u64,
     oversized_skipped: u64,
     write_errors: u64,
+    manifest_writes: u64,
 }
 
 fn io_err(what: impl Into<String>, e: impl std::fmt::Display) -> StoreError {
@@ -233,10 +246,13 @@ impl DiskTier {
             }
         }
 
+        let indexed_bytes = manifest.entries.iter().map(|e| e.bytes).sum();
         let mut tier = DiskTier {
             dir,
             capacity_bytes,
             manifest,
+            indexed_bytes,
+            dirty: false,
             open_report: report,
             hits: 0,
             misses: 0,
@@ -245,6 +261,7 @@ impl DiskTier {
             corrupt_dropped: 0,
             oversized_skipped: 0,
             write_errors: 0,
+            manifest_writes: 0,
         };
         tier.enforce_budget(None);
         tier.persist()?;
@@ -281,8 +298,15 @@ impl DiskTier {
         }
         let purge = self.manifest.instance != 0 && !self.manifest.entries.is_empty();
         if purge {
-            for entry in std::mem::take(&mut self.manifest.entries) {
-                quarantine_file(&self.dir, &entry.file, "instance fingerprint mismatch")?;
+            // Quarantine before unindexing, one entry at a time: if a
+            // quarantine fails mid-purge, the untouched entries keep
+            // their manifest rows AND their bytes, so `indexed_bytes`
+            // never drifts from `entries` on the error path.
+            while let Some(entry) = self.manifest.entries.last() {
+                let file = entry.file.clone();
+                quarantine_file(&self.dir, &file, "instance fingerprint mismatch")?;
+                let entry = self.manifest.entries.pop().expect("just observed");
+                self.indexed_bytes -= entry.bytes;
                 self.evictions += 1;
             }
         }
@@ -294,9 +318,27 @@ impl DiskTier {
     /// Looks up a pool, reading and CRC-verifying its segment. A segment
     /// that fails verification is quarantined and its entry dropped —
     /// the caller sees a plain miss and resamples.
+    ///
+    /// A hit only marks the manifest dirty: the recency stamp is flushed
+    /// by the next structural write (put/eviction) or on drop, so a
+    /// read-only burst of N gets performs at most one manifest write
+    /// instead of N full `index.json` rewrites.
     pub fn get(&mut self, key: &PoolKey) -> Option<MrrPool> {
+        self.lookup(key, true)
+    }
+
+    /// [`Self::get`] for double-check paths: the caller's immediately
+    /// preceding `get` already recorded this key's miss, so a re-miss
+    /// counts nothing (hits — and the work they do — count normally).
+    pub fn get_recheck(&mut self, key: &PoolKey) -> Option<MrrPool> {
+        self.lookup(key, false)
+    }
+
+    fn lookup(&mut self, key: &PoolKey, count_miss: bool) -> Option<MrrPool> {
         let Some(idx) = self.manifest.entries.iter().position(|e| &e.key == key) else {
-            self.misses += 1;
+            if count_miss {
+                self.misses += 1;
+            }
             return None;
         };
         let file = self.manifest.entries[idx].file.clone();
@@ -305,12 +347,13 @@ impl DiskTier {
                 self.manifest.clock += 1;
                 self.manifest.entries[idx].last_used = self.manifest.clock;
                 self.hits += 1;
-                let _ = self.persist(); // recency is best-effort durable
+                self.dirty = true; // recency is batched, not rewritten per read
                 Some(pool)
             }
             Err(e) => {
                 let _ = quarantine_file(&self.dir, &file, &e.to_string());
-                self.manifest.entries.remove(idx);
+                let entry = self.manifest.entries.remove(idx);
+                self.indexed_bytes -= entry.bytes;
                 self.corrupt_dropped += 1;
                 self.misses += 1;
                 let _ = self.persist();
@@ -319,18 +362,31 @@ impl DiskTier {
         }
     }
 
+    /// Writes the manifest out if any batched recency stamps are pending.
+    /// Called automatically by every structural write and on drop;
+    /// exposed so long read-only sessions can checkpoint recency
+    /// explicitly.
+    pub fn flush(&mut self) -> StoreResult<()> {
+        if self.dirty {
+            self.persist()?;
+        }
+        Ok(())
+    }
+
     /// Writes a pool segment (write-to-temp + atomic rename), indexes it,
     /// and evicts LRU segments until the byte budget fits. A key already
-    /// present is only touched (keys are content-addressed: the campaign,
-    /// θ and seed/fingerprint determine the pool bytes). A pool whose
-    /// segment alone exceeds the budget is not stored. Best-effort: IO
-    /// failures are counted, not returned — a broken disk tier degrades
-    /// to a cache miss, never a serving failure.
+    /// present is only touched — a recency update batched like
+    /// [`DiskTier::get`]'s, not a manifest rewrite (keys are
+    /// content-addressed: the campaign, θ and seed/fingerprint determine
+    /// the pool bytes). A pool whose segment alone exceeds the budget is
+    /// not stored. Best-effort: IO failures are counted, not returned —
+    /// a broken disk tier degrades to a cache miss, never a serving
+    /// failure.
     pub fn put(&mut self, key: &PoolKey, pool: &MrrPool) {
         if let Some(idx) = self.manifest.entries.iter().position(|e| &e.key == key) {
             self.manifest.clock += 1;
             self.manifest.entries[idx].last_used = self.manifest.clock;
-            let _ = self.persist();
+            self.dirty = true;
             return;
         }
         let file = self.segment_name(key);
@@ -369,6 +425,7 @@ impl DiskTier {
             crc,
             last_used: self.manifest.clock,
         });
+        self.indexed_bytes += bytes;
         self.spills += 1;
         self.enforce_budget(Some(self.manifest.clock));
         let _ = self.persist();
@@ -440,6 +497,7 @@ impl DiskTier {
         }
         report.kept = kept.len();
         self.manifest.entries = kept;
+        self.indexed_bytes = self.manifest.entries.iter().map(|e| e.bytes).sum();
 
         let listing = std::fs::read_dir(&self.dir)
             .map_err(|e| io_err(format!("listing store dir {}", self.dir.display()), e))?;
@@ -471,9 +529,15 @@ impl DiskTier {
         self.manifest.entries.is_empty()
     }
 
-    /// Indexed bytes.
+    /// Indexed bytes (a maintained total, not a fold).
     pub fn bytes(&self) -> u64 {
-        self.manifest.entries.iter().map(|e| e.bytes).sum()
+        self.indexed_bytes
+    }
+
+    /// Full `index.json` rewrites performed since open. Exposed so tests
+    /// can assert that read-only bursts batch their recency persistence.
+    pub fn manifest_writes(&self) -> u64 {
+        self.manifest_writes
     }
 
     /// Occupancy and cumulative counters.
@@ -489,13 +553,14 @@ impl DiskTier {
             corrupt_dropped: self.corrupt_dropped,
             oversized_skipped: self.oversized_skipped,
             write_errors: self.write_errors,
+            manifest_writes: self.manifest_writes,
         }
     }
 
     /// Deletes LRU segments until the budget fits; `protect` exempts one
     /// recency stamp (the entry just inserted).
     fn enforce_budget(&mut self, protect: Option<u64>) {
-        while self.bytes() > self.capacity_bytes {
+        while self.indexed_bytes > self.capacity_bytes {
             let Some((victim, _)) = self
                 .manifest
                 .entries
@@ -507,19 +572,23 @@ impl DiskTier {
                 break;
             };
             let entry = self.manifest.entries.remove(victim);
+            self.indexed_bytes -= entry.bytes;
             let _ = std::fs::remove_file(self.dir.join(&entry.file));
             self.evictions += 1;
         }
     }
 
-    /// Atomically rewrites `index.json`.
-    fn persist(&self) -> StoreResult<()> {
+    /// Atomically rewrites `index.json`, absorbing any batched recency
+    /// stamps in the same write.
+    fn persist(&mut self) -> StoreResult<()> {
         let text = serde_json::to_string_pretty(&self.manifest)
             .map_err(|e| io_err("serializing the store manifest", e))?;
         let tmp = self.dir.join(format!("{TMP_PREFIX}{MANIFEST_FILE}"));
         std::fs::write(&tmp, text).map_err(|e| io_err(format!("writing {}", tmp.display()), e))?;
         std::fs::rename(&tmp, self.dir.join(MANIFEST_FILE))
             .map_err(|e| io_err("committing the store manifest", e))?;
+        self.dirty = false;
+        self.manifest_writes += 1;
         Ok(())
     }
 
@@ -542,6 +611,14 @@ impl DiskTier {
             }
         }
         unreachable!("collision probe terminates")
+    }
+}
+
+impl Drop for DiskTier {
+    /// Flushes batched recency stamps (best-effort: a failed write on
+    /// teardown only costs LRU accuracy, never data).
+    fn drop(&mut self) {
+        let _ = self.flush();
     }
 }
 

@@ -1,8 +1,8 @@
 //! # oipa-store
 //!
-//! A tiered, persistent pool store: the memory arena the `PlannerService`
-//! always had (tier 0) backed by an optional on-disk tier of checksummed
-//! pool segments (tier 1).
+//! A tiered, persistent, **concurrent** pool store: the memory arena the
+//! `PlannerService` always had (tier 0) backed by an optional on-disk
+//! tier of checksummed pool segments (tier 1).
 //!
 //! Sampling θ MRR sets dominates end-to-end latency (the paper's "sample
 //! time" row; the service bench measures ~126–137× warm-over-cold on the
@@ -18,13 +18,24 @@
 //!   reopening the directory after a restart serves yesterday's pools at
 //!   disk speed.
 //!
+//! Concurrency: every cache operation takes `&self` — [`PoolStore`] is
+//! `Send + Sync`, so one store can sit behind an `Arc` and serve any
+//! number of threads. Memory hits run under a shared read lock with
+//! atomic recency/counters (readers never block each other); inserts,
+//! evictions, and every disk operation are single-writer (a write lock
+//! on the arena, a mutex on the disk tier). Lock order is always disk
+//! tier → arena write lock, and the arena lock is never held while
+//! acquiring the disk lock, so the two can't deadlock.
+//!
 //! Durability rules: segments and the manifest are written to temp files
 //! and atomically renamed; every segment read verifies the pool binio v2
 //! CRC-32 trailer; anything corrupt or unaccounted for is moved to
 //! `quarantine/` — recovery never fails an open and corruption is never
-//! served. A [`DiskTier::set_instance`] fingerprint ties a directory to
-//! the (graph, probability table) its pools were sampled from, so a
-//! store can never serve pools across different inputs.
+//! served. Disk reads batch their LRU stamps in memory (flushed on the
+//! next write or on drop) instead of rewriting the manifest per get. A
+//! [`DiskTier::set_instance`] fingerprint ties a directory to the
+//! (graph, probability table) its pools were sampled from, so a store
+//! can never serve pools across different inputs.
 //!
 //! ```
 //! use oipa_store::{PoolKey, PoolStore, PoolTier, StoreConfig};
@@ -36,13 +47,15 @@
 //! let pool = Arc::new(oipa_sampler::MrrPool::generate(&g, &table, &campaign, 500, 7));
 //! let key = PoolKey::sampled("doc".into(), 500, 7);
 //!
-//! // Write-through: the insert lands in memory AND on disk.
-//! let mut store = PoolStore::open(StoreConfig::new(&dir)).unwrap();
+//! // Write-through: the insert lands in memory AND on disk. Note the
+//! // shared references — lookups and inserts are `&self`.
+//! let store = PoolStore::open(StoreConfig::new(&dir)).unwrap();
 //! store.insert(key.clone(), Arc::clone(&pool));
 //! assert!(matches!(store.get(&key), Some((_, PoolTier::Memory))));
+//! drop(store);
 //!
 //! // A fresh process finds the pool on disk — no resampling.
-//! let mut reopened = PoolStore::open(StoreConfig::new(&dir)).unwrap();
+//! let reopened = PoolStore::open(StoreConfig::new(&dir)).unwrap();
 //! let (back, tier) = reopened.get(&key).unwrap();
 //! assert_eq!(tier, PoolTier::Disk);
 //! assert_eq!(back.fingerprint(), pool.fingerprint());
@@ -63,7 +76,7 @@ pub use disk::{
 use oipa_sampler::MrrPool;
 use serde::Serialize;
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 /// Default memory-tier byte budget (≈256 MiB).
 pub const DEFAULT_MEM_BYTES: usize = 256 << 20;
@@ -163,10 +176,16 @@ pub struct StoreStats {
 }
 
 /// The tiered pool store: memory arena in front, optional disk tier
-/// behind. See the crate docs for the full contract.
+/// behind. All cache operations take `&self` (the store is `Send +
+/// Sync`); see the crate docs for the locking discipline.
 pub struct PoolStore {
-    arena: PoolArena,
-    disk: Option<DiskTier>,
+    /// Readers (memory hits) share the lock; inserts/evictions take it
+    /// exclusively. Recency and counters inside are atomic, so a read
+    /// guard suffices for a hit.
+    arena: RwLock<PoolArena>,
+    /// Single-writer discipline for every disk operation (reads mutate
+    /// recency and may quarantine, so there is no read-only disk path).
+    disk: Option<Mutex<DiskTier>>,
     write_through: bool,
 }
 
@@ -174,7 +193,7 @@ impl PoolStore {
     /// A memory-only store (the pre-store service behavior).
     pub fn memory_only(mem_bytes: usize) -> Self {
         PoolStore {
-            arena: PoolArena::new(mem_bytes),
+            arena: RwLock::new(PoolArena::new(mem_bytes)),
             disk: None,
             write_through: false,
         }
@@ -191,14 +210,14 @@ impl PoolStore {
     /// Attaches (or replaces) the disk tier on an existing store,
     /// keeping the memory tier's contents. The memory budget changes
     /// only when the config names one explicitly; entries evicted by a
-    /// smaller budget spill to the new disk tier.
+    /// smaller budget spill to the new disk tier. Exclusive (`&mut
+    /// self`): tier topology is configuration, not serving.
     pub fn attach_disk(&mut self, config: StoreConfig) -> StoreResult<()> {
         let disk = DiskTier::open(config.dir, config.disk_bytes)?;
-        self.disk = Some(disk);
+        self.disk = Some(Mutex::new(disk));
         self.write_through = config.write_through;
         if let Some(mem_bytes) = config.mem_bytes {
-            let evicted = self.arena.set_capacity(mem_bytes);
-            self.spill(evicted);
+            self.set_mem_capacity(mem_bytes);
         }
         Ok(())
     }
@@ -209,17 +228,18 @@ impl PoolStore {
     }
 
     /// The disk tier, when attached (admin surface: `entries`, `verify`,
-    /// `gc`, `open_report`).
-    pub fn disk(&self) -> Option<&DiskTier> {
-        self.disk.as_ref()
+    /// `gc`, `open_report`). The guard holds the tier's single-writer
+    /// lock for its lifetime.
+    pub fn disk(&self) -> Option<MutexGuard<'_, DiskTier>> {
+        self.disk.as_ref().map(|d| lock_disk(d))
     }
 
     /// Ties the disk tier to the sampling inputs' fingerprint (see
     /// [`DiskTier::set_instance`]); a mismatch purges the tier. No-op on
     /// memory-only stores.
-    pub fn set_instance(&mut self, fingerprint: u64) -> StoreResult<bool> {
-        match self.disk.as_mut() {
-            Some(disk) => disk.set_instance(fingerprint),
+    pub fn set_instance(&self, fingerprint: u64) -> StoreResult<bool> {
+        match self.disk.as_ref() {
+            Some(disk) => lock_disk(disk).set_instance(fingerprint),
             None => Ok(false),
         }
     }
@@ -227,18 +247,51 @@ impl PoolStore {
     /// Looks up a pool: memory first, then disk. A disk hit is promoted
     /// into the memory tier (evicted entries spill back out), so repeat
     /// lookups of a hot key stay at memory speed.
-    pub fn get(&mut self, key: &PoolKey) -> Option<(Arc<MrrPool>, PoolTier)> {
-        if let Some(pool) = self.arena.get(key) {
+    pub fn get(&self, key: &PoolKey) -> Option<(Arc<MrrPool>, PoolTier)> {
+        if let Some(pool) = read_arena(&self.arena).get(key) {
             return Some((pool, PoolTier::Memory));
         }
-        let disk = self.disk.as_mut()?;
-        let pool = Arc::new(disk.get(key)?);
+        self.get_from_disk(key, true)
+    }
+
+    /// [`Self::get`] for double-check paths (the caller just missed on
+    /// this key and has since held a coordination lock): hits — and the
+    /// work they do — count normally, but a re-miss counts nothing on
+    /// either tier (the preceding `get` already recorded it), so stats
+    /// stay one-miss-per-request whatever the interleaving.
+    pub fn get_recheck(&self, key: &PoolKey) -> Option<(Arc<MrrPool>, PoolTier)> {
+        if let Some(pool) = read_arena(&self.arena).get_recheck(key) {
+            return Some((pool, PoolTier::Memory));
+        }
+        self.get_from_disk(key, false)
+    }
+
+    /// The tier-1 half of a lookup: consults the disk tier and promotes
+    /// a hit into memory.
+    fn get_from_disk(&self, key: &PoolKey, count_miss: bool) -> Option<(Arc<MrrPool>, PoolTier)> {
+        let mut disk = lock_disk(self.disk.as_ref()?);
+        // Re-check memory under the disk lock: threads racing to promote
+        // one cold key queue here, and every racer after the first must
+        // take the promoted entry instead of re-reading (and re-CRCing,
+        // and re-inserting) the segment. A hit counts; the expected
+        // re-miss does not (the caller's arena lookup already did).
+        if let Some(pool) = read_arena(&self.arena).get_recheck(key) {
+            return Some((pool, PoolTier::Memory));
+        }
+        let pool = Arc::new(if count_miss {
+            disk.get(key)?
+        } else {
+            disk.get_recheck(key)?
+        });
         // Promote unless the pool alone exceeds the memory budget — an
         // oversized pool is served, never cached (it could only displace
-        // everything else and then be evicted itself).
-        if pool.memory_bytes() <= self.arena.capacity_bytes() {
-            let evicted = self.arena.insert_evicting(key.clone(), Arc::clone(&pool));
-            self.spill(evicted);
+        // everything else and then be evicted itself). The disk lock is
+        // held across the promotion so a racing insert of the same key
+        // keeps memory and disk recency coherent.
+        let capacity = read_arena(&self.arena).capacity_bytes();
+        if pool.memory_bytes() <= capacity {
+            let evicted = write_arena(&self.arena).insert_evicting(key.clone(), Arc::clone(&pool));
+            spill(&mut disk, evicted);
         }
         Some((pool, PoolTier::Disk))
     }
@@ -248,71 +301,122 @@ impl PoolStore {
     /// memory spill to disk either way. A pool larger than the memory
     /// budget is not cached in memory (it is still persisted): the
     /// caller keeps its `Arc` and serves from that.
-    pub fn insert(&mut self, key: PoolKey, pool: Arc<MrrPool>) {
-        if self.write_through {
-            if let Some(disk) = self.disk.as_mut() {
+    pub fn insert(&self, key: PoolKey, pool: Arc<MrrPool>) {
+        let oversized = pool.memory_bytes() > read_arena(&self.arena).capacity_bytes();
+        if self.write_through || oversized {
+            // These paths write the segment now: disk lock first (the
+            // crate-wide lock order), held across the arena insert so the
+            // publish and its spills stay one atomic disk transaction.
+            let mut disk = self.disk.as_ref().map(lock_disk);
+            if let Some(disk) = disk.as_deref_mut() {
                 disk.put(&key, &pool);
             }
-        }
-        if pool.memory_bytes() > self.arena.capacity_bytes() {
-            // Never resident: spill straight to disk if not already there.
-            if !self.write_through {
-                if let Some(disk) = self.disk.as_mut() {
-                    disk.put(&key, &pool);
-                }
+            if oversized {
+                // Never resident: served from the caller's Arc, persisted
+                // above.
+                return;
+            }
+            let evicted = write_arena(&self.arena).insert_evicting(key, pool);
+            if let Some(disk) = disk.as_deref_mut() {
+                spill(disk, evicted);
             }
             return;
         }
-        let evicted = self.arena.insert_evicting(key, pool);
-        self.spill(evicted);
+        // Lazy-write path: a pure memory insert must not queue behind
+        // in-flight disk I/O — only take the disk lock when an eviction
+        // actually has something to spill (the arena guard is already
+        // released by then, preserving the lock order).
+        let evicted = write_arena(&self.arena).insert_evicting(key, pool);
+        if evicted.is_empty() {
+            return;
+        }
+        if let Some(disk) = self.disk.as_ref() {
+            spill(&mut lock_disk(disk), evicted);
+        }
     }
 
     /// Inserts a pool that memory pressure must never evict (an injected
-    /// pool the session was built around). Pinned pools stay memory-only:
-    /// the caller owns their persistence.
-    pub fn insert_pinned(&mut self, key: PoolKey, pool: Arc<MrrPool>) {
-        self.arena.insert_pinned(key, pool);
+    /// pool the session was built around). Pinned pools stay memory-only
+    /// (the caller owns their persistence) — but the *sampled* entries
+    /// the insert displaces under byte pressure still spill to disk,
+    /// exactly as they would on any other insert.
+    pub fn insert_pinned(&self, key: PoolKey, pool: Arc<MrrPool>) {
+        let evicted = write_arena(&self.arena).insert_pinned(key, pool);
+        if evicted.is_empty() {
+            return;
+        }
+        if let Some(disk) = self.disk.as_ref() {
+            spill(&mut lock_disk(disk), evicted);
+        }
     }
 
     /// Replaces the memory-tier byte budget; entries that no longer fit
     /// spill to disk.
-    pub fn set_mem_capacity(&mut self, mem_bytes: usize) {
-        let evicted = self.arena.set_capacity(mem_bytes);
-        self.spill(evicted);
+    pub fn set_mem_capacity(&self, mem_bytes: usize) {
+        let mut disk = self.disk.as_ref().map(lock_disk);
+        let evicted = write_arena(&self.arena).set_capacity(mem_bytes);
+        if let Some(disk) = disk.as_deref_mut() {
+            spill(disk, evicted);
+        }
     }
 
     /// Drops every memory-resident pool (disk segments are kept).
-    pub fn clear_memory(&mut self) {
-        self.arena.clear();
+    pub fn clear_memory(&self) {
+        write_arena(&self.arena).clear();
     }
 
     /// Drops every *sampled* (unpinned) memory entry without spilling —
     /// called when the sampling inputs change, so the dropped pools are
     /// stale, not cold. Pair with [`Self::set_instance`] to purge the
     /// disk tier of the same staleness.
-    pub fn evict_unpinned(&mut self) {
-        self.arena.evict_unpinned();
+    pub fn evict_unpinned(&self) {
+        write_arena(&self.arena).evict_unpinned();
+    }
+
+    /// Flushes any batched disk-tier recency stamps to the manifest (see
+    /// [`DiskTier::flush`]). No-op on memory-only stores.
+    pub fn flush(&self) -> StoreResult<()> {
+        match self.disk.as_ref() {
+            Some(disk) => lock_disk(disk).flush(),
+            None => Ok(()),
+        }
     }
 
     /// Memory-tier stats (the historical `arena_stats` surface).
     pub fn arena_stats(&self) -> ArenaStats {
-        self.arena.stats()
+        read_arena(&self.arena).stats()
     }
 
     /// Both tiers' stats.
     pub fn stats(&self) -> StoreStats {
         StoreStats {
-            mem: self.arena.stats(),
-            disk: self.disk.as_ref().map(|d| d.stats()),
+            mem: self.arena_stats(),
+            disk: self.disk.as_ref().map(|d| lock_disk(d).stats()),
         }
     }
+}
 
-    fn spill(&mut self, evicted: Vec<(PoolKey, Arc<MrrPool>)>) {
-        let Some(disk) = self.disk.as_mut() else {
-            return;
-        };
-        for (key, pool) in evicted {
-            disk.put(&key, &pool);
-        }
+/// Spills arena-evicted entries to the disk tier (the caller already
+/// holds the disk lock, keeping the spill single-writer).
+fn spill(disk: &mut DiskTier, evicted: Vec<(PoolKey, Arc<MrrPool>)>) {
+    for (key, pool) in evicted {
+        disk.put(&key, &pool);
     }
+}
+
+// Lock helpers: a poisoned lock means another thread panicked mid-write.
+// The cache's data is a redundant copy of recomputable state (pools are
+// resampleable, the disk tier re-verifies everything it reads), so
+// serving through a poisoned lock is safe — propagating the panic to
+// every other request thread is not.
+fn read_arena(arena: &RwLock<PoolArena>) -> std::sync::RwLockReadGuard<'_, PoolArena> {
+    arena.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write_arena(arena: &RwLock<PoolArena>) -> std::sync::RwLockWriteGuard<'_, PoolArena> {
+    arena.write().unwrap_or_else(|e| e.into_inner())
+}
+
+fn lock_disk(disk: &Mutex<DiskTier>) -> MutexGuard<'_, DiskTier> {
+    disk.lock().unwrap_or_else(|e| e.into_inner())
 }

@@ -1,0 +1,203 @@
+//! Concurrency suite for the tiered pool store: M threads × K operations
+//! over shared keys must leave the store with internally consistent
+//! stats (`lookups == hits + misses`, no lost counter updates), serve
+//! bitwise-identical pools on every path, and never evict a pinned pool
+//! no matter how the interleaving lands.
+
+use oipa_sampler::testkit::fig1;
+use oipa_sampler::MrrPool;
+use oipa_store::{PoolKey, PoolStore, PoolTier, StoreConfig};
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("oipa-store-conc").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn pool(theta: usize, seed: u64) -> Arc<MrrPool> {
+    let (g, table, campaign) = fig1();
+    Arc::new(MrrPool::generate(&g, &table, &campaign, theta, seed))
+}
+
+fn key(seed: u64) -> PoolKey {
+    PoolKey::sampled(format!("conc-{seed}"), 400, seed)
+}
+
+/// M reader threads over shared keys: every hit must return the right
+/// pool, and the atomic counters must not lose a single update.
+#[test]
+fn concurrent_reads_are_consistent_and_lossless() {
+    const THREADS: usize = 8;
+    const KEYS: u64 = 4;
+    const ROUNDS: usize = 50;
+
+    let store = Arc::new(PoolStore::memory_only(usize::MAX));
+    let pools: Vec<Arc<MrrPool>> = (0..KEYS).map(|s| pool(400, s)).collect();
+    for (s, p) in pools.iter().enumerate() {
+        store.insert(key(s as u64), Arc::clone(p));
+    }
+    let barrier = Arc::new(Barrier::new(THREADS));
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let store = Arc::clone(&store);
+            let barrier = Arc::clone(&barrier);
+            let pools = &pools;
+            scope.spawn(move || {
+                barrier.wait();
+                for r in 0..ROUNDS {
+                    // Each thread walks the keys in its own order, plus a
+                    // guaranteed-miss probe every round.
+                    let s = ((t + r) % KEYS as usize) as u64;
+                    let (got, tier) = store.get(&key(s)).expect("resident key");
+                    assert_eq!(tier, PoolTier::Memory);
+                    assert_eq!(got.fingerprint(), pools[s as usize].fingerprint());
+                    assert!(store.get(&key(1000 + s)).is_none(), "phantom key served");
+                }
+            });
+        }
+    });
+
+    let stats = store.arena_stats();
+    let expected_lookups = (THREADS * ROUNDS * 2) as u64;
+    assert_eq!(stats.lookups, expected_lookups, "lost lookup updates");
+    assert_eq!(stats.hits, (THREADS * ROUNDS) as u64, "lost hit updates");
+    assert_eq!(stats.misses, (THREADS * ROUNDS) as u64, "lost miss updates");
+    assert_eq!(
+        stats.lookups,
+        stats.hits + stats.misses,
+        "stats must stay internally consistent under concurrency"
+    );
+    assert_eq!(stats.entries, KEYS as usize);
+}
+
+/// Mixed readers and writers racing on overlapping keys: no panics, no
+/// lost counters, and every key that was ever inserted serves its exact
+/// pool afterwards.
+#[test]
+fn concurrent_inserts_and_reads_do_not_corrupt_the_arena() {
+    const THREADS: usize = 6;
+    const KEYS: u64 = 5;
+    const ROUNDS: usize = 30;
+
+    let store = Arc::new(PoolStore::memory_only(usize::MAX));
+    let pools: Vec<Arc<MrrPool>> = (0..KEYS).map(|s| pool(300, s)).collect();
+    let barrier = Arc::new(Barrier::new(THREADS));
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let store = Arc::clone(&store);
+            let barrier = Arc::clone(&barrier);
+            let pools = &pools;
+            scope.spawn(move || {
+                barrier.wait();
+                for r in 0..ROUNDS {
+                    let s = ((t * 7 + r) % KEYS as usize) as u64;
+                    if (t + r) % 3 == 0 {
+                        // Writers re-insert over live keys (the replace
+                        // path) while readers scan them.
+                        store.insert(key(s), Arc::clone(&pools[s as usize]));
+                    } else if let Some((got, _)) = store.get(&key(s)) {
+                        assert_eq!(
+                            got.fingerprint(),
+                            pools[s as usize].fingerprint(),
+                            "a lookup returned the wrong pool for its key"
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = store.arena_stats();
+    assert_eq!(stats.lookups, stats.hits + stats.misses);
+    assert_eq!(stats.entries, KEYS as usize);
+    assert_eq!(stats.bytes, pools.iter().map(|p| p.memory_bytes()).sum());
+    // Every key serves its exact pool once the dust settles.
+    for s in 0..KEYS {
+        let (got, _) = store.get(&key(s)).expect("inserted key lost");
+        assert_eq!(got.fingerprint(), pools[s as usize].fingerprint());
+    }
+}
+
+/// A pinned pool must survive concurrent byte pressure AND concurrent
+/// same-key re-inserts (the PR-5 pin regression, raced).
+#[test]
+fn pinned_pool_survives_concurrent_pressure_and_replaces() {
+    const THREADS: usize = 6;
+    const ROUNDS: usize = 20;
+
+    let pinned = pool(400, 99);
+    let bytes = pinned.memory_bytes();
+    let pinned_key = PoolKey::external("session-default", &pinned);
+    let store = Arc::new(PoolStore::memory_only(2 * bytes + 8));
+    store.insert_pinned(pinned_key.clone(), Arc::clone(&pinned));
+    let barrier = Arc::new(Barrier::new(THREADS));
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let store = Arc::clone(&store);
+            let barrier = Arc::clone(&barrier);
+            let pinned = Arc::clone(&pinned);
+            let pinned_key = pinned_key.clone();
+            scope.spawn(move || {
+                barrier.wait();
+                for r in 0..ROUNDS {
+                    if t == 0 {
+                        // One thread keeps re-inserting over the pinned
+                        // key (the pin must survive every replace).
+                        store.insert(pinned_key.clone(), Arc::clone(&pinned));
+                    } else {
+                        // The rest churn sampled pools through the tight
+                        // budget, forcing evictions every round.
+                        let s = (t * ROUNDS + r) as u64;
+                        store.insert(key(s), pool(400, s));
+                    }
+                    assert!(
+                        store.get(&pinned_key).is_some(),
+                        "pinned pool evicted under concurrent pressure"
+                    );
+                }
+            });
+        }
+    });
+
+    let (got, _) = store.get(&pinned_key).expect("pinned pool lost");
+    assert_eq!(got.fingerprint(), pinned.fingerprint());
+}
+
+/// Concurrent misses promoting the same disk segment: every thread gets
+/// the identical pool, and the arena never holds duplicate entries.
+#[test]
+fn concurrent_disk_promotions_serve_one_pool() {
+    const THREADS: usize = 6;
+
+    let dir = tmpdir("promote-race");
+    let p = pool(500, 3);
+    let store = PoolStore::open(StoreConfig::new(&dir)).unwrap();
+    store.insert(key(3), Arc::clone(&p));
+    drop(store); // flush to disk
+
+    let reopened = Arc::new(PoolStore::open(StoreConfig::new(&dir)).unwrap());
+    let barrier = Arc::new(Barrier::new(THREADS));
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let store = Arc::clone(&reopened);
+            let barrier = Arc::clone(&barrier);
+            let expected = p.fingerprint();
+            scope.spawn(move || {
+                barrier.wait();
+                let (got, _) = store.get(&key(3)).expect("persisted pool lost");
+                assert_eq!(got.fingerprint(), expected);
+            });
+        }
+    });
+    let stats = reopened.stats();
+    assert_eq!(stats.mem.entries, 1, "duplicate arena entries after race");
+    assert_eq!(stats.mem.lookups, stats.mem.hits + stats.mem.misses);
+    // Post-race lookups are memory hits.
+    let (_, tier) = reopened.get(&key(3)).unwrap();
+    assert_eq!(tier, PoolTier::Memory);
+}

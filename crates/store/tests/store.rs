@@ -55,7 +55,7 @@ fn cold_mem_and_disk_paths_serve_identical_pools() {
     let cold = pool(2_000, 11);
     let k = key(2_000, 11);
 
-    let mut store = PoolStore::open(config(&dir)).unwrap();
+    let store = PoolStore::open(config(&dir)).unwrap();
     store.insert(k.clone(), Arc::clone(&cold));
     let (mem, tier) = store.get(&k).unwrap();
     assert_eq!(tier, PoolTier::Memory);
@@ -64,7 +64,7 @@ fn cold_mem_and_disk_paths_serve_identical_pools() {
     // "Restart": a fresh store over the same directory has an empty
     // memory tier; the pool must come back from disk, checksum-verified.
     drop(store);
-    let mut reopened = PoolStore::open(config(&dir)).unwrap();
+    let reopened = PoolStore::open(config(&dir)).unwrap();
     let (disk, tier) = reopened.get(&k).unwrap();
     assert_eq!(tier, PoolTier::Disk);
     assert_same_pool(&cold, &disk, "disk-warm");
@@ -77,7 +77,7 @@ fn cold_mem_and_disk_paths_serve_identical_pools() {
 #[test]
 fn arena_miss_consults_disk_before_resampling() {
     let dir = tmpdir("tiered-lookup");
-    let mut store = PoolStore::open(config(&dir)).unwrap();
+    let store = PoolStore::open(config(&dir)).unwrap();
     let p = pool(800, 3);
     store.insert(key(800, 3), Arc::clone(&p));
     store.clear_memory();
@@ -97,7 +97,7 @@ fn memory_eviction_spills_to_disk() {
     let mut cfg = config(&dir);
     cfg.mem_bytes = Some(2 * bytes + 8);
     cfg.write_through = false; // force the spill path to do the persisting
-    let mut store = PoolStore::open(cfg).unwrap();
+    let store = PoolStore::open(cfg).unwrap();
     for s in 0..3u64 {
         store.insert(key(600, s), pool(600, s));
     }
@@ -119,7 +119,7 @@ fn oversized_pool_is_served_but_never_cached_in_memory() {
     let dir = tmpdir("oversized");
     let mut cfg = config(&dir);
     cfg.mem_bytes = Some(16); // smaller than any real pool
-    let mut store = PoolStore::open(cfg).unwrap();
+    let store = PoolStore::open(cfg).unwrap();
     let big = pool(1_500, 9);
     store.insert(key(1_500, 9), Arc::clone(&big));
     assert_eq!(
@@ -141,14 +141,15 @@ fn disk_budget_evicts_lru_segments() {
     let seg_bytes = {
         // Measure one segment's size by writing it through a probe store.
         let probe = tmpdir("disk-budget-probe");
-        let mut store = PoolStore::open(config(&probe)).unwrap();
+        let store = PoolStore::open(config(&probe)).unwrap();
         store.insert(key(500, 0), pool(500, 0));
-        store.disk().unwrap().entries()[0].bytes
+        let bytes = store.disk().unwrap().entries()[0].bytes;
+        bytes
     };
     let mut cfg = config(&dir);
     cfg.mem_bytes = Some(0); // pass-through memory tier
     cfg.disk_bytes = 2 * seg_bytes + 8;
-    let mut store = PoolStore::open(cfg).unwrap();
+    let store = PoolStore::open(cfg).unwrap();
     for s in 0..3u64 {
         store.insert(key(500, s), pool(500, s));
     }
@@ -164,7 +165,7 @@ fn disk_budget_evicts_lru_segments() {
 #[test]
 fn corrupt_segment_is_quarantined_not_served() {
     let dir = tmpdir("corrupt");
-    let mut store = PoolStore::open(config(&dir)).unwrap();
+    let store = PoolStore::open(config(&dir)).unwrap();
     let p = pool(700, 5);
     store.insert(key(700, 5), Arc::clone(&p));
     let file = store.disk().unwrap().entries()[0].file.clone();
@@ -178,7 +179,7 @@ fn corrupt_segment_is_quarantined_not_served() {
     bytes[mid] ^= 0x01;
     std::fs::write(&path, &bytes).unwrap();
 
-    let mut reopened = PoolStore::open(config(&dir)).unwrap();
+    let reopened = PoolStore::open(config(&dir)).unwrap();
     // verify flags it…
     let verdict = reopened.disk().unwrap().verify();
     assert_eq!(verdict.ok.len(), 0);
@@ -197,7 +198,7 @@ fn corrupt_segment_is_quarantined_not_served() {
 #[test]
 fn gc_quarantines_corruption_and_orphans() {
     let dir = tmpdir("gc");
-    let mut store = PoolStore::open(config(&dir)).unwrap();
+    let store = PoolStore::open(config(&dir)).unwrap();
     for s in 0..3u64 {
         store.insert(key(400, s), pool(400, s));
     }
@@ -238,7 +239,7 @@ fn gc_quarantines_corruption_and_orphans() {
 #[test]
 fn corrupt_manifest_is_recovered_not_fatal() {
     let dir = tmpdir("bad-manifest");
-    let mut store = PoolStore::open(config(&dir)).unwrap();
+    let store = PoolStore::open(config(&dir)).unwrap();
     store.insert(key(300, 1), pool(300, 1));
     drop(store);
     std::fs::write(dir.join(MANIFEST_FILE), b"{ not json").unwrap();
@@ -265,13 +266,13 @@ fn stale_temp_files_are_swept_at_open() {
 #[test]
 fn instance_mismatch_purges_the_tier() {
     let dir = tmpdir("instance");
-    let mut store = PoolStore::open(config(&dir)).unwrap();
+    let store = PoolStore::open(config(&dir)).unwrap();
     store.set_instance(0xAAAA).unwrap();
     store.insert(key(300, 2), pool(300, 2));
     assert_eq!(store.disk().unwrap().entries().len(), 1);
 
     // Same instance: nothing happens, entries survive a reopen.
-    let mut reopened = PoolStore::open(config(&dir)).unwrap();
+    let reopened = PoolStore::open(config(&dir)).unwrap();
     assert!(!reopened.set_instance(0xAAAA).unwrap());
     assert_eq!(reopened.disk().unwrap().entries().len(), 1);
 
@@ -286,7 +287,7 @@ fn recency_survives_restart() {
     let dir = tmpdir("recency");
     let mut cfg = config(&dir);
     cfg.mem_bytes = Some(0);
-    let mut store = PoolStore::open(cfg.clone()).unwrap();
+    let store = PoolStore::open(cfg.clone()).unwrap();
     for s in 0..3u64 {
         store.insert(key(350, s), pool(350, s));
     }
@@ -298,8 +299,164 @@ fn recency_survives_restart() {
     // honor the persisted recency, dropping seed 1.
     let seg = DiskTier::open(&dir, u64::MAX).unwrap().entries()[0].bytes;
     cfg.disk_bytes = 2 * seg + 8;
-    let mut store = PoolStore::open(cfg).unwrap();
+    let store = PoolStore::open(cfg).unwrap();
     assert!(store.get(&key(350, 1)).is_none(), "LRU victim");
     assert!(store.get(&key(350, 0)).is_some());
     assert!(store.get(&key(350, 2)).is_some());
+}
+
+/// The PR-5 manifest bugfix: a read-only burst of N disk gets must not
+/// rewrite `index.json` N times. Recency is batched in memory (dirty
+/// flag) and flushed at most once — by the next write, an explicit
+/// `flush`, or drop.
+#[test]
+fn read_burst_performs_at_most_one_manifest_write() {
+    let dir = tmpdir("manifest-batching");
+    let mut tier = DiskTier::open(&dir, u64::MAX).unwrap();
+    let p = pool(400, 6);
+    tier.put(&key(400, 6), &p);
+    let writes_after_put = tier.manifest_writes();
+    let manifest_after_put = std::fs::read_to_string(dir.join(MANIFEST_FILE)).unwrap();
+
+    // The burst: 25 reads, zero manifest writes.
+    for _ in 0..25 {
+        assert!(tier.get(&key(400, 6)).is_some());
+    }
+    assert_eq!(
+        tier.manifest_writes(),
+        writes_after_put,
+        "disk gets must not rewrite the manifest per read"
+    );
+    assert_eq!(
+        std::fs::read_to_string(dir.join(MANIFEST_FILE)).unwrap(),
+        manifest_after_put,
+        "the on-disk manifest must be untouched during a read burst"
+    );
+
+    // One flush persists the whole burst's recency in a single write.
+    tier.flush().unwrap();
+    assert_eq!(tier.manifest_writes(), writes_after_put + 1);
+    assert_ne!(
+        std::fs::read_to_string(dir.join(MANIFEST_FILE)).unwrap(),
+        manifest_after_put,
+        "flush must persist the batched recency stamps"
+    );
+    // Flushing with nothing pending is free.
+    tier.flush().unwrap();
+    assert_eq!(tier.manifest_writes(), writes_after_put + 1);
+}
+
+/// Batched recency still reaches disk without an explicit flush: drop
+/// writes it, so a restart honors read-burst LRU order.
+#[test]
+fn batched_recency_is_flushed_on_drop() {
+    let dir = tmpdir("recency-on-drop");
+    let mut tier = DiskTier::open(&dir, u64::MAX).unwrap();
+    for s in 0..2u64 {
+        tier.put(&key(450, s), &pool(450, s));
+    }
+    // Touch seed 0 (read-only: batched, not persisted) then drop.
+    assert!(tier.get(&key(450, 0)).is_some());
+    drop(tier);
+
+    let reopened = DiskTier::open(&dir, u64::MAX).unwrap();
+    let stamp = |s: u64| {
+        reopened
+            .entries()
+            .iter()
+            .find(|e| e.key == key(450, s))
+            .unwrap()
+            .last_used
+    };
+    assert!(
+        stamp(0) > stamp(1),
+        "the read-burst touch must survive the restart via the drop flush"
+    );
+}
+
+/// The PR-5 pin bugfix at store level: an insert over a pinned key keeps
+/// the pin, so byte pressure afterwards cannot evict the injected pool.
+#[test]
+fn pinned_pool_survives_replace_and_pressure() {
+    let dir = tmpdir("pinned-replace");
+    let pinned = pool(500, 21);
+    let bytes = pinned.memory_bytes();
+    let pinned_key = key(500, 21);
+    let mut cfg = config(&dir);
+    cfg.mem_bytes = Some(bytes + 8); // room for the pinned pool alone
+    let store = PoolStore::open(cfg).unwrap();
+    store.insert_pinned(pinned_key.clone(), Arc::clone(&pinned));
+    // The regression: a plain insert over the pinned key used to strip
+    // the pin, making the injected pool evictable.
+    store.insert(pinned_key.clone(), Arc::clone(&pinned));
+    // Byte pressure from sampled pools.
+    for s in 30..33u64 {
+        store.insert(key(500, s), pool(500, s));
+    }
+    let (got, tier) = store
+        .get(&pinned_key)
+        .expect("pinned pool evicted after a same-key replace");
+    assert_eq!(tier, PoolTier::Memory, "pinned pools are memory-resident");
+    assert_eq!(got.fingerprint(), pinned.fingerprint());
+}
+
+/// The PR-5 stats bugfix at store level: a same-key replace counts as an
+/// eviction and the displaced pool is spilled (a disk touch), so
+/// `ArenaStats`/`DiskStats` stay accurate in a tiered store.
+#[test]
+fn replace_is_counted_and_spilled_in_a_tiered_store() {
+    let dir = tmpdir("replace-accounting");
+    let mut cfg = config(&dir);
+    cfg.write_through = false; // only the spill path writes to disk
+    let store = PoolStore::open(cfg).unwrap();
+    let p = pool(420, 8);
+    let k = key(420, 8);
+    store.insert(k.clone(), Arc::clone(&p));
+    let before = store.stats();
+    assert_eq!(before.mem.evictions, 0);
+    assert_eq!(before.disk.unwrap().entries, 0, "write-through disabled");
+
+    store.insert(k.clone(), Arc::clone(&p));
+    let after = store.stats();
+    assert_eq!(after.mem.entries, 1, "replace must not duplicate the key");
+    assert_eq!(
+        after.mem.evictions, 1,
+        "the displaced pool must be counted as an eviction"
+    );
+    assert_eq!(
+        after.mem.bytes,
+        p.memory_bytes(),
+        "replace must not double-count resident bytes"
+    );
+    let disk = after.disk.unwrap();
+    assert_eq!(
+        disk.entries, 1,
+        "the displaced pool must spill to disk, not vanish"
+    );
+}
+
+/// A displaced *pinned* pool must not leak to the disk tier: pinned
+/// pools are memory-only (the caller owns their persistence), so a
+/// same-key insert over one neither spills it nor counts an eviction.
+#[test]
+fn replaced_pinned_pool_is_not_spilled_to_disk() {
+    let dir = tmpdir("pinned-no-spill");
+    let mut cfg = config(&dir);
+    cfg.write_through = false; // only displaced entries would reach disk
+    let store = PoolStore::open(cfg).unwrap();
+    let injected = pool(430, 12);
+    let k = key(430, 12);
+    store.insert_pinned(k.clone(), Arc::clone(&injected));
+    store.insert(k.clone(), Arc::clone(&injected));
+    let stats = store.stats();
+    assert_eq!(
+        stats.disk.unwrap().entries,
+        0,
+        "a pinned pool leaked to the disk tier via the replace path"
+    );
+    assert_eq!(
+        stats.mem.evictions, 0,
+        "replacing a pinned entry is not an eviction — the pin keeps it resident"
+    );
+    assert!(store.get(&k).is_some());
 }

@@ -20,7 +20,7 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(23);
     let (graph, table, campaign) =
         oipa::sampler::testkit::small_random_instance(&mut rng, 300, 2400, 4, 3);
-    let mut service = PlannerService::new(graph, table).expect("consistent inputs");
+    let service = PlannerService::new(graph, table).expect("consistent inputs");
 
     let mut base = SolveRequest::new(Method::BabP, 4);
     base.campaign = Some(campaign);
@@ -92,4 +92,25 @@ fn main() {
         stats.misses
     );
     assert_eq!(stats.entries, 1, "all six queries shared one pool");
+
+    // Serving is concurrent: `solve` takes `&self`, so the same session
+    // answers from any number of threads — here four workers share the
+    // warm pool, and every answer matches the single-threaded one.
+    let service = std::sync::Arc::new(service);
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        for worker in 0..4 {
+            let service = std::sync::Arc::clone(&service);
+            let request = base.clone();
+            scope.spawn(move || {
+                let response = service.solve(&request).expect("solvable");
+                assert!(response.pool_cache_hit, "worker {worker} missed the pool");
+                assert_eq!(response.utility.to_bits(), cold.utility.to_bits());
+            });
+        }
+    });
+    println!(
+        "concurrent: 4 workers answered in {:5.1} ms total (same plan, same pool)",
+        t.elapsed().as_secs_f64() * 1e3
+    );
 }

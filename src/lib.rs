@@ -26,7 +26,7 @@
 //!
 //! // 1–2. graph + probabilities (here: the paper's Fig. 1 fixture).
 //! let (graph, probs, campaign) = oipa::sampler::testkit::fig1();
-//! let mut service = PlannerService::new(graph, probs).unwrap();
+//! let service = PlannerService::new(graph, probs).unwrap();
 //!
 //! // 3. describe the query: solve OIPA at budget k = 2 over 20k samples.
 //! let mut request = SolveRequest::new(Method::Bab, 2);
