@@ -1,0 +1,75 @@
+//! `bench_serve` — emits the `BENCH_serve.json` artifact for the HTTP
+//! serving stack (open-loop load against a live in-process
+//! `oipa-server`).
+//!
+//! ```text
+//! bench_serve [--smoke] [--check] [--seed N] [--rate RPS] [--out FILE]
+//! ```
+//!
+//! * `--smoke` — one tiny instance (seconds; the CI mode)
+//! * `--check` — validate the report invariants and the written JSON,
+//!   exiting non-zero on violation
+//! * `--rate`  — warm-phase open-loop target rate, requests/second
+//! * `--out`   — output path (default `BENCH_serve.json`)
+
+use oipa_bench::serve_suite::{
+    run_serve_suite, summary_text, validate_report, ServeSuiteConfig, SERVE_SCHEMA,
+};
+
+fn main() {
+    let mut smoke = false;
+    let mut check = false;
+    let mut seed = 0u64;
+    let mut rate: Option<f64> = None;
+    let mut out = String::from("BENCH_serve.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--check" => check = true,
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--rate" => {
+                rate = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("--rate needs a number")),
+                );
+            }
+            "--out" => {
+                out = args.next().unwrap_or_else(|| die("--out needs a path"));
+            }
+            other => die(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    let report = run_serve_suite(ServeSuiteConfig { smoke, seed, rate })
+        .unwrap_or_else(|e| die(&format!("suite failed: {e}")));
+    print!("{}", summary_text(&report));
+    let json = serde_json::to_string_pretty(&report).unwrap_or_else(|e| die(&format!("{e}")));
+    std::fs::write(&out, &json).unwrap_or_else(|e| die(&format!("writing {out}: {e}")));
+    println!("wrote {out} ({} records)", report.records.len());
+
+    if check {
+        if let Err(e) = validate_report(&report) {
+            die(&format!("validation failed: {e}"));
+        }
+        let text = std::fs::read_to_string(&out).unwrap_or_else(|e| die(&format!("{e}")));
+        let value: serde_json::Value =
+            serde_json::from_str(&text).unwrap_or_else(|e| die(&format!("invalid JSON: {e}")));
+        match value.get("schema") {
+            Some(serde_json::Value::String(s)) if s == SERVE_SCHEMA => {}
+            other => die(&format!("schema field mismatch in {out}: {other:?}")),
+        }
+        println!("check passed: schema + invariants hold");
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("bench_serve: {msg}");
+    std::process::exit(1);
+}

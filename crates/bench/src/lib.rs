@@ -30,7 +30,11 @@
 //! `bench_concurrent` bin / `oipa-cli bench concurrent`) emits
 //! `BENCH_concurrent.json` with per-thread-count latency and
 //! requests/sec through one shared `&self` session, answers cross-checked
-//! bitwise against a sequential run.
+//! bitwise against a sequential run, and [`serve_suite`] (the
+//! `bench_serve` bin / `oipa-cli bench serve`) emits `BENCH_serve.json`
+//! with open-loop p50/p99/p999 latency through a live `oipa-server` HTTP
+//! front door under a zipfian campaign-key mix, answers cross-checked
+//! bitwise against an in-process session.
 //!
 //! Criterion micro/ablation benches live in `benches/`.
 
@@ -40,6 +44,7 @@
 pub mod args;
 pub mod concurrent_suite;
 pub mod runner;
+pub mod serve_suite;
 pub mod service_suite;
 pub mod solver_suite;
 pub mod store_suite;
@@ -48,6 +53,7 @@ pub mod table;
 pub use args::HarnessArgs;
 pub use concurrent_suite::{run_concurrent_suite, ConcurrentSuiteConfig, ConcurrentSuiteReport};
 pub use runner::{run_all_methods, ExperimentSetup, MethodOutcome};
+pub use serve_suite::{run_serve_suite, ServeSuiteConfig, ServeSuiteReport};
 pub use service_suite::{run_service_suite, ServiceSuiteConfig, ServiceSuiteReport};
 pub use solver_suite::{run_solver_suite, SolverSuiteConfig, SolverSuiteReport};
 pub use store_suite::{run_store_suite, StoreSuiteConfig, StoreSuiteReport};

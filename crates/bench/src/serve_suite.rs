@@ -1,0 +1,689 @@
+//! The `serve` benchmark family: open-loop HTTP load against a live
+//! `oipa-server` over real loopback sockets.
+//!
+//! Produces the `BENCH_serve.json` artifact quantifying what the HTTP
+//! front door costs on top of the in-process `PlannerService`: the suite
+//! spawns a server in-process, drives a **cold phase** (one request per
+//! distinct campaign key, paying for sampling) and a **warm phase** (an
+//! open-loop zipfian key mix at a configurable target rate over
+//! persistent keep-alive connections), and reports p50/p99/p999 latency
+//! per phase. Open-loop means latency is measured from each request's
+//! *scheduled* start, so a server that falls behind accrues queueing
+//! delay instead of hiding it (no coordinated omission). Every warm
+//! answer is cross-checked bitwise against an in-process reference
+//! session, and the final `GET /stats` snapshot must be schema-tagged
+//! and internally consistent. Reproduce with `oipa-cli bench serve
+//! [--smoke true] [--rate N]` or `cargo run --release -p oipa-bench
+//! --bin bench_serve`.
+
+use oipa_sampler::testkit::small_random_instance;
+use oipa_server::{Server, ServerConfig};
+use oipa_service::{Method, PlannerService, SolveRequest, SolveResponse};
+use oipa_store::StatsSnapshot;
+use oipa_topics::Campaign;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Schema identifier stamped into every report.
+pub const SERVE_SCHEMA: &str = "oipa.bench.serve/v1";
+
+/// Suite configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeSuiteConfig {
+    /// Tiny single-phase mode for CI smoke checks.
+    pub smoke: bool,
+    /// Base seed for instance generation and the zipfian mix.
+    pub seed: u64,
+    /// Warm-phase target rate override, requests/second.
+    pub rate: Option<f64>,
+}
+
+/// One phase's latency profile.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServePhaseRecord {
+    /// `"cold"` (one request per key, sampling paid) or `"warm"`
+    /// (zipfian mix over cached pools).
+    pub phase: String,
+    /// Requests issued.
+    pub requests: usize,
+    /// Open-loop target rate, requests/second (0 = sequential, no
+    /// pacing — the cold phase).
+    pub target_rate: f64,
+    /// Rate actually achieved (requests / wall-clock).
+    pub achieved_rate: f64,
+    /// Wall-clock for the whole phase, milliseconds.
+    pub total_ms: f64,
+    /// Mean latency, milliseconds (open-loop: from scheduled start).
+    pub mean_ms: f64,
+    /// Median latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// 99.9th-percentile latency, milliseconds.
+    pub p999_ms: f64,
+    /// Worst latency, milliseconds.
+    pub max_ms: f64,
+    /// Responses served from the pool store.
+    pub pool_cache_hits: usize,
+    /// Non-200 answers (must be 0).
+    pub errors: usize,
+}
+
+/// The full suite report (the `BENCH_serve.json` payload).
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeSuiteReport {
+    /// Schema identifier (`oipa.bench.serve/v1`).
+    pub schema: String,
+    /// Whether this was a smoke run.
+    pub smoke: bool,
+    /// Base seed.
+    pub seed: u64,
+    /// Instance nodes.
+    pub nodes: usize,
+    /// Instance edges.
+    pub edges: usize,
+    /// Campaign pieces ℓ.
+    pub ell: usize,
+    /// MRR samples θ per pool.
+    pub theta: usize,
+    /// `std::thread::available_parallelism()` on the benching machine.
+    pub available_parallelism: usize,
+    /// Server worker threads.
+    pub server_threads: usize,
+    /// Client connections (each a persistent keep-alive socket).
+    pub clients: usize,
+    /// Distinct campaign keys (pool-store entries) in the mix.
+    pub distinct_keys: usize,
+    /// Zipf exponent of the warm-phase key mix.
+    pub zipf_s: f64,
+    /// Every warm answer matched the in-process reference bitwise.
+    pub answers_match_in_process: bool,
+    /// Connections the server rejected with 503 (must stay 0 — the
+    /// suite sizes its client pool under the connection cap).
+    pub rejected_503: u64,
+    /// The final `GET /stats` snapshot carried the expected schema tag.
+    pub stats_schema_ok: bool,
+    /// The final snapshot's books balanced (lookups = hits + misses).
+    pub stats_consistent: bool,
+    /// The final wire snapshot, verbatim.
+    pub stats: StatsSnapshot,
+    /// Per-phase latency profiles (`cold`, then `warm`).
+    pub records: Vec<ServePhaseRecord>,
+}
+
+struct Spec {
+    nodes: u32,
+    edges: usize,
+    ell: usize,
+    theta: usize,
+    k: usize,
+    distinct_keys: usize,
+    warm_requests: usize,
+    rate: f64,
+    clients: usize,
+    server_threads: usize,
+    max_nodes: usize,
+    zipf_s: f64,
+}
+
+fn spec(smoke: bool) -> Spec {
+    if smoke {
+        Spec {
+            nodes: 100,
+            edges: 700,
+            ell: 2,
+            theta: 2_000,
+            k: 3,
+            distinct_keys: 3,
+            warm_requests: 30,
+            rate: 100.0,
+            clients: 2,
+            server_threads: 2,
+            max_nodes: 20,
+            zipf_s: 1.0,
+        }
+    } else {
+        Spec {
+            nodes: 300,
+            edges: 2_400,
+            ell: 3,
+            theta: 20_000,
+            k: 4,
+            distinct_keys: 8,
+            warm_requests: 400,
+            rate: 100.0,
+            clients: 4,
+            server_threads: 4,
+            max_nodes: 40,
+            zipf_s: 1.0,
+        }
+    }
+}
+
+/// One request template per campaign key: the key is the pool-store
+/// identity (seed), the shape varies method and budget for diversity.
+fn key_requests(spec: &Spec, campaign: &Campaign, seed: u64) -> Vec<SolveRequest> {
+    (0..spec.distinct_keys)
+        .map(|key| {
+            let method = if key % 2 == 0 {
+                Method::BabP
+            } else {
+                Method::Greedy
+            };
+            let mut req = SolveRequest::new(method, spec.k - (key % 2));
+            req.campaign = Some(campaign.clone());
+            req.theta = Some(spec.theta);
+            req.seed = Some(seed ^ key as u64);
+            req.promoter_fraction = Some(0.2);
+            req.max_nodes = Some(spec.max_nodes);
+            req
+        })
+        .collect()
+}
+
+/// The answer-bearing part of a response (timing and cache provenance
+/// are scheduling-dependent; plans, utilities, and bounds are not).
+fn answer(r: &SolveResponse) -> (String, u64, Option<u64>, usize) {
+    (
+        serde_json::to_string(&r.plan).expect("plan serializes"),
+        r.utility.to_bits(),
+        r.upper_bound.map(f64::to_bits),
+        r.theta,
+    )
+}
+
+/// A zipfian key sequence: key rank `i` drawn with weight `1/(i+1)^s`
+/// via the inverse CDF over a seeded uniform stream.
+fn zipf_sequence(keys: usize, s: f64, len: usize, rng: &mut StdRng) -> Vec<usize> {
+    let weights: Vec<f64> = (0..keys).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    let cdf: Vec<f64> = weights
+        .iter()
+        .scan(0.0, |acc, w| {
+            *acc += w / total;
+            Some(*acc)
+        })
+        .collect();
+    (0..len)
+        .map(|_| {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            cdf.iter().position(|&c| u < c).unwrap_or(keys - 1)
+        })
+        .collect()
+}
+
+/// A minimal blocking HTTP/1.1 client over one keep-alive connection.
+struct WireClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl WireClient {
+    fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        Ok(WireClient {
+            stream,
+            buf: Vec::with_capacity(4096),
+        })
+    }
+
+    /// One round-trip; returns `(status, body)`.
+    fn round_trip(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> std::io::Result<(u16, String)> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\
+             Connection: keep-alive\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body.as_bytes())?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<(u16, String)> {
+        let bad = |msg: &str| std::io::Error::new(ErrorKind::InvalidData, msg.to_string());
+        let head_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk)? {
+                0 => return Err(bad("server closed mid-response")),
+                n => self.buf.extend_from_slice(&chunk[..n]),
+            }
+        };
+        let head = String::from_utf8_lossy(&self.buf[..head_end]).into_owned();
+        let status: u16 = head
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("malformed status line"))?;
+        let content_length: usize = head
+            .lines()
+            .filter_map(|l| l.split_once(':'))
+            .find(|(n, _)| n.trim().eq_ignore_ascii_case("content-length"))
+            .and_then(|(_, v)| v.trim().parse().ok())
+            .ok_or_else(|| bad("response without Content-Length"))?;
+        self.buf.drain(..head_end + 4);
+        while self.buf.len() < content_length {
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk)? {
+                0 => return Err(bad("server closed mid-body")),
+                n => self.buf.extend_from_slice(&chunk[..n]),
+            }
+        }
+        let body = String::from_utf8_lossy(&self.buf[..content_length]).into_owned();
+        self.buf.drain(..content_length);
+        Ok((status, body))
+    }
+}
+
+/// One completed request's bookkeeping.
+struct Sample {
+    key: usize,
+    latency_ms: f64,
+    cache_hit: bool,
+    ok: bool,
+    answer: Option<(String, u64, Option<u64>, usize)>,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_ms.len() as f64) * p).ceil() as usize;
+    sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
+}
+
+fn phase_record(
+    phase: &str,
+    target_rate: f64,
+    total_ms: f64,
+    samples: &[Sample],
+) -> ServePhaseRecord {
+    let mut sorted: Vec<f64> = samples.iter().map(|s| s.latency_ms).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    ServePhaseRecord {
+        phase: phase.to_string(),
+        requests: samples.len(),
+        target_rate,
+        achieved_rate: samples.len() as f64 / (total_ms / 1e3).max(1e-9),
+        total_ms,
+        mean_ms: sorted.iter().sum::<f64>() / sorted.len().max(1) as f64,
+        p50_ms: percentile(&sorted, 0.50),
+        p99_ms: percentile(&sorted, 0.99),
+        p999_ms: percentile(&sorted, 0.999),
+        max_ms: sorted.last().copied().unwrap_or(0.0),
+        pool_cache_hits: samples.iter().filter(|s| s.cache_hit).count(),
+        errors: samples.iter().filter(|s| !s.ok).count(),
+    }
+}
+
+/// Runs the suite: spawn a server, cold phase, open-loop warm phase,
+/// stats read-back, graceful shutdown.
+pub fn run_serve_suite(config: ServeSuiteConfig) -> Result<ServeSuiteReport, String> {
+    let spec = spec(config.smoke);
+    let rate = config.rate.unwrap_or(spec.rate);
+    if rate <= 0.0 {
+        return Err("the warm-phase rate must be positive".to_string());
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5e12e);
+    let (graph, table, campaign) =
+        small_random_instance(&mut rng, spec.nodes, spec.edges, spec.ell + 1, spec.ell);
+    let requests = key_requests(&spec, &campaign, config.seed ^ 0x5eed);
+    let bodies: Vec<String> = requests
+        .iter()
+        .map(|r| serde_json::to_string(r).expect("request serializes"))
+        .collect();
+
+    // In-process reference on a separate session: the server under test
+    // must not be its own oracle.
+    let reference: Vec<_> = {
+        let (graph, table, _) = small_random_instance(
+            &mut StdRng::seed_from_u64(config.seed ^ 0x5e12e),
+            spec.nodes,
+            spec.edges,
+            spec.ell + 1,
+            spec.ell,
+        );
+        let service = PlannerService::new(graph, table).expect("valid instance");
+        requests
+            .iter()
+            .map(|r| answer(&service.solve(r).expect("reference request solves")))
+            .collect::<Vec<_>>()
+    };
+
+    let service = Arc::new(PlannerService::new(graph, table).expect("valid instance"));
+    let server_config = ServerConfig {
+        threads: spec.server_threads,
+        max_connections: spec.clients + 8,
+        ..ServerConfig::default()
+    };
+    let handle = Server::spawn(Arc::clone(&service), server_config)
+        .map_err(|e| format!("spawning the bench server: {e}"))?;
+    let addr = handle.addr();
+
+    let parse = |body: &str| -> Result<SolveResponse, String> {
+        serde_json::from_str(body).map_err(|e| format!("unparseable SolveResponse: {e}"))
+    };
+
+    // Cold phase: one sequential request per distinct key. Latency here
+    // includes MRR sampling — the price the warm phase amortizes.
+    let mut cold_samples = Vec::new();
+    let mut client = WireClient::connect(addr).map_err(|e| format!("connecting: {e}"))?;
+    let cold_start = Instant::now();
+    for (key, body) in bodies.iter().enumerate() {
+        let sent = Instant::now();
+        let (status, text) = client
+            .round_trip("POST", "/solve", body)
+            .map_err(|e| format!("cold request {key}: {e}"))?;
+        let latency_ms = sent.elapsed().as_secs_f64() * 1e3;
+        if status != 200 {
+            return Err(format!("cold request {key} answered {status}: {text}"));
+        }
+        let response = parse(&text)?;
+        cold_samples.push(Sample {
+            key,
+            latency_ms,
+            cache_hit: response.pool_cache_hit,
+            ok: status == 200,
+            answer: Some(answer(&response)),
+        });
+    }
+    let cold_total_ms = cold_start.elapsed().as_secs_f64() * 1e3;
+
+    // Warm phase: open-loop zipfian mix. Request i is *scheduled* at
+    // t0 + i/rate and its latency runs from that schedule, so falling
+    // behind shows up as queueing delay, not as a rosier histogram.
+    let schedule = zipf_sequence(
+        spec.distinct_keys,
+        spec.zipf_s,
+        spec.warm_requests,
+        &mut StdRng::seed_from_u64(config.seed ^ 0x21f),
+    );
+    let interval = Duration::from_secs_f64(1.0 / rate);
+    let warm_start = Instant::now() + Duration::from_millis(50); // connect slack
+    let warm_samples: Vec<Sample> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..spec.clients)
+            .map(|c| {
+                let schedule = &schedule;
+                let bodies = &bodies;
+                scope.spawn(move || -> Result<Vec<Sample>, String> {
+                    let mut client =
+                        WireClient::connect(addr).map_err(|e| format!("client {c}: {e}"))?;
+                    let mut samples = Vec::new();
+                    for (i, &key) in schedule.iter().enumerate() {
+                        if i % spec.clients != c {
+                            continue;
+                        }
+                        let target = warm_start + interval.mul_f64(i as f64);
+                        if let Some(wait) = target.checked_duration_since(Instant::now()) {
+                            std::thread::sleep(wait);
+                        }
+                        let (status, text) = client
+                            .round_trip("POST", "/solve", &bodies[key])
+                            .map_err(|e| format!("warm request {i}: {e}"))?;
+                        let latency_ms = target.elapsed().as_secs_f64() * 1e3;
+                        let ok = status == 200;
+                        let (cache_hit, ans) = if ok {
+                            let response = parse(&text)?;
+                            (response.pool_cache_hit, Some(answer(&response)))
+                        } else {
+                            (false, None)
+                        };
+                        samples.push(Sample {
+                            key,
+                            latency_ms,
+                            cache_hit,
+                            ok,
+                            answer: ans,
+                        });
+                    }
+                    Ok(samples)
+                })
+            })
+            .collect();
+        let mut all = Vec::new();
+        for h in handles {
+            all.extend(h.join().expect("client thread panicked")?);
+        }
+        Ok::<_, String>(all)
+    })?;
+    let warm_total_ms = (Instant::now() - warm_start).as_secs_f64() * 1e3;
+
+    let answers_match_in_process = cold_samples
+        .iter()
+        .chain(&warm_samples)
+        .all(|s| s.answer.as_ref() == Some(&reference[s.key]));
+
+    // Stats read-back over the wire: the snapshot must round-trip as
+    // the shared `StatsSnapshot` type and balance its books.
+    let (status, text) = client
+        .round_trip("GET", "/stats", "")
+        .map_err(|e| format!("stats read-back: {e}"))?;
+    if status != 200 {
+        return Err(format!("GET /stats answered {status}: {text}"));
+    }
+    let stats: StatsSnapshot =
+        serde_json::from_str(&text).map_err(|e| format!("unparseable StatsSnapshot: {e}"))?;
+    let stats_schema_ok = stats.schema_ok();
+    let stats_consistent = stats.mem.lookups == stats.mem.hits + stats.mem.misses;
+
+    let rejected_503 = handle.rejected_503();
+    handle.shutdown();
+
+    Ok(ServeSuiteReport {
+        schema: SERVE_SCHEMA.to_string(),
+        smoke: config.smoke,
+        seed: config.seed,
+        nodes: spec.nodes as usize,
+        edges: spec.edges,
+        ell: spec.ell,
+        theta: spec.theta,
+        available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        server_threads: spec.server_threads,
+        clients: spec.clients,
+        distinct_keys: spec.distinct_keys,
+        zipf_s: spec.zipf_s,
+        answers_match_in_process,
+        rejected_503,
+        stats_schema_ok,
+        stats_consistent,
+        stats,
+        records: vec![
+            phase_record("cold", 0.0, cold_total_ms, &cold_samples),
+            phase_record("warm", rate, warm_total_ms, &warm_samples),
+        ],
+    })
+}
+
+/// Validates a report's schema and the invariants the CI smoke step
+/// asserts: error-free phases, bitwise wire/in-process parity, an
+/// all-hit warm phase, a consistent schema-tagged stats snapshot, and —
+/// on full runs — a warm p50 below the cold mean (the cache must beat
+/// resampling).
+pub fn validate_report(report: &ServeSuiteReport) -> Result<(), String> {
+    if report.schema != SERVE_SCHEMA {
+        return Err(format!(
+            "schema mismatch: {} != {SERVE_SCHEMA}",
+            report.schema
+        ));
+    }
+    if !report.answers_match_in_process {
+        return Err("wire answers diverged from the in-process reference".to_string());
+    }
+    if !report.stats_schema_ok {
+        return Err(format!("stats snapshot schema: {}", report.stats.schema));
+    }
+    if !report.stats_consistent {
+        return Err("stats snapshot books do not balance".to_string());
+    }
+    if report.rejected_503 != 0 {
+        return Err(format!(
+            "{} connections hit the cap — the suite must run under it",
+            report.rejected_503
+        ));
+    }
+    let cold = report
+        .records
+        .iter()
+        .find(|r| r.phase == "cold")
+        .ok_or("missing cold phase")?;
+    let warm = report
+        .records
+        .iter()
+        .find(|r| r.phase == "warm")
+        .ok_or("missing warm phase")?;
+    for r in [cold, warm] {
+        if r.requests == 0 {
+            return Err(format!("{} phase is empty", r.phase));
+        }
+        if r.errors != 0 {
+            return Err(format!(
+                "{} phase had {} non-200 answers",
+                r.phase, r.errors
+            ));
+        }
+        if !(r.p50_ms <= r.p99_ms && r.p99_ms <= r.p999_ms && r.p999_ms <= r.max_ms) {
+            return Err(format!("{} phase percentiles are not monotone", r.phase));
+        }
+    }
+    if cold.pool_cache_hits != 0 {
+        return Err(format!(
+            "cold phase had {} cache hits over distinct keys",
+            cold.pool_cache_hits
+        ));
+    }
+    if warm.pool_cache_hits != warm.requests {
+        return Err(format!(
+            "warm phase had {} hits over {} requests — the cold phase primed every key",
+            warm.pool_cache_hits, warm.requests
+        ));
+    }
+    // Timing expectations only bind on full runs: a smoke instance is
+    // too small for sampling to dominate reliably.
+    if !report.smoke && warm.p50_ms >= cold.mean_ms {
+        return Err(format!(
+            "warm p50 {:.2}ms did not beat the cold mean {:.2}ms — the pool store \
+             is not amortizing sampling over the wire",
+            warm.p50_ms, cold.mean_ms
+        ));
+    }
+    Ok(())
+}
+
+/// Renders the human-readable summary printed by the bin and CLI.
+pub fn summary_text(report: &ServeSuiteReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "serve bench: {} nodes / {} edges, ell = {}, theta = {}, {} keys (zipf s = {}), \
+         {} server workers, {} clients",
+        report.nodes,
+        report.edges,
+        report.ell,
+        report.theta,
+        report.distinct_keys,
+        report.zipf_s,
+        report.server_threads,
+        report.clients,
+    );
+    let _ = writeln!(
+        out,
+        "{:<6} {:>9} {:>11} {:>10} {:>10} {:>10} {:>10} {:>7}",
+        "phase", "requests", "rate req/s", "p50 ms", "p99 ms", "p999 ms", "max ms", "hits"
+    );
+    for r in &report.records {
+        let _ = writeln!(
+            out,
+            "{:<6} {:>9} {:>11.1} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>7}",
+            r.phase,
+            r.requests,
+            r.achieved_rate,
+            r.p50_ms,
+            r.p99_ms,
+            r.p999_ms,
+            r.max_ms,
+            r.pool_cache_hits,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "parity: {}; stats schema: {}; books: {}; 503s: {}",
+        if report.answers_match_in_process {
+            "bitwise"
+        } else {
+            "DIVERGED"
+        },
+        if report.stats_schema_ok { "ok" } else { "BAD" },
+        if report.stats_consistent {
+            "balanced"
+        } else {
+            "INCONSISTENT"
+        },
+        report.rejected_503,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_sequence_is_seeded_and_skewed() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let seq = zipf_sequence(5, 1.0, 2_000, &mut rng);
+        assert!(seq.iter().all(|&k| k < 5));
+        let mut counts = [0usize; 5];
+        for &k in &seq {
+            counts[k] += 1;
+        }
+        assert!(
+            counts[0] > counts[4],
+            "rank 0 must dominate rank 4: {counts:?}"
+        );
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(seq, zipf_sequence(5, 1.0, 2_000, &mut rng), "not seeded");
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics() {
+        let sorted: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&sorted, 0.50), 50.0);
+        assert_eq!(percentile(&sorted, 0.99), 99.0);
+        assert_eq!(percentile(&sorted, 0.999), 100.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn smoke_run_passes_validation() {
+        let report = run_serve_suite(ServeSuiteConfig {
+            smoke: true,
+            seed: 0,
+            rate: None,
+        })
+        .expect("smoke suite runs");
+        validate_report(&report).expect("smoke report validates");
+        assert_eq!(report.records.len(), 2);
+        // The artifact must round-trip as JSON with its schema tag.
+        let json = serde_json::to_string(&report).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(
+            value.get("schema"),
+            Some(&serde_json::Value::String(SERVE_SCHEMA.into()))
+        );
+    }
+}

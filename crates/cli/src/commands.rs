@@ -122,9 +122,29 @@ fn cmd_bench(args: &ParsedArgs) -> Result<String, OipaError> {
             write!(text, "wrote {out} ({} records)", report.records.len()).expect("string write");
             Ok(text)
         }
+        "serve" => {
+            let config = oipa_bench::serve_suite::ServeSuiteConfig {
+                smoke: args.parsed_or("smoke", false)?,
+                seed: args.parsed_or("seed", 0u64)?,
+                rate: args.parsed("rate")?,
+            };
+            let report =
+                oipa_bench::serve_suite::run_serve_suite(config).map_err(|e| OipaError::Io {
+                    what: "running the serve bench".to_string(),
+                    detail: e,
+                })?;
+            oipa_bench::serve_suite::validate_report(&report).map_err(|e| OipaError::Mismatch {
+                what: format!("serve bench invariants violated: {e}"),
+            })?;
+            let out = args.optional("out").unwrap_or("BENCH_serve.json");
+            save_json(&report, out, "bench report")?;
+            let mut text = oipa_bench::serve_suite::summary_text(&report);
+            write!(text, "wrote {out} ({} records)", report.records.len()).expect("string write");
+            Ok(text)
+        }
         other => Err(OipaError::InvalidConfig {
             what: format!(
-                "unknown bench suite {other:?} (available: solver, service, store, concurrent)"
+                "unknown bench suite {other:?} (available: solver, service, store, concurrent, serve)"
             ),
         }),
     }

@@ -27,8 +27,8 @@ commands:
             [--ratio F] [--runs N] [--seed N]
   batch     --requests FILE (--graph FILE --probs FILE | --pool FILE)
             [--out FILE] [--check true] [--store-dir DIR] [--threads N]
-  bench     solver|service|store|concurrent [--smoke true] [--seed N]
-            [--out FILE] [--store-dir DIR]
+  bench     solver|service|store|concurrent|serve [--smoke true] [--seed N]
+            [--out FILE] [--store-dir DIR] [--rate RPS]
   store     ls|verify|gc --dir DIR";
 
 /// One command's grammar: its name, whether it takes a positional
@@ -124,7 +124,7 @@ const COMMANDS: &[CommandSpec] = &[
     CommandSpec {
         name: "bench",
         takes_positional: true,
-        flags: &["smoke", "seed", "out", "store-dir"],
+        flags: &["smoke", "seed", "out", "store-dir", "rate"],
     },
     CommandSpec {
         name: "store",

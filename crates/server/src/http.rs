@@ -1,0 +1,511 @@
+//! Hand-rolled HTTP/1.1 framing over blocking `std::net` sockets.
+//!
+//! The offline build environment has no hyper/tokio, so this module
+//! implements exactly the protocol subset the OIPA front door needs:
+//! request-line + header parsing, `Content-Length`-framed bodies,
+//! keep-alive, and response writing. Every malformed input maps to a
+//! typed [`HttpError`] carrying the 4xx/5xx status and a machine-readable
+//! `kind`, so the connection loop can always answer with a structured
+//! JSON error body instead of panicking or hanging.
+//!
+//! Reads are sliced into short socket-timeout quanta
+//! ([`POLL_QUANTUM`]): between quanta the reader checks the caller's
+//! abort flag (graceful shutdown) and its own deadline, which is how a
+//! client that sends half a request and stalls gets a `408` instead of
+//! parking a worker thread forever.
+
+use serde::{Deserialize, Serialize};
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Socket-timeout slice used between abort-flag checks.
+pub const POLL_QUANTUM: Duration = Duration::from_millis(50);
+
+/// Hard cap on the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The method token (`GET`, `POST`, …), verbatim.
+    pub method: String,
+    /// The request target (path only; any `?query` is preserved).
+    pub path: String,
+    /// `true` when the request (or an explicit `Connection` header)
+    /// allows the connection to serve another request afterwards.
+    pub keep_alive: bool,
+    /// The body, exactly `Content-Length` bytes (empty when absent).
+    pub body: Vec<u8>,
+}
+
+/// A protocol-level failure: the HTTP status to answer with, a stable
+/// machine-readable kind, and a human-readable message.
+#[derive(Debug, Clone)]
+pub struct HttpError {
+    /// The 4xx/5xx status code.
+    pub status: u16,
+    /// Stable error kind (`bad_request`, `length_required`, …).
+    pub kind: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl HttpError {
+    /// Builds an error from its parts.
+    pub fn new(status: u16, kind: &'static str, message: impl Into<String>) -> Self {
+        HttpError {
+            status,
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+/// The reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Content Too Large",
+        422 => "Unprocessable Content",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// The typed JSON error body every non-2xx response carries
+/// (round-trips through serde, so clients can match on `kind`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorBody {
+    /// The HTTP status, echoed in the body for log-friendly clients.
+    pub status: u16,
+    /// The error detail.
+    pub error: ErrorDetail,
+}
+
+/// The `error` half of an [`ErrorBody`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorDetail {
+    /// Stable machine-readable kind.
+    pub kind: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl ErrorBody {
+    /// The body for an [`HttpError`].
+    pub fn from_error(e: &HttpError) -> Self {
+        ErrorBody {
+            status: e.status,
+            error: ErrorDetail {
+                kind: e.kind.to_string(),
+                message: e.message.clone(),
+            },
+        }
+    }
+}
+
+/// What one attempt to read a request produced.
+pub enum ReadOutcome {
+    /// A complete request.
+    Request(Request),
+    /// The peer closed (or never wrote) before sending any byte —
+    /// a clean end of the connection, not an error.
+    Closed,
+    /// The abort flag was raised before any byte of a new request
+    /// arrived (graceful shutdown of an idle keep-alive connection).
+    Aborted,
+}
+
+/// A buffered reader over one connection that survives keep-alive
+/// request boundaries (pipelined bytes are preserved between calls).
+pub struct ConnReader {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl Default for ConnReader {
+    fn default() -> Self {
+        ConnReader {
+            buf: Vec::with_capacity(1024),
+            pos: 0,
+        }
+    }
+}
+
+impl ConnReader {
+    /// Unconsumed bytes already read from the socket.
+    fn buffered(&self) -> &[u8] {
+        &self.buf[self.pos..]
+    }
+
+    /// Drops consumed bytes when the buffer gets lopsided.
+    fn compact(&mut self) {
+        if self.pos > 0 && self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > 4096 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+
+    /// Pulls more bytes from the socket, honoring the quantum timeout.
+    /// Returns `Ok(0)` on EOF, `Err(WouldBlock)`-mapped `Ok(None)` style
+    /// is folded into the caller's loop via `FillResult`.
+    fn fill(&mut self, stream: &mut TcpStream) -> std::io::Result<FillResult> {
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => Ok(FillResult::Eof),
+            Ok(n) => {
+                self.buf.extend_from_slice(&chunk[..n]);
+                Ok(FillResult::Progress)
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                Ok(FillResult::TimedOut)
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => Ok(FillResult::TimedOut),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Reads one full request: head until `\r\n\r\n`, then exactly
+    /// `Content-Length` body bytes. `read_timeout` bounds each of the
+    /// two stages; `abort` is only honored *between* requests (a request
+    /// whose first byte arrived is always read to completion or error).
+    /// A `Content-Length` above `max_body_bytes` is rejected with `413`
+    /// before a single body byte is read.
+    pub fn read_request(
+        &mut self,
+        stream: &mut TcpStream,
+        read_timeout: Duration,
+        max_body_bytes: usize,
+        abort: &AtomicBool,
+    ) -> Result<ReadOutcome, HttpError> {
+        self.compact();
+        stream
+            .set_read_timeout(Some(POLL_QUANTUM))
+            .map_err(internal_io)?;
+
+        // Stage 1: the head. No deadline until the first byte arrives —
+        // an idle keep-alive connection is allowed to sit quietly until
+        // `read_timeout` from the moment we started waiting.
+        let wait_start = Instant::now();
+        let mut first_byte_at: Option<Instant> = None;
+        let head_end = loop {
+            if let Some(end) = find_head_end(self.buffered()) {
+                break end;
+            }
+            if self.buffered().len() > MAX_HEAD_BYTES {
+                return Err(HttpError::new(
+                    431,
+                    "head_too_large",
+                    format!("request head exceeds {MAX_HEAD_BYTES} bytes"),
+                ));
+            }
+            let started = !self.buffered().is_empty();
+            if started && first_byte_at.is_none() {
+                first_byte_at = Some(Instant::now());
+            }
+            if !started && abort.load(Ordering::SeqCst) {
+                return Ok(ReadOutcome::Aborted);
+            }
+            let elapsed = match first_byte_at {
+                Some(t) => t.elapsed(),
+                None => wait_start.elapsed(),
+            };
+            if elapsed > read_timeout {
+                if started {
+                    return Err(HttpError::new(
+                        408,
+                        "request_timeout",
+                        "request head did not arrive within the read timeout",
+                    ));
+                }
+                return Ok(ReadOutcome::Closed); // idle keep-alive expiry
+            }
+            match self.fill(stream).map_err(internal_io)? {
+                FillResult::Eof => {
+                    if started {
+                        return Err(HttpError::new(
+                            400,
+                            "bad_request",
+                            "connection closed mid-request-head",
+                        ));
+                    }
+                    return Ok(ReadOutcome::Closed);
+                }
+                FillResult::Progress | FillResult::TimedOut => {}
+            }
+        };
+
+        let head = String::from_utf8_lossy(&self.buffered()[..head_end]).into_owned();
+        self.pos += head_end + 4; // consume the \r\n\r\n too
+        let (method, path, keep_alive_default) = parse_request_line(&head)?;
+        let headers = parse_headers(&head)?;
+        let keep_alive = match header(&headers, "connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => keep_alive_default,
+        };
+
+        if header(&headers, "transfer-encoding").is_some() {
+            return Err(HttpError::new(
+                501,
+                "not_implemented",
+                "transfer-encoding is not supported; frame the body with Content-Length",
+            ));
+        }
+
+        // Stage 2: the body. POST requires an explicit length; other
+        // methods may carry one (read and framed correctly either way).
+        let content_length = match header(&headers, "content-length") {
+            Some(raw) => Some(raw.trim().parse::<usize>().map_err(|_| {
+                HttpError::new(
+                    400,
+                    "bad_request",
+                    format!("unparseable Content-Length {raw:?}"),
+                )
+            })?),
+            None => None,
+        };
+        let body_len = match (method.as_str(), content_length) {
+            (_, Some(n)) => n,
+            ("POST" | "PUT" | "PATCH", None) => {
+                return Err(HttpError::new(
+                    411,
+                    "length_required",
+                    format!("{method} requires a Content-Length header"),
+                ));
+            }
+            (_, None) => 0,
+        };
+        if body_len > max_body_bytes {
+            return Err(HttpError::new(
+                413,
+                "body_too_large",
+                format!("Content-Length {body_len} exceeds the {max_body_bytes}-byte limit"),
+            ));
+        }
+
+        let body_deadline = Instant::now() + read_timeout;
+        while self.buffered().len() < body_len {
+            if Instant::now() > body_deadline {
+                return Err(HttpError::new(
+                    408,
+                    "request_timeout",
+                    format!(
+                        "body truncated: Content-Length {body_len} but only {} bytes arrived \
+                         within the read timeout",
+                        self.buffered().len()
+                    ),
+                ));
+            }
+            match self.fill(stream).map_err(internal_io)? {
+                FillResult::Eof => {
+                    return Err(HttpError::new(
+                        400,
+                        "bad_request",
+                        format!(
+                            "connection closed mid-body: Content-Length {body_len} but only \
+                             {} bytes arrived",
+                            self.buffered().len()
+                        ),
+                    ));
+                }
+                FillResult::Progress | FillResult::TimedOut => {}
+            }
+        }
+        let body = self.buffered()[..body_len].to_vec();
+        self.pos += body_len;
+
+        Ok(ReadOutcome::Request(Request {
+            method,
+            path,
+            keep_alive,
+            body,
+        }))
+    }
+}
+
+enum FillResult {
+    Progress,
+    TimedOut,
+    Eof,
+}
+
+fn internal_io(e: std::io::Error) -> HttpError {
+    HttpError::new(500, "io", format!("socket read failed: {e}"))
+}
+
+/// Index of `\r\n\r\n` in `bytes`, if present.
+fn find_head_end(bytes: &[u8]) -> Option<usize> {
+    bytes.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Parses `METHOD SP TARGET SP HTTP/1.x`; returns the method, path, and
+/// the version's default keep-alive.
+fn parse_request_line(head: &str) -> Result<(String, String, bool), HttpError> {
+    let line = head.lines().next().unwrap_or("");
+    let mut parts = line.split(' ');
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::new(
+            400,
+            "bad_request",
+            format!("malformed request line {line:?}"),
+        ));
+    };
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::new(
+            400,
+            "bad_request",
+            format!("malformed method token {method:?}"),
+        ));
+    }
+    if target.is_empty() || !target.starts_with('/') {
+        return Err(HttpError::new(
+            400,
+            "bad_request",
+            format!("request target {target:?} must be an absolute path"),
+        ));
+    }
+    let keep_alive = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        other => {
+            return Err(HttpError::new(
+                400,
+                "bad_request",
+                format!("unsupported protocol version {other:?}"),
+            ));
+        }
+    };
+    Ok((method.to_string(), target.to_string(), keep_alive))
+}
+
+/// Parses the header block into lowercase-name pairs.
+fn parse_headers(head: &str) -> Result<Vec<(String, String)>, HttpError> {
+    let mut headers = Vec::new();
+    for line in head.lines().skip(1) {
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::new(
+                400,
+                "bad_request",
+                format!("malformed header line {line:?}"),
+            ));
+        };
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::new(
+                400,
+                "bad_request",
+                format!("malformed header name {name:?}"),
+            ));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok(headers)
+}
+
+/// First value of a (lowercase) header name.
+fn header<'h>(headers: &'h [(String, String)], name: &str) -> Option<&'h str> {
+    headers
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Writes one HTTP/1.1 response with a JSON body. `keep_alive` controls
+/// the `Connection` header; the caller closes the stream when false.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\
+         Connection: {}\r\n\r\n",
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Serializes an [`HttpError`] into its response body.
+pub fn error_body_json(e: &HttpError) -> String {
+    serde_json::to_string(&ErrorBody::from_error(e))
+        .unwrap_or_else(|_| format!("{{\"status\":{},\"error\":{{}}}}", e.status))
+}
+
+/// Best-effort error response (the connection is being torn down; a
+/// failed write changes nothing).
+pub fn write_error(stream: &mut TcpStream, e: &HttpError) {
+    let _ = write_response(stream, e.status, &error_body_json(e), false);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_line_grammar() {
+        assert!(parse_request_line("GET / HTTP/1.1\r\n").is_ok());
+        let (m, p, ka) = parse_request_line("POST /solve HTTP/1.1").unwrap();
+        assert_eq!((m.as_str(), p.as_str(), ka), ("POST", "/solve", true));
+        let (_, _, ka) = parse_request_line("GET /healthz HTTP/1.0").unwrap();
+        assert!(!ka);
+        for bad in [
+            "",
+            "GET",
+            "GET /",
+            "GET / HTTP/1.1 extra",
+            "get / HTTP/1.1",
+            "GET nopath HTTP/1.1",
+            "GET / SPDY/3",
+        ] {
+            let e = parse_request_line(bad).unwrap_err();
+            assert_eq!(e.status, 400, "{bad:?} must be a 400");
+        }
+    }
+
+    #[test]
+    fn header_grammar() {
+        let head = "POST /solve HTTP/1.1\r\nContent-Length: 12\r\nX-Thing: a: b";
+        let headers = parse_headers(head).unwrap();
+        assert_eq!(header(&headers, "content-length"), Some("12"));
+        assert_eq!(header(&headers, "x-thing"), Some("a: b"));
+        assert!(parse_headers("GET / HTTP/1.1\r\nno colon here").is_err());
+        assert!(parse_headers("GET / HTTP/1.1\r\nbad name: x").is_err());
+    }
+
+    #[test]
+    fn error_body_round_trips() {
+        let e = HttpError::new(413, "body_too_large", "too big");
+        let body: ErrorBody = serde_json::from_str(&error_body_json(&e)).unwrap();
+        assert_eq!(body.status, 413);
+        assert_eq!(body.error.kind, "body_too_large");
+    }
+
+    #[test]
+    fn head_end_detection() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(14));
+        assert_eq!(find_head_end(b"partial\r\n"), None);
+    }
+}

@@ -1,0 +1,388 @@
+//! # oipa-server
+//!
+//! The network front door of the OIPA serving stack: an HTTP/1.1 server
+//! over blocking `std::net` sockets (the offline environment has no
+//! hyper/tokio — see [`http`] for the hand-rolled framing) that exposes
+//! one shared, `Send + Sync` [`PlannerService`] to any number of remote
+//! clients.
+//!
+//! ## Endpoint contract
+//!
+//! | route | method | body | answer |
+//! |---|---|---|---|
+//! | `/solve` | POST | [`SolveRequest`] JSON | 200 [`SolveResponse`](oipa_service::SolveResponse) JSON |
+//! | `/healthz` | GET | — | 200 `{"status":"ok"}` |
+//! | `/stats` | GET | — | 200 [`StatsSnapshot`](oipa_store::StatsSnapshot) JSON (arena + disk counters) |
+//!
+//! Every non-2xx answer is a typed [`http::ErrorBody`]: malformed
+//! request lines are `400`, unknown paths `404`, wrong methods `405`,
+//! missing `Content-Length` on POST `411`, oversized bodies `413`,
+//! truncated bodies `408` (after the read timeout — a stalled client
+//! can never park a worker forever), unknown method tokens `501`, and
+//! domain errors from the solver ([`oipa_core::OipaError`]) `422`. A
+//! handler panic answers `500` and poisons nothing: the service's locks
+//! recover, and the worker moves to the next connection.
+//!
+//! ## Backpressure and shutdown
+//!
+//! Admission control is a hard connection cap
+//! ([`ServerConfig::max_connections`]): accepted-but-unfinished
+//! connections above it are answered `503` and closed immediately,
+//! so overload degrades into fast, explicit rejections instead of
+//! unbounded queueing. [`ServerHandle::shutdown`] drains gracefully —
+//! the listener stops admitting, queued and in-flight requests complete
+//! (idle keep-alive connections are told `Connection: close`), workers
+//! join, and dropping the service afterwards flushes the pool store's
+//! batched recency stamps to disk (restart-persistent LRU).
+//!
+//! ```no_run
+//! use oipa_server::{Server, ServerConfig};
+//! use oipa_service::PlannerService;
+//! use std::sync::Arc;
+//!
+//! let (graph, probs, _) = oipa_sampler::testkit::fig1();
+//! let service = Arc::new(PlannerService::new(graph, probs).unwrap());
+//! let handle = Server::spawn(service, ServerConfig::default()).unwrap();
+//! println!("serving on http://{}", handle.addr());
+//! handle.shutdown();
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod http;
+
+pub use http::{ErrorBody, ErrorDetail, HttpError};
+
+use http::{ConnReader, ReadOutcome, Request};
+use oipa_service::{PlannerService, SolveRequest};
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server configuration. `Default` binds an ephemeral loopback port
+/// with 4 workers and a 64-connection cap.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub threads: usize,
+    /// Hard cap on accepted-but-unfinished connections; everything above
+    /// it is answered `503` at accept time.
+    pub max_connections: usize,
+    /// Per-stage read timeout: how long a client may take to deliver a
+    /// request head (from its first byte) or a `Content-Length` body
+    /// before the server answers `408` and closes. Also the idle
+    /// keep-alive lifetime.
+    pub read_timeout: Duration,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 4,
+            max_connections: 64,
+            read_timeout: Duration::from_secs(10),
+            max_body_bytes: 16 << 20,
+        }
+    }
+}
+
+/// Monotonic counters the server keeps about itself (distinct from the
+/// pool-store counters `/stats` reports).
+#[derive(Debug, Default)]
+struct Counters {
+    accepted: AtomicU64,
+    rejected_503: AtomicU64,
+    requests: AtomicU64,
+}
+
+struct Shared {
+    service: Arc<PlannerService>,
+    config: ServerConfig,
+    shutting_down: AtomicBool,
+    /// Accepted-but-unfinished connections (queued + in-flight).
+    active: AtomicUsize,
+    counters: Counters,
+}
+
+/// The server factory; see [`Server::spawn`].
+pub struct Server;
+
+impl Server {
+    /// Binds the listener and starts the accept thread plus
+    /// [`ServerConfig::threads`] workers over one shared service.
+    /// Returns a handle owning every thread.
+    pub fn spawn(
+        service: Arc<PlannerService>,
+        config: ServerConfig,
+    ) -> std::io::Result<ServerHandle> {
+        assert!(config.threads > 0, "a server needs at least one worker");
+        assert!(
+            config.max_connections > 0,
+            "a connection cap of 0 would reject every request"
+        );
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            service,
+            config,
+            shutting_down: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            counters: Counters::default(),
+        });
+
+        let (sender, receiver) = mpsc::channel::<TcpStream>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers: Vec<JoinHandle<()>> = (0..shared.config.threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let receiver = Arc::clone(&receiver);
+                std::thread::spawn(move || worker_loop(&shared, &receiver))
+            })
+            .collect();
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&shared, &listener, sender))
+        };
+
+        Ok(ServerHandle {
+            addr,
+            shared,
+            accept: Some(accept),
+            workers,
+        })
+    }
+}
+
+/// A running server: its bound address and the threads serving it.
+/// Dropping the handle without [`ServerHandle::shutdown`] aborts the
+/// process-exit way (threads are detached); call `shutdown` for the
+/// graceful path.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actually-bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections accepted so far (including ones answered `503`).
+    pub fn accepted(&self) -> u64 {
+        self.shared.counters.accepted.load(Ordering::SeqCst)
+    }
+
+    /// Connections rejected with `503` by the admission cap.
+    pub fn rejected_503(&self) -> u64 {
+        self.shared.counters.rejected_503.load(Ordering::SeqCst)
+    }
+
+    /// Requests answered (any status) by the worker pool.
+    pub fn requests(&self) -> u64 {
+        self.shared.counters.requests.load(Ordering::SeqCst)
+    }
+
+    /// Graceful drain: stop admitting, let queued and in-flight requests
+    /// complete, join every thread. Idle keep-alive connections are
+    /// closed at their next poll quantum, so the drain is bounded by the
+    /// slowest in-flight request plus one [`http::POLL_QUANTUM`] — not
+    /// by the read timeout.
+    pub fn shutdown(mut self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        // Unblock the accept thread: it re-checks the flag per
+        // connection, and a failed connect means it already exited.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // The accept thread dropped the sender on exit; workers drain
+        // whatever was queued, then see the disconnect and stop.
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// The accept loop: admission control happens here, before any worker
+/// is involved, so an overloaded server rejects in microseconds.
+fn accept_loop(shared: &Shared, listener: &TcpListener, sender: mpsc::Sender<TcpStream>) {
+    loop {
+        let mut stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            // New connects during a drain are refused (the wake-up
+            // connect from `shutdown` lands here too).
+            return;
+        }
+        shared.counters.accepted.fetch_add(1, Ordering::SeqCst);
+        // Admission control: claim a slot; over the cap, give it back
+        // and answer 503 without touching the worker pool.
+        let was_active = shared.active.fetch_add(1, Ordering::SeqCst);
+        if was_active >= shared.config.max_connections {
+            shared.active.fetch_sub(1, Ordering::SeqCst);
+            shared.counters.rejected_503.fetch_add(1, Ordering::SeqCst);
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+            http::write_error(
+                &mut stream,
+                &HttpError::new(
+                    503,
+                    "overloaded",
+                    format!(
+                        "connection cap {} reached; retry with backoff",
+                        shared.config.max_connections
+                    ),
+                ),
+            );
+            continue;
+        }
+        if sender.send(stream).is_err() {
+            // Workers are gone (shutdown raced us); the slot dies here.
+            shared.active.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+    }
+}
+
+/// One worker: pull connections until the accept thread hangs up, then
+/// drain what is already queued and exit.
+fn worker_loop(shared: &Shared, receiver: &Arc<Mutex<mpsc::Receiver<TcpStream>>>) {
+    loop {
+        let stream = {
+            let guard = receiver.lock().unwrap_or_else(|e| e.into_inner());
+            guard.recv()
+        };
+        match stream {
+            Ok(stream) => {
+                handle_connection(shared, stream);
+                shared.active.fetch_sub(1, Ordering::SeqCst);
+            }
+            Err(_) => return, // sender dropped: graceful drain complete
+        }
+    }
+}
+
+/// Serves one connection: a keep-alive loop of read → dispatch → write.
+/// Every protocol error answers with a typed body and closes; a clean
+/// close or an abort (graceful shutdown between requests) just closes.
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(shared.config.read_timeout.max(Duration::from_secs(1))));
+    let mut reader = ConnReader::default();
+    loop {
+        match reader.read_request(
+            &mut stream,
+            shared.config.read_timeout,
+            shared.config.max_body_bytes,
+            &shared.shutting_down,
+        ) {
+            Ok(ReadOutcome::Request(request)) => {
+                shared.counters.requests.fetch_add(1, Ordering::SeqCst);
+                let draining = shared.shutting_down.load(Ordering::SeqCst);
+                let keep_alive = request.keep_alive && !draining;
+                match dispatch(shared, &request) {
+                    Ok(body) => {
+                        if http::write_response(&mut stream, 200, &body, keep_alive).is_err() {
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        http::write_error(&mut stream, &e);
+                        return;
+                    }
+                }
+                if !keep_alive {
+                    return;
+                }
+            }
+            Ok(ReadOutcome::Closed | ReadOutcome::Aborted) => return,
+            Err(e) => {
+                http::write_error(&mut stream, &e);
+                return;
+            }
+        }
+    }
+}
+
+/// Routes one request. `Ok` carries the 200 body; `Err` the typed
+/// failure (including a 500 for a caught panic).
+fn dispatch(shared: &Shared, request: &Request) -> Result<String, HttpError> {
+    let path = request.path.split('?').next().unwrap_or("");
+    match (request.method.as_str(), path) {
+        ("GET", "/healthz") => Ok("{\"status\":\"ok\",\"service\":\"oipa-server\"}".to_string()),
+        ("GET", "/stats") => serde_json::to_string(&shared.service.stats_snapshot())
+            .map_err(|e| HttpError::new(500, "serialize", e.to_string())),
+        ("POST", "/solve") => solve(shared, &request.body),
+        ("GET" | "POST", "/healthz" | "/stats" | "/solve") => Err(HttpError::new(
+            405,
+            "method_not_allowed",
+            format!(
+                "{} does not accept {}; /solve takes POST, /healthz and /stats take GET",
+                path, request.method
+            ),
+        )),
+        ("GET" | "POST", _) => Err(HttpError::new(
+            404,
+            "not_found",
+            format!("{path:?} is not a route; try POST /solve, GET /healthz, GET /stats"),
+        )),
+        (other, _) => Err(HttpError::new(
+            501,
+            "not_implemented",
+            format!("method {other:?} is not implemented; use GET or POST"),
+        )),
+    }
+}
+
+/// The `/solve` handler: JSON in, JSON out, panics contained.
+fn solve(shared: &Shared, body: &[u8]) -> Result<String, HttpError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| HttpError::new(400, "bad_json", "body is not valid UTF-8"))?;
+    let request: SolveRequest = serde_json::from_str(text)
+        .map_err(|e| HttpError::new(400, "bad_json", format!("unparseable SolveRequest: {e}")))?;
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| shared.service.solve(&request)))
+        .map_err(|_| {
+            HttpError::new(
+                500,
+                "panic",
+                "the solver panicked; the request was dropped and the server kept serving",
+            )
+        })?;
+    let response = outcome.map_err(|e| HttpError::new(422, "solve_error", e.to_string()))?;
+    serde_json::to_string(&response).map_err(|e| HttpError::new(500, "serialize", e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The handle must be shareable with a shutdown-watcher thread.
+    #[test]
+    fn server_types_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<ServerHandle>();
+        assert_send::<ServerConfig>();
+    }
+}

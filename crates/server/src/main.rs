@@ -1,0 +1,177 @@
+//! `oipa-server` — serve a `PlannerService` session over HTTP/1.1.
+//!
+//! ```text
+//! oipa-server --graph g.bin --probs p.bin [--store-dir DIR]
+//!             [--addr 127.0.0.1:7878] [--threads N]
+//!             [--max-connections N] [--read-timeout-ms N]
+//!             [--mem-bytes N]
+//! oipa-server --pool pool.bin [--addr ...]
+//! ```
+//!
+//! The session is configured exactly like `oipa-cli solve`: a graph +
+//! probability table (requests may then carry any campaign), or a
+//! pre-sampled injected pool. With `--store-dir`, pools persist across
+//! restarts (disk-warm serving).
+//!
+//! SIGINT/SIGTERM trigger a graceful drain: the listener stops
+//! admitting, in-flight requests complete, and the pool store's batched
+//! LRU recency is flushed to the manifest before exit.
+
+use oipa_sampler::binio as pool_io;
+use oipa_server::{Server, ServerConfig};
+use oipa_service::{PlannerService, StoreConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Set by the signal handler; polled by the main thread.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    // Hand-rolled: the environment has no signal-handling crate. The
+    // handler only stores to an atomic (async-signal-safe); the main
+    // thread does the actual drain.
+    unsafe extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        let handler = on_signal as unsafe extern "C" fn(i32) as usize;
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {
+    eprintln!("note: no signal handling on this platform; stop with the process manager");
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut graph_path: Option<String> = None;
+    let mut probs_path: Option<String> = None;
+    let mut pool_path: Option<String> = None;
+    let mut store_dir: Option<String> = None;
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7878".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut mem_bytes: Option<usize> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--graph" => graph_path = Some(value("--graph")),
+            "--probs" => probs_path = Some(value("--probs")),
+            "--pool" => pool_path = Some(value("--pool")),
+            "--store-dir" => store_dir = Some(value("--store-dir")),
+            "--addr" => config.addr = value("--addr"),
+            "--threads" => {
+                config.threads = value("--threads")
+                    .parse()
+                    .unwrap_or_else(|_| die("--threads needs a positive integer"));
+                if config.threads == 0 {
+                    die("--threads must be at least 1");
+                }
+            }
+            "--max-connections" => {
+                config.max_connections = value("--max-connections")
+                    .parse()
+                    .unwrap_or_else(|_| die("--max-connections needs a positive integer"));
+                if config.max_connections == 0 {
+                    die("--max-connections must be at least 1");
+                }
+            }
+            "--read-timeout-ms" => {
+                let ms: u64 = value("--read-timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|_| die("--read-timeout-ms needs an integer"));
+                config.read_timeout = Duration::from_millis(ms.max(1));
+            }
+            "--mem-bytes" => {
+                mem_bytes = Some(
+                    value("--mem-bytes")
+                        .parse()
+                        .unwrap_or_else(|_| die("--mem-bytes needs an integer")),
+                );
+            }
+            "--help" | "-h" => {
+                println!(
+                    "oipa-server: HTTP front door for the OIPA PlannerService\n\n\
+                     usage: oipa-server (--graph FILE --probs FILE | --pool FILE)\n\
+                     \x20      [--store-dir DIR] [--addr HOST:PORT] [--threads N]\n\
+                     \x20      [--max-connections N] [--read-timeout-ms N] [--mem-bytes N]\n\n\
+                     endpoints: POST /solve, GET /healthz, GET /stats"
+                );
+                return;
+            }
+            other => die(&format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+
+    // Build the session exactly like the CLI would.
+    let mut service = match (&graph_path, &probs_path, &pool_path) {
+        (Some(g), Some(p), None) => {
+            let graph = oipa_graph::binio::read_graph_file(g)
+                .unwrap_or_else(|e| die(&format!("reading graph {g}: {e}")));
+            let table = oipa_topics::binio::read_table_file(p)
+                .unwrap_or_else(|e| die(&format!("reading probabilities {p}: {e}")));
+            PlannerService::new(graph, table).unwrap_or_else(|e| die(&e.to_string()))
+        }
+        (None, None, Some(path)) => {
+            let pool = pool_io::read_pool_file(path)
+                .unwrap_or_else(|e| die(&format!("reading pool {path}: {e}")));
+            PlannerService::from_pool(pool)
+        }
+        _ => die("give either --graph FILE --probs FILE or --pool FILE"),
+    };
+    if let Some(dir) = &store_dir {
+        let mut store = StoreConfig::new(dir);
+        store.mem_bytes = mem_bytes;
+        service
+            .attach_store(store)
+            .unwrap_or_else(|e| die(&format!("attaching store {dir}: {e}")));
+    } else if let Some(bytes) = mem_bytes {
+        service = service.with_arena_capacity(bytes);
+    }
+
+    install_signal_handlers();
+    let service = Arc::new(service);
+    let handle = Server::spawn(Arc::clone(&service), config.clone())
+        .unwrap_or_else(|e| die(&format!("binding {}: {e}", config.addr)));
+    println!(
+        "oipa-server listening on http://{} ({} workers, cap {} connections{})",
+        handle.addr(),
+        config.threads,
+        config.max_connections,
+        match &store_dir {
+            Some(d) => format!(", store {d}"),
+            None => String::new(),
+        }
+    );
+
+    while !SHUTDOWN.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    println!("draining: in-flight requests complete, new connects are refused…");
+    handle.shutdown();
+    // The handle held the last worker references; dropping our service
+    // Arc now flushes the store's batched recency stamps (drop-flush),
+    // so a restart over the same --store-dir keeps the LRU order.
+    drop(service);
+    println!("drained cleanly");
+}

@@ -1,0 +1,238 @@
+//! Shared helpers for the black-box server suites: spawn a server over a
+//! real `PlannerService`, speak raw HTTP/1.1 over a socket, and parse
+//! whatever comes back without trusting the server to be well-behaved.
+
+// Each tests/*.rs binary compiles this module separately and uses a
+// different subset of it.
+#![allow(dead_code)]
+
+use oipa_sampler::testkit::fig1;
+use oipa_server::{ErrorBody, Server, ServerConfig, ServerHandle};
+use oipa_service::{Method, PlannerService, SolveRequest, SolveResponse};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A fresh fig-1 service (the paper's 5-node worked example).
+pub fn fig1_service() -> PlannerService {
+    let (graph, probs, _) = fig1();
+    PlannerService::new(graph, probs).unwrap()
+}
+
+/// Spawns a server over a fresh fig-1 service; the service `Arc` comes
+/// back too so tests can compute in-process reference answers on *the
+/// same session* or drop it for the flush path.
+pub fn spawn(config: ServerConfig) -> (ServerHandle, Arc<PlannerService>) {
+    let service = Arc::new(fig1_service());
+    let handle = Server::spawn(Arc::clone(&service), config).unwrap();
+    (handle, service)
+}
+
+/// A solve request over the fig-1 campaign. `seed` doubles as the pool
+/// key discriminator: different seeds are different cold pools.
+pub fn solve_request(budget: usize, theta: usize, seed: u64) -> SolveRequest {
+    let (_, _, campaign) = fig1();
+    let mut req = SolveRequest::new(Method::Bab, budget);
+    req.campaign = Some(campaign);
+    req.theta = Some(theta);
+    req.seed = Some(seed);
+    req.promoters = Some((0..5).collect());
+    req
+}
+
+/// The answer-bearing part of a response: plan, utility bits, bound
+/// bits, θ. Timing (`seconds`) and cache provenance (`pool_cache_hit`,
+/// `pool_tier`) are excluded — wall-clock is never reproducible and
+/// *which* request pays for sampling is scheduling-dependent.
+pub fn answer(r: &SolveResponse) -> (String, u64, Option<u64>, usize) {
+    (
+        serde_json::to_string(&r.plan).unwrap(),
+        r.utility.to_bits(),
+        r.upper_bound.map(f64::to_bits),
+        r.theta,
+    )
+}
+
+/// A fresh per-test scratch directory under the system temp dir.
+pub fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("oipa-server-tests")
+        .join(format!("{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// One parsed HTTP response.
+#[derive(Debug)]
+pub struct Response {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    pub fn body_str(&self) -> &str {
+        std::str::from_utf8(&self.body).expect("response body is not UTF-8")
+    }
+
+    /// The typed error body every non-2xx answer must carry.
+    pub fn error_body(&self) -> ErrorBody {
+        serde_json::from_str(self.body_str())
+            .unwrap_or_else(|e| panic!("unparseable error body {:?}: {e}", self.body_str()))
+    }
+
+    /// Asserts status + machine-readable error kind in one shot.
+    pub fn assert_error(&self, status: u16, kind: &str) {
+        assert_eq!(self.status, status, "body: {}", self.body_str());
+        let body = self.error_body();
+        assert_eq!(body.status, status, "body echoes a different status");
+        assert_eq!(body.error.kind, kind, "message: {}", body.error.message);
+    }
+}
+
+pub fn connect(addr: SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))
+        .expect("connecting to the test server");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+}
+
+/// Reads exactly one response off the stream: head until `\r\n\r\n`,
+/// then `Content-Length` body bytes. Does *not* require EOF, so it works
+/// on keep-alive connections too.
+pub fn read_response(stream: &mut TcpStream) -> Response {
+    try_read_response(stream).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible variant of [`read_response`] for tests that provoke resets.
+pub fn try_read_response(stream: &mut TcpStream) -> Result<Response, String> {
+    let mut buf = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        if Instant::now() >= deadline {
+            return Err("no response head within 30s".to_string());
+        }
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err(format!(
+                    "connection closed before a full response head: {:?}",
+                    String::from_utf8_lossy(&buf)
+                ));
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(e) => return Err(format!("reading response head: {e}")),
+        }
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.lines();
+    let status_line = lines.next().unwrap_or("");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line {status_line:?}"))?;
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_string(), v.trim().to_string()))
+        .collect();
+    let content_length: usize = headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.parse().ok())
+        .ok_or("response without Content-Length")?;
+
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        if Instant::now() >= deadline {
+            return Err("no full body within 30s".to_string());
+        }
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err(format!(
+                    "connection closed mid-body ({} of {content_length} bytes)",
+                    body.len()
+                ));
+            }
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(e) => return Err(format!("reading response body: {e}")),
+        }
+    }
+    body.truncate(content_length);
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// Writes raw bytes and reads one response — the malformed-input workhorse.
+pub fn send_raw(addr: SocketAddr, bytes: &[u8]) -> Response {
+    let mut stream = connect(addr);
+    stream.write_all(bytes).unwrap();
+    stream.flush().unwrap();
+    read_response(&mut stream)
+}
+
+/// A well-formed single-shot request (`Connection: close`).
+pub fn request(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> Response {
+    let mut stream = connect(addr);
+    write_request(&mut stream, method, path, body, false);
+    read_response(&mut stream)
+}
+
+/// Writes a well-formed request on an existing stream.
+pub fn write_request(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    keep_alive: bool,
+) {
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body.as_bytes()).unwrap();
+    stream.flush().unwrap();
+}
+
+/// POSTs a `SolveRequest` and parses the 200 `SolveResponse`.
+pub fn solve_over_wire(addr: SocketAddr, req: &SolveRequest) -> SolveResponse {
+    let json = serde_json::to_string(req).unwrap();
+    let resp = request(addr, "POST", "/solve", Some(&json));
+    assert_eq!(resp.status, 200, "solve failed: {}", resp.body_str());
+    serde_json::from_str(resp.body_str()).expect("unparseable SolveResponse")
+}
+
+/// The server must still be healthy — the canary after every abuse.
+pub fn assert_healthy(addr: SocketAddr) {
+    let resp = request(addr, "GET", "/healthz", None);
+    assert_eq!(resp.status, 200, "healthz: {}", resp.body_str());
+    assert!(
+        resp.body_str().contains("\"ok\""),
+        "healthz body: {}",
+        resp.body_str()
+    );
+}

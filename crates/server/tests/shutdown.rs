@@ -1,0 +1,145 @@
+//! Graceful-shutdown suite: a drain lets in-flight requests finish,
+//! refuses new connects, and — with a disk-backed store — drop-flushes
+//! the batched LRU recency so a restart over the same `--store-dir`
+//! serves disk-warm.
+
+mod common;
+
+use common::*;
+use oipa_server::{Server, ServerConfig};
+use oipa_service::{PlannerService, StoreConfig};
+use std::io::Write;
+use std::net::TcpStream;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A request whose first byte arrived before the drain started must be
+/// read to completion and answered; a connect after the drain must not.
+#[test]
+fn drain_finishes_in_flight_work_and_refuses_new_connects() {
+    let (handle, _service) = spawn(ServerConfig::default());
+    let addr = handle.addr();
+
+    // Start a request but only deliver half the body: the worker is now
+    // provably mid-request when the drain begins.
+    let body = serde_json::to_string(&solve_request(2, 2_000, 1)).unwrap();
+    let mut stream = connect(addr);
+    let head = format!(
+        "POST /solve HTTP/1.1\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream
+        .write_all(&body.as_bytes()[..body.len() / 2])
+        .unwrap();
+    stream.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(200)); // let a worker pick it up
+
+    // Drain from another thread (shutdown blocks until fully drained).
+    let drain = std::thread::spawn(move || handle.shutdown());
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Deliver the rest. The draining server must still answer — and
+    // must override our keep-alive with `Connection: close`.
+    stream
+        .write_all(&body.as_bytes()[body.len() / 2..])
+        .unwrap();
+    stream.flush().unwrap();
+    let resp = read_response(&mut stream);
+    assert_eq!(
+        resp.status,
+        200,
+        "in-flight request dropped: {}",
+        resp.body_str()
+    );
+    assert_eq!(
+        resp.header("Connection"),
+        Some("close"),
+        "a draining server must not invite another request"
+    );
+
+    drain.join().expect("shutdown panicked");
+
+    // The listener is gone: new connects fail outright (or, if the OS
+    // races us a stale accept, never produce a response).
+    match TcpStream::connect_timeout(&addr, Duration::from_secs(2)) {
+        Err(_) => {} // refused — the expected outcome
+        Ok(mut stream) => {
+            stream
+                .set_read_timeout(Some(Duration::from_secs(2)))
+                .unwrap();
+            write_request(&mut stream, "GET", "/healthz", None, false);
+            let mut buf = Vec::new();
+            use std::io::Read;
+            let _ = stream.read_to_end(&mut buf);
+            assert!(
+                buf.is_empty(),
+                "a post-shutdown connect was answered: {:?}",
+                String::from_utf8_lossy(&buf)
+            );
+        }
+    }
+}
+
+fn disk_backed_service(dir: &Path) -> PlannerService {
+    let mut service = fig1_service();
+    service
+        .attach_store(StoreConfig::new(dir))
+        .expect("attaching the disk store");
+    service
+}
+
+/// The full restart cycle: solve cold, drain, drop-flush, come back up
+/// over the same store directory, and the same query is a disk-warm hit
+/// with a bitwise-identical answer.
+#[test]
+fn restart_over_same_store_dir_serves_disk_warm() {
+    let dir = tmpdir("restart-disk-warm");
+    let req = solve_request(2, 2_000, 42);
+
+    // Generation 1: cold solve, graceful drain, drop-flush.
+    let first = {
+        let service = Arc::new(disk_backed_service(&dir));
+        let handle = Server::spawn(Arc::clone(&service), ServerConfig::default()).unwrap();
+        let first = solve_over_wire(handle.addr(), &req);
+        assert!(!first.pool_cache_hit, "generation 1 must sample");
+        assert_eq!(first.pool_tier, None);
+        handle.shutdown();
+        // The drop is the flush: batched recency stamps reach the
+        // manifest here, exactly like `oipa-server` exiting.
+        drop(service);
+        first
+    };
+
+    // Generation 2: a fresh process image over the same directory.
+    let service = Arc::new(disk_backed_service(&dir));
+    let handle = Server::spawn(Arc::clone(&service), ServerConfig::default()).unwrap();
+    let addr = handle.addr();
+    let second = solve_over_wire(addr, &req);
+    assert!(
+        second.pool_cache_hit,
+        "generation 2 must find the persisted pool"
+    );
+    assert_eq!(
+        second.pool_tier.as_deref(),
+        Some("disk"),
+        "the hit must come from the disk tier, not a warm arena"
+    );
+    assert_eq!(
+        answer(&first),
+        answer(&second),
+        "the persisted pool changed the answer"
+    );
+
+    // /stats over the wire agrees: a disk tier exists and scored the hit.
+    let resp = request(addr, "GET", "/stats", None);
+    let snapshot: oipa_store::StatsSnapshot = serde_json::from_str(resp.body_str()).unwrap();
+    assert!(snapshot.schema_ok());
+    let disk = snapshot.disk.expect("store dir ⇒ disk tier in /stats");
+    assert!(disk.hits >= 1, "disk stats: {disk:?}");
+
+    handle.shutdown();
+    drop(service);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -66,7 +66,8 @@ mod request;
 mod solver;
 
 pub use oipa_store::{
-    ArenaStats, DiskStats, PoolArena, PoolKey, PoolStore, PoolTier, StoreConfig, StoreStats,
+    ArenaStats, DiskStats, PoolArena, PoolKey, PoolStore, PoolTier, StatsSnapshot, StoreConfig,
+    StoreStats, STATS_SCHEMA,
 };
 pub use request::{
     AutoThetaReport, AutoThetaRequest, Method, SearchStats, SimulateRequest, SimulateResponse,
@@ -256,6 +257,13 @@ impl PlannerService {
     /// `None` until [`Self::attach_store`]).
     pub fn store_stats(&self) -> StoreStats {
         self.store.stats()
+    }
+
+    /// The serde-round-trip wire form of [`Self::store_stats`]: what the
+    /// `oipa-server` `/stats` endpoint serves and `bench serve` reads
+    /// back (see [`oipa_store::StatsSnapshot`]).
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot::from(self.store.stats())
     }
 
     /// Drops every memory-cached pool (the injected default pool

@@ -92,7 +92,7 @@ struct ArenaEntry {
 }
 
 /// Cumulative arena counters plus the current occupancy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ArenaStats {
     /// Pools currently resident.
     pub entries: usize,

@@ -92,7 +92,7 @@ pub struct OpenReport {
 }
 
 /// Cumulative disk-tier counters plus the current occupancy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DiskStats {
     /// Segments currently indexed.
     pub entries: usize,

@@ -74,7 +74,7 @@ pub use disk::{
 };
 
 use oipa_sampler::MrrPool;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
@@ -173,6 +173,46 @@ pub struct StoreStats {
     pub mem: ArenaStats,
     /// Disk-tier stats (absent on memory-only stores).
     pub disk: Option<DiskStats>,
+}
+
+/// Schema identifier stamped into every [`StatsSnapshot`].
+pub const STATS_SCHEMA: &str = "oipa.stats/v1";
+
+/// The *wire* form of a store's counters: a versioned, serde-round-trip
+/// snapshot of both tiers shared by every surface that ships stats over
+/// a boundary — the `oipa-server` `GET /stats` endpoint serializes one,
+/// `oipa-cli bench serve` deserializes it back, and the schema tag lets
+/// either side reject a snapshot from an incompatible peer.
+///
+/// [`StoreStats`] is the in-process view; this type exists because the
+/// arena/disk counters previously had no deserialization surface at all,
+/// so nothing outside the process could read them back.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Schema identifier ([`STATS_SCHEMA`]); consumers should reject a
+    /// snapshot carrying any other value.
+    pub schema: String,
+    /// Memory-tier occupancy and counters.
+    pub mem: ArenaStats,
+    /// Disk-tier occupancy and counters (absent on memory-only stores).
+    pub disk: Option<DiskStats>,
+}
+
+impl StatsSnapshot {
+    /// Whether the snapshot carries the schema this build understands.
+    pub fn schema_ok(&self) -> bool {
+        self.schema == STATS_SCHEMA
+    }
+}
+
+impl From<StoreStats> for StatsSnapshot {
+    fn from(s: StoreStats) -> Self {
+        StatsSnapshot {
+            schema: STATS_SCHEMA.to_string(),
+            mem: s.mem,
+            disk: s.disk,
+        }
+    }
 }
 
 /// The tiered pool store: memory arena in front, optional disk tier

@@ -460,3 +460,44 @@ fn replaced_pinned_pool_is_not_spilled_to_disk() {
     );
     assert!(store.get(&k).is_some());
 }
+
+/// The `StatsSnapshot` wire type round-trips through JSON bitwise: it is
+/// the contract between the server's `/stats` endpoint and every client
+/// (`oipa-cli bench serve` included), so serialization must lose nothing
+/// — counters, occupancy, the optional disk half, and the schema tag.
+#[test]
+fn stats_snapshot_round_trips_through_json() {
+    use oipa_store::{StatsSnapshot, STATS_SCHEMA};
+
+    let dir = tmpdir("stats-snapshot");
+    let store = PoolStore::open(config(&dir)).unwrap();
+    store.insert(key(410, 31), pool(410, 31));
+    assert!(store.get(&key(410, 31)).is_some()); // a hit
+    assert!(store.get(&key(411, 32)).is_none()); // a miss on both tiers
+
+    let snapshot = StatsSnapshot::from(store.stats());
+    assert!(snapshot.schema_ok());
+    assert_eq!(snapshot.schema, STATS_SCHEMA);
+    assert_eq!(
+        snapshot.mem.lookups,
+        snapshot.mem.hits + snapshot.mem.misses
+    );
+    let disk = snapshot.disk.expect("tiered store has a disk half");
+    assert_eq!(disk.spills, 1, "write-through insert persists the segment");
+
+    let json = serde_json::to_string(&snapshot).unwrap();
+    let back: StatsSnapshot = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, snapshot, "snapshot must survive the wire bitwise");
+
+    // A memory-only snapshot round-trips its absent disk half too.
+    let mem_only = StatsSnapshot::from(PoolStore::memory_only(1 << 20).stats());
+    assert!(mem_only.disk.is_none());
+    let back: StatsSnapshot =
+        serde_json::from_str(&serde_json::to_string(&mem_only).unwrap()).unwrap();
+    assert_eq!(back, mem_only);
+
+    // A foreign schema tag is detectable before anyone trusts the counters.
+    let mut foreign = snapshot.clone();
+    foreign.schema = "oipa.stats/v0".to_string();
+    assert!(!foreign.schema_ok());
+}

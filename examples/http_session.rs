@@ -1,0 +1,120 @@
+//! A remote planning session over HTTP: spawn the `oipa-server` front
+//! door in-process, then act as its client — solve cold, solve warm,
+//! read `/stats` — all over a real loopback socket.
+//!
+//! In production the server runs standalone (`oipa-server --graph g.bin
+//! --probs p.bin --store-dir pools/`) and clients are anything that can
+//! speak HTTP; this example plays both sides in one process so it runs
+//! without fixtures. The wire types are exactly the service types:
+//! `SolveRequest` in, `SolveResponse` out, `StatsSnapshot` from
+//! `/stats`.
+//!
+//! ```text
+//! cargo run --release --example http_session
+//! ```
+
+use oipa::server::{Server, ServerConfig};
+use oipa::service::{Method, PlannerService, SolveRequest, SolveResponse};
+use oipa::store::StatsSnapshot;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    // Server side: the paper's Fig. 1 instance behind an ephemeral port.
+    let (graph, probs, campaign) = oipa::sampler::testkit::fig1();
+    let service = Arc::new(PlannerService::new(graph, probs).expect("consistent inputs"));
+    let handle = Server::spawn(Arc::clone(&service), ServerConfig::default())
+        .expect("binding a loopback port");
+    let addr = handle.addr();
+    println!("serving on http://{addr}");
+
+    // Client side: describe the query — OIPA at budget k = 2.
+    let mut request = SolveRequest::new(Method::Bab, 2);
+    request.campaign = Some(campaign);
+    request.theta = Some(20_000);
+    request.promoters = Some((0..5).collect());
+    let body = serde_json::to_string(&request).expect("request serializes");
+
+    // Query 1: cold — the server samples the pool before solving.
+    let t = Instant::now();
+    let cold: SolveResponse = post_solve(addr, &body);
+    println!(
+        "cold  {} k={}: σ̂ = {:.2} users in {:.1} ms (cache hit: {})",
+        cold.method,
+        cold.k,
+        cold.utility,
+        t.elapsed().as_secs_f64() * 1e3,
+        cold.pool_cache_hit,
+    );
+    assert_eq!(cold.plan.set(0), &[0], "Example 1's optimum: t1 -> a");
+    assert_eq!(cold.plan.set(1), &[4], "                     t2 -> e");
+
+    // Query 2: warm — same campaign key, served from the pool store.
+    let t = Instant::now();
+    let warm: SolveResponse = post_solve(addr, &body);
+    println!(
+        "warm  {} k={}: σ̂ = {:.2} users in {:.1} ms (cache hit: {})",
+        warm.method,
+        warm.k,
+        warm.utility,
+        t.elapsed().as_secs_f64() * 1e3,
+        warm.pool_cache_hit,
+    );
+    assert!(warm.pool_cache_hit, "the repeat must hit the pool store");
+    assert_eq!(warm.plan, cold.plan, "the cached pool changed the answer");
+
+    // The observability endpoint: typed arena counters over the wire.
+    let stats: StatsSnapshot = get_json(addr, "/stats");
+    println!(
+        "stats {}: {} lookups = {} hits + {} misses",
+        stats.schema, stats.mem.lookups, stats.mem.hits, stats.mem.misses,
+    );
+    assert!(stats.schema_ok());
+
+    // Graceful drain: in-flight work finishes, then every thread joins.
+    handle.shutdown();
+    println!("drained cleanly");
+}
+
+/// POSTs a `SolveRequest` body to `/solve` and parses the answer.
+fn post_solve(addr: std::net::SocketAddr, body: &str) -> SolveResponse {
+    let text = round_trip(
+        addr,
+        &format!(
+            "POST /solve HTTP/1.1\r\nHost: example\r\nContent-Length: {}\r\n\
+             Connection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    );
+    serde_json::from_str(&text).expect("a SolveResponse body")
+}
+
+/// GETs a path and parses the JSON answer.
+fn get_json<T: serde::Deserialize>(addr: std::net::SocketAddr, path: &str) -> T {
+    let text = round_trip(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: example\r\nConnection: close\r\n\r\n"),
+    );
+    serde_json::from_str(&text).expect("a JSON body")
+}
+
+/// One `Connection: close` round-trip; returns the response body.
+fn round_trip(addr: std::net::SocketAddr, request: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connecting to the example server");
+    stream
+        .write_all(request.as_bytes())
+        .expect("writing the request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("reading the response");
+    let text = String::from_utf8(raw).expect("UTF-8 response");
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .expect("a complete HTTP response");
+    assert!(
+        head.starts_with("HTTP/1.1 200"),
+        "unexpected response: {head}"
+    );
+    body.to_string()
+}

@@ -54,6 +54,7 @@ pub use oipa_core as core;
 pub use oipa_datasets as datasets;
 pub use oipa_graph as graph;
 pub use oipa_sampler as sampler;
+pub use oipa_server as server;
 pub use oipa_service as service;
 pub use oipa_store as store;
 pub use oipa_topics as topics;
