@@ -14,7 +14,8 @@ use oipa_datasets::Scale;
 use oipa_graph::{binio as graph_io, DiGraph};
 use oipa_sampler::{binio as pool_io, MrrPool};
 use oipa_service::{Method, PlannerService, SimulateRequest, SolveRequest, SolveResponse};
-use oipa_store::{DiskTier, OpenReport, StoreConfig};
+use oipa_store::io::{parse_fault_schedule, FaultIo};
+use oipa_store::{DiskTier, OpenReport, StoreConfig, QUARANTINE_DIR};
 use oipa_topics::{binio as probs_io, Campaign, EdgeTopicProbs};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -225,6 +226,13 @@ fn cmd_store(args: &ParsedArgs) -> Result<String, OipaError> {
             for (file, reason) in &verdict.corrupt {
                 writeln!(out, "CORRUPT {file}: {reason}").expect("string write");
             }
+            // Segments already set aside — by a past recovery, a gc run,
+            // or a fault-injected session — are reported with the reason
+            // recorded beside them, so quarantine is never a silent hole.
+            let quarantined = list_quarantine(std::path::Path::new(dir));
+            for (file, reason) in &quarantined {
+                writeln!(out, "quarantined {file}: {reason}").expect("string write");
+            }
             if !verdict.corrupt.is_empty() {
                 return Err(OipaError::Mismatch {
                     what: format!(
@@ -234,7 +242,13 @@ fn cmd_store(args: &ParsedArgs) -> Result<String, OipaError> {
                     ),
                 });
             }
-            write!(out, "{} segment(s) verified clean", verdict.ok.len()).expect("string write");
+            write!(
+                out,
+                "{} segment(s) verified clean, {} in quarantine",
+                verdict.ok.len(),
+                quarantined.len()
+            )
+            .expect("string write");
             Ok(out)
         }
         "gc" => {
@@ -261,6 +275,29 @@ fn cmd_store(args: &ParsedArgs) -> Result<String, OipaError> {
             what: format!("unknown store action {other:?} (available: ls, verify, gc)"),
         }),
     }
+}
+
+/// Lists `quarantine/` as `(file, reason)` pairs, pairing each set-aside
+/// file with its `<name>.reason.txt` note (or a placeholder when the
+/// note itself failed to land — e.g. quarantine under a full disk).
+fn list_quarantine(dir: &std::path::Path) -> Vec<(String, String)> {
+    let qdir = dir.join(QUARANTINE_DIR);
+    let Ok(entries) = std::fs::read_dir(&qdir) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.ends_with(".reason.txt") {
+            continue;
+        }
+        let reason = std::fs::read_to_string(qdir.join(format!("{name}.reason.txt")))
+            .map(|s| s.trim().to_string())
+            .unwrap_or_else(|_| "(no reason recorded)".to_string());
+        out.push((name, reason));
+    }
+    out.sort();
+    out
 }
 
 fn io_err(what: &str, path: &str, e: impl std::fmt::Display) -> OipaError {
@@ -442,9 +479,19 @@ fn request_from_flags(args: &ParsedArgs, method: Method) -> Result<SolveRequest,
 }
 
 /// Attaches a persistent pool store when the command asked for one.
+/// `--fault-schedule` (a dev flag) routes the store's I/O through a
+/// deterministic fault injector — for rehearsing disk failures against
+/// a real workload without real hardware misbehaving.
 fn attach_store_flag(service: &mut PlannerService, args: &ParsedArgs) -> Result<(), OipaError> {
     if let Some(dir) = args.optional("store-dir") {
-        service.attach_store(StoreConfig::new(dir))?;
+        let mut config = StoreConfig::new(dir);
+        if let Some(spec) = args.optional("fault-schedule") {
+            let schedule = parse_fault_schedule(spec).map_err(|e| OipaError::InvalidConfig {
+                what: format!("--fault-schedule {spec:?}: {e}"),
+            })?;
+            config = config.with_io(FaultIo::over_real(schedule));
+        }
+        service.attach_store(config)?;
     }
     Ok(())
 }
@@ -1148,18 +1195,90 @@ mod tests {
         assert!(err.to_string().contains("CORRUPT"), "{err}");
         assert_eq!(err.exit_code(), 2);
 
-        // …gc quarantines it, and verify is clean again.
+        // …gc quarantines it, and verify is clean again — and lists the
+        // set-aside file with its recorded reason.
         let gc = run_words(&["store", "gc", "--dir", &dir]).unwrap();
         assert!(gc.contains("quarantined 1 corrupt"), "{gc}");
-        assert!(run_words(&["store", "verify", "--dir", &dir])
-            .unwrap()
-            .contains("0 segment(s) verified clean"));
+        let verify = run_words(&["store", "verify", "--dir", &dir]).unwrap();
+        assert!(verify.contains("0 segment(s) verified clean"), "{verify}");
+        assert!(verify.contains("1 in quarantine"), "{verify}");
+        assert!(verify.contains("quarantined "), "{verify}");
         // The next stored solve goes cold again (the segment is gone).
         let resampled = solve(&dir);
         assert!(
             resampled.contains("\"pool_cache_hit\": false"),
             "{resampled}"
         );
+    }
+
+    /// `--fault-schedule` (dev flag): a disk-full first segment write
+    /// must not fail the solve — the answer comes back, the store just
+    /// has nothing persisted. A bad spec is rejected loudly.
+    #[test]
+    fn solve_with_fault_schedule_survives_disk_full() {
+        let g = tmp("fs.graph");
+        let p = tmp("fs.probs");
+        let dir = tmp("fs.store");
+        let _ = std::fs::remove_dir_all(&dir);
+        run_words(&[
+            "generate",
+            "--dataset",
+            "lastfm",
+            "--scale",
+            "tiny",
+            "--seed",
+            "7",
+            "--out-graph",
+            &g,
+            "--out-probs",
+            &p,
+        ])
+        .unwrap();
+        // Writes #0/#1 are the open's manifest persist and the instance
+        // stamp; write #2 is the segment this solve tries to spill —
+        // where the disk "fills up".
+        let report = run_words(&[
+            "solve",
+            "--graph",
+            &g,
+            "--probs",
+            &p,
+            "--ell",
+            "2",
+            "--theta",
+            "2000",
+            "--k",
+            "3",
+            "--max-nodes",
+            "8",
+            "--seed",
+            "5",
+            "--store-dir",
+            &dir,
+            "--fault-schedule",
+            "write:enospc=2",
+        ])
+        .unwrap();
+        assert!(report.contains("\"pool_cache_hit\": false"), "{report}");
+        let ls = run_words(&["store", "ls", "--dir", &dir]).unwrap();
+        assert!(ls.contains("0 segments"), "{ls}");
+
+        let err = run_words(&[
+            "solve",
+            "--graph",
+            &g,
+            "--probs",
+            &p,
+            "--ell",
+            "2",
+            "--store-dir",
+            &dir,
+            "--fault-schedule",
+            "write:banana=1",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("fault-schedule"), "{err}");
+        assert_eq!(err.exit_code(), 2);
     }
 
     #[test]

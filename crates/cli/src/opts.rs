@@ -22,14 +22,19 @@ commands:
             [--method bab|bab-p|plain|greedy|brute|im|tim]
             [--k N] [--ratio F] [--eps F] [--gap F] [--promoter-fraction F]
             [--max-nodes N] [--seed N] [--theta N] [--out-plan FILE]
-            [--store-dir DIR]
+            [--store-dir DIR] [--fault-schedule SPEC]
   simulate  --graph FILE --probs FILE --campaign FILE --plan FILE
             [--ratio F] [--runs N] [--seed N]
   batch     --requests FILE (--graph FILE --probs FILE | --pool FILE)
             [--out FILE] [--check true] [--store-dir DIR] [--threads N]
+            [--fault-schedule SPEC]
   bench     solver|service|store|concurrent|serve [--smoke true] [--seed N]
             [--out FILE] [--store-dir DIR] [--rate RPS]
-  store     ls|verify|gc --dir DIR";
+            [--fault-schedule SPEC]
+  store     ls|verify|gc --dir DIR
+
+--fault-schedule (dev): inject disk faults into the attached store, e.g.
+  \"write:enospc=1,seed=7\" or \"crash=12\" or \"down\" — see oipa-store docs";
 
 /// One command's grammar: its name, whether it takes a positional
 /// subject, and the flags it accepts.
@@ -98,6 +103,7 @@ const COMMANDS: &[CommandSpec] = &[
             "theta",
             "ell",
             "store-dir",
+            "fault-schedule",
         ],
     },
     CommandSpec {
@@ -119,12 +125,20 @@ const COMMANDS: &[CommandSpec] = &[
             "check",
             "store-dir",
             "threads",
+            "fault-schedule",
         ],
     },
     CommandSpec {
         name: "bench",
         takes_positional: true,
-        flags: &["smoke", "seed", "out", "store-dir", "rate"],
+        flags: &[
+            "smoke",
+            "seed",
+            "out",
+            "store-dir",
+            "rate",
+            "fault-schedule",
+        ],
     },
     CommandSpec {
         name: "store",

@@ -428,17 +428,28 @@ fn header<'h>(headers: &'h [(String, String)], name: &str) -> Option<&'h str> {
         .map(|(_, v)| v.as_str())
 }
 
+/// Seconds clients are told to wait before retrying a `503`/`408`
+/// (the `Retry-After` header those statuses carry).
+pub const RETRY_AFTER_SECONDS: u32 = 1;
+
 /// Writes one HTTP/1.1 response with a JSON body. `keep_alive` controls
 /// the `Connection` header; the caller closes the stream when false.
+/// Transient rejections (`503` overload, `408` client timeout) carry a
+/// `Retry-After` header so well-behaved clients back off instead of
+/// hammering an overloaded accept loop.
 pub fn write_response(
     stream: &mut TcpStream,
     status: u16,
     body: &str,
     keep_alive: bool,
 ) -> std::io::Result<()> {
+    let retry_after = match status {
+        503 | 408 => format!("Retry-After: {RETRY_AFTER_SECONDS}\r\n"),
+        _ => String::new(),
+    };
     let head = format!(
         "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\
-         Connection: {}\r\n\r\n",
+         {retry_after}Connection: {}\r\n\r\n",
         reason(status),
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },

@@ -11,7 +11,7 @@
 //! | route | method | body | answer |
 //! |---|---|---|---|
 //! | `/solve` | POST | [`SolveRequest`] JSON | 200 [`SolveResponse`](oipa_service::SolveResponse) JSON |
-//! | `/healthz` | GET | — | 200 `{"status":"ok"}` |
+//! | `/healthz` | GET | — | 200 `{"status":"ok"}` (or `"degraded"` + disk-tier detail while the store rides out a disk fault) |
 //! | `/stats` | GET | — | 200 [`StatsSnapshot`](oipa_store::StatsSnapshot) JSON (arena + disk counters) |
 //!
 //! Every non-2xx answer is a typed [`http::ErrorBody`]: malformed
@@ -331,7 +331,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
 fn dispatch(shared: &Shared, request: &Request) -> Result<String, HttpError> {
     let path = request.path.split('?').next().unwrap_or("");
     match (request.method.as_str(), path) {
-        ("GET", "/healthz") => Ok("{\"status\":\"ok\",\"service\":\"oipa-server\"}".to_string()),
+        ("GET", "/healthz") => healthz(shared),
         ("GET", "/stats") => serde_json::to_string(&shared.service.stats_snapshot())
             .map_err(|e| HttpError::new(500, "serialize", e.to_string())),
         ("POST", "/solve") => solve(shared, &request.body),
@@ -354,6 +354,34 @@ fn dispatch(shared: &Shared, request: &Request) -> Result<String, HttpError> {
             format!("method {other:?} is not implemented; use GET or POST"),
         )),
     }
+}
+
+/// The `/healthz` body: process liveness plus the disk tier's health.
+/// `disk` is `null` on memory-only deployments.
+#[derive(serde::Serialize)]
+struct HealthzBody {
+    status: String,
+    service: String,
+    disk: Option<oipa_store::TierHealthSnapshot>,
+}
+
+/// The `/healthz` handler. Always `200` while the process serves — a
+/// degraded disk tier is an operating mode, not an outage — but the
+/// body says which: `"ok"` when every tier is healthy, `"degraded"`
+/// (with the tier's error detail) while the store is riding out a disk
+/// fault on its memory/resample fallback.
+fn healthz(shared: &Shared) -> Result<String, HttpError> {
+    let disk = shared.service.health();
+    let status = match &disk {
+        Some(h) if !h.is_healthy() => "degraded",
+        _ => "ok",
+    };
+    let body = HealthzBody {
+        status: status.to_string(),
+        service: "oipa-server".to_string(),
+        disk,
+    };
+    serde_json::to_string(&body).map_err(|e| HttpError::new(500, "serialize", e.to_string()))
 }
 
 /// The `/solve` handler: JSON in, JSON out, panics contained.

@@ -148,6 +148,13 @@ fn connection_cap_rejects_with_503_and_recovers() {
     let mut over_cap = connect(addr);
     let resp = read_response(&mut over_cap);
     resp.assert_error(503, "overloaded");
+    // Overload is transient by definition: the rejection tells the
+    // client when to retry.
+    assert_eq!(
+        resp.header("Retry-After"),
+        Some("1"),
+        "503 must carry Retry-After"
+    );
     assert_eq!(handle.rejected_503(), 1);
 
     // Release the hogs; the server must recover to full service. The

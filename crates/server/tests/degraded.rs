@@ -1,0 +1,126 @@
+//! Degraded-mode serving over the wire: a disk outage under the store
+//! must keep `/solve` answering bitwise-identically, flip `/healthz`
+//! from `"ok"` to `"degraded"` (still 200 — the process is fine, a tier
+//! is not), surface tier health in `/stats`, and flip back to `"ok"`
+//! once the fault clears and the request-ticked probe succeeds.
+
+mod common;
+
+use common::*;
+use oipa_server::{Server, ServerConfig, ServerHandle};
+use oipa_service::{SolveResponse, StoreConfig};
+use oipa_store::io::{FaultIo, FaultSchedule};
+use std::sync::Arc;
+
+/// A server over a fig-1 service backed by a fault-injected store.
+fn spawn_faulted(name: &str) -> (ServerHandle, Arc<FaultIo>) {
+    let dir = tmpdir(name);
+    let fault = FaultIo::over_real(FaultSchedule::none());
+    let mut service = fig1_service();
+    service
+        .attach_store(StoreConfig::new(&dir).with_io(fault.clone()))
+        .unwrap();
+    let handle = Server::spawn(Arc::new(service), ServerConfig::default()).unwrap();
+    (handle, fault)
+}
+
+fn solve_wire(addr: std::net::SocketAddr, seed: u64) -> SolveResponse {
+    solve_over_wire(addr, &solve_request(2, 400, seed))
+}
+
+#[test]
+fn healthz_reports_degraded_during_an_outage_and_ok_after() {
+    let (handle, fault) = spawn_faulted("healthz-flip");
+    let addr = handle.addr();
+
+    // Healthy: status "ok", with the disk detail present and healthy.
+    let resp = request(addr, "GET", "/healthz", None);
+    assert_eq!(resp.status, 200);
+    assert!(
+        resp.body_str().contains("\"status\":\"ok\""),
+        "{}",
+        resp.body_str()
+    );
+    assert!(
+        resp.body_str().contains("\"healthy\""),
+        "{}",
+        resp.body_str()
+    );
+
+    // Trip the tier: outage + one request that has to touch the disk.
+    fault.set_outage(true);
+    solve_wire(addr, 1);
+    let resp = request(addr, "GET", "/healthz", None);
+    assert_eq!(resp.status, 200, "degraded is not down: still 200");
+    assert!(
+        resp.body_str().contains("\"status\":\"degraded\""),
+        "{}",
+        resp.body_str()
+    );
+    // The detail names the failure for operators.
+    assert!(
+        resp.body_str().contains("\"last_error\""),
+        "{}",
+        resp.body_str()
+    );
+
+    // `/stats` carries the same tier health.
+    let stats = request(addr, "GET", "/stats", None);
+    assert_eq!(stats.status, 200);
+    assert!(
+        stats.body_str().contains("\"disk_health\""),
+        "{}",
+        stats.body_str()
+    );
+    assert!(
+        stats.body_str().contains("\"degraded\""),
+        "{}",
+        stats.body_str()
+    );
+
+    // Fault clears; cold requests tick the probe until recovery.
+    fault.set_outage(false);
+    for seed in 10..18 {
+        solve_wire(addr, seed);
+    }
+    let resp = request(addr, "GET", "/healthz", None);
+    assert!(
+        resp.body_str().contains("\"status\":\"ok\""),
+        "tier did not recover: {}",
+        resp.body_str()
+    );
+    assert_healthy(addr);
+    handle.shutdown();
+}
+
+#[test]
+fn solve_answers_are_bitwise_identical_through_a_full_outage() {
+    let (handle, fault) = spawn_faulted("outage-parity");
+    let addr = handle.addr();
+
+    // Reference answers from a store-free in-process service.
+    let reference = fig1_service();
+    let expect = |seed: u64| answer(&reference.solve(&solve_request(2, 400, seed)).unwrap());
+
+    // One healthy answer, then the disk disappears entirely.
+    assert_eq!(answer(&solve_wire(addr, 1)), expect(1));
+    fault.set_outage(true);
+    for seed in [2, 3, 1] {
+        // fresh cold keys and one warm key, all mid-outage
+        assert_eq!(
+            answer(&solve_wire(addr, seed)),
+            expect(seed),
+            "seed {seed} diverged during the outage"
+        );
+    }
+    fault.set_outage(false);
+    for seed in [4, 5, 1] {
+        assert_eq!(
+            answer(&solve_wire(addr, seed)),
+            expect(seed),
+            "seed {seed} diverged during recovery"
+        );
+    }
+    assert_healthy(addr);
+    handle.shutdown();
+}

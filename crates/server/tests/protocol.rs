@@ -108,6 +108,12 @@ fn truncated_body_times_out_with_408() {
     let resp = read_response(&mut stream);
     let elapsed = started.elapsed();
     resp.assert_error(408, "request_timeout");
+    // A timeout is retryable: the client is told when to come back.
+    assert_eq!(
+        resp.header("Retry-After"),
+        Some("1"),
+        "408 must carry Retry-After"
+    );
     assert!(
         elapsed >= timeout,
         "408 answered after {elapsed:?}, before the {timeout:?} read timeout"
@@ -129,7 +135,9 @@ fn truncated_body_times_out_with_408() {
     // And a head that never finishes (no \r\n\r\n) also times out.
     let mut stream = connect(addr);
     stream.write_all(b"POST /solve HT").unwrap();
-    read_response(&mut stream).assert_error(408, "request_timeout");
+    let resp = read_response(&mut stream);
+    resp.assert_error(408, "request_timeout");
+    assert_eq!(resp.header("Retry-After"), Some("1"));
 
     assert_healthy(addr);
     handle.shutdown();

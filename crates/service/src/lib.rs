@@ -67,7 +67,7 @@ mod solver;
 
 pub use oipa_store::{
     ArenaStats, DiskStats, PoolArena, PoolKey, PoolStore, PoolTier, StatsSnapshot, StoreConfig,
-    StoreStats, STATS_SCHEMA,
+    StoreStats, TierHealthSnapshot, STATS_SCHEMA,
 };
 pub use request::{
     AutoThetaReport, AutoThetaRequest, Method, SearchStats, SimulateRequest, SimulateResponse,
@@ -266,6 +266,14 @@ impl PlannerService {
         StatsSnapshot::from(self.store.stats())
     }
 
+    /// The disk tier's health, when a store is attached (`None` on
+    /// memory-only sessions — nothing to degrade). Degraded means the
+    /// tier is short-circuiting to memory/resample fallbacks; answers
+    /// are unaffected, only cache effectiveness and latency.
+    pub fn health(&self) -> Option<TierHealthSnapshot> {
+        self.store.health()
+    }
+
     /// Drops every memory-cached pool (the injected default pool
     /// included). Disk segments are kept: they remain valid for the
     /// instance they are stamped with.
@@ -404,11 +412,17 @@ impl PlannerService {
             // Invariant: `default_pool` is Some only while its pinned
             // entry is resident — byte pressure never evicts pinned
             // entries (pins survive same-key replaces) and `clear_arena`
-            // nulls both together.
-            let (pool, tier) = self
-                .store
-                .get(&key)
-                .expect("pinned default pool resident while default_pool is Some");
+            // nulls both together. Should the invariant ever break, the
+            // request gets a typed error, not the process a panic.
+            let Some((pool, tier)) = self.store.get(&key) else {
+                return Err(OipaError::MissingInput {
+                    what: "the injected default pool".to_string(),
+                    hint: "the pinned pool this session was built around is no longer \
+                           resident; re-inject it with PlannerService::from_pool or name a \
+                           campaign in the request"
+                        .to_string(),
+                });
+            };
             return Ok((pool, Some(tier)));
         };
         let campaign_json = serde_json::to_string(&campaign).map_err(|e| OipaError::Io {

@@ -1,0 +1,138 @@
+//! Degraded-mode serving: a disk-tier outage must never change an
+//! answer or fail a request. The store may only ever change latency —
+//! even while the disk underneath it is on fire — and once the fault
+//! clears, the request-ticked probe brings the tier back without any
+//! operator action.
+
+use oipa_sampler::testkit::fig1;
+use oipa_service::{Method, PlannerService, SolveRequest, SolveResponse, StoreConfig};
+use oipa_store::io::{FaultIo, FaultSchedule};
+use std::path::PathBuf;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("oipa-service-degraded")
+        .join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A fig-1 solve; `seed` discriminates pool keys, so fresh seeds force
+/// the cold path (arena miss → disk lookup → sample → insert).
+fn request(seed: u64) -> SolveRequest {
+    let (_, _, campaign) = fig1();
+    let mut req = SolveRequest::new(Method::Bab, 2);
+    req.campaign = Some(campaign);
+    req.theta = Some(400);
+    req.seed = Some(seed);
+    req.promoters = Some((0..5).collect());
+    req
+}
+
+/// The answer-bearing fields: plan plus exact utility bits.
+fn answer(r: &SolveResponse) -> (String, u64) {
+    (serde_json::to_string(&r.plan).unwrap(), r.utility.to_bits())
+}
+
+#[test]
+fn disk_outage_serves_bitwise_identical_answers_then_recovers() {
+    let dir = tmpdir("outage");
+    let (graph, probs, _) = fig1();
+
+    // The store-free reference: what every answer must equal, bit for
+    // bit, no matter what the disk does.
+    let reference = PlannerService::new(graph.clone(), probs.clone()).unwrap();
+
+    let fault = FaultIo::over_real(FaultSchedule::none());
+    let mut service = PlannerService::new(graph, probs).unwrap();
+    service
+        .attach_store(StoreConfig::new(&dir).with_io(fault.clone()))
+        .unwrap();
+
+    // Healthy baseline: the first pool lands on disk.
+    let healthy = service.solve(&request(5)).unwrap();
+    assert_eq!(
+        answer(&healthy),
+        answer(&reference.solve(&request(5)).unwrap())
+    );
+    assert!(service.health().unwrap().is_healthy());
+
+    // The disk goes away wholesale. Requests must not notice.
+    fault.set_outage(true);
+    let during = service.solve(&request(6)).unwrap();
+    assert_eq!(
+        answer(&during),
+        answer(&reference.solve(&request(6)).unwrap()),
+        "an answer changed during the disk outage"
+    );
+    let health = service.health().unwrap();
+    assert!(!health.is_healthy(), "the outage must trip the tier");
+    assert!(health.errors > 0);
+
+    // Warm keys still serve from memory, identically.
+    let warm = service.solve(&request(5)).unwrap();
+    assert_eq!(warm.pool_tier.as_deref(), Some("memory"));
+    assert_eq!(answer(&warm), answer(&healthy));
+
+    // The health state rides the stats snapshot for operators.
+    let snapshot = service.stats_snapshot();
+    let disk_health = snapshot.disk_health.expect("disk tier attached");
+    assert!(!disk_health.is_healthy());
+
+    // Fault clears; fresh cold requests tick the backoff-gated probe
+    // until the tier recovers — no background thread, no restart.
+    fault.set_outage(false);
+    for seed in 20..28 {
+        let resp = service.solve(&request(seed)).unwrap();
+        assert_eq!(
+            answer(&resp),
+            answer(&reference.solve(&request(seed)).unwrap()),
+            "answer diverged while the tier was probing its way back"
+        );
+    }
+    let health = service.health().unwrap();
+    assert!(
+        health.is_healthy(),
+        "the tier must self-recover: {health:?}"
+    );
+    assert!(health.recoveries >= 1);
+}
+
+/// A service whose store directory is broken *at attach time* must still
+/// come up (degraded) and serve, rather than refuse to start.
+#[test]
+fn attach_store_over_a_read_only_directory_degrades_not_fails() {
+    let dir = tmpdir("ro-attach");
+    let (graph, probs, _) = fig1();
+
+    // Populate the directory healthily first so there is state to protect.
+    {
+        let mut service = PlannerService::new(graph.clone(), probs.clone()).unwrap();
+        service.attach_store(StoreConfig::new(&dir)).unwrap();
+        service.solve(&request(5)).unwrap();
+    }
+
+    let reference = PlannerService::new(graph.clone(), probs.clone()).unwrap();
+    let fault = FaultIo::over_real(FaultSchedule::none());
+    fault.set_readonly(true);
+    let mut service = PlannerService::new(graph, probs).unwrap();
+    service
+        .attach_store(StoreConfig::new(&dir).with_io(fault.clone()))
+        .expect("a read-only store directory attaches degraded, not failed");
+    assert!(!service.health().unwrap().is_healthy());
+
+    // Degraded disk ⇒ the cold path resamples; the answer is identical.
+    let resp = service.solve(&request(5)).unwrap();
+    assert_eq!(
+        answer(&resp),
+        answer(&reference.solve(&request(5)).unwrap())
+    );
+
+    // Writable again: the probe restores the tier and the persisted pool
+    // becomes reachable once memory pressure would need it.
+    fault.set_readonly(false);
+    for seed in 40..46 {
+        service.solve(&request(seed)).unwrap();
+    }
+    assert!(service.health().unwrap().is_healthy());
+}

@@ -13,17 +13,28 @@
 //! ```
 //!
 //! Every write is crash-safe: segments and the manifest are written to a
-//! temp file and atomically renamed into place, so a torn write leaves at
-//! worst a stale `.tmp-*` file that the next open sweeps away. Reads
-//! verify the segment's CRC-32 trailer (pool binio v2); anything that
-//! fails to parse is moved to `quarantine/` — never served, never
-//! silently deleted. The tier enforces its own byte budget with LRU
-//! eviction ordered by the manifest's recency stamps, which persist
-//! across restarts.
+//! temp file, synced, and atomically renamed into place, so a torn write
+//! leaves at worst a stale `.tmp-*` file that the next open sweeps away.
+//! Reads verify the segment's CRC-32 trailer (pool binio v2); anything
+//! that fails to *parse* is moved to `quarantine/` — never served, never
+//! silently deleted. An I/O error (as opposed to a parse failure) never
+//! quarantines: the segment may be perfectly healthy on a sick disk, so
+//! the tier degrades instead (see below) and keeps the entry. The tier
+//! enforces its own byte budget with LRU eviction ordered by the
+//! manifest's recency stamps, which persist across restarts.
+//!
+//! All filesystem access goes through the [`crate::io::StoreIo`] seam,
+//! so tests can inject ENOSPC, torn writes, rename loss, and crash
+//! points deterministically. Any I/O failure trips the tier's
+//! [`TierHealth`] machine into **degraded mode**: disk lookups and puts
+//! short-circuit (a miss, never an error), and a request-ticked,
+//! backoff-gated probe reopens the tier once the disk recovers.
 
 use crate::arena::PoolKey;
+use crate::health::{TierHealth, TierHealthSnapshot};
+use crate::io::{DynStoreIo, RealIo, StoreIo};
 use crate::{StoreError, StoreResult};
-use oipa_sampler::binio::{read_pool_file, write_pool_file, PoolIoError};
+use oipa_sampler::binio::{read_pool, write_pool, PoolIoError};
 use oipa_sampler::MrrPool;
 use serde::{Deserialize, Serialize};
 use std::hash::Hasher as _;
@@ -117,6 +128,12 @@ pub struct DiskStats {
     /// Full `index.json` rewrites since open (reads batch recency, so
     /// this tracks structural writes + flushes, not gets).
     pub manifest_writes: u64,
+    /// Recency flushes that failed (batched LRU stamps kept in memory;
+    /// the loss on a crash is LRU accuracy, never data).
+    pub flush_errors: u64,
+    /// Operations short-circuited because the tier was degraded (each a
+    /// miss or a skipped write, never a request failure).
+    pub degraded_skips: u64,
 }
 
 /// Per-segment verification outcome (`oipa-cli store verify`).
@@ -150,6 +167,8 @@ pub struct GcReport {
 pub struct DiskTier {
     dir: PathBuf,
     capacity_bytes: u64,
+    io: DynStoreIo,
+    health: TierHealth,
     manifest: Manifest,
     /// Maintained running total of `manifest.entries[..].bytes`, so the
     /// budget check is O(1) instead of a fold per put.
@@ -169,6 +188,8 @@ pub struct DiskTier {
     oversized_skipped: u64,
     write_errors: u64,
     manifest_writes: u64,
+    flush_errors: u64,
+    degraded_skips: u64,
 }
 
 fn io_err(what: impl Into<String>, e: impl std::fmt::Display) -> StoreError {
@@ -179,23 +200,40 @@ fn io_err(what: impl Into<String>, e: impl std::fmt::Display) -> StoreError {
 }
 
 impl DiskTier {
-    /// Opens (creating if needed) a store directory and recovers its
-    /// manifest: entries with missing or size-mismatched segments are
-    /// dropped/quarantined, segment files the manifest does not know are
-    /// quarantined, stale temp files are removed, and the byte budget is
-    /// enforced. Corruption never fails the open — it is repaired and
-    /// reported in [`DiskTier::open_report`].
+    /// Opens (creating if needed) a store directory over the real
+    /// filesystem. See [`DiskTier::open_with_io`].
     pub fn open(dir: impl Into<PathBuf>, capacity_bytes: u64) -> StoreResult<DiskTier> {
+        DiskTier::open_with_io(dir, capacity_bytes, RealIo::arc())
+    }
+
+    /// Opens (creating if needed) a store directory through a
+    /// [`StoreIo`] and recovers its manifest: entries with missing or
+    /// size-mismatched segments are dropped/quarantined, segment files
+    /// the manifest does not know are quarantined, stale temp files are
+    /// removed, and the byte budget is enforced. Corruption never fails
+    /// the open — it is repaired and reported in
+    /// [`DiskTier::open_report`]. Neither do repair-write failures (a
+    /// read-only or full disk): the affected entries are dropped from
+    /// the index and the tier opens **degraded** (see
+    /// [`DiskTier::health`]) rather than refusing to serve. Only an
+    /// unlistable/uncreatable directory or an unreadable-but-present
+    /// manifest fails the open.
+    pub fn open_with_io(
+        dir: impl Into<PathBuf>,
+        capacity_bytes: u64,
+        io: DynStoreIo,
+    ) -> StoreResult<DiskTier> {
         let dir = dir.into();
-        std::fs::create_dir_all(&dir)
+        io.create_dir_all(&dir)
             .map_err(|e| io_err(format!("creating store dir {}", dir.display()), e))?;
         let mut report = OpenReport::default();
+        let mut health = TierHealth::new();
 
         let manifest_path = dir.join(MANIFEST_FILE);
-        let mut manifest = match std::fs::read_to_string(&manifest_path) {
+        let mut manifest = match io.read(&manifest_path) {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Manifest::fresh(),
             Err(e) => return Err(io_err(format!("reading {}", manifest_path.display()), e)),
-            Ok(text) => match serde_json::from_str::<Manifest>(&text) {
+            Ok(bytes) => match serde_json::from_str::<Manifest>(&String::from_utf8_lossy(&bytes)) {
                 Ok(m) if m.version == MANIFEST_VERSION => m,
                 parsed => {
                     // Unreadable or future-versioned: set the manifest
@@ -205,7 +243,9 @@ impl DiskTier {
                         Ok(m) => format!("unsupported manifest version {}", m.version),
                         Err(e) => e.to_string(),
                     };
-                    quarantine_file(&dir, MANIFEST_FILE, &reason)?;
+                    if let Err(e) = quarantine_file(io.as_ref(), &dir, MANIFEST_FILE, &reason) {
+                        health.record_error(format!("quarantining corrupt manifest: {e}"));
+                    }
                     report.corrupt_manifest = true;
                     Manifest::fresh()
                 }
@@ -213,12 +253,18 @@ impl DiskTier {
         };
 
         // Validate each entry's segment: present and the size recorded.
+        // A failed quarantine still drops the entry — a size-mismatched
+        // segment must never be served, and the leftover file is just an
+        // orphan for a later, healthier pass.
         let mut kept = Vec::with_capacity(manifest.entries.len());
         for entry in std::mem::take(&mut manifest.entries) {
-            match std::fs::metadata(dir.join(&entry.file)) {
+            match io.len(&dir.join(&entry.file)) {
                 Err(_) => report.dropped_missing += 1,
-                Ok(meta) if meta.len() != entry.bytes => {
-                    quarantine_file(&dir, &entry.file, "size mismatch")?;
+                Ok(len) if len != entry.bytes => {
+                    if let Err(e) = quarantine_file(io.as_ref(), &dir, &entry.file, "size mismatch")
+                    {
+                        health.record_error(format!("quarantining {}: {e}", entry.file));
+                    }
                     report.quarantined += 1;
                 }
                 Ok(_) => kept.push(entry),
@@ -229,19 +275,20 @@ impl DiskTier {
         // Sweep the directory: stale temps go away, unknown segments are
         // quarantined (without a manifest row their key is unknowable —
         // the campaign JSON lives only in the manifest).
-        let listing = std::fs::read_dir(&dir)
+        let listing = io
+            .list(&dir)
             .map_err(|e| io_err(format!("listing store dir {}", dir.display()), e))?;
-        for dirent in listing {
-            let Ok(dirent) = dirent else { continue };
-            let name = dirent.file_name().to_string_lossy().into_owned();
+        for name in listing {
             if name.starts_with(TMP_PREFIX) {
-                let _ = std::fs::remove_file(dirent.path());
+                let _ = io.remove(&dir.join(&name));
                 report.stale_temps += 1;
             } else if name.starts_with(SEGMENT_PREFIX)
                 && name.ends_with(SEGMENT_SUFFIX)
                 && !manifest.entries.iter().any(|e| e.file == name)
             {
-                quarantine_file(&dir, &name, "orphaned segment")?;
+                if let Err(e) = quarantine_file(io.as_ref(), &dir, &name, "orphaned segment") {
+                    health.record_error(format!("quarantining orphan {name}: {e}"));
+                }
                 report.quarantined += 1;
             }
         }
@@ -250,6 +297,8 @@ impl DiskTier {
         let mut tier = DiskTier {
             dir,
             capacity_bytes,
+            io,
+            health,
             manifest,
             indexed_bytes,
             dirty: false,
@@ -262,9 +311,16 @@ impl DiskTier {
             oversized_skipped: 0,
             write_errors: 0,
             manifest_writes: 0,
+            flush_errors: 0,
+            degraded_skips: 0,
         };
         tier.enforce_budget(None);
-        tier.persist()?;
+        if tier.persist().is_err() {
+            // A store on a read-only/full disk still opens: it serves the
+            // recovered index (degraded — no new writes) and re-persists
+            // once the reopen probe succeeds.
+            tier.dirty = true;
+        }
         Ok(tier)
     }
 
@@ -288,6 +344,11 @@ impl DiskTier {
         self.manifest.instance
     }
 
+    /// The tier's current health (see [`TierHealth`]).
+    pub fn health(&self) -> TierHealthSnapshot {
+        self.health.snapshot()
+    }
+
     /// Records the fingerprint of the (graph, table) this tier caches
     /// pools for. On a mismatch with the recorded fingerprint every
     /// segment is quarantined — pools sampled from different inputs must
@@ -298,14 +359,22 @@ impl DiskTier {
         }
         let purge = self.manifest.instance != 0 && !self.manifest.entries.is_empty();
         if purge {
-            // Quarantine before unindexing, one entry at a time: if a
-            // quarantine fails mid-purge, the untouched entries keep
-            // their manifest rows AND their bytes, so `indexed_bytes`
-            // never drifts from `entries` on the error path.
-            while let Some(entry) = self.manifest.entries.last() {
-                let file = entry.file.clone();
-                quarantine_file(&self.dir, &file, "instance fingerprint mismatch")?;
-                let entry = self.manifest.entries.pop().expect("just observed");
+            // Quarantine one entry at a time: if a quarantine fails
+            // mid-purge, the failed entry goes back on the index with its
+            // bytes, so `indexed_bytes` never drifts from `entries` on
+            // the error path — and nothing here can panic.
+            while let Some(entry) = self.manifest.entries.pop() {
+                if let Err(e) = quarantine_file(
+                    self.io.as_ref(),
+                    &self.dir,
+                    &entry.file,
+                    "instance fingerprint mismatch",
+                ) {
+                    self.health
+                        .record_error(format!("instance purge of {}: {e}", entry.file));
+                    self.manifest.entries.push(entry);
+                    return Err(e);
+                }
                 self.indexed_bytes -= entry.bytes;
                 self.evictions += 1;
             }
@@ -316,8 +385,11 @@ impl DiskTier {
     }
 
     /// Looks up a pool, reading and CRC-verifying its segment. A segment
-    /// that fails verification is quarantined and its entry dropped —
-    /// the caller sees a plain miss and resamples.
+    /// that fails *verification* is quarantined and its entry dropped —
+    /// the caller sees a plain miss and resamples. A segment whose read
+    /// fails with an *I/O error* is kept (the bytes may be fine; the disk
+    /// is not) and the tier degrades: this and subsequent lookups miss
+    /// without touching the disk until a reopen probe succeeds.
     ///
     /// A hit only marks the manifest dirty: the recency stamp is flushed
     /// by the next structural write (put/eviction) or on drop, so a
@@ -335,6 +407,14 @@ impl DiskTier {
     }
 
     fn lookup(&mut self, key: &PoolKey, count_miss: bool) -> Option<MrrPool> {
+        self.maybe_probe();
+        if !self.health.healthy() {
+            self.degraded_skips += 1;
+            if count_miss {
+                self.misses += 1;
+            }
+            return None;
+        }
         let Some(idx) = self.manifest.entries.iter().position(|e| &e.key == key) else {
             if count_miss {
                 self.misses += 1;
@@ -342,16 +422,27 @@ impl DiskTier {
             return None;
         };
         let file = self.manifest.entries[idx].file.clone();
-        match read_pool_file(self.dir.join(&file)) {
+        match self.read_segment(&file) {
             Ok(pool) => {
                 self.manifest.clock += 1;
                 self.manifest.entries[idx].last_used = self.manifest.clock;
                 self.hits += 1;
                 self.dirty = true; // recency is batched, not rewritten per read
+                self.health.record_ok();
                 Some(pool)
             }
+            Err(PoolIoError::Io(e)) => {
+                // The disk failed, not the segment: keep the entry and
+                // degrade. Quarantining here would throw away healthy
+                // pools every time a disk hiccups.
+                self.health.record_error(format!("reading {file}: {e}"));
+                if count_miss {
+                    self.misses += 1;
+                }
+                None
+            }
             Err(e) => {
-                let _ = quarantine_file(&self.dir, &file, &e.to_string());
+                let _ = quarantine_file(self.io.as_ref(), &self.dir, &file, &e.to_string());
                 let entry = self.manifest.entries.remove(idx);
                 self.indexed_bytes -= entry.bytes;
                 self.corrupt_dropped += 1;
@@ -362,60 +453,89 @@ impl DiskTier {
         }
     }
 
+    /// Reads and parses one segment through the I/O seam.
+    fn read_segment(&self, file: &str) -> Result<MrrPool, PoolIoError> {
+        let bytes = self
+            .io
+            .read(&self.dir.join(file))
+            .map_err(PoolIoError::Io)?;
+        read_pool(&bytes[..])
+    }
+
     /// Writes the manifest out if any batched recency stamps are pending.
     /// Called automatically by every structural write and on drop;
     /// exposed so long read-only sessions can checkpoint recency
-    /// explicitly.
+    /// explicitly. A failure keeps the stamps batched (retried by the
+    /// next flush) and bumps [`DiskStats::flush_errors`] — losing them
+    /// costs LRU accuracy, never data.
     pub fn flush(&mut self) -> StoreResult<()> {
-        if self.dirty {
-            self.persist()?;
+        if !self.dirty {
+            return Ok(());
         }
-        Ok(())
+        if !self.health.healthy() {
+            self.flush_errors += 1;
+            return Err(io_err(
+                "flushing batched recency",
+                "disk tier is degraded; stamps stay batched until recovery",
+            ));
+        }
+        self.persist().inspect_err(|_| self.flush_errors += 1)
     }
 
-    /// Writes a pool segment (write-to-temp + atomic rename), indexes it,
-    /// and evicts LRU segments until the byte budget fits. A key already
-    /// present is only touched — a recency update batched like
-    /// [`DiskTier::get`]'s, not a manifest rewrite (keys are
+    /// Writes a pool segment (write-to-temp + sync + atomic rename),
+    /// indexes it, and evicts LRU segments until the byte budget fits. A
+    /// key already present is only touched — a recency update batched
+    /// like [`DiskTier::get`]'s, not a manifest rewrite (keys are
     /// content-addressed: the campaign, θ and seed/fingerprint determine
     /// the pool bytes). A pool whose segment alone exceeds the budget is
-    /// not stored. Best-effort: IO failures are counted, not returned —
-    /// a broken disk tier degrades to a cache miss, never a serving
-    /// failure.
-    pub fn put(&mut self, key: &PoolKey, pool: &MrrPool) {
+    /// not stored. Best-effort: IO failures are counted and degrade the
+    /// tier, never surface to the caller — a broken disk tier is a cache
+    /// miss, not a serving failure.
+    ///
+    /// Returns whether the write is **acked**: segment renamed into place
+    /// *and* its manifest row committed. Only acked writes are promised
+    /// to survive a crash; anything else is at best an orphan the next
+    /// open quarantines.
+    pub fn put(&mut self, key: &PoolKey, pool: &MrrPool) -> bool {
+        self.maybe_probe();
+        if !self.health.healthy() {
+            self.degraded_skips += 1;
+            return false;
+        }
         if let Some(idx) = self.manifest.entries.iter().position(|e| &e.key == key) {
             self.manifest.clock += 1;
             self.manifest.entries[idx].last_used = self.manifest.clock;
             self.dirty = true;
-            return;
+            return true;
+        }
+        let mut buf = Vec::new();
+        let crc = match write_pool(pool, &mut buf) {
+            Ok(crc) => crc,
+            Err(e) => {
+                // Unreachable for a Vec sink, but never panic on it.
+                self.write_errors += 1;
+                self.health.record_error(format!("serializing pool: {e}"));
+                return false;
+            }
+        };
+        let bytes = buf.len() as u64;
+        if bytes > self.capacity_bytes {
+            self.oversized_skipped += 1;
+            return false;
         }
         let file = self.segment_name(key);
         let tmp = self.dir.join(format!("{TMP_PREFIX}{file}"));
-        let crc = match write_pool_file(pool, &tmp) {
-            Ok(crc) => crc,
-            Err(_) => {
-                let _ = std::fs::remove_file(&tmp);
-                self.write_errors += 1;
-                return;
-            }
-        };
-        let bytes = match std::fs::metadata(&tmp) {
-            Ok(meta) => meta.len(),
-            Err(_) => {
-                let _ = std::fs::remove_file(&tmp);
-                self.write_errors += 1;
-                return;
-            }
-        };
-        if bytes > self.capacity_bytes {
-            let _ = std::fs::remove_file(&tmp);
-            self.oversized_skipped += 1;
-            return;
-        }
-        if std::fs::rename(&tmp, self.dir.join(&file)).is_err() {
-            let _ = std::fs::remove_file(&tmp);
+        let commit = (|| -> std::io::Result<()> {
+            self.io.write(&tmp, &buf)?;
+            self.io.sync(&tmp)?;
+            self.io.rename(&tmp, &self.dir.join(&file))
+        })();
+        if let Err(e) = commit {
+            let _ = self.io.remove(&tmp);
             self.write_errors += 1;
-            return;
+            self.health
+                .record_error(format!("writing segment {file}: {e}"));
+            return false;
         }
         self.manifest.clock += 1;
         self.manifest.entries.push(ManifestEntry {
@@ -428,7 +548,11 @@ impl DiskTier {
         self.indexed_bytes += bytes;
         self.spills += 1;
         self.enforce_budget(Some(self.manifest.clock));
-        let _ = self.persist();
+        let acked = self.persist().is_ok();
+        if acked {
+            self.health.record_ok();
+        }
+        acked
     }
 
     /// Reads every indexed segment end to end, checking structure, CRC
@@ -440,10 +564,20 @@ impl DiskTier {
             corrupt: Vec::new(),
         };
         for entry in &self.manifest.entries {
-            match read_pool_file(self.dir.join(&entry.file)) {
+            let bytes = match self.io.read(&self.dir.join(&entry.file)) {
+                Ok(bytes) => bytes,
+                Err(e) => {
+                    report
+                        .corrupt
+                        .push((entry.file.clone(), format!("io error: {e}")));
+                    continue;
+                }
+            };
+            match read_pool(&bytes[..]) {
                 Ok(pool) => {
-                    // The file parsed; cross-check the manifest row.
-                    let trailer = segment_trailer_crc(&self.dir.join(&entry.file));
+                    // The file parsed; cross-check the manifest row
+                    // against the trailer (the last 4 bytes just read).
+                    let trailer = segment_trailer_crc(&bytes);
                     if trailer != Some(entry.crc) {
                         report.corrupt.push((
                             entry.file.clone(),
@@ -465,9 +599,6 @@ impl DiskTier {
                         report.ok.push((entry.file.clone(), entry.bytes));
                     }
                 }
-                Err(PoolIoError::Io(e)) => report
-                    .corrupt
-                    .push((entry.file.clone(), format!("io error: {e}"))),
                 Err(e) => report.corrupt.push((entry.file.clone(), e.to_string())),
             }
         }
@@ -487,8 +618,13 @@ impl DiskTier {
                 continue;
             }
             report.reclaimed_bytes += entry.bytes;
-            if self.dir.join(&entry.file).exists() {
-                quarantine_file(&self.dir, &entry.file, "gc: failed verification")?;
+            if self.io.exists(&self.dir.join(&entry.file)) {
+                quarantine_file(
+                    self.io.as_ref(),
+                    &self.dir,
+                    &entry.file,
+                    "gc: failed verification",
+                )?;
                 self.corrupt_dropped += 1;
                 report.quarantined.push(entry.file);
             } else {
@@ -499,19 +635,19 @@ impl DiskTier {
         self.manifest.entries = kept;
         self.indexed_bytes = self.manifest.entries.iter().map(|e| e.bytes).sum();
 
-        let listing = std::fs::read_dir(&self.dir)
+        let listing = self
+            .io
+            .list(&self.dir)
             .map_err(|e| io_err(format!("listing store dir {}", self.dir.display()), e))?;
-        for dirent in listing {
-            let Ok(dirent) = dirent else { continue };
-            let name = dirent.file_name().to_string_lossy().into_owned();
+        for name in listing {
             if name.starts_with(TMP_PREFIX) {
-                let _ = std::fs::remove_file(dirent.path());
+                let _ = self.io.remove(&self.dir.join(&name));
                 report.stale_temps += 1;
             } else if name.starts_with(SEGMENT_PREFIX)
                 && name.ends_with(SEGMENT_SUFFIX)
                 && !self.manifest.entries.iter().any(|e| e.file == name)
             {
-                quarantine_file(&self.dir, &name, "gc: orphaned segment")?;
+                quarantine_file(self.io.as_ref(), &self.dir, &name, "gc: orphaned segment")?;
                 report.orphans_quarantined += 1;
             }
         }
@@ -554,11 +690,51 @@ impl DiskTier {
             oversized_skipped: self.oversized_skipped,
             write_errors: self.write_errors,
             manifest_writes: self.manifest_writes,
+            flush_errors: self.flush_errors,
+            degraded_skips: self.degraded_skips,
+        }
+    }
+
+    /// Ticks the health machine and, when a reopen probe is due, runs it:
+    /// write + read-back + remove of a scratch file through the seam. A
+    /// success flips the tier back to healthy and re-persists any state
+    /// the outage left unflushed; a failure widens the backoff. Healthy
+    /// tiers return immediately.
+    fn maybe_probe(&mut self) {
+        if self.health.healthy() || !self.health.tick() {
+            return;
+        }
+        let probe = self.dir.join(format!("{TMP_PREFIX}health-probe"));
+        let payload: &[u8] = b"oipa disk-tier reopen probe";
+        let outcome = (|| -> std::io::Result<()> {
+            self.io.write(&probe, payload)?;
+            let back = self.io.read(&probe)?;
+            if back != payload {
+                return Err(std::io::Error::other("probe read-back mismatch"));
+            }
+            self.io.remove(&probe)
+        })();
+        match outcome {
+            Ok(()) => {
+                self.health.probe_succeeded();
+                // The outage may have left batched recency (or an open-
+                // time repair) unpersisted; write it out now that the
+                // disk answers again. A failure here re-degrades.
+                if self.dirty {
+                    let _ = self.persist();
+                }
+            }
+            Err(e) => {
+                let _ = self.io.remove(&probe);
+                self.health.probe_failed(format!("reopen probe: {e}"));
+            }
         }
     }
 
     /// Deletes LRU segments until the budget fits; `protect` exempts one
-    /// recency stamp (the entry just inserted).
+    /// recency stamp (the entry just inserted). A failed delete still
+    /// unindexes the victim (its file becomes an orphan for the next
+    /// open/gc) and degrades the tier.
     fn enforce_budget(&mut self, protect: Option<u64>) {
         while self.indexed_bytes > self.capacity_bytes {
             let Some((victim, _)) = self
@@ -573,20 +749,31 @@ impl DiskTier {
             };
             let entry = self.manifest.entries.remove(victim);
             self.indexed_bytes -= entry.bytes;
-            let _ = std::fs::remove_file(self.dir.join(&entry.file));
+            if let Err(e) = self.io.remove(&self.dir.join(&entry.file)) {
+                self.health
+                    .record_error(format!("evicting {}: {e}", entry.file));
+            }
             self.evictions += 1;
         }
     }
 
     /// Atomically rewrites `index.json`, absorbing any batched recency
-    /// stamps in the same write.
+    /// stamps in the same write. A failure degrades the tier.
     fn persist(&mut self) -> StoreResult<()> {
         let text = serde_json::to_string_pretty(&self.manifest)
             .map_err(|e| io_err("serializing the store manifest", e))?;
         let tmp = self.dir.join(format!("{TMP_PREFIX}{MANIFEST_FILE}"));
-        std::fs::write(&tmp, text).map_err(|e| io_err(format!("writing {}", tmp.display()), e))?;
-        std::fs::rename(&tmp, self.dir.join(MANIFEST_FILE))
-            .map_err(|e| io_err("committing the store manifest", e))?;
+        let commit = (|| -> std::io::Result<()> {
+            self.io.write(&tmp, text.as_bytes())?;
+            self.io.sync(&tmp)?;
+            self.io.rename(&tmp, &self.dir.join(MANIFEST_FILE))
+        })();
+        if let Err(e) = commit {
+            let _ = self.io.remove(&tmp);
+            self.health
+                .record_error(format!("committing the store manifest: {e}"));
+            return Err(io_err("committing the store manifest", e));
+        }
         self.dirty = false;
         self.manifest_writes += 1;
         Ok(())
@@ -615,8 +802,9 @@ impl DiskTier {
 }
 
 impl Drop for DiskTier {
-    /// Flushes batched recency stamps (best-effort: a failed write on
-    /// teardown only costs LRU accuracy, never data).
+    /// Flushes batched recency stamps. Best-effort by design: a failed
+    /// write on teardown bumps `flush_errors` and costs LRU accuracy,
+    /// never data — and never a panic in a destructor.
     fn drop(&mut self) {
         let _ = self.flush();
     }
@@ -625,34 +813,29 @@ impl Drop for DiskTier {
 /// Moves a file into `dir/quarantine/`, suffixing on name collisions.
 /// The reason is recorded next to it as `<name>.reason.txt` so operators
 /// can see *why* a segment was set aside.
-fn quarantine_file(dir: &Path, name: &str, reason: &str) -> StoreResult<()> {
+fn quarantine_file(io: &dyn StoreIo, dir: &Path, name: &str, reason: &str) -> StoreResult<()> {
     let qdir = dir.join(QUARANTINE_DIR);
-    std::fs::create_dir_all(&qdir)
+    io.create_dir_all(&qdir)
         .map_err(|e| io_err(format!("creating {}", qdir.display()), e))?;
     let mut target = qdir.join(name);
     let mut k = 0u32;
-    while target.exists() {
+    while io.exists(&target) {
         k += 1;
         target = qdir.join(format!("{name}.{k}"));
     }
-    std::fs::rename(dir.join(name), &target)
+    io.rename(&dir.join(name), &target)
         .map_err(|e| io_err(format!("quarantining {name}"), e))?;
-    let note = format!("{}.reason.txt", target.display());
-    let _ = std::fs::write(note, format!("{reason}\n"));
+    let note = PathBuf::from(format!("{}.reason.txt", target.display()));
+    let _ = io.write(&note, format!("{reason}\n").as_bytes());
     Ok(())
 }
 
-/// The stored CRC-32 trailer of a segment file (its last 4 bytes), or
-/// `None` if the file is unreadable/too short. Seeks rather than reading
-/// the (multi-megabyte) segment a second time.
-fn segment_trailer_crc(path: &Path) -> Option<u32> {
-    use std::io::{Read as _, Seek as _, SeekFrom};
-    let mut file = std::fs::File::open(path).ok()?;
-    if file.metadata().ok()?.len() < 4 {
+/// The stored CRC-32 trailer of a segment (its last 4 bytes), or `None`
+/// if the buffer is too short to carry one.
+fn segment_trailer_crc(bytes: &[u8]) -> Option<u32> {
+    if bytes.len() < 4 {
         return None;
     }
-    file.seek(SeekFrom::End(-4)).ok()?;
-    let mut buf = [0u8; 4];
-    file.read_exact(&mut buf).ok()?;
-    Some(u32::from_le_bytes(buf))
+    let t = &bytes[bytes.len() - 4..];
+    Some(u32::from_le_bytes([t[0], t[1], t[2], t[3]]))
 }

@@ -1,0 +1,241 @@
+//! Disk-tier health: a request-ticked state machine that turns I/O
+//! failures into **degraded mode** instead of failed requests.
+//!
+//! The machine has two states. `Healthy` is the normal path. Any disk
+//! I/O error trips it to `Degraded`: the tier stops touching the disk
+//! entirely (lookups miss, puts skip) and the service keeps answering
+//! from memory and resampling — answers stay bitwise-identical, only
+//! latency and cache effectiveness change.
+//!
+//! Recovery is probe-driven and **ticked by requests** — there is no
+//! background thread. Each store operation ticks the machine once; when
+//! the backoff counter reaches zero the tier runs one cheap reopen probe
+//! (write + read-back + remove of a scratch file). A failed probe
+//! doubles the backoff (capped), a successful one returns the tier to
+//! `Healthy`. Under zero traffic no probes run, which is exactly right:
+//! nobody is waiting on the disk.
+
+use serde::{Deserialize, Serialize};
+
+/// Ticks before the first reopen probe after degrading.
+const INITIAL_BACKOFF_TICKS: u64 = 2;
+/// Backoff ceiling: at most one probe every this many operations.
+const MAX_BACKOFF_TICKS: u64 = 1024;
+
+/// Wire name of the healthy state.
+pub const HEALTH_OK: &str = "healthy";
+/// Wire name of the degraded state.
+pub const HEALTH_DEGRADED: &str = "degraded";
+
+/// The disk tier's health machine. Owned by the tier, mutated under the
+/// tier's single-writer lock, snapshotted into `/stats` and `/healthz`.
+#[derive(Debug, Clone)]
+pub struct TierHealth {
+    degraded: bool,
+    /// Cumulative I/O errors observed (never resets).
+    errors: u64,
+    /// Errors since the last successful operation or probe.
+    consecutive_errors: u64,
+    last_error: Option<String>,
+    /// Reopen probes attempted.
+    probes: u64,
+    /// Degraded → healthy transitions.
+    recoveries: u64,
+    /// Current backoff width in ticks.
+    backoff_ticks: u64,
+    /// Ticks remaining until the next probe is due.
+    ticks_until_probe: u64,
+}
+
+impl Default for TierHealth {
+    fn default() -> Self {
+        TierHealth::new()
+    }
+}
+
+impl TierHealth {
+    /// A fresh, healthy machine.
+    pub fn new() -> TierHealth {
+        TierHealth {
+            degraded: false,
+            errors: 0,
+            consecutive_errors: 0,
+            last_error: None,
+            probes: 0,
+            recoveries: 0,
+            backoff_ticks: INITIAL_BACKOFF_TICKS,
+            ticks_until_probe: 0,
+        }
+    }
+
+    /// Whether the tier may touch the disk.
+    pub fn healthy(&self) -> bool {
+        !self.degraded
+    }
+
+    /// Records an I/O failure. The first failure trips the machine to
+    /// degraded and arms the probe countdown.
+    pub fn record_error(&mut self, what: impl Into<String>) {
+        self.errors += 1;
+        self.consecutive_errors += 1;
+        self.last_error = Some(what.into());
+        if !self.degraded {
+            self.degraded = true;
+            self.backoff_ticks = INITIAL_BACKOFF_TICKS;
+            self.ticks_until_probe = self.backoff_ticks;
+        }
+    }
+
+    /// Records a successful disk operation on the healthy path, clearing
+    /// the consecutive-error streak.
+    pub fn record_ok(&mut self) {
+        if !self.degraded {
+            self.consecutive_errors = 0;
+        }
+    }
+
+    /// Advances the request-driven clock one tick. Returns `true` when a
+    /// reopen probe is due (healthy machines never ask for one).
+    pub fn tick(&mut self) -> bool {
+        if !self.degraded {
+            return false;
+        }
+        if self.ticks_until_probe > 0 {
+            self.ticks_until_probe -= 1;
+        }
+        self.ticks_until_probe == 0
+    }
+
+    /// Records a failed reopen probe: the backoff doubles (capped) and
+    /// the countdown re-arms.
+    pub fn probe_failed(&mut self, what: impl Into<String>) {
+        self.probes += 1;
+        self.errors += 1;
+        self.consecutive_errors += 1;
+        self.last_error = Some(what.into());
+        self.backoff_ticks = (self.backoff_ticks * 2).min(MAX_BACKOFF_TICKS);
+        self.ticks_until_probe = self.backoff_ticks;
+    }
+
+    /// Records a successful reopen probe: back to healthy, backoff reset.
+    pub fn probe_succeeded(&mut self) {
+        self.probes += 1;
+        self.recoveries += 1;
+        self.degraded = false;
+        self.consecutive_errors = 0;
+        self.backoff_ticks = INITIAL_BACKOFF_TICKS;
+        self.ticks_until_probe = 0;
+    }
+
+    /// The serializable view (for `/stats`, `/healthz`, `StatsSnapshot`).
+    pub fn snapshot(&self) -> TierHealthSnapshot {
+        TierHealthSnapshot {
+            state: if self.degraded {
+                HEALTH_DEGRADED.to_string()
+            } else {
+                HEALTH_OK.to_string()
+            },
+            errors: self.errors,
+            consecutive_errors: self.consecutive_errors,
+            last_error: self.last_error.clone(),
+            probes: self.probes,
+            recoveries: self.recoveries,
+            backoff_ticks: self.backoff_ticks,
+        }
+    }
+}
+
+/// The wire form of [`TierHealth`] — what `/stats` and `/healthz` carry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TierHealthSnapshot {
+    /// `"healthy"` or `"degraded"` ([`HEALTH_OK`] / [`HEALTH_DEGRADED`]).
+    pub state: String,
+    /// Cumulative I/O errors observed.
+    pub errors: u64,
+    /// Errors since the last successful operation or probe.
+    pub consecutive_errors: u64,
+    /// The most recent error, human-readable.
+    pub last_error: Option<String>,
+    /// Reopen probes attempted.
+    pub probes: u64,
+    /// Degraded → healthy transitions survived.
+    pub recoveries: u64,
+    /// Current probe backoff width in ticks.
+    pub backoff_ticks: u64,
+}
+
+impl TierHealthSnapshot {
+    /// Whether the snapshot reports the healthy state.
+    pub fn is_healthy(&self) -> bool {
+        self.state == HEALTH_OK
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_healthy_and_never_probes() {
+        let mut h = TierHealth::new();
+        assert!(h.healthy());
+        for _ in 0..100 {
+            assert!(!h.tick());
+        }
+        assert!(h.snapshot().is_healthy());
+    }
+
+    #[test]
+    fn error_degrades_and_probe_recovers() {
+        let mut h = TierHealth::new();
+        h.record_error("ENOSPC writing pool-1.mrr");
+        assert!(!h.healthy());
+        let s = h.snapshot();
+        assert_eq!(s.state, HEALTH_DEGRADED);
+        assert_eq!(s.errors, 1);
+        assert!(s.last_error.unwrap().contains("ENOSPC"));
+        // Backoff: the first INITIAL ticks don't ask for a probe.
+        assert!(!h.tick());
+        assert!(h.tick(), "probe due after the initial backoff");
+        h.probe_succeeded();
+        assert!(h.healthy());
+        assert_eq!(h.snapshot().recoveries, 1);
+        assert_eq!(h.snapshot().consecutive_errors, 0);
+    }
+
+    #[test]
+    fn failed_probes_back_off_exponentially_with_a_cap() {
+        let mut h = TierHealth::new();
+        h.record_error("EIO");
+        let mut widths = Vec::new();
+        for _ in 0..12 {
+            let mut ticks = 0u64;
+            while !h.tick() {
+                ticks += 1;
+            }
+            widths.push(ticks + 1); // the due tick itself counts
+            h.probe_failed("still EIO");
+        }
+        // Monotone non-decreasing, doubling until the cap.
+        for pair in widths.windows(2) {
+            assert!(pair[1] >= pair[0], "backoff must not shrink: {widths:?}");
+        }
+        assert_eq!(*widths.last().unwrap(), MAX_BACKOFF_TICKS);
+        assert_eq!(h.snapshot().probes, 12);
+        assert!(!h.healthy());
+    }
+
+    #[test]
+    fn recovery_resets_backoff() {
+        let mut h = TierHealth::new();
+        h.record_error("EIO");
+        while !h.tick() {}
+        h.probe_failed("EIO");
+        h.probe_failed("EIO");
+        h.probe_succeeded();
+        assert!(h.healthy());
+        // A later outage starts from the initial backoff again.
+        h.record_error("EIO again");
+        assert_eq!(h.snapshot().backoff_ticks, INITIAL_BACKOFF_TICKS);
+    }
+}

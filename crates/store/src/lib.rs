@@ -27,15 +27,34 @@
 //! tier → arena write lock, and the arena lock is never held while
 //! acquiring the disk lock, so the two can't deadlock.
 //!
-//! Durability rules: segments and the manifest are written to temp files
-//! and atomically renamed; every segment read verifies the pool binio v2
-//! CRC-32 trailer; anything corrupt or unaccounted for is moved to
-//! `quarantine/` — recovery never fails an open and corruption is never
-//! served. Disk reads batch their LRU stamps in memory (flushed on the
-//! next write or on drop) instead of rewriting the manifest per get. A
-//! [`DiskTier::set_instance`] fingerprint ties a directory to the
+//! Durability rules: segments and the manifest are written to temp files,
+//! synced, and atomically renamed; every segment read verifies the pool
+//! binio v2 CRC-32 trailer; anything corrupt or unaccounted for is moved
+//! to `quarantine/` — recovery never fails an open and corruption is
+//! never served. Disk reads batch their LRU stamps in memory (flushed on
+//! the next write or on drop) instead of rewriting the manifest per get.
+//! A [`DiskTier::set_instance`] fingerprint ties a directory to the
 //! (graph, probability table) its pools were sampled from, so a store
 //! can never serve pools across different inputs.
+//!
+//! ## The `StoreIo` seam and degraded mode
+//!
+//! The disk tier never calls `std::fs` directly: every byte it moves
+//! goes through the [`StoreIo`] trait ([`io::RealIo`] in production).
+//! That seam is what makes the crash-safety claims *testable* — the
+//! [`io::FaultIo`] wrapper injects ENOSPC/EIO, torn writes, lost
+//! renames, full outages, and seeded **crash points** (freeze the
+//! directory exactly as a `kill -9` after the Nth operation would),
+//! and the test tree replays recovery against every one of them. Wire a
+//! custom seam in with [`StoreConfig::with_io`].
+//!
+//! Failures seen through the seam never fail a request. An I/O error
+//! trips the tier's [`TierHealth`] machine into **degraded mode**:
+//! lookups and puts short-circuit to misses (callers fall back to the
+//! memory tier or resample — answers are bitwise-identical either way),
+//! and a request-ticked, exponentially backed-off reopen probe returns
+//! the tier to service once the disk recovers. Health is surfaced
+//! through [`StoreStats::disk_health`] and [`StatsSnapshot`].
 //!
 //! ```
 //! use oipa_store::{PoolKey, PoolStore, PoolTier, StoreConfig};
@@ -66,12 +85,16 @@
 
 mod arena;
 mod disk;
+pub mod health;
+pub mod io;
 
 pub use arena::{ArenaStats, PoolArena, PoolKey};
 pub use disk::{
     DiskStats, DiskTier, GcReport, ManifestEntry, OpenReport, VerifyReport, MANIFEST_FILE,
     QUARANTINE_DIR,
 };
+pub use health::{TierHealth, TierHealthSnapshot, HEALTH_DEGRADED, HEALTH_OK};
+pub use io::{DynStoreIo, FaultIo, FaultSchedule, RealIo, StoreIo};
 
 use oipa_sampler::MrrPool;
 use serde::{Deserialize, Serialize};
@@ -111,7 +134,7 @@ impl std::error::Error for StoreError {}
 pub type StoreResult<T> = std::result::Result<T, StoreError>;
 
 /// Configuration of a tiered store.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct StoreConfig {
     /// The store directory (created if absent).
     pub dir: PathBuf,
@@ -127,6 +150,22 @@ pub struct StoreConfig {
     /// pools reach disk only when memory pressure evicts them — cheaper
     /// writes, but pools resident at process exit are lost.
     pub write_through: bool,
+    /// The I/O seam the disk tier runs on. `None` (the default) is the
+    /// real filesystem; tests and the `--fault-schedule` dev flag inject
+    /// a [`FaultIo`] here.
+    pub io: Option<DynStoreIo>,
+}
+
+impl std::fmt::Debug for StoreConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreConfig")
+            .field("dir", &self.dir)
+            .field("mem_bytes", &self.mem_bytes)
+            .field("disk_bytes", &self.disk_bytes)
+            .field("write_through", &self.write_through)
+            .field("io", &self.io.as_ref().map(|_| "<custom StoreIo>"))
+            .finish()
+    }
 }
 
 impl StoreConfig {
@@ -137,7 +176,14 @@ impl StoreConfig {
             mem_bytes: None,
             disk_bytes: DEFAULT_DISK_BYTES,
             write_through: true,
+            io: None,
         }
+    }
+
+    /// Runs the disk tier on a custom [`StoreIo`] (fault injection).
+    pub fn with_io(mut self, io: DynStoreIo) -> Self {
+        self.io = Some(io);
+        self
     }
 }
 
@@ -167,12 +213,14 @@ impl std::fmt::Display for PoolTier {
 }
 
 /// Combined occupancy/counter snapshot of both tiers.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct StoreStats {
     /// Memory-tier stats.
     pub mem: ArenaStats,
     /// Disk-tier stats (absent on memory-only stores).
     pub disk: Option<DiskStats>,
+    /// Disk-tier health (absent on memory-only stores).
+    pub disk_health: Option<TierHealthSnapshot>,
 }
 
 /// Schema identifier stamped into every [`StatsSnapshot`].
@@ -196,6 +244,8 @@ pub struct StatsSnapshot {
     pub mem: ArenaStats,
     /// Disk-tier occupancy and counters (absent on memory-only stores).
     pub disk: Option<DiskStats>,
+    /// Disk-tier health (absent on memory-only stores).
+    pub disk_health: Option<TierHealthSnapshot>,
 }
 
 impl StatsSnapshot {
@@ -211,6 +261,7 @@ impl From<StoreStats> for StatsSnapshot {
             schema: STATS_SCHEMA.to_string(),
             mem: s.mem,
             disk: s.disk,
+            disk_health: s.disk_health,
         }
     }
 }
@@ -253,7 +304,8 @@ impl PoolStore {
     /// smaller budget spill to the new disk tier. Exclusive (`&mut
     /// self`): tier topology is configuration, not serving.
     pub fn attach_disk(&mut self, config: StoreConfig) -> StoreResult<()> {
-        let disk = DiskTier::open(config.dir, config.disk_bytes)?;
+        let io = config.io.unwrap_or_else(RealIo::arc);
+        let disk = DiskTier::open_with_io(config.dir, config.disk_bytes, io)?;
         self.disk = Some(Mutex::new(disk));
         self.write_through = config.write_through;
         if let Some(mem_bytes) = config.mem_bytes {
@@ -429,10 +481,24 @@ impl PoolStore {
 
     /// Both tiers' stats.
     pub fn stats(&self) -> StoreStats {
+        let (disk, disk_health) = match self.disk.as_ref() {
+            Some(d) => {
+                let guard = lock_disk(d);
+                (Some(guard.stats()), Some(guard.health()))
+            }
+            None => (None, None),
+        };
         StoreStats {
             mem: self.arena_stats(),
-            disk: self.disk.as_ref().map(|d| lock_disk(d).stats()),
+            disk,
+            disk_health,
         }
+    }
+
+    /// The disk tier's health, when one is attached. `None` on a
+    /// memory-only store (nothing to degrade).
+    pub fn health(&self) -> Option<TierHealthSnapshot> {
+        self.disk.as_ref().map(|d| lock_disk(d).health())
     }
 }
 
