@@ -14,16 +14,20 @@
 //! `cargo run --release -p oipa-bench --bin bench_concurrent`.
 
 use oipa_sampler::testkit::small_random_instance;
+use oipa_sampler::MrrPool;
 use oipa_service::{Method, PlannerService, SolveRequest, SolveResponse};
+use oipa_store::{EvictionPolicyKind, PoolKey, PoolStore};
 use oipa_topics::Campaign;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use serde::Serialize;
+use std::sync::Arc;
 use std::time::Instant;
 
-/// Schema identifier stamped into every report.
-pub const CONCURRENT_SCHEMA: &str = "oipa.bench.concurrent/v1";
+/// Schema identifier stamped into every report. v2 adds the lock-stripe
+/// contention matrix (`contention`) introduced with the sharded arena.
+pub const CONCURRENT_SCHEMA: &str = "oipa.bench.concurrent/v2";
 
 /// Suite configuration.
 #[derive(Debug, Clone, Copy, Default)]
@@ -53,10 +57,34 @@ pub struct ConcurrentPhaseRecord {
     pub answers_match_sequential: bool,
 }
 
+/// One cell of the lock-stripe contention matrix: N threads hammering a
+/// warm key set through `PoolStore::get`, with the keys either all
+/// hashing to **one** arena shard (`same-shard` — the worst case a
+/// striped lock can face) or placed one-per-stripe (`spread` — the case
+/// striping exists for).
+#[derive(Debug, Clone, Serialize)]
+pub struct ContentionRecord {
+    /// Worker threads issuing lookups concurrently.
+    pub threads: usize,
+    /// Arena lock stripes in the store under test.
+    pub shards: usize,
+    /// `"same-shard"` or `"spread"`.
+    pub keyset: String,
+    /// Total lookups issued across all threads.
+    pub ops: usize,
+    /// Wall-clock for the cell, milliseconds.
+    pub total_ms: f64,
+    /// Lookup throughput.
+    pub ops_per_sec: f64,
+    /// Aggregated counters stayed lossless under the race:
+    /// `lookups == hits + misses`, all hits, exact op count.
+    pub counters_lossless: bool,
+}
+
 /// The full suite report (the `BENCH_concurrent.json` payload).
 #[derive(Debug, Clone, Serialize)]
 pub struct ConcurrentSuiteReport {
-    /// Schema identifier (`oipa.bench.concurrent/v1`).
+    /// Schema identifier (`oipa.bench.concurrent/v2`).
     pub schema: String,
     /// Whether this was a smoke run.
     pub smoke: bool,
@@ -85,6 +113,9 @@ pub struct ConcurrentSuiteReport {
     pub cold_race_threads: usize,
     /// Per-thread-count measurements.
     pub records: Vec<ConcurrentPhaseRecord>,
+    /// The lock-stripe contention matrix: same-shard vs spread key sets
+    /// at every (threads × shards) combination.
+    pub contention: Vec<ContentionRecord>,
 }
 
 struct Spec {
@@ -96,6 +127,10 @@ struct Spec {
     requests: usize,
     max_nodes: usize,
     thread_counts: &'static [usize],
+    /// Arena stripe counts the contention matrix sweeps.
+    contention_shards: &'static [usize],
+    /// Warm lookups per worker per contention cell.
+    contention_rounds: usize,
 }
 
 fn spec(smoke: bool) -> Spec {
@@ -109,6 +144,8 @@ fn spec(smoke: bool) -> Spec {
             requests: 12,
             max_nodes: 20,
             thread_counts: &[1, 2],
+            contention_shards: &[1, 4],
+            contention_rounds: 400,
         }
     } else {
         // The seeded medium instance of the service bench: pools are
@@ -122,8 +159,89 @@ fn spec(smoke: bool) -> Spec {
             requests: 48,
             max_nodes: 40,
             thread_counts: &[1, 2, 4],
+            contention_shards: &[1, 4, 16],
+            contention_rounds: 20_000,
         }
     }
+}
+
+/// Builds `count` keys that all hash to stripe 0 (`same == true`) or
+/// cycle one-per-stripe (`same == false`) of `store`'s arena, by probing
+/// the stable key → shard mapping.
+fn contention_keys(store: &PoolStore, count: usize, same: bool, theta: usize) -> Vec<PoolKey> {
+    let shards = store.shard_count();
+    let mut out = Vec::with_capacity(count);
+    let mut i = 0u64;
+    while out.len() < count {
+        let key = PoolKey::sampled(format!("contend-{i}"), theta, i);
+        let want = if same { 0 } else { out.len() % shards };
+        if store.shard_of(&key) == want {
+            out.push(key);
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Runs the contention matrix: for each stripe count, a fresh warm
+/// memory-only store is hammered by N threads over a same-shard and a
+/// spread key set. Lookup throughput is the measurement; the lossless
+/// counter invariant is the correctness check.
+fn contention_matrix(spec: &Spec, pool: &Arc<MrrPool>) -> Vec<ContentionRecord> {
+    let keys_per_set = 8;
+    let mut records = Vec::new();
+    for &shards in spec.contention_shards {
+        for same in [true, false] {
+            // Budget sized so even a single stripe (which gets 1/shards
+            // of it) holds the whole key set: eviction is the store
+            // bench's subject, not this one's.
+            let store = PoolStore::memory_only_with(
+                shards * keys_per_set * 2 * pool.memory_bytes().max(1),
+                shards,
+                EvictionPolicyKind::Lru,
+            );
+            let keys = contention_keys(&store, keys_per_set, same, spec.theta);
+            for key in &keys {
+                store.insert(key.clone(), Arc::clone(pool));
+            }
+            for &threads in spec.thread_counts {
+                let tp = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .expect("thread pool builds");
+                let before = store.arena_stats();
+                let start = Instant::now();
+                let _: Vec<()> = tp.install(|| {
+                    (0..threads)
+                        .collect::<Vec<_>>()
+                        .par_iter()
+                        .map(|worker| {
+                            for round in 0..spec.contention_rounds {
+                                let key = &keys[(worker + round) % keys.len()];
+                                assert!(store.get(key).is_some(), "warm key missed");
+                            }
+                        })
+                        .collect()
+                });
+                let total_ms = start.elapsed().as_secs_f64() * 1e3;
+                let ops = threads * spec.contention_rounds;
+                let after = store.arena_stats();
+                let counters_lossless = after.lookups == after.hits + after.misses
+                    && after.lookups - before.lookups == ops as u64
+                    && after.misses == before.misses;
+                records.push(ContentionRecord {
+                    threads,
+                    shards,
+                    keyset: if same { "same-shard" } else { "spread" }.to_string(),
+                    ops,
+                    total_ms,
+                    ops_per_sec: ops as f64 / (total_ms / 1e3).max(1e-9),
+                    counters_lossless,
+                });
+            }
+        }
+    }
+    records
 }
 
 /// The request mix: solver methods × two pool seeds, cycled to fill the
@@ -232,6 +350,14 @@ pub fn run_concurrent_suite(config: ConcurrentSuiteConfig) -> ConcurrentSuiteRep
     });
     let sampled_once = race.iter().filter(|r| !r.pool_cache_hit).count() == 1;
 
+    // Contention matrix: raw store lookups, no solver in the loop — the
+    // pool is a small instance so the cost under test is the lock, not
+    // the payload.
+    let mut contention_rng = StdRng::seed_from_u64(config.seed ^ 0xf00d);
+    let (cg, ct, cc) = small_random_instance(&mut contention_rng, 60, 400, spec.ell + 1, spec.ell);
+    let contention_pool = Arc::new(MrrPool::generate(&cg, &ct, &cc, 500, 1));
+    let contention = contention_matrix(&spec, &contention_pool);
+
     ConcurrentSuiteReport {
         schema: CONCURRENT_SCHEMA.to_string(),
         smoke: config.smoke,
@@ -246,6 +372,7 @@ pub fn run_concurrent_suite(config: ConcurrentSuiteConfig) -> ConcurrentSuiteRep
         sampled_once,
         cold_race_threads,
         records,
+        contention,
     }
 }
 
@@ -287,6 +414,23 @@ pub fn validate_report(report: &ConcurrentSuiteReport) -> Result<(), String> {
             report.cold_race_threads
         ));
     }
+    if report.contention.is_empty() {
+        return Err("no contention records".to_string());
+    }
+    for c in &report.contention {
+        if !c.counters_lossless {
+            return Err(format!(
+                "contention {} threads × {} shards ({}): counters lost updates",
+                c.threads, c.shards, c.keyset
+            ));
+        }
+        if c.ops_per_sec <= 0.0 {
+            return Err(format!(
+                "contention {} threads × {} shards ({}): empty cell",
+                c.threads, c.shards, c.keyset
+            ));
+        }
+    }
     // The throughput expectation is gated on real parallelism: a 1-CPU
     // container (this repo's CI) can only measure correctness. A 10%
     // tolerance absorbs scheduler noise on loaded machines — the gate
@@ -309,6 +453,33 @@ pub fn validate_report(report: &ConcurrentSuiteReport) -> Result<(), String> {
                  {:.2} req/s (best: {best:.2}) despite available_parallelism = {}",
                 single.requests_per_sec, report.available_parallelism
             ));
+        }
+        // Striping's reason to exist: at the highest thread and stripe
+        // counts, keys spread across stripes must not run materially
+        // slower than keys convoyed on one stripe. (25% tolerance — this
+        // catches a striping implementation that serializes everything,
+        // not scheduler jitter.)
+        let max_threads = report.records.iter().map(|r| r.threads).max().unwrap_or(1);
+        let max_shards = report
+            .contention
+            .iter()
+            .map(|c| c.shards)
+            .max()
+            .unwrap_or(1);
+        let cell = |keyset: &str| {
+            report
+                .contention
+                .iter()
+                .find(|c| c.threads == max_threads && c.shards == max_shards && c.keyset == keyset)
+                .map(|c| c.ops_per_sec)
+        };
+        if let (Some(same), Some(spread)) = (cell("same-shard"), cell("spread")) {
+            if spread < 0.75 * same {
+                return Err(format!(
+                    "spread keys ({spread:.0} ops/s) ran >25% behind same-shard keys \
+                     ({same:.0} ops/s) at {max_threads} threads × {max_shards} shards"
+                ));
+            }
         }
     }
     Ok(())
@@ -356,6 +527,29 @@ pub fn summary_text(report: &ConcurrentSuiteReport) -> String {
         "cold race: {} workers, sampled exactly once: {}",
         report.cold_race_threads, report.sampled_once
     );
+    let _ = writeln!(
+        out,
+        "contention (warm store lookups; throughput only meaningful when \
+         available_parallelism > 1):"
+    );
+    let _ = writeln!(
+        out,
+        "{:>8} {:>7} {:>11} {:>9} {:>10} {:>12} {:>9}",
+        "threads", "shards", "keyset", "ops", "total_ms", "ops/s", "counters"
+    );
+    for c in &report.contention {
+        let _ = writeln!(
+            out,
+            "{:>8} {:>7} {:>11} {:>9} {:>10.1} {:>12.0} {:>9}",
+            c.threads,
+            c.shards,
+            c.keyset,
+            c.ops,
+            c.total_ms,
+            c.ops_per_sec,
+            if c.counters_lossless { "ok" } else { "LOSSY" }
+        );
+    }
     out
 }
 
@@ -371,8 +565,12 @@ mod tests {
         });
         assert_eq!(report.records.len(), 2);
         assert!(report.sampled_once);
+        // 2 stripe counts × 2 keysets × 2 thread counts.
+        assert_eq!(report.contention.len(), 8);
+        assert!(report.contention.iter().all(|c| c.counters_lossless));
         validate_report(&report).expect("smoke report must validate");
         let text = summary_text(&report);
         assert!(text.contains("cold race"), "{text}");
+        assert!(text.contains("same-shard"), "{text}");
     }
 }

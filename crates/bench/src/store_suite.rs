@@ -20,8 +20,10 @@ use rand::SeedableRng;
 use serde::Serialize;
 use std::path::PathBuf;
 
-/// Schema identifier stamped into every report.
-pub const STORE_SCHEMA: &str = "oipa.bench.store/v1";
+/// Schema identifier stamped into every report. v2 adds the
+/// region-packed disk-tier fields (`store_regions`, `region_bytes`,
+/// `region_fill`).
+pub const STORE_SCHEMA: &str = "oipa.bench.store/v2";
 
 /// Suite configuration.
 #[derive(Debug, Clone, Default)]
@@ -84,7 +86,7 @@ pub struct StoreSpeedup {
 /// The full suite report (the `BENCH_store.json` payload).
 #[derive(Debug, Clone, Serialize)]
 pub struct StoreSuiteReport {
-    /// Schema identifier (`oipa.bench.store/v1`).
+    /// Schema identifier (`oipa.bench.store/v2`).
     pub schema: String,
     /// Whether this was a smoke run.
     pub smoke: bool,
@@ -105,6 +107,13 @@ pub struct StoreSuiteReport {
     pub store_segments: usize,
     /// Bytes of the shared pool segment on disk.
     pub segment_bytes: u64,
+    /// Region files the disk tier packed those segments into.
+    pub store_regions: usize,
+    /// Configured per-region capacity, bytes.
+    pub region_bytes: u64,
+    /// Live fraction of the regions' committed bytes (1.0 = no dead
+    /// space awaiting gc).
+    pub region_fill: f64,
     /// All measurements.
     pub records: Vec<StorePhaseRecord>,
     /// Per-method summaries.
@@ -297,10 +306,18 @@ pub fn run_store_suite(config: StoreSuiteConfig) -> Result<StoreSuiteReport, Str
         });
     }
 
-    // Inspect the store: both methods shared one pool key.
+    // Inspect the store: both methods shared one pool key, packed into
+    // the region tier.
     let tier = oipa_store::DiskTier::open(&dir, u64::MAX).map_err(|e| e.to_string())?;
     let store_segments = tier.len();
     let segment_bytes = tier.entries().first().map_or(0, |e| e.bytes);
+    let disk_stats = tier.stats();
+    let committed = disk_stats.bytes + disk_stats.dead_bytes;
+    let region_fill = if committed == 0 {
+        1.0
+    } else {
+        disk_stats.bytes as f64 / committed as f64
+    };
 
     Ok(StoreSuiteReport {
         schema: STORE_SCHEMA.to_string(),
@@ -313,6 +330,9 @@ pub fn run_store_suite(config: StoreSuiteConfig) -> Result<StoreSuiteReport, Str
         k: spec.k,
         store_segments,
         segment_bytes,
+        store_regions: disk_stats.regions,
+        region_bytes: disk_stats.region_bytes,
+        region_fill,
         records,
         summary,
     })
@@ -362,6 +382,18 @@ pub fn validate_report(report: &StoreSuiteReport) -> Result<(), String> {
             report.store_segments
         ));
     }
+    if report.store_regions != 1 {
+        return Err(format!(
+            "one segment must pack into one region, found {}",
+            report.store_regions
+        ));
+    }
+    if !(report.region_fill > 0.0 && report.region_fill <= 1.0) {
+        return Err(format!(
+            "region fill {} outside (0, 1] for a freshly packed store",
+            report.region_fill
+        ));
+    }
     for method in METHODS {
         let find = |phase: &str| {
             report
@@ -408,14 +440,16 @@ pub fn summary_text(report: &StoreSuiteReport) -> String {
     let _ = writeln!(
         out,
         "store bench: {} nodes, {} edges, ell={}, theta={}, k={}; \
-         {} segment(s), {} bytes on disk",
+         {} segment(s), {} bytes in {} region(s) ({:.0}% live)",
         report.nodes,
         report.edges,
         report.ell,
         report.theta,
         report.k,
         report.store_segments,
-        report.segment_bytes
+        report.segment_bytes,
+        report.store_regions,
+        100.0 * report.region_fill
     );
     let _ = writeln!(
         out,
@@ -465,6 +499,8 @@ mod tests {
         .expect("smoke suite runs");
         assert_eq!(report.records.len(), 3 * METHODS.len());
         assert_eq!(report.summary.len(), METHODS.len());
+        assert_eq!(report.store_regions, 1);
+        assert!(report.region_fill > 0.0 && report.region_fill <= 1.0);
         validate_report(&report).expect("smoke report must validate");
         let text = summary_text(&report);
         assert!(text.contains("disk_warm"), "{text}");

@@ -15,7 +15,7 @@ use oipa_graph::{binio as graph_io, DiGraph};
 use oipa_sampler::{binio as pool_io, MrrPool};
 use oipa_service::{Method, PlannerService, SimulateRequest, SolveRequest, SolveResponse};
 use oipa_store::io::{parse_fault_schedule, FaultIo};
-use oipa_store::{DiskTier, OpenReport, StoreConfig, QUARANTINE_DIR};
+use oipa_store::{DiskTier, EvictionPolicyKind, OpenReport, StoreConfig, QUARANTINE_DIR};
 use oipa_topics::{binio as probs_io, Campaign, EdgeTopicProbs};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -208,11 +208,23 @@ fn cmd_store(args: &ParsedArgs) -> Result<String, OipaError> {
                 )
                 .expect("string write");
             }
+            let stats = tier.stats();
+            // Fill ratio: the live fraction of committed region bytes —
+            // the remainder is dead space a `gc` pass would reclaim.
+            let committed = stats.bytes + stats.dead_bytes;
+            let fill = if committed == 0 {
+                100.0
+            } else {
+                100.0 * stats.bytes as f64 / committed as f64
+            };
             write!(
                 out,
-                "{} segments, {} bytes, instance {:#x}",
+                "{} segments, {} bytes in {} region(s) ({fill:.0}% live), \
+                 eviction {}, instance {:#x}",
                 tier.len(),
                 tier.bytes(),
+                stats.regions,
+                tier.eviction_label(),
                 tier.instance()
             )
             .expect("string write");
@@ -256,6 +268,9 @@ fn cmd_store(args: &ParsedArgs) -> Result<String, OipaError> {
                 what: format!("gc on store {dir}"),
                 detail: e.to_string(),
             })?;
+            for (region, bytes) in &report.region_reclaimed {
+                writeln!(out, "region {region}: {bytes} bytes reclaimed").expect("string write");
+            }
             write!(
                 out,
                 "gc: kept {}, quarantined {} corrupt ({} bytes reclaimed), \
@@ -485,6 +500,18 @@ fn request_from_flags(args: &ParsedArgs, method: Method) -> Result<SolveRequest,
 fn attach_store_flag(service: &mut PlannerService, args: &ParsedArgs) -> Result<(), OipaError> {
     if let Some(dir) = args.optional("store-dir") {
         let mut config = StoreConfig::new(dir);
+        config.shards = args.parsed("shards")?;
+        if let Some(name) = args.optional("eviction") {
+            config.eviction =
+                Some(
+                    EvictionPolicyKind::parse(name).map_err(|e| OipaError::InvalidConfig {
+                        what: format!("--eviction {name:?}: {e}"),
+                    })?,
+                );
+        }
+        if let Some(region_bytes) = args.parsed::<u64>("region-bytes")? {
+            config.region_bytes = region_bytes;
+        }
         if let Some(spec) = args.optional("fault-schedule") {
             let schedule = parse_fault_schedule(spec).map_err(|e| OipaError::InvalidConfig {
                 what: format!("--fault-schedule {spec:?}: {e}"),
@@ -1157,6 +1184,10 @@ mod tests {
                 "5",
                 "--store-dir",
                 store,
+                "--shards",
+                "4",
+                "--eviction",
+                "lfu",
             ])
             .unwrap()
         };
@@ -1176,6 +1207,8 @@ mod tests {
 
         let ls = run_words(&["store", "ls", "--dir", &dir]).unwrap();
         assert!(ls.contains("1 segments"), "{ls}");
+        assert!(ls.contains("1 region(s)"), "{ls}");
+        assert!(ls.contains("eviction lfu"), "{ls}");
         assert!(run_words(&["store", "verify", "--dir", &dir])
             .unwrap()
             .contains("1 segment(s) verified clean"));
@@ -1184,8 +1217,12 @@ mod tests {
         let seg = std::fs::read_dir(&dir)
             .unwrap()
             .filter_map(|e| e.ok())
-            .find(|e| e.file_name().to_string_lossy().ends_with(".mrr"))
-            .expect("a segment file")
+            .find(|e| {
+                e.file_name()
+                    .to_string_lossy()
+                    .starts_with(oipa_store::REGION_PREFIX)
+            })
+            .expect("a region file")
             .path();
         let mut bytes = std::fs::read(&seg).unwrap();
         let mid = bytes.len() / 2;
@@ -1322,7 +1359,7 @@ mod tests {
         assert!(report.contains("disk_warm"), "{report}");
         assert!(report.contains("speedup"), "{report}");
         let text = std::fs::read_to_string(&out).unwrap();
-        assert!(text.contains("oipa.bench.store/v1"));
+        assert!(text.contains("oipa.bench.store/v2"));
     }
 
     #[test]
@@ -1354,7 +1391,7 @@ mod tests {
         assert!(report.contains("cold race"), "{report}");
         assert!(report.contains("sampled exactly once: true"), "{report}");
         let text = std::fs::read_to_string(&out).unwrap();
-        assert!(text.contains("oipa.bench.concurrent/v1"));
+        assert!(text.contains("oipa.bench.concurrent/v2"));
     }
 
     /// `batch --threads N` must produce the same answers, in the same

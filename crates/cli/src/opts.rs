@@ -22,11 +22,13 @@ commands:
             [--method bab|bab-p|plain|greedy|brute|im|tim]
             [--k N] [--ratio F] [--eps F] [--gap F] [--promoter-fraction F]
             [--max-nodes N] [--seed N] [--theta N] [--out-plan FILE]
-            [--store-dir DIR] [--fault-schedule SPEC]
+            [--store-dir DIR] [--shards N] [--eviction lru|lfu]
+            [--region-bytes N] [--fault-schedule SPEC]
   simulate  --graph FILE --probs FILE --campaign FILE --plan FILE
             [--ratio F] [--runs N] [--seed N]
   batch     --requests FILE (--graph FILE --probs FILE | --pool FILE)
-            [--out FILE] [--check true] [--store-dir DIR] [--threads N]
+            [--out FILE] [--check true] [--store-dir DIR] [--shards N]
+            [--eviction lru|lfu] [--region-bytes N] [--threads N]
             [--fault-schedule SPEC]
   bench     solver|service|store|concurrent|serve [--smoke true] [--seed N]
             [--out FILE] [--store-dir DIR] [--rate RPS]
@@ -103,6 +105,9 @@ const COMMANDS: &[CommandSpec] = &[
             "theta",
             "ell",
             "store-dir",
+            "shards",
+            "eviction",
+            "region-bytes",
             "fault-schedule",
         ],
     },
@@ -124,6 +129,9 @@ const COMMANDS: &[CommandSpec] = &[
             "out",
             "check",
             "store-dir",
+            "shards",
+            "eviction",
+            "region-bytes",
             "threads",
             "fault-schedule",
         ],

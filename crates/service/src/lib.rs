@@ -66,8 +66,8 @@ mod request;
 mod solver;
 
 pub use oipa_store::{
-    ArenaStats, DiskStats, PoolArena, PoolKey, PoolStore, PoolTier, StatsSnapshot, StoreConfig,
-    StoreStats, TierHealthSnapshot, STATS_SCHEMA,
+    ArenaStats, DiskStats, EvictionPolicyKind, PoolArena, PoolKey, PoolStore, PoolTier,
+    StatsSnapshot, StoreConfig, StoreStats, TierHealthSnapshot, DEFAULT_SHARDS, STATS_SCHEMA,
 };
 pub use request::{
     AutoThetaReport, AutoThetaRequest, Method, SearchStats, SimulateRequest, SimulateResponse,

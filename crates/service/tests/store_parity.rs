@@ -5,7 +5,7 @@
 //! ever change latency, never answers.
 
 use oipa_sampler::testkit::small_random_instance;
-use oipa_service::{Method, PlannerService, SolveRequest, StoreConfig};
+use oipa_service::{EvictionPolicyKind, Method, PlannerService, SolveRequest, StoreConfig};
 use oipa_topics::Campaign;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -78,6 +78,55 @@ fn cold_disk_warm_and_mem_warm_answers_are_bitwise_identical() {
     let stats = restarted.store_stats();
     let disk = stats.disk.expect("disk tier attached");
     assert_eq!(disk.hits, 1);
+}
+
+/// Shard count and eviction policy are latency/capacity knobs, never
+/// answer knobs: the same request solved through 1-, 4-, and 16-shard
+/// stores (and under LFU) returns bitwise-identical plans and utilities
+/// on both the cold and warm paths.
+#[test]
+fn answers_are_bitwise_identical_at_any_shard_count() {
+    let (graph, table, campaign) = instance();
+    let req = request(&campaign);
+
+    let reference = PlannerService::new(graph.clone(), table.clone())
+        .unwrap()
+        .solve(&req)
+        .unwrap();
+
+    for (shards, eviction) in [
+        (1, EvictionPolicyKind::Lru),
+        (4, EvictionPolicyKind::Lru),
+        (16, EvictionPolicyKind::Lfu),
+    ] {
+        let dir = tmpdir(&format!("shard-parity-{shards}"));
+        let mut config = StoreConfig::new(&dir);
+        config.shards = Some(shards);
+        config.eviction = Some(eviction);
+        let mut service = PlannerService::new(graph.clone(), table.clone()).unwrap();
+        service.attach_store(config).unwrap();
+
+        let cold = service.solve(&req).unwrap();
+        assert!(!cold.pool_cache_hit);
+        assert_eq!(cold.plan, reference.plan, "{shards}-shard cold plan");
+        assert_eq!(
+            cold.utility.to_bits(),
+            reference.utility.to_bits(),
+            "{shards}-shard cold utility diverged"
+        );
+
+        let warm = service.solve(&req).unwrap();
+        assert_eq!(warm.pool_tier.as_deref(), Some("memory"));
+        assert_eq!(warm.plan, reference.plan, "{shards}-shard warm plan");
+        assert_eq!(
+            warm.utility.to_bits(),
+            reference.utility.to_bits(),
+            "{shards}-shard warm utility diverged"
+        );
+
+        let stats = service.store_stats();
+        assert_eq!(stats.mem_shards.len(), shards, "stats must expose stripes");
+    }
 }
 
 /// A store directory is bound to the (graph, table) it was filled from:

@@ -18,6 +18,7 @@
 //! incrementally on insert/evict, so budget checks are O(1) instead of a
 //! fold over every entry.
 
+use crate::eviction::{EvictionMeta, EvictionPolicy, EvictionPolicyKind};
 use oipa_sampler::MrrPool;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -86,9 +87,23 @@ struct ArenaEntry {
     /// Atomic so a shared-reference `get` can refresh recency while other
     /// readers scan concurrently.
     last_used: AtomicU64,
+    /// Hit count (insert counts once), atomic for the same reason. Feeds
+    /// frequency-aware eviction policies (LFU).
+    uses: AtomicU64,
     /// Pinned entries (injected pools) are never evicted by byte
     /// pressure — only `clear`/`evict_unpinned` removes them.
     pinned: bool,
+}
+
+/// An entry exported by [`PoolArena::drain`] for re-sharding: everything
+/// needed to rebuild the entry elsewhere without losing recency,
+/// frequency, or the pin.
+pub(crate) struct DrainedEntry {
+    pub(crate) key: PoolKey,
+    pub(crate) pool: Arc<MrrPool>,
+    pub(crate) last_used: u64,
+    pub(crate) uses: u64,
+    pub(crate) pinned: bool,
 }
 
 /// Cumulative arena counters plus the current occupancy.
@@ -110,15 +125,20 @@ pub struct ArenaStats {
     /// Pools evicted (or displaced by a same-key replace) to stay under
     /// the byte budget.
     pub evictions: u64,
+    /// How many lock-striped shards the counters were aggregated over
+    /// (1 for a single arena).
+    pub shards: usize,
 }
 
-/// An LRU pool cache bounded by [`MrrPool::memory_bytes`].
+/// A policy-driven pool cache bounded by [`MrrPool::memory_bytes`]
+/// (LRU by default; see [`crate::eviction`]).
 pub struct PoolArena {
     capacity_bytes: usize,
     entries: Vec<ArenaEntry>,
     /// Maintained running total of `entries[..].bytes` — budget checks
     /// must not fold over the arena on every insert.
     resident_bytes: usize,
+    policy: Arc<dyn EvictionPolicy>,
     clock: AtomicU64,
     lookups: AtomicU64,
     hits: AtomicU64,
@@ -127,20 +147,31 @@ pub struct PoolArena {
 }
 
 impl PoolArena {
-    /// Creates an arena with the given byte budget. A budget of 0 still
-    /// holds the most recently inserted pool (a usable pool is never
-    /// evicted before it serves its own request).
+    /// Creates an LRU arena with the given byte budget. A budget of 0
+    /// still holds the most recently inserted pool (a usable pool is
+    /// never evicted before it serves its own request).
     pub fn new(capacity_bytes: usize) -> Self {
+        PoolArena::with_policy(capacity_bytes, EvictionPolicyKind::Lru.build())
+    }
+
+    /// Creates an arena evicting by `policy` (see [`crate::eviction`]).
+    pub fn with_policy(capacity_bytes: usize, policy: Arc<dyn EvictionPolicy>) -> Self {
         PoolArena {
             capacity_bytes,
             entries: Vec::new(),
             resident_bytes: 0,
+            policy,
             clock: AtomicU64::new(0),
             lookups: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
+    }
+
+    /// The active eviction policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
     }
 
     /// Looks up a pool, refreshing its recency on a hit. Takes `&self`:
@@ -151,6 +182,7 @@ impl PoolArena {
         match self.entries.iter().find(|e| &e.key == key) {
             Some(entry) => {
                 entry.last_used.store(clock, Ordering::Relaxed);
+                entry.uses.fetch_add(1, Ordering::Relaxed);
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(Arc::clone(&entry.pool))
             }
@@ -170,6 +202,7 @@ impl PoolArena {
         let entry = self.entries.iter().find(|e| &e.key == key)?;
         let clock = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
         entry.last_used.store(clock, Ordering::Relaxed);
+        entry.uses.fetch_add(1, Ordering::Relaxed);
         self.lookups.fetch_add(1, Ordering::Relaxed);
         self.hits.fetch_add(1, Ordering::Relaxed);
         Some(Arc::clone(&entry.pool))
@@ -216,6 +249,10 @@ impl PoolArena {
         let bytes = pool.memory_bytes();
         let mut evicted = Vec::new();
         let mut pinned = pinned;
+        // The insert itself counts one use; a same-key replace inherits
+        // the displaced entry's hit count on top, so frequency-aware
+        // policies see the key's history, not the age of its newest copy.
+        let mut uses = 1u64;
         // A replace must account for the entry it displaces: keep its pin
         // (an injected pool stays unevictable when re-inserted over) and,
         // for sampled entries, hand the old pool back so a tiered store
@@ -228,6 +265,7 @@ impl PoolArena {
             let old = self.entries.swap_remove(idx);
             self.resident_bytes -= old.bytes;
             pinned |= old.pinned;
+            uses += old.uses.load(Ordering::Relaxed);
             if !old.pinned {
                 self.evictions.fetch_add(1, Ordering::Relaxed);
                 evicted.push((old.key, old.pool));
@@ -238,6 +276,7 @@ impl PoolArena {
             pool,
             bytes,
             last_used: AtomicU64::new(clock),
+            uses: AtomicU64::new(uses),
             pinned,
         });
         self.resident_bytes += bytes;
@@ -245,22 +284,39 @@ impl PoolArena {
         evicted
     }
 
-    /// Evicts unpinned LRU entries until the budget fits; `protect` marks
-    /// a `last_used` stamp that must survive (the entry just inserted).
-    /// Returns the evicted entries, most stale first.
+    /// Evicts policy-chosen unpinned entries until the budget fits;
+    /// `protect` marks a `last_used` stamp that must survive (the entry
+    /// just inserted). Candidates are offered to the policy in entry
+    /// order, so [`crate::eviction::Lru`]'s first-on-ties choice matches
+    /// the pre-policy arena's victim order exactly. Returns the evicted
+    /// entries in eviction order.
     fn enforce_budget(&mut self, protect: Option<u64>) -> Vec<(PoolKey, Arc<MrrPool>)> {
         let mut evicted = Vec::new();
         while self.resident_bytes > self.capacity_bytes {
-            let Some((victim, _)) = self
+            let candidates: Vec<(usize, EvictionMeta)> = self
                 .entries
                 .iter()
                 .enumerate()
                 .filter(|(_, e)| !e.pinned && Some(e.last_used.load(Ordering::Relaxed)) != protect)
-                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
-            else {
+                .map(|(i, e)| {
+                    (
+                        i,
+                        EvictionMeta {
+                            last_used: e.last_used.load(Ordering::Relaxed),
+                            uses: e.uses.load(Ordering::Relaxed),
+                            bytes: e.bytes,
+                        },
+                    )
+                })
+                .collect();
+            if candidates.is_empty() {
                 break; // only pinned/protected entries left
+            }
+            let metas: Vec<EvictionMeta> = candidates.iter().map(|(_, m)| *m).collect();
+            let Some(choice) = self.policy.select_victim(&metas) else {
+                break; // the policy declined: stop, stay over budget
             };
-            let entry = self.entries.remove(victim);
+            let entry = self.entries.remove(candidates[choice].0);
             self.resident_bytes -= entry.bytes;
             self.evictions.fetch_add(1, Ordering::Relaxed);
             evicted.push((entry.key, entry.pool));
@@ -329,7 +385,58 @@ impl PoolArena {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            shards: 1,
         }
+    }
+
+    /// Exports (and removes) every entry for re-sharding, preserving
+    /// recency stamps, hit counts, and pins. Counters stay behind — the
+    /// caller moves them with [`Self::absorb_counters`].
+    pub(crate) fn drain(&mut self) -> Vec<DrainedEntry> {
+        self.resident_bytes = 0;
+        self.entries
+            .drain(..)
+            .map(|e| DrainedEntry {
+                key: e.key,
+                pool: e.pool,
+                last_used: e.last_used.load(Ordering::Relaxed),
+                uses: e.uses.load(Ordering::Relaxed),
+                pinned: e.pinned,
+            })
+            .collect()
+    }
+
+    /// Re-inserts a drained entry verbatim: no eviction, no counter
+    /// bumps, stamps and pin carried over. The clock is advanced past the
+    /// restored stamp so future touches stay strictly newer.
+    pub(crate) fn restore(&mut self, entry: DrainedEntry) {
+        let bytes = entry.pool.memory_bytes();
+        self.clock.fetch_max(entry.last_used, Ordering::Relaxed);
+        self.resident_bytes += bytes;
+        self.entries.push(ArenaEntry {
+            key: entry.key,
+            pool: entry.pool,
+            bytes,
+            last_used: AtomicU64::new(entry.last_used),
+            uses: AtomicU64::new(entry.uses),
+            pinned: entry.pinned,
+        });
+    }
+
+    /// Folds another arena's cumulative counters into this one — used
+    /// when re-sharding collapses shards so `lookups == hits + misses`
+    /// stays lossless across the reconfiguration.
+    pub(crate) fn absorb_counters(&mut self, stats: ArenaStats, clock: u64) {
+        self.lookups.fetch_add(stats.lookups, Ordering::Relaxed);
+        self.hits.fetch_add(stats.hits, Ordering::Relaxed);
+        self.misses.fetch_add(stats.misses, Ordering::Relaxed);
+        self.evictions.fetch_add(stats.evictions, Ordering::Relaxed);
+        self.clock.fetch_max(clock, Ordering::Relaxed);
+    }
+
+    /// The current recency clock value (for [`Self::absorb_counters`]).
+    pub(crate) fn clock(&self) -> u64 {
+        self.clock.load(Ordering::Relaxed)
     }
 }
 

@@ -1,30 +1,51 @@
-//! Tier 1 of the pool store: checksummed pool segments on disk.
+//! Tier 1 of the pool store: checksummed pools packed into region files.
 //!
-//! A store directory holds one `index.json` manifest plus one segment
-//! file per cached pool:
+//! A store directory holds one `index.json` manifest plus a small number
+//! of fixed-capacity **region** files, each an append-only pack of many
+//! pool payloads (the same shape foyer's storage layer uses — fixed-size
+//! regions instead of a file per key, so a million cached pools cost a
+//! handful of file handles, not a million inodes):
 //!
 //! ```text
 //! store/
-//! ├── index.json            manifest: key → file, bytes, crc, recency
-//! ├── pool-4f1d….mrr        pool binio v2 (CRC-32 trailer)
-//! ├── pool-99ab….mrr
-//! └── quarantine/           corrupt / orphaned segments moved aside by
-//!     └── pool-77cc….mrr    recovery and `gc` (never deleted silently)
+//! ├── index.json            manifest v2: regions + key → (region, offset,
+//! │                         bytes, crc, recency)
+//! ├── region-00000001.dat   pool binio v2 payloads, appended back to back
+//! │     ┌─────────┬──────────────┬────────┐
+//! │     │ pool #0 │    pool #1   │ pool#2 │ … ← committed watermark
+//! │     └─────────┴──────────────┴────────┘
+//! ├── region-00000002.dat
+//! └── quarantine/           corrupt / orphaned files moved aside by
+//!     └── region-…dat       recovery and `gc` (never deleted silently)
 //! ```
 //!
-//! Every write is crash-safe: segments and the manifest are written to a
-//! temp file, synced, and atomically renamed into place, so a torn write
-//! leaves at worst a stale `.tmp-*` file that the next open sweeps away.
-//! Reads verify the segment's CRC-32 trailer (pool binio v2); anything
-//! that fails to *parse* is moved to `quarantine/` — never served, never
-//! silently deleted. An I/O error (as opposed to a parse failure) never
-//! quarantines: the segment may be perfectly healthy on a sick disk, so
-//! the tier degrades instead (see below) and keeps the entry. The tier
-//! enforces its own byte budget with LRU eviction ordered by the
-//! manifest's recency stamps, which persist across restarts.
+//! Every entry is one binio v2 pool (CRC-32 trailer) at a manifest-
+//! recorded `(region, offset, bytes)`. Writes **append** to the newest
+//! region through the [`crate::io::StoreIo`] seam, sync, and then commit
+//! by atomically rewriting the manifest — the manifest rename is the ack
+//! point, so a torn append leaves at worst unindexed bytes past the
+//! region's committed watermark, which the next open truncates away.
+//! Reads slice one entry out of its region and verify the CRC trailer;
+//! anything that fails to *parse* is dropped (and its region quarantined
+//! once no live entry remains) — never served, never silently deleted.
+//! An I/O error (as opposed to a parse failure) never quarantines: the
+//! bytes may be perfectly healthy on a sick disk, so the tier degrades
+//! instead and keeps the entry.
+//!
+//! Eviction is per entry (LRU over manifest recency stamps, which
+//! persist across restarts at both entry and region granularity); dead
+//! bytes accumulate inside regions until [`DiskTier::gc`] rewrites the
+//! affected regions, copying live entries into fresh packs and
+//! reclaiming the rest — reported per region.
+//!
+//! A v1 store directory (one `pool-*.mrr` segment per key) migrates
+//! transparently: the first open repacks every verified segment into
+//! regions and only removes the originals after the v2 manifest commit,
+//! so a committed pool is never lost — a segment that cannot be packed
+//! is indexed in place as a single-entry region instead.
 //!
 //! All filesystem access goes through the [`crate::io::StoreIo`] seam,
-//! so tests can inject ENOSPC, torn writes, rename loss, and crash
+//! so tests can inject ENOSPC, torn appends, rename loss, and crash
 //! points deterministically. Any I/O failure trips the tier's
 //! [`TierHealth`] machine into **degraded mode**: disk lookups and puts
 //! short-circuit (a miss, never an error), and a request-ticked,
@@ -37,32 +58,59 @@ use crate::{StoreError, StoreResult};
 use oipa_sampler::binio::{read_pool, write_pool, PoolIoError};
 use oipa_sampler::MrrPool;
 use serde::{Deserialize, Serialize};
-use std::hash::Hasher as _;
 use std::path::{Path, PathBuf};
 
-/// Manifest schema version.
-const MANIFEST_VERSION: u32 = 1;
+/// Manifest schema version (v2: region-packed).
+const MANIFEST_VERSION: u32 = 2;
+/// The version this tier migrates from (file-per-key segments).
+const MANIFEST_VERSION_V1: u32 = 1;
 /// Manifest file name inside the store directory.
 pub const MANIFEST_FILE: &str = "index.json";
 /// Quarantine subdirectory name.
 pub const QUARANTINE_DIR: &str = "quarantine";
-/// Segment file prefix/suffix.
+/// Region file prefix (`region-{id:08x}.dat`).
+pub const REGION_PREFIX: &str = "region-";
+/// Region file suffix.
+pub const REGION_SUFFIX: &str = ".dat";
+/// Legacy v1 segment prefix/suffix (recognized for migration + sweeps).
 const SEGMENT_PREFIX: &str = "pool-";
 const SEGMENT_SUFFIX: &str = ".mrr";
 const TMP_PREFIX: &str = ".tmp-";
 
-/// One manifest row: a cached pool and where it lives.
+/// Default capacity of one region file (16 MiB): large enough to pack
+/// many pools behind one file handle, small enough that a per-region GC
+/// rewrite stays cheap.
+pub const DEFAULT_REGION_BYTES: u64 = 16 << 20;
+
+/// One manifest row: a cached pool and where it lives inside its region.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ManifestEntry {
     /// The pool's cache key.
     pub key: PoolKey,
-    /// Segment file name (relative to the store directory).
+    /// Region file name (relative to the store directory).
     pub file: String,
-    /// Segment size in bytes (whole file, trailer included).
+    /// Byte offset of this entry's payload inside the region.
+    pub offset: u64,
+    /// Payload size in bytes (binio v2 frame, trailer included).
     pub bytes: u64,
-    /// CRC-32 of the segment payload (the binio v2 trailer value).
+    /// CRC-32 of the payload (the binio v2 trailer value).
     pub crc: u32,
     /// LRU recency stamp (larger = more recent); persists across opens.
+    pub last_used: u64,
+}
+
+/// One region file: a fixed-capacity, append-only pack of pool entries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionRow {
+    /// Region file name (relative to the store directory).
+    pub file: String,
+    /// Committed watermark: every indexed entry lies wholly below this
+    /// offset, and recovery truncates the file back to it — bytes past
+    /// it are torn, unacked appends.
+    pub committed: u64,
+    /// Recency stamp of the most recent touch of any entry in this
+    /// region (persists across opens — restart-persistent recency at
+    /// region granularity).
     pub last_used: u64,
 }
 
@@ -73,6 +121,10 @@ struct Manifest {
     /// sampled from; 0 while unset. A mismatch purges the tier.
     instance: u64,
     clock: u64,
+    /// The memory tier's active eviction-policy name, recorded so a
+    /// disk-only inspection (`store ls`) can report it.
+    eviction: String,
+    regions: Vec<RegionRow>,
     entries: Vec<ManifestEntry>,
 }
 
@@ -82,44 +134,78 @@ impl Manifest {
             version: MANIFEST_VERSION,
             instance: 0,
             clock: 0,
+            eviction: "lru".to_string(),
+            regions: Vec::new(),
             entries: Vec::new(),
         }
     }
+}
+
+/// The v1 manifest (file-per-key segments), read only for migration.
+#[derive(Debug, Deserialize)]
+struct ManifestV1 {
+    #[allow(dead_code)]
+    version: u32,
+    instance: u64,
+    clock: u64,
+    entries: Vec<ManifestEntryV1>,
+}
+
+#[derive(Debug, Deserialize)]
+struct ManifestEntryV1 {
+    key: PoolKey,
+    file: String,
+    bytes: u64,
+    crc: u32,
+    last_used: u64,
 }
 
 /// What [`DiskTier::open`] had to repair.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
 pub struct OpenReport {
     /// The manifest was unreadable and was quarantined (the tier started
-    /// empty; its segments became orphans).
+    /// empty; its files became orphans).
     pub corrupt_manifest: bool,
-    /// Manifest entries dropped because their segment file was missing.
+    /// Manifest entries dropped because their region vanished or no
+    /// longer covers their `(offset, bytes)` range.
     pub dropped_missing: usize,
-    /// Segments quarantined: size-mismatched entries plus orphaned files
-    /// the manifest does not know.
+    /// Files quarantined: segments/regions that failed verification plus
+    /// orphaned files the manifest does not know.
     pub quarantined: usize,
     /// Stale temp files removed.
     pub stale_temps: usize,
+    /// v1 segments repacked into regions by transparent migration.
+    pub migrated: usize,
+    /// Regions truncated back to their committed watermark (torn,
+    /// unacked appends trimmed away).
+    pub trimmed_regions: usize,
 }
 
 /// Cumulative disk-tier counters plus the current occupancy.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DiskStats {
-    /// Segments currently indexed.
+    /// Pool entries currently indexed.
     pub entries: usize,
-    /// Bytes currently indexed.
+    /// Bytes currently indexed (live entry payloads).
     pub bytes: u64,
     /// The configured byte budget.
     pub capacity_bytes: u64,
+    /// Region files currently indexed.
+    pub regions: usize,
+    /// The configured per-region capacity.
+    pub region_bytes: u64,
+    /// Committed-but-dead bytes awaiting `gc` (evicted or corrupt
+    /// entries still occupying space inside their regions).
+    pub dead_bytes: u64,
     /// Lookups served from disk.
     pub hits: u64,
-    /// Lookups that found no (usable) segment.
+    /// Lookups that found no (usable) entry.
     pub misses: u64,
     /// Pools written to disk (spills + write-through inserts).
     pub spills: u64,
-    /// Segments deleted to stay under the byte budget.
+    /// Entries dropped to stay under the byte budget.
     pub evictions: u64,
-    /// Segments quarantined after failing verification on read.
+    /// Entries dropped after failing verification on read.
     pub corrupt_dropped: u64,
     /// Pools skipped because they alone exceed the byte budget.
     pub oversized_skipped: u64,
@@ -136,30 +222,36 @@ pub struct DiskStats {
     pub degraded_skips: u64,
 }
 
-/// Per-segment verification outcome (`oipa-cli store verify`).
+/// Per-entry verification outcome (`oipa-cli store verify`). Labels are
+/// `region@offset` — one region carries many entries.
 #[derive(Debug, Clone, Serialize)]
 pub struct VerifyReport {
-    /// Segments that parsed and passed their CRC check: (file, bytes).
+    /// Entries that parsed and passed their CRC check: (label, bytes).
     pub ok: Vec<(String, u64)>,
-    /// Segments that failed: (file, reason).
+    /// Entries that failed: (label, reason).
     pub corrupt: Vec<(String, String)>,
 }
 
 /// What a [`DiskTier::gc`] pass did.
 #[derive(Debug, Clone, Default, Serialize)]
 pub struct GcReport {
-    /// Segments moved to `quarantine/` after failing verification.
+    /// Region files moved to `quarantine/` because an entry inside them
+    /// failed verification (live entries were copied out first).
     pub quarantined: Vec<String>,
-    /// Manifest entries dropped because their file vanished.
+    /// Manifest entries dropped because their region vanished.
     pub dropped_missing: usize,
-    /// Orphaned segment files (present on disk, absent from the
-    /// manifest) moved to `quarantine/`.
+    /// Orphaned files (present on disk, absent from the manifest) moved
+    /// to `quarantine/`.
     pub orphans_quarantined: usize,
     /// Stale temp files removed.
     pub stale_temps: usize,
-    /// Indexed bytes reclaimed from the tier by this pass.
+    /// Indexed bytes reclaimed from the tier by this pass (missing +
+    /// corrupt entries).
     pub reclaimed_bytes: u64,
-    /// Healthy segments kept.
+    /// Physical bytes reclaimed per rewritten region: (region file,
+    /// committed bytes not copied forward).
+    pub region_reclaimed: Vec<(String, u64)>,
+    /// Healthy entries kept.
     pub kept: usize,
 }
 
@@ -167,15 +259,18 @@ pub struct GcReport {
 pub struct DiskTier {
     dir: PathBuf,
     capacity_bytes: u64,
+    region_bytes: u64,
     io: DynStoreIo,
     health: TierHealth,
     manifest: Manifest,
     /// Maintained running total of `manifest.entries[..].bytes`, so the
     /// budget check is O(1) instead of a fold per put.
     indexed_bytes: u64,
+    /// Next region id to probe when allocating a fresh region file.
+    next_region_id: u64,
     /// The in-memory manifest has recency stamps the on-disk `index.json`
     /// does not. Set by read-path recency updates; cleared by `persist`.
-    /// Structural changes (new segments, evictions, quarantines) persist
+    /// Structural changes (new entries, evictions, quarantines) persist
     /// immediately — only recency is batched, flushed on the next write
     /// or on drop.
     dirty: bool,
@@ -201,80 +296,156 @@ fn io_err(what: impl Into<String>, e: impl std::fmt::Display) -> StoreError {
 
 impl DiskTier {
     /// Opens (creating if needed) a store directory over the real
-    /// filesystem. See [`DiskTier::open_with_io`].
+    /// filesystem with the default region capacity. See
+    /// [`DiskTier::open_with`].
     pub fn open(dir: impl Into<PathBuf>, capacity_bytes: u64) -> StoreResult<DiskTier> {
-        DiskTier::open_with_io(dir, capacity_bytes, RealIo::arc())
+        DiskTier::open_with(dir, capacity_bytes, DEFAULT_REGION_BYTES, RealIo::arc())
+    }
+
+    /// Opens through a [`StoreIo`] with the default region capacity.
+    /// See [`DiskTier::open_with`].
+    pub fn open_with_io(
+        dir: impl Into<PathBuf>,
+        capacity_bytes: u64,
+        io: DynStoreIo,
+    ) -> StoreResult<DiskTier> {
+        DiskTier::open_with(dir, capacity_bytes, DEFAULT_REGION_BYTES, io)
     }
 
     /// Opens (creating if needed) a store directory through a
-    /// [`StoreIo`] and recovers its manifest: entries with missing or
-    /// size-mismatched segments are dropped/quarantined, segment files
-    /// the manifest does not know are quarantined, stale temp files are
-    /// removed, and the byte budget is enforced. Corruption never fails
-    /// the open — it is repaired and reported in
+    /// [`StoreIo`] and recovers its manifest: regions are truncated back
+    /// to their committed watermark (torn appends trimmed), entries
+    /// whose region vanished or shrank are dropped, files the manifest
+    /// does not know are quarantined, stale temp files are removed, and
+    /// the byte budget is enforced. A v1 (file-per-key) directory is
+    /// transparently repacked into regions — originals are removed only
+    /// after the v2 manifest commits, so a committed pool is never lost.
+    /// Corruption never fails the open — it is repaired and reported in
     /// [`DiskTier::open_report`]. Neither do repair-write failures (a
     /// read-only or full disk): the affected entries are dropped from
     /// the index and the tier opens **degraded** (see
     /// [`DiskTier::health`]) rather than refusing to serve. Only an
     /// unlistable/uncreatable directory or an unreadable-but-present
     /// manifest fails the open.
-    pub fn open_with_io(
+    pub fn open_with(
         dir: impl Into<PathBuf>,
         capacity_bytes: u64,
+        region_bytes: u64,
         io: DynStoreIo,
     ) -> StoreResult<DiskTier> {
         let dir = dir.into();
+        let region_bytes = region_bytes.max(1);
         io.create_dir_all(&dir)
             .map_err(|e| io_err(format!("creating store dir {}", dir.display()), e))?;
         let mut report = OpenReport::default();
         let mut health = TierHealth::new();
 
         let manifest_path = dir.join(MANIFEST_FILE);
+        let mut migrated_sources: Vec<String> = Vec::new();
         let mut manifest = match io.read(&manifest_path) {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Manifest::fresh(),
             Err(e) => return Err(io_err(format!("reading {}", manifest_path.display()), e)),
-            Ok(bytes) => match serde_json::from_str::<Manifest>(&String::from_utf8_lossy(&bytes)) {
-                Ok(m) if m.version == MANIFEST_VERSION => m,
-                parsed => {
-                    // Unreadable or future-versioned: set the manifest
-                    // aside and start empty; its segments become orphans
-                    // below. Never serve entries we cannot trust.
-                    let reason = match parsed {
-                        Ok(m) => format!("unsupported manifest version {}", m.version),
-                        Err(e) => e.to_string(),
-                    };
-                    if let Err(e) = quarantine_file(io.as_ref(), &dir, MANIFEST_FILE, &reason) {
-                        health.record_error(format!("quarantining corrupt manifest: {e}"));
+            Ok(bytes) => {
+                let text = String::from_utf8_lossy(&bytes);
+                let version = serde_json::from_str::<serde_json::Value>(&text)
+                    .ok()
+                    .and_then(|v| match v.get("version") {
+                        Some(serde_json::Value::Int(i)) if *i >= 0 => Some(*i as u64),
+                        Some(serde_json::Value::UInt(u)) => Some(*u),
+                        _ => None,
+                    });
+                let parsed: Result<Manifest, String> = match version {
+                    Some(v) if v == u64::from(MANIFEST_VERSION) => {
+                        serde_json::from_str::<Manifest>(&text).map_err(|e| e.to_string())
                     }
-                    report.corrupt_manifest = true;
-                    Manifest::fresh()
+                    Some(v) if v == u64::from(MANIFEST_VERSION_V1) => {
+                        match serde_json::from_str::<ManifestV1>(&text) {
+                            Ok(v1) => {
+                                let (m, sources) = migrate_v1(
+                                    io.as_ref(),
+                                    &dir,
+                                    region_bytes,
+                                    v1,
+                                    &mut health,
+                                    &mut report,
+                                );
+                                migrated_sources = sources;
+                                Ok(m)
+                            }
+                            Err(e) => Err(e.to_string()),
+                        }
+                    }
+                    Some(v) => Err(format!("unsupported manifest version {v}")),
+                    None => Err("manifest is not a JSON object with a version".to_string()),
+                };
+                match parsed {
+                    Ok(m) => m,
+                    Err(reason) => {
+                        // Unreadable or future-versioned: set the manifest
+                        // aside and start empty; its files become orphans
+                        // below. Never serve entries we cannot trust.
+                        if let Err(e) = quarantine_file(io.as_ref(), &dir, MANIFEST_FILE, &reason) {
+                            health.record_error(format!("quarantining corrupt manifest: {e}"));
+                        }
+                        report.corrupt_manifest = true;
+                        Manifest::fresh()
+                    }
                 }
-            },
+            }
         };
 
-        // Validate each entry's segment: present and the size recorded.
-        // A failed quarantine still drops the entry — a size-mismatched
-        // segment must never be served, and the leftover file is just an
-        // orphan for a later, healthier pass.
+        // Validate each region against the file actually on disk: a file
+        // longer than its committed watermark carries a torn, unacked
+        // append and is truncated back; a shorter one lost committed
+        // bytes (its watermark shrinks and out-of-range entries drop); a
+        // vanished one drops with all its entries.
+        let mut rows = Vec::with_capacity(manifest.regions.len());
+        for mut row in std::mem::take(&mut manifest.regions) {
+            match io.len(&dir.join(&row.file)) {
+                Err(_) => {
+                    // Vanished (or unreachable) region: entries pointing
+                    // into it are dropped below as missing.
+                }
+                Ok(len) if len > row.committed => {
+                    match io.truncate(&dir.join(&row.file), row.committed) {
+                        Ok(()) => report.trimmed_regions += 1,
+                        Err(e) => {
+                            // Reads stay within `committed`, so serving is
+                            // safe; the trim retries at the next open.
+                            health.record_error(format!("trimming region {}: {e}", row.file));
+                        }
+                    }
+                    rows.push(row);
+                }
+                Ok(len) if len < row.committed => {
+                    row.committed = len;
+                    rows.push(row);
+                }
+                Ok(_) => rows.push(row),
+            }
+        }
+        manifest.regions = rows;
+
+        // Validate each entry against the surviving regions.
         let mut kept = Vec::with_capacity(manifest.entries.len());
         for entry in std::mem::take(&mut manifest.entries) {
-            match io.len(&dir.join(&entry.file)) {
-                Err(_) => report.dropped_missing += 1,
-                Ok(len) if len != entry.bytes => {
-                    if let Err(e) = quarantine_file(io.as_ref(), &dir, &entry.file, "size mismatch")
-                    {
-                        health.record_error(format!("quarantining {}: {e}", entry.file));
-                    }
-                    report.quarantined += 1;
-                }
-                Ok(_) => kept.push(entry),
+            let covered = manifest
+                .regions
+                .iter()
+                .any(|r| r.file == entry.file && entry.offset + entry.bytes <= r.committed);
+            if covered {
+                kept.push(entry);
+            } else {
+                report.dropped_missing += 1;
             }
         }
         manifest.entries = kept;
 
-        // Sweep the directory: stale temps go away, unknown segments are
-        // quarantined (without a manifest row their key is unknowable —
-        // the campaign JSON lives only in the manifest).
+        // Sweep the directory: stale temps go away, unknown regions and
+        // legacy segments are quarantined (without a manifest row their
+        // keys are unknowable — the campaign JSON lives only in the
+        // manifest). Freshly migrated v1 sources are skipped: they are
+        // removed after the v2 manifest commits, below.
         let listing = io
             .list(&dir)
             .map_err(|e| io_err(format!("listing store dir {}", dir.display()), e))?;
@@ -282,25 +453,45 @@ impl DiskTier {
             if name.starts_with(TMP_PREFIX) {
                 let _ = io.remove(&dir.join(&name));
                 report.stale_temps += 1;
-            } else if name.starts_with(SEGMENT_PREFIX)
-                && name.ends_with(SEGMENT_SUFFIX)
-                && !manifest.entries.iter().any(|e| e.file == name)
-            {
-                if let Err(e) = quarantine_file(io.as_ref(), &dir, &name, "orphaned segment") {
-                    health.record_error(format!("quarantining orphan {name}: {e}"));
-                }
-                report.quarantined += 1;
+                continue;
             }
+            let region_like = name.starts_with(REGION_PREFIX) && name.ends_with(REGION_SUFFIX);
+            let segment_like = name.starts_with(SEGMENT_PREFIX) && name.ends_with(SEGMENT_SUFFIX);
+            if !region_like && !segment_like {
+                continue;
+            }
+            if manifest.regions.iter().any(|r| r.file == name)
+                || migrated_sources.iter().any(|s| s == &name)
+            {
+                continue;
+            }
+            let reason = if region_like {
+                "orphaned region"
+            } else {
+                "orphaned segment"
+            };
+            if let Err(e) = quarantine_file(io.as_ref(), &dir, &name, reason) {
+                health.record_error(format!("quarantining orphan {name}: {e}"));
+            }
+            report.quarantined += 1;
         }
 
         let indexed_bytes = manifest.entries.iter().map(|e| e.bytes).sum();
+        let next_region_id = manifest
+            .regions
+            .iter()
+            .filter_map(|r| region_id(&r.file))
+            .max()
+            .map_or(1, |id| id + 1);
         let mut tier = DiskTier {
             dir,
             capacity_bytes,
+            region_bytes,
             io,
             health,
             manifest,
             indexed_bytes,
+            next_region_id,
             dirty: false,
             open_report: report,
             hits: 0,
@@ -315,11 +506,23 @@ impl DiskTier {
             degraded_skips: 0,
         };
         tier.enforce_budget(None);
-        if tier.persist().is_err() {
-            // A store on a read-only/full disk still opens: it serves the
-            // recovered index (degraded — no new writes) and re-persists
-            // once the reopen probe succeeds.
-            tier.dirty = true;
+        match tier.persist() {
+            Ok(()) => {
+                // The v2 manifest is committed: the migrated v1 segments
+                // are now redundant copies. Best-effort removal — a
+                // leftover is quarantined as an orphan by a later open.
+                for source in &migrated_sources {
+                    let _ = tier.io.remove(&tier.dir.join(source));
+                }
+            }
+            Err(_) => {
+                // A store on a read-only/full disk still opens: it serves
+                // the recovered index (degraded — no new writes) and
+                // re-persists once the reopen probe succeeds. Migrated
+                // sources stay put: the on-disk manifest may still be v1,
+                // and re-migration from intact sources is safe.
+                tier.dirty = true;
+            }
         }
         Ok(tier)
     }
@@ -339,6 +542,40 @@ impl DiskTier {
         &self.manifest.entries
     }
 
+    /// The region files, in allocation order (the last is the active
+    /// append target).
+    pub fn regions(&self) -> &[RegionRow] {
+        &self.manifest.regions
+    }
+
+    /// The configured per-region capacity in bytes.
+    pub fn region_bytes(&self) -> u64 {
+        self.region_bytes
+    }
+
+    /// Committed-but-dead bytes awaiting [`DiskTier::gc`]: space inside
+    /// regions whose entries were evicted or dropped.
+    pub fn dead_bytes(&self) -> u64 {
+        let committed: u64 = self.manifest.regions.iter().map(|r| r.committed).sum();
+        committed.saturating_sub(self.indexed_bytes)
+    }
+
+    /// The memory tier's eviction-policy name as recorded in the
+    /// manifest (`lru` until a store configured otherwise attaches).
+    pub fn eviction_label(&self) -> &str {
+        &self.manifest.eviction
+    }
+
+    /// Records the attached memory tier's eviction-policy name in the
+    /// manifest, so disk-only inspection (`store ls`) can report it.
+    /// Batched like recency: flushed by the next structural write.
+    pub fn set_eviction_label(&mut self, label: &str) {
+        if self.manifest.eviction != label {
+            self.manifest.eviction = label.to_string();
+            self.dirty = true;
+        }
+    }
+
     /// The recorded sampling-inputs fingerprint (0 while unset).
     pub fn instance(&self) -> u64 {
         self.manifest.instance
@@ -351,7 +588,7 @@ impl DiskTier {
 
     /// Records the fingerprint of the (graph, table) this tier caches
     /// pools for. On a mismatch with the recorded fingerprint every
-    /// segment is quarantined — pools sampled from different inputs must
+    /// region is quarantined — pools sampled from different inputs must
     /// never be served. Returns whether a purge happened.
     pub fn set_instance(&mut self, fingerprint: u64) -> StoreResult<bool> {
         if self.manifest.instance == fingerprint {
@@ -359,22 +596,42 @@ impl DiskTier {
         }
         let purge = self.manifest.instance != 0 && !self.manifest.entries.is_empty();
         if purge {
-            // Quarantine one entry at a time: if a quarantine fails
-            // mid-purge, the failed entry goes back on the index with its
-            // bytes, so `indexed_bytes` never drifts from `entries` on
-            // the error path — and nothing here can panic.
-            while let Some(entry) = self.manifest.entries.pop() {
-                if let Err(e) = quarantine_file(
-                    self.io.as_ref(),
-                    &self.dir,
-                    &entry.file,
-                    "instance fingerprint mismatch",
-                ) {
-                    self.health
-                        .record_error(format!("instance purge of {}: {e}", entry.file));
-                    self.manifest.entries.push(entry);
-                    return Err(e);
+            // Quarantine one region at a time: if a quarantine fails
+            // mid-purge, the failed region goes back on the index with
+            // its entries, so `indexed_bytes` never drifts from
+            // `entries` on the error path — and nothing here can panic.
+            while let Some(row) = self.manifest.regions.pop() {
+                let path = self.dir.join(&row.file);
+                if row.committed > 0 && self.io.exists(&path) {
+                    if let Err(e) = quarantine_file(
+                        self.io.as_ref(),
+                        &self.dir,
+                        &row.file,
+                        "instance fingerprint mismatch",
+                    ) {
+                        self.health
+                            .record_error(format!("instance purge of {}: {e}", row.file));
+                        self.manifest.regions.push(row);
+                        return Err(e);
+                    }
+                } else if self.io.exists(&path) {
+                    // Nothing committed: no pool bytes to preserve.
+                    let _ = self.io.remove(&path);
                 }
+                let mut kept = Vec::with_capacity(self.manifest.entries.len());
+                for entry in std::mem::take(&mut self.manifest.entries) {
+                    if entry.file == row.file {
+                        self.indexed_bytes -= entry.bytes;
+                        self.evictions += 1;
+                    } else {
+                        kept.push(entry);
+                    }
+                }
+                self.manifest.entries = kept;
+            }
+            // Entries without a region row cannot exist, but never let
+            // the invariant depend on it: drop any stragglers.
+            for entry in std::mem::take(&mut self.manifest.entries) {
                 self.indexed_bytes -= entry.bytes;
                 self.evictions += 1;
             }
@@ -384,12 +641,13 @@ impl DiskTier {
         Ok(purge)
     }
 
-    /// Looks up a pool, reading and CRC-verifying its segment. A segment
-    /// that fails *verification* is quarantined and its entry dropped —
-    /// the caller sees a plain miss and resamples. A segment whose read
-    /// fails with an *I/O error* is kept (the bytes may be fine; the disk
-    /// is not) and the tier degrades: this and subsequent lookups miss
-    /// without touching the disk until a reopen probe succeeds.
+    /// Looks up a pool, slicing its entry out of its region and
+    /// CRC-verifying it. An entry that fails *verification* is dropped —
+    /// and its region quarantined once no live entry remains in it — so
+    /// the caller sees a plain miss and resamples. An entry whose read
+    /// fails with an *I/O error* is kept (the bytes may be fine; the
+    /// disk is not) and the tier degrades: this and subsequent lookups
+    /// miss without touching the disk until a reopen probe succeeds.
     ///
     /// A hit only marks the manifest dirty: the recency stamp is flushed
     /// by the next structural write (put/eviction) or on drop, so a
@@ -421,20 +679,27 @@ impl DiskTier {
             }
             return None;
         };
-        let file = self.manifest.entries[idx].file.clone();
-        match self.read_segment(&file) {
+        let (file, offset, bytes) = {
+            let e = &self.manifest.entries[idx];
+            (e.file.clone(), e.offset, e.bytes)
+        };
+        match self.read_entry(&file, offset, bytes) {
             Ok(pool) => {
                 self.manifest.clock += 1;
-                self.manifest.entries[idx].last_used = self.manifest.clock;
+                let stamp = self.manifest.clock;
+                self.manifest.entries[idx].last_used = stamp;
+                if let Some(row) = self.manifest.regions.iter_mut().find(|r| r.file == file) {
+                    row.last_used = stamp;
+                }
                 self.hits += 1;
                 self.dirty = true; // recency is batched, not rewritten per read
                 self.health.record_ok();
                 Some(pool)
             }
             Err(PoolIoError::Io(e)) => {
-                // The disk failed, not the segment: keep the entry and
-                // degrade. Quarantining here would throw away healthy
-                // pools every time a disk hiccups.
+                // The disk failed, not the entry: keep it and degrade.
+                // Quarantining here would throw away healthy pools every
+                // time a disk hiccups.
                 self.health.record_error(format!("reading {file}: {e}"));
                 if count_miss {
                     self.misses += 1;
@@ -442,9 +707,15 @@ impl DiskTier {
                 None
             }
             Err(e) => {
-                let _ = quarantine_file(self.io.as_ref(), &self.dir, &file, &e.to_string());
                 let entry = self.manifest.entries.remove(idx);
                 self.indexed_bytes -= entry.bytes;
+                // Quarantine the region only once nothing live remains
+                // in it; otherwise the dead bytes wait for `gc`.
+                if !self.manifest.entries.iter().any(|x| x.file == entry.file) {
+                    let _ =
+                        quarantine_file(self.io.as_ref(), &self.dir, &entry.file, &e.to_string());
+                    self.manifest.regions.retain(|r| r.file != entry.file);
+                }
                 self.corrupt_dropped += 1;
                 self.misses += 1;
                 let _ = self.persist();
@@ -453,13 +724,13 @@ impl DiskTier {
         }
     }
 
-    /// Reads and parses one segment through the I/O seam.
-    fn read_segment(&self, file: &str) -> Result<MrrPool, PoolIoError> {
-        let bytes = self
+    /// Reads and parses one entry's payload slice through the I/O seam.
+    fn read_entry(&self, file: &str, offset: u64, bytes: u64) -> Result<MrrPool, PoolIoError> {
+        let data = self
             .io
-            .read(&self.dir.join(file))
+            .read_at(&self.dir.join(file), offset, bytes as usize)
             .map_err(PoolIoError::Io)?;
-        read_pool(&bytes[..])
+        read_pool(&data[..])
     }
 
     /// Writes the manifest out if any batched recency stamps are pending.
@@ -482,20 +753,20 @@ impl DiskTier {
         self.persist().inspect_err(|_| self.flush_errors += 1)
     }
 
-    /// Writes a pool segment (write-to-temp + sync + atomic rename),
-    /// indexes it, and evicts LRU segments until the byte budget fits. A
-    /// key already present is only touched — a recency update batched
-    /// like [`DiskTier::get`]'s, not a manifest rewrite (keys are
+    /// Appends a pool to the newest region (append + sync), indexes it,
+    /// and evicts LRU entries until the byte budget fits. A key already
+    /// present is only touched — a recency update batched like
+    /// [`DiskTier::get`]'s, not a manifest rewrite (keys are
     /// content-addressed: the campaign, θ and seed/fingerprint determine
-    /// the pool bytes). A pool whose segment alone exceeds the budget is
+    /// the pool bytes). A pool whose payload alone exceeds the budget is
     /// not stored. Best-effort: IO failures are counted and degrade the
     /// tier, never surface to the caller — a broken disk tier is a cache
     /// miss, not a serving failure.
     ///
-    /// Returns whether the write is **acked**: segment renamed into place
+    /// Returns whether the write is **acked**: payload appended + synced
     /// *and* its manifest row committed. Only acked writes are promised
-    /// to survive a crash; anything else is at best an orphan the next
-    /// open quarantines.
+    /// to survive a crash; anything else is at worst torn bytes past the
+    /// region's committed watermark, truncated away by the next open.
     pub fn put(&mut self, key: &PoolKey, pool: &MrrPool) -> bool {
         self.maybe_probe();
         if !self.health.healthy() {
@@ -504,7 +775,12 @@ impl DiskTier {
         }
         if let Some(idx) = self.manifest.entries.iter().position(|e| &e.key == key) {
             self.manifest.clock += 1;
-            self.manifest.entries[idx].last_used = self.manifest.clock;
+            let stamp = self.manifest.clock;
+            let file = self.manifest.entries[idx].file.clone();
+            self.manifest.entries[idx].last_used = stamp;
+            if let Some(row) = self.manifest.regions.iter_mut().find(|r| r.file == file) {
+                row.last_used = stamp;
+            }
             self.dirty = true;
             return true;
         }
@@ -523,31 +799,46 @@ impl DiskTier {
             self.oversized_skipped += 1;
             return false;
         }
-        let file = self.segment_name(key);
-        let tmp = self.dir.join(format!("{TMP_PREFIX}{file}"));
-        let commit = (|| -> std::io::Result<()> {
-            self.io.write(&tmp, &buf)?;
-            self.io.sync(&tmp)?;
-            self.io.rename(&tmp, &self.dir.join(&file))
-        })();
+        let Some(file) = self.place(bytes) else {
+            self.write_errors += 1;
+            return false;
+        };
+        let path = self.dir.join(&file);
+        let commit = self
+            .io
+            .append(&path, &buf)
+            .and_then(|()| self.io.sync(&path));
         if let Err(e) = commit {
-            let _ = self.io.remove(&tmp);
+            // A torn append leaves bytes past `committed`; the next
+            // placement (or open) truncates them away. Nothing indexed.
             self.write_errors += 1;
             self.health
-                .record_error(format!("writing segment {file}: {e}"));
+                .record_error(format!("appending to region {file}: {e}"));
             return false;
         }
         self.manifest.clock += 1;
+        let stamp = self.manifest.clock;
+        let Some(row) = self.manifest.regions.iter_mut().find(|r| r.file == file) else {
+            // `place` always returns a manifest row; never panic if not.
+            self.write_errors += 1;
+            self.health
+                .record_error(format!("region {file} lost its manifest row"));
+            return false;
+        };
+        let offset = row.committed;
+        row.committed += bytes;
+        row.last_used = stamp;
         self.manifest.entries.push(ManifestEntry {
             key: key.clone(),
             file,
+            offset,
             bytes,
             crc,
-            last_used: self.manifest.clock,
+            last_used: stamp,
         });
         self.indexed_bytes += bytes;
         self.spills += 1;
-        self.enforce_budget(Some(self.manifest.clock));
+        self.enforce_budget(Some(stamp));
         let acked = self.persist().is_ok();
         if acked {
             self.health.record_ok();
@@ -555,86 +846,306 @@ impl DiskTier {
         acked
     }
 
-    /// Reads every indexed segment end to end, checking structure, CRC
-    /// trailer, and the manifest's recorded checksum. Mutates nothing —
-    /// pair with [`DiskTier::gc`] to act on the findings.
+    /// Picks (or allocates) the region an incoming `bytes`-sized payload
+    /// appends to: the newest region while it has room (a region's first
+    /// entry always fits, so a pool larger than `region_bytes` simply
+    /// gets a region of its own), else a fresh one. Before reusing a
+    /// region the file length is checked against the committed
+    /// watermark: a torn tail from an earlier failed append is truncated
+    /// away (falling back to a fresh region if the trim fails), and a
+    /// region that shrank or vanished underneath us is abandoned for a
+    /// fresh one. Returns `None` only when the disk cannot even be
+    /// stat-ed — recorded as a degrading error.
+    fn place(&mut self, bytes: u64) -> Option<String> {
+        if let Some(row) = self.manifest.regions.last() {
+            if row.committed == 0 || row.committed + bytes <= self.region_bytes {
+                let file = row.file.clone();
+                let committed = row.committed;
+                let path = self.dir.join(&file);
+                match self.io.len(&path) {
+                    Ok(len) if len == committed => return Some(file),
+                    Ok(len) if len > committed => {
+                        if self.io.truncate(&path, committed).is_ok() {
+                            return Some(file);
+                        }
+                        // Trim failed: leave the torn tail alone and pack
+                        // into a fresh region instead.
+                    }
+                    Ok(_) => {
+                        // Shrank underneath us: committed bytes are gone;
+                        // reads will fault and degrade. Append elsewhere.
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                        if committed == 0 {
+                            return Some(file); // append creates it
+                        }
+                        // Vanished with committed data: append elsewhere.
+                    }
+                    Err(e) => {
+                        self.health
+                            .record_error(format!("sizing region {file}: {e}"));
+                        return None;
+                    }
+                }
+            }
+        }
+        let file = self.next_region_name();
+        self.manifest.regions.push(RegionRow {
+            file: file.clone(),
+            committed: 0,
+            last_used: self.manifest.clock,
+        });
+        Some(file)
+    }
+
+    /// Allocates the next unused region file name (monotonic ids,
+    /// existence-probed so a quarantine-returned or leftover file is
+    /// never silently appended to).
+    fn next_region_name(&mut self) -> String {
+        loop {
+            let name = format!("{REGION_PREFIX}{:08x}{REGION_SUFFIX}", self.next_region_id);
+            self.next_region_id += 1;
+            if !self.io.exists(&self.dir.join(&name))
+                && !self.manifest.regions.iter().any(|r| r.file == name)
+            {
+                return name;
+            }
+        }
+    }
+
+    /// Reads every indexed entry out of its region, checking structure,
+    /// CRC trailer, and the manifest's recorded checksum. Mutates
+    /// nothing — pair with [`DiskTier::gc`] to act on the findings.
+    /// Labels are `region@offset`.
     pub fn verify(&self) -> VerifyReport {
         let mut report = VerifyReport {
             ok: Vec::new(),
             corrupt: Vec::new(),
         };
         for entry in &self.manifest.entries {
-            let bytes = match self.io.read(&self.dir.join(&entry.file)) {
-                Ok(bytes) => bytes,
-                Err(e) => {
-                    report
-                        .corrupt
-                        .push((entry.file.clone(), format!("io error: {e}")));
-                    continue;
-                }
-            };
-            match read_pool(&bytes[..]) {
-                Ok(pool) => {
-                    // The file parsed; cross-check the manifest row
-                    // against the trailer (the last 4 bytes just read).
-                    let trailer = segment_trailer_crc(&bytes);
-                    if trailer != Some(entry.crc) {
-                        report.corrupt.push((
-                            entry.file.clone(),
-                            format!(
-                                "manifest crc {:#010x} does not match segment trailer {:?}",
-                                entry.crc, trailer
-                            ),
-                        ));
-                    } else if pool.theta() != entry.key.theta() {
-                        report.corrupt.push((
-                            entry.file.clone(),
-                            format!(
-                                "segment holds θ={} but the key says θ={}",
-                                pool.theta(),
-                                entry.key.theta()
-                            ),
-                        ));
-                    } else {
-                        report.ok.push((entry.file.clone(), entry.bytes));
-                    }
-                }
-                Err(e) => report.corrupt.push((entry.file.clone(), e.to_string())),
+            let label = format!("{}@{}", entry.file, entry.offset);
+            match self.check_entry(entry) {
+                Ok(()) => report.ok.push((label, entry.bytes)),
+                Err(reason) => report.corrupt.push((label, reason)),
             }
         }
         report
     }
 
-    /// Repairs the tier: quarantines corrupt segments (full read-back
-    /// verification) and orphaned files, drops entries whose segments
-    /// vanished, and sweeps stale temps.
+    /// Full verification of one entry: readable, parseable, trailer
+    /// matches the manifest CRC, θ matches the key.
+    fn check_entry(&self, entry: &ManifestEntry) -> Result<(), String> {
+        let data = self
+            .io
+            .read_at(
+                &self.dir.join(&entry.file),
+                entry.offset,
+                entry.bytes as usize,
+            )
+            .map_err(|e| format!("io error: {e}"))?;
+        let pool = read_pool(&data[..]).map_err(|e| e.to_string())?;
+        let trailer = entry_trailer_crc(&data);
+        if trailer != Some(entry.crc) {
+            return Err(format!(
+                "manifest crc {:#010x} does not match entry trailer {:?}",
+                entry.crc, trailer
+            ));
+        }
+        if pool.theta() != entry.key.theta() {
+            return Err(format!(
+                "entry holds θ={} but the key says θ={}",
+                pool.theta(),
+                entry.key.theta()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Repairs and compacts the tier: drops entries whose region
+    /// vanished or that fail verification, rewrites every region that is
+    /// corrupt or carries dead bytes (live entries are copied into fresh
+    /// regions first — corrupt regions are then quarantined, clean ones
+    /// removed), quarantines orphaned files, and sweeps stale temps.
+    /// Physical bytes reclaimed are reported per region.
     pub fn gc(&mut self) -> StoreResult<GcReport> {
         let mut report = GcReport::default();
-        let verdicts = self.verify();
+
+        // Vanished regions: drop their rows and entries.
+        let mut missing: Vec<String> = Vec::new();
+        let io = std::sync::Arc::clone(&self.io);
+        let dir = self.dir.clone();
+        self.manifest.regions.retain(|r| {
+            if io.exists(&dir.join(&r.file)) {
+                true
+            } else {
+                missing.push(r.file.clone());
+                false
+            }
+        });
+        if !missing.is_empty() {
+            let mut kept = Vec::with_capacity(self.manifest.entries.len());
+            for entry in std::mem::take(&mut self.manifest.entries) {
+                if missing.iter().any(|f| f == &entry.file) {
+                    report.dropped_missing += 1;
+                    report.reclaimed_bytes += entry.bytes;
+                    self.indexed_bytes -= entry.bytes;
+                } else {
+                    kept.push(entry);
+                }
+            }
+            self.manifest.entries = kept;
+        }
+
+        // Verification: corrupt entries drop and flag their region.
+        let mut corrupt_regions: Vec<String> = Vec::new();
         let mut kept = Vec::with_capacity(self.manifest.entries.len());
         for entry in std::mem::take(&mut self.manifest.entries) {
-            if verdicts.ok.iter().any(|(f, _)| *f == entry.file) {
-                kept.push(entry);
-                continue;
+            match self.check_entry(&entry) {
+                Ok(()) => kept.push(entry),
+                Err(_) => {
+                    if !corrupt_regions.contains(&entry.file) {
+                        corrupt_regions.push(entry.file.clone());
+                    }
+                    report.reclaimed_bytes += entry.bytes;
+                    self.indexed_bytes -= entry.bytes;
+                    self.corrupt_dropped += 1;
+                }
             }
-            report.reclaimed_bytes += entry.bytes;
-            if self.io.exists(&self.dir.join(&entry.file)) {
+        }
+        self.manifest.entries = kept;
+
+        // Which regions get rewritten: corrupt ones, plus any carrying
+        // dead bytes (live < committed). Fully-live regions are kept
+        // as-is — GC cost scales with garbage, not with store size.
+        let rewrite: Vec<(String, u64)> = self
+            .manifest
+            .regions
+            .iter()
+            .filter(|row| {
+                let live: u64 = self
+                    .manifest
+                    .entries
+                    .iter()
+                    .filter(|e| e.file == row.file)
+                    .map(|e| e.bytes)
+                    .sum();
+                corrupt_regions.contains(&row.file) || live < row.committed
+            })
+            .map(|r| (r.file.clone(), r.committed))
+            .collect();
+
+        // Copy the live entries of every rewrite region into fresh
+        // packs. Old regions stay untouched until the manifest commits,
+        // so a failure here leaves a fully consistent (if duplicated)
+        // store behind.
+        let mut target: Option<String> = None;
+        for (file, committed) in &rewrite {
+            let mut live_copied = 0u64;
+            for i in 0..self.manifest.entries.len() {
+                if &self.manifest.entries[i].file != file {
+                    continue;
+                }
+                let (offset, bytes) = {
+                    let e = &self.manifest.entries[i];
+                    (e.offset, e.bytes)
+                };
+                let data = self
+                    .io
+                    .read_at(&self.dir.join(file), offset, bytes as usize)
+                    .map_err(|e| {
+                        self.health
+                            .record_error(format!("gc: rereading {file}@{offset}: {e}"));
+                        self.dirty = true;
+                        io_err(format!("gc: rereading {file}@{offset}"), e)
+                    })?;
+                let tfile = match &target {
+                    Some(t) => {
+                        let fits = self
+                            .manifest
+                            .regions
+                            .iter()
+                            .find(|r| &r.file == t)
+                            .is_some_and(|r| {
+                                r.committed == 0 || r.committed + bytes <= self.region_bytes
+                            });
+                        if fits {
+                            t.clone()
+                        } else {
+                            let fresh = self.next_region_name();
+                            self.manifest.regions.push(RegionRow {
+                                file: fresh.clone(),
+                                committed: 0,
+                                last_used: 0,
+                            });
+                            target = Some(fresh.clone());
+                            fresh
+                        }
+                    }
+                    None => {
+                        let fresh = self.next_region_name();
+                        self.manifest.regions.push(RegionRow {
+                            file: fresh.clone(),
+                            committed: 0,
+                            last_used: 0,
+                        });
+                        target = Some(fresh.clone());
+                        fresh
+                    }
+                };
+                let tpath = self.dir.join(&tfile);
+                self.io
+                    .append(&tpath, &data)
+                    .and_then(|()| self.io.sync(&tpath))
+                    .map_err(|e| {
+                        self.health
+                            .record_error(format!("gc: repacking into {tfile}: {e}"));
+                        self.dirty = true;
+                        io_err(format!("gc: repacking into {tfile}"), e)
+                    })?;
+                let row = self
+                    .manifest
+                    .regions
+                    .iter_mut()
+                    .find(|r| r.file == tfile)
+                    .expect("gc target row was just pushed");
+                let entry = &mut self.manifest.entries[i];
+                entry.file = tfile.clone();
+                entry.offset = row.committed;
+                row.committed += bytes;
+                row.last_used = row.last_used.max(entry.last_used);
+                live_copied += bytes;
+            }
+            report
+                .region_reclaimed
+                .push((file.clone(), committed.saturating_sub(live_copied)));
+        }
+
+        // Commit: drop the rewritten rows and persist. This is the point
+        // of no return — before it, the old regions still serve.
+        self.manifest
+            .regions
+            .retain(|r| !rewrite.iter().any(|(f, _)| f == &r.file));
+        self.persist()?;
+
+        // Dispose of the old files: corruption is quarantined (never
+        // silently deleted), clean dead bytes are removed.
+        for (file, _) in &rewrite {
+            if corrupt_regions.contains(file) {
                 quarantine_file(
                     self.io.as_ref(),
                     &self.dir,
-                    &entry.file,
-                    "gc: failed verification",
+                    file,
+                    "gc: region contained corruption",
                 )?;
-                self.corrupt_dropped += 1;
-                report.quarantined.push(entry.file);
-            } else {
-                report.dropped_missing += 1;
+                report.quarantined.push(file.clone());
+            } else if let Err(e) = self.io.remove(&self.dir.join(file)) {
+                // A leftover becomes an orphan for the next open.
+                self.health
+                    .record_error(format!("gc: removing {file}: {e}"));
             }
         }
-        report.kept = kept.len();
-        self.manifest.entries = kept;
-        self.indexed_bytes = self.manifest.entries.iter().map(|e| e.bytes).sum();
 
+        // Sweep temps and orphans.
         let listing = self
             .io
             .list(&self.dir)
@@ -643,24 +1154,32 @@ impl DiskTier {
             if name.starts_with(TMP_PREFIX) {
                 let _ = self.io.remove(&self.dir.join(&name));
                 report.stale_temps += 1;
-            } else if name.starts_with(SEGMENT_PREFIX)
-                && name.ends_with(SEGMENT_SUFFIX)
-                && !self.manifest.entries.iter().any(|e| e.file == name)
+                continue;
+            }
+            let region_like = name.starts_with(REGION_PREFIX) && name.ends_with(REGION_SUFFIX);
+            let segment_like = name.starts_with(SEGMENT_PREFIX) && name.ends_with(SEGMENT_SUFFIX);
+            if (region_like || segment_like)
+                && !self.manifest.regions.iter().any(|r| r.file == name)
             {
-                quarantine_file(self.io.as_ref(), &self.dir, &name, "gc: orphaned segment")?;
+                let reason = if region_like {
+                    "gc: orphaned region"
+                } else {
+                    "gc: orphaned segment"
+                };
+                quarantine_file(self.io.as_ref(), &self.dir, &name, reason)?;
                 report.orphans_quarantined += 1;
             }
         }
-        self.persist()?;
+        report.kept = self.manifest.entries.len();
         Ok(report)
     }
 
-    /// Segments currently indexed.
+    /// Pool entries currently indexed.
     pub fn len(&self) -> usize {
         self.manifest.entries.len()
     }
 
-    /// Whether the tier indexes no segments.
+    /// Whether the tier indexes no entries.
     pub fn is_empty(&self) -> bool {
         self.manifest.entries.is_empty()
     }
@@ -682,6 +1201,9 @@ impl DiskTier {
             entries: self.len(),
             bytes: self.bytes(),
             capacity_bytes: self.capacity_bytes,
+            regions: self.manifest.regions.len(),
+            region_bytes: self.region_bytes,
+            dead_bytes: self.dead_bytes(),
             hits: self.hits,
             misses: self.misses,
             spills: self.spills,
@@ -731,10 +1253,13 @@ impl DiskTier {
         }
     }
 
-    /// Deletes LRU segments until the budget fits; `protect` exempts one
-    /// recency stamp (the entry just inserted). A failed delete still
-    /// unindexes the victim (its file becomes an orphan for the next
-    /// open/gc) and degrades the tier.
+    /// Drops LRU entries until the budget fits; `protect` exempts one
+    /// recency stamp (the entry just inserted). Dropping an entry frees
+    /// *indexed* bytes immediately; the physical bytes inside its region
+    /// become dead and wait for [`DiskTier::gc`] — unless nothing live
+    /// remains in the region, in which case the whole file is removed
+    /// on the spot (a failed remove leaves an orphan for the next
+    /// open/gc and degrades the tier).
     fn enforce_budget(&mut self, protect: Option<u64>) {
         while self.indexed_bytes > self.capacity_bytes {
             let Some((victim, _)) = self
@@ -749,11 +1274,28 @@ impl DiskTier {
             };
             let entry = self.manifest.entries.remove(victim);
             self.indexed_bytes -= entry.bytes;
-            if let Err(e) = self.io.remove(&self.dir.join(&entry.file)) {
-                self.health
-                    .record_error(format!("evicting {}: {e}", entry.file));
-            }
             self.evictions += 1;
+            self.drop_region_if_empty(&entry.file);
+        }
+    }
+
+    /// Removes a region's row and file once no live entry references it.
+    /// Never removes the active append target (the last region) — its
+    /// row stays so placement keeps appending at the committed offset.
+    fn drop_region_if_empty(&mut self, file: &str) {
+        if self.manifest.entries.iter().any(|e| e.file == file) {
+            return;
+        }
+        let Some(pos) = self.manifest.regions.iter().position(|r| r.file == file) else {
+            return;
+        };
+        if pos + 1 == self.manifest.regions.len() {
+            return;
+        }
+        self.manifest.regions.remove(pos);
+        if let Err(e) = self.io.remove(&self.dir.join(file)) {
+            self.health
+                .record_error(format!("removing empty region {file}: {e}"));
         }
     }
 
@@ -778,27 +1320,6 @@ impl DiskTier {
         self.manifest_writes += 1;
         Ok(())
     }
-
-    /// Deterministic, collision-probed segment file name for a key.
-    fn segment_name(&self, key: &PoolKey) -> String {
-        for bump in 0u64.. {
-            let mut h = oipa_graph::hashing::FxHasher::default();
-            h.write(key.campaign.as_bytes());
-            h.write_u64(key.theta as u64);
-            h.write_u64(key.seed);
-            h.write_u64(bump);
-            let name = format!("{SEGMENT_PREFIX}{:016x}{SEGMENT_SUFFIX}", h.finish());
-            let taken = self
-                .manifest
-                .entries
-                .iter()
-                .any(|e| e.file == name && &e.key != key);
-            if !taken {
-                return name;
-            }
-        }
-        unreachable!("collision probe terminates")
-    }
 }
 
 impl Drop for DiskTier {
@@ -810,9 +1331,126 @@ impl Drop for DiskTier {
     }
 }
 
+/// Repacks a v1 (file-per-key) manifest into regions: every segment is
+/// read back, verified, and appended into fresh region files; the v2
+/// manifest it returns references the packs. Returns the successfully
+/// packed source files — the caller removes them only *after* the v2
+/// manifest commits, so a crash mid-migration re-runs from intact
+/// sources. A segment that cannot be packed (sick disk) is indexed in
+/// place as a single-entry region — a committed pool is never lost;
+/// one that fails verification is quarantined, never served.
+fn migrate_v1(
+    io: &dyn StoreIo,
+    dir: &Path,
+    region_bytes: u64,
+    v1: ManifestV1,
+    health: &mut TierHealth,
+    report: &mut OpenReport,
+) -> (Manifest, Vec<String>) {
+    let mut manifest = Manifest {
+        version: MANIFEST_VERSION,
+        instance: v1.instance,
+        clock: v1.clock,
+        eviction: "lru".to_string(),
+        regions: Vec::new(),
+        entries: Vec::new(),
+    };
+    let mut sources = Vec::new();
+    let mut next_id: u64 = 1;
+    for e in v1.entries {
+        let data = match io.read(&dir.join(&e.file)) {
+            Ok(d) => d,
+            Err(err) => {
+                // Unreadable on a sick disk: leave the file where it is
+                // (the sweep quarantines it, preserving the bytes) and
+                // degrade rather than guess.
+                health.record_error(format!("migrating {}: {err}", e.file));
+                continue;
+            }
+        };
+        if data.len() as u64 != e.bytes || read_pool(&data[..]).is_err() {
+            if let Err(err) = quarantine_file(io, dir, &e.file, "v1 migration: failed verification")
+            {
+                health.record_error(format!("quarantining {}: {err}", e.file));
+            }
+            report.quarantined += 1;
+            continue;
+        }
+        let bytes = e.bytes;
+        let fits = manifest
+            .regions
+            .last()
+            .is_some_and(|r| r.committed == 0 || r.committed + bytes <= region_bytes);
+        if !fits {
+            let file = loop {
+                let name = format!("{REGION_PREFIX}{next_id:08x}{REGION_SUFFIX}");
+                next_id += 1;
+                if !io.exists(&dir.join(&name)) {
+                    break name;
+                }
+            };
+            manifest.regions.push(RegionRow {
+                file,
+                committed: 0,
+                last_used: 0,
+            });
+        }
+        let row_idx = manifest.regions.len() - 1;
+        let target = manifest.regions[row_idx].file.clone();
+        let tpath = dir.join(&target);
+        match io.append(&tpath, &data).and_then(|()| io.sync(&tpath)) {
+            Ok(()) => {
+                let row = &mut manifest.regions[row_idx];
+                manifest.entries.push(ManifestEntry {
+                    key: e.key,
+                    file: target,
+                    offset: row.committed,
+                    bytes,
+                    crc: e.crc,
+                    last_used: e.last_used,
+                });
+                row.committed += bytes;
+                row.last_used = row.last_used.max(e.last_used);
+                report.migrated += 1;
+                sources.push(e.file);
+            }
+            Err(err) => {
+                health.record_error(format!("packing {} into {target}: {err}", e.file));
+                // Fall back: the v1 segment is itself a valid one-entry
+                // region. Index it in place — never lose a committed
+                // pool to a disk that cannot take the copy.
+                manifest.regions.push(RegionRow {
+                    file: e.file.clone(),
+                    committed: bytes,
+                    last_used: e.last_used,
+                });
+                manifest.entries.push(ManifestEntry {
+                    key: e.key,
+                    file: e.file,
+                    offset: 0,
+                    bytes,
+                    crc: e.crc,
+                    last_used: e.last_used,
+                });
+                report.migrated += 1;
+            }
+        }
+    }
+    (manifest, sources)
+}
+
+/// Parses the id out of a `region-{id:08x}.dat` file name (`None` for
+/// legacy segments indexed in place as regions).
+fn region_id(file: &str) -> Option<u64> {
+    let hex = file
+        .strip_prefix(REGION_PREFIX)?
+        .strip_suffix(REGION_SUFFIX)?;
+    u64::from_str_radix(hex, 16).ok()
+}
+
 /// Moves a file into `dir/quarantine/`, suffixing on name collisions.
 /// The reason is recorded next to it as `<name>.reason.txt` so operators
-/// can see *why* a segment was set aside.
+/// can see *why* a file was set aside.
 fn quarantine_file(io: &dyn StoreIo, dir: &Path, name: &str, reason: &str) -> StoreResult<()> {
     let qdir = dir.join(QUARANTINE_DIR);
     io.create_dir_all(&qdir)
@@ -830,9 +1468,9 @@ fn quarantine_file(io: &dyn StoreIo, dir: &Path, name: &str, reason: &str) -> St
     Ok(())
 }
 
-/// The stored CRC-32 trailer of a segment (its last 4 bytes), or `None`
-/// if the buffer is too short to carry one.
-fn segment_trailer_crc(bytes: &[u8]) -> Option<u32> {
+/// The stored CRC-32 trailer of an entry payload (its last 4 bytes), or
+/// `None` if the slice is too short to carry one.
+fn entry_trailer_crc(bytes: &[u8]) -> Option<u32> {
     if bytes.len() < 4 {
         return None;
     }

@@ -1,0 +1,185 @@
+//! Pluggable eviction policies for the memory arena shards.
+//!
+//! Every [`crate::PoolArena`] shard delegates its victim selection to an
+//! [`EvictionPolicy`]: when the resident bytes exceed the shard's budget,
+//! the arena hands the policy the metadata of every evictable entry and
+//! removes whichever one the policy names, repeating until the budget
+//! fits. Two policies ship:
+//!
+//! * [`Lru`] — least recently used, the store's historical behavior. Its
+//!   victim choice is bitwise-compatible with the pre-policy arena (the
+//!   minimum `last_used` stamp, first entry on ties), so golden tests
+//!   pinned to the old eviction order keep passing.
+//! * [`Lfu`] — least frequently used, with recency as the tie-break.
+//!   Zipfian serving traffic concentrates hits on a few hot pools; LFU
+//!   keeps those resident even when a burst of one-off keys sweeps
+//!   through and would flush an LRU cache.
+//!
+//! Policies are selected through [`crate::StoreConfig::eviction`] (the
+//! CLI's `--eviction lru|lfu`) and surfaced by name through
+//! [`crate::StatsSnapshot`] and the server's `/stats`.
+
+use std::sync::Arc;
+
+/// The per-entry metadata a policy ranks candidates by. The arena owns
+/// the entries; the policy only ever sees this projection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictionMeta {
+    /// Recency stamp (larger = touched more recently).
+    pub last_used: u64,
+    /// Hit count: how many lookups this entry has served (plus one for
+    /// its insert).
+    pub uses: u64,
+    /// Resident bytes.
+    pub bytes: usize,
+}
+
+/// A victim-selection strategy for a byte-budgeted pool cache.
+///
+/// `select_victim` receives every *evictable* candidate (pinned and
+/// just-inserted entries are filtered out by the arena before the policy
+/// sees anything) and returns the index **into the candidate slice** of
+/// the entry to evict, or `None` to leave the cache over budget (no
+/// shipped policy does; the arena treats `None` as "stop evicting").
+pub trait EvictionPolicy: Send + Sync + std::fmt::Debug {
+    /// The policy's wire/display name (`lru`, `lfu`).
+    fn name(&self) -> &'static str;
+    /// Picks the candidate to evict. `None` stops the eviction loop.
+    fn select_victim(&self, candidates: &[EvictionMeta]) -> Option<usize>;
+}
+
+/// Least-recently-used: evicts the minimum `last_used` stamp, first
+/// candidate on ties — exactly the pre-policy arena's victim order.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Lru;
+
+impl EvictionPolicy for Lru {
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+
+    fn select_victim(&self, candidates: &[EvictionMeta]) -> Option<usize> {
+        candidates
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, m)| m.last_used)
+            .map(|(i, _)| i)
+    }
+}
+
+/// Least-frequently-used, ties broken by recency (the stalest of the
+/// equally cold): an entry that keeps getting hit is never displaced by
+/// a sweep of one-off keys.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Lfu;
+
+impl EvictionPolicy for Lfu {
+    fn name(&self) -> &'static str {
+        "lfu"
+    }
+
+    fn select_victim(&self, candidates: &[EvictionMeta]) -> Option<usize> {
+        candidates
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, m)| (m.uses, m.last_used))
+            .map(|(i, _)| i)
+    }
+}
+
+/// The selectable policies, as configuration ([`crate::StoreConfig`],
+/// the CLI's `--eviction` flag).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum EvictionPolicyKind {
+    /// Least recently used (the default; matches the pre-policy store).
+    #[default]
+    Lru,
+    /// Least frequently used, recency tie-break.
+    Lfu,
+}
+
+impl EvictionPolicyKind {
+    /// The wire/display name (`lru` / `lfu`).
+    pub fn name(self) -> &'static str {
+        match self {
+            EvictionPolicyKind::Lru => "lru",
+            EvictionPolicyKind::Lfu => "lfu",
+        }
+    }
+
+    /// Parses a policy name (the `--eviction` flag).
+    pub fn parse(s: &str) -> Result<EvictionPolicyKind, String> {
+        match s {
+            "lru" => Ok(EvictionPolicyKind::Lru),
+            "lfu" => Ok(EvictionPolicyKind::Lfu),
+            other => Err(format!("unknown eviction policy {other:?} (lru|lfu)")),
+        }
+    }
+
+    /// Builds the policy object this kind names.
+    pub fn build(self) -> Arc<dyn EvictionPolicy> {
+        match self {
+            EvictionPolicyKind::Lru => Arc::new(Lru),
+            EvictionPolicyKind::Lfu => Arc::new(Lfu),
+        }
+    }
+}
+
+impl std::fmt::Display for EvictionPolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(last_used: u64, uses: u64) -> EvictionMeta {
+        EvictionMeta {
+            last_used,
+            uses,
+            bytes: 1,
+        }
+    }
+
+    #[test]
+    fn lru_picks_the_stalest_candidate_first_on_ties() {
+        let lru = Lru;
+        assert_eq!(
+            lru.select_victim(&[meta(5, 1), meta(2, 9), meta(7, 1)]),
+            Some(1)
+        );
+        // Ties resolve to the first candidate — the pre-policy order.
+        assert_eq!(
+            lru.select_victim(&[meta(3, 1), meta(3, 9), meta(9, 1)]),
+            Some(0)
+        );
+        assert_eq!(lru.select_victim(&[]), None);
+    }
+
+    #[test]
+    fn lfu_picks_the_coldest_candidate_breaking_ties_by_recency() {
+        let lfu = Lfu;
+        // Frequency dominates: the old-but-hot entry survives.
+        assert_eq!(
+            lfu.select_victim(&[meta(1, 50), meta(9, 2), meta(8, 7)]),
+            Some(1)
+        );
+        // Equal frequency falls back to recency.
+        assert_eq!(
+            lfu.select_victim(&[meta(6, 2), meta(4, 2), meta(9, 9)]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn kind_parses_and_round_trips_names() {
+        for kind in [EvictionPolicyKind::Lru, EvictionPolicyKind::Lfu] {
+            assert_eq!(EvictionPolicyKind::parse(kind.name()), Ok(kind));
+            assert_eq!(kind.build().name(), kind.name());
+        }
+        assert!(EvictionPolicyKind::parse("fifo").is_err());
+        assert_eq!(EvictionPolicyKind::default(), EvictionPolicyKind::Lru);
+    }
+}

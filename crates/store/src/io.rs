@@ -61,6 +61,15 @@ pub trait StoreIo: Send + Sync {
     /// The last `n` bytes of a file (used to cross-check the segment
     /// CRC trailer without re-reading a multi-megabyte payload).
     fn tail(&self, path: &Path, n: usize) -> io::Result<Vec<u8>>;
+    /// Appends `bytes` to the end of a file, creating it if absent (the
+    /// region tier's pack path).
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Reads exactly `len` bytes starting at `offset` (a region-packed
+    /// entry read).
+    fn read_at(&self, path: &Path, offset: u64, len: usize) -> io::Result<Vec<u8>>;
+    /// Truncates a file to `len` bytes (recovery trimming a torn region
+    /// tail back to its last committed offset).
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
 }
 
 /// The production [`StoreIo`]: plain `std::fs`.
@@ -130,6 +139,31 @@ impl StoreIo for RealIo {
         let mut buf = vec![0u8; n];
         file.read_exact(&mut buf)?;
         Ok(buf)
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        use std::io::Write as _;
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(path)?;
+        file.write_all(bytes)
+    }
+
+    fn read_at(&self, path: &Path, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        use std::io::{Read as _, Seek as _, SeekFrom};
+        let mut file = std::fs::File::open(path)?;
+        file.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len];
+        file.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(path)?
+            .set_len(len)
     }
 }
 
@@ -596,6 +630,45 @@ impl StoreIo for FaultIo {
             Verdict::Torn => unreachable!("reads are never torn"),
         }
     }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let what = format!("appending to {} ({} bytes)", path.display(), bytes.len());
+        match self.decide(FaultOp::Write, &what) {
+            Verdict::Pass => self.inner.append(path, bytes),
+            Verdict::Fail(e) | Verdict::Drop(e) => Err(e),
+            Verdict::Torn => {
+                // A torn append lands a strict prefix at the end of the
+                // file — the region tail a crash mid-append leaves behind.
+                let n = self.mutations.load(Ordering::SeqCst);
+                let prefix = self.torn_prefix(n, bytes.len());
+                let _ = self.inner.append(path, &bytes[..prefix]);
+                Err(io::Error::other(format!(
+                    "injected torn append: only {prefix} of {} bytes landed for {}",
+                    bytes.len(),
+                    path.display()
+                )))
+            }
+        }
+    }
+
+    fn read_at(&self, path: &Path, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        let what = format!("reading {len} bytes at {offset} from {}", path.display());
+        match self.decide(FaultOp::Read, &what) {
+            Verdict::Pass => self.inner.read_at(path, offset, len),
+            Verdict::Fail(e) | Verdict::Drop(e) => Err(e),
+            Verdict::Torn => unreachable!("reads are never torn"),
+        }
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let what = format!("truncating {} to {len} bytes", path.display());
+        match self.decide(FaultOp::Write, &what) {
+            Verdict::Pass => self.inner.truncate(path, len),
+            // A truncate cannot half-apply: torn means it never happened.
+            Verdict::Fail(e) | Verdict::Drop(e) => Err(e),
+            Verdict::Torn => Err(io::Error::other(format!("injected crash: {what}"))),
+        }
+    }
 }
 
 /// A loud path for fault-schedule parse errors in binaries.
@@ -725,5 +798,43 @@ mod tests {
         let _ = io.len(&path).unwrap();
         io.remove(&path).unwrap();
         assert_eq!(io.mutations(), 2, "write + remove; reads don't count");
+    }
+
+    #[test]
+    fn append_and_read_at_round_trip_region_style() {
+        let io = FaultIo::over_real(FaultSchedule::none());
+        let path = tmp("append-roundtrip");
+        let _ = std::fs::remove_file(&path);
+        io.append(&path, b"first-").unwrap(); // creates the file
+        io.append(&path, b"second").unwrap();
+        assert_eq!(io.len(&path).unwrap(), 12);
+        assert_eq!(io.read_at(&path, 0, 6).unwrap(), b"first-");
+        assert_eq!(io.read_at(&path, 6, 6).unwrap(), b"second");
+        assert!(
+            io.read_at(&path, 6, 7).is_err(),
+            "a read past the end must fail, not short-read"
+        );
+        io.truncate(&path, 6).unwrap();
+        assert_eq!(io.read(&path).unwrap(), b"first-");
+        assert_eq!(io.mutations(), 3, "two appends + one truncate");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_append_lands_a_strict_prefix_at_the_tail() {
+        let io = FaultIo::over_real(FaultSchedule::parse("seed=5,write:short=1").unwrap());
+        let path = tmp("torn-append");
+        let _ = std::fs::remove_file(&path);
+        io.append(&path, b"committed!").unwrap(); // write op 0 passes
+        let err = io.append(&path, b"0123456789").unwrap_err();
+        assert!(err.to_string().contains("torn append"), "{err}");
+        let on_disk = std::fs::read(&path).unwrap();
+        assert!(on_disk.len() < 20, "the torn tail must be strictly short");
+        assert_eq!(&on_disk[..10], b"committed!", "the committed prefix holds");
+        // A crash-point truncate is dropped, never half-applied.
+        let crash = FaultIo::over_real(FaultSchedule::crash_at(0, 1));
+        assert!(crash.truncate(&path, 3).is_err());
+        assert_eq!(std::fs::read(&path).unwrap(), on_disk);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,49 +1,59 @@
 //! # oipa-store
 //!
-//! A tiered, persistent, **concurrent** pool store: the memory arena the
-//! `PlannerService` always had (tier 0) backed by an optional on-disk
-//! tier of checksummed pool segments (tier 1).
+//! A tiered, persistent, **concurrent** pool store: a lock-striped
+//! in-memory arena (tier 0) backed by an optional on-disk tier of
+//! region-packed, checksummed pools (tier 1).
 //!
 //! Sampling θ MRR sets dominates end-to-end latency (the paper's "sample
 //! time" row; the service bench measures ~126–137× warm-over-cold on the
 //! seeded medium instance), yet a memory-only arena loses every warm pool
 //! to process exit and to byte pressure. This crate keeps them:
 //!
-//! * **Tier 0 — [`PoolArena`]**: the in-memory LRU cache of [`MrrPool`]s
-//!   keyed by [`PoolKey`] and bounded by resident bytes.
+//! * **Tier 0 — the sharded arena**: N lock-striped [`PoolArena`] shards
+//!   (key-hash routed, per-shard byte budgets summing exactly to the
+//!   configured total) caching [`MrrPool`]s keyed by [`PoolKey`].
+//!   Victim selection is delegated to a pluggable [`EvictionPolicy`]
+//!   ([`eviction::Lru`] — bitwise-compatible with the historical order —
+//!   or [`eviction::Lfu`]), selected via [`StoreConfig::eviction`].
 //! * **Tier 1 — [`DiskTier`]**: a store directory (an `index.json`
-//!   manifest plus one CRC-checksummed segment file per pool) with its
-//!   own byte budget and LRU eviction. Entries evicted from memory spill
+//!   manifest plus a small number of fixed-capacity **region** files,
+//!   each an append-only pack of CRC-checksummed pools) with its own
+//!   byte budget and LRU eviction. Entries evicted from memory spill
 //!   here; an arena miss consults disk before anyone resamples;
 //!   reopening the directory after a restart serves yesterday's pools at
-//!   disk speed.
+//!   disk speed. A v1 (file-per-key) directory migrates transparently on
+//!   first open.
 //!
 //! Concurrency: every cache operation takes `&self` — [`PoolStore`] is
 //! `Send + Sync`, so one store can sit behind an `Arc` and serve any
-//! number of threads. Memory hits run under a shared read lock with
-//! atomic recency/counters (readers never block each other); inserts,
-//! evictions, and every disk operation are single-writer (a write lock
-//! on the arena, a mutex on the disk tier). Lock order is always disk
-//! tier → arena write lock, and the arena lock is never held while
-//! acquiring the disk lock, so the two can't deadlock.
+//! number of threads. A memory lookup or insert locks exactly one shard
+//! (hits share a read lock with atomic recency/counters; readers never
+//! block each other), so requests for different keys proceed in parallel
+//! and only true same-shard collisions contend. Every disk operation is
+//! single-writer (a mutex on the tier). Lock order is always disk tier →
+//! arena shard lock, and no shard lock is ever held while acquiring the
+//! disk lock, so the two can't deadlock.
 //!
-//! Durability rules: segments and the manifest are written to temp files,
-//! synced, and atomically renamed; every segment read verifies the pool
-//! binio v2 CRC-32 trailer; anything corrupt or unaccounted for is moved
-//! to `quarantine/` — recovery never fails an open and corruption is
-//! never served. Disk reads batch their LRU stamps in memory (flushed on
-//! the next write or on drop) instead of rewriting the manifest per get.
-//! A [`DiskTier::set_instance`] fingerprint ties a directory to the
-//! (graph, probability table) its pools were sampled from, so a store
-//! can never serve pools across different inputs.
+//! Durability rules: pool payloads are appended to the newest region and
+//! synced, then committed by an atomic temp+sync+rename manifest rewrite
+//! (the rename is the ack point — a torn append is just unindexed bytes
+//! past the region's committed watermark, truncated by the next open);
+//! every read verifies the pool binio v2 CRC-32 trailer; anything
+//! corrupt or unaccounted for is moved to `quarantine/` — recovery never
+//! fails an open and corruption is never served. Disk reads batch their
+//! LRU stamps in memory (flushed on the next write or on drop) instead
+//! of rewriting the manifest per get. A [`DiskTier::set_instance`]
+//! fingerprint ties a directory to the (graph, probability table) its
+//! pools were sampled from, so a store can never serve pools across
+//! different inputs.
 //!
 //! ## The `StoreIo` seam and degraded mode
 //!
 //! The disk tier never calls `std::fs` directly: every byte it moves
 //! goes through the [`StoreIo`] trait ([`io::RealIo`] in production).
 //! That seam is what makes the crash-safety claims *testable* — the
-//! [`io::FaultIo`] wrapper injects ENOSPC/EIO, torn writes, lost
-//! renames, full outages, and seeded **crash points** (freeze the
+//! [`io::FaultIo`] wrapper injects ENOSPC/EIO, torn writes and appends,
+//! lost renames, full outages, and seeded **crash points** (freeze the
 //! directory exactly as a `kill -9` after the Nth operation would),
 //! and the test tree replays recovery against every one of them. Wire a
 //! custom seam in with [`StoreConfig::with_io`].
@@ -85,21 +95,26 @@
 
 mod arena;
 mod disk;
+pub mod eviction;
 pub mod health;
 pub mod io;
+mod shard;
 
 pub use arena::{ArenaStats, PoolArena, PoolKey};
 pub use disk::{
-    DiskStats, DiskTier, GcReport, ManifestEntry, OpenReport, VerifyReport, MANIFEST_FILE,
-    QUARANTINE_DIR,
+    DiskStats, DiskTier, GcReport, ManifestEntry, OpenReport, RegionRow, VerifyReport,
+    DEFAULT_REGION_BYTES, MANIFEST_FILE, QUARANTINE_DIR, REGION_PREFIX, REGION_SUFFIX,
 };
+pub use eviction::{EvictionMeta, EvictionPolicy, EvictionPolicyKind};
 pub use health::{TierHealth, TierHealthSnapshot, HEALTH_DEGRADED, HEALTH_OK};
 pub use io::{DynStoreIo, FaultIo, FaultSchedule, RealIo, StoreIo};
+pub use shard::DEFAULT_SHARDS;
 
 use oipa_sampler::MrrPool;
 use serde::{Deserialize, Serialize};
+use shard::ShardedArena;
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Default memory-tier byte budget (≈256 MiB).
 pub const DEFAULT_MEM_BYTES: usize = 256 << 20;
@@ -146,6 +161,15 @@ pub struct StoreConfig {
     pub mem_bytes: Option<usize>,
     /// Disk-tier byte budget (default [`DEFAULT_DISK_BYTES`]).
     pub disk_bytes: u64,
+    /// Memory-tier shard (lock stripe) count override. `None` (the
+    /// default) keeps the arena's current striping
+    /// ([`DEFAULT_SHARDS`] when opening a fresh store).
+    pub shards: Option<usize>,
+    /// Memory-tier eviction policy override. `None` (the default) keeps
+    /// the arena's current policy (LRU when opening a fresh store).
+    pub eviction: Option<EvictionPolicyKind>,
+    /// Disk-tier region file capacity (default [`DEFAULT_REGION_BYTES`]).
+    pub region_bytes: u64,
     /// Write inserts to disk immediately (default `true`). When `false`
     /// pools reach disk only when memory pressure evicts them — cheaper
     /// writes, but pools resident at process exit are lost.
@@ -162,6 +186,9 @@ impl std::fmt::Debug for StoreConfig {
             .field("dir", &self.dir)
             .field("mem_bytes", &self.mem_bytes)
             .field("disk_bytes", &self.disk_bytes)
+            .field("shards", &self.shards)
+            .field("eviction", &self.eviction)
+            .field("region_bytes", &self.region_bytes)
             .field("write_through", &self.write_through)
             .field("io", &self.io.as_ref().map(|_| "<custom StoreIo>"))
             .finish()
@@ -175,6 +202,9 @@ impl StoreConfig {
             dir: dir.into(),
             mem_bytes: None,
             disk_bytes: DEFAULT_DISK_BYTES,
+            shards: None,
+            eviction: None,
+            region_bytes: DEFAULT_REGION_BYTES,
             write_through: true,
             io: None,
         }
@@ -192,7 +222,7 @@ impl StoreConfig {
 pub enum PoolTier {
     /// Tier 0: the in-memory arena.
     Memory,
-    /// Tier 1: a disk segment (now promoted to memory).
+    /// Tier 1: a disk region entry (now promoted to memory).
     Disk,
 }
 
@@ -215,16 +245,22 @@ impl std::fmt::Display for PoolTier {
 /// Combined occupancy/counter snapshot of both tiers.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct StoreStats {
-    /// Memory-tier stats.
+    /// Memory-tier aggregate stats (per-shard counters summed
+    /// losslessly; `mem.shards` carries the stripe count).
     pub mem: ArenaStats,
+    /// Per-shard memory-tier stats, in shard order.
+    pub mem_shards: Vec<ArenaStats>,
+    /// The active eviction-policy name (`lru` / `lfu`).
+    pub policy: String,
     /// Disk-tier stats (absent on memory-only stores).
     pub disk: Option<DiskStats>,
     /// Disk-tier health (absent on memory-only stores).
     pub disk_health: Option<TierHealthSnapshot>,
 }
 
-/// Schema identifier stamped into every [`StatsSnapshot`].
-pub const STATS_SCHEMA: &str = "oipa.stats/v1";
+/// Schema identifier stamped into every [`StatsSnapshot`] (v2: per-shard
+/// memory stats, eviction-policy name, region-packed disk counters).
+pub const STATS_SCHEMA: &str = "oipa.stats/v2";
 
 /// The *wire* form of a store's counters: a versioned, serde-round-trip
 /// snapshot of both tiers shared by every surface that ships stats over
@@ -240,8 +276,12 @@ pub struct StatsSnapshot {
     /// Schema identifier ([`STATS_SCHEMA`]); consumers should reject a
     /// snapshot carrying any other value.
     pub schema: String,
-    /// Memory-tier occupancy and counters.
+    /// Memory-tier aggregate occupancy and counters.
     pub mem: ArenaStats,
+    /// Per-shard memory-tier occupancy and counters, in shard order.
+    pub mem_shards: Vec<ArenaStats>,
+    /// The active eviction-policy name (`lru` / `lfu`).
+    pub policy: String,
     /// Disk-tier occupancy and counters (absent on memory-only stores).
     pub disk: Option<DiskStats>,
     /// Disk-tier health (absent on memory-only stores).
@@ -260,20 +300,22 @@ impl From<StoreStats> for StatsSnapshot {
         StatsSnapshot {
             schema: STATS_SCHEMA.to_string(),
             mem: s.mem,
+            mem_shards: s.mem_shards,
+            policy: s.policy,
             disk: s.disk,
             disk_health: s.disk_health,
         }
     }
 }
 
-/// The tiered pool store: memory arena in front, optional disk tier
-/// behind. All cache operations take `&self` (the store is `Send +
+/// The tiered pool store: sharded memory arena in front, optional disk
+/// tier behind. All cache operations take `&self` (the store is `Send +
 /// Sync`); see the crate docs for the locking discipline.
 pub struct PoolStore {
-    /// Readers (memory hits) share the lock; inserts/evictions take it
-    /// exclusively. Recency and counters inside are atomic, so a read
-    /// guard suffices for a hit.
-    arena: RwLock<PoolArena>,
+    /// Lock-striped memory tier: each operation locks only the shard its
+    /// key hashes to (readers share; inserts/evictions are exclusive per
+    /// shard).
+    arena: ShardedArena,
     /// Single-writer discipline for every disk operation (reads mutate
     /// recency and may quarantine, so there is no read-only disk path).
     disk: Option<Mutex<DiskTier>>,
@@ -281,10 +323,17 @@ pub struct PoolStore {
 }
 
 impl PoolStore {
-    /// A memory-only store (the pre-store service behavior).
+    /// A memory-only store (the pre-store service behavior): one shard,
+    /// LRU eviction.
     pub fn memory_only(mem_bytes: usize) -> Self {
+        PoolStore::memory_only_with(mem_bytes, DEFAULT_SHARDS, EvictionPolicyKind::Lru)
+    }
+
+    /// A memory-only store with an explicit shard count and eviction
+    /// policy.
+    pub fn memory_only_with(mem_bytes: usize, shards: usize, eviction: EvictionPolicyKind) -> Self {
         PoolStore {
-            arena: RwLock::new(PoolArena::new(mem_bytes)),
+            arena: ShardedArena::new(mem_bytes, shards, eviction),
             disk: None,
             write_through: false,
         }
@@ -293,19 +342,31 @@ impl PoolStore {
     /// Opens a tiered store over a directory, recovering the manifest
     /// (see [`DiskTier::open`]).
     pub fn open(config: StoreConfig) -> StoreResult<Self> {
-        let mut store = PoolStore::memory_only(config.mem_bytes.unwrap_or(DEFAULT_MEM_BYTES));
+        let mut store = PoolStore::memory_only_with(
+            config.mem_bytes.unwrap_or(DEFAULT_MEM_BYTES),
+            config.shards.unwrap_or(DEFAULT_SHARDS),
+            config.eviction.unwrap_or_default(),
+        );
         store.attach_disk(config)?;
         Ok(store)
     }
 
     /// Attaches (or replaces) the disk tier on an existing store,
-    /// keeping the memory tier's contents. The memory budget changes
-    /// only when the config names one explicitly; entries evicted by a
-    /// smaller budget spill to the new disk tier. Exclusive (`&mut
-    /// self`): tier topology is configuration, not serving.
+    /// keeping the memory tier's contents. The memory budget, shard
+    /// count, and eviction policy change only when the config names them
+    /// explicitly; entries evicted by a smaller budget (or re-striping)
+    /// spill to the new disk tier. Exclusive (`&mut self`): tier
+    /// topology is configuration, not serving.
     pub fn attach_disk(&mut self, config: StoreConfig) -> StoreResult<()> {
         let io = config.io.unwrap_or_else(RealIo::arc);
-        let disk = DiskTier::open_with_io(config.dir, config.disk_bytes, io)?;
+        let mut disk = DiskTier::open_with(config.dir, config.disk_bytes, config.region_bytes, io)?;
+        let shards = config.shards.unwrap_or_else(|| self.arena.shard_count());
+        let eviction = config.eviction.unwrap_or_else(|| self.arena.policy());
+        disk.set_eviction_label(eviction.name());
+        if shards != self.arena.shard_count() || eviction != self.arena.policy() {
+            let spilled = self.arena.reconfigure(shards, eviction);
+            spill(&mut disk, spilled);
+        }
         self.disk = Some(Mutex::new(disk));
         self.write_through = config.write_through;
         if let Some(mem_bytes) = config.mem_bytes {
@@ -317,6 +378,23 @@ impl PoolStore {
     /// Whether a disk tier is attached.
     pub fn has_disk(&self) -> bool {
         self.disk.is_some()
+    }
+
+    /// How many lock stripes the memory tier is sharded over.
+    pub fn shard_count(&self) -> usize {
+        self.arena.shard_count()
+    }
+
+    /// The shard index a key routes to (stable for a given shard count —
+    /// the contention bench uses this to construct same-shard and
+    /// spread key sets).
+    pub fn shard_of(&self, key: &PoolKey) -> usize {
+        self.arena.shard_of(key)
+    }
+
+    /// The active memory-tier eviction policy's name (`lru` / `lfu`).
+    pub fn policy_name(&self) -> &'static str {
+        self.arena.policy().name()
     }
 
     /// The disk tier, when attached (admin surface: `entries`, `verify`,
@@ -340,7 +418,7 @@ impl PoolStore {
     /// into the memory tier (evicted entries spill back out), so repeat
     /// lookups of a hot key stay at memory speed.
     pub fn get(&self, key: &PoolKey) -> Option<(Arc<MrrPool>, PoolTier)> {
-        if let Some(pool) = read_arena(&self.arena).get(key) {
+        if let Some(pool) = self.arena.get(key) {
             return Some((pool, PoolTier::Memory));
         }
         self.get_from_disk(key, true)
@@ -352,7 +430,7 @@ impl PoolStore {
     /// either tier (the preceding `get` already recorded it), so stats
     /// stay one-miss-per-request whatever the interleaving.
     pub fn get_recheck(&self, key: &PoolKey) -> Option<(Arc<MrrPool>, PoolTier)> {
-        if let Some(pool) = read_arena(&self.arena).get_recheck(key) {
+        if let Some(pool) = self.arena.get_recheck(key) {
             return Some((pool, PoolTier::Memory));
         }
         self.get_from_disk(key, false)
@@ -365,9 +443,9 @@ impl PoolStore {
         // Re-check memory under the disk lock: threads racing to promote
         // one cold key queue here, and every racer after the first must
         // take the promoted entry instead of re-reading (and re-CRCing,
-        // and re-inserting) the segment. A hit counts; the expected
+        // and re-inserting) the region entry. A hit counts; the expected
         // re-miss does not (the caller's arena lookup already did).
-        if let Some(pool) = read_arena(&self.arena).get_recheck(key) {
+        if let Some(pool) = self.arena.get_recheck(key) {
             return Some((pool, PoolTier::Memory));
         }
         let pool = Arc::new(if count_miss {
@@ -380,23 +458,22 @@ impl PoolStore {
         // everything else and then be evicted itself). The disk lock is
         // held across the promotion so a racing insert of the same key
         // keeps memory and disk recency coherent.
-        let capacity = read_arena(&self.arena).capacity_bytes();
-        if pool.memory_bytes() <= capacity {
-            let evicted = write_arena(&self.arena).insert_evicting(key.clone(), Arc::clone(&pool));
+        if pool.memory_bytes() <= self.arena.capacity_bytes() {
+            let evicted = self.arena.insert_evicting(key.clone(), Arc::clone(&pool));
             spill(&mut disk, evicted);
         }
         Some((pool, PoolTier::Disk))
     }
 
     /// Inserts a sampled pool. With a disk tier and write-through the
-    /// segment is persisted immediately; entries the insert evicts from
+    /// pool is persisted immediately; entries the insert evicts from
     /// memory spill to disk either way. A pool larger than the memory
     /// budget is not cached in memory (it is still persisted): the
     /// caller keeps its `Arc` and serves from that.
     pub fn insert(&self, key: PoolKey, pool: Arc<MrrPool>) {
-        let oversized = pool.memory_bytes() > read_arena(&self.arena).capacity_bytes();
+        let oversized = pool.memory_bytes() > self.arena.capacity_bytes();
         if self.write_through || oversized {
-            // These paths write the segment now: disk lock first (the
+            // These paths write the pool now: disk lock first (the
             // crate-wide lock order), held across the arena insert so the
             // publish and its spills stay one atomic disk transaction.
             let mut disk = self.disk.as_ref().map(lock_disk);
@@ -408,7 +485,7 @@ impl PoolStore {
                 // above.
                 return;
             }
-            let evicted = write_arena(&self.arena).insert_evicting(key, pool);
+            let evicted = self.arena.insert_evicting(key, pool);
             if let Some(disk) = disk.as_deref_mut() {
                 spill(disk, evicted);
             }
@@ -416,9 +493,9 @@ impl PoolStore {
         }
         // Lazy-write path: a pure memory insert must not queue behind
         // in-flight disk I/O — only take the disk lock when an eviction
-        // actually has something to spill (the arena guard is already
+        // actually has something to spill (the shard guard is already
         // released by then, preserving the lock order).
-        let evicted = write_arena(&self.arena).insert_evicting(key, pool);
+        let evicted = self.arena.insert_evicting(key, pool);
         if evicted.is_empty() {
             return;
         }
@@ -433,7 +510,7 @@ impl PoolStore {
     /// the insert displaces under byte pressure still spill to disk,
     /// exactly as they would on any other insert.
     pub fn insert_pinned(&self, key: PoolKey, pool: Arc<MrrPool>) {
-        let evicted = write_arena(&self.arena).insert_pinned(key, pool);
+        let evicted = self.arena.insert_pinned(key, pool);
         if evicted.is_empty() {
             return;
         }
@@ -442,19 +519,19 @@ impl PoolStore {
         }
     }
 
-    /// Replaces the memory-tier byte budget; entries that no longer fit
-    /// spill to disk.
+    /// Replaces the memory-tier byte budget (re-split evenly across the
+    /// shards); entries that no longer fit spill to disk.
     pub fn set_mem_capacity(&self, mem_bytes: usize) {
         let mut disk = self.disk.as_ref().map(lock_disk);
-        let evicted = write_arena(&self.arena).set_capacity(mem_bytes);
+        let evicted = self.arena.set_capacity(mem_bytes);
         if let Some(disk) = disk.as_deref_mut() {
             spill(disk, evicted);
         }
     }
 
-    /// Drops every memory-resident pool (disk segments are kept).
+    /// Drops every memory-resident pool (disk entries are kept).
     pub fn clear_memory(&self) {
-        write_arena(&self.arena).clear();
+        self.arena.clear();
     }
 
     /// Drops every *sampled* (unpinned) memory entry without spilling —
@@ -462,7 +539,7 @@ impl PoolStore {
     /// stale, not cold. Pair with [`Self::set_instance`] to purge the
     /// disk tier of the same staleness.
     pub fn evict_unpinned(&self) {
-        write_arena(&self.arena).evict_unpinned();
+        self.arena.evict_unpinned();
     }
 
     /// Flushes any batched disk-tier recency stamps to the manifest (see
@@ -474,9 +551,15 @@ impl PoolStore {
         }
     }
 
-    /// Memory-tier stats (the historical `arena_stats` surface).
+    /// Memory-tier aggregate stats (the historical `arena_stats`
+    /// surface; per-shard counters summed losslessly).
     pub fn arena_stats(&self) -> ArenaStats {
-        read_arena(&self.arena).stats()
+        self.arena.stats()
+    }
+
+    /// Per-shard memory-tier stats, in shard order.
+    pub fn shard_stats(&self) -> Vec<ArenaStats> {
+        self.arena.shard_stats()
     }
 
     /// Both tiers' stats.
@@ -489,7 +572,9 @@ impl PoolStore {
             None => (None, None),
         };
         StoreStats {
-            mem: self.arena_stats(),
+            mem: self.arena.stats(),
+            mem_shards: self.arena.shard_stats(),
+            policy: self.arena.policy().name().to_string(),
             disk,
             disk_health,
         }
@@ -510,19 +595,12 @@ fn spill(disk: &mut DiskTier, evicted: Vec<(PoolKey, Arc<MrrPool>)>) {
     }
 }
 
-// Lock helpers: a poisoned lock means another thread panicked mid-write.
+// Lock helper: a poisoned lock means another thread panicked mid-write.
 // The cache's data is a redundant copy of recomputable state (pools are
 // resampleable, the disk tier re-verifies everything it reads), so
 // serving through a poisoned lock is safe — propagating the panic to
-// every other request thread is not.
-fn read_arena(arena: &RwLock<PoolArena>) -> std::sync::RwLockReadGuard<'_, PoolArena> {
-    arena.read().unwrap_or_else(|e| e.into_inner())
-}
-
-fn write_arena(arena: &RwLock<PoolArena>) -> std::sync::RwLockWriteGuard<'_, PoolArena> {
-    arena.write().unwrap_or_else(|e| e.into_inner())
-}
-
+// every other request thread is not. (The arena shards recover the same
+// way; see `shard.rs`.)
 fn lock_disk(disk: &Mutex<DiskTier>) -> MutexGuard<'_, DiskTier> {
     disk.lock().unwrap_or_else(|e| e.into_inner())
 }

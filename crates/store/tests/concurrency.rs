@@ -6,7 +6,7 @@
 
 use oipa_sampler::testkit::fig1;
 use oipa_sampler::MrrPool;
-use oipa_store::{PoolKey, PoolStore, PoolTier, StoreConfig};
+use oipa_store::{EvictionPolicyKind, PoolKey, PoolStore, PoolTier, StoreConfig};
 use std::path::PathBuf;
 use std::sync::{Arc, Barrier};
 
@@ -166,6 +166,130 @@ fn pinned_pool_survives_concurrent_pressure_and_replaces() {
 
     let (got, _) = store.get(&pinned_key).expect("pinned pool lost");
     assert_eq!(got.fingerprint(), pinned.fingerprint());
+}
+
+/// The lossless-counter invariant must survive lock striping: the same
+/// read race as above, at every shard count the config surface allows,
+/// with keys spread across (and colliding within) the stripes.
+#[test]
+fn sharded_reads_keep_counters_lossless_at_any_stripe_count() {
+    const THREADS: usize = 8;
+    const KEYS: u64 = 12;
+    const ROUNDS: usize = 40;
+
+    for (shards, policy) in [
+        (1, EvictionPolicyKind::Lru),
+        (4, EvictionPolicyKind::Lru),
+        (16, EvictionPolicyKind::Lfu),
+    ] {
+        let store = Arc::new(PoolStore::memory_only_with(usize::MAX, shards, policy));
+        assert_eq!(store.shard_count(), shards);
+        let pools: Vec<Arc<MrrPool>> = (0..KEYS).map(|s| pool(300, s)).collect();
+        for (s, p) in pools.iter().enumerate() {
+            store.insert(key(s as u64), Arc::clone(p));
+        }
+        // The key set must actually exercise more than one stripe when
+        // more than one exists.
+        if shards > 1 {
+            let hit: std::collections::HashSet<usize> =
+                (0..KEYS).map(|s| store.shard_of(&key(s))).collect();
+            assert!(hit.len() > 1, "{shards} shards: keys all on one stripe");
+        }
+        let barrier = Arc::new(Barrier::new(THREADS));
+
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let store = Arc::clone(&store);
+                let barrier = Arc::clone(&barrier);
+                let pools = &pools;
+                scope.spawn(move || {
+                    barrier.wait();
+                    for r in 0..ROUNDS {
+                        let s = ((t + r) % KEYS as usize) as u64;
+                        let (got, tier) = store.get(&key(s)).expect("resident key");
+                        assert_eq!(tier, PoolTier::Memory);
+                        assert_eq!(got.fingerprint(), pools[s as usize].fingerprint());
+                        assert!(store.get(&key(1000 + s)).is_none(), "phantom key");
+                    }
+                });
+            }
+        });
+
+        let stats = store.arena_stats();
+        assert_eq!(
+            stats.lookups,
+            (THREADS * ROUNDS * 2) as u64,
+            "{shards} shards: lost lookups"
+        );
+        assert_eq!(stats.hits, (THREADS * ROUNDS) as u64, "{shards} shards");
+        assert_eq!(stats.misses, (THREADS * ROUNDS) as u64, "{shards} shards");
+        assert_eq!(
+            stats.lookups,
+            stats.hits + stats.misses,
+            "{shards} shards: aggregation must be lossless"
+        );
+        assert_eq!(stats.entries, KEYS as usize);
+        // The per-shard view sums exactly to the aggregate.
+        let shard_stats = store.shard_stats();
+        assert_eq!(shard_stats.len(), shards);
+        assert_eq!(
+            shard_stats.iter().map(|s| s.lookups).sum::<u64>(),
+            stats.lookups
+        );
+        assert_eq!(
+            shard_stats.iter().map(|s| s.entries).sum::<usize>(),
+            stats.entries
+        );
+    }
+}
+
+/// Mixed inserts and reads racing across stripes: no lost counters, no
+/// wrong pools, every inserted key served afterwards — at 16 shards.
+#[test]
+fn sharded_inserts_and_reads_do_not_corrupt_the_striped_arena() {
+    const THREADS: usize = 6;
+    const KEYS: u64 = 10;
+    const ROUNDS: usize = 30;
+
+    let store = Arc::new(PoolStore::memory_only_with(
+        usize::MAX,
+        16,
+        EvictionPolicyKind::Lru,
+    ));
+    let pools: Vec<Arc<MrrPool>> = (0..KEYS).map(|s| pool(300, s)).collect();
+    let barrier = Arc::new(Barrier::new(THREADS));
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let store = Arc::clone(&store);
+            let barrier = Arc::clone(&barrier);
+            let pools = &pools;
+            scope.spawn(move || {
+                barrier.wait();
+                for r in 0..ROUNDS {
+                    let s = ((t * 7 + r) % KEYS as usize) as u64;
+                    if (t + r) % 3 == 0 {
+                        store.insert(key(s), Arc::clone(&pools[s as usize]));
+                    } else if let Some((got, _)) = store.get(&key(s)) {
+                        assert_eq!(
+                            got.fingerprint(),
+                            pools[s as usize].fingerprint(),
+                            "wrong pool under striping"
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = store.arena_stats();
+    assert_eq!(stats.lookups, stats.hits + stats.misses);
+    assert_eq!(stats.entries, KEYS as usize);
+    assert_eq!(stats.bytes, pools.iter().map(|p| p.memory_bytes()).sum());
+    for s in 0..KEYS {
+        let (got, _) = store.get(&key(s)).expect("inserted key lost");
+        assert_eq!(got.fingerprint(), pools[s as usize].fingerprint());
+    }
 }
 
 /// Concurrent misses promoting the same disk segment: every thread gets

@@ -14,8 +14,9 @@
 //! * a committed key missing after reopen is explained: the crashed run
 //!   had already evicted/dropped it from its live index (budget policy),
 //!   or its file was swept into `quarantine/` — never silent loss;
-//! * the books balance: indexed bytes equal the sum over entries, and
-//!   every entry's recorded size matches its file;
+//! * the books balance: indexed bytes equal the sum over entries, every
+//!   region file's length equals its committed watermark, and every
+//!   entry lies wholly below its region's watermark;
 //! * no stale `.tmp-*` files survive the reopen.
 //!
 //! The torn-write prefixes are seeded; set `OIPA_FAULT_SEED` to replay a
@@ -159,14 +160,34 @@ fn assert_recovered(dir: &PathBuf, corpus: &Corpus, record: &RunRecord, label: &
         verdict.corrupt
     );
 
-    // Books balance and entry sizes match the files.
+    // Books balance: indexed bytes equal the sum over entries, every
+    // region file's length equals its committed watermark (recovery
+    // truncated any torn tail), and every entry lies wholly below it.
     let sum: u64 = tier.entries().iter().map(|e| e.bytes).sum();
     assert_eq!(tier.bytes(), sum, "{label}: indexed_bytes drifted");
-    for entry in tier.entries() {
-        let len = std::fs::metadata(dir.join(&entry.file))
-            .unwrap_or_else(|e| panic!("{label}: {} unreadable: {e}", entry.file))
+    for region in tier.regions() {
+        let len = std::fs::metadata(dir.join(&region.file))
+            .unwrap_or_else(|e| panic!("{label}: {} unreadable: {e}", region.file))
             .len();
-        assert_eq!(len, entry.bytes, "{label}: {} size mismatch", entry.file);
+        assert_eq!(
+            len, region.committed,
+            "{label}: {} length differs from its committed watermark",
+            region.file
+        );
+    }
+    for entry in tier.entries() {
+        let region = tier
+            .regions()
+            .iter()
+            .find(|r| r.file == entry.file)
+            .unwrap_or_else(|| panic!("{label}: entry in {} has no region row", entry.file));
+        assert!(
+            entry.offset + entry.bytes <= region.committed,
+            "{label}: entry {}@{} overruns the committed watermark {}",
+            entry.file,
+            entry.offset,
+            region.committed
+        );
     }
 
     // Only committed keys are served, each bitwise-identical.

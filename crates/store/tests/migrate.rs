@@ -1,0 +1,155 @@
+//! Transparent v1 → v2 migration: a store directory written by the
+//! file-per-key (v1) tier must open into the region-packed (v2) layout
+//! on first open — every committed pool served bitwise-identically,
+//! sources removed only after the v2 manifest commits, and nothing lost
+//! even when the repack itself runs on a failing disk.
+
+use oipa_sampler::testkit::fig1;
+use oipa_sampler::MrrPool;
+use oipa_store::io::{FaultIo, FaultSchedule};
+use oipa_store::{DiskTier, PoolKey, QUARANTINE_DIR, REGION_PREFIX};
+use std::path::{Path, PathBuf};
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("oipa-migrate-tests").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A v1 fixture directory: one `pool-*.mrr` segment per key plus the v1
+/// `index.json` the old tier wrote, built by hand so the test does not
+/// depend on any v1 writer surviving in the codebase.
+fn v1_fixture(dir: &Path, thetas: &[usize]) -> Vec<(PoolKey, MrrPool, String)> {
+    let (g, table, campaign) = fig1();
+    let mut out = Vec::new();
+    let mut entries = Vec::new();
+    for (i, &theta) in thetas.iter().enumerate() {
+        let pool = MrrPool::generate(&g, &table, &campaign, theta, i as u64 + 1);
+        let mut buf = Vec::new();
+        oipa_sampler::binio::write_pool(&pool, &mut buf).unwrap();
+        let crc = u32::from_le_bytes(buf[buf.len() - 4..].try_into().unwrap());
+        let file = format!("pool-{:016x}.mrr", i + 1);
+        std::fs::write(dir.join(&file), &buf).unwrap();
+        let key = PoolKey::sampled(format!("migrate-{i}"), theta, i as u64 + 1);
+        entries.push(format!(
+            r#"{{"key":{},"file":"{file}","bytes":{},"crc":{crc},"last_used":{}}}"#,
+            serde_json::to_string(&key).unwrap(),
+            buf.len(),
+            i + 1
+        ));
+        out.push((key, pool, file));
+    }
+    let manifest = format!(
+        r#"{{"version":1,"instance":0,"clock":9,"entries":[{}]}}"#,
+        entries.join(",")
+    );
+    std::fs::write(dir.join("index.json"), manifest).unwrap();
+    out
+}
+
+#[test]
+fn v1_directory_repacks_into_regions_on_first_open() {
+    let dir = tmpdir("repack");
+    let fixture = v1_fixture(&dir, &[140, 170, 200]);
+
+    let mut tier = DiskTier::open(&dir, u64::MAX).expect("v1 dir must open");
+    let report = tier.open_report();
+    assert_eq!(report.migrated, 3, "every v1 segment repacks");
+    assert_eq!(report.quarantined, 0);
+    assert!(tier.health().is_healthy());
+
+    // All pools land in one default-capacity region, served bitwise.
+    assert_eq!(tier.regions().len(), 1);
+    assert!(tier.regions()[0].file.starts_with(REGION_PREFIX));
+    for (key, pool, source) in &fixture {
+        let got = tier.get(key).expect("migrated pool must be served");
+        assert_eq!(got.fingerprint(), pool.fingerprint(), "{key:?} changed");
+        assert!(
+            !dir.join(source).exists(),
+            "{source} must be removed once the v2 manifest committed"
+        );
+    }
+    assert!(tier.verify().corrupt.is_empty());
+    drop(tier);
+
+    // Restart: the migrated directory is now a plain v2 store.
+    let mut reopened = DiskTier::open(&dir, u64::MAX).unwrap();
+    assert_eq!(reopened.open_report().migrated, 0, "migration runs once");
+    for (key, pool, _) in &fixture {
+        let got = reopened.get(key).expect("pool lost across restart");
+        assert_eq!(got.fingerprint(), pool.fingerprint());
+    }
+}
+
+/// A disk that refuses the very first repack append must not cost the
+/// pool: the v1 segment is indexed **in place** as a one-entry region,
+/// and every other pool still repacks normally.
+#[test]
+fn migration_never_loses_a_committed_pool_to_a_failing_append() {
+    let dir = tmpdir("failing-append");
+    let fixture = v1_fixture(&dir, &[140, 170, 200]);
+
+    // Write op #0 during this open is the first pool's region append.
+    let schedule = FaultSchedule::parse("write:eio=0").unwrap();
+    let io = FaultIo::over_real(schedule);
+    let tier = DiskTier::open_with(&dir, u64::MAX, 1, io).expect("open must not fail");
+    assert_eq!(tier.open_report().migrated, 3, "no pool may be dropped");
+    assert!(
+        !tier.health().is_healthy(),
+        "a failed repack append must degrade, not pass silently"
+    );
+
+    // Pool 0 is indexed **in place** from its original segment. The
+    // degraded tier short-circuits lookups (that is its contract), so
+    // durability is checked against the index here and against `get`
+    // after the healthy reopen below.
+    let (_, _, source0) = &fixture[0];
+    assert!(dir.join(source0).exists(), "in-place region file kept");
+    assert!(
+        tier.regions().iter().any(|r| &r.file == source0),
+        "the v1 segment must be indexed as its own region"
+    );
+    for (key, _, _) in &fixture {
+        assert!(
+            tier.entries().iter().any(|e| &e.key == key),
+            "{key:?} dropped from the migrated index"
+        );
+    }
+    drop(tier);
+
+    // A later healthy open serves everything and stays verify-clean.
+    let mut healthy = DiskTier::open(&dir, u64::MAX).unwrap();
+    for (key, pool, _) in &fixture {
+        let got = healthy.get(key).expect("pool lost after recovery");
+        assert_eq!(got.fingerprint(), pool.fingerprint());
+    }
+    assert!(healthy.verify().corrupt.is_empty());
+}
+
+/// A corrupt v1 segment is quarantined during migration — never indexed,
+/// never served, never silently deleted.
+#[test]
+fn corrupt_v1_segment_is_quarantined_during_migration() {
+    let dir = tmpdir("corrupt-v1");
+    let fixture = v1_fixture(&dir, &[140, 170]);
+
+    // Flip one payload byte of the first segment.
+    let path = dir.join(&fixture[0].2);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let mut tier = DiskTier::open(&dir, u64::MAX).unwrap();
+    let report = tier.open_report();
+    assert_eq!(report.migrated, 1, "only the intact segment migrates");
+    assert_eq!(report.quarantined, 1, "the corrupt one is set aside");
+    assert!(tier.get(&fixture[0].0).is_none(), "corruption served");
+    let got = tier.get(&fixture[1].0).expect("intact pool must survive");
+    assert_eq!(got.fingerprint(), fixture[1].1.fingerprint());
+    assert!(
+        dir.join(QUARANTINE_DIR).join(&fixture[0].2).exists(),
+        "quarantine must preserve the corrupt bytes"
+    );
+}

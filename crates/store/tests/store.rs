@@ -198,7 +198,12 @@ fn corrupt_segment_is_quarantined_not_served() {
 #[test]
 fn gc_quarantines_corruption_and_orphans() {
     let dir = tmpdir("gc");
-    let store = PoolStore::open(config(&dir)).unwrap();
+    // One-byte regions: a region's first entry always fits, so every
+    // pool packs into a region of its own and corrupting/removing one
+    // file touches exactly one pool.
+    let mut cfg = config(&dir);
+    cfg.region_bytes = 1;
+    let store = PoolStore::open(cfg).unwrap();
     for s in 0..3u64 {
         store.insert(key(400, s), pool(400, s));
     }
@@ -209,9 +214,14 @@ fn gc_quarantines_corruption_and_orphans() {
         .iter()
         .map(|e| e.file.clone())
         .collect();
+    assert_eq!(
+        store.disk().unwrap().regions().len(),
+        3,
+        "tiny region capacity must give one region per pool"
+    );
     drop(store);
 
-    // Corrupt one segment, delete another, drop an orphan next to them.
+    // Corrupt one region, delete another, drop an orphan next to them.
     let mut bytes = std::fs::read(dir.join(&files[0])).unwrap();
     let len = bytes.len();
     bytes[len / 3] ^= 0xFF;
@@ -230,6 +240,11 @@ fn gc_quarantines_corruption_and_orphans() {
     assert_eq!(gc.quarantined, vec![files[0].clone()]);
     assert_eq!(gc.kept, 1);
     assert!(gc.reclaimed_bytes > 0);
+    // Per-region accounting: every committed byte of the corrupt region
+    // was reclaimed (nothing live could be copied out of it).
+    assert_eq!(gc.region_reclaimed.len(), 1, "{gc:?}");
+    assert_eq!(gc.region_reclaimed[0].0, files[0]);
+    assert!(gc.region_reclaimed[0].1 > 0);
     // After gc, verify is clean.
     let verdict = tier.verify();
     assert_eq!(verdict.corrupt.len(), 0, "{verdict:?}");
