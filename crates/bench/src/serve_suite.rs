@@ -12,12 +12,15 @@
 //! delay instead of hiding it (no coordinated omission). Every warm
 //! answer is cross-checked bitwise against an in-process reference
 //! session, and the final `GET /stats` snapshot must be schema-tagged
-//! and internally consistent. Reproduce with `oipa-cli bench serve
-//! [--smoke true] [--rate N]` or `cargo run --release -p oipa-bench
-//! --bin bench_serve`.
+//! and internally consistent. Latency percentiles are computed on the
+//! same [`oipa_obs::Histogram`] the server exports on `GET /metrics`,
+//! so bench and runtime percentiles are one implementation. Reproduce
+//! with `oipa-cli bench serve [--smoke true] [--rate N]` or `cargo run
+//! --release -p oipa-bench --bin bench_serve`.
 
+use oipa_obs::Histogram;
 use oipa_sampler::testkit::small_random_instance;
-use oipa_server::{Server, ServerConfig};
+use oipa_server::{Server, ServerConfig, StatsBody};
 use oipa_service::{Method, PlannerService, SolveRequest, SolveResponse};
 use oipa_store::StatsSnapshot;
 use oipa_topics::Campaign;
@@ -29,8 +32,11 @@ use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Schema identifier stamped into every report.
-pub const SERVE_SCHEMA: &str = "oipa.bench.serve/v1";
+/// Schema identifier stamped into every report. v2 adds the server
+/// identity check (`identity_ok`) and the `/metrics` scrape check
+/// (`metrics_ok`), and computes percentiles on the shared
+/// [`oipa_obs::Histogram`] (≤1/64 upward quantization above 128 ns).
+pub const SERVE_SCHEMA: &str = "oipa.bench.serve/v2";
 
 /// Suite configuration.
 #[derive(Debug, Clone, Copy, Default)]
@@ -77,7 +83,7 @@ pub struct ServePhaseRecord {
 /// The full suite report (the `BENCH_serve.json` payload).
 #[derive(Debug, Clone, Serialize)]
 pub struct ServeSuiteReport {
-    /// Schema identifier (`oipa.bench.serve/v1`).
+    /// Schema identifier (`oipa.bench.serve/v2`).
     pub schema: String,
     /// Whether this was a smoke run.
     pub smoke: bool,
@@ -110,6 +116,12 @@ pub struct ServeSuiteReport {
     pub stats_schema_ok: bool,
     /// The final snapshot's books balanced (lookups = hits + misses).
     pub stats_consistent: bool,
+    /// The `/stats` identity header named this server build and both
+    /// wire schemas.
+    pub identity_ok: bool,
+    /// The final `GET /metrics` scrape parsed and carried the request
+    /// counter, latency histogram, and store-bridge families.
+    pub metrics_ok: bool,
     /// The final wire snapshot, verbatim.
     pub stats: StatsSnapshot,
     /// Per-phase latency profiles (`cold`, then `warm`).
@@ -298,33 +310,35 @@ struct Sample {
     answer: Option<(String, u64, Option<u64>, usize)>,
 }
 
-fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
-    if sorted_ms.is_empty() {
-        return 0.0;
-    }
-    let rank = ((sorted_ms.len() as f64) * p).ceil() as usize;
-    sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
-}
-
 fn phase_record(
     phase: &str,
     target_rate: f64,
     total_ms: f64,
     samples: &[Sample],
 ) -> ServePhaseRecord {
-    let mut sorted: Vec<f64> = samples.iter().map(|s| s.latency_ms).collect();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    // Latencies go through the same log₂-bucketed histogram the server
+    // exports on `/metrics` (in nanoseconds, its latency convention):
+    // bench percentiles and runtime percentiles are one implementation,
+    // one ceil-rank rule, one ≤1/64 upward quantization bound.
+    let hist = Histogram::new();
+    for s in samples {
+        hist.record((s.latency_ms.max(0.0) * 1e6) as u64);
+    }
+    let ns_to_ms = |ns: u64| ns as f64 / 1e6;
+    // Percentiles round up to their bucket bound while `max` is exact,
+    // so clamp to keep p999 ≤ max an invariant rather than a race.
+    let max_ms = ns_to_ms(hist.max());
     ServePhaseRecord {
         phase: phase.to_string(),
         requests: samples.len(),
         target_rate,
         achieved_rate: samples.len() as f64 / (total_ms / 1e3).max(1e-9),
         total_ms,
-        mean_ms: sorted.iter().sum::<f64>() / sorted.len().max(1) as f64,
-        p50_ms: percentile(&sorted, 0.50),
-        p99_ms: percentile(&sorted, 0.99),
-        p999_ms: percentile(&sorted, 0.999),
-        max_ms: sorted.last().copied().unwrap_or(0.0),
+        mean_ms: hist.mean() / 1e6,
+        p50_ms: ns_to_ms(hist.percentile(0.50)).min(max_ms),
+        p99_ms: ns_to_ms(hist.percentile(0.99)).min(max_ms),
+        p999_ms: ns_to_ms(hist.percentile(0.999)).min(max_ms),
+        max_ms,
         pool_cache_hits: samples.iter().filter(|s| s.cache_hit).count(),
         errors: samples.iter().filter(|s| !s.ok).count(),
     }
@@ -467,18 +481,36 @@ pub fn run_serve_suite(config: ServeSuiteConfig) -> Result<ServeSuiteReport, Str
         .chain(&warm_samples)
         .all(|s| s.answer.as_ref() == Some(&reference[s.key]));
 
-    // Stats read-back over the wire: the snapshot must round-trip as
-    // the shared `StatsSnapshot` type and balance its books.
+    // Stats read-back over the wire: the body must round-trip as the
+    // shared `StatsBody` type (identity header + snapshot), the
+    // snapshot must balance its books, and the identity must name the
+    // build that just served the load.
     let (status, text) = client
         .round_trip("GET", "/stats", "")
         .map_err(|e| format!("stats read-back: {e}"))?;
     if status != 200 {
         return Err(format!("GET /stats answered {status}: {text}"));
     }
-    let stats: StatsSnapshot =
-        serde_json::from_str(&text).map_err(|e| format!("unparseable StatsSnapshot: {e}"))?;
+    let body: StatsBody =
+        serde_json::from_str(&text).map_err(|e| format!("unparseable StatsBody: {e}"))?;
+    let identity_ok = body.server.service == "oipa-server"
+        && body.server.stats_schema == oipa_store::STATS_SCHEMA
+        && body.server.metrics_schema == oipa_server::METRICS_SCHEMA
+        && body.server.uptime_seconds >= 0.0;
+    let stats = body.store;
     let stats_schema_ok = stats.schema_ok();
     let stats_consistent = stats.mem.lookups == stats.mem.hits + stats.mem.misses;
+
+    // Metrics read-back: the exposition the operators will scrape must
+    // carry the request counters and latency histogram for the load we
+    // just generated, plus the store bridge.
+    let (status, text) = client
+        .round_trip("GET", "/metrics", "")
+        .map_err(|e| format!("metrics read-back: {e}"))?;
+    let metrics_ok = status == 200
+        && text.contains("oipa_http_requests_total{endpoint=\"/solve\",status=\"200\"}")
+        && text.contains("oipa_http_request_seconds_bucket{endpoint=\"/solve\",le=\"+Inf\"}")
+        && text.contains("oipa_store_mem_lookups_total");
 
     let rejected_503 = handle.rejected_503();
     handle.shutdown();
@@ -500,6 +532,8 @@ pub fn run_serve_suite(config: ServeSuiteConfig) -> Result<ServeSuiteReport, Str
         rejected_503,
         stats_schema_ok,
         stats_consistent,
+        identity_ok,
+        metrics_ok,
         stats,
         records: vec![
             phase_record("cold", 0.0, cold_total_ms, &cold_samples),
@@ -528,6 +562,12 @@ pub fn validate_report(report: &ServeSuiteReport) -> Result<(), String> {
     }
     if !report.stats_consistent {
         return Err("stats snapshot books do not balance".to_string());
+    }
+    if !report.identity_ok {
+        return Err("the /stats identity header did not name this build".to_string());
+    }
+    if !report.metrics_ok {
+        return Err("the /metrics scrape was missing expected families".to_string());
     }
     if report.rejected_503 != 0 {
         return Err(format!(
@@ -621,7 +661,7 @@ pub fn summary_text(report: &ServeSuiteReport) -> String {
     }
     let _ = writeln!(
         out,
-        "parity: {}; stats schema: {}; books: {}; 503s: {}",
+        "parity: {}; stats schema: {}; books: {}; identity: {}; metrics: {}; 503s: {}",
         if report.answers_match_in_process {
             "bitwise"
         } else {
@@ -633,6 +673,8 @@ pub fn summary_text(report: &ServeSuiteReport) -> String {
         } else {
             "INCONSISTENT"
         },
+        if report.identity_ok { "ok" } else { "BAD" },
+        if report.metrics_ok { "ok" } else { "BAD" },
         report.rejected_503,
     );
     out
@@ -660,12 +702,47 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_are_order_statistics() {
-        let sorted: Vec<f64> = (1..=100).map(|i| i as f64).collect();
-        assert_eq!(percentile(&sorted, 0.50), 50.0);
-        assert_eq!(percentile(&sorted, 0.99), 99.0);
-        assert_eq!(percentile(&sorted, 0.999), 100.0);
-        assert_eq!(percentile(&[], 0.5), 0.0);
+    fn phase_percentiles_are_the_shared_histogram_order_statistics() {
+        // Latencies below 128 ns land in the histogram's exact range, so
+        // the record must reproduce ceil-rank order statistics exactly —
+        // the same rule the suite's private sorted-vector percentiles
+        // implemented before the port onto `oipa_obs::Histogram`.
+        let samples: Vec<Sample> = (1..=100)
+            .map(|i| Sample {
+                key: 0,
+                latency_ms: i as f64 / 1e6, // i nanoseconds
+                cache_hit: false,
+                ok: true,
+                answer: None,
+            })
+            .collect();
+        let record = phase_record("warm", 0.0, 1.0, &samples);
+        assert_eq!(record.p50_ms, 50.0 / 1e6);
+        assert_eq!(record.p99_ms, 99.0 / 1e6);
+        assert_eq!(record.p999_ms, 100.0 / 1e6);
+        assert_eq!(record.max_ms, 100.0 / 1e6);
+        assert!((record.mean_ms - 50.5 / 1e6).abs() < 1e-15);
+
+        let empty = phase_record("warm", 0.0, 1.0, &[]);
+        assert_eq!(empty.p50_ms, 0.0);
+        assert_eq!(empty.max_ms, 0.0);
+    }
+
+    #[test]
+    fn phase_percentiles_never_exceed_the_exact_max() {
+        // 4.03 ms sits mid-octave: its bucket bound rounds up, and the
+        // record must clamp that bound back to the exact max.
+        let samples = vec![Sample {
+            key: 0,
+            latency_ms: 4.03,
+            cache_hit: true,
+            ok: true,
+            answer: None,
+        }];
+        let record = phase_record("warm", 0.0, 1.0, &samples);
+        assert_eq!(record.max_ms, 4.03);
+        assert_eq!(record.p50_ms, 4.03);
+        assert_eq!(record.p999_ms, 4.03);
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, OipaError> {
         "batch" => cmd_batch(args),
         "bench" => cmd_bench(args),
         "store" => cmd_store(args),
+        "obs" => cmd_obs(args),
         other => Err(OipaError::InvalidConfig {
             what: format!("unknown command {other:?}"),
         }),
@@ -290,6 +291,111 @@ fn cmd_store(args: &ParsedArgs) -> Result<String, OipaError> {
             what: format!("unknown store action {other:?} (available: ls, verify, gc)"),
         }),
     }
+}
+
+/// `oipa-cli obs dump --addr HOST:PORT` — scrapes a live server's
+/// `GET /metrics` exposition over the wire and renders it as an aligned
+/// `series / type / value` table, one row per sample.
+fn cmd_obs(args: &ParsedArgs) -> Result<String, OipaError> {
+    let action = args.positional.as_deref().unwrap_or("dump");
+    if action != "dump" {
+        return Err(OipaError::InvalidConfig {
+            what: format!("unknown obs action {action:?} (available: dump)"),
+        });
+    }
+    let addr = args.required("addr")?;
+    let exposition = fetch_metrics(addr).map_err(|detail| OipaError::Io {
+        what: format!("scraping http://{addr}/metrics"),
+        detail,
+    })?;
+    render_metrics_table(&exposition).map_err(|e| OipaError::Mismatch {
+        what: format!("unparseable exposition from {addr}: {e}"),
+    })
+}
+
+/// One `Connection: close` GET of `/metrics`; returns the body.
+fn fetch_metrics(addr: &str) -> Result<String, String> {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(
+            format!("GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
+                .as_bytes(),
+        )
+        .map_err(|e| e.to_string())?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).map_err(|e| e.to_string())?;
+    let text = String::from_utf8_lossy(&raw);
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or("incomplete HTTP response")?;
+    match head.split(' ').nth(1) {
+        Some("200") => Ok(body.to_string()),
+        Some(status) => Err(format!("GET /metrics answered {status}")),
+        None => Err("malformed status line".to_string()),
+    }
+}
+
+/// Renders a Prometheus text exposition as an aligned table. Family
+/// kinds come from the `# TYPE` lines; `_bucket`/`_sum`/`_count` samples
+/// resolve to their histogram family.
+fn render_metrics_table(exposition: &str) -> Result<String, String> {
+    let mut kinds: Vec<(String, String)> = Vec::new();
+    let mut rows: Vec<(String, String)> = Vec::new();
+    for line in exposition.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut words = rest.split_whitespace();
+            match (words.next(), words.next()) {
+                (Some(family), Some(kind)) => kinds.push((family.to_string(), kind.to_string())),
+                _ => return Err(format!("malformed TYPE line {line:?}")),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("sample line without a value: {line:?}"))?;
+        value
+            .parse::<f64>()
+            .map_err(|_| format!("unparseable value in {line:?}"))?;
+        rows.push((series.to_string(), value.to_string()));
+    }
+    if rows.is_empty() {
+        return Err("no samples in the exposition".to_string());
+    }
+    let kind_of = |series: &str| {
+        let name = series.split('{').next().unwrap_or(series);
+        kinds
+            .iter()
+            .find(|(family, _)| {
+                name == family
+                    || ["_bucket", "_sum", "_count"]
+                        .iter()
+                        .any(|suffix| name.strip_suffix(suffix) == Some(family.as_str()))
+            })
+            .map_or("untyped", |(_, kind)| kind.as_str())
+    };
+    let width = rows
+        .iter()
+        .map(|(series, _)| series.len())
+        .max()
+        .unwrap_or(0)
+        .max("series".len());
+    let mut out = String::new();
+    writeln!(out, "{:<width$}  {:<9}  value", "series", "type").expect("string write");
+    for (series, value) in &rows {
+        writeln!(out, "{series:<width$}  {:<9}  {value}", kind_of(series)).expect("string write");
+    }
+    write!(out, "{} series across {} families", rows.len(), kinds.len()).expect("string write");
+    Ok(out)
 }
 
 /// Lists `quarantine/` as `(file, reason)` pairs, pairing each set-aside
@@ -1517,6 +1623,66 @@ mod tests {
             "{method}"
         );
         assert_eq!(method.exit_code(), 2);
+    }
+
+    #[test]
+    fn obs_table_renders_typed_aligned_rows() {
+        let exposition = "\
+# HELP oipa_http_requests_total Requests answered.\n\
+# TYPE oipa_http_requests_total counter\n\
+oipa_http_requests_total{endpoint=\"/solve\",status=\"200\"} 5\n\
+# HELP oipa_http_request_seconds Request latency.\n\
+# TYPE oipa_http_request_seconds histogram\n\
+oipa_http_request_seconds_bucket{endpoint=\"/solve\",le=\"+Inf\"} 5\n\
+oipa_http_request_seconds_count{endpoint=\"/solve\"} 5\n\
+# HELP oipa_uptime_seconds Uptime.\n\
+# TYPE oipa_uptime_seconds gauge\n\
+oipa_uptime_seconds 1.5\n";
+        let table = render_metrics_table(exposition).unwrap();
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines[0].starts_with("series"), "{table}");
+        assert!(
+            lines[1].contains("counter") && lines[1].ends_with('5'),
+            "{table}"
+        );
+        assert!(
+            lines[2].contains("histogram") && lines[2].contains("le=\"+Inf\""),
+            "{table}"
+        );
+        assert!(lines[3].contains("histogram"), "_count resolves: {table}");
+        assert!(lines[4].contains("gauge"), "{table}");
+        assert!(lines[5].contains("4 series across 3 families"), "{table}");
+        // All rows align their type column.
+        let col = lines[1].find("counter").unwrap();
+        assert_eq!(lines[2].find("histogram"), Some(col), "{table}");
+        assert_eq!(lines[4].find("gauge"), Some(col), "{table}");
+
+        assert!(render_metrics_table("").is_err(), "empty exposition");
+        assert!(render_metrics_table("junk without value\n# TYPE x counter\n").is_err());
+    }
+
+    #[test]
+    fn obs_dump_scrapes_a_live_server() {
+        let (graph, probs, _campaign) = oipa_sampler::testkit::fig1();
+        let service = std::sync::Arc::new(PlannerService::new(graph, probs).unwrap());
+        let handle = oipa_server::Server::spawn(
+            std::sync::Arc::clone(&service),
+            oipa_server::ServerConfig::default(),
+        )
+        .unwrap();
+        let addr = handle.addr().to_string();
+
+        let table = run_words(&["obs", "dump", "--addr", &addr]).unwrap();
+        assert!(table.contains("oipa_build_info"), "{table}");
+        assert!(table.contains("oipa_store_mem_lookups_total"), "{table}");
+        assert!(table.contains("series across"), "{table}");
+
+        let err = run_words(&["obs", "wat", "--addr", &addr]).unwrap_err();
+        assert!(err.to_string().contains("unknown obs action"), "{err}");
+        handle.shutdown();
+
+        let err = run_words(&["obs", "dump", "--addr", &addr]).unwrap_err();
+        assert_eq!(err.exit_code(), 1, "a dead server is an I/O error");
     }
 
     #[test]

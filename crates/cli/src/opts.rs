@@ -34,6 +34,7 @@ commands:
             [--out FILE] [--store-dir DIR] [--rate RPS]
             [--fault-schedule SPEC]
   store     ls|verify|gc --dir DIR
+  obs       dump --addr HOST:PORT
 
 --fault-schedule (dev): inject disk faults into the attached store, e.g.
   \"write:enospc=1,seed=7\" or \"crash=12\" or \"down\" — see oipa-store docs";
@@ -152,6 +153,11 @@ const COMMANDS: &[CommandSpec] = &[
         name: "store",
         takes_positional: true,
         flags: &["dir"],
+    },
+    CommandSpec {
+        name: "obs",
+        takes_positional: true,
+        flags: &["addr"],
     },
 ];
 

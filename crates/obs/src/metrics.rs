@@ -1,0 +1,368 @@
+//! The three metric primitives: relaxed-atomic counters, gauges, and
+//! log₂-bucketed latency histograms.
+//!
+//! Everything here is designed for the hot path of a serving system:
+//! recording is a handful of `Relaxed` atomic operations — no locks, no
+//! allocation, no branches beyond the bucket index math — so
+//! instrumentation is near-free whether or not the registry is ever
+//! scraped. Reads (snapshots, percentiles, rendering) tolerate torn
+//! views across buckets; each individual counter is still exact.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A monotonically increasing counter (wraps at `u64::MAX`, which at one
+/// increment per nanosecond takes ~584 years).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down (in-flight requests, queue
+/// depth, 0/1 state flags).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one.
+    #[inline]
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Linear sub-buckets per octave as a power of two: 2⁶ = 64 sub-buckets,
+/// bounding relative quantization error at 1/64 ≈ 1.6%.
+const SUB_BITS: u32 = 6;
+/// Sub-buckets per octave.
+const SUBS: u64 = 1 << SUB_BITS;
+/// Octave groups covering the full `u64` range (values `0..64` are the
+/// exact octave 0; each further octave doubles the bucket width).
+const OCTAVES: usize = 64 - SUB_BITS as usize + 1;
+/// Total fine buckets.
+const BUCKETS: usize = OCTAVES << SUB_BITS as usize;
+
+/// Fine-bucket index of a value: exact below [`SUBS`], then HDR-style
+/// `octave * 64 + sub` where the sub-bucket is the value's top
+/// [`SUB_BITS`] bits after the leading one.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUBS {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let octave = (msb - SUB_BITS + 1) as usize;
+    let shift = msb - SUB_BITS;
+    (octave << SUB_BITS) + ((v >> shift) - SUBS) as usize
+}
+
+/// Largest value a fine bucket holds (inclusive). Percentile readout
+/// reports this bound, so quantization only ever rounds *up* — a
+/// reported p99 is never smaller than the true order statistic.
+#[inline]
+fn bucket_upper(index: usize) -> u64 {
+    let octave = index >> SUB_BITS;
+    let sub = (index as u64) & (SUBS - 1);
+    if octave == 0 {
+        return sub;
+    }
+    let shift = (octave - 1) as u32;
+    // OR-in the low bits instead of adding the width: the topmost
+    // bucket's upper bound is exactly `u64::MAX` and must not overflow.
+    ((SUBS + sub) << shift) | ((1u64 << shift) - 1)
+}
+
+/// A log₂-bucketed histogram of `u64` values (by convention:
+/// **nanoseconds** when the histogram measures latency — the registry's
+/// Prometheus renderer divides by 10⁹ for `_seconds` families).
+///
+/// 64 linear sub-buckets per octave keep relative quantization error
+/// under 1.6%; values below 128 are bucketed exactly. `count`, `sum`,
+/// and `max` are tracked exactly on the side, so the mean is always
+/// precise and only percentiles pay the (bounded, upward) rounding.
+///
+/// [`Histogram::percentile`] uses the ceil-rank order-statistic rule —
+/// `rank = ceil(count · p)` clamped to `[1, count]` — the same rule the
+/// bench suite's sorted-sample percentiles used, so runtime and bench
+/// percentiles are the same math over the same buckets.
+pub struct Histogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram. Allocates its fixed bucket array (~30 KiB);
+    /// create once, share via `Arc`.
+    pub fn new() -> Histogram {
+        // SAFETY-free zero init: AtomicU64 is repr(transparent) over u64
+        // but there is no const array constructor, so build via Vec.
+        let buckets: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; BUCKETS]> = buckets
+            .into_boxed_slice()
+            .try_into()
+            .unwrap_or_else(|_| unreachable!("Vec was built with BUCKETS elements"));
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value: four relaxed atomic ops, no locks.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds (saturating past ~584 years).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Values recorded (exact).
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values (exact — quantization affects buckets,
+    /// never the sum, so the mean is always precise).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded value (exact).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded values (exact), 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / count as f64
+        }
+    }
+
+    /// The ceil-rank percentile: the inclusive upper bound of the fine
+    /// bucket holding the `ceil(count · p)`-th smallest value (clamped
+    /// to `[1, count]`). Returns 0 on an empty histogram. Values below
+    /// 128 are exact; above, the answer overshoots the true order
+    /// statistic by at most 1/64.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((count as f64) * p).ceil() as u64;
+        let rank = rank.clamp(1, count);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_upper(i);
+            }
+        }
+        // A racing record bumped `count` before its bucket: the largest
+        // value we have a bound for is the max.
+        self.max()
+    }
+
+    /// Non-zero fine buckets as `(inclusive_upper_bound, count)` pairs,
+    /// in ascending value order. The registry's Prometheus renderer
+    /// coarsens these into power-of-two `le` boundaries.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then(|| (bucket_upper(i), n))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(-7);
+        assert_eq!(g.get(), -7);
+    }
+
+    #[test]
+    fn bucket_index_round_trips_exact_range() {
+        // Values below two octaves (0..128) get exact buckets.
+        for v in 0..128u64 {
+            assert_eq!(bucket_upper(bucket_index(v)), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn bucket_upper_bounds_contain_their_values() {
+        for v in [
+            128,
+            129,
+            1_000,
+            4_030_000,     // ~4.03 ms in ns — the serve-bench warm p50
+            1_000_000_000, // 1 s
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let i = bucket_index(v);
+            let upper = bucket_upper(i);
+            assert!(upper >= v, "upper {upper} < value {v}");
+            // Relative quantization error stays under 1/64.
+            assert!(
+                (upper - v) as f64 <= v as f64 / 64.0 + 1.0,
+                "value {v}: upper {upper} overshoots by more than 1/64"
+            );
+            // The bucket is the first whose upper bound reaches v.
+            if i > 0 {
+                assert!(bucket_upper(i - 1) < v, "value {v} fits an earlier bucket");
+            }
+        }
+    }
+
+    #[test]
+    fn percentiles_are_ceil_rank_order_statistics() {
+        // 1..=100 lie in the exact range, so the histogram reproduces
+        // the sorted-sample order statistics bit-for-bit — the rule the
+        // bench suite historically implemented over sorted vectors.
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.50), 50);
+        assert_eq!(h.percentile(0.99), 99);
+        assert_eq!(h.percentile(0.999), 100);
+        assert_eq!(h.percentile(0.0), 1, "rank clamps to 1");
+        assert_eq!(h.percentile(1.0), 100);
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 5050);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 50.5).abs() < 1e-12);
+        assert_eq!(Histogram::new().percentile(0.5), 0, "empty histogram");
+    }
+
+    #[test]
+    fn percentiles_are_monotone_in_p() {
+        let h = Histogram::new();
+        let mut v = 17u64;
+        for _ in 0..10_000 {
+            v = v
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            h.record(v >> 40); // ~24-bit values
+        }
+        let mut last = 0;
+        for p in [0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let q = h.percentile(p);
+            assert!(q >= last, "p{p}: {q} < {last}");
+            last = q;
+        }
+        assert!(h.percentile(1.0) >= h.max() - h.max() / 64);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let h = Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1_000 + (i % 97));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 40_000);
+        let bucketed: u64 = h.nonzero_buckets().iter().map(|&(_, n)| n).sum();
+        assert_eq!(bucketed, 40_000, "every record landed in a bucket");
+    }
+}

@@ -1,0 +1,450 @@
+//! The metric registry and its Prometheus text-exposition renderer.
+//!
+//! A [`Registry`] is a cloneable handle (`Arc` inside) over a name →
+//! family map. Registration (`counter`/`gauge`/`histogram`) is
+//! get-or-create behind an `RwLock` — callers do it once at startup and
+//! hold the returned `Arc` handles, so the request hot path never
+//! touches the lock. [`Registry::render`] walks every registered series
+//! plus any [collector closures](Registry::register_collector) and emits
+//! `text/plain; version=0.0.4` exposition.
+//!
+//! Collectors are the bridge for metrics that already live somewhere
+//! else (the pool store's `StatsSnapshot` counters): instead of
+//! mirroring them into registry atomics — two copies that could drift —
+//! a collector reads the original source *at scrape time* and writes
+//! exposition lines directly. `/stats` and `/metrics` then derive from
+//! the same atomics and cannot disagree.
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+/// What a metric family is, for the `# TYPE` exposition line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing.
+    Counter,
+    /// Goes up and down.
+    Gauge,
+    /// Bucketed distribution.
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+enum Series {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Family {
+    help: String,
+    kind: MetricKind,
+    /// Canonical label string (`` or `{k="v",…}`) → the series.
+    series: BTreeMap<String, Series>,
+}
+
+type Collector = Box<dyn Fn(&mut PromText) + Send + Sync>;
+
+#[derive(Default)]
+struct Inner {
+    families: RwLock<BTreeMap<String, Family>>,
+    collectors: RwLock<Vec<Collector>>,
+}
+
+/// A metric registry: clone the handle freely, every clone reads and
+/// writes the same underlying series.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let families = read(&self.inner.families).len();
+        write!(f, "Registry({families} families)")
+    }
+}
+
+/// Reads a lock, recovering from poisoning — the registry holds only
+/// monotone counters, so a panicked writer cannot leave it inconsistent
+/// in a way a reader must fear.
+fn read<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get-or-create a counter series. The first call for a `(name,
+    /// labels)` pair creates it; later calls return the same handle.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind —
+    /// that is a programming error, not a runtime condition.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.series(name, help, MetricKind::Counter, labels, || {
+            Series::Counter(Arc::new(Counter::new()))
+        }) {
+            Series::Counter(c) => c,
+            _ => unreachable!("kind checked in series()"),
+        }
+    }
+
+    /// Get-or-create a gauge series (same contract as [`Self::counter`]).
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.series(name, help, MetricKind::Gauge, labels, || {
+            Series::Gauge(Arc::new(Gauge::new()))
+        }) {
+            Series::Gauge(g) => g,
+            _ => unreachable!("kind checked in series()"),
+        }
+    }
+
+    /// Get-or-create a histogram series (same contract as
+    /// [`Self::counter`]). By convention the recorded unit is
+    /// nanoseconds and the name ends in `_seconds`: the renderer divides
+    /// by 10⁹ so the exposition is in seconds.
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        match self.series(name, help, MetricKind::Histogram, labels, || {
+            Series::Histogram(Arc::new(Histogram::new()))
+        }) {
+            Series::Histogram(h) => h,
+            _ => unreachable!("kind checked in series()"),
+        }
+    }
+
+    fn series(
+        &self,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+        labels: &[(&str, &str)],
+        create: impl FnOnce() -> Series,
+    ) -> Series {
+        let label_key = render_labels(labels);
+        let mut families = write(&self.inner.families);
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            kind,
+            series: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric {name:?} registered as both {:?} and {kind:?}",
+            family.kind
+        );
+        let series = family.series.entry(label_key).or_insert_with(create);
+        match series {
+            Series::Counter(c) => Series::Counter(Arc::clone(c)),
+            Series::Gauge(g) => Series::Gauge(Arc::clone(g)),
+            Series::Histogram(h) => Series::Histogram(Arc::clone(h)),
+        }
+    }
+
+    /// Registers a scrape-time collector: a closure invoked by every
+    /// [`Self::render`] to append exposition lines for metrics whose
+    /// source of truth lives outside the registry (e.g. the pool store's
+    /// own atomic counters). Bridging at read time — instead of keeping
+    /// a second copy in registry atomics — is what guarantees `/stats`
+    /// and `/metrics` can never disagree.
+    pub fn register_collector(&self, collector: impl Fn(&mut PromText) + Send + Sync + 'static) {
+        write(&self.inner.collectors).push(Box::new(collector));
+    }
+
+    /// Renders the full registry (registered series first, collectors
+    /// after) as Prometheus text exposition.
+    pub fn render(&self) -> String {
+        let mut out = PromText::new();
+        {
+            let families = read(&self.inner.families);
+            for (name, family) in families.iter() {
+                out.family(name, family.kind, &family.help);
+                for (label_key, series) in &family.series {
+                    match series {
+                        Series::Counter(c) => out.line_u64(name, label_key, c.get()),
+                        Series::Gauge(g) => {
+                            out.line_raw(name, label_key, &g.get().to_string());
+                        }
+                        Series::Histogram(h) => out.histogram_lines(name, label_key, h),
+                    }
+                }
+            }
+        }
+        let collectors = read(&self.inner.collectors);
+        for collector in collectors.iter() {
+            collector(&mut out);
+        }
+        out.into_string()
+    }
+}
+
+/// Canonical label rendering: keys sorted, values escaped, `{k="v",…}`
+/// (empty string for no labels). Sorting makes the label set — not the
+/// caller's argument order — the series identity.
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut sorted: Vec<(&str, &str)> = labels.to_vec();
+    sorted.sort_by_key(|&(k, _)| k);
+    let body: Vec<String> = sorted
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Escapes a label value per the exposition format (`\`, `"`, newline).
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Power-of-two `le` boundaries (in nanoseconds) the renderer coarsens
+/// histogram fine buckets into: 2¹⁰ ns ≈ 1 µs up to 2³⁶ ns ≈ 69 s.
+/// Everything above the last boundary lands in `+Inf` only.
+const LE_LADDER_LOW: u32 = 10;
+const LE_LADDER_HIGH: u32 = 36;
+
+/// An exposition-text builder handed to collectors. The methods enforce
+/// the line grammar so a collector cannot emit malformed exposition.
+pub struct PromText {
+    out: String,
+}
+
+impl PromText {
+    fn new() -> PromText {
+        PromText {
+            out: String::with_capacity(4096),
+        }
+    }
+
+    /// Starts a metric family: the `# HELP` and `# TYPE` lines.
+    pub fn family(&mut self, name: &str, kind: MetricKind, help: &str) {
+        self.out.push_str("# HELP ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(&help.replace('\n', " "));
+        self.out.push('\n');
+        self.out.push_str("# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind.as_str());
+        self.out.push('\n');
+    }
+
+    /// One sample line with an integer value.
+    pub fn sample_u64(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        let label_key = render_labels(labels);
+        self.line_u64(name, &label_key, value);
+    }
+
+    /// One sample line with a float value (rendered exactly; integral
+    /// floats print without a fraction).
+    pub fn sample_f64(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let label_key = render_labels(labels);
+        self.line_raw(name, &label_key, &format_f64(value));
+    }
+
+    fn line_u64(&mut self, name: &str, label_key: &str, value: u64) {
+        self.line_raw(name, label_key, &value.to_string());
+    }
+
+    fn line_raw(&mut self, name: &str, label_key: &str, value: &str) {
+        self.out.push_str(name);
+        self.out.push_str(label_key);
+        self.out.push(' ');
+        self.out.push_str(value);
+        self.out.push('\n');
+    }
+
+    /// Full histogram exposition for one series: cumulative `_bucket`
+    /// lines over the power-of-two ladder, then `_sum` and `_count`.
+    /// The `+Inf` bucket and `_count` are computed from the same bucket
+    /// walk, so `_bucket{le="+Inf"} == _count` holds even while other
+    /// threads are recording.
+    fn histogram_lines(&mut self, name: &str, label_key: &str, h: &Histogram) {
+        let fine = h.nonzero_buckets();
+        let mut cumulative = vec![0u64; (LE_LADDER_HIGH - LE_LADDER_LOW + 2) as usize];
+        for &(upper, n) in &fine {
+            let slot = (LE_LADDER_LOW..=LE_LADDER_HIGH)
+                .position(|k| upper <= 1u64 << k)
+                .unwrap_or(cumulative.len() - 1);
+            cumulative[slot] += n;
+        }
+        // Prefix-sum into cumulative counts.
+        let mut running = 0u64;
+        for slot in &mut cumulative {
+            running += *slot;
+            *slot = running;
+        }
+        let total = running;
+        for (i, k) in (LE_LADDER_LOW..=LE_LADDER_HIGH).enumerate() {
+            let le = format_f64((1u64 << k) as f64 / 1e9);
+            let with_le = merge_le(label_key, &le);
+            self.line_u64(&format!("{name}_bucket"), &with_le, cumulative[i]);
+        }
+        let with_inf = merge_le(label_key, "+Inf");
+        self.line_u64(&format!("{name}_bucket"), &with_inf, total);
+        self.line_raw(
+            &format!("{name}_sum"),
+            label_key,
+            &format_f64(h.sum() as f64 / 1e9),
+        );
+        self.line_u64(&format!("{name}_count"), label_key, total);
+    }
+
+    fn into_string(self) -> String {
+        self.out
+    }
+}
+
+/// Splices an `le` label into an already-rendered label key.
+fn merge_le(label_key: &str, le: &str) -> String {
+    if label_key.is_empty() {
+        format!("{{le=\"{le}\"}}")
+    } else {
+        format!("{},le=\"{le}\"}}", &label_key[..label_key.len() - 1])
+    }
+}
+
+/// Exposition float formatting: integral values print without a
+/// fraction, everything else uses Rust's shortest-exact decimal.
+fn format_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 9e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_get_or_create() {
+        let r = Registry::new();
+        let a = r.counter("hits_total", "Hits.", &[("tier", "mem")]);
+        let b = r.counter("hits_total", "Hits.", &[("tier", "mem")]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3, "both handles hit the same atomic");
+        let other = r.counter("hits_total", "Hits.", &[("tier", "disk")]);
+        assert_eq!(other.get(), 0, "different labels, different series");
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as both")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("x_total", "X.", &[]);
+        let _ = r.gauge("x_total", "X.", &[]);
+    }
+
+    #[test]
+    fn labels_are_canonical_regardless_of_order() {
+        let r = Registry::new();
+        let a = r.counter("c_total", "C.", &[("b", "2"), ("a", "1")]);
+        let b = r.counter("c_total", "C.", &[("a", "1"), ("b", "2")]);
+        a.inc();
+        assert_eq!(b.get(), 1, "argument order must not split the series");
+        assert_eq!(
+            render_labels(&[("b", "2"), ("a", "1")]),
+            "{a=\"1\",b=\"2\"}"
+        );
+        assert_eq!(render_labels(&[]), "");
+        assert_eq!(
+            render_labels(&[("k", "a\"b\\c\nd")]),
+            "{k=\"a\\\"b\\\\c\\nd\"}"
+        );
+    }
+
+    #[test]
+    fn render_emits_well_formed_exposition() {
+        let r = Registry::new();
+        r.counter("req_total", "Requests.", &[("status", "200")])
+            .add(7);
+        r.gauge("inflight", "In flight.", &[]).set(3);
+        let h = r.histogram("lat_seconds", "Latency.", &[("endpoint", "/solve")]);
+        h.record(2_000_000); // 2 ms
+        h.record(5_000_000_000); // 5 s
+        r.register_collector(|w| {
+            w.family("bridged_total", MetricKind::Counter, "From a collector.");
+            w.sample_u64("bridged_total", &[("src", "store")], 11);
+        });
+        let text = r.render();
+        assert!(text.contains("# HELP req_total Requests.\n"), "{text}");
+        assert!(text.contains("# TYPE req_total counter\n"));
+        assert!(text.contains("req_total{status=\"200\"} 7\n"));
+        assert!(text.contains("# TYPE inflight gauge\n"));
+        assert!(text.contains("inflight 3\n"));
+        assert!(text.contains("# TYPE lat_seconds histogram\n"));
+        assert!(text.contains("lat_seconds_count{endpoint=\"/solve\"} 2\n"));
+        assert!(text.contains("lat_seconds_bucket{endpoint=\"/solve\",le=\"+Inf\"} 2\n"));
+        assert!(text.contains("bridged_total{src=\"store\"} 11\n"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect("sample line has a value");
+            assert!(!name.is_empty());
+            assert!(
+                value == "+Inf" || value.parse::<f64>().is_ok(),
+                "unparseable value in {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_sum_to_count() {
+        let r = Registry::new();
+        let h = r.histogram("d_seconds", "D.", &[]);
+        for ns in [100u64, 2_000, 1_000_000, 1_000_000, 80_000_000_000] {
+            h.record(ns); // includes one past the ladder top (80 s)
+        }
+        let text = r.render();
+        let mut last = 0u64;
+        let mut bucket_lines = 0;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("d_seconds_bucket{le=\"") {
+                let value: u64 = rest.split(' ').nth(1).unwrap().parse().unwrap();
+                assert!(value >= last, "buckets must be cumulative: {text}");
+                last = value;
+                bucket_lines += 1;
+            }
+        }
+        assert!(bucket_lines > 2);
+        assert!(text.contains("d_seconds_count 5\n"));
+        assert_eq!(last, 5, "+Inf bucket equals the count");
+        // The 80 s outlier is only in +Inf: the ladder top is ~69 s.
+        let top = format!(
+            "d_seconds_bucket{{le=\"{}\"}} 4",
+            format_f64((1u64 << 36) as f64 / 1e9)
+        );
+        assert!(text.contains(&top), "ladder top holds 4 of 5: {text}");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(format_f64(3.0), "3");
+        assert_eq!(format_f64(0.25), "0.25");
+        assert_eq!(format_f64((1u64 << 10) as f64 / 1e9), "0.000001024");
+    }
+}

@@ -1,0 +1,228 @@
+//! Per-request tracing: process-unique trace ids, timed spans, and JSONL
+//! event rendering.
+//!
+//! A [`Trace`] is created at request admission and threaded (by shared
+//! reference) through the layers that do the work; each layer records
+//! named spans against it. The cost is one `Instant`, one atomic id
+//! fetch, and — per span — one push into a (request-private, therefore
+//! uncontended) mutexed vec. When the request is done the server can
+//! render the whole trace as one structured JSONL line
+//! ([`Trace::event_jsonl`]) — that is the `--slow-ms` slow-request log.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Process-wide trace sequence; mixed with a per-process nonce so ids
+/// from two runs of the same binary do not collide in shared logs.
+static TRACE_SEQ: AtomicU64 = AtomicU64::new(1);
+static PROCESS_NONCE: OnceLock<u64> = OnceLock::new();
+
+fn process_nonce() -> u64 {
+    *PROCESS_NONCE.get_or_init(|| {
+        let clock = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+        splitmix64(clock ^ u64::from(std::process::id()))
+    })
+}
+
+/// The splitmix64 finalizer: a cheap, well-mixed 64-bit permutation.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// One completed span inside a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Span name (a static phase label: `"sampling"`, `"solve"`, …).
+    pub name: &'static str,
+    /// Offset of the span start from the trace start, milliseconds.
+    pub start_ms: f64,
+    /// Span duration, milliseconds.
+    pub ms: f64,
+}
+
+/// A per-request trace: a process-unique id, the request's start
+/// instant, and the spans recorded so far. Cheap to create; share by
+/// `&Trace` down the call stack.
+#[derive(Debug)]
+pub struct Trace {
+    id: u64,
+    start: Instant,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::new()
+    }
+}
+
+impl Trace {
+    /// Starts a trace with a fresh process-unique id.
+    pub fn new() -> Trace {
+        let seq = TRACE_SEQ.fetch_add(1, Ordering::Relaxed);
+        Trace {
+            id: splitmix64(process_nonce() ^ seq),
+            start: Instant::now(),
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The trace id as 16 lowercase hex characters.
+    pub fn id_hex(&self) -> String {
+        format!("{:016x}", self.id)
+    }
+
+    /// Time since the trace started.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Records one completed span. `started`/`ended` are the span's own
+    /// instants, so the caller times the work and records afterwards —
+    /// no guard object to keep alive across ownership-hostile code.
+    pub fn record_span(&self, name: &'static str, started: Instant, ended: Instant) {
+        let start_ms = started.saturating_duration_since(self.start).as_secs_f64() * 1e3;
+        let ms = ended.saturating_duration_since(started).as_secs_f64() * 1e3;
+        self.spans
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(SpanRecord { name, start_ms, ms });
+    }
+
+    /// The spans recorded so far, in recording order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.spans.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Renders the trace as one JSONL event line:
+    /// `{"event":…,"trace":…,<extra fields>,"spans":[…]}`.
+    ///
+    /// `extra` values must be pre-rendered JSON fragments — use
+    /// [`json_string`] / [`json_number`] so escaping is impossible to
+    /// forget. Keeping the renderer dependency-free is why this is
+    /// hand-built rather than serde.
+    pub fn event_jsonl(&self, event: &str, extra: &[(&str, String)]) -> String {
+        let mut out = String::with_capacity(160);
+        out.push_str("{\"event\":");
+        out.push_str(&json_string(event));
+        out.push_str(",\"trace\":\"");
+        out.push_str(&self.id_hex());
+        out.push('"');
+        for (key, value) in extra {
+            out.push(',');
+            out.push_str(&json_string(key));
+            out.push(':');
+            out.push_str(value);
+        }
+        out.push_str(",\"spans\":[");
+        for (i, span) in self.spans().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":{},\"start_ms\":{},\"ms\":{}}}",
+                json_string(span.name),
+                json_number(span.start_ms),
+                json_number(span.ms),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escapes a string's content for embedding inside JSON quotes.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A complete JSON string value (quotes included).
+pub fn json_string(s: &str) -> String {
+    format!("\"{}\"", json_escape(s))
+}
+
+/// A JSON number value (non-finite floats become `null`, which JSON has
+/// no better answer for).
+pub fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ids_are_unique_and_hex() {
+        let a = Trace::new();
+        let b = Trace::new();
+        assert_ne!(a.id_hex(), b.id_hex());
+        assert_eq!(a.id_hex().len(), 16);
+        assert!(a.id_hex().chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn spans_record_in_order() {
+        let t = Trace::new();
+        let s0 = Instant::now();
+        let s1 = Instant::now();
+        t.record_span("sampling", s0, s1);
+        t.record_span("solve", s1, Instant::now());
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "sampling");
+        assert_eq!(spans[1].name, "solve");
+        assert!(spans.iter().all(|s| s.ms >= 0.0 && s.start_ms >= 0.0));
+    }
+
+    #[test]
+    fn event_jsonl_is_valid_json_shape() {
+        let t = Trace::new();
+        t.record_span("solve", Instant::now(), Instant::now());
+        let line = t.event_jsonl(
+            "slow_request",
+            &[
+                ("endpoint", json_string("/solve")),
+                ("status", "200".to_string()),
+                ("total_ms", json_number(12.5)),
+            ],
+        );
+        assert!(line.starts_with("{\"event\":\"slow_request\",\"trace\":\""));
+        assert!(line.contains("\"endpoint\":\"/solve\""));
+        assert!(line.contains("\"status\":200"));
+        assert!(line.contains("\"total_ms\":12.5"));
+        assert!(line.contains("\"spans\":[{\"name\":\"solve\""));
+        assert!(line.ends_with("}]}"));
+        assert!(!line.contains('\n'), "JSONL events are one line");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_string("x\ty"), "\"x\\ty\"");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_number(1.5), "1.5");
+        assert_eq!(json_number(f64::NAN), "null");
+    }
+}

@@ -432,6 +432,9 @@ fn header<'h>(headers: &'h [(String, String)], name: &str) -> Option<&'h str> {
 /// (the `Retry-After` header those statuses carry).
 pub const RETRY_AFTER_SECONDS: u32 = 1;
 
+/// The `Content-Type` every JSON response carries.
+pub const CONTENT_TYPE_JSON: &str = "application/json";
+
 /// Writes one HTTP/1.1 response with a JSON body. `keep_alive` controls
 /// the `Connection` header; the caller closes the stream when false.
 /// Transient rejections (`503` overload, `408` client timeout) carry a
@@ -443,12 +446,24 @@ pub fn write_response(
     body: &str,
     keep_alive: bool,
 ) -> std::io::Result<()> {
+    write_response_with_type(stream, status, CONTENT_TYPE_JSON, body, keep_alive)
+}
+
+/// [`write_response`] with an explicit `Content-Type` — the `/metrics`
+/// endpoint serves Prometheus text exposition, not JSON.
+pub fn write_response_with_type(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
     let retry_after = match status {
         503 | 408 => format!("Retry-After: {RETRY_AFTER_SECONDS}\r\n"),
         _ => String::new(),
     };
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\
          {retry_after}Connection: {}\r\n\r\n",
         reason(status),
         body.len(),

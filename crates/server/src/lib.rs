@@ -11,8 +11,21 @@
 //! | route | method | body | answer |
 //! |---|---|---|---|
 //! | `/solve` | POST | [`SolveRequest`] JSON | 200 [`SolveResponse`](oipa_service::SolveResponse) JSON |
-//! | `/healthz` | GET | — | 200 `{"status":"ok"}` (or `"degraded"` + disk-tier detail while the store rides out a disk fault) |
-//! | `/stats` | GET | — | 200 [`StatsSnapshot`](oipa_store::StatsSnapshot) JSON (arena + disk counters) |
+//! | `/healthz` | GET | — | 200 `{"status":"ok"}` + build/uptime identity (or `"degraded"` + disk-tier detail while the store rides out a disk fault) |
+//! | `/stats` | GET | — | 200 [`StatsBody`] JSON: a [`ServerIdentity`] header plus the [`StatsSnapshot`](oipa_store::StatsSnapshot) (arena + disk counters) |
+//! | `/metrics` | GET | — | 200 Prometheus text exposition (`text/plain; version=0.0.4`) of the whole [`oipa_obs::Registry`] |
+//!
+//! ## Observability
+//!
+//! Every server owns an [`oipa_obs::Registry`] (inject a shared one via
+//! [`ServerConfig::registry`]): per-endpoint/per-status request counters
+//! and latency histograms, an in-flight gauge, overload/timeout
+//! counters, solver-phase timings (the service is attached to the same
+//! registry), and scrape-time bridges for the pool store's counters —
+//! `/stats` and `/metrics` read the same atomics and cannot drift.
+//! [`ServerConfig::slow_ms`] turns on structured JSONL slow-request
+//! logging to stderr, one line per offending request with its
+//! per-phase spans.
 //!
 //! Every non-2xx answer is a typed [`http::ErrorBody`]: malformed
 //! request lines are `400`, unknown paths `404`, wrong methods `405`,
@@ -53,9 +66,12 @@
 pub mod http;
 
 pub use http::{ErrorBody, ErrorDetail, HttpError};
+pub use oipa_obs::{Registry, EXPOSITION_CONTENT_TYPE, METRICS_SCHEMA};
 
 use http::{ConnReader, ReadOutcome, Request};
+use oipa_obs::{Counter, Gauge, Histogram, MetricKind, PromText, Trace};
 use oipa_service::{PlannerService, SolveRequest};
+use serde::{Deserialize, Serialize};
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
@@ -63,7 +79,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server configuration. `Default` binds an ephemeral loopback port
 /// with 4 workers and a 64-connection cap.
@@ -83,6 +99,15 @@ pub struct ServerConfig {
     pub read_timeout: Duration,
     /// Largest accepted request body.
     pub max_body_bytes: usize,
+    /// Slow-request threshold in milliseconds: requests at or above it
+    /// are logged to stderr as one JSONL line each (trace id, endpoint,
+    /// status, total latency, per-phase spans). `None` (the default)
+    /// disables the log entirely.
+    pub slow_ms: Option<u64>,
+    /// The metrics registry the server reports into. `None` (the
+    /// default) gives the server a fresh private registry — inject one
+    /// to aggregate several servers or to scrape without HTTP.
+    pub registry: Option<Registry>,
 }
 
 impl Default for ServerConfig {
@@ -93,6 +118,8 @@ impl Default for ServerConfig {
             max_connections: 64,
             read_timeout: Duration::from_secs(10),
             max_body_bytes: 16 << 20,
+            slow_ms: None,
+            registry: None,
         }
     }
 }
@@ -106,6 +133,119 @@ struct Counters {
     requests: AtomicU64,
 }
 
+/// Endpoint labels the request grid is pre-registered for. Anything
+/// else (404 paths, pre-route failures) lands under `"other"`.
+const ENDPOINTS: [&str; 5] = ["/solve", "/healthz", "/stats", "/metrics", "other"];
+
+/// Status codes this server emits, pre-registered so the hot path is a
+/// plain array index into `Arc<Counter>` handles — no lock, no map.
+const STATUSES: [u16; 12] = [200, 400, 404, 405, 408, 411, 413, 422, 431, 500, 501, 503];
+
+const REQUESTS_NAME: &str = "oipa_http_requests_total";
+const REQUESTS_HELP: &str = "Requests answered, by endpoint and status.";
+
+/// Pre-registered handles into the server's registry. Built once at
+/// spawn; the per-request path is array lookups into relaxed atomics.
+struct ServerMetrics {
+    registry: Registry,
+    /// `requests[endpoint][status]` over [`ENDPOINTS`] × [`STATUSES`].
+    requests: Vec<Vec<Arc<Counter>>>,
+    /// Request latency per endpoint (nanoseconds in, seconds out).
+    latency: Vec<Arc<Histogram>>,
+    /// Requests currently being dispatched.
+    inflight: Arc<Gauge>,
+    /// Connections rejected `503` by the admission cap.
+    rejected_503: Arc<Counter>,
+    /// Requests that timed out (`408`) while being read.
+    timeouts: Arc<Counter>,
+    /// Requests at or above the `--slow-ms` threshold.
+    slow_requests: Arc<Counter>,
+}
+
+impl ServerMetrics {
+    fn new(registry: Registry) -> ServerMetrics {
+        let requests = ENDPOINTS
+            .iter()
+            .map(|endpoint| {
+                STATUSES
+                    .iter()
+                    .map(|status| {
+                        registry.counter(
+                            REQUESTS_NAME,
+                            REQUESTS_HELP,
+                            &[("endpoint", endpoint), ("status", &status.to_string())],
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let latency = ENDPOINTS
+            .iter()
+            .map(|endpoint| {
+                registry.histogram(
+                    "oipa_http_request_seconds",
+                    "Request latency from parsed request to handler return.",
+                    &[("endpoint", endpoint)],
+                )
+            })
+            .collect();
+        ServerMetrics {
+            requests,
+            latency,
+            inflight: registry.gauge(
+                "oipa_http_inflight",
+                "Requests currently being dispatched.",
+                &[],
+            ),
+            rejected_503: registry.counter(
+                "oipa_http_rejected_503_total",
+                "Connections rejected at accept time by the admission cap.",
+                &[],
+            ),
+            timeouts: registry.counter(
+                "oipa_http_timeouts_total",
+                "Requests that timed out (408) while being read.",
+                &[],
+            ),
+            slow_requests: registry.counter(
+                "oipa_http_slow_requests_total",
+                "Requests at or above the slow-request threshold.",
+                &[],
+            ),
+            registry,
+        }
+    }
+
+    /// The grid row a request path belongs to.
+    fn endpoint_index(path: &str) -> usize {
+        ENDPOINTS
+            .iter()
+            .position(|e| *e == path)
+            .unwrap_or(ENDPOINTS.len() - 1)
+    }
+
+    /// Counts one answered request and records its latency. Unknown
+    /// statuses fall back to registry get-or-create (cold path only —
+    /// every status the server emits is pre-registered).
+    fn record(&self, endpoint_index: usize, status: u16, elapsed: Duration) {
+        match STATUSES.iter().position(|s| *s == status) {
+            Some(i) => self.requests[endpoint_index][i].inc(),
+            None => self
+                .registry
+                .counter(
+                    REQUESTS_NAME,
+                    REQUESTS_HELP,
+                    &[
+                        ("endpoint", ENDPOINTS[endpoint_index]),
+                        ("status", &status.to_string()),
+                    ],
+                )
+                .inc(),
+        }
+        self.latency[endpoint_index].record_duration(elapsed);
+    }
+}
+
 struct Shared {
     service: Arc<PlannerService>,
     config: ServerConfig,
@@ -113,6 +253,213 @@ struct Shared {
     /// Accepted-but-unfinished connections (queued + in-flight).
     active: AtomicUsize,
     counters: Counters,
+    metrics: ServerMetrics,
+    /// When the server was spawned (uptime reporting).
+    started: Instant,
+}
+
+/// Registers the build/uptime identity collector:
+/// `oipa_build_info{service,version} 1` plus `oipa_uptime_seconds`.
+fn register_identity_collector(registry: &Registry, started: Instant) {
+    registry.register_collector(move |w| {
+        w.family(
+            "oipa_build_info",
+            MetricKind::Gauge,
+            "Build identity carried in the labels; the value is always 1.",
+        );
+        w.sample_u64(
+            "oipa_build_info",
+            &[
+                ("service", "oipa-server"),
+                ("version", env!("CARGO_PKG_VERSION")),
+            ],
+            1,
+        );
+        w.family(
+            "oipa_uptime_seconds",
+            MetricKind::Gauge,
+            "Seconds since the server was spawned.",
+        );
+        w.sample_f64("oipa_uptime_seconds", &[], started.elapsed().as_secs_f64());
+    });
+}
+
+/// One unlabeled family with a single integer sample (collector helper).
+fn bridge(w: &mut PromText, name: &str, kind: MetricKind, help: &str, value: u64) {
+    w.family(name, kind, help);
+    w.sample_u64(name, &[], value);
+}
+
+/// Bridges the pool store's counters into `/metrics` at scrape time.
+/// The store's own atomics stay the single source of truth — `/stats`
+/// serializes the same snapshot — so the two endpoints cannot drift.
+fn register_store_collector(registry: &Registry, service: Arc<PlannerService>) {
+    use MetricKind::{Counter, Gauge};
+    registry.register_collector(move |w| {
+        let snap = service.stats_snapshot();
+        let mem = &snap.mem;
+        bridge(
+            w,
+            "oipa_store_mem_entries",
+            Gauge,
+            "Pools resident in the memory arena.",
+            mem.entries as u64,
+        );
+        bridge(
+            w,
+            "oipa_store_mem_bytes",
+            Gauge,
+            "Bytes resident in the memory arena.",
+            mem.bytes as u64,
+        );
+        bridge(
+            w,
+            "oipa_store_mem_capacity_bytes",
+            Gauge,
+            "Configured memory-arena byte budget.",
+            mem.capacity_bytes as u64,
+        );
+        bridge(
+            w,
+            "oipa_store_mem_lookups_total",
+            Counter,
+            "Memory-arena lookups (hits + misses).",
+            mem.lookups,
+        );
+        bridge(
+            w,
+            "oipa_store_mem_hits_total",
+            Counter,
+            "Memory-arena lookups answered from cache.",
+            mem.hits,
+        );
+        bridge(
+            w,
+            "oipa_store_mem_misses_total",
+            Counter,
+            "Memory-arena lookups that missed.",
+            mem.misses,
+        );
+        bridge(
+            w,
+            "oipa_store_mem_evictions_total",
+            Counter,
+            "Pools evicted from the memory arena.",
+            mem.evictions,
+        );
+        if let Some(disk) = &snap.disk {
+            bridge(
+                w,
+                "oipa_store_disk_entries",
+                Gauge,
+                "Pool entries indexed on disk.",
+                disk.entries as u64,
+            );
+            bridge(
+                w,
+                "oipa_store_disk_bytes",
+                Gauge,
+                "Live bytes indexed on disk.",
+                disk.bytes,
+            );
+            bridge(
+                w,
+                "oipa_store_disk_dead_bytes",
+                Gauge,
+                "Committed-but-dead bytes awaiting GC.",
+                disk.dead_bytes,
+            );
+            bridge(
+                w,
+                "oipa_store_disk_hits_total",
+                Counter,
+                "Lookups served from disk.",
+                disk.hits,
+            );
+            bridge(
+                w,
+                "oipa_store_disk_misses_total",
+                Counter,
+                "Disk lookups that found no usable entry.",
+                disk.misses,
+            );
+            bridge(
+                w,
+                "oipa_store_disk_spills_total",
+                Counter,
+                "Pools written to disk.",
+                disk.spills,
+            );
+            bridge(
+                w,
+                "oipa_store_disk_evictions_total",
+                Counter,
+                "Disk entries dropped for the byte budget.",
+                disk.evictions,
+            );
+            bridge(
+                w,
+                "oipa_store_disk_write_errors_total",
+                Counter,
+                "Best-effort disk writes that failed.",
+                disk.write_errors,
+            );
+            bridge(
+                w,
+                "oipa_store_disk_degraded_skips_total",
+                Counter,
+                "Operations short-circuited while degraded.",
+                disk.degraded_skips,
+            );
+            bridge(
+                w,
+                "oipa_store_disk_gc_runs_total",
+                Counter,
+                "GC passes run.",
+                disk.gc_runs,
+            );
+            w.family(
+                "oipa_store_disk_gc_seconds_total",
+                Counter,
+                "Wall-clock seconds spent in GC passes.",
+            );
+            w.sample_f64(
+                "oipa_store_disk_gc_seconds_total",
+                &[],
+                disk.gc_duration_ns as f64 / 1e9,
+            );
+        }
+        if let Some(health) = &snap.disk_health {
+            bridge(
+                w,
+                "oipa_store_disk_degraded",
+                Gauge,
+                "1 while the disk tier is degraded, else 0.",
+                u64::from(!health.is_healthy()),
+            );
+            bridge(
+                w,
+                "oipa_store_disk_errors_total",
+                Counter,
+                "Cumulative disk-tier I/O errors.",
+                health.errors,
+            );
+            bridge(
+                w,
+                "oipa_store_disk_degradations_total",
+                Counter,
+                "Healthy → degraded transitions.",
+                health.degradations,
+            );
+            bridge(
+                w,
+                "oipa_store_disk_recoveries_total",
+                Counter,
+                "Degraded → healthy transitions.",
+                health.recoveries,
+            );
+        }
+    });
 }
 
 /// The server factory; see [`Server::spawn`].
@@ -133,12 +480,21 @@ impl Server {
         );
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        let registry = config.registry.clone().unwrap_or_default();
+        let started = Instant::now();
+        // The service reports solver-phase timings and pool-outcome
+        // counters into the same registry the server scrapes.
+        service.attach_obs(&registry);
+        register_identity_collector(&registry, started);
+        register_store_collector(&registry, Arc::clone(&service));
         let shared = Arc::new(Shared {
             service,
             config,
             shutting_down: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             counters: Counters::default(),
+            metrics: ServerMetrics::new(registry),
+            started,
         });
 
         let (sender, receiver) = mpsc::channel::<TcpStream>();
@@ -197,6 +553,13 @@ impl ServerHandle {
         self.shared.counters.requests.load(Ordering::SeqCst)
     }
 
+    /// The metrics registry this server reports into (the one behind
+    /// `GET /metrics`). Clone-cheap; render it directly for in-process
+    /// scraping without a socket.
+    pub fn registry(&self) -> Registry {
+        self.shared.metrics.registry.clone()
+    }
+
     /// Graceful drain: stop admitting, let queued and in-flight requests
     /// complete, join every thread. Idle keep-alive connections are
     /// closed at their next poll quantum, so the drain is bounded by the
@@ -244,6 +607,7 @@ fn accept_loop(shared: &Shared, listener: &TcpListener, sender: mpsc::Sender<Tcp
         if was_active >= shared.config.max_connections {
             shared.active.fetch_sub(1, Ordering::SeqCst);
             shared.counters.rejected_503.fetch_add(1, Ordering::SeqCst);
+            shared.metrics.rejected_503.inc();
             let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
             http::write_error(
                 &mut stream,
@@ -302,9 +666,28 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
                 shared.counters.requests.fetch_add(1, Ordering::SeqCst);
                 let draining = shared.shutting_down.load(Ordering::SeqCst);
                 let keep_alive = request.keep_alive && !draining;
-                match dispatch(shared, &request) {
-                    Ok(body) => {
-                        if http::write_response(&mut stream, 200, &body, keep_alive).is_err() {
+                let endpoint =
+                    ServerMetrics::endpoint_index(request.path.split('?').next().unwrap_or(""));
+                let trace = Trace::new();
+                shared.metrics.inflight.inc();
+                let outcome = dispatch(shared, &request, &trace);
+                shared.metrics.inflight.dec();
+                let status = match &outcome {
+                    Ok(_) => 200,
+                    Err(e) => e.status,
+                };
+                shared.metrics.record(endpoint, status, trace.elapsed());
+                maybe_log_slow(shared, &trace, ENDPOINTS[endpoint], status);
+                match outcome {
+                    Ok(reply) => {
+                        let write = http::write_response_with_type(
+                            &mut stream,
+                            200,
+                            reply.content_type,
+                            &reply.body,
+                            keep_alive,
+                        );
+                        if write.is_err() {
                             return;
                         }
                     }
@@ -319,6 +702,14 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
             }
             Ok(ReadOutcome::Closed | ReadOutcome::Aborted) => return,
             Err(e) => {
+                // Pre-route failure: no endpoint was resolved, so the
+                // grid charges it to "other" with zero handler latency.
+                if e.status == 408 {
+                    shared.metrics.timeouts.inc();
+                }
+                shared
+                    .metrics
+                    .record(ENDPOINTS.len() - 1, e.status, Duration::ZERO);
                 http::write_error(&mut stream, &e);
                 return;
             }
@@ -326,27 +717,75 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     }
 }
 
-/// Routes one request. `Ok` carries the 200 body; `Err` the typed
+/// Emits the one-line JSONL slow-request event when the request's total
+/// latency is at or above the configured threshold.
+fn maybe_log_slow(shared: &Shared, trace: &Trace, endpoint: &str, status: u16) {
+    let Some(slow_ms) = shared.config.slow_ms else {
+        return;
+    };
+    let elapsed = trace.elapsed();
+    if elapsed.as_millis() < u128::from(slow_ms) {
+        return;
+    }
+    shared.metrics.slow_requests.inc();
+    eprintln!(
+        "{}",
+        trace.event_jsonl(
+            "slow_request",
+            &[
+                ("endpoint", oipa_obs::json_string(endpoint)),
+                ("status", status.to_string()),
+                (
+                    "total_ms",
+                    oipa_obs::json_number(elapsed.as_secs_f64() * 1e3),
+                ),
+            ],
+        )
+    );
+}
+
+/// A successful dispatch: the 200 body and its content type (JSON for
+/// every endpoint except the Prometheus exposition on `/metrics`).
+struct Reply {
+    body: String,
+    content_type: &'static str,
+}
+
+impl Reply {
+    fn json(body: String) -> Reply {
+        Reply {
+            body,
+            content_type: http::CONTENT_TYPE_JSON,
+        }
+    }
+}
+
+/// Routes one request. `Ok` carries the 200 reply; `Err` the typed
 /// failure (including a 500 for a caught panic).
-fn dispatch(shared: &Shared, request: &Request) -> Result<String, HttpError> {
+fn dispatch(shared: &Shared, request: &Request, trace: &Trace) -> Result<Reply, HttpError> {
     let path = request.path.split('?').next().unwrap_or("");
     match (request.method.as_str(), path) {
-        ("GET", "/healthz") => healthz(shared),
-        ("GET", "/stats") => serde_json::to_string(&shared.service.stats_snapshot())
-            .map_err(|e| HttpError::new(500, "serialize", e.to_string())),
-        ("POST", "/solve") => solve(shared, &request.body),
-        ("GET" | "POST", "/healthz" | "/stats" | "/solve") => Err(HttpError::new(
+        ("GET", "/healthz") => healthz(shared).map(Reply::json),
+        ("GET", "/stats") => stats(shared).map(Reply::json),
+        ("GET", "/metrics") => Ok(Reply {
+            body: shared.metrics.registry.render(),
+            content_type: oipa_obs::EXPOSITION_CONTENT_TYPE,
+        }),
+        ("POST", "/solve") => solve(shared, &request.body, trace).map(Reply::json),
+        ("GET" | "POST", "/healthz" | "/stats" | "/metrics" | "/solve") => Err(HttpError::new(
             405,
             "method_not_allowed",
             format!(
-                "{} does not accept {}; /solve takes POST, /healthz and /stats take GET",
+                "{} does not accept {}; /solve takes POST, /healthz, /stats and /metrics take GET",
                 path, request.method
             ),
         )),
         ("GET" | "POST", _) => Err(HttpError::new(
             404,
             "not_found",
-            format!("{path:?} is not a route; try POST /solve, GET /healthz, GET /stats"),
+            format!(
+                "{path:?} is not a route; try POST /solve, GET /healthz, GET /stats, GET /metrics"
+            ),
         )),
         (other, _) => Err(HttpError::new(
             501,
@@ -356,12 +795,14 @@ fn dispatch(shared: &Shared, request: &Request) -> Result<String, HttpError> {
     }
 }
 
-/// The `/healthz` body: process liveness plus the disk tier's health.
-/// `disk` is `null` on memory-only deployments.
+/// The `/healthz` body: process liveness, build identity, and the disk
+/// tier's health. `disk` is `null` on memory-only deployments.
 #[derive(serde::Serialize)]
 struct HealthzBody {
     status: String,
     service: String,
+    version: String,
+    uptime_seconds: f64,
     disk: Option<oipa_store::TierHealthSnapshot>,
 }
 
@@ -379,25 +820,72 @@ fn healthz(shared: &Shared) -> Result<String, HttpError> {
     let body = HealthzBody {
         status: status.to_string(),
         service: "oipa-server".to_string(),
+        version: env!("CARGO_PKG_VERSION").to_string(),
+        uptime_seconds: shared.started.elapsed().as_secs_f64(),
         disk,
     };
     serde_json::to_string(&body).map_err(|e| HttpError::new(500, "serialize", e.to_string()))
 }
 
-/// The `/solve` handler: JSON in, JSON out, panics contained.
-fn solve(shared: &Shared, body: &[u8]) -> Result<String, HttpError> {
+/// The identity header `GET /stats` carries alongside the snapshot:
+/// which build answered, which schemas it speaks, how long it has been
+/// up. Round-trips through serde so clients can assert on it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerIdentity {
+    /// Always `"oipa-server"`.
+    pub service: String,
+    /// The crate version of the serving build.
+    pub version: String,
+    /// The [`oipa_store::STATS_SCHEMA`] this build stamps snapshots with.
+    pub stats_schema: String,
+    /// The [`oipa_obs::METRICS_SCHEMA`] governing `/metrics` (frozen,
+    /// additive-only).
+    pub metrics_schema: String,
+    /// Seconds since the server was spawned.
+    pub uptime_seconds: f64,
+}
+
+/// The full `GET /stats` body: identity header + store snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsBody {
+    /// Who is answering (build/schema/uptime identity).
+    pub server: ServerIdentity,
+    /// The pool store's two-tier counter snapshot.
+    pub store: oipa_store::StatsSnapshot,
+}
+
+/// The `/stats` handler: the store snapshot under an identity header.
+fn stats(shared: &Shared) -> Result<String, HttpError> {
+    let body = StatsBody {
+        server: ServerIdentity {
+            service: "oipa-server".to_string(),
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            stats_schema: oipa_store::STATS_SCHEMA.to_string(),
+            metrics_schema: oipa_obs::METRICS_SCHEMA.to_string(),
+            uptime_seconds: shared.started.elapsed().as_secs_f64(),
+        },
+        store: shared.service.stats_snapshot(),
+    };
+    serde_json::to_string(&body).map_err(|e| HttpError::new(500, "serialize", e.to_string()))
+}
+
+/// The `/solve` handler: JSON in, JSON out, panics contained, phase
+/// spans recorded into the request's trace.
+fn solve(shared: &Shared, body: &[u8], trace: &Trace) -> Result<String, HttpError> {
     let text = std::str::from_utf8(body)
         .map_err(|_| HttpError::new(400, "bad_json", "body is not valid UTF-8"))?;
     let request: SolveRequest = serde_json::from_str(text)
         .map_err(|e| HttpError::new(400, "bad_json", format!("unparseable SolveRequest: {e}")))?;
-    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| shared.service.solve(&request)))
-        .map_err(|_| {
-            HttpError::new(
-                500,
-                "panic",
-                "the solver panicked; the request was dropped and the server kept serving",
-            )
-        })?;
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        shared.service.solve_traced(&request, Some(trace))
+    }))
+    .map_err(|_| {
+        HttpError::new(
+            500,
+            "panic",
+            "the solver panicked; the request was dropped and the server kept serving",
+        )
+    })?;
     let response = outcome.map_err(|e| HttpError::new(422, "solve_error", e.to_string()))?;
     serde_json::to_string(&response).map_err(|e| HttpError::new(500, "serialize", e.to_string()))
 }

@@ -4,7 +4,7 @@
 //! oipa-server --graph g.bin --probs p.bin [--store-dir DIR]
 //!             [--addr 127.0.0.1:7878] [--threads N]
 //!             [--max-connections N] [--read-timeout-ms N]
-//!             [--mem-bytes N]
+//!             [--mem-bytes N] [--slow-ms MS]
 //! oipa-server --pool pool.bin [--addr ...]
 //! ```
 //!
@@ -109,13 +109,22 @@ fn main() {
                         .unwrap_or_else(|_| die("--mem-bytes needs an integer")),
                 );
             }
+            "--slow-ms" => {
+                config.slow_ms = Some(
+                    value("--slow-ms")
+                        .parse()
+                        .unwrap_or_else(|_| die("--slow-ms needs an integer (milliseconds)")),
+                );
+            }
             "--help" | "-h" => {
                 println!(
                     "oipa-server: HTTP front door for the OIPA PlannerService\n\n\
                      usage: oipa-server (--graph FILE --probs FILE | --pool FILE)\n\
                      \x20      [--store-dir DIR] [--addr HOST:PORT] [--threads N]\n\
-                     \x20      [--max-connections N] [--read-timeout-ms N] [--mem-bytes N]\n\n\
-                     endpoints: POST /solve, GET /healthz, GET /stats"
+                     \x20      [--max-connections N] [--read-timeout-ms N] [--mem-bytes N]\n\
+                     \x20      [--slow-ms MS]\n\n\
+                     endpoints: POST /solve, GET /healthz, GET /stats, GET /metrics\n\
+                     --slow-ms MS logs requests slower than MS as JSONL to stderr"
                 );
                 return;
             }

@@ -266,7 +266,13 @@ fn stats_endpoint_serves_a_schema_tagged_snapshot() {
 
     let resp = request(addr, "GET", "/stats", None);
     assert_eq!(resp.status, 200, "{}", resp.body_str());
-    let snapshot: oipa_store::StatsSnapshot = serde_json::from_str(resp.body_str()).unwrap();
+    let stats: oipa_server::StatsBody = serde_json::from_str(resp.body_str()).unwrap();
+    assert_eq!(stats.server.service, "oipa-server");
+    assert_eq!(stats.server.version, env!("CARGO_PKG_VERSION"));
+    assert_eq!(stats.server.stats_schema, oipa_store::STATS_SCHEMA);
+    assert_eq!(stats.server.metrics_schema, oipa_server::METRICS_SCHEMA);
+    assert!(stats.server.uptime_seconds >= 0.0);
+    let snapshot = stats.store;
     assert!(snapshot.schema_ok(), "schema: {}", snapshot.schema);
     assert_eq!(
         snapshot.mem.lookups,

@@ -134,7 +134,8 @@ fn restart_over_same_store_dir_serves_disk_warm() {
 
     // /stats over the wire agrees: a disk tier exists and scored the hit.
     let resp = request(addr, "GET", "/stats", None);
-    let snapshot: oipa_store::StatsSnapshot = serde_json::from_str(resp.body_str()).unwrap();
+    let stats: oipa_server::StatsBody = serde_json::from_str(resp.body_str()).unwrap();
+    let snapshot = stats.store;
     assert!(snapshot.schema_ok());
     let disk = snapshot.disk.expect("store dir ⇒ disk tier in /stats");
     assert!(disk.hits >= 1, "disk stats: {disk:?}");

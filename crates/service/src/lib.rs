@@ -79,12 +79,13 @@ use oipa_baselines::paper::collapsed_pool;
 use oipa_core::auto::{solve_auto_theta, AutoThetaConfig};
 use oipa_core::{OipaError, OipaInstance};
 use oipa_graph::{DiGraph, NodeId};
+use oipa_obs::{Counter, Histogram, Registry, Trace};
 use oipa_sampler::{simulate, MrrPool, RrPool};
 use oipa_topics::{Campaign, EdgeTopicProbs, LogisticAdoption};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// Default arena byte budget (≈256 MiB).
@@ -127,6 +128,66 @@ pub struct PlannerService {
     /// pools the arena refuses to cache). N concurrent misses ⇒ exactly
     /// one sampling run.
     sampling: Mutex<HashMap<PoolKey, Arc<SamplingSlot>>>,
+    /// Metric handles into an attached observability registry
+    /// ([`Self::attach_obs`]). `OnceLock` so attaching works through a
+    /// shared `Arc<PlannerService>`; until attached, instrumentation is
+    /// a single `get()` returning `None`.
+    obs: OnceLock<ServiceMetrics>,
+}
+
+/// Pre-fetched `Arc` handles into the registry, resolved once at
+/// [`PlannerService::attach_obs`] so the request hot path records into
+/// relaxed atomics and never takes the registry's registration lock.
+struct ServiceMetrics {
+    phase_pool_lookup: Arc<Histogram>,
+    phase_sampling: Arc<Histogram>,
+    phase_solve: Arc<Histogram>,
+    pool_hit_memory: Arc<Counter>,
+    pool_hit_disk: Arc<Counter>,
+    pool_sampled: Arc<Counter>,
+    tau_evaluations: Arc<Counter>,
+    seed_cache_hits: Arc<Counter>,
+    seed_cache_misses: Arc<Counter>,
+    solve_errors: Arc<Counter>,
+}
+
+impl ServiceMetrics {
+    fn from_registry(registry: &Registry) -> ServiceMetrics {
+        const PHASE: &str = "oipa_solver_phase_seconds";
+        const PHASE_HELP: &str =
+            "Time spent per solver phase: pool_lookup (tiered store get), sampling \
+             (MRR pool generation on a miss), solve (the method itself).";
+        const POOL: &str = "oipa_pool_requests_total";
+        const POOL_HELP: &str = "Pool resolutions by outcome: hit_memory, hit_disk, or sampled.";
+        ServiceMetrics {
+            phase_pool_lookup: registry.histogram(PHASE, PHASE_HELP, &[("phase", "pool_lookup")]),
+            phase_sampling: registry.histogram(PHASE, PHASE_HELP, &[("phase", "sampling")]),
+            phase_solve: registry.histogram(PHASE, PHASE_HELP, &[("phase", "solve")]),
+            pool_hit_memory: registry.counter(POOL, POOL_HELP, &[("outcome", "hit_memory")]),
+            pool_hit_disk: registry.counter(POOL, POOL_HELP, &[("outcome", "hit_disk")]),
+            pool_sampled: registry.counter(POOL, POOL_HELP, &[("outcome", "sampled")]),
+            tau_evaluations: registry.counter(
+                "oipa_solver_tau_evaluations_total",
+                "CELF-style marginal-utility (τ) evaluations across solves.",
+                &[],
+            ),
+            seed_cache_hits: registry.counter(
+                "oipa_solver_seed_cache_hits_total",
+                "Solver seed-cache hits across solves.",
+                &[],
+            ),
+            seed_cache_misses: registry.counter(
+                "oipa_solver_seed_cache_misses_total",
+                "Solver seed-cache misses across solves.",
+                &[],
+            ),
+            solve_errors: registry.counter(
+                "oipa_solve_errors_total",
+                "Solve requests that returned a typed error.",
+                &[],
+            ),
+        }
+    }
 }
 
 /// A per-key sampling slot: locked by the thread doing the sampling,
@@ -159,6 +220,7 @@ impl PlannerService {
             default_campaign: None,
             flat_cache: Mutex::new(None),
             sampling: Mutex::new(HashMap::new()),
+            obs: OnceLock::new(),
         })
     }
 
@@ -181,7 +243,17 @@ impl PlannerService {
             default_campaign: None,
             flat_cache: Mutex::new(None),
             sampling: Mutex::new(HashMap::new()),
+            obs: OnceLock::new(),
         }
+    }
+
+    /// Attaches a metrics registry: solver-phase timings, pool-outcome
+    /// counters, and CELF cache counters start flowing into it. Takes
+    /// `&self` (works through a shared `Arc`); the first attachment
+    /// wins, later calls are no-ops — one service reports to one
+    /// registry for its lifetime.
+    pub fn attach_obs(&self, registry: &Registry) {
+        let _ = self.obs.set(ServiceMetrics::from_registry(registry));
     }
 
     /// Attaches a persistent disk tier behind the pool arena (see
@@ -287,6 +359,34 @@ impl PlannerService {
     /// their defaults. Takes `&self`: any number of threads may solve
     /// against one session concurrently.
     pub fn solve(&self, request: &SolveRequest) -> Result<SolveResponse, OipaError> {
+        self.solve_traced(request, None)
+    }
+
+    /// [`Self::solve`] with per-phase spans recorded into `trace` (and,
+    /// once a registry is attached via [`Self::attach_obs`], into the
+    /// solver-phase histograms). The phases are `pool_lookup` (tiered
+    /// store get), `sampling` (MRR generation on a miss), and `solve`
+    /// (the method itself). `solve(r)` is exactly
+    /// `solve_traced(r, None)`.
+    pub fn solve_traced(
+        &self,
+        request: &SolveRequest,
+        trace: Option<&Trace>,
+    ) -> Result<SolveResponse, OipaError> {
+        let result = self.solve_inner(request, trace);
+        if result.is_err() {
+            if let Some(obs) = self.obs.get() {
+                obs.solve_errors.inc();
+            }
+        }
+        result
+    }
+
+    fn solve_inner(
+        &self,
+        request: &SolveRequest,
+        trace: Option<&Trace>,
+    ) -> Result<SolveResponse, OipaError> {
         let start = Instant::now();
         if request.budget == 0 {
             return Err(OipaError::InvalidBudget);
@@ -297,12 +397,19 @@ impl PlannerService {
         }
         let seed = request.seed.unwrap_or(DEFAULT_SEED);
         if let Some(auto) = &request.auto_theta {
-            return self.solve_auto(request, auto, model, seed, start);
+            return self.solve_auto(request, auto, model, seed, start, trace);
         }
         let gap = request.gap;
         let eps = request.eps.unwrap_or(DEFAULT_EPS);
         validate_tuning(gap, eps)?;
-        let (pool, tier) = self.resolve_pool(request, seed)?;
+        let (pool, tier) = self.resolve_pool(request, seed, trace)?;
+        if let Some(obs) = self.obs.get() {
+            match tier {
+                Some(PoolTier::Memory) => obs.pool_hit_memory.inc(),
+                Some(PoolTier::Disk) => obs.pool_hit_disk.inc(),
+                None => obs.pool_sampled.inc(),
+            }
+        }
         // Reject bad promoters before paying any im collapsed-pool
         // sampling below.
         let promoters = resolve_promoters(
@@ -330,7 +437,15 @@ impl PlannerService {
             collapsed_theta: request.theta,
             flat_pool: flat_pool.as_deref(),
         };
+        let solve_started = Instant::now();
         let output = solver_for(request.method).solve(&context)?;
+        self.observe_phase("solve", solve_started, trace);
+        let stats = output.stats.as_ref().map(SearchStats::from);
+        if let (Some(obs), Some(s)) = (self.obs.get(), stats.as_ref()) {
+            obs.tau_evaluations.add(s.tau_evaluations);
+            obs.seed_cache_hits.add(s.seed_cache_hits);
+            obs.seed_cache_misses.add(s.seed_cache_misses);
+        }
         Ok(SolveResponse {
             method: request.method,
             k: request.budget,
@@ -341,9 +456,27 @@ impl PlannerService {
             upper_bound: output.upper_bound,
             plan: output.plan,
             seconds: start.elapsed().as_secs_f64(),
-            stats: output.stats.as_ref().map(SearchStats::from),
+            stats,
             auto_theta: None,
         })
+    }
+
+    /// Records a completed phase into the trace (when one rides along)
+    /// and the attached phase histogram (when a registry is attached).
+    /// Near-free when neither: two `None` checks.
+    fn observe_phase(&self, name: &'static str, started: Instant, trace: Option<&Trace>) {
+        let ended = Instant::now();
+        if let Some(trace) = trace {
+            trace.record_span(name, started, ended);
+        }
+        if let Some(obs) = self.obs.get() {
+            let histogram = match name {
+                "pool_lookup" => &obs.phase_pool_lookup,
+                "sampling" => &obs.phase_sampling,
+                _ => &obs.phase_solve,
+            };
+            histogram.record_duration(ended.saturating_duration_since(started));
+        }
     }
 
     /// Forward Monte-Carlo evaluation of a plan on the session's graph.
@@ -396,6 +529,7 @@ impl PlannerService {
         &self,
         request: &SolveRequest,
         seed: u64,
+        trace: Option<&Trace>,
     ) -> Result<(Arc<MrrPool>, Option<PoolTier>), OipaError> {
         let campaign = self.resolve_campaign(request, seed)?;
         let Some(campaign) = campaign else {
@@ -414,7 +548,10 @@ impl PlannerService {
             // entries (pins survive same-key replaces) and `clear_arena`
             // nulls both together. Should the invariant ever break, the
             // request gets a typed error, not the process a panic.
-            let Some((pool, tier)) = self.store.get(&key) else {
+            let lookup_started = Instant::now();
+            let found = self.store.get(&key);
+            self.observe_phase("pool_lookup", lookup_started, trace);
+            let Some((pool, tier)) = found else {
                 return Err(OipaError::MissingInput {
                     what: "the injected default pool".to_string(),
                     hint: "the pinned pool this session was built around is no longer \
@@ -433,7 +570,10 @@ impl PlannerService {
         let key = PoolKey::sampled(campaign_json, theta, seed);
         // Tiered lookup: memory arena first, then (when attached) the
         // persistent disk tier — only a miss on both pays for sampling.
-        if let Some((pool, tier)) = self.store.get(&key) {
+        let lookup_started = Instant::now();
+        let found = self.store.get(&key);
+        self.observe_phase("pool_lookup", lookup_started, trace);
+        if let Some((pool, tier)) = found {
             return Ok((pool, Some(tier)));
         }
         // Miss: coordinate with concurrent missers of the same key so the
@@ -464,7 +604,9 @@ impl PlannerService {
             self.release_slot(&key, &slot);
             return Ok((pool, Some(tier)));
         }
+        let sampling_started = Instant::now();
         let sampled = self.sample_pool(&campaign, theta, seed);
+        self.observe_phase("sampling", sampling_started, trace);
         if let Ok(pool) = &sampled {
             // Publish to the store AND fill the slot before releasing it:
             // a waiter must find the pool the moment it unblocks, with or
@@ -586,6 +728,7 @@ impl PlannerService {
         model: LogisticAdoption,
         seed: u64,
         start: Instant,
+        trace: Option<&Trace>,
     ) -> Result<SolveResponse, OipaError> {
         if !matches!(request.method, Method::Bab | Method::BabP | Method::Plain) {
             return Err(OipaError::config(format!(
@@ -647,6 +790,9 @@ impl PlannerService {
             graph.node_count(),
             seed,
         )?;
+        // Auto-θ interleaves sampling and solving per round; one "solve"
+        // span covers the whole escalation.
+        let solve_started = Instant::now();
         let result = solve_auto_theta(
             graph,
             table,
@@ -656,6 +802,7 @@ impl PlannerService {
             request.budget,
             config,
         )?;
+        self.observe_phase("solve", solve_started, trace);
         Ok(SolveResponse {
             method: request.method,
             k: request.budget,

@@ -220,6 +220,10 @@ pub struct DiskStats {
     /// Operations short-circuited because the tier was degraded (each a
     /// miss or a skipped write, never a request failure).
     pub degraded_skips: u64,
+    /// GC passes run since open (successful or not).
+    pub gc_runs: u64,
+    /// Wall-clock nanoseconds spent inside GC passes since open.
+    pub gc_duration_ns: u64,
 }
 
 /// Per-entry verification outcome (`oipa-cli store verify`). Labels are
@@ -285,6 +289,8 @@ pub struct DiskTier {
     manifest_writes: u64,
     flush_errors: u64,
     degraded_skips: u64,
+    gc_runs: u64,
+    gc_duration_ns: u64,
 }
 
 fn io_err(what: impl Into<String>, e: impl std::fmt::Display) -> StoreError {
@@ -504,6 +510,8 @@ impl DiskTier {
             manifest_writes: 0,
             flush_errors: 0,
             degraded_skips: 0,
+            gc_runs: 0,
+            gc_duration_ns: 0,
         };
         tier.enforce_budget(None);
         match tier.persist() {
@@ -968,6 +976,16 @@ impl DiskTier {
     /// removed), quarantines orphaned files, and sweeps stale temps.
     /// Physical bytes reclaimed are reported per region.
     pub fn gc(&mut self) -> StoreResult<GcReport> {
+        let started = std::time::Instant::now();
+        let outcome = self.gc_inner();
+        self.gc_runs += 1;
+        self.gc_duration_ns = self
+            .gc_duration_ns
+            .saturating_add(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        outcome
+    }
+
+    fn gc_inner(&mut self) -> StoreResult<GcReport> {
         let mut report = GcReport::default();
 
         // Vanished regions: drop their rows and entries.
@@ -1214,6 +1232,8 @@ impl DiskTier {
             manifest_writes: self.manifest_writes,
             flush_errors: self.flush_errors,
             degraded_skips: self.degraded_skips,
+            gc_runs: self.gc_runs,
+            gc_duration_ns: self.gc_duration_ns,
         }
     }
 

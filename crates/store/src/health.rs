@@ -39,6 +39,8 @@ pub struct TierHealth {
     last_error: Option<String>,
     /// Reopen probes attempted.
     probes: u64,
+    /// Healthy → degraded transitions (outages entered).
+    degradations: u64,
     /// Degraded → healthy transitions.
     recoveries: u64,
     /// Current backoff width in ticks.
@@ -62,6 +64,7 @@ impl TierHealth {
             consecutive_errors: 0,
             last_error: None,
             probes: 0,
+            degradations: 0,
             recoveries: 0,
             backoff_ticks: INITIAL_BACKOFF_TICKS,
             ticks_until_probe: 0,
@@ -81,6 +84,7 @@ impl TierHealth {
         self.last_error = Some(what.into());
         if !self.degraded {
             self.degraded = true;
+            self.degradations += 1;
             self.backoff_ticks = INITIAL_BACKOFF_TICKS;
             self.ticks_until_probe = self.backoff_ticks;
         }
@@ -139,6 +143,7 @@ impl TierHealth {
             consecutive_errors: self.consecutive_errors,
             last_error: self.last_error.clone(),
             probes: self.probes,
+            degradations: self.degradations,
             recoveries: self.recoveries,
             backoff_ticks: self.backoff_ticks,
         }
@@ -158,6 +163,9 @@ pub struct TierHealthSnapshot {
     pub last_error: Option<String>,
     /// Reopen probes attempted.
     pub probes: u64,
+    /// Healthy → degraded transitions (outages entered; pairs with
+    /// `recoveries` to tell a flapping disk from one long outage).
+    pub degradations: u64,
     /// Degraded → healthy transitions survived.
     pub recoveries: u64,
     /// Current probe backoff width in ticks.

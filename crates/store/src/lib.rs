@@ -258,9 +258,11 @@ pub struct StoreStats {
     pub disk_health: Option<TierHealthSnapshot>,
 }
 
-/// Schema identifier stamped into every [`StatsSnapshot`] (v2: per-shard
-/// memory stats, eviction-policy name, region-packed disk counters).
-pub const STATS_SCHEMA: &str = "oipa.stats/v2";
+/// Schema identifier stamped into every [`StatsSnapshot`] (v3 adds GC
+/// run/duration counters to `disk` and the `degradations` transition
+/// counter to `disk_health`; v2 added per-shard memory stats, the
+/// eviction-policy name, and region-packed disk counters).
+pub const STATS_SCHEMA: &str = "oipa.stats/v3";
 
 /// The *wire* form of a store's counters: a versioned, serde-round-trip
 /// snapshot of both tiers shared by every surface that ships stats over

@@ -6,16 +6,15 @@
 //! --probs p.bin --store-dir pools/`) and clients are anything that can
 //! speak HTTP; this example plays both sides in one process so it runs
 //! without fixtures. The wire types are exactly the service types:
-//! `SolveRequest` in, `SolveResponse` out, `StatsSnapshot` from
-//! `/stats`.
+//! `SolveRequest` in, `SolveResponse` out, `StatsBody` (identity header
+//! + `StatsSnapshot`) from `/stats`.
 //!
 //! ```text
 //! cargo run --release --example http_session
 //! ```
 
-use oipa::server::{Server, ServerConfig};
+use oipa::server::{Server, ServerConfig, StatsBody};
 use oipa::service::{Method, PlannerService, SolveRequest, SolveResponse};
-use oipa::store::StatsSnapshot;
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
@@ -65,13 +64,19 @@ fn main() {
     assert!(warm.pool_cache_hit, "the repeat must hit the pool store");
     assert_eq!(warm.plan, cold.plan, "the cached pool changed the answer");
 
-    // The observability endpoint: typed arena counters over the wire.
-    let stats: StatsSnapshot = get_json(addr, "/stats");
+    // The observability endpoint: typed arena counters over the wire,
+    // under the serving build's identity header.
+    let stats: StatsBody = get_json(addr, "/stats");
     println!(
-        "stats {}: {} lookups = {} hits + {} misses",
-        stats.schema, stats.mem.lookups, stats.mem.hits, stats.mem.misses,
+        "stats {} ({} v{}): {} lookups = {} hits + {} misses",
+        stats.store.schema,
+        stats.server.service,
+        stats.server.version,
+        stats.store.mem.lookups,
+        stats.store.mem.hits,
+        stats.store.mem.misses,
     );
-    assert!(stats.schema_ok());
+    assert!(stats.store.schema_ok());
 
     // Graceful drain: in-flight work finishes, then every thread joins.
     handle.shutdown();

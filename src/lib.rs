@@ -53,6 +53,7 @@ pub use oipa_baselines as baselines;
 pub use oipa_core as core;
 pub use oipa_datasets as datasets;
 pub use oipa_graph as graph;
+pub use oipa_obs as obs;
 pub use oipa_sampler as sampler;
 pub use oipa_server as server;
 pub use oipa_service as service;

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# One-command pre-push check: release build, the full workspace test
+# suite, and the black-box /metrics protocol suite (the observability
+# wire format is frozen — see CHANGES.md — so it gets its own explicit
+# gate). Mirrors the tier-1 CI steps.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "== cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "== cargo test --release -p oipa-server --test metrics"
+cargo test --release -p oipa-server --test metrics
+
+echo "all checks passed"
