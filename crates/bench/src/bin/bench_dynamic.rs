@@ -1,0 +1,65 @@
+//! `bench_dynamic` — emits the `BENCH_dynamic.json` artifact for
+//! surgical invalidation (delta repair vs cold resample latency).
+//!
+//! ```text
+//! bench_dynamic [--smoke] [--check] [--seed N] [--out FILE]
+//! ```
+//!
+//! * `--smoke` — one tiny instance (seconds; the CI mode)
+//! * `--check` — validate the report invariants (both scenarios,
+//!   bitwise answer parity, surgical resample fractions, the ≥10×
+//!   repair bar on full runs) and the written JSON, exiting non-zero
+//!   on violation
+//! * `--out`   — output path (default `BENCH_dynamic.json`)
+
+use oipa_bench::dynamic_suite::{
+    run_dynamic_suite, summary_text, validate_report, DynamicSuiteConfig, DYNAMIC_SCHEMA,
+};
+
+fn main() {
+    let mut config = DynamicSuiteConfig::default();
+    let mut check = false;
+    let mut out = String::from("BENCH_dynamic.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => config.smoke = true,
+            "--check" => check = true,
+            "--seed" => {
+                config.seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--out" => {
+                out = args.next().unwrap_or_else(|| die("--out needs a path"));
+            }
+            other => die(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    let report = run_dynamic_suite(config).unwrap_or_else(|e| die(&e));
+    print!("{}", summary_text(&report));
+    let json = serde_json::to_string_pretty(&report).unwrap_or_else(|e| die(&format!("{e}")));
+    std::fs::write(&out, &json).unwrap_or_else(|e| die(&format!("writing {out}: {e}")));
+    println!("wrote {out} ({} records)", report.records.len());
+
+    if check {
+        if let Err(e) = validate_report(&report) {
+            die(&format!("validation failed: {e}"));
+        }
+        let text = std::fs::read_to_string(&out).unwrap_or_else(|e| die(&format!("{e}")));
+        let value: serde_json::Value =
+            serde_json::from_str(&text).unwrap_or_else(|e| die(&format!("invalid JSON: {e}")));
+        match value.get("schema") {
+            Some(serde_json::Value::String(s)) if s == DYNAMIC_SCHEMA => {}
+            other => die(&format!("schema field mismatch in {out}: {other:?}")),
+        }
+        println!("check passed: schema + invariants hold");
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("bench_dynamic: {msg}");
+    std::process::exit(1);
+}

@@ -34,7 +34,11 @@
 //! `bench_serve` bin / `oipa-cli bench serve`) emits `BENCH_serve.json`
 //! with open-loop p50/p99/p999 latency through a live `oipa-server` HTTP
 //! front door under a zipfian campaign-key mix, answers cross-checked
-//! bitwise against an in-process session.
+//! bitwise against an in-process session, and [`dynamic_suite`] (the
+//! `bench_dynamic` bin / `oipa-cli bench dynamic`) emits
+//! `BENCH_dynamic.json` with delta-repair vs cold-resample latency
+//! through the epoch machinery, repaired answers cross-checked bitwise
+//! against a cold post-delta solve.
 //!
 //! Criterion micro/ablation benches live in `benches/`.
 
@@ -43,6 +47,7 @@
 
 pub mod args;
 pub mod concurrent_suite;
+pub mod dynamic_suite;
 pub mod runner;
 pub mod serve_suite;
 pub mod service_suite;
@@ -52,6 +57,7 @@ pub mod table;
 
 pub use args::HarnessArgs;
 pub use concurrent_suite::{run_concurrent_suite, ConcurrentSuiteConfig, ConcurrentSuiteReport};
+pub use dynamic_suite::{run_dynamic_suite, DynamicSuiteConfig, DynamicSuiteReport};
 pub use runner::{run_all_methods, ExperimentSetup, MethodOutcome};
 pub use serve_suite::{run_serve_suite, ServeSuiteConfig, ServeSuiteReport};
 pub use service_suite::{run_service_suite, ServiceSuiteConfig, ServiceSuiteReport};

@@ -378,7 +378,9 @@ pub fn run_serve_suite(config: ServeSuiteConfig) -> Result<ServeSuiteReport, Str
             .collect::<Vec<_>>()
     };
 
-    let service = Arc::new(PlannerService::new(graph, table).expect("valid instance"));
+    let service = Arc::new(std::sync::RwLock::new(
+        PlannerService::new(graph, table).expect("valid instance"),
+    ));
     let server_config = ServerConfig {
         threads: spec.server_threads,
         max_connections: spec.clients + 8,

@@ -144,9 +144,32 @@ fn cmd_bench(args: &ParsedArgs) -> Result<String, OipaError> {
             write!(text, "wrote {out} ({} records)", report.records.len()).expect("string write");
             Ok(text)
         }
+        "dynamic" => {
+            let config = oipa_bench::dynamic_suite::DynamicSuiteConfig {
+                smoke: args.parsed_or("smoke", false)?,
+                seed: args.parsed_or("seed", 0u64)?,
+            };
+            let report = oipa_bench::dynamic_suite::run_dynamic_suite(config).map_err(|e| {
+                OipaError::Io {
+                    what: "running the dynamic bench".to_string(),
+                    detail: e,
+                }
+            })?;
+            oipa_bench::dynamic_suite::validate_report(&report).map_err(|e| {
+                OipaError::Mismatch {
+                    what: format!("dynamic bench invariants violated: {e}"),
+                }
+            })?;
+            let out = args.optional("out").unwrap_or("BENCH_dynamic.json");
+            save_json(&report, out, "bench report")?;
+            let mut text = oipa_bench::dynamic_suite::summary_text(&report);
+            write!(text, "wrote {out} ({} records)", report.records.len()).expect("string write");
+            Ok(text)
+        }
         other => Err(OipaError::InvalidConfig {
             what: format!(
-                "unknown bench suite {other:?} (available: solver, service, store, concurrent, serve)"
+                "unknown bench suite {other:?} (available: solver, service, store, \
+                 concurrent, serve, dynamic)"
             ),
         }),
     }
@@ -184,10 +207,11 @@ fn cmd_store(args: &ParsedArgs) -> Result<String, OipaError> {
     }
     match action {
         "ls" => {
+            let current = tier.current_epoch();
             writeln!(
                 out,
-                "{:<24} {:>10} {:>12} {:>20} {:>10} campaign",
-                "file", "theta", "bytes", "seed", "last_used"
+                "{:<24} {:>10} {:>12} {:>16} {:>8} {:>6} {:>10} campaign",
+                "file", "theta", "bytes", "seed", "epoch", "state", "last_used"
             )
             .expect("string write");
             for e in tier.entries() {
@@ -200,11 +224,15 @@ fn cmd_store(args: &ParsedArgs) -> Result<String, OipaError> {
                 };
                 writeln!(
                     out,
-                    "{:<24} {:>10} {:>12} {:>20} {:>10} {shown}",
+                    "{:<24} {:>10} {:>12} {:>16} {:>8} {:>6} {:>10} {shown}",
                     e.file,
                     e.key.theta(),
                     e.bytes,
-                    format!("{:#x}", e.key.seed()),
+                    format!("{:016x}", e.key.seed()),
+                    format!("{:04x}", e.epoch),
+                    // A dirty pool is stamped with an ancestor epoch: it
+                    // is never served as-is, only delta-repaired.
+                    if e.epoch == current { "live" } else { "dirty" },
                     e.last_used
                 )
                 .expect("string write");
@@ -218,17 +246,41 @@ fn cmd_store(args: &ParsedArgs) -> Result<String, OipaError> {
             } else {
                 100.0 * stats.bytes as f64 / committed as f64
             };
+            let lineage = tier
+                .lineage()
+                .iter()
+                .map(|fp| format!("{fp:016x}"))
+                .collect::<Vec<_>>()
+                .join(" -> ");
             write!(
                 out,
                 "{} segments, {} bytes in {} region(s) ({fill:.0}% live), \
-                 eviction {}, instance {:#x}",
+                 eviction {}\nlineage {} (epoch {:04x}, {} stale)",
                 tier.len(),
                 tier.bytes(),
                 stats.regions,
                 tier.eviction_label(),
-                tier.instance()
+                if lineage.is_empty() {
+                    "(unset)".to_string()
+                } else {
+                    lineage
+                },
+                current,
+                stats.stale_entries,
             )
             .expect("string write");
+            if let Some(purge) = stats.last_purge {
+                write!(
+                    out,
+                    "\n{} purge(s); last dropped {} entr{} ({:016x} -> {:016x})",
+                    stats.purges,
+                    purge.entries,
+                    if purge.entries == 1 { "y" } else { "ies" },
+                    purge.from,
+                    purge.to,
+                )
+                .expect("string write");
+            }
             Ok(out)
         }
         "verify" => {
@@ -1315,6 +1367,12 @@ mod tests {
         assert!(ls.contains("1 segments"), "{ls}");
         assert!(ls.contains("1 region(s)"), "{ls}");
         assert!(ls.contains("eviction lfu"), "{ls}");
+        // Fingerprints and epochs render as zero-padded hex, the pool is
+        // live at the lineage head, and no purge has ever happened.
+        assert!(ls.contains("live"), "{ls}");
+        assert!(ls.contains("lineage "), "{ls}");
+        assert!(ls.contains("epoch 0000, 0 stale"), "{ls}");
+        assert!(!ls.contains("purge"), "{ls}");
         assert!(run_words(&["store", "verify", "--dir", &dir])
             .unwrap()
             .contains("1 segment(s) verified clean"));
@@ -1500,6 +1558,16 @@ mod tests {
         assert!(text.contains("oipa.bench.concurrent/v2"));
     }
 
+    #[test]
+    fn bench_dynamic_smoke() {
+        let out = tmp("bench_dynamic.json");
+        let report = run_words(&["bench", "dynamic", "--smoke", "true", "--out", &out]).unwrap();
+        assert!(report.contains("single_edge"), "{report}");
+        assert!(report.contains("one_percent"), "{report}");
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.contains("oipa.bench.dynamic/v1"));
+    }
+
     /// `batch --threads N` must produce the same answers, in the same
     /// order, as the sequential path — only the summary's timing and
     /// thread count may differ.
@@ -1664,7 +1732,9 @@ oipa_uptime_seconds 1.5\n";
     #[test]
     fn obs_dump_scrapes_a_live_server() {
         let (graph, probs, _campaign) = oipa_sampler::testkit::fig1();
-        let service = std::sync::Arc::new(PlannerService::new(graph, probs).unwrap());
+        let service = std::sync::Arc::new(std::sync::RwLock::new(
+            PlannerService::new(graph, probs).unwrap(),
+        ));
         let handle = oipa_server::Server::spawn(
             std::sync::Arc::clone(&service),
             oipa_server::ServerConfig::default(),

@@ -209,7 +209,7 @@ mod tests {
             AutoThetaConfig {
                 initial_theta: 200,
                 max_theta: 40_000,
-                rel_tol: 0.005, // very tight: tiny pools will disagree
+                rel_tol: 0.0005, // very tight: tiny pools will disagree
                 threads: 2,
                 ..Default::default()
             },
@@ -218,9 +218,9 @@ mod tests {
         // Either it needed more than one round or the ceiling stopped it;
         // both demonstrate the escalation path.
         assert!(result.rounds.len() > 1 || !result.converged);
-        // θ trajectory doubles.
+        // θ trajectory doubles (clamped at the ceiling).
         for w in result.rounds.windows(2) {
-            assert_eq!(w[1].theta, w[0].theta * 2);
+            assert_eq!(w[1].theta, (w[0].theta * 2).min(40_000));
         }
         assert!(result.solution.utility > 0.0);
     }

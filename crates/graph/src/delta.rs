@@ -1,0 +1,552 @@
+//! Graph deltas and epoch-stamped fingerprint lineages.
+//!
+//! The OIPA pipeline was originally frozen-graph: pools were sampled once
+//! against an immutable [`DiGraph`] and a single content fingerprint tied
+//! every cache to it. Real influence graphs churn — edges appear and
+//! disappear, probabilities get re-estimated — so this module introduces
+//! the *delta* model:
+//!
+//! * [`GraphDelta`] — a batch of edge insertions, removals and per-edge
+//!   topic-probability updates, with a content [`GraphDelta::digest`].
+//! * [`DiGraph::apply_delta`] — rebuilds the CSR for the post-delta edge
+//!   set and reports a [`DeltaApplication`]: the new graph, an old→new
+//!   edge-id remap (CSR ids are dense and source-sorted, so they shift),
+//!   and the set of *dirty targets* — nodes whose in-edge row changed.
+//! * [`Lineage`] — an epoch chain of fingerprints where
+//!   `fingerprint(epoch N) = mix(fingerprint(N − 1), delta_digest)`.
+//!   Two instances share ancestry iff one chain is a prefix of the other
+//!   (up to a divergence point); caches keyed by lineage can therefore
+//!   distinguish "stale but repairable" from "unrelated, purge".
+//!
+//! Dirty targets are the load-bearing output: reverse-reachable sampling
+//! only ever iterates `in_edges(v)` of visited nodes, so a stored RR walk
+//! is affected by a delta **iff** its visited set contains a dirty
+//! target. Everything the sampler needs to classify walks as live or dead
+//! is in [`DeltaApplication::dirty_targets`].
+//!
+//! Deltas are edge-only by design: the node count never changes, so root
+//! sequences drawn for a pre-delta graph remain valid afterwards.
+
+use crate::hashing::{FxHashMap, FxHasher};
+use crate::{DiGraph, EdgeId, GraphError, NodeId};
+use serde::{de, Deserialize, Error as SerdeError, Serialize, Value};
+use std::collections::VecDeque;
+use std::hash::Hasher as _;
+
+/// One sparse topic-probability entry carried by a delta.
+///
+/// Plain data on purpose: `oipa-graph` knows nothing about probability
+/// tables; the topic layer interprets these rows when rebuilding its CSR.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TopicProb {
+    /// Topic index into the table's `0..topic_count` space.
+    pub topic: u16,
+    /// Influence probability `p(e | topic)` in `[0, 1]`.
+    pub prob: f32,
+}
+
+/// An edge mutation that carries a probability row: an insertion (the row
+/// is the new edge's profile) or a reweight (the row replaces the old
+/// profile of an existing edge).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EdgeChange {
+    /// Source node.
+    pub source: NodeId,
+    /// Target node.
+    pub target: NodeId,
+    /// Sparse per-topic probability row for the edge.
+    pub probs: Vec<TopicProb>,
+}
+
+/// A batch of graph mutations applied atomically as one epoch step.
+///
+/// Semantics (all validated by [`DiGraph::apply_delta`]):
+///
+/// * `insert` — the edge must not already exist (and no duplicates within
+///   the batch); self-loops are rejected to match [`crate::GraphBuilder`].
+/// * `remove` — the edge must exist.
+/// * `reweight` — the edge must exist and must not also be removed.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct GraphDelta {
+    /// Edges to insert, with their probability rows.
+    pub insert: Vec<EdgeChange>,
+    /// Edges to remove, as `(source, target)` pairs.
+    pub remove: Vec<(NodeId, NodeId)>,
+    /// Existing edges whose probability rows are replaced.
+    pub reweight: Vec<EdgeChange>,
+}
+
+// Hand-written: absent lists deserialize as empty, so a wire delta like
+// `{"insert":[...]}` does not have to spell out `"remove":[]` etc.
+impl Deserialize for GraphDelta {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        let insert: Option<Vec<EdgeChange>> = de::field(v, "insert")?;
+        let remove: Option<Vec<(NodeId, NodeId)>> = de::field(v, "remove")?;
+        let reweight: Option<Vec<EdgeChange>> = de::field(v, "reweight")?;
+        Ok(GraphDelta {
+            insert: insert.unwrap_or_default(),
+            remove: remove.unwrap_or_default(),
+            reweight: reweight.unwrap_or_default(),
+        })
+    }
+}
+
+impl GraphDelta {
+    /// Whether the delta performs no mutations at all.
+    pub fn is_empty(&self) -> bool {
+        self.insert.is_empty() && self.remove.is_empty() && self.reweight.is_empty()
+    }
+
+    /// Total number of edge operations in the batch.
+    pub fn op_count(&self) -> usize {
+        self.insert.len() + self.remove.len() + self.reweight.len()
+    }
+
+    /// A content digest over every operation, order-sensitive.
+    ///
+    /// Feeds [`mix_fingerprint`]: the digest is what advances a
+    /// [`Lineage`] by one epoch, so two instances that applied the same
+    /// delta sequence to the same base graph fingerprint identically.
+    pub fn digest(&self) -> u64 {
+        let mut h = FxHasher::default();
+        h.write_u8(1); // domain tag: insert section
+        h.write_u64(self.insert.len() as u64);
+        for c in &self.insert {
+            hash_change(&mut h, c);
+        }
+        h.write_u8(2); // remove section
+        h.write_u64(self.remove.len() as u64);
+        for &(u, v) in &self.remove {
+            h.write_u32(u);
+            h.write_u32(v);
+        }
+        h.write_u8(3); // reweight section
+        h.write_u64(self.reweight.len() as u64);
+        for c in &self.reweight {
+            hash_change(&mut h, c);
+        }
+        h.finish()
+    }
+}
+
+fn hash_change(h: &mut FxHasher, c: &EdgeChange) {
+    h.write_u32(c.source);
+    h.write_u32(c.target);
+    h.write_u64(c.probs.len() as u64);
+    for e in &c.probs {
+        h.write_u16(e.topic);
+        h.write_u32(e.prob.to_bits());
+    }
+}
+
+/// Chains a parent fingerprint with a delta digest into the child epoch's
+/// fingerprint: `fingerprint(N) = mix(fingerprint(N − 1), digest)`.
+pub fn mix_fingerprint(parent: u64, delta_digest: u64) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(parent);
+    h.write_u64(delta_digest);
+    h.finish()
+}
+
+/// An epoch chain of instance fingerprints.
+///
+/// `fingerprints()[e]` is the fingerprint at epoch `e`; epoch 0 is the
+/// base (graph, table) fingerprint and each later entry is
+/// [`mix_fingerprint`] of its parent and the applied delta's digest. The
+/// current epoch is `len − 1` and its fingerprint is [`Lineage::head`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Lineage {
+    fingerprints: Vec<u64>,
+}
+
+impl Lineage {
+    /// A fresh lineage rooted at a base instance fingerprint (epoch 0).
+    pub fn new(root: u64) -> Lineage {
+        Lineage {
+            fingerprints: vec![root],
+        }
+    }
+
+    /// Rebuilds a lineage from a stored fingerprint chain.
+    ///
+    /// Returns `None` for an empty chain — a lineage always has a root.
+    pub fn from_fingerprints(fingerprints: Vec<u64>) -> Option<Lineage> {
+        if fingerprints.is_empty() {
+            None
+        } else {
+            Some(Lineage { fingerprints })
+        }
+    }
+
+    /// Advances the chain by one epoch, returning the new head.
+    pub fn advance(&mut self, delta_digest: u64) -> u64 {
+        let next = mix_fingerprint(self.head(), delta_digest);
+        self.fingerprints.push(next);
+        next
+    }
+
+    /// The epoch-0 fingerprint.
+    pub fn root(&self) -> u64 {
+        self.fingerprints[0]
+    }
+
+    /// The current (newest) fingerprint.
+    pub fn head(&self) -> u64 {
+        *self.fingerprints.last().expect("lineage is never empty")
+    }
+
+    /// The current epoch number (`0` for a fresh lineage).
+    pub fn epoch(&self) -> u64 {
+        self.fingerprints.len() as u64 - 1
+    }
+
+    /// The full chain, epoch 0 first.
+    pub fn fingerprints(&self) -> &[u64] {
+        &self.fingerprints
+    }
+
+    /// Number of leading epochs shared with another chain.
+    ///
+    /// `0` means unrelated instances (different roots); a value `k` means
+    /// epochs `0..k` agree, so entries stamped with an epoch `< k` are
+    /// common ancestry — stale at worst, never foreign.
+    pub fn common_prefix(&self, other: &[u64]) -> usize {
+        self.fingerprints
+            .iter()
+            .zip(other)
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+}
+
+/// The result of applying a [`GraphDelta`]: the rebuilt graph plus the
+/// bookkeeping every downstream cache needs to survive the change.
+#[derive(Debug, Clone)]
+pub struct DeltaApplication {
+    /// The post-delta graph.
+    pub graph: DiGraph,
+    /// Old edge id → new edge id (`None` for removed edges).
+    ///
+    /// CSR edge ids are dense and source-sorted, so an insertion or
+    /// removal shifts every id after it; per-edge attribute tables must
+    /// be re-indexed through this map.
+    pub remap: Vec<Option<EdgeId>>,
+    /// New edge ids of the inserted edges, aligned with
+    /// [`GraphDelta::insert`].
+    pub inserted_ids: Vec<EdgeId>,
+    /// *Old* edge ids of the reweighted edges, aligned with
+    /// [`GraphDelta::reweight`].
+    pub reweighted_ids: Vec<EdgeId>,
+    /// Nodes whose in-edge row changed (sorted, deduplicated): the
+    /// targets of every inserted, removed and reweighted edge. A stored
+    /// RR walk is dead iff its visited set intersects this list.
+    pub dirty_targets: Vec<NodeId>,
+    /// The delta's content digest (input to [`mix_fingerprint`]).
+    pub digest: u64,
+}
+
+impl DiGraph {
+    /// Applies a [`GraphDelta`], returning the rebuilt graph and the
+    /// old→new edge-id remap.
+    ///
+    /// The node count is preserved (deltas are edge-only). Validation is
+    /// all-or-nothing: any invalid operation rejects the whole delta and
+    /// leaves `self` untouched (it is never mutated — the new CSR is a
+    /// separate value).
+    pub fn apply_delta(&self, delta: &GraphDelta) -> crate::Result<DeltaApplication> {
+        let n = self.node_count() as u64;
+        let check_node = |node: NodeId| -> crate::Result<()> {
+            if (node as u64) < n {
+                Ok(())
+            } else {
+                Err(GraphError::NodeOutOfRange {
+                    node: node as u64,
+                    node_count: n,
+                })
+            }
+        };
+
+        // Resolve removals against current edge ids.
+        let mut removed = vec![false; self.edge_count()];
+        for &(u, v) in &delta.remove {
+            check_node(u)?;
+            check_node(v)?;
+            let edge = self
+                .find_edge(u, v)
+                .filter(|e| !removed[e.id as usize])
+                .ok_or(GraphError::EdgeMissing {
+                    source: u,
+                    target: v,
+                })?;
+            removed[edge.id as usize] = true;
+        }
+
+        // Reweights must name surviving edges.
+        let mut reweighted_ids = Vec::with_capacity(delta.reweight.len());
+        for c in &delta.reweight {
+            check_node(c.source)?;
+            check_node(c.target)?;
+            let edge = self
+                .find_edge(c.source, c.target)
+                .filter(|e| !removed[e.id as usize])
+                .ok_or(GraphError::EdgeMissing {
+                    source: c.source,
+                    target: c.target,
+                })?;
+            reweighted_ids.push(edge.id);
+        }
+
+        // Insertions must be genuinely new (no duplicates, no self-loops).
+        let mut fresh: FxHashMap<(NodeId, NodeId), ()> = FxHashMap::default();
+        for c in &delta.insert {
+            check_node(c.source)?;
+            check_node(c.target)?;
+            if c.source == c.target {
+                return Err(GraphError::SelfLoopRejected { node: c.source });
+            }
+            let pre_existing = self
+                .find_edge(c.source, c.target)
+                .is_some_and(|e| !removed[e.id as usize]);
+            if pre_existing || fresh.insert((c.source, c.target), ()).is_some() {
+                return Err(GraphError::EdgeExists {
+                    source: c.source,
+                    target: c.target,
+                });
+            }
+        }
+
+        // Rebuild the edge list: survivors in old id order, then inserts.
+        let mut edges: Vec<(NodeId, NodeId)> =
+            Vec::with_capacity(self.edge_count() - delta.remove.len() + delta.insert.len());
+        for e in self.edges() {
+            if !removed[e.id as usize] {
+                edges.push((e.source, e.target));
+            }
+        }
+        for c in &delta.insert {
+            edges.push((c.source, c.target));
+        }
+        let graph = DiGraph::from_edges(self.node_count() as u32, &edges)?;
+
+        // Map each (source, target) pair to its new ids, ascending; pairs
+        // with parallel edges consume ids in old-id order, which matches
+        // the new CSR's (source, target)-sorted order.
+        let mut pair_ids: FxHashMap<(NodeId, NodeId), VecDeque<EdgeId>> = FxHashMap::default();
+        for e in graph.edges() {
+            pair_ids
+                .entry((e.source, e.target))
+                .or_default()
+                .push_back(e.id);
+        }
+        let mut remap = vec![None; self.edge_count()];
+        for e in self.edges() {
+            if !removed[e.id as usize] {
+                let slot = pair_ids
+                    .get_mut(&(e.source, e.target))
+                    .and_then(|q| q.pop_front())
+                    .expect("surviving edge present in rebuilt graph");
+                remap[e.id as usize] = Some(slot);
+            }
+        }
+        let inserted_ids: Vec<EdgeId> = delta
+            .insert
+            .iter()
+            .map(|c| {
+                pair_ids
+                    .get_mut(&(c.source, c.target))
+                    .and_then(|q| q.pop_front())
+                    .expect("inserted edge present in rebuilt graph")
+            })
+            .collect();
+
+        let mut dirty_targets: Vec<NodeId> = delta
+            .remove
+            .iter()
+            .map(|&(_, v)| v)
+            .chain(delta.insert.iter().map(|c| c.target))
+            .chain(delta.reweight.iter().map(|c| c.target))
+            .collect();
+        dirty_targets.sort_unstable();
+        dirty_targets.dedup();
+
+        Ok(DeltaApplication {
+            graph,
+            remap,
+            inserted_ids,
+            reweighted_ids,
+            dirty_targets,
+            digest: delta.digest(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph {
+        DiGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    fn change(source: NodeId, target: NodeId, prob: f32) -> EdgeChange {
+        EdgeChange {
+            source,
+            target,
+            probs: vec![TopicProb { topic: 0, prob }],
+        }
+    }
+
+    #[test]
+    fn insert_and_remove_rebuild_csr() {
+        let g = diamond();
+        let delta = GraphDelta {
+            insert: vec![change(3, 0, 0.5)],
+            remove: vec![(0, 2)],
+            reweight: vec![],
+        };
+        let app = g.apply_delta(&delta).unwrap();
+        assert_eq!(app.graph.edge_count(), 4);
+        assert!(app.graph.find_edge(3, 0).is_some());
+        assert!(app.graph.find_edge(0, 2).is_none());
+        // Identical to building the post-delta graph from scratch.
+        let cold = DiGraph::from_edges(4, &[(0, 1), (1, 3), (2, 3), (3, 0)]).unwrap();
+        assert_eq!(app.graph, cold);
+    }
+
+    #[test]
+    fn remap_tracks_edge_attributes() {
+        let g = diamond();
+        let delta = GraphDelta {
+            insert: vec![change(0, 3, 0.5)],
+            remove: vec![(0, 1)],
+            reweight: vec![],
+        };
+        let app = g.apply_delta(&delta).unwrap();
+        // Removed edge maps to None; every survivor's endpoints survive
+        // the remap.
+        let old_01 = g.find_edge(0, 1).unwrap().id;
+        assert_eq!(app.remap[old_01 as usize], None);
+        for e in g.edges() {
+            if e.id == old_01 {
+                continue;
+            }
+            let new_id = app.remap[e.id as usize].unwrap();
+            assert_eq!(app.graph.edge_endpoints(new_id), Some((e.source, e.target)));
+        }
+        assert_eq!(app.inserted_ids.len(), 1);
+        assert_eq!(app.graph.edge_endpoints(app.inserted_ids[0]), Some((0, 3)));
+    }
+
+    #[test]
+    fn dirty_targets_are_changed_in_rows() {
+        let g = diamond();
+        let delta = GraphDelta {
+            insert: vec![change(3, 1, 0.2)],
+            remove: vec![(2, 3)],
+            reweight: vec![change(0, 1, 0.9)],
+        };
+        let app = g.apply_delta(&delta).unwrap();
+        assert_eq!(app.dirty_targets, vec![1, 3]);
+    }
+
+    #[test]
+    fn invalid_operations_rejected() {
+        let g = diamond();
+        let dup = GraphDelta {
+            insert: vec![change(0, 1, 0.5)],
+            ..GraphDelta::default()
+        };
+        assert!(matches!(
+            g.apply_delta(&dup),
+            Err(GraphError::EdgeExists {
+                source: 0,
+                target: 1
+            })
+        ));
+        let missing = GraphDelta {
+            remove: vec![(3, 0)],
+            ..GraphDelta::default()
+        };
+        assert!(matches!(
+            g.apply_delta(&missing),
+            Err(GraphError::EdgeMissing {
+                source: 3,
+                target: 0
+            })
+        ));
+        let loop_insert = GraphDelta {
+            insert: vec![change(2, 2, 0.5)],
+            ..GraphDelta::default()
+        };
+        assert!(matches!(
+            g.apply_delta(&loop_insert),
+            Err(GraphError::SelfLoopRejected { node: 2 })
+        ));
+        let out_of_range = GraphDelta {
+            remove: vec![(0, 9)],
+            ..GraphDelta::default()
+        };
+        assert!(g.apply_delta(&out_of_range).is_err());
+    }
+
+    #[test]
+    fn remove_then_reinsert_is_allowed() {
+        let g = diamond();
+        let delta = GraphDelta {
+            insert: vec![change(0, 1, 0.7)],
+            remove: vec![(0, 1)],
+            reweight: vec![],
+        };
+        let app = g.apply_delta(&delta).unwrap();
+        assert_eq!(app.graph.edge_count(), 4);
+        assert_eq!(app.dirty_targets, vec![1]);
+    }
+
+    #[test]
+    fn digest_is_order_and_content_sensitive() {
+        let a = GraphDelta {
+            remove: vec![(0, 1), (1, 3)],
+            ..GraphDelta::default()
+        };
+        let b = GraphDelta {
+            remove: vec![(1, 3), (0, 1)],
+            ..GraphDelta::default()
+        };
+        assert_ne!(a.digest(), b.digest());
+        assert_eq!(a.digest(), a.clone().digest());
+        let mut c = a.clone();
+        c.reweight.push(change(0, 1, 0.25));
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn lineage_chains_and_prefixes() {
+        let mut a = Lineage::new(0xdead_beef);
+        let d1 = 11u64;
+        let d2 = 22u64;
+        let e1 = a.advance(d1);
+        assert_eq!(e1, mix_fingerprint(0xdead_beef, d1));
+        assert_eq!(a.epoch(), 1);
+        let mut b = Lineage::new(0xdead_beef);
+        b.advance(d1);
+        assert_eq!(a.common_prefix(b.fingerprints()), 2);
+        b.advance(d2);
+        assert_eq!(a.common_prefix(b.fingerprints()), 2);
+        let foreign = Lineage::new(0x1234);
+        assert_eq!(a.common_prefix(foreign.fingerprints()), 0);
+        assert!(Lineage::from_fingerprints(vec![]).is_none());
+    }
+
+    #[test]
+    fn delta_wire_format_tolerates_absent_lists() {
+        let delta: GraphDelta = serde_json::from_str(
+            r#"{"insert":[{"source":3,"target":0,"probs":[{"topic":0,"prob":0.5}]}]}"#,
+        )
+        .unwrap();
+        assert_eq!(delta.insert.len(), 1);
+        assert!(delta.remove.is_empty() && delta.reweight.is_empty());
+        let json = serde_json::to_string(&delta).unwrap();
+        let back: GraphDelta = serde_json::from_str(&json).unwrap();
+        assert_eq!(delta, back);
+    }
+}

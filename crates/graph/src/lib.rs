@@ -34,6 +34,7 @@ pub mod binio;
 mod builder;
 pub mod checksum;
 mod csr;
+pub mod delta;
 pub mod generators;
 pub mod hashing;
 pub mod io;
@@ -44,6 +45,7 @@ pub mod traverse;
 
 pub use builder::{DedupPolicy, GraphBuilder};
 pub use csr::{DiGraph, EdgeId, EdgeRef, NodeId};
+pub use delta::{mix_fingerprint, DeltaApplication, EdgeChange, GraphDelta, Lineage, TopicProb};
 
 /// Errors produced by graph construction and IO.
 #[derive(Debug)]
@@ -74,6 +76,20 @@ pub enum GraphError {
         /// Description of the problem.
         message: String,
     },
+    /// A delta tried to insert an edge that already exists.
+    EdgeExists {
+        /// Source node.
+        source: NodeId,
+        /// Target node.
+        target: NodeId,
+    },
+    /// A delta named an edge that does not exist (remove/reweight).
+    EdgeMissing {
+        /// Source node.
+        source: NodeId,
+        /// Target node.
+        target: NodeId,
+    },
 }
 
 impl std::fmt::Display for GraphError {
@@ -89,6 +105,12 @@ impl std::fmt::Display for GraphError {
             GraphError::Io(e) => write!(f, "io error: {e}"),
             GraphError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::EdgeExists { source, target } => {
+                write!(f, "edge {source} -> {target} already exists")
+            }
+            GraphError::EdgeMissing { source, target } => {
+                write!(f, "edge {source} -> {target} does not exist")
             }
         }
     }

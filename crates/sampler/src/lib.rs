@@ -42,5 +42,5 @@ pub mod testkit;
 pub mod theta;
 
 pub use edge_prob::{EdgeProb, MaterializedProbs, PieceProbs};
-pub use mrr::{MrrPool, PoolBuildError};
+pub use mrr::{MrrPool, PoolBuildError, RepairOutcome};
 pub use rr::{sample_rr_set, RrPool, RrStore};

@@ -47,6 +47,8 @@ pub enum PoolBuildError {
     TableMismatch(String),
     /// The campaign has no pieces.
     EmptyCampaign,
+    /// Repair inputs do not match the pool being repaired.
+    PoolMismatch(String),
 }
 
 impl std::fmt::Display for PoolBuildError {
@@ -57,8 +59,20 @@ impl std::fmt::Display for PoolBuildError {
                 write!(f, "probability table does not match the graph: {m}")
             }
             PoolBuildError::EmptyCampaign => write!(f, "campaign has no pieces"),
+            PoolBuildError::PoolMismatch(m) => {
+                write!(f, "repair inputs do not match the pool: {m}")
+            }
         }
     }
+}
+
+/// What a [`MrrPool::repair`] call did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairOutcome {
+    /// Total RR sets in the pool (θ · ℓ).
+    pub sets_total: usize,
+    /// Sets classified dead and resampled.
+    pub sets_resampled: usize,
 }
 
 impl std::error::Error for PoolBuildError {}
@@ -82,8 +96,11 @@ impl MrrPool {
     /// Generates θ MRR samples, validating the inputs.
     ///
     /// Output is **bitwise deterministic per seed regardless of thread
-    /// count**: each (piece, chunk) job derives an independent RNG stream
-    /// from the base seed, and results are reassembled in job order.
+    /// count**: each (piece, walk) pair derives an independent RNG stream
+    /// from the base seed (see `walk_rng`), work is chunked only for
+    /// parallel scheduling, and results are reassembled in job order.
+    /// Per-walk streams also make pools surgically repairable after a
+    /// graph delta — see [`MrrPool::repair`].
     pub fn try_generate(
         graph: &DiGraph,
         table: &EdgeTopicProbs,
@@ -279,6 +296,155 @@ impl MrrPool {
         h.finish()
     }
 
+    /// Walk ids (sorted ascending) whose RR set for `piece` contains any
+    /// dirty target — the live/dead classification of surgical delta
+    /// invalidation.
+    ///
+    /// This is exact, not conservative-in-both-directions: RR sampling
+    /// only ever iterates `in_edges(v)` of *visited* nodes, and a delta
+    /// only changes the in-edge rows of its dirty targets, so a walk's
+    /// traversal (and draw sequence) changes iff its visited set — which
+    /// is precisely its stored RR set — touches a dirty target. The
+    /// pool's inverted index answers that membership query directly; it
+    /// doubles as the per-walk provenance structure.
+    pub fn dead_walks(&self, piece: usize, dirty_targets: &[NodeId]) -> Vec<u32> {
+        let mut dead = vec![false; self.theta()];
+        for &v in dirty_targets {
+            if (v as usize) >= self.n as usize {
+                continue;
+            }
+            for &i in self.stores[piece].samples_containing(v) {
+                dead[i as usize] = true;
+            }
+        }
+        dead.iter()
+            .enumerate()
+            .filter_map(|(i, &d)| d.then_some(i as u32))
+            .collect()
+    }
+
+    /// Repairs the pool in place after a graph delta. Equivalent to
+    /// replacing `self` with [`MrrPool::repaired`]'s result.
+    pub fn repair(
+        &mut self,
+        graph: &DiGraph,
+        table: &EdgeTopicProbs,
+        campaign: &Campaign,
+        dirty_targets: &[NodeId],
+        seed: u64,
+    ) -> Result<RepairOutcome, PoolBuildError> {
+        let (pool, outcome) = self.repaired(graph, table, campaign, dirty_targets, seed)?;
+        *self = pool;
+        Ok(outcome)
+    }
+
+    /// Builds the post-delta pool from this (stale) one: resamples *only*
+    /// the dead walks (per piece) against the post-delta inputs and
+    /// splices them into copies of the per-piece stores, patching the
+    /// inverted indexes rather than rebuilding them. Borrowing `self`
+    /// means a caller holding the stale pool behind an `Arc` pays no
+    /// intermediate full-pool clone — clean pieces are copied once, dirty
+    /// pieces are written once, straight into their repaired form.
+    ///
+    /// `seed` must be the seed the pool was originally generated with and
+    /// `dirty_targets` the union of
+    /// [`oipa_graph::DeltaApplication::dirty_targets`] over every delta
+    /// applied since — under those conditions the repaired pool is
+    /// **bitwise-identical** to `MrrPool::generate(graph, table,
+    /// campaign, θ, seed)` on the post-delta inputs (property-tested),
+    /// because roots are graph-independent (deltas never change the node
+    /// count), live walks replay identical traversals, and dead walks are
+    /// regenerated from their own per-walk streams.
+    pub fn repaired(
+        &self,
+        graph: &DiGraph,
+        table: &EdgeTopicProbs,
+        campaign: &Campaign,
+        dirty_targets: &[NodeId],
+        seed: u64,
+    ) -> Result<(MrrPool, RepairOutcome), PoolBuildError> {
+        if graph.node_count() != self.n as usize {
+            return Err(PoolBuildError::PoolMismatch(format!(
+                "pool was sampled on {} nodes but the graph has {} (deltas are edge-only)",
+                self.n,
+                graph.node_count()
+            )));
+        }
+        if campaign.len() != self.ell() {
+            return Err(PoolBuildError::PoolMismatch(format!(
+                "pool has {} pieces but the campaign has {}",
+                self.ell(),
+                campaign.len()
+            )));
+        }
+        table
+            .check_against(graph)
+            .map_err(|e| PoolBuildError::TableMismatch(e.to_string()))?;
+        if let Some(piece) = campaign
+            .pieces()
+            .iter()
+            .find(|p| p.topics.dim() != table.topic_count())
+        {
+            return Err(PoolBuildError::TableMismatch(format!(
+                "piece {:?} has {}-dimensional topics but the table has {} topics",
+                piece.name,
+                piece.topics.dim(),
+                table.topic_count()
+            )));
+        }
+        let mut outcome = RepairOutcome {
+            sets_total: self.theta() * self.ell(),
+            sets_resampled: 0,
+        };
+        let mut stores = Vec::with_capacity(self.ell());
+        for j in 0..self.ell() {
+            let dead = self.dead_walks(j, dirty_targets);
+            if dead.is_empty() {
+                stores.push(self.stores[j].clone());
+                continue;
+            }
+            outcome.sets_resampled += dead.len();
+            let piece = &campaign.piece(j).topics;
+            let probs = PieceProbs::new(table, piece);
+            // Chunked so each rayon task reuses one BFS scratch; per-walk
+            // streams make the result independent of the chunking.
+            let jobs: Vec<&[u32]> = dead.chunks(256).collect();
+            let replacements: Vec<(u32, Vec<NodeId>)> = jobs
+                .par_iter()
+                .map(|chunk| {
+                    let mut scratch = BfsScratch::new(graph.node_count());
+                    let mut set_buf: Vec<NodeId> = Vec::new();
+                    let mut out = Vec::with_capacity(chunk.len());
+                    for &i in *chunk {
+                        let mut rng = walk_rng(seed, j, i as usize);
+                        sample_rr_set(
+                            &mut rng,
+                            graph,
+                            &probs,
+                            self.roots[i as usize],
+                            &mut scratch,
+                            &mut set_buf,
+                        );
+                        out.push((i, set_buf.clone()));
+                    }
+                    out
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .flatten()
+                .collect();
+            stores.push(self.stores[j].spliced(&replacements, graph.node_count()));
+        }
+        Ok((
+            MrrPool {
+                n: self.n,
+                roots: self.roots.clone(),
+                stores,
+            },
+            outcome,
+        ))
+    }
+
     /// Total memory-resident node entries across all pieces.
     pub fn total_nodes(&self) -> usize {
         self.stores.iter().map(|s| s.total_nodes()).sum()
@@ -293,6 +459,26 @@ impl MrrPool {
     }
 }
 
+/// The per-walk RNG for walk `walk` of piece `piece`.
+///
+/// Every (piece, walk) pair draws from an independent, reproducible
+/// stream. Walk granularity — rather than the chunk granularity the pool
+/// originally used — is what makes surgical repair possible: resampling
+/// one dead walk replays exactly its own stream, so the repaired set is
+/// bitwise-identical to what a cold resample of the post-delta graph
+/// would produce for that walk, and every live walk's bytes are
+/// untouched. The mix is bijective, so no two streams can collapse onto
+/// one even for adversarial seeds.
+#[inline]
+fn walk_rng(seed: u64, piece: usize, walk: usize) -> SmallRng {
+    let stream = ((piece as u64) << 40) | walk as u64;
+    SmallRng::seed_from_u64(
+        seed ^ stream
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(0x517c_c1b7),
+    )
+}
+
 fn generate_chunk<P: EdgeProb + ?Sized>(
     graph: &DiGraph,
     probs: &P,
@@ -301,20 +487,14 @@ fn generate_chunk<P: EdgeProb + ?Sized>(
     piece: usize,
     chunk_index: usize,
 ) -> RrStore {
-    // Stream id mixes piece and chunk so every (piece, chunk) pair draws an
-    // independent, reproducible sequence.
-    let stream = (piece as u64) << 32 | chunk_index as u64;
-    let mut rng = SmallRng::seed_from_u64(
-        seed ^ stream
-            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-            .wrapping_add(0x517c_c1b7),
-    );
+    let base = chunk_index * CHUNK;
     let mut scratch = BfsScratch::new(graph.node_count());
     let mut set_buf: Vec<NodeId> = Vec::new();
     let mut offsets = Vec::with_capacity(roots.len() + 1);
     let mut nodes: Vec<NodeId> = Vec::new();
     offsets.push(0u64);
-    for &root in roots {
+    for (k, &root) in roots.iter().enumerate() {
+        let mut rng = walk_rng(seed, piece, base + k);
         sample_rr_set(&mut rng, graph, probs, root, &mut scratch, &mut set_buf);
         nodes.extend_from_slice(&set_buf);
         offsets.push(nodes.len() as u64);
@@ -423,6 +603,81 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn repair_matches_cold_resample_on_fig1() {
+        use oipa_graph::{EdgeChange, GraphDelta, TopicProb};
+        let (g, table, campaign) = fig1();
+        let seed = 77;
+        let mut pool = MrrPool::generate(&g, &table, &campaign, 4000, seed);
+        // Remove c -> b (kills z2 chains through b) and add a -> d on z1.
+        let delta = GraphDelta {
+            insert: vec![EdgeChange {
+                source: 0,
+                target: 3,
+                probs: vec![TopicProb {
+                    topic: 0,
+                    prob: 1.0,
+                }],
+            }],
+            remove: vec![(2, 1)],
+            reweight: vec![],
+        };
+        let app = g.apply_delta(&delta).unwrap();
+        let new_table = table.apply_delta(&delta, &app).unwrap();
+        let outcome = pool
+            .repair(&app.graph, &new_table, &campaign, &app.dirty_targets, seed)
+            .unwrap();
+        assert!(outcome.sets_resampled > 0);
+        assert!(outcome.sets_resampled < outcome.sets_total);
+        let cold = MrrPool::generate(&app.graph, &new_table, &campaign, 4000, seed);
+        assert_eq!(pool.roots(), cold.roots());
+        assert_eq!(pool.fingerprint(), cold.fingerprint());
+        for j in 0..pool.ell() {
+            for i in 0..pool.theta() {
+                assert_eq!(pool.rr_set(j, i), cold.rr_set(j, i), "piece {j} walk {i}");
+            }
+            for v in 0..5u32 {
+                assert_eq!(
+                    pool.samples_containing(j, v),
+                    cold.samples_containing(j, v),
+                    "inverted index piece {j} node {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dead_walk_classification_is_exact() {
+        let (g, table, campaign) = fig1();
+        let pool = MrrPool::generate(&g, &table, &campaign, 1000, 5);
+        for j in 0..pool.ell() {
+            let dead = pool.dead_walks(j, &[1]);
+            for i in 0..pool.theta() {
+                let touches = pool.rr_set(j, i).contains(&1);
+                assert_eq!(dead.binary_search(&(i as u32)).is_ok(), touches);
+            }
+        }
+        // Out-of-range dirty targets are ignored, empty dirt kills nothing.
+        assert!(pool.dead_walks(0, &[]).is_empty());
+        assert!(pool.dead_walks(0, &[999]).is_empty());
+    }
+
+    #[test]
+    fn repair_rejects_mismatched_inputs() {
+        let (g, table, campaign) = fig1();
+        let mut pool = MrrPool::generate(&g, &table, &campaign, 100, 5);
+        let bigger = DiGraph::from_edges(6, &[(0, 1)]).unwrap();
+        assert!(matches!(
+            pool.repair(&bigger, &table, &campaign, &[0], 5),
+            Err(PoolBuildError::PoolMismatch(_))
+        ));
+        let one_piece = Campaign::new(vec![campaign.pieces()[0].clone()]).unwrap();
+        assert!(matches!(
+            pool.repair(&g, &table, &one_piece, &[0], 5),
+            Err(PoolBuildError::PoolMismatch(_))
+        ));
     }
 
     #[test]

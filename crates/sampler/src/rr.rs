@@ -135,6 +135,140 @@ impl RrStore {
         }
     }
 
+    /// Returns a copy of this store with the sets named in `replacements`
+    /// (sorted ascending by set id, each id at most once) replaced and
+    /// the inverted index patched.
+    ///
+    /// This is the splice step of surgical pool repair, and it is
+    /// surgical on both axes. The CSR arrays copy live sets in
+    /// contiguous *runs* between replacements (one `memcpy` per run, not
+    /// one per set), and the inverted index is patched rather than
+    /// rebuilt: set ids never move, so only the postings of nodes that
+    /// appear in an old or new replaced set change — every other node's
+    /// postings are carried over verbatim. The result is bitwise
+    /// identical to a full [`RrStore::build_index`] rebuild (postings
+    /// stay ascending by set id), so a repaired pool still matches a
+    /// cold resample that produced the same per-set contents. Borrowing
+    /// rather than mutating lets a repair build the new store straight
+    /// from the stale one — no intermediate full-pool clone.
+    pub(crate) fn spliced(&self, replacements: &[(u32, Vec<NodeId>)], n: usize) -> RrStore {
+        debug_assert!(
+            replacements.windows(2).all(|w| w[0].0 < w[1].0),
+            "replacements must be sorted by set id without duplicates"
+        );
+        if replacements.is_empty() {
+            return self.clone();
+        }
+
+        // Which nodes' postings change, and the additions per node
+        // (`(node, set id)` pairs sorted by node then id). Both need the
+        // *old* sets, so compute them before splicing.
+        let mut affected = vec![false; n];
+        let mut additions: Vec<(NodeId, u32)> = Vec::new();
+        for (i, new_set) in replacements {
+            for &v in self.set(*i as usize) {
+                affected[v as usize] = true;
+            }
+            for &v in new_set {
+                affected[v as usize] = true;
+                additions.push((v, *i));
+            }
+        }
+        additions.sort_unstable();
+
+        // Splice the CSR arrays: live runs between consecutive dead sets
+        // are copied wholesale, with their offsets shifted by the
+        // accumulated size delta.
+        let old_len: usize = replacements
+            .iter()
+            .map(|(i, _)| self.set(*i as usize).len())
+            .sum();
+        let new_len: usize = replacements.iter().map(|(_, s)| s.len()).sum();
+        let mut nodes: Vec<NodeId> = Vec::with_capacity(self.nodes.len() - old_len + new_len);
+        let mut offsets: Vec<u64> = Vec::with_capacity(self.offsets.len());
+        offsets.push(0u64);
+        let copy_run = |nodes: &mut Vec<NodeId>, offsets: &mut Vec<u64>, from: usize, to: usize| {
+            if from >= to {
+                return;
+            }
+            let (lo, hi) = (self.offsets[from] as usize, self.offsets[to] as usize);
+            let shift = (nodes.len() as u64).wrapping_sub(self.offsets[from]);
+            nodes.extend_from_slice(&self.nodes[lo..hi]);
+            offsets.extend(
+                self.offsets[from + 1..=to]
+                    .iter()
+                    .map(|&o| o.wrapping_add(shift)),
+            );
+        };
+        let mut run_start = 0usize;
+        for (i, new_set) in replacements {
+            copy_run(&mut nodes, &mut offsets, run_start, *i as usize);
+            nodes.extend_from_slice(new_set);
+            offsets.push(nodes.len() as u64);
+            run_start = *i as usize + 1;
+        }
+        copy_run(&mut nodes, &mut offsets, run_start, self.len());
+
+        if self.idx_offsets.len() != n + 1 {
+            // No index to patch (raw chunk store) — splice and rebuild.
+            let mut store = RrStore::from_raw(offsets, nodes);
+            store.build_index(n);
+            return store;
+        }
+
+        // Patch the inverted index. Unaffected nodes keep their postings
+        // verbatim; affected nodes merge (old postings minus replaced
+        // ids) with their additions — both ascending and disjoint, so
+        // the merged postings are ascending exactly as a rebuild would
+        // produce them.
+        let mut idx_offsets: Vec<u64> = Vec::with_capacity(n + 1);
+        let mut idx_samples: Vec<u32> = Vec::with_capacity(nodes.len());
+        idx_offsets.push(0u64);
+        let mut add_cursor = 0usize;
+        for (v, &touched) in affected.iter().enumerate() {
+            let (lo, hi) = (
+                self.idx_offsets[v] as usize,
+                self.idx_offsets[v + 1] as usize,
+            );
+            if !touched {
+                idx_samples.extend_from_slice(&self.idx_samples[lo..hi]);
+            } else {
+                let adds_lo = add_cursor;
+                while add_cursor < additions.len() && additions[add_cursor].0 as usize == v {
+                    add_cursor += 1;
+                }
+                let adds = &additions[adds_lo..add_cursor];
+                let mut a = 0usize;
+                let mut dead = 0usize;
+                for &id in &self.idx_samples[lo..hi] {
+                    while dead < replacements.len() && replacements[dead].0 < id {
+                        dead += 1;
+                    }
+                    if dead < replacements.len() && replacements[dead].0 == id {
+                        continue;
+                    }
+                    while a < adds.len() && adds[a].1 < id {
+                        idx_samples.push(adds[a].1);
+                        a += 1;
+                    }
+                    idx_samples.push(id);
+                }
+                for &(_, id) in &adds[a..] {
+                    idx_samples.push(id);
+                }
+            }
+            idx_offsets.push(idx_samples.len() as u64);
+        }
+        debug_assert_eq!(idx_samples.len(), nodes.len());
+
+        RrStore {
+            offsets,
+            nodes,
+            idx_offsets,
+            idx_samples,
+        }
+    }
+
     /// Concatenates chunked stores (in order) and rebuilds the index.
     pub(crate) fn concat(chunks: Vec<RrStore>, n: usize) -> RrStore {
         let total_sets: usize = chunks.iter().map(|c| c.len()).sum();

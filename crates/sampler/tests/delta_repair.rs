@@ -1,0 +1,161 @@
+//! The safety bar of surgical invalidation: random delta sequences
+//! followed by repair must yield pools **bitwise-identical** to cold
+//! sampling of the final graph — at 1 and at 4 threads.
+//!
+//! If this property holds, every downstream consumer (solvers, the pool
+//! store, the service) is delta-oblivious: a repaired pool is
+//! indistinguishable from one sampled from scratch.
+
+use oipa_graph::{DiGraph, EdgeChange, GraphDelta, NodeId, TopicProb};
+use oipa_sampler::testkit::small_random_instance;
+use oipa_sampler::MrrPool;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+fn random_row(rng: &mut StdRng, topic_count: usize) -> Vec<TopicProb> {
+    let k = rng.gen_range(1..=2usize.min(topic_count));
+    let mut topics: Vec<u16> = (0..topic_count as u16).collect();
+    let mut out = Vec::with_capacity(k);
+    for _ in 0..k {
+        let at = rng.gen_range(0..topics.len());
+        out.push(TopicProb {
+            topic: topics.swap_remove(at),
+            prob: rng.gen_range(0.05..0.8f32),
+        });
+    }
+    out
+}
+
+/// A random valid delta against `graph`: a few removals, reweights of
+/// surviving edges, and insertions of edges absent after the removals.
+fn random_delta(rng: &mut StdRng, graph: &DiGraph, topic_count: usize) -> GraphDelta {
+    let edges: Vec<(NodeId, NodeId)> = graph.edges().map(|e| (e.source, e.target)).collect();
+    let n = graph.node_count() as NodeId;
+    let mut delta = GraphDelta::default();
+    let mut removed = std::collections::HashSet::new();
+    for _ in 0..rng.gen_range(0..4usize).min(edges.len()) {
+        let pick = edges[rng.gen_range(0..edges.len())];
+        if removed.insert(pick) {
+            delta.remove.push(pick);
+        }
+    }
+    for _ in 0..rng.gen_range(0..4usize) {
+        let pick = edges[rng.gen_range(0..edges.len())];
+        if !removed.contains(&pick) && !delta.reweight.iter().any(|c| (c.source, c.target) == pick)
+        {
+            delta.reweight.push(EdgeChange {
+                source: pick.0,
+                target: pick.1,
+                probs: random_row(rng, topic_count),
+            });
+        }
+    }
+    'insert: for _ in 0..rng.gen_range(0..4usize) {
+        for _attempt in 0..32 {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            let absent_after_removals =
+                graph.find_edge(u, v).is_none() || removed.contains(&(u, v));
+            if u != v
+                && absent_after_removals
+                && !delta.insert.iter().any(|c| (c.source, c.target) == (u, v))
+            {
+                delta.insert.push(EdgeChange {
+                    source: u,
+                    target: v,
+                    probs: random_row(rng, topic_count),
+                });
+                continue 'insert;
+            }
+        }
+    }
+    delta
+}
+
+fn assert_pools_bitwise_equal(a: &MrrPool, b: &MrrPool, context: &str) {
+    assert_eq!(a.roots(), b.roots(), "{context}: roots");
+    for j in 0..a.ell() {
+        for i in 0..a.theta() {
+            assert_eq!(
+                a.rr_set(j, i),
+                b.rr_set(j, i),
+                "{context}: piece {j} walk {i}"
+            );
+        }
+        for v in 0..a.node_count() as NodeId {
+            assert_eq!(
+                a.samples_containing(j, v),
+                b.samples_containing(j, v),
+                "{context}: index piece {j} node {v}"
+            );
+        }
+    }
+    assert_eq!(a.fingerprint(), b.fingerprint(), "{context}: fingerprint");
+}
+
+fn run_sequence(case_seed: u64, steps: usize, repair_threads: usize, cold_threads: usize) {
+    let mut rng = StdRng::seed_from_u64(case_seed);
+    let (base_graph, base_table, campaign) = small_random_instance(&mut rng, 60, 350, 4, 2);
+    let theta = 3000;
+    let pool_seed = rng.next_u64();
+    let worker = rayon::ThreadPoolBuilder::new()
+        .num_threads(repair_threads)
+        .build()
+        .expect("repair thread pool");
+    let mut incremental =
+        worker.install(|| MrrPool::generate(&base_graph, &base_table, &campaign, theta, pool_seed));
+    let mut stale = incremental.clone();
+
+    let (mut graph, mut table) = (base_graph, base_table);
+    let mut union_dirty: Vec<NodeId> = Vec::new();
+    for step in 0..steps {
+        let delta = random_delta(&mut rng, &graph, table.topic_count());
+        let app = graph
+            .apply_delta(&delta)
+            .unwrap_or_else(|e| panic!("random delta invalid at step {step}: {e}"));
+        table = table.apply_delta(&delta, &app).unwrap();
+        union_dirty.extend_from_slice(&app.dirty_targets);
+        graph = app.graph;
+        // Repair incrementally after every delta: the pool must track the
+        // epoch chain exactly.
+        worker
+            .install(|| {
+                incremental.repair(&graph, &table, &campaign, &app.dirty_targets, pool_seed)
+            })
+            .unwrap();
+    }
+    let cold =
+        MrrPool::generate_parallel(&graph, &table, &campaign, theta, pool_seed, cold_threads);
+    assert_pools_bitwise_equal(
+        &incremental,
+        &cold,
+        &format!("incremental, case {case_seed}"),
+    );
+
+    // A single late repair with the unioned dirty set must also converge
+    // to the same pool (pools stale by many epochs take this path).
+    union_dirty.sort_unstable();
+    union_dirty.dedup();
+    worker
+        .install(|| stale.repair(&graph, &table, &campaign, &union_dirty, pool_seed))
+        .unwrap();
+    assert_pools_bitwise_equal(&stale, &cold, &format!("unioned, case {case_seed}"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random delta sequences + incremental repair == cold resample of
+    /// the final graph, single-threaded repair vs 4-thread cold.
+    #[test]
+    fn repair_equals_cold_one_thread(case_seed in 0u64..1_000_000) {
+        run_sequence(case_seed, 3, 1, 4);
+    }
+
+    /// Same property with 4-thread repair vs single-threaded cold.
+    #[test]
+    fn repair_equals_cold_four_threads(case_seed in 0u64..1_000_000) {
+        run_sequence(case_seed, 3, 4, 1);
+    }
+}

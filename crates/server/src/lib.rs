@@ -11,6 +11,7 @@
 //! | route | method | body | answer |
 //! |---|---|---|---|
 //! | `/solve` | POST | [`SolveRequest`] JSON | 200 [`SolveResponse`](oipa_service::SolveResponse) JSON |
+//! | `/delta` | POST | [`GraphDelta`] JSON | 200 [`DeltaReport`](oipa_service::DeltaReport) JSON |
 //! | `/healthz` | GET | — | 200 `{"status":"ok"}` + build/uptime identity (or `"degraded"` + disk-tier detail while the store rides out a disk fault) |
 //! | `/stats` | GET | — | 200 [`StatsBody`] JSON: a [`ServerIdentity`] header plus the [`StatsSnapshot`](oipa_store::StatsSnapshot) (arena + disk counters) |
 //! | `/metrics` | GET | — | 200 Prometheus text exposition (`text/plain; version=0.0.4`) of the whole [`oipa_obs::Registry`] |
@@ -48,13 +49,22 @@
 //! join, and dropping the service afterwards flushes the pool store's
 //! batched recency stamps to disk (restart-persistent LRU).
 //!
+//! ## Graph deltas
+//!
+//! `POST /delta` mutates the session graph behind the service lock: the
+//! server holds every `/solve` behind a shared (read) lock and takes the
+//! exclusive (write) side for the delta, so a delta waits for in-flight
+//! solves to drain and no solve ever observes a half-applied graph.
+//! Cached pools are not thrown away — they go stale and delta-repair
+//! lazily on their next request (see `oipa_service::PlannerService::apply_delta`).
+//!
 //! ```no_run
 //! use oipa_server::{Server, ServerConfig};
 //! use oipa_service::PlannerService;
-//! use std::sync::Arc;
+//! use std::sync::{Arc, RwLock};
 //!
 //! let (graph, probs, _) = oipa_sampler::testkit::fig1();
-//! let service = Arc::new(PlannerService::new(graph, probs).unwrap());
+//! let service = Arc::new(RwLock::new(PlannerService::new(graph, probs).unwrap()));
 //! let handle = Server::spawn(service, ServerConfig::default()).unwrap();
 //! println!("serving on http://{}", handle.addr());
 //! handle.shutdown();
@@ -70,16 +80,33 @@ pub use oipa_obs::{Registry, EXPOSITION_CONTENT_TYPE, METRICS_SCHEMA};
 
 use http::{ConnReader, ReadOutcome, Request};
 use oipa_obs::{Counter, Gauge, Histogram, MetricKind, PromText, Trace};
-use oipa_service::{PlannerService, SolveRequest};
+use oipa_service::{GraphDelta, PlannerService, SolveRequest};
 use serde::{Deserialize, Serialize};
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// The service as the server shares it: `/solve` and the read-only
+/// endpoints take the shared side, `POST /delta` (and any other session
+/// rewiring) takes the exclusive side — which is exactly the drain
+/// barrier deltas need.
+pub type SharedService = Arc<RwLock<PlannerService>>;
+
+/// Read-locks the service, recovering from poisoning (handler panics are
+/// already contained per request; the session state is still coherent).
+fn read_service(service: &RwLock<PlannerService>) -> RwLockReadGuard<'_, PlannerService> {
+    service.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Write-locks the service (see [`read_service`] on poisoning).
+fn write_service(service: &RwLock<PlannerService>) -> RwLockWriteGuard<'_, PlannerService> {
+    service.write().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Server configuration. `Default` binds an ephemeral loopback port
 /// with 4 workers and a 64-connection cap.
@@ -135,7 +162,9 @@ struct Counters {
 
 /// Endpoint labels the request grid is pre-registered for. Anything
 /// else (404 paths, pre-route failures) lands under `"other"`.
-const ENDPOINTS: [&str; 5] = ["/solve", "/healthz", "/stats", "/metrics", "other"];
+const ENDPOINTS: [&str; 6] = [
+    "/solve", "/delta", "/healthz", "/stats", "/metrics", "other",
+];
 
 /// Status codes this server emits, pre-registered so the hot path is a
 /// plain array index into `Arc<Counter>` handles — no lock, no map.
@@ -247,7 +276,7 @@ impl ServerMetrics {
 }
 
 struct Shared {
-    service: Arc<PlannerService>,
+    service: SharedService,
     config: ServerConfig,
     shutting_down: AtomicBool,
     /// Accepted-but-unfinished connections (queued + in-flight).
@@ -293,10 +322,10 @@ fn bridge(w: &mut PromText, name: &str, kind: MetricKind, help: &str, value: u64
 /// Bridges the pool store's counters into `/metrics` at scrape time.
 /// The store's own atomics stay the single source of truth — `/stats`
 /// serializes the same snapshot — so the two endpoints cannot drift.
-fn register_store_collector(registry: &Registry, service: Arc<PlannerService>) {
+fn register_store_collector(registry: &Registry, service: SharedService) {
     use MetricKind::{Counter, Gauge};
     registry.register_collector(move |w| {
-        let snap = service.stats_snapshot();
+        let snap = read_service(&service).stats_snapshot();
         let mem = &snap.mem;
         bridge(
             w,
@@ -469,10 +498,7 @@ impl Server {
     /// Binds the listener and starts the accept thread plus
     /// [`ServerConfig::threads`] workers over one shared service.
     /// Returns a handle owning every thread.
-    pub fn spawn(
-        service: Arc<PlannerService>,
-        config: ServerConfig,
-    ) -> std::io::Result<ServerHandle> {
+    pub fn spawn(service: SharedService, config: ServerConfig) -> std::io::Result<ServerHandle> {
         assert!(config.threads > 0, "a server needs at least one worker");
         assert!(
             config.max_connections > 0,
@@ -484,7 +510,7 @@ impl Server {
         let started = Instant::now();
         // The service reports solver-phase timings and pool-outcome
         // counters into the same registry the server scrapes.
-        service.attach_obs(&registry);
+        read_service(&service).attach_obs(&registry);
         register_identity_collector(&registry, started);
         register_store_collector(&registry, Arc::clone(&service));
         let shared = Arc::new(Shared {
@@ -772,19 +798,24 @@ fn dispatch(shared: &Shared, request: &Request, trace: &Trace) -> Result<Reply, 
             content_type: oipa_obs::EXPOSITION_CONTENT_TYPE,
         }),
         ("POST", "/solve") => solve(shared, &request.body, trace).map(Reply::json),
-        ("GET" | "POST", "/healthz" | "/stats" | "/metrics" | "/solve") => Err(HttpError::new(
-            405,
-            "method_not_allowed",
-            format!(
-                "{} does not accept {}; /solve takes POST, /healthz, /stats and /metrics take GET",
-                path, request.method
-            ),
-        )),
+        ("POST", "/delta") => delta(shared, &request.body, trace).map(Reply::json),
+        ("GET" | "POST", "/healthz" | "/stats" | "/metrics" | "/solve" | "/delta") => {
+            Err(HttpError::new(
+                405,
+                "method_not_allowed",
+                format!(
+                    "{} does not accept {}; /solve and /delta take POST, /healthz, /stats \
+                     and /metrics take GET",
+                    path, request.method
+                ),
+            ))
+        }
         ("GET" | "POST", _) => Err(HttpError::new(
             404,
             "not_found",
             format!(
-                "{path:?} is not a route; try POST /solve, GET /healthz, GET /stats, GET /metrics"
+                "{path:?} is not a route; try POST /solve, POST /delta, GET /healthz, \
+                 GET /stats, GET /metrics"
             ),
         )),
         (other, _) => Err(HttpError::new(
@@ -812,7 +843,7 @@ struct HealthzBody {
 /// (with the tier's error detail) while the store is riding out a disk
 /// fault on its memory/resample fallback.
 fn healthz(shared: &Shared) -> Result<String, HttpError> {
-    let disk = shared.service.health();
+    let disk = read_service(&shared.service).health();
     let status = match &disk {
         Some(h) if !h.is_healthy() => "degraded",
         _ => "ok",
@@ -864,7 +895,7 @@ fn stats(shared: &Shared) -> Result<String, HttpError> {
             metrics_schema: oipa_obs::METRICS_SCHEMA.to_string(),
             uptime_seconds: shared.started.elapsed().as_secs_f64(),
         },
-        store: shared.service.stats_snapshot(),
+        store: read_service(&shared.service).stats_snapshot(),
     };
     serde_json::to_string(&body).map_err(|e| HttpError::new(500, "serialize", e.to_string()))
 }
@@ -877,7 +908,7 @@ fn solve(shared: &Shared, body: &[u8], trace: &Trace) -> Result<String, HttpErro
     let request: SolveRequest = serde_json::from_str(text)
         .map_err(|e| HttpError::new(400, "bad_json", format!("unparseable SolveRequest: {e}")))?;
     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-        shared.service.solve_traced(&request, Some(trace))
+        read_service(&shared.service).solve_traced(&request, Some(trace))
     }))
     .map_err(|_| {
         HttpError::new(
@@ -888,6 +919,31 @@ fn solve(shared: &Shared, body: &[u8], trace: &Trace) -> Result<String, HttpErro
     })?;
     let response = outcome.map_err(|e| HttpError::new(422, "solve_error", e.to_string()))?;
     serde_json::to_string(&response).map_err(|e| HttpError::new(500, "serialize", e.to_string()))
+}
+
+/// The `/delta` handler: a [`GraphDelta`] JSON body in, a
+/// [`oipa_service::DeltaReport`] out. Takes the service's exclusive
+/// (write) lock, so the mutation waits for every in-flight solve to
+/// drain and no solve overlaps a half-applied graph.
+fn delta(shared: &Shared, body: &[u8], trace: &Trace) -> Result<String, HttpError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| HttpError::new(400, "bad_json", "body is not valid UTF-8"))?;
+    let delta: GraphDelta = serde_json::from_str(text)
+        .map_err(|e| HttpError::new(400, "bad_json", format!("unparseable GraphDelta: {e}")))?;
+    let started = Instant::now();
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        write_service(&shared.service).apply_delta(&delta)
+    }))
+    .map_err(|_| {
+        HttpError::new(
+            500,
+            "panic",
+            "applying the delta panicked; the session was not modified",
+        )
+    })?;
+    trace.record_span("delta", started, Instant::now());
+    let report = outcome.map_err(|e| HttpError::new(422, "delta_error", e.to_string()))?;
+    serde_json::to_string(&report).map_err(|e| HttpError::new(500, "serialize", e.to_string()))
 }
 
 #[cfg(test)]

@@ -123,7 +123,7 @@ fn main() {
                      \x20      [--store-dir DIR] [--addr HOST:PORT] [--threads N]\n\
                      \x20      [--max-connections N] [--read-timeout-ms N] [--mem-bytes N]\n\
                      \x20      [--slow-ms MS]\n\n\
-                     endpoints: POST /solve, GET /healthz, GET /stats, GET /metrics\n\
+                     endpoints: POST /solve, POST /delta, GET /healthz, GET /stats, GET /metrics\n\
                      --slow-ms MS logs requests slower than MS as JSONL to stderr"
                 );
                 return;
@@ -159,7 +159,7 @@ fn main() {
     }
 
     install_signal_handlers();
-    let service = Arc::new(service);
+    let service = Arc::new(std::sync::RwLock::new(service));
     let handle = Server::spawn(Arc::clone(&service), config.clone())
         .unwrap_or_else(|e| die(&format!("binding {}: {e}", config.addr)));
     println!(

@@ -7,12 +7,12 @@
 #![allow(dead_code)]
 
 use oipa_sampler::testkit::fig1;
-use oipa_server::{ErrorBody, Server, ServerConfig, ServerHandle};
+use oipa_server::{ErrorBody, Server, ServerConfig, ServerHandle, SharedService};
 use oipa_service::{Method, PlannerService, SolveRequest, SolveResponse};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
 /// A fresh fig-1 service (the paper's 5-node worked example).
@@ -21,11 +21,11 @@ pub fn fig1_service() -> PlannerService {
     PlannerService::new(graph, probs).unwrap()
 }
 
-/// Spawns a server over a fresh fig-1 service; the service `Arc` comes
-/// back too so tests can compute in-process reference answers on *the
-/// same session* or drop it for the flush path.
-pub fn spawn(config: ServerConfig) -> (ServerHandle, Arc<PlannerService>) {
-    let service = Arc::new(fig1_service());
+/// Spawns a server over a fresh fig-1 service; the shared service handle
+/// comes back too so tests can compute in-process reference answers on
+/// *the same session* (via `.read()`) or drop it for the flush path.
+pub fn spawn(config: ServerConfig) -> (ServerHandle, SharedService) {
+    let service: SharedService = Arc::new(RwLock::new(fig1_service()));
     let handle = Server::spawn(Arc::clone(&service), config).unwrap();
     (handle, service)
 }

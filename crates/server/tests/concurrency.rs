@@ -117,7 +117,7 @@ fn shared_cold_key_is_sampled_exactly_once() {
     }
     // The arena counts a miss per lookup that raced the sampler, but
     // only one entry exists and the books still balance.
-    let stats = service.arena_stats();
+    let stats = service.read().unwrap().arena_stats();
     assert_eq!(stats.entries, 1, "one key ⇒ one arena entry");
     assert_eq!(stats.lookups, stats.hits + stats.misses);
     handle.shutdown();

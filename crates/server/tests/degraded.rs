@@ -20,7 +20,11 @@ fn spawn_faulted(name: &str) -> (ServerHandle, Arc<FaultIo>) {
     service
         .attach_store(StoreConfig::new(&dir).with_io(fault.clone()))
         .unwrap();
-    let handle = Server::spawn(Arc::new(service), ServerConfig::default()).unwrap();
+    let handle = Server::spawn(
+        Arc::new(std::sync::RwLock::new(service)),
+        ServerConfig::default(),
+    )
+    .unwrap();
     (handle, fault)
 }
 

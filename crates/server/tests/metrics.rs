@@ -229,7 +229,7 @@ fn stats_and_metrics_report_the_same_store_counters() {
     assert_eq!(stats.server.metrics_schema, oipa_server::METRICS_SCHEMA);
     assert_eq!(stats.server.stats_schema, oipa_store::STATS_SCHEMA);
     // And the in-process snapshot is the wire snapshot.
-    assert_eq!(stats.store, service.stats_snapshot());
+    assert_eq!(stats.store, service.read().unwrap().stats_snapshot());
 
     handle.shutdown();
 }

@@ -48,6 +48,7 @@ fn unknown_routes_and_methods_get_typed_answers() {
     request(addr, "GET", "/nope", None).assert_error(404, "not_found");
     // Known path, wrong method — both directions.
     request(addr, "GET", "/solve", None).assert_error(405, "method_not_allowed");
+    request(addr, "GET", "/delta", None).assert_error(405, "method_not_allowed");
     request(addr, "POST", "/healthz", Some("{}")).assert_error(405, "method_not_allowed");
     request(addr, "POST", "/stats", Some("{}")).assert_error(405, "method_not_allowed");
     // Unknown method token (valid grammar, unimplemented semantics).
@@ -281,7 +282,7 @@ fn stats_endpoint_serves_a_schema_tagged_snapshot() {
     assert!(snapshot.mem.hits >= 1, "the warm repeat must be a hit");
     assert!(snapshot.disk.is_none(), "no store dir ⇒ no disk tier");
     // The wire snapshot is the in-process snapshot.
-    assert_eq!(snapshot, service.stats_snapshot());
+    assert_eq!(snapshot, service.read().unwrap().stats_snapshot());
 
     assert_eq!(handle.requests(), 3, "two solves + one stats");
     handle.shutdown();

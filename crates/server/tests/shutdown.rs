@@ -11,7 +11,7 @@ use oipa_service::{PlannerService, StoreConfig};
 use std::io::Write;
 use std::net::TcpStream;
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
 /// A request whose first byte arrived before the drain started must be
@@ -100,7 +100,7 @@ fn restart_over_same_store_dir_serves_disk_warm() {
 
     // Generation 1: cold solve, graceful drain, drop-flush.
     let first = {
-        let service = Arc::new(disk_backed_service(&dir));
+        let service = Arc::new(RwLock::new(disk_backed_service(&dir)));
         let handle = Server::spawn(Arc::clone(&service), ServerConfig::default()).unwrap();
         let first = solve_over_wire(handle.addr(), &req);
         assert!(!first.pool_cache_hit, "generation 1 must sample");
@@ -113,7 +113,7 @@ fn restart_over_same_store_dir_serves_disk_warm() {
     };
 
     // Generation 2: a fresh process image over the same directory.
-    let service = Arc::new(disk_backed_service(&dir));
+    let service = Arc::new(RwLock::new(disk_backed_service(&dir)));
     let handle = Server::spawn(Arc::clone(&service), ServerConfig::default()).unwrap();
     let addr = handle.addr();
     let second = solve_over_wire(addr, &req);

@@ -65,13 +65,15 @@
 mod request;
 mod solver;
 
+pub use oipa_graph::{EdgeChange, GraphDelta, Lineage, TopicProb};
 pub use oipa_store::{
     ArenaStats, DiskStats, EvictionPolicyKind, PoolArena, PoolKey, PoolStore, PoolTier,
-    StatsSnapshot, StoreConfig, StoreStats, TierHealthSnapshot, DEFAULT_SHARDS, STATS_SCHEMA,
+    PurgeRecord, StatsSnapshot, StoreConfig, StoreStats, TierHealthSnapshot, DEFAULT_SHARDS,
+    STATS_SCHEMA,
 };
 pub use request::{
-    AutoThetaReport, AutoThetaRequest, Method, SearchStats, SimulateRequest, SimulateResponse,
-    SolveRequest, SolveResponse,
+    AutoThetaReport, AutoThetaRequest, DeltaReport, Method, PoolRepair, SearchStats,
+    SimulateRequest, SimulateResponse, SolveRequest, SolveResponse,
 };
 pub use solver::{registry, solver_for, SolveContext, Solver, SolverOutput};
 
@@ -111,6 +113,14 @@ pub const DEFAULT_EPS: f64 = 0.5;
 pub struct PlannerService {
     graph: Option<DiGraph>,
     table: Option<EdgeTopicProbs>,
+    /// The epoch chain the session's graph is at: rooted at the (graph,
+    /// table) content fingerprint, advanced by each applied delta's
+    /// digest. `None` on pool-only sessions (no graph to mutate).
+    lineage: Option<Lineage>,
+    /// `epoch_dirty[i]` is the dirty-target set of the delta that moved
+    /// epoch `i` to `i + 1` — a pool stamped at epoch `e` repairs
+    /// against the union of `epoch_dirty[e..]`.
+    epoch_dirty: Vec<Vec<NodeId>>,
     store: PoolStore,
     /// Arena key of an injected pool, used when a request names no
     /// campaign of its own.
@@ -142,9 +152,14 @@ struct ServiceMetrics {
     phase_pool_lookup: Arc<Histogram>,
     phase_sampling: Arc<Histogram>,
     phase_solve: Arc<Histogram>,
+    phase_repair: Arc<Histogram>,
     pool_hit_memory: Arc<Counter>,
     pool_hit_disk: Arc<Counter>,
     pool_sampled: Arc<Counter>,
+    pool_repaired: Arc<Counter>,
+    invalidated_dirty: Arc<Counter>,
+    invalidated_purged: Arc<Counter>,
+    store_purges: Arc<Counter>,
     tau_evaluations: Arc<Counter>,
     seed_cache_hits: Arc<Counter>,
     seed_cache_misses: Arc<Counter>,
@@ -158,14 +173,42 @@ impl ServiceMetrics {
             "Time spent per solver phase: pool_lookup (tiered store get), sampling \
              (MRR pool generation on a miss), solve (the method itself).";
         const POOL: &str = "oipa_pool_requests_total";
-        const POOL_HELP: &str = "Pool resolutions by outcome: hit_memory, hit_disk, or sampled.";
+        const POOL_HELP: &str =
+            "Pool resolutions by outcome: hit_memory, hit_disk, repaired, or sampled.";
+        const INVALIDATED: &str = "oipa_pool_invalidations_total";
+        const INVALIDATED_HELP: &str =
+            "Cached pools invalidated, by kind: dirty (stale-repairable after a graph \
+             delta) or purged (dropped — unrelated instance).";
         ServiceMetrics {
             phase_pool_lookup: registry.histogram(PHASE, PHASE_HELP, &[("phase", "pool_lookup")]),
             phase_sampling: registry.histogram(PHASE, PHASE_HELP, &[("phase", "sampling")]),
             phase_solve: registry.histogram(PHASE, PHASE_HELP, &[("phase", "solve")]),
+            phase_repair: registry.histogram(
+                "oipa_pool_repair_seconds",
+                "Time spent delta-repairing a stale pool (dead-walk classification \
+                 plus partial resampling) on the request path.",
+                &[],
+            ),
             pool_hit_memory: registry.counter(POOL, POOL_HELP, &[("outcome", "hit_memory")]),
             pool_hit_disk: registry.counter(POOL, POOL_HELP, &[("outcome", "hit_disk")]),
             pool_sampled: registry.counter(POOL, POOL_HELP, &[("outcome", "sampled")]),
+            pool_repaired: registry.counter(POOL, POOL_HELP, &[("outcome", "repaired")]),
+            invalidated_dirty: registry.counter(
+                INVALIDATED,
+                INVALIDATED_HELP,
+                &[("kind", "dirty")],
+            ),
+            invalidated_purged: registry.counter(
+                INVALIDATED,
+                INVALIDATED_HELP,
+                &[("kind", "purged")],
+            ),
+            store_purges: registry.counter(
+                "oipa_store_purges_total",
+                "Whole-store purges: the announced instance fingerprint shared no \
+                 lineage with the stored pools.",
+                &[],
+            ),
             tau_evaluations: registry.counter(
                 "oipa_solver_tau_evaluations_total",
                 "CELF-style marginal-utility (τ) evaluations across solves.",
@@ -194,6 +237,16 @@ impl ServiceMetrics {
 /// filled with the finished pool for the waiters queued on it.
 type SamplingSlot = Mutex<Option<Arc<MrrPool>>>;
 
+/// How [`PlannerService::resolve_pool`] obtained a request's pool.
+enum PoolOutcome {
+    /// Served warm from a store tier — no sampling at all.
+    Hit(PoolTier),
+    /// A stale cached pool was delta-repaired (partial resampling).
+    Repaired(PoolRepair),
+    /// Sampled cold for this request.
+    Sampled,
+}
+
 struct FlatPoolCache {
     theta: usize,
     seed: u64,
@@ -212,10 +265,15 @@ impl PlannerService {
             .map_err(|e| OipaError::Mismatch {
                 what: e.to_string(),
             })?;
+        let root = instance_fingerprint(&graph, &table);
+        let store = PoolStore::memory_only(DEFAULT_ARENA_BYTES);
+        store.set_lineage(&[root]).map_err(store_err)?;
         Ok(PlannerService {
             graph: Some(graph),
             table: Some(table),
-            store: PoolStore::memory_only(DEFAULT_ARENA_BYTES),
+            lineage: Some(Lineage::new(root)),
+            epoch_dirty: Vec::new(),
+            store,
             default_pool: None,
             default_campaign: None,
             flat_cache: Mutex::new(None),
@@ -238,6 +296,8 @@ impl PlannerService {
         PlannerService {
             graph: None,
             table: None,
+            lineage: None,
+            epoch_dirty: Vec::new(),
             store,
             default_pool: Some(key),
             default_campaign: None,
@@ -266,10 +326,11 @@ impl PlannerService {
     /// inputs is purged, never served.
     pub fn attach_store(&mut self, config: StoreConfig) -> Result<(), OipaError> {
         self.store.attach_disk(config).map_err(store_err)?;
-        if let (Some(graph), Some(table)) = (self.graph.as_ref(), self.table.as_ref()) {
-            self.store
-                .set_instance(instance_fingerprint(graph, table))
-                .map_err(store_err)?;
+        if let Some(lineage) = self.lineage.clone() {
+            // The full chain, not just the head: a directory stamped with
+            // an ancestor epoch keeps its pools (stale-repairable), only
+            // a directory from an unrelated instance is purged.
+            self.restamp(lineage.fingerprints())?;
         }
         Ok(())
     }
@@ -299,18 +360,97 @@ impl PlannerService {
                 what: e.to_string(),
             })?;
         self.store.evict_unpinned();
-        // The disk tier must not keep serving pools sampled from the old
-        // inputs either: restamp (purging on mismatch) before the new
-        // graph answers anything.
-        if self.store.has_disk() {
-            self.store
-                .set_instance(instance_fingerprint(&graph, &table))
-                .map_err(store_err)?;
-        }
+        // Neither tier may keep serving pools sampled from the old
+        // inputs: restamp (purging on lineage divergence) before the new
+        // graph answers anything. A replacement graph starts a fresh
+        // lineage — deltas applied to the old one do not carry over.
+        let root = instance_fingerprint(&graph, &table);
+        self.restamp(&[root])?;
+        self.lineage = Some(Lineage::new(root));
+        self.epoch_dirty.clear();
         self.graph = Some(graph);
         self.table = Some(table);
         *lock(&self.flat_cache) = None;
         Ok(())
+    }
+
+    /// Announces a lineage to the pool store and folds the outcome into
+    /// the invalidation metrics: entries that went stale count as `dirty`,
+    /// entries that disappeared count as `purged`. Returns both counts.
+    fn restamp(&self, lineage: &[u64]) -> Result<(u64, u64), OipaError> {
+        let before = self.store.stats();
+        let purged = self.store.set_lineage(lineage).map_err(store_err)?;
+        let (dirty, dropped) = invalidation_counts(&before, &self.store.stats());
+        if let Some(obs) = self.obs.get() {
+            obs.invalidated_dirty.add(dirty);
+            obs.invalidated_purged.add(dropped);
+            if purged {
+                obs.store_purges.inc();
+            }
+        }
+        Ok((dirty, dropped))
+    }
+
+    /// Applies a [`GraphDelta`] to the session: rebuilds the graph and
+    /// probability table for the post-delta edge set, advances the
+    /// lineage by one epoch, and marks every cached pool stale — each
+    /// repairs lazily ([`MrrPool::repair`]) the next time a request
+    /// addresses it, resampling only the RR sets the delta actually
+    /// killed. Answers after the delta are bitwise identical to a
+    /// service cold-started on the post-delta inputs.
+    ///
+    /// `&mut self` — like every session rewiring, deltas are exclusive
+    /// with in-flight requests (the server drains before applying).
+    pub fn apply_delta(&mut self, delta: &GraphDelta) -> Result<DeltaReport, OipaError> {
+        let start = Instant::now();
+        if delta.is_empty() {
+            return Err(OipaError::config("the delta performs no operations"));
+        }
+        let (Some(graph), Some(table)) = (self.graph.as_ref(), self.table.as_ref()) else {
+            return Err(OipaError::MissingInput {
+                what: "the social graph and edge probabilities".to_string(),
+                hint: "deltas mutate the session's graph; construct the service with \
+                       PlannerService::new(graph, table) or call attach_graph"
+                    .to_string(),
+            });
+        };
+        let app = graph.apply_delta(delta).map_err(|e| OipaError::Mismatch {
+            what: e.to_string(),
+        })?;
+        let new_table = table
+            .apply_delta(delta, &app)
+            .map_err(|e| OipaError::Mismatch {
+                what: e.to_string(),
+            })?;
+        // Inputs validated; commit. The lineage exists whenever the graph
+        // does (both are set together by new/attach_graph).
+        let lineage = self
+            .lineage
+            .as_mut()
+            .expect("graph sessions carry a lineage");
+        let fingerprint = lineage.advance(app.digest);
+        let epoch = lineage.epoch();
+        let chain = lineage.fingerprints().to_vec();
+        let (pools_dirty, pools_purged) = self.restamp(&chain)?;
+        self.epoch_dirty.push(app.dirty_targets.clone());
+        self.graph = Some(app.graph);
+        self.table = Some(new_table);
+        *lock(&self.flat_cache) = None;
+        Ok(DeltaReport {
+            epoch,
+            fingerprint,
+            ops: delta.op_count(),
+            dirty_targets: app.dirty_targets.len(),
+            pools_dirty: pools_dirty as usize,
+            pools_purged: pools_purged as usize,
+            seconds: start.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// The session's epoch chain: `None` on pool-only sessions, else the
+    /// fingerprint lineage from the cold-load root to the current epoch.
+    pub fn lineage(&self) -> Option<&Lineage> {
+        self.lineage.as_ref()
     }
 
     /// Replaces the memory tier's byte budget, evicting (and, with a
@@ -402,12 +542,13 @@ impl PlannerService {
         let gap = request.gap;
         let eps = request.eps.unwrap_or(DEFAULT_EPS);
         validate_tuning(gap, eps)?;
-        let (pool, tier) = self.resolve_pool(request, seed, trace)?;
+        let (pool, outcome) = self.resolve_pool(request, seed, trace)?;
         if let Some(obs) = self.obs.get() {
-            match tier {
-                Some(PoolTier::Memory) => obs.pool_hit_memory.inc(),
-                Some(PoolTier::Disk) => obs.pool_hit_disk.inc(),
-                None => obs.pool_sampled.inc(),
+            match &outcome {
+                PoolOutcome::Hit(PoolTier::Memory) => obs.pool_hit_memory.inc(),
+                PoolOutcome::Hit(PoolTier::Disk) => obs.pool_hit_disk.inc(),
+                PoolOutcome::Repaired(_) => obs.pool_repaired.inc(),
+                PoolOutcome::Sampled => obs.pool_sampled.inc(),
             }
         }
         // Reject bad promoters before paying any im collapsed-pool
@@ -450,14 +591,21 @@ impl PlannerService {
             method: request.method,
             k: request.budget,
             theta: pool.theta(),
-            pool_cache_hit: tier.is_some(),
-            pool_tier: tier.map(|t| t.name().to_string()),
+            pool_cache_hit: matches!(outcome, PoolOutcome::Hit(_)),
+            pool_tier: match &outcome {
+                PoolOutcome::Hit(tier) => Some(tier.name().to_string()),
+                _ => None,
+            },
             utility: output.utility,
             upper_bound: output.upper_bound,
             plan: output.plan,
             seconds: start.elapsed().as_secs_f64(),
             stats,
             auto_theta: None,
+            pool_repair: match outcome {
+                PoolOutcome::Repaired(repair) => Some(repair),
+                _ => None,
+            },
         })
     }
 
@@ -473,6 +621,7 @@ impl PlannerService {
             let histogram = match name {
                 "pool_lookup" => &obs.phase_pool_lookup,
                 "sampling" => &obs.phase_sampling,
+                "repair" => &obs.phase_repair,
                 _ => &obs.phase_solve,
             };
             histogram.record_duration(ended.saturating_duration_since(started));
@@ -522,15 +671,15 @@ impl PlannerService {
         })
     }
 
-    /// Fetches the pool a request addresses, sampling (and caching) it on
-    /// a miss. Returns the pool and the tier that served it (`None` when
-    /// the request paid for sampling).
+    /// Fetches the pool a request addresses: a tiered-store hit, a
+    /// delta-repair of a stale cached pool, or — only when neither is
+    /// possible — a full cold sampling run.
     fn resolve_pool(
         &self,
         request: &SolveRequest,
         seed: u64,
         trace: Option<&Trace>,
-    ) -> Result<(Arc<MrrPool>, Option<PoolTier>), OipaError> {
+    ) -> Result<(Arc<MrrPool>, PoolOutcome), OipaError> {
         let campaign = self.resolve_campaign(request, seed)?;
         let Some(campaign) = campaign else {
             // No campaign in the request: fall back to the injected pool.
@@ -560,7 +709,7 @@ impl PlannerService {
                         .to_string(),
                 });
             };
-            return Ok((pool, Some(tier)));
+            return Ok((pool, PoolOutcome::Hit(tier)));
         };
         let campaign_json = serde_json::to_string(&campaign).map_err(|e| OipaError::Io {
             what: "serializing the campaign cache key".to_string(),
@@ -574,7 +723,7 @@ impl PlannerService {
         let found = self.store.get(&key);
         self.observe_phase("pool_lookup", lookup_started, trace);
         if let Some((pool, tier)) = found {
-            return Ok((pool, Some(tier)));
+            return Ok((pool, PoolOutcome::Hit(tier)));
         }
         // Miss: coordinate with concurrent missers of the same key so the
         // sampling runs exactly once. The first thread claims the key's
@@ -593,7 +742,7 @@ impl PlannerService {
             let pool = Arc::clone(pool);
             drop(claimed);
             self.release_slot(&key, &slot);
-            return Ok((pool, Some(PoolTier::Memory)));
+            return Ok((pool, PoolOutcome::Hit(PoolTier::Memory)));
         }
         // Re-check the store without re-counting the miss (the lookup
         // above already did): a hit here means an earlier slot-holder
@@ -602,7 +751,17 @@ impl PlannerService {
         if let Some((pool, tier)) = self.store.get_recheck(&key) {
             drop(claimed);
             self.release_slot(&key, &slot);
-            return Ok((pool, Some(tier)));
+            return Ok((pool, PoolOutcome::Hit(tier)));
+        }
+        // A stale ancestor of this key beats cold resampling: repair it
+        // (resample only the delta-killed RR sets) instead. The repaired
+        // pool is bitwise identical to a cold sample at the current
+        // epoch, so waiters on the slot can't tell the difference.
+        if let Some((pool, repair)) = self.try_repair(&key, &campaign, seed, trace) {
+            *claimed = Some(Arc::clone(&pool));
+            drop(claimed);
+            self.release_slot(&key, &slot);
+            return Ok((pool, PoolOutcome::Repaired(repair)));
         }
         let sampling_started = Instant::now();
         let sampled = self.sample_pool(&campaign, theta, seed);
@@ -616,7 +775,64 @@ impl PlannerService {
         }
         drop(claimed);
         self.release_slot(&key, &slot);
-        Ok((sampled?, None))
+        Ok((sampled?, PoolOutcome::Sampled))
+    }
+
+    /// Attempts a delta repair for a missed key: finds a stale ancestor
+    /// in either store tier, resamples only the RR sets whose walks
+    /// crossed a dirty target, and re-inserts the result at the current
+    /// epoch. `None` when there is nothing stale under the key (or the
+    /// session has no lineage/graph to repair against) — the caller
+    /// samples cold.
+    fn try_repair(
+        &self,
+        key: &PoolKey,
+        campaign: &Campaign,
+        seed: u64,
+        trace: Option<&Trace>,
+    ) -> Option<(Arc<MrrPool>, PoolRepair)> {
+        let lineage = self.lineage.as_ref()?;
+        let current = lineage.epoch();
+        if current == 0 {
+            return None;
+        }
+        let (graph, table) = (self.graph.as_ref()?, self.table.as_ref()?);
+        let (stale, epoch, _tier) = self.store.get_any(key)?;
+        // Accumulated invalidation frontier from the pool's epoch to now.
+        let dirty = self.dirty_since(epoch)?;
+        let started = Instant::now();
+        let (pool, outcome) = stale.repaired(graph, table, campaign, &dirty, seed).ok()?;
+        drop(stale);
+        let pool = Arc::new(pool);
+        // Re-insert under the same key: the store stamps the current
+        // epoch and rewrites the disk payload in place.
+        self.store.insert(key.clone(), Arc::clone(&pool));
+        self.observe_phase("repair", started, trace);
+        Some((
+            pool,
+            PoolRepair {
+                from_epoch: epoch,
+                to_epoch: current,
+                sets_total: outcome.sets_total,
+                sets_resampled: outcome.sets_resampled,
+                seconds: started.elapsed().as_secs_f64(),
+            },
+        ))
+    }
+
+    /// The union of every dirty-target set from `epoch` (exclusive of
+    /// nothing — the delta that retired `epoch` is included) to the
+    /// current epoch, sorted and deduplicated. `None` if `epoch` is not
+    /// strictly older than the current epoch.
+    fn dirty_since(&self, epoch: u64) -> Option<Vec<NodeId>> {
+        let tail = self.epoch_dirty.get(epoch as usize..)?;
+        if tail.is_empty() {
+            return None;
+        }
+        let mut dirty: Vec<NodeId> = tail.iter().flatten().copied().collect();
+        dirty.sort_unstable();
+        dirty.dedup();
+        Some(dirty)
     }
 
     /// Unmaps a sampling slot once its holder is done with the key —
@@ -818,6 +1034,7 @@ impl PlannerService {
                 converged: result.converged,
                 rounds: result.rounds.len(),
             }),
+            pool_repair: None,
         })
     }
 }
@@ -835,6 +1052,17 @@ fn store_err(e: oipa_store::StoreError) -> OipaError {
         what: "the persistent pool store".to_string(),
         detail: e.to_string(),
     }
+}
+
+/// How many store entries (across both tiers) went stale and how many
+/// disappeared between two stats snapshots — the per-restamp deltas
+/// behind `oipa_pool_invalidations_total`.
+fn invalidation_counts(before: &StoreStats, after: &StoreStats) -> (u64, u64) {
+    let stale = |s: &StoreStats| s.mem.stale + s.disk.as_ref().map_or(0, |d| d.stale_entries);
+    let entries = |s: &StoreStats| s.mem.entries + s.disk.as_ref().map_or(0, |d| d.entries);
+    let dirty = stale(after).saturating_sub(stale(before)) as u64;
+    let dropped = entries(before).saturating_sub(entries(after)) as u64;
+    (dirty, dropped)
 }
 
 /// Fingerprint of the sampling inputs a pool store is valid for: mixes

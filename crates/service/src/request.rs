@@ -204,6 +204,47 @@ impl From<&BabStats> for SearchStats {
     }
 }
 
+/// How a request's pool was brought forward after graph deltas: instead
+/// of resampling all θ · ℓ RR sets from scratch, only the sets whose
+/// walks crossed a dirty target were regenerated (see
+/// [`oipa_sampler::MrrPool::repair`]). The repaired pool is bitwise
+/// identical to a cold resample at the current epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoolRepair {
+    /// Epoch the stale pool was sampled at.
+    pub from_epoch: u64,
+    /// Epoch the pool was repaired to (the session's current epoch).
+    pub to_epoch: u64,
+    /// Total RR sets in the pool (θ · ℓ).
+    pub sets_total: usize,
+    /// Sets classified dead and resampled.
+    pub sets_resampled: usize,
+    /// Wall-clock seconds spent classifying and resampling.
+    pub seconds: f64,
+}
+
+/// What applying one [`oipa_graph::GraphDelta`] to a session did — the
+/// `POST /delta` response body.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeltaReport {
+    /// The session's epoch after the delta (one per applied delta).
+    pub epoch: u64,
+    /// The lineage head fingerprint at the new epoch.
+    pub fingerprint: u64,
+    /// Edge operations in the delta (insert + remove + reweight).
+    pub ops: usize,
+    /// Nodes whose in-edge row changed — the invalidation frontier.
+    pub dirty_targets: usize,
+    /// Cached pools marked stale-repairable by this delta (across both
+    /// store tiers; each repairs lazily on its next request).
+    pub pools_dirty: usize,
+    /// Cached pools dropped outright (0 unless the lineage diverged,
+    /// which a delta never causes — attaching an unrelated graph does).
+    pub pools_purged: usize,
+    /// Wall-clock seconds for the CSR rebuild and cache restamp.
+    pub seconds: f64,
+}
+
 /// How an auto-θ request converged.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AutoThetaReport {
@@ -242,6 +283,12 @@ pub struct SolveResponse {
     pub stats: Option<SearchStats>,
     /// Auto-θ convergence report (auto-θ requests only).
     pub auto_theta: Option<AutoThetaReport>,
+    /// Present when the pool was delta-repaired for this request rather
+    /// than served warm or sampled cold ([`pool_cache_hit`] stays
+    /// `false`: the request did pay for partial resampling).
+    ///
+    /// [`pool_cache_hit`]: SolveResponse::pool_cache_hit
+    pub pool_repair: Option<PoolRepair>,
 }
 
 /// A forward Monte-Carlo evaluation request: spread each piece from its

@@ -91,8 +91,16 @@ struct ArenaEntry {
     /// frequency-aware eviction policies (LFU).
     uses: AtomicU64,
     /// Pinned entries (injected pools) are never evicted by byte
-    /// pressure — only `clear`/`evict_unpinned` removes them.
+    /// pressure — only `clear`/`evict_unpinned` removes them. They are
+    /// also epoch-exempt: an injected pool is not tied to the instance
+    /// lineage, so it serves at any epoch.
     pinned: bool,
+    /// The lineage epoch the pool was sampled (or repaired) at. Entries
+    /// at older epochs are **stale**: [`PoolArena::get`] misses on them
+    /// (they must not serve), but they stay resident so a delta-aware
+    /// caller can fetch them via [`PoolArena::get_any`] and repair them
+    /// instead of resampling from scratch.
+    epoch: u64,
 }
 
 /// An entry exported by [`PoolArena::drain`] for re-sharding: everything
@@ -104,6 +112,7 @@ pub(crate) struct DrainedEntry {
     pub(crate) last_used: u64,
     pub(crate) uses: u64,
     pub(crate) pinned: bool,
+    pub(crate) epoch: u64,
 }
 
 /// Cumulative arena counters plus the current occupancy.
@@ -128,6 +137,9 @@ pub struct ArenaStats {
     /// How many lock-striped shards the counters were aggregated over
     /// (1 for a single arena).
     pub shards: usize,
+    /// Resident pools stamped with an older lineage epoch: not servable
+    /// as-is, retained as dirty-repairable inputs for delta repair.
+    pub stale: usize,
 }
 
 /// A policy-driven pool cache bounded by [`MrrPool::memory_bytes`]
@@ -140,6 +152,10 @@ pub struct PoolArena {
     resident_bytes: usize,
     policy: Arc<dyn EvictionPolicy>,
     clock: AtomicU64,
+    /// The lineage epoch entries currently serve at. Entries stamped
+    /// with any other epoch are stale: misses for [`Self::get`],
+    /// retrievable only through [`Self::get_any`] for repair.
+    current_epoch: AtomicU64,
     lookups: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -162,6 +178,7 @@ impl PoolArena {
             resident_bytes: 0,
             policy,
             clock: AtomicU64::new(0),
+            current_epoch: AtomicU64::new(0),
             lookups: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -174,19 +191,39 @@ impl PoolArena {
         self.policy.name()
     }
 
+    /// Moves the arena to a new current lineage epoch. Entries stamped
+    /// with any other epoch become stale (misses for [`Self::get`],
+    /// repairable via [`Self::get_any`]); they stay resident.
+    pub fn set_current_epoch(&self, epoch: u64) {
+        self.current_epoch.store(epoch, Ordering::Relaxed);
+    }
+
+    /// The epoch entries currently serve at.
+    pub fn current_epoch(&self) -> u64 {
+        self.current_epoch.load(Ordering::Relaxed)
+    }
+
+    /// Whether an entry may serve as-is: pinned pools are epoch-exempt,
+    /// sampled pools must carry the current epoch.
+    fn servable(&self, entry: &ArenaEntry) -> bool {
+        entry.pinned || entry.epoch == self.current_epoch.load(Ordering::Relaxed)
+    }
+
     /// Looks up a pool, refreshing its recency on a hit. Takes `&self`:
-    /// concurrent readers only contend on atomic counter bumps.
+    /// concurrent readers only contend on atomic counter bumps. An entry
+    /// stamped with a non-current epoch is a **miss** (stale pools never
+    /// serve); fetch it with [`Self::get_any`] to repair it instead.
     pub fn get(&self, key: &PoolKey) -> Option<Arc<MrrPool>> {
         self.lookups.fetch_add(1, Ordering::Relaxed);
         let clock = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
         match self.entries.iter().find(|e| &e.key == key) {
-            Some(entry) => {
+            Some(entry) if self.servable(entry) => {
                 entry.last_used.store(clock, Ordering::Relaxed);
                 entry.uses.fetch_add(1, Ordering::Relaxed);
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(Arc::clone(&entry.pool))
             }
-            None => {
+            _ => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -199,13 +236,28 @@ impl PoolArena {
     /// in) records a lookup. Keeps one logical request at one counted
     /// miss, whatever the interleaving.
     pub fn get_recheck(&self, key: &PoolKey) -> Option<Arc<MrrPool>> {
-        let entry = self.entries.iter().find(|e| &e.key == key)?;
+        let entry = self
+            .entries
+            .iter()
+            .find(|e| &e.key == key)
+            .filter(|e| self.servable(e))?;
         let clock = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
         entry.last_used.store(clock, Ordering::Relaxed);
         entry.uses.fetch_add(1, Ordering::Relaxed);
         self.lookups.fetch_add(1, Ordering::Relaxed);
         self.hits.fetch_add(1, Ordering::Relaxed);
         Some(Arc::clone(&entry.pool))
+    }
+
+    /// Fetches a pool **at whatever epoch it carries** — the delta-repair
+    /// retrieval path. Counts no lookup (the serving `get` that preceded
+    /// it already recorded the miss); refreshes recency so the entry is
+    /// not evicted out from under the repair it is about to feed.
+    pub fn get_any(&self, key: &PoolKey) -> Option<(Arc<MrrPool>, u64)> {
+        let entry = self.entries.iter().find(|e| &e.key == key)?;
+        let clock = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        entry.last_used.store(clock, Ordering::Relaxed);
+        Some((Arc::clone(&entry.pool), entry.epoch))
     }
 
     /// Inserts (or replaces) a pool, then evicts least-recently-used
@@ -278,6 +330,7 @@ impl PoolArena {
             last_used: AtomicU64::new(clock),
             uses: AtomicU64::new(uses),
             pinned,
+            epoch: self.current_epoch.load(Ordering::Relaxed),
         });
         self.resident_bytes += bytes;
         evicted.extend(self.enforce_budget(Some(clock)));
@@ -375,6 +428,19 @@ impl PoolArena {
             .fetch_add((before - self.entries.len()) as u64, Ordering::Relaxed);
     }
 
+    /// Drops every unpinned pool stamped at epoch ≥ `cutoff`. Called when
+    /// the lineage diverges from a recorded chain at `cutoff`: entries on
+    /// the abandoned branch were sampled from a graph that is not an
+    /// ancestor of the new head, so they are unrepairable — stale entries
+    /// *below* the divergence stay, still dirty-repairable.
+    pub fn evict_epochs_from(&mut self, cutoff: u64) {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.pinned || e.epoch < cutoff);
+        self.resident_bytes = self.entries.iter().map(|e| e.bytes).sum();
+        self.evictions
+            .fetch_add((before - self.entries.len()) as u64, Ordering::Relaxed);
+    }
+
     /// Occupancy and cumulative counters.
     pub fn stats(&self) -> ArenaStats {
         ArenaStats {
@@ -386,6 +452,7 @@ impl PoolArena {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             shards: 1,
+            stale: self.entries.iter().filter(|e| !self.servable(e)).count(),
         }
     }
 
@@ -402,6 +469,7 @@ impl PoolArena {
                 last_used: e.last_used.load(Ordering::Relaxed),
                 uses: e.uses.load(Ordering::Relaxed),
                 pinned: e.pinned,
+                epoch: e.epoch,
             })
             .collect()
     }
@@ -420,6 +488,7 @@ impl PoolArena {
             last_used: AtomicU64::new(entry.last_used),
             uses: AtomicU64::new(entry.uses),
             pinned: entry.pinned,
+            epoch: entry.epoch,
         });
     }
 
@@ -622,6 +691,46 @@ mod tests {
         // Identical content under the same label still dedups.
         let p1_again = pool(500, 1);
         assert_eq!(PoolKey::external("same-label", &p1_again), k1);
+    }
+
+    /// The epoch gate: advancing the current epoch turns resident
+    /// sampled entries into misses (stale, repair-only via `get_any`)
+    /// without evicting them; pinned entries are epoch-exempt.
+    #[test]
+    fn epoch_advance_stales_sampled_entries_not_pins() {
+        let p = pool(300, 1);
+        let ks = PoolKey::sampled("{}".into(), 300, 1);
+        let kp = key("pin", &p);
+        let mut arena = PoolArena::new(usize::MAX);
+        arena.insert(ks.clone(), Arc::clone(&p));
+        arena.insert_pinned(kp.clone(), Arc::clone(&p));
+        assert!(arena.get(&ks).is_some());
+
+        arena.set_current_epoch(1);
+        assert!(arena.get(&ks).is_none(), "stale entry must not serve");
+        assert!(arena.get_recheck(&ks).is_none());
+        assert!(arena.get(&kp).is_some(), "pinned entry is epoch-exempt");
+        let stats = arena.stats();
+        assert_eq!(stats.entries, 2, "stale entries stay resident");
+        assert_eq!(stats.stale, 1);
+        assert_eq!(stats.lookups, stats.hits + stats.misses);
+
+        // The repair path still reaches it, with its stamped epoch.
+        let (back, epoch) = arena.get_any(&ks).expect("stale entry retrievable");
+        assert_eq!(epoch, 0);
+        assert_eq!(back.fingerprint(), p.fingerprint());
+
+        // Re-inserting (a repaired pool) stamps the current epoch and
+        // makes the key servable again.
+        arena.insert(ks.clone(), Arc::clone(&p));
+        assert!(arena.get(&ks).is_some());
+        assert_eq!(arena.stats().stale, 0);
+
+        // Divergence drops unpinned entries at or past the cutoff.
+        arena.set_current_epoch(2);
+        arena.evict_epochs_from(1);
+        assert!(arena.get_any(&ks).is_none(), "epoch-1 entry diverged away");
+        assert!(arena.get(&kp).is_some(), "pin survives divergence");
     }
 
     #[test]

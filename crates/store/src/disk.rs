@@ -60,9 +60,15 @@ use oipa_sampler::MrrPool;
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 
-/// Manifest schema version (v2: region-packed).
-const MANIFEST_VERSION: u32 = 2;
-/// The version this tier migrates from (file-per-key segments).
+/// Manifest schema version (v3: epoch lineage — the single instance
+/// fingerprint became a fingerprint *chain*, and every entry carries the
+/// epoch it was sampled or repaired at).
+const MANIFEST_VERSION: u32 = 3;
+/// The region-packed, single-fingerprint schema (upgraded in place: the
+/// fingerprint becomes a one-entry lineage and every entry loads at
+/// epoch 0).
+const MANIFEST_VERSION_V2: u32 = 2;
+/// The file-per-key schema (repacked into regions on first open).
 const MANIFEST_VERSION_V1: u32 = 1;
 /// Manifest file name inside the store directory.
 pub const MANIFEST_FILE: &str = "index.json";
@@ -97,6 +103,24 @@ pub struct ManifestEntry {
     pub crc: u32,
     /// LRU recency stamp (larger = more recent); persists across opens.
     pub last_used: u64,
+    /// The lineage epoch the pool was sampled (or repaired) at — an
+    /// index into the manifest's fingerprint chain. Only entries at the
+    /// lineage head's epoch are served; older ones are **stale** (dirty-
+    /// repairable through [`DiskTier::get_any`], never served as-is).
+    pub epoch: u64,
+}
+
+/// The record of a whole-tier purge: what was thrown away, and why.
+/// Persisted in the manifest so `store ls` and `/stats` can report the
+/// last purge across restarts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PurgeRecord {
+    /// Head fingerprint of the lineage whose pools were purged.
+    pub from: u64,
+    /// Head fingerprint of the lineage that replaced it.
+    pub to: u64,
+    /// Entries quarantined by the purge.
+    pub entries: usize,
 }
 
 /// One region file: a fixed-capacity, append-only pack of pool entries.
@@ -117,13 +141,20 @@ pub struct RegionRow {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct Manifest {
     version: u32,
-    /// Fingerprint of the (graph, probability table) the pools were
-    /// sampled from; 0 while unset. A mismatch purges the tier.
-    instance: u64,
+    /// The epoch chain of instance fingerprints the pools were sampled
+    /// from: `lineage[0]` is the cold-load root, `lineage[e]` the
+    /// fingerprint after the first `e` deltas, the last element the
+    /// current head. Empty while unset. See [`DiskTier::set_lineage`]
+    /// for how a new chain is reconciled against the recorded one.
+    lineage: Vec<u64>,
     clock: u64,
     /// The memory tier's active eviction-policy name, recorded so a
     /// disk-only inspection (`store ls`) can report it.
     eviction: String,
+    /// Whole-tier purges over this directory's lifetime.
+    purges: u64,
+    /// The most recent whole-tier purge, if any.
+    last_purge: Option<PurgeRecord>,
     regions: Vec<RegionRow>,
     entries: Vec<ManifestEntry>,
 }
@@ -132,11 +163,74 @@ impl Manifest {
     fn fresh() -> Manifest {
         Manifest {
             version: MANIFEST_VERSION,
-            instance: 0,
+            lineage: Vec::new(),
             clock: 0,
             eviction: "lru".to_string(),
+            purges: 0,
+            last_purge: None,
             regions: Vec::new(),
             entries: Vec::new(),
+        }
+    }
+
+    /// The epoch entries currently serve at: the lineage head's index
+    /// (0 while the lineage is unset).
+    fn current_epoch(&self) -> u64 {
+        self.lineage.len().saturating_sub(1) as u64
+    }
+}
+
+/// The v2 manifest (region-packed, one instance fingerprint), read only
+/// for the in-place upgrade: the fingerprint becomes a one-entry lineage
+/// and every entry loads at epoch 0 — still current, still served.
+#[derive(Debug, Deserialize)]
+struct ManifestV2 {
+    #[allow(dead_code)]
+    version: u32,
+    instance: u64,
+    clock: u64,
+    eviction: String,
+    regions: Vec<RegionRow>,
+    entries: Vec<ManifestEntryV2>,
+}
+
+#[derive(Debug, Deserialize)]
+struct ManifestEntryV2 {
+    key: PoolKey,
+    file: String,
+    offset: u64,
+    bytes: u64,
+    crc: u32,
+    last_used: u64,
+}
+
+impl From<ManifestV2> for Manifest {
+    fn from(v2: ManifestV2) -> Manifest {
+        Manifest {
+            version: MANIFEST_VERSION,
+            lineage: if v2.instance == 0 {
+                Vec::new()
+            } else {
+                vec![v2.instance]
+            },
+            clock: v2.clock,
+            eviction: v2.eviction,
+            purges: 0,
+            last_purge: None,
+            regions: v2.regions,
+            entries: v2
+                .entries
+                .into_iter()
+                .map(|e| ManifestEntry {
+                    key: e.key,
+                    file: e.file,
+                    offset: e.offset,
+                    bytes: e.bytes,
+                    crc: e.crc,
+                    last_used: e.last_used,
+                    epoch: 0,
+                })
+                .collect(),
         }
     }
 }
@@ -224,6 +318,17 @@ pub struct DiskStats {
     pub gc_runs: u64,
     /// Wall-clock nanoseconds spent inside GC passes since open.
     pub gc_duration_ns: u64,
+    /// Entries currently stamped with a non-current lineage epoch:
+    /// stale, dirty-repairable, never served as-is.
+    pub stale_entries: usize,
+    /// Entries dropped because the lineage diverged past their epoch
+    /// (abandoned branch — unrepairable).
+    pub stale_dropped: u64,
+    /// Whole-tier purges over the directory's lifetime (persisted in
+    /// the manifest, so the count survives reopens).
+    pub purges: u64,
+    /// The most recent whole-tier purge, if any.
+    pub last_purge: Option<PurgeRecord>,
 }
 
 /// Per-entry verification outcome (`oipa-cli store verify`). Labels are
@@ -291,6 +396,9 @@ pub struct DiskTier {
     degraded_skips: u64,
     gc_runs: u64,
     gc_duration_ns: u64,
+    /// Entries dropped because the lineage diverged past their epoch
+    /// (their branch was abandoned; see [`DiskTier::set_lineage`]).
+    stale_dropped: u64,
 }
 
 fn io_err(what: impl Into<String>, e: impl std::fmt::Display) -> StoreError {
@@ -363,6 +471,11 @@ impl DiskTier {
                 let parsed: Result<Manifest, String> = match version {
                     Some(v) if v == u64::from(MANIFEST_VERSION) => {
                         serde_json::from_str::<Manifest>(&text).map_err(|e| e.to_string())
+                    }
+                    Some(v) if v == u64::from(MANIFEST_VERSION_V2) => {
+                        serde_json::from_str::<ManifestV2>(&text)
+                            .map(Manifest::from)
+                            .map_err(|e| e.to_string())
                     }
                     Some(v) if v == u64::from(MANIFEST_VERSION_V1) => {
                         match serde_json::from_str::<ManifestV1>(&text) {
@@ -512,6 +625,7 @@ impl DiskTier {
             degraded_skips: 0,
             gc_runs: 0,
             gc_duration_ns: 0,
+            stale_dropped: 0,
         };
         tier.enforce_budget(None);
         match tier.persist() {
@@ -584,9 +698,41 @@ impl DiskTier {
         }
     }
 
-    /// The recorded sampling-inputs fingerprint (0 while unset).
+    /// The recorded lineage head fingerprint (0 while unset) — the
+    /// single fingerprint this tier historically recorded, now the last
+    /// element of [`DiskTier::lineage`].
     pub fn instance(&self) -> u64 {
-        self.manifest.instance
+        self.manifest.lineage.last().copied().unwrap_or(0)
+    }
+
+    /// The recorded instance-fingerprint chain: `lineage()[0]` is the
+    /// cold-load root, the last element the current head. Empty while
+    /// unset.
+    pub fn lineage(&self) -> &[u64] {
+        &self.manifest.lineage
+    }
+
+    /// The epoch entries currently serve at (the lineage head's index;
+    /// 0 while the lineage is unset).
+    pub fn current_epoch(&self) -> u64 {
+        self.manifest.current_epoch()
+    }
+
+    /// Entries stamped with a non-current epoch: stale, dirty-repairable
+    /// through [`DiskTier::get_any`], never served as-is.
+    pub fn stale_entries(&self) -> usize {
+        let current = self.manifest.current_epoch();
+        self.manifest
+            .entries
+            .iter()
+            .filter(|e| e.epoch != current)
+            .count()
+    }
+
+    /// Whole-tier purges over this directory's lifetime, and the most
+    /// recent one's record.
+    pub fn purge_info(&self) -> (u64, Option<PurgeRecord>) {
+        (self.manifest.purges, self.manifest.last_purge)
     }
 
     /// The tier's current health (see [`TierHealth`]).
@@ -594,16 +740,49 @@ impl DiskTier {
         self.health.snapshot()
     }
 
-    /// Records the fingerprint of the (graph, table) this tier caches
-    /// pools for. On a mismatch with the recorded fingerprint every
-    /// region is quarantined — pools sampled from different inputs must
-    /// never be served. Returns whether a purge happened.
+    /// Compat wrapper over [`DiskTier::set_lineage`]: a single
+    /// fingerprint is a root-only lineage (a cold instance load with no
+    /// delta history).
     pub fn set_instance(&mut self, fingerprint: u64) -> StoreResult<bool> {
-        if self.manifest.instance == fingerprint {
+        if fingerprint == 0 {
+            self.set_lineage(&[])
+        } else {
+            self.set_lineage(&[fingerprint])
+        }
+    }
+
+    /// Records the fingerprint chain of the (graph, table) this tier
+    /// caches pools for, reconciling the recorded chain against it:
+    ///
+    /// * **Same chain** — no-op.
+    /// * **Shared root** (the chains agree on a common prefix) — entries
+    ///   at epochs *inside* the prefix are kept: those at the new head's
+    ///   epoch serve, older ones become **stale** (dirty-repairable via
+    ///   [`DiskTier::get_any`], never served). Entries past the prefix
+    ///   sit on an abandoned branch and are dropped (dead bytes await
+    ///   [`DiskTier::gc`]). This is the surgical-invalidation path: a
+    ///   graph delta advances the lineage and *marks* cached pools
+    ///   instead of throwing them away.
+    /// * **Different root** — pools sampled from unrelated inputs must
+    ///   never be served *or repaired*: every region is quarantined, a
+    ///   [`PurgeRecord`] is written, and a warning naming both head
+    ///   fingerprints goes to stderr.
+    ///
+    /// Returns whether a whole-tier purge happened.
+    pub fn set_lineage(&mut self, lineage: &[u64]) -> StoreResult<bool> {
+        if self.manifest.lineage == lineage {
             return Ok(false);
         }
-        let purge = self.manifest.instance != 0 && !self.manifest.entries.is_empty();
+        let prefix = common_prefix(&self.manifest.lineage, lineage);
+        let diverged_at_root =
+            prefix == 0 && !self.manifest.lineage.is_empty() && !lineage.is_empty();
+        let purge = diverged_at_root && !self.manifest.entries.is_empty();
         if purge {
+            let record = PurgeRecord {
+                from: self.instance(),
+                to: lineage.last().copied().unwrap_or(0),
+                entries: self.manifest.entries.len(),
+            };
             // Quarantine one region at a time: if a quarantine fails
             // mid-purge, the failed region goes back on the index with
             // its entries, so `indexed_bytes` never drifts from
@@ -643,8 +822,40 @@ impl DiskTier {
                 self.indexed_bytes -= entry.bytes;
                 self.evictions += 1;
             }
+            eprintln!(
+                "oipa-store: purging {}: instance fingerprint {:#018x} is not in the \
+                 lineage of {:#018x} ({} entries quarantined)",
+                self.dir.display(),
+                record.from,
+                record.to,
+                record.entries,
+            );
+            self.manifest.purges += 1;
+            self.manifest.last_purge = Some(record);
+        } else if prefix > 0 {
+            // Shared root: entries past the common prefix were sampled
+            // on an abandoned branch — unrepairable, dropped in place
+            // (their bytes go dead inside their regions until `gc`).
+            let cutoff = prefix as u64;
+            let mut kept = Vec::with_capacity(self.manifest.entries.len());
+            let mut dropped_files: Vec<String> = Vec::new();
+            for entry in std::mem::take(&mut self.manifest.entries) {
+                if entry.epoch < cutoff {
+                    kept.push(entry);
+                } else {
+                    self.indexed_bytes -= entry.bytes;
+                    self.stale_dropped += 1;
+                    if !dropped_files.contains(&entry.file) {
+                        dropped_files.push(entry.file.clone());
+                    }
+                }
+            }
+            self.manifest.entries = kept;
+            for file in dropped_files {
+                self.drop_region_if_empty(&file);
+            }
         }
-        self.manifest.instance = fingerprint;
+        self.manifest.lineage = lineage.to_vec();
         self.persist()?;
         Ok(purge)
     }
@@ -662,17 +873,30 @@ impl DiskTier {
     /// read-only burst of N gets performs at most one manifest write
     /// instead of N full `index.json` rewrites.
     pub fn get(&mut self, key: &PoolKey) -> Option<MrrPool> {
-        self.lookup(key, true)
+        self.lookup(key, true, false).map(|(pool, _)| pool)
     }
 
     /// [`Self::get`] for double-check paths: the caller's immediately
     /// preceding `get` already recorded this key's miss, so a re-miss
     /// counts nothing (hits — and the work they do — count normally).
     pub fn get_recheck(&mut self, key: &PoolKey) -> Option<MrrPool> {
-        self.lookup(key, false)
+        self.lookup(key, false, false).map(|(pool, _)| pool)
     }
 
-    fn lookup(&mut self, key: &PoolKey, count_miss: bool) -> Option<MrrPool> {
+    /// Fetches a pool **at whatever epoch it carries**, with that epoch —
+    /// the delta-repair retrieval path. The payload is CRC-verified
+    /// exactly like a serving read; a re-miss counts nothing (the
+    /// caller's serving `get` already recorded it).
+    pub fn get_any(&mut self, key: &PoolKey) -> Option<(MrrPool, u64)> {
+        self.lookup(key, false, true)
+    }
+
+    fn lookup(
+        &mut self,
+        key: &PoolKey,
+        count_miss: bool,
+        any_epoch: bool,
+    ) -> Option<(MrrPool, u64)> {
         self.maybe_probe();
         if !self.health.healthy() {
             self.degraded_skips += 1;
@@ -681,12 +905,22 @@ impl DiskTier {
             }
             return None;
         }
-        let Some(idx) = self.manifest.entries.iter().position(|e| &e.key == key) else {
+        let current = self.manifest.current_epoch();
+        // Entries stamped with a non-current epoch are stale: a serving
+        // lookup misses on them (they stay, dirty-repairable), only the
+        // `any_epoch` repair path reaches them.
+        let Some(idx) = self
+            .manifest
+            .entries
+            .iter()
+            .position(|e| &e.key == key && (any_epoch || e.epoch == current))
+        else {
             if count_miss {
                 self.misses += 1;
             }
             return None;
         };
+        let epoch = self.manifest.entries[idx].epoch;
         let (file, offset, bytes) = {
             let e = &self.manifest.entries[idx];
             (e.file.clone(), e.offset, e.bytes)
@@ -702,7 +936,7 @@ impl DiskTier {
                 self.hits += 1;
                 self.dirty = true; // recency is batched, not rewritten per read
                 self.health.record_ok();
-                Some(pool)
+                Some((pool, epoch))
             }
             Err(PoolIoError::Io(e)) => {
                 // The disk failed, not the entry: keep it and degrade.
@@ -761,36 +995,47 @@ impl DiskTier {
         self.persist().inspect_err(|_| self.flush_errors += 1)
     }
 
-    /// Appends a pool to the newest region (append + sync), indexes it,
-    /// and evicts LRU entries until the byte budget fits. A key already
-    /// present is only touched — a recency update batched like
-    /// [`DiskTier::get`]'s, not a manifest rewrite (keys are
-    /// content-addressed: the campaign, θ and seed/fingerprint determine
-    /// the pool bytes). A pool whose payload alone exceeds the budget is
-    /// not stored. Best-effort: IO failures are counted and degrade the
+    /// Appends a pool to the newest region (append + sync), indexes it
+    /// at the **current lineage epoch**, and evicts LRU entries until the
+    /// byte budget fits. A key already present *at the current epoch* is
+    /// only touched — a recency update batched like [`DiskTier::get`]'s,
+    /// not a manifest rewrite (keys are content-addressed per epoch: the
+    /// campaign, θ, seed and epoch determine the pool bytes). A key
+    /// present at an **older** epoch is rewritten: the repaired payload
+    /// is appended and the entry re-pointed at it (the stale bytes go
+    /// dead inside their region until `gc`) — repair write-back rides
+    /// the exact same append/sync/manifest-commit machinery, fault seam
+    /// included. A pool whose payload alone exceeds the budget is not
+    /// stored. Best-effort: IO failures are counted and degrade the
     /// tier, never surface to the caller — a broken disk tier is a cache
     /// miss, not a serving failure.
     ///
     /// Returns whether the write is **acked**: payload appended + synced
     /// *and* its manifest row committed. Only acked writes are promised
     /// to survive a crash; anything else is at worst torn bytes past the
-    /// region's committed watermark, truncated away by the next open.
+    /// region's committed watermark, truncated away by the next open. A
+    /// failed rewrite keeps the stale entry intact (still repairable,
+    /// never served).
     pub fn put(&mut self, key: &PoolKey, pool: &MrrPool) -> bool {
         self.maybe_probe();
         if !self.health.healthy() {
             self.degraded_skips += 1;
             return false;
         }
-        if let Some(idx) = self.manifest.entries.iter().position(|e| &e.key == key) {
-            self.manifest.clock += 1;
-            let stamp = self.manifest.clock;
-            let file = self.manifest.entries[idx].file.clone();
-            self.manifest.entries[idx].last_used = stamp;
-            if let Some(row) = self.manifest.regions.iter_mut().find(|r| r.file == file) {
-                row.last_used = stamp;
+        let epoch = self.manifest.current_epoch();
+        let existing = self.manifest.entries.iter().position(|e| &e.key == key);
+        if let Some(idx) = existing {
+            if self.manifest.entries[idx].epoch == epoch {
+                self.manifest.clock += 1;
+                let stamp = self.manifest.clock;
+                let file = self.manifest.entries[idx].file.clone();
+                self.manifest.entries[idx].last_used = stamp;
+                if let Some(row) = self.manifest.regions.iter_mut().find(|r| r.file == file) {
+                    row.last_used = stamp;
+                }
+                self.dirty = true;
+                return true;
             }
-            self.dirty = true;
-            return true;
         }
         let mut buf = Vec::new();
         let crc = match write_pool(pool, &mut buf) {
@@ -836,14 +1081,32 @@ impl DiskTier {
         let offset = row.committed;
         row.committed += bytes;
         row.last_used = stamp;
-        self.manifest.entries.push(ManifestEntry {
-            key: key.clone(),
-            file,
-            offset,
-            bytes,
-            crc,
-            last_used: stamp,
-        });
+        match existing {
+            Some(idx) => {
+                // Epoch rewrite: re-point the stale entry at the fresh
+                // payload; its old bytes go dead inside their region.
+                let old_file = self.manifest.entries[idx].file.clone();
+                let old_bytes = self.manifest.entries[idx].bytes;
+                let entry = &mut self.manifest.entries[idx];
+                entry.file = file;
+                entry.offset = offset;
+                entry.bytes = bytes;
+                entry.crc = crc;
+                entry.last_used = stamp;
+                entry.epoch = epoch;
+                self.indexed_bytes -= old_bytes;
+                self.drop_region_if_empty(&old_file);
+            }
+            None => self.manifest.entries.push(ManifestEntry {
+                key: key.clone(),
+                file,
+                offset,
+                bytes,
+                crc,
+                last_used: stamp,
+                epoch,
+            }),
+        }
         self.indexed_bytes += bytes;
         self.spills += 1;
         self.enforce_budget(Some(stamp));
@@ -1234,6 +1497,10 @@ impl DiskTier {
             degraded_skips: self.degraded_skips,
             gc_runs: self.gc_runs,
             gc_duration_ns: self.gc_duration_ns,
+            stale_entries: self.stale_entries(),
+            stale_dropped: self.stale_dropped,
+            purges: self.manifest.purges,
+            last_purge: self.manifest.last_purge,
         }
     }
 
@@ -1369,9 +1636,15 @@ fn migrate_v1(
 ) -> (Manifest, Vec<String>) {
     let mut manifest = Manifest {
         version: MANIFEST_VERSION,
-        instance: v1.instance,
+        lineage: if v1.instance == 0 {
+            Vec::new()
+        } else {
+            vec![v1.instance]
+        },
         clock: v1.clock,
         eviction: "lru".to_string(),
+        purges: 0,
+        last_purge: None,
         regions: Vec::new(),
         entries: Vec::new(),
     };
@@ -1428,6 +1701,7 @@ fn migrate_v1(
                     bytes,
                     crc: e.crc,
                     last_used: e.last_used,
+                    epoch: 0,
                 });
                 row.committed += bytes;
                 row.last_used = row.last_used.max(e.last_used);
@@ -1451,12 +1725,20 @@ fn migrate_v1(
                     bytes,
                     crc: e.crc,
                     last_used: e.last_used,
+                    epoch: 0,
                 });
                 report.migrated += 1;
             }
         }
     }
     (manifest, sources)
+}
+
+/// How many leading fingerprints two lineages agree on. 0 means the
+/// chains share no root: pools from one must never serve (or be
+/// repaired into) the other.
+pub(crate) fn common_prefix(a: &[u64], b: &[u64]) -> usize {
+    a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count()
 }
 
 /// Parses the id out of a `region-{id:08x}.dat` file name (`None` for

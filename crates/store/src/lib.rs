@@ -42,10 +42,11 @@
 //! corrupt or unaccounted for is moved to `quarantine/` — recovery never
 //! fails an open and corruption is never served. Disk reads batch their
 //! LRU stamps in memory (flushed on the next write or on drop) instead
-//! of rewriting the manifest per get. A [`DiskTier::set_instance`]
-//! fingerprint ties a directory to the (graph, probability table) its
-//! pools were sampled from, so a store can never serve pools across
-//! different inputs.
+//! of rewriting the manifest per get. A [`DiskTier::set_lineage`]
+//! fingerprint *chain* ties a directory to the (graph, probability
+//! table) its pools were sampled from — epoch by epoch, so a graph
+//! delta marks cached pools stale-but-repairable instead of purging
+//! them, while pools from an unrelated instance are never served.
 //!
 //! ## The `StoreIo` seam and degraded mode
 //!
@@ -102,7 +103,7 @@ mod shard;
 
 pub use arena::{ArenaStats, PoolArena, PoolKey};
 pub use disk::{
-    DiskStats, DiskTier, GcReport, ManifestEntry, OpenReport, RegionRow, VerifyReport,
+    DiskStats, DiskTier, GcReport, ManifestEntry, OpenReport, PurgeRecord, RegionRow, VerifyReport,
     DEFAULT_REGION_BYTES, MANIFEST_FILE, QUARANTINE_DIR, REGION_PREFIX, REGION_SUFFIX,
 };
 pub use eviction::{EvictionMeta, EvictionPolicy, EvictionPolicyKind};
@@ -258,11 +259,14 @@ pub struct StoreStats {
     pub disk_health: Option<TierHealthSnapshot>,
 }
 
-/// Schema identifier stamped into every [`StatsSnapshot`] (v3 adds GC
-/// run/duration counters to `disk` and the `degradations` transition
-/// counter to `disk_health`; v2 added per-shard memory stats, the
-/// eviction-policy name, and region-packed disk counters).
-pub const STATS_SCHEMA: &str = "oipa.stats/v3";
+/// Schema identifier stamped into every [`StatsSnapshot`] (v4 adds the
+/// epoch-lineage surface: `stale` counts on the memory tier,
+/// `stale_entries`/`stale_dropped`/`purges`/`last_purge` on the disk
+/// tier; v3 added GC run/duration counters to `disk` and the
+/// `degradations` transition counter to `disk_health`; v2 added
+/// per-shard memory stats, the eviction-policy name, and region-packed
+/// disk counters).
+pub const STATS_SCHEMA: &str = "oipa.stats/v4";
 
 /// The *wire* form of a store's counters: a versioned, serde-round-trip
 /// snapshot of both tiers shared by every surface that ships stats over
@@ -321,6 +325,11 @@ pub struct PoolStore {
     /// Single-writer discipline for every disk operation (reads mutate
     /// recency and may quarantine, so there is no read-only disk path).
     disk: Option<Mutex<DiskTier>>,
+    /// The store's view of the instance-fingerprint chain (kept even on
+    /// memory-only stores, where there is no manifest to record it).
+    /// Lock order: this lock → disk lock → shard lock; only
+    /// [`Self::set_lineage`] ever holds it across another lock.
+    lineage: Mutex<Vec<u64>>,
     write_through: bool,
 }
 
@@ -337,6 +346,7 @@ impl PoolStore {
         PoolStore {
             arena: ShardedArena::new(mem_bytes, shards, eviction),
             disk: None,
+            lineage: Mutex::new(Vec::new()),
             write_through: false,
         }
     }
@@ -365,6 +375,10 @@ impl PoolStore {
         let shards = config.shards.unwrap_or_else(|| self.arena.shard_count());
         let eviction = config.eviction.unwrap_or_else(|| self.arena.policy());
         disk.set_eviction_label(eviction.name());
+        // Adopt the directory's recorded lineage: the memory tier must
+        // agree with the manifest on which epoch serves.
+        *lock_lineage(&self.lineage) = disk.lineage().to_vec();
+        self.arena.set_current_epoch(disk.current_epoch());
         if shards != self.arena.shard_count() || eviction != self.arena.policy() {
             let spilled = self.arena.reconfigure(shards, eviction);
             spill(&mut disk, spilled);
@@ -406,14 +420,57 @@ impl PoolStore {
         self.disk.as_ref().map(|d| lock_disk(d))
     }
 
-    /// Ties the disk tier to the sampling inputs' fingerprint (see
-    /// [`DiskTier::set_instance`]); a mismatch purges the tier. No-op on
-    /// memory-only stores.
+    /// Compat wrapper over [`Self::set_lineage`]: a single fingerprint
+    /// is a root-only lineage (a cold instance load with no delta
+    /// history).
     pub fn set_instance(&self, fingerprint: u64) -> StoreResult<bool> {
-        match self.disk.as_ref() {
-            Some(disk) => lock_disk(disk).set_instance(fingerprint),
-            None => Ok(false),
+        if fingerprint == 0 {
+            self.set_lineage(&[])
+        } else {
+            self.set_lineage(&[fingerprint])
         }
+    }
+
+    /// Ties both tiers to an instance-fingerprint chain (see
+    /// [`DiskTier::set_lineage`] for the reconciliation rules). On the
+    /// memory tier: a shared root keeps resident pools — entries at the
+    /// new head's epoch serve, older ones go stale (repairable through
+    /// [`Self::get_any`]), entries past the common prefix are dropped —
+    /// while a different root drops every sampled entry (pinned pools
+    /// stay; the caller owns them). Returns whether a purge happened on
+    /// either tier.
+    pub fn set_lineage(&self, lineage: &[u64]) -> StoreResult<bool> {
+        let mut recorded = lock_lineage(&self.lineage);
+        let prefix = disk::common_prefix(&recorded, lineage);
+        let diverged_at_root = prefix == 0 && !recorded.is_empty() && !lineage.is_empty();
+        let mut purged = false;
+        if let Some(disk) = self.disk.as_ref() {
+            purged = lock_disk(disk).set_lineage(lineage)?;
+        }
+        if diverged_at_root {
+            let resident = self.arena.stats().entries;
+            self.arena.evict_unpinned();
+            purged = purged || self.arena.stats().entries < resident;
+        } else if prefix < recorded.len() {
+            // Shared root, abandoned tail: resident pools sampled past
+            // the divergence are unrepairable.
+            self.arena.evict_epochs_from(prefix as u64);
+        }
+        self.arena
+            .set_current_epoch(lineage.len().saturating_sub(1) as u64);
+        *recorded = lineage.to_vec();
+        Ok(purged)
+    }
+
+    /// The store's recorded instance-fingerprint chain (empty while
+    /// unset).
+    pub fn lineage(&self) -> Vec<u64> {
+        lock_lineage(&self.lineage).clone()
+    }
+
+    /// The lineage epoch pools currently serve at.
+    pub fn current_epoch(&self) -> u64 {
+        self.arena.current_epoch()
     }
 
     /// Looks up a pool: memory first, then disk. A disk hit is promoted
@@ -436,6 +493,27 @@ impl PoolStore {
             return Some((pool, PoolTier::Memory));
         }
         self.get_from_disk(key, false)
+    }
+
+    /// Fetches a pool **at whatever epoch it carries** — the delta-repair
+    /// retrieval path, for callers that know the dirty history between
+    /// the returned epoch and the head and can repair the pool forward.
+    /// Memory first, then disk (CRC-verified like any disk read). No
+    /// promotion and no lookup counting: the caller repairs and
+    /// re-inserts at the current epoch immediately, which is the write
+    /// that lands the repaired pool in both tiers.
+    pub fn get_any(&self, key: &PoolKey) -> Option<(Arc<MrrPool>, u64, PoolTier)> {
+        if let Some((pool, epoch)) = self.arena.get_any(key) {
+            return Some((pool, epoch, PoolTier::Memory));
+        }
+        let mut disk = lock_disk(self.disk.as_ref()?);
+        // Re-check memory under the disk lock, mirroring `get`: a racer
+        // may have promoted (or repaired) the key while we waited.
+        if let Some((pool, epoch)) = self.arena.get_any(key) {
+            return Some((pool, epoch, PoolTier::Memory));
+        }
+        let (pool, epoch) = disk.get_any(key)?;
+        Some((Arc::new(pool), epoch, PoolTier::Disk))
     }
 
     /// The tier-1 half of a lookup: consults the disk tier and promotes
@@ -605,4 +683,8 @@ fn spill(disk: &mut DiskTier, evicted: Vec<(PoolKey, Arc<MrrPool>)>) {
 // way; see `shard.rs`.)
 fn lock_disk(disk: &Mutex<DiskTier>) -> MutexGuard<'_, DiskTier> {
     disk.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn lock_lineage(lineage: &Mutex<Vec<u64>>) -> MutexGuard<'_, Vec<u64>> {
+    lineage.lock().unwrap_or_else(|e| e.into_inner())
 }

@@ -111,6 +111,34 @@ impl ShardedArena {
         read(self.shard(key)).get_recheck(key)
     }
 
+    /// Epoch-oblivious fetch for the delta-repair path (see
+    /// [`PoolArena::get_any`]).
+    pub(crate) fn get_any(&self, key: &PoolKey) -> Option<(Arc<MrrPool>, u64)> {
+        read(self.shard(key)).get_any(key)
+    }
+
+    /// Broadcasts a new current lineage epoch to every shard (see
+    /// [`PoolArena::set_current_epoch`]).
+    pub(crate) fn set_current_epoch(&self, epoch: u64) {
+        for shard in &self.shards {
+            read(shard).set_current_epoch(epoch);
+        }
+    }
+
+    /// The epoch entries currently serve at (shards always agree — the
+    /// epoch only changes through [`Self::set_current_epoch`]).
+    pub(crate) fn current_epoch(&self) -> u64 {
+        read(&self.shards[0]).current_epoch()
+    }
+
+    /// Drops unpinned entries at epoch ≥ `cutoff` in every shard (see
+    /// [`PoolArena::evict_epochs_from`]).
+    pub(crate) fn evict_epochs_from(&self, cutoff: u64) {
+        for shard in &self.shards {
+            write(shard).evict_epochs_from(cutoff);
+        }
+    }
+
     /// Inserts into the key's shard, returning what the insert evicted
     /// or displaced there (see [`PoolArena::insert_evicting`]).
     pub(crate) fn insert_evicting(
@@ -177,6 +205,7 @@ impl ShardedArena {
             misses: 0,
             evictions: 0,
             shards: self.shards.len(),
+            stale: 0,
         };
         for shard in &self.shards {
             let s = read(shard).stats();
@@ -187,6 +216,7 @@ impl ShardedArena {
             total.hits += s.hits;
             total.misses += s.misses;
             total.evictions += s.evictions;
+            total.stale += s.stale;
         }
         total
     }
@@ -208,6 +238,7 @@ impl ShardedArena {
         policy: EvictionPolicyKind,
     ) -> Vec<(PoolKey, Arc<MrrPool>)> {
         let n = shards.max(1);
+        let epoch = self.current_epoch();
         let mut entries = Vec::new();
         let mut counters = Vec::new();
         for shard in &self.shards {
@@ -217,7 +248,11 @@ impl ShardedArena {
         }
         let mut next: Vec<PoolArena> = split_budget(self.capacity_bytes(), n)
             .into_iter()
-            .map(|b| PoolArena::with_policy(b, policy.build()))
+            .map(|b| {
+                let arena = PoolArena::with_policy(b, policy.build());
+                arena.set_current_epoch(epoch);
+                arena
+            })
             .collect();
         // Counters collapse into shard 0: the aggregate stays lossless
         // whatever the old and new stripe counts.

@@ -263,6 +263,148 @@ fn crash_point_matrix_recovers_at_every_point() {
     }
 }
 
+/// The repair write-back crash matrix: a pool committed at epoch 0 is
+/// surgically repaired after a one-epoch lineage advance, and the
+/// process dies at every mutating I/O operation along the way. Whatever
+/// the crash point, a clean reopen must serve only committed epochs —
+/// the key either comes back stamped epoch 0 with the stale payload
+/// (still repairable) or stamped at the head epoch with the repaired
+/// payload, bitwise-identical to its source either way, never a torn
+/// mix of the two.
+#[test]
+fn repair_write_back_crash_serves_only_committed_epochs() {
+    use oipa_graph::{EdgeChange, GraphDelta, TopicProb};
+
+    let seed = fault_seed();
+    let (g, table, campaign) = fig1();
+    let stale = MrrPool::generate(&g, &table, &campaign, 300, 11);
+    let delta = GraphDelta {
+        reweight: vec![
+            EdgeChange {
+                source: 4,
+                target: 3,
+                probs: vec![TopicProb {
+                    topic: 1,
+                    prob: 0.4,
+                }],
+            },
+            EdgeChange {
+                source: 3,
+                target: 2,
+                probs: vec![TopicProb {
+                    topic: 1,
+                    prob: 0.15,
+                }],
+            },
+        ],
+        ..GraphDelta::default()
+    };
+    let app = g.apply_delta(&delta).expect("fig1 edges exist");
+    let post_table = table.apply_delta(&delta, &app).expect("rows remap");
+    let (repaired, outcome) = stale
+        .repaired(&app.graph, &post_table, &campaign, &app.dirty_targets, 11)
+        .expect("repair runs");
+    assert!(
+        outcome.sets_resampled > 0,
+        "the delta must dirty some walks"
+    );
+    assert_ne!(
+        stale.fingerprint(),
+        repaired.fingerprint(),
+        "the delta must change the pool"
+    );
+
+    let key = PoolKey::sampled("repair-crash".to_string(), 300, 11);
+    let (root, head) = (0xF1u64, 0xF2u64);
+    let workload = |io: std::sync::Arc<FaultIo>, dir: &PathBuf| {
+        let mut tier = match DiskTier::open_with_io(dir, 1 << 20, io) {
+            Ok(tier) => tier,
+            Err(_) => return,
+        };
+        let _ = tier.set_lineage(&[root]);
+        let _ = tier.put(&key, &stale);
+        let _ = tier.set_lineage(&[root, head]); // the delta: epoch 0 -> 1
+        let _ = tier.put(&key, &repaired); // the repair write-back
+    };
+
+    // Pass 0: count the mutating operations and pin the fault-free end
+    // state (repaired payload at the head epoch).
+    let dir = tmpdir("repair-crash-count");
+    let counter = FaultIo::over_real(FaultSchedule::none());
+    workload(std::sync::Arc::clone(&counter), &dir);
+    let mutations = counter.mutations();
+    assert!(
+        mutations >= 6,
+        "the repair workload must hit several crash points, got {mutations}"
+    );
+    {
+        let mut tier = DiskTier::open(&dir, 1 << 20).expect("fault-free reopen");
+        assert_eq!(tier.lineage(), [root, head]);
+        assert_eq!(tier.entries().len(), 1);
+        assert_eq!(tier.entries()[0].epoch, 1);
+        let got = tier.get(&key).expect("repaired payload served");
+        assert_eq!(got.fingerprint(), repaired.fingerprint());
+    }
+
+    // The matrix proper.
+    for point in 0..mutations {
+        let label = format!("repair-crash@{point} (OIPA_FAULT_SEED={seed})");
+        let dir = tmpdir(&format!("repair-crash-{point}"));
+        let io = FaultIo::over_real(FaultSchedule::crash_at(point, seed));
+        workload(std::sync::Arc::clone(&io), &dir);
+        assert!(io.crashed(), "{label}: the crash point must fire");
+
+        let mut tier = DiskTier::open(&dir, 1 << 20)
+            .unwrap_or_else(|e| panic!("{label}: reopen must never fail: {e}"));
+        let verdict = tier.verify();
+        assert!(
+            verdict.corrupt.is_empty(),
+            "{label}: reopen indexed corrupt segments: {:?}",
+            verdict.corrupt
+        );
+        let lineage = tier.lineage().to_vec();
+        assert!(
+            lineage.is_empty() || lineage == [root] || lineage == [root, head],
+            "{label}: recovered lineage {lineage:?} was never committed"
+        );
+        let stamped: Vec<(PoolKey, u64)> = tier
+            .entries()
+            .iter()
+            .map(|e| (e.key.clone(), e.epoch))
+            .collect();
+        for (entry_key, epoch) in stamped {
+            assert_eq!(entry_key, key, "{label}: foreign key recovered");
+            assert!(
+                (epoch as usize) < lineage.len(),
+                "{label}: entry stamped epoch {epoch} beyond the committed lineage {lineage:?}"
+            );
+            // A current-epoch entry serves; a stale ancestor misses on
+            // the serving path but stays reachable for repair. Either
+            // way the payload must be bitwise the pool of its epoch.
+            let (got, got_epoch) = tier
+                .get_any(&entry_key)
+                .unwrap_or_else(|| panic!("{label}: indexed entry must be retrievable"));
+            assert_eq!(got_epoch, epoch, "{label}: get_any epoch drifted");
+            let want = match epoch {
+                0 => stale.fingerprint(),
+                1 => repaired.fingerprint(),
+                other => panic!("{label}: impossible epoch {other}"),
+            };
+            assert_eq!(
+                got.fingerprint(),
+                want,
+                "{label}: epoch-{epoch} payload is not bitwise the epoch-{epoch} pool"
+            );
+            if epoch as usize + 1 < lineage.len() {
+                assert!(
+                    tier.get(&entry_key).is_none(),
+                    "{label}: a stale ancestor must not serve"
+                );
+            }
+        }
+    }
+}
+
 /// A crashed directory must also reopen cleanly when the *reopen itself*
 /// runs over a still-broken disk: degraded, not failed, and fully
 /// recovered on the next healthy open.

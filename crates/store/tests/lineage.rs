@@ -1,0 +1,249 @@
+//! Acceptance suite for epoch-lineage invalidation (the surgical-
+//! invalidation PR):
+//!
+//! * a **descendant** lineage marks cached pools stale-but-repairable —
+//!   they stop serving but stay retrievable (with their epoch) through
+//!   `get_any`, and a same-key re-insert rewrites the payload at the
+//!   new epoch;
+//! * a **non-lineage** fingerprint purges the tier — quarantined, never
+//!   served — and leaves a persisted purge record;
+//! * a **v2** store directory (single instance fingerprint, no epochs)
+//!   still opens and serves, upgraded in place to a one-entry lineage.
+
+use oipa_sampler::testkit::fig1;
+use oipa_sampler::MrrPool;
+use oipa_store::{DiskTier, PoolKey, PoolStore, PoolTier, StoreConfig, MANIFEST_FILE};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("oipa-lineage-tests").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn pool(theta: usize, seed: u64) -> Arc<MrrPool> {
+    let (g, table, campaign) = fig1();
+    Arc::new(MrrPool::generate(&g, &table, &campaign, theta, seed))
+}
+
+fn key(theta: usize, seed: u64) -> PoolKey {
+    PoolKey::sampled(format!("campaign-{seed}"), theta, seed)
+}
+
+const ROOT: u64 = 0xA11CE;
+const HEAD: u64 = 0xB0B0B;
+
+/// The tentpole behavior: advancing the lineage by one epoch (a graph
+/// delta) must not purge — pools go stale, repairable, and a same-key
+/// write at the new epoch replaces the payload on disk.
+#[test]
+fn descendant_epoch_marks_stale_and_rewrites_in_place() {
+    let dir = tmpdir("descendant");
+    let store = PoolStore::open(StoreConfig::new(&dir)).unwrap();
+    store.set_lineage(&[ROOT]).unwrap();
+    let old = pool(400, 7);
+    store.insert(key(400, 7), Arc::clone(&old));
+    assert!(store.get(&key(400, 7)).is_some());
+
+    // One delta: [ROOT] → [ROOT, HEAD]. No purge.
+    assert!(!store.set_lineage(&[ROOT, HEAD]).unwrap());
+    assert_eq!(store.current_epoch(), 1);
+    assert!(
+        store.get(&key(400, 7)).is_none(),
+        "stale pools must never serve"
+    );
+    let stats = store.stats();
+    assert_eq!(stats.mem.stale, 1, "memory copy is stale, not gone");
+    let disk = stats.disk.unwrap();
+    assert_eq!(disk.entries, 1, "disk copy is stale, not purged");
+    assert_eq!(disk.stale_entries, 1);
+    assert_eq!(disk.purges, 0);
+
+    // The repair path sees the stale pool with its stamped epoch.
+    let (got, epoch, tier) = store.get_any(&key(400, 7)).expect("repairable");
+    assert_eq!(epoch, 0);
+    assert_eq!(tier, PoolTier::Memory);
+    assert_eq!(got.fingerprint(), old.fingerprint());
+
+    // Re-inserting under the same key (what repair does) lands at epoch
+    // 1 and replaces the disk payload: same key, new bytes, servable.
+    let repaired = pool(400, 8); // stands in for the repaired pool
+    store.insert(key(400, 7), Arc::clone(&repaired));
+    let (served, tier) = store.get(&key(400, 7)).unwrap();
+    assert_eq!(tier, PoolTier::Memory);
+    assert_eq!(served.fingerprint(), repaired.fingerprint());
+    let disk = store.stats().disk.unwrap();
+    assert_eq!(disk.entries, 1, "rewrite, not a second entry");
+    assert_eq!(disk.stale_entries, 0);
+    assert!(disk.dead_bytes > 0, "the stale payload went dead, not live");
+
+    // A restart serves the repaired payload from disk at the head epoch.
+    drop(store);
+    let reopened = PoolStore::open(StoreConfig::new(&dir)).unwrap();
+    assert_eq!(reopened.lineage(), vec![ROOT, HEAD]);
+    let (back, tier) = reopened.get(&key(400, 7)).unwrap();
+    assert_eq!(tier, PoolTier::Disk);
+    assert_eq!(back.fingerprint(), repaired.fingerprint());
+    let disk = reopened.disk().unwrap();
+    assert_eq!(disk.entries()[0].epoch, 1);
+}
+
+/// Stale ancestors survive many epochs and a restart: a pool stamped at
+/// epoch 0 is still `get_any`-repairable three deltas later.
+#[test]
+fn ancestors_stay_repairable_across_epochs_and_restarts() {
+    let dir = tmpdir("ancestors");
+    let store = PoolStore::open(StoreConfig::new(&dir)).unwrap();
+    store.set_lineage(&[ROOT]).unwrap();
+    let old = pool(350, 3);
+    store.insert(key(350, 3), Arc::clone(&old));
+    store.set_lineage(&[ROOT, 2, 3, 4]).unwrap();
+    drop(store);
+
+    let reopened = PoolStore::open(StoreConfig::new(&dir)).unwrap();
+    assert_eq!(reopened.current_epoch(), 3);
+    assert!(reopened.get(&key(350, 3)).is_none());
+    let (got, epoch, tier) = reopened.get_any(&key(350, 3)).expect("still repairable");
+    assert_eq!(epoch, 0);
+    assert_eq!(tier, PoolTier::Disk);
+    assert_eq!(got.fingerprint(), old.fingerprint());
+}
+
+/// A lineage whose root does not match purges the tier (pools sampled
+/// from unrelated inputs are never served *or repaired*), and the purge
+/// is recorded — surviving a reopen.
+#[test]
+fn foreign_root_purges_and_records_it() {
+    let dir = tmpdir("foreign-root");
+    let store = PoolStore::open(StoreConfig::new(&dir)).unwrap();
+    store.set_lineage(&[ROOT, HEAD]).unwrap();
+    store.insert(key(300, 1), pool(300, 1));
+    store.insert(key(300, 2), pool(300, 2));
+
+    assert!(store.set_lineage(&[0xDEAD, 0xBEEF]).unwrap());
+    assert!(store.get(&key(300, 1)).is_none());
+    assert!(store.get_any(&key(300, 1)).is_none(), "not even repairable");
+    let disk = store.stats().disk.unwrap();
+    assert_eq!(disk.entries, 0);
+    assert_eq!(disk.purges, 1);
+    let record = disk.last_purge.expect("purge recorded");
+    assert_eq!(record.from, HEAD);
+    assert_eq!(record.to, 0xBEEF);
+    assert_eq!(record.entries, 2);
+
+    drop(store);
+    let reopened = PoolStore::open(StoreConfig::new(&dir)).unwrap();
+    let disk = reopened.stats().disk.unwrap();
+    assert_eq!(disk.purges, 1, "purge count survives a reopen");
+    assert_eq!(disk.last_purge, Some(record));
+    assert_eq!(reopened.lineage(), vec![0xDEAD, 0xBEEF]);
+}
+
+/// A cold restart rolls the lineage back to its root (in-memory deltas
+/// are gone): epoch-0 pools revive, post-delta pools on the abandoned
+/// tail are dropped — surgically, not via a whole-tier purge.
+#[test]
+fn root_reload_revives_epoch_zero_and_drops_the_tail() {
+    let dir = tmpdir("rollback");
+    let store = PoolStore::open(StoreConfig::new(&dir)).unwrap();
+    store.set_lineage(&[ROOT]).unwrap();
+    let original = pool(320, 5);
+    store.insert(key(320, 5), Arc::clone(&original));
+    store.set_lineage(&[ROOT, HEAD]).unwrap();
+    store.insert(key(320, 6), pool(320, 6)); // lands at epoch 1
+
+    // The service restarts, reloads the original inputs, and announces a
+    // root-only lineage.
+    assert!(!store.set_instance(ROOT).unwrap(), "shared root: no purge");
+    let (got, tier) = store.get(&key(320, 5)).expect("epoch-0 pool revived");
+    assert_eq!(tier, PoolTier::Memory);
+    assert_eq!(got.fingerprint(), original.fingerprint());
+    assert!(
+        store.get_any(&key(320, 6)).is_none(),
+        "abandoned-tail pool dropped"
+    );
+    let disk = store.stats().disk.unwrap();
+    assert_eq!(disk.entries, 1);
+    assert_eq!(disk.stale_dropped, 1);
+    assert_eq!(disk.purges, 0);
+}
+
+/// Backwards compatibility: a v2 store directory (one instance
+/// fingerprint, no epochs) opens as a one-entry lineage with every pool
+/// at epoch 0 — still served, nothing quarantined.
+#[test]
+fn v2_manifest_opens_and_serves() {
+    let dir = tmpdir("v2-compat");
+    let store = PoolStore::open(StoreConfig::new(&dir)).unwrap();
+    store.set_instance(ROOT).unwrap();
+    let p = pool(500, 9);
+    store.insert(key(500, 9), Arc::clone(&p));
+    drop(store);
+
+    // Rewrite the manifest in the v2 schema, from the v3 tier's own
+    // rows (same region file, same offsets — only the metadata shape
+    // differs).
+    let (entry, region) = {
+        let tier = DiskTier::open(&dir, u64::MAX).unwrap();
+        (tier.entries()[0].clone(), tier.regions()[0].clone())
+    };
+    let k = key(500, 9);
+    let v2 = format!(
+        concat!(
+            "{{\"version\":2,\"instance\":{},\"clock\":5,\"eviction\":\"lru\",",
+            "\"regions\":[{{\"file\":\"{}\",\"committed\":{},\"last_used\":1}}],",
+            "\"entries\":[{{\"key\":{{\"campaign\":\"{}\",\"theta\":{},\"seed\":{}}},",
+            "\"file\":\"{}\",\"offset\":{},\"bytes\":{},\"crc\":{},\"last_used\":1}}]}}"
+        ),
+        ROOT,
+        region.file,
+        region.committed,
+        k.campaign(),
+        k.theta(),
+        k.seed(),
+        entry.file,
+        entry.offset,
+        entry.bytes,
+        entry.crc,
+    );
+    std::fs::write(dir.join(MANIFEST_FILE), v2).unwrap();
+
+    let reopened = PoolStore::open(StoreConfig::new(&dir)).unwrap();
+    let report = reopened.disk().unwrap().open_report();
+    assert!(!report.corrupt_manifest, "v2 is upgraded, not quarantined");
+    assert_eq!(report.quarantined, 0);
+    assert_eq!(reopened.lineage(), vec![ROOT]);
+    assert_eq!(reopened.current_epoch(), 0);
+    let (back, tier) = reopened.get(&k).expect("v2 pool still serves");
+    assert_eq!(tier, PoolTier::Disk);
+    assert_eq!(back.fingerprint(), p.fingerprint());
+    let disk = reopened.disk().unwrap();
+    assert_eq!(disk.entries()[0].epoch, 0);
+    drop(disk);
+
+    // And the same instance fingerprint keeps matching post-upgrade.
+    assert!(!reopened.set_instance(ROOT).unwrap());
+}
+
+/// Memory-only stores honor the same lineage discipline: stale on
+/// descendants, dropped on foreign roots — with no disk tier involved.
+#[test]
+fn memory_only_store_tracks_lineage_too() {
+    let store = PoolStore::memory_only(usize::MAX);
+    store.set_lineage(&[ROOT]).unwrap();
+    store.insert(key(300, 4), pool(300, 4));
+
+    store.set_lineage(&[ROOT, HEAD]).unwrap();
+    assert!(store.get(&key(300, 4)).is_none());
+    let (_, epoch, tier) = store.get_any(&key(300, 4)).expect("stale, repairable");
+    assert_eq!(epoch, 0);
+    assert_eq!(tier, PoolTier::Memory);
+
+    assert!(
+        store.set_lineage(&[0xF00D]).unwrap(),
+        "foreign root purges the memory tier"
+    );
+    assert!(store.get_any(&key(300, 4)).is_none());
+    assert_eq!(store.stats().mem.entries, 0);
+}

@@ -7,7 +7,7 @@
 
 use crate::vector::{SparseTopicVector, TopicVector};
 use crate::{Result, TopicError};
-use oipa_graph::{DiGraph, EdgeId};
+use oipa_graph::{DeltaApplication, DiGraph, EdgeId, GraphDelta, TopicProb};
 use rand::distributions::{Distribution, Uniform};
 use rand::Rng;
 
@@ -136,6 +136,71 @@ impl EdgeTopicProbs {
             topics,
             probs,
         }
+    }
+
+    /// Rebuilds the table for a delta-applied graph.
+    ///
+    /// Surviving edges keep their rows, re-indexed through
+    /// [`DeltaApplication::remap`] (CSR edge ids shift under insertion and
+    /// removal); reweighted edges take the delta's replacement rows;
+    /// inserted edges take the delta's new rows. The result covers exactly
+    /// `app.graph`'s edges, so `new_table.row(app.remap[e])` equals
+    /// `self.row(e)` for every untouched edge — which is what keeps live
+    /// RR walks bitwise-stable across a delta.
+    pub fn apply_delta(
+        &self,
+        delta: &GraphDelta,
+        app: &DeltaApplication,
+    ) -> Result<EdgeTopicProbs> {
+        if app.remap.len() != self.edge_count() {
+            return Err(TopicError::EdgeCountMismatch {
+                graph_edges: app.remap.len(),
+                table_rows: self.edge_count(),
+            });
+        }
+        let validate = |probs: &[TopicProb]| -> Result<SparseTopicVector> {
+            SparseTopicVector::new(
+                probs.iter().map(|tp| (tp.topic, tp.prob)).collect(),
+                self.topic_count,
+            )
+        };
+        // Row provenance per new edge id: carried over from an old edge,
+        // or a fresh row from the delta (insert/reweight).
+        let mut carried: Vec<Option<EdgeId>> = vec![None; app.graph.edge_count()];
+        for (old, new) in app.remap.iter().enumerate() {
+            if let Some(new) = new {
+                carried[*new as usize] = Some(old as EdgeId);
+            }
+        }
+        let mut fresh: Vec<Option<SparseTopicVector>> = vec![None; app.graph.edge_count()];
+        for (change, &old_id) in delta.reweight.iter().zip(&app.reweighted_ids) {
+            let new_id = app.remap[old_id as usize].expect("reweighted edge survives the delta");
+            fresh[new_id as usize] = Some(validate(&change.probs)?);
+        }
+        for (change, &new_id) in delta.insert.iter().zip(&app.inserted_ids) {
+            fresh[new_id as usize] = Some(validate(&change.probs)?);
+        }
+        let mut offsets = Vec::with_capacity(app.graph.edge_count() + 1);
+        offsets.push(0u32);
+        let mut topics = Vec::with_capacity(self.nnz());
+        let mut probs = Vec::with_capacity(self.nnz());
+        for new_id in 0..app.graph.edge_count() {
+            if let Some(row) = &fresh[new_id] {
+                topics.extend_from_slice(&row.topics);
+                probs.extend_from_slice(&row.probs);
+            } else if let Some(old_id) = carried[new_id] {
+                let (t, p) = self.row(old_id);
+                topics.extend_from_slice(t);
+                probs.extend_from_slice(p);
+            }
+            offsets.push(topics.len() as u32);
+        }
+        Ok(EdgeTopicProbs {
+            topic_count: self.topic_count,
+            offsets,
+            topics,
+            probs,
+        })
     }
 
     /// Collapses the topic dimension into a single scalar probability per
@@ -477,5 +542,70 @@ mod tests {
         assert_eq!(t.edge_count(), 0);
         assert_eq!(t.avg_support(), 0.0);
         assert_eq!(t.mean_nonzero_prob(), 0.0);
+    }
+
+    #[test]
+    fn apply_delta_tracks_remap_reweight_and_insert() {
+        use oipa_graph::{EdgeChange, GraphDelta, TopicProb};
+        let g = DiGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let mut b = EdgeProbsBuilder::new(g.edge_count(), 3);
+        for e in g.edges() {
+            b.set_entry(e.id, (e.id % 3) as u16, 0.1 + 0.1 * e.id as f32)
+                .unwrap();
+        }
+        let table = b.build();
+        let delta = GraphDelta {
+            insert: vec![EdgeChange {
+                source: 3,
+                target: 0,
+                probs: vec![TopicProb {
+                    topic: 2,
+                    prob: 0.7,
+                }],
+            }],
+            remove: vec![(0, 2)],
+            reweight: vec![EdgeChange {
+                source: 1,
+                target: 3,
+                probs: vec![TopicProb {
+                    topic: 1,
+                    prob: 0.55,
+                }],
+            }],
+        };
+        let app = g.apply_delta(&delta).unwrap();
+        let new_table = table.apply_delta(&delta, &app).unwrap();
+        assert!(new_table.check_against(&app.graph).is_ok());
+        // Untouched edges keep their exact rows through the remap.
+        for e in g.edges() {
+            let touched = (e.source, e.target) == (0, 2) || (e.source, e.target) == (1, 3);
+            if touched {
+                continue;
+            }
+            let new_id = app.remap[e.id as usize].unwrap();
+            assert_eq!(new_table.row(new_id), table.row(e.id));
+        }
+        // The reweighted row replaces the old one.
+        let rw = app.remap[g.find_edge(1, 3).unwrap().id as usize].unwrap();
+        assert_eq!(new_table.row(rw), (&[1u16][..], &[0.55f32][..]));
+        // The inserted row lands at the inserted id.
+        assert_eq!(
+            new_table.row(app.inserted_ids[0]),
+            (&[2u16][..], &[0.7f32][..])
+        );
+        // Bad rows are rejected.
+        let bad = GraphDelta {
+            reweight: vec![EdgeChange {
+                source: 0,
+                target: 1,
+                probs: vec![TopicProb {
+                    topic: 9,
+                    prob: 0.5,
+                }],
+            }],
+            ..GraphDelta::default()
+        };
+        let bad_app = g.apply_delta(&bad).unwrap();
+        assert!(table.apply_delta(&bad, &bad_app).is_err());
     }
 }

@@ -17,13 +17,15 @@ use oipa::server::{Server, ServerConfig, StatsBody};
 use oipa::service::{Method, PlannerService, SolveRequest, SolveResponse};
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
 fn main() {
     // Server side: the paper's Fig. 1 instance behind an ephemeral port.
     let (graph, probs, campaign) = oipa::sampler::testkit::fig1();
-    let service = Arc::new(PlannerService::new(graph, probs).expect("consistent inputs"));
+    let service = Arc::new(RwLock::new(
+        PlannerService::new(graph, probs).expect("consistent inputs"),
+    ));
     let handle = Server::spawn(Arc::clone(&service), ServerConfig::default())
         .expect("binding a loopback port");
     let addr = handle.addr();
